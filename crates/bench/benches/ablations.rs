@@ -1,0 +1,164 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Lemire streaming envelopes vs the naive O(n·w) construction;
+//! * early-abandoning DTW vs running the full band DP, at tight and loose
+//!   thresholds;
+//! * cascaded 1-NN vs brute-force 1-NN (the §3.4 claim in miniature);
+//! * FastDTW's multilevel recursion vs a single windowed DP over its own
+//!   final window (isolating the recursion overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::banded::cdtw_distance;
+use tsdtw_core::dtw::early_abandon::cdtw_distance_ea;
+use tsdtw_core::dtw::windowed::windowed_distance;
+use tsdtw_core::envelope::Envelope;
+use tsdtw_core::fastdtw::fastdtw_with_path;
+use tsdtw_core::window::SearchWindow;
+use tsdtw_datasets::gesture::labeled_short_gestures;
+use tsdtw_datasets::random_walk::random_walk;
+use tsdtw_mining::dataset_views::LabeledView;
+use tsdtw_mining::knn::{nn_brute_force, nn_cascade, DistanceSpec};
+
+fn envelopes(c: &mut Criterion) {
+    let q = random_walk(1024, 3).unwrap();
+    let band = 64;
+    let mut g = c.benchmark_group("ablation_envelope");
+    g.bench_function("lemire", |b| {
+        b.iter(|| black_box(Envelope::new(&q, band).unwrap()))
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| black_box(Envelope::naive(&q, band).unwrap()))
+    });
+    g.finish();
+}
+
+fn early_abandon(c: &mut Criterion) {
+    let x = random_walk(512, 5).unwrap();
+    let y: Vec<f64> = random_walk(512, 6)
+        .unwrap()
+        .iter()
+        .map(|v| v + 5.0)
+        .collect();
+    let band = 25;
+    let exact = cdtw_distance(&x, &y, band, SquaredCost).unwrap();
+    let mut g = c.benchmark_group("ablation_early_abandon");
+    g.bench_function("full_dp", |b| {
+        b.iter(|| black_box(cdtw_distance(&x, &y, band, SquaredCost).unwrap()))
+    });
+    g.bench_function("ea_tight_threshold", |b| {
+        b.iter(|| {
+            black_box(cdtw_distance_ea(&x, &y, band, exact * 0.05, None, SquaredCost).unwrap())
+        })
+    });
+    g.bench_function("ea_loose_threshold", |b| {
+        b.iter(|| {
+            black_box(cdtw_distance_ea(&x, &y, band, exact * 2.0, None, SquaredCost).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn knn_cascade_vs_brute(c: &mut Criterion) {
+    let data = labeled_short_gestures(96, 6, 10, 9).unwrap();
+    let view = LabeledView::new(&data.series, &data.labels).unwrap();
+    let band = 8;
+    let query = data.series[0].clone();
+    let mut g = c.benchmark_group("ablation_1nn");
+    g.sample_size(20);
+    g.bench_function("brute_force", |b| {
+        b.iter(|| {
+            black_box(nn_brute_force(&view, &query, DistanceSpec::CdtwBand(band), 0).unwrap())
+        })
+    });
+    g.bench_function("cascade", |b| {
+        b.iter(|| black_box(nn_cascade(&view, &query, band, 0).unwrap()))
+    });
+    g.finish();
+}
+
+fn fastdtw_recursion_overhead(c: &mut Criterion) {
+    let x = random_walk(2048, 11).unwrap();
+    let y = random_walk(2048, 12).unwrap();
+    let radius = 20;
+    // Reconstruct a window equivalent to FastDTW's final-level window (the
+    // neighborhood of its committed path, dilated by the radius), then
+    // benchmark just that one windowed DP against the whole recursion.
+    let (_, path) = fastdtw_with_path(&x, &y, radius, SquaredCost).unwrap();
+    let ranges = path.row_ranges(x.len());
+    let (lo, hi): (Vec<usize>, Vec<usize>) = ranges.into_iter().unzip();
+    let window = SearchWindow::from_bounds(y.len(), lo, hi)
+        .expect("path staircase is a valid window")
+        .dilate(radius);
+    let mut g = c.benchmark_group("ablation_fastdtw_overhead");
+    g.sample_size(20);
+    g.bench_function("full_recursion", |b| {
+        b.iter(|| black_box(fastdtw_with_path(&x, &y, radius, SquaredCost).unwrap().0))
+    });
+    g.bench_function("final_level_only", |b| {
+        b.iter(|| black_box(windowed_distance(&x, &y, &window, SquaredCost).unwrap()))
+    });
+    g.finish();
+}
+
+fn constraint_shapes(c: &mut Criterion) {
+    // Full window vs Sakoe–Chiba band vs Itakura parallelogram at N=512:
+    // the DP cost is proportional to admissible cells, so the constraint
+    // choice is itself a performance lever (and an accuracy one — see the
+    // paper's §2 discussion of pathological warpings).
+    let n = 512;
+    let x = random_walk(n, 31).unwrap();
+    let y = random_walk(n, 32).unwrap();
+    let full = SearchWindow::full(n, n);
+    let band = SearchWindow::sakoe_chiba(n, n, n / 10);
+    let itakura = SearchWindow::itakura(n, n, 2.0).unwrap();
+    let mut g = c.benchmark_group("ablation_constraints");
+    for (name, w) in [
+        ("full", &full),
+        ("band_10pct", &band),
+        ("itakura_s2", &itakura),
+    ] {
+        g.bench_function(format!("{name}_{}cells", w.cell_count()), |b| {
+            b.iter(|| black_box(windowed_distance(&x, &y, w, SquaredCost).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn fastdtw_reference_vs_tuned(c: &mut Criterion) {
+    // The decisive ablation for this reproduction: the canonical
+    // implementation structure (cell-list window + hash-map DP) versus the
+    // same algorithm sharing cDTW's banded kernel. The gap IS the paper's
+    // timing result.
+    let x = random_walk(512, 21).unwrap();
+    let y = random_walk(512, 22).unwrap();
+    let mut g = c.benchmark_group("ablation_fastdtw_impls");
+    g.sample_size(15);
+    for r in [1usize, 10] {
+        g.bench_function(format!("reference_r{r}"), |b| {
+            b.iter(|| {
+                black_box(
+                    tsdtw_core::fastdtw::fastdtw_ref_distance(&x, &y, r, SquaredCost).unwrap(),
+                )
+            })
+        });
+        g.bench_function(format!("tuned_r{r}"), |b| {
+            b.iter(|| {
+                black_box(tsdtw_core::fastdtw::fastdtw_distance(&x, &y, r, SquaredCost).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    envelopes,
+    early_abandon,
+    knn_cascade_vs_brute,
+    fastdtw_recursion_overhead,
+    fastdtw_reference_vs_tuned,
+    constraint_shapes
+);
+criterion_main!(benches);

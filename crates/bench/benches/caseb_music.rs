@@ -1,0 +1,33 @@
+//! Criterion micro-bench for Case B (§3.2): one score-alignment distance
+//! at N = 24,000 with w = 0.83 % versus FastDTW radii 10 and 40.
+//!
+//! The paper's per-call numbers: cDTW 45.6 ms, FastDTW_10 238.2 ms,
+//! FastDTW_40 350.9 ms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
+use tsdtw_core::fastdtw::fastdtw_distance;
+use tsdtw_datasets::music::let_it_be_like;
+
+fn bench(c: &mut Criterion) {
+    let p = let_it_be_like(7).unwrap();
+    let band = percent_to_band(p.studio.len(), 0.83).unwrap();
+
+    let mut g = c.benchmark_group("caseb_n24000");
+    g.sample_size(10);
+    g.bench_function("cdtw_0.83", |b| {
+        b.iter(|| black_box(cdtw_distance(&p.studio, &p.live, band, SquaredCost).unwrap()))
+    });
+    g.bench_function("fastdtw_10", |b| {
+        b.iter(|| black_box(fastdtw_distance(&p.studio, &p.live, 10, SquaredCost).unwrap()))
+    });
+    g.bench_function("fastdtw_40", |b| {
+        b.iter(|| black_box(fastdtw_distance(&p.studio, &p.live, 40, SquaredCost).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for the extension algorithms: multivariate DTW,
+//! open-end tracking (batch vs incremental), SPRING subsequence DTW, and
+//! PrunedDTW against plain full DTW.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::full::dtw_distance;
+use tsdtw_core::dtw::pruned::pruned_dtw_auto;
+use tsdtw_core::multivariate::{mdtw_d_distance, MultiSeries};
+use tsdtw_core::open_end::{open_end_dtw, OnlineOpenEnd};
+use tsdtw_core::subsequence::subsequence_dtw;
+use tsdtw_datasets::random_walk::random_walk;
+
+fn multivariate(c: &mut Criterion) {
+    let n = 512;
+    let xs: Vec<Vec<f64>> = (0..3).map(|k| random_walk(n, 10 + k).unwrap()).collect();
+    let ys: Vec<Vec<f64>> = (0..3).map(|k| random_walk(n, 20 + k).unwrap()).collect();
+    let x = MultiSeries::from_channels(&xs).unwrap();
+    let y = MultiSeries::from_channels(&ys).unwrap();
+    let mut g = c.benchmark_group("ext_multivariate");
+    g.bench_function("mdtw_d_band10pct", |b| {
+        b.iter(|| black_box(mdtw_d_distance(&x, &y, n / 10).unwrap()))
+    });
+    g.finish();
+}
+
+fn open_end_tracking(c: &mut Criterion) {
+    let n = 2_000;
+    let score = random_walk(n, 5).unwrap();
+    let live = random_walk(n, 6).unwrap();
+    let band = 50;
+    let mut g = c.benchmark_group("ext_open_end");
+    g.sample_size(20);
+    // Batch re-alignment of the full prefix at 3/4 progress.
+    let t = 3 * n / 4;
+    g.bench_function("batch_realign_at_75pct", |b| {
+        b.iter(|| black_box(open_end_dtw(&live[..t], &score, band, SquaredCost).unwrap()))
+    });
+    // Incremental: cost of consuming the same prefix sample by sample.
+    g.bench_function("incremental_full_prefix", |b| {
+        b.iter(|| {
+            let mut tracker = OnlineOpenEnd::new(&score, band, SquaredCost).unwrap();
+            let mut last = 0.0;
+            for &s in &live[..t] {
+                last = tracker.push(s).unwrap().distance;
+            }
+            black_box(last)
+        })
+    });
+    g.finish();
+}
+
+fn subsequence(c: &mut Criterion) {
+    let reference = random_walk(4_000, 7).unwrap();
+    let query: Vec<f64> = reference[1_000..1_128].to_vec();
+    let mut g = c.benchmark_group("ext_subsequence");
+    g.sample_size(20);
+    g.bench_function("spring_128_in_4000", |b| {
+        b.iter(|| black_box(subsequence_dtw(&query, &reference, SquaredCost).unwrap()))
+    });
+    g.finish();
+}
+
+fn pruned(c: &mut Criterion) {
+    let n = 512;
+    // Well-aligned pair: pruning shines.
+    let x = random_walk(n, 9).unwrap();
+    let y: Vec<f64> = x.iter().map(|v| v + 0.05).collect();
+    let mut g = c.benchmark_group("ext_pruned_dtw");
+    g.bench_function("full_dtw", |b| {
+        b.iter(|| black_box(dtw_distance(&x, &y, SquaredCost).unwrap()))
+    });
+    g.bench_function("pruned_euclidean_ub", |b| {
+        b.iter(|| black_box(pruned_dtw_auto(&x, &y, SquaredCost).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    multivariate,
+    open_end_tracking,
+    subsequence,
+    pruned
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-bench for Fig. 1: per-pair cost at N = 945 for
+//! `cDTW_w` (w = optimal 4 %, and 20 %) versus `FastDTW_r` (r = 0, 10, 20).
+//!
+//! The paper's figure is the all-pairs total; per-pair cost × 400,960 is
+//! that total, so the per-pair ordering is the figure's ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
+use tsdtw_core::fastdtw::fastdtw_distance;
+use tsdtw_datasets::gesture::{uwave_like, GestureConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = GestureConfig {
+        per_class: 1,
+        ..GestureConfig::default()
+    };
+    let data = uwave_like(&config, 1).expect("generator");
+    let x = &data.series[0];
+    let y = &data.series[1];
+
+    let mut g = c.benchmark_group("fig1_n945");
+    g.sample_size(20);
+    for w in [4.0, 20.0] {
+        let band = percent_to_band(x.len(), w).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("cdtw_w_percent", w as usize),
+            &band,
+            |b, &band| b.iter(|| black_box(cdtw_distance(x, y, band, SquaredCost).unwrap())),
+        );
+    }
+    for r in [0usize, 10, 20] {
+        g.bench_with_input(BenchmarkId::new("fastdtw_r", r), &r, |b, &r| {
+            b.iter(|| black_box(fastdtw_distance(x, y, r, SquaredCost).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

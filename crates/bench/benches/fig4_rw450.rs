@@ -1,0 +1,35 @@
+//! Criterion micro-bench for Fig. 4: per-pair cost at N = 450 (random
+//! walks) with the warping parameter swept to the Case C extreme of 40.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
+use tsdtw_core::fastdtw::fastdtw_distance;
+use tsdtw_datasets::random_walk::random_walk;
+
+fn bench(c: &mut Criterion) {
+    let n = 450;
+    let x = random_walk(n, 41).unwrap();
+    let y = random_walk(n, 42).unwrap();
+
+    let mut g = c.benchmark_group("fig4_n450");
+    g.sample_size(30);
+    for w in [10.0, 40.0] {
+        let band = percent_to_band(n, w).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("cdtw_w_percent", w as usize),
+            &band,
+            |b, &band| b.iter(|| black_box(cdtw_distance(&x, &y, band, SquaredCost).unwrap())),
+        );
+    }
+    for r in [10usize, 40] {
+        g.bench_with_input(BenchmarkId::new("fastdtw_r", r), &r, |b, &r| {
+            b.iter(|| black_box(fastdtw_distance(&x, &y, r, SquaredCost).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion micro-bench for Fig. 6: exact full DTW (`cDTW_100`) versus
+//! `FastDTW_40` on fall pairs of growing length — the Case D crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::full::dtw_distance;
+use tsdtw_core::fastdtw::fastdtw_distance;
+use tsdtw_datasets::fall::pair;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_falls");
+    g.sample_size(15);
+    for l in [1.0f64, 4.0, 16.0] {
+        let p = pair(l, 7).unwrap();
+        g.bench_with_input(BenchmarkId::new("full_dtw_L", l as usize), &p, |b, p| {
+            b.iter(|| black_box(dtw_distance(&p.early, &p.late, SquaredCost).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("fastdtw40_L", l as usize), &p, |b, p| {
+            b.iter(|| black_box(fastdtw_distance(&p.early, &p.late, 40, SquaredCost).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion micro-bench for footnote 2: per-comparison cost at the
+//! similarity-search scale (N = 128): `FastDTW_10` versus plain `cDTW_5`
+//! versus the lower bounds that prune most comparisons to almost nothing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
+use tsdtw_core::envelope::Envelope;
+use tsdtw_core::fastdtw::fastdtw_distance;
+use tsdtw_core::lower_bounds::keogh::lb_keogh;
+use tsdtw_core::lower_bounds::kim::lb_kim_hierarchy;
+use tsdtw_datasets::random_walk::random_walk;
+
+fn bench(c: &mut Criterion) {
+    let n = 128;
+    let x = random_walk(n, 1).unwrap();
+    let y = random_walk(n, 2).unwrap();
+    let band = percent_to_band(n, 5.0).unwrap();
+    let env = Envelope::new(&x, band).unwrap();
+
+    let mut g = c.benchmark_group("fn2_n128");
+    g.bench_function("fastdtw_10", |b| {
+        b.iter(|| black_box(fastdtw_distance(&x, &y, 10, SquaredCost).unwrap()))
+    });
+    g.bench_function("cdtw_5", |b| {
+        b.iter(|| black_box(cdtw_distance(&x, &y, band, SquaredCost).unwrap()))
+    });
+    g.bench_function("lb_keogh", |b| {
+        b.iter(|| black_box(lb_keogh(&y, &env).unwrap()))
+    });
+    g.bench_function("lb_kim", |b| {
+        b.iter(|| black_box(lb_kim_hierarchy(&x, &y, f64::INFINITY).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! `repro` — regenerate every table and figure of Wu & Keogh (ICDE 2021).
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--full] [--out DIR] [--list]
+//!
+//!   EXPERIMENT   one or more of: fig1 fig2 caseb fig3 fig4 fig6 table2
+//!                footnote2 appendixb, or 'all' (default)
+//!   --full       paper-scale populations (minutes); default is --quick
+//!   --out DIR    where to write <id>.json records (default: results/)
+//!   --list       list experiments and exit
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tsdtw_bench::experiments::{self, Runner};
+use tsdtw_bench::Scale;
+
+fn main() -> ExitCode {
+    let mut wanted: Vec<String> = Vec::new();
+    let mut scale = Scale::Quick;
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for (id, _) in experiments::all() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [EXPERIMENT ...] [--full] [--out DIR] [--list]\n\
+                     experiments: {}",
+                    experiments::all()
+                        .iter()
+                        .map(|(id, _)| *id)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}; try --help");
+                return ExitCode::FAILURE;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+
+    let registry = experiments::all();
+    let selected: Vec<&(&'static str, Runner)> =
+        if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+            registry.iter().collect()
+        } else {
+            let mut sel = Vec::new();
+            for w in &wanted {
+                match registry.iter().find(|(id, _)| id == w) {
+                    Some(e) => sel.push(e),
+                    None => {
+                        eprintln!("unknown experiment {w:?}; try --list");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            sel
+        };
+
+    println!(
+        "tsdtw repro — scale: {} — writing JSON to {}",
+        if scale == Scale::Full {
+            "FULL (paper-scale)"
+        } else {
+            "QUICK"
+        },
+        out.display()
+    );
+    for (id, runner) in selected {
+        let t0 = std::time::Instant::now();
+        let report = runner(&scale);
+        print!("{}", report.render());
+        println!("   ({} in {:.1}s)\n", id, t0.elapsed().as_secs_f64());
+        if let Err(e) = report.write_json(&out) {
+            eprintln!("warning: could not write {id}.json: {e}");
+        }
+    }
+    ExitCode::SUCCESS
+}

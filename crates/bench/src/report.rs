@@ -1,0 +1,122 @@
+//! Report plumbing shared by all experiments.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// How much work an experiment run should do.
+///
+/// Every timing experiment measures a scaled-down pair/rep count and, where
+/// the paper quotes a total over a bigger population (e.g. 400,960
+/// pairwise comparisons), *extrapolates linearly* — legitimate because the
+/// per-comparison cost of every algorithm here is independent of which
+/// pair is compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-experiment; the default for CI and iteration.
+    Quick,
+    /// Minutes-per-experiment; closer to the paper's populations.
+    Full,
+}
+
+impl Scale {
+    /// Picks between the quick and full value of a parameter.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The outcome of one experiment: printable lines plus a JSON record.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Stable experiment id (`fig1`, `table2`, …).
+    pub id: &'static str,
+    /// One-line title echoing the paper artifact.
+    pub title: String,
+    /// Human-readable result lines.
+    pub lines: Vec<String>,
+    /// Machine-readable record mirroring the lines.
+    pub json: serde_json::Value,
+}
+
+impl Report {
+    /// Creates a report with the JSON payload built from any serializable
+    /// record.
+    pub fn new<T: Serialize>(id: &'static str, title: impl Into<String>, record: &T) -> Self {
+        Report {
+            id,
+            title: title.into(),
+            lines: Vec::new(),
+            json: serde_json::to_value(record).expect("records are plain data"),
+        }
+    }
+
+    /// Appends a printable line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Renders the report for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== [{}] {}\n", self.id, self.title));
+        for l in &self.lines {
+            out.push_str("   ");
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSON record to `<dir>/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&self.json).expect("valid json"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 10), 1);
+        assert_eq!(Scale::Full.pick(1, 10), 10);
+    }
+
+    #[test]
+    fn report_renders_lines() {
+        #[derive(Serialize)]
+        struct R {
+            x: u32,
+        }
+        let mut r = Report::new("t", "title", &R { x: 3 });
+        r.line("hello");
+        let s = r.render();
+        assert!(s.contains("[t] title"));
+        assert!(s.contains("hello"));
+        assert_eq!(r.json["x"], 3);
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let dir = std::env::temp_dir().join("tsdtw-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        #[derive(Serialize)]
+        struct R {
+            ok: bool,
+        }
+        let r = Report::new("wtest", "t", &R { ok: true });
+        r.write_json(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("wtest.json")).unwrap();
+        assert!(content.contains("ok"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,92 @@
+//! Small wall-clock measurement helpers.
+
+use std::time::{Duration, Instant};
+
+/// Simple summary of repeated timings.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Timing {
+    /// Number of repetitions measured.
+    pub reps: usize,
+    /// Mean seconds per repetition.
+    pub mean_s: f64,
+    /// Fastest repetition, seconds.
+    pub min_s: f64,
+}
+
+impl Timing {
+    /// Mean time scaled to milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_s * 1e3
+    }
+}
+
+/// Times `f` once.
+pub fn time_once<F: FnOnce()>(f: F) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+/// Times `reps` calls of `f`, reporting mean and min. The closure's result
+/// should be fed through [`std::hint::black_box`] by the caller to prevent
+/// the optimizer from deleting the work.
+pub fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> Timing {
+    assert!(reps > 0, "need at least one repetition");
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..reps {
+        let d = time_once(&mut f);
+        total += d;
+        min = min.min(d);
+    }
+    Timing {
+        reps,
+        mean_s: total.as_secs_f64() / reps as f64,
+        min_s: min.as_secs_f64(),
+    }
+}
+
+/// Formats a duration in adaptive units for report lines.
+pub fn human(seconds: f64) -> String {
+    if seconds >= 86_400.0 * 365.0 {
+        format!("{:.1} years", seconds / (86_400.0 * 365.0))
+    } else if seconds >= 86_400.0 {
+        format!("{:.1} days", seconds / 86_400.0)
+    } else if seconds >= 3600.0 {
+        format!("{:.2} h", seconds / 3600.0)
+    } else if seconds >= 60.0 {
+        format!("{:.2} min", seconds / 60.0)
+    } else if seconds >= 1.0 {
+        format!("{:.2} s", seconds)
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} µs", seconds * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_reps_reports_sane_stats() {
+        let t = time_reps(5, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert_eq!(t.reps, 5);
+        assert!(t.min_s <= t.mean_s);
+        assert!(t.mean_s >= 0.0);
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(2.0e-6).contains("µs"));
+        assert!(human(2.0e-3).contains("ms"));
+        assert!(human(2.0).contains('s'));
+        assert!(human(120.0).contains("min"));
+        assert!(human(7200.0).contains('h'));
+        assert!(human(2.0 * 86_400.0).contains("days"));
+        assert!(human(3.0e8).contains("years"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal dependency-free argument parsing for the `tsdtw` binary.
+//!
+//! Grammar: `tsdtw <command> [--flag value]... [--switch]...`. Flags are
+//! declared per command; unknown flags are errors with a helpful message.
+
+use std::collections::HashMap;
+
+/// Parsed command line: the command name plus flag key/value pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (already stripped of program name and command)
+    /// against the declared value-flags and boolean switches.
+    pub fn parse(
+        raw: &[String],
+        value_flags: &[&str],
+        bool_switches: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = raw.iter();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument {tok:?}; all options are --flag value"
+                )));
+            };
+            if bool_switches.contains(&name) {
+                out.switches.push(name.to_string());
+            } else if value_flags.contains(&name) {
+                let Some(v) = it.next() else {
+                    return Err(ArgError(format!("--{name} needs a value")));
+                };
+                out.flags.insert(name.to_string(), v.clone());
+            } else {
+                return Err(ArgError(format!(
+                    "unknown option --{name}; valid: {}{}",
+                    value_flags.join(", --").split_off(0),
+                    if bool_switches.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (switches: --{})", bool_switches.join(", --"))
+                    }
+                )));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(name)
+            .map(|s| s.as_str())
+            .ok_or_else(|| ArgError(format!("missing required option --{name}")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    /// An optional parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| ArgError(format!("--{name} got unparsable value {raw:?}"))),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let a = Args::parse(&raw(&["--w", "5", "--verbose"]), &["w"], &["verbose"]).unwrap();
+        assert_eq!(a.required("w").unwrap(), "5");
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+        assert_eq!(a.get_or::<f64>("w", 0.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn rejects_unknown_and_positional() {
+        assert!(Args::parse(&raw(&["--nope", "1"]), &["w"], &[]).is_err());
+        assert!(Args::parse(&raw(&["stray"]), &["w"], &[]).is_err());
+        assert!(Args::parse(&raw(&["--w"]), &["w"], &[]).is_err());
+    }
+
+    #[test]
+    fn required_and_defaults() {
+        let a = Args::parse(&raw(&[]), &["w"], &[]).unwrap();
+        assert!(a.required("w").is_err());
+        assert_eq!(a.get_or::<usize>("k", 3).unwrap(), 3);
+        assert!(a.optional("w").is_none());
+    }
+
+    #[test]
+    fn unparsable_value_is_an_error() {
+        let a = Args::parse(&raw(&["--w", "abc"]), &["w"], &[]).unwrap();
+        assert!(a.get_or::<f64>("w", 0.0).is_err());
+    }
+}

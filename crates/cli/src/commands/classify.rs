@@ -1,0 +1,158 @@
+//! `tsdtw classify` — 1-NN classification of a UCR-format test file
+//! against a UCR-format training file, with optional LOOCV window
+//! learning (the archive's procedure).
+
+use std::path::Path;
+
+use crate::args::{ArgError, Args};
+use tsdtw_core::dtw::banded::percent_to_band;
+use tsdtw_datasets::ucr_format::load_ucr_file;
+use tsdtw_mining::dataset_views::LabeledView;
+use tsdtw_mining::knn::{evaluate_split, DistanceSpec};
+use tsdtw_mining::wselect::{integer_grid, optimal_window};
+
+pub const HELP: &str = "\
+tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure M]
+  M: cdtw (default) | dtw | euclidean | fastdtw-ref (with --radius R)
+  --w auto learns the window by LOOCV on the training set (grid 0..--max-w, default 20)
+  files: UCR archive format (label, then values; tab- or comma-separated)";
+
+/// Runs the command, returning the printable result.
+pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let args = Args::parse(
+        raw,
+        &["train", "test", "w", "max-w", "measure", "radius"],
+        &[],
+    )?;
+    let train = load_ucr_file(Path::new(args.required("train")?))?;
+    let test = load_ucr_file(Path::new(args.required("test")?))?;
+    let train_view = LabeledView::new(&train.series, &train.labels)?;
+    let test_view = LabeledView::new(&test.series, &test.labels)?;
+
+    let mut out = String::new();
+    let measure = args.optional("measure").unwrap_or("cdtw");
+    let spec = match measure {
+        "euclidean" => DistanceSpec::Euclidean,
+        "dtw" => DistanceSpec::FullDtw,
+        "fastdtw-ref" => DistanceSpec::FastDtwRef(args.get_or("radius", 30)?),
+        "cdtw" => {
+            let w_arg = args.optional("w").unwrap_or("auto");
+            let w = if w_arg == "auto" {
+                let max_w: usize = args.get_or("max-w", 20)?;
+                let search = optimal_window(&train_view, &integer_grid(max_w))?;
+                out.push_str(&format!(
+                    "learned w = {}% (train LOOCV error {:.2}%)\n",
+                    search.best_w_percent,
+                    search.best_error * 100.0
+                ));
+                search.best_w_percent
+            } else {
+                w_arg
+                    .parse::<f64>()
+                    .map_err(|_| ArgError(format!("--w got unparsable value {w_arg:?}")))?
+            };
+            let band = percent_to_band(train.series_len(), w)?;
+            DistanceSpec::CdtwBand(band)
+        }
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown measure {other:?}; see `tsdtw help classify`"
+            ))))
+        }
+    };
+
+    let err = evaluate_split(&train_view, &test_view, spec)?;
+    out.push_str(&format!(
+        "{} train / {} test exemplars, length {}, {} classes\n",
+        train.len(),
+        test.len(),
+        train.series_len(),
+        train.n_classes()
+    ));
+    out.push_str(&format!(
+        "1-NN ({measure}) accuracy: {:.2}%  (error rate {:.4})\n",
+        (1.0 - err) * 100.0,
+        err
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_datasets::cbf::dataset;
+    use tsdtw_datasets::ucr_format::write_ucr;
+
+    fn setup() -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join("tsdtw-classify-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dataset(64, 8, 42).unwrap();
+        let (train, test) = data.split_stratified(4).unwrap();
+        let train_p = dir.join("train.tsv");
+        let test_p = dir.join("test.tsv");
+        let mut f = std::fs::File::create(&train_p).unwrap();
+        write_ucr(&train, &mut f).unwrap();
+        let mut f = std::fs::File::create(&test_p).unwrap();
+        write_ucr(&test, &mut f).unwrap();
+        (train_p, test_p)
+    }
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn classifies_cbf_well_with_auto_window() {
+        let (train, test) = setup();
+        let out = run(&raw(&[
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            test.to_str().unwrap(),
+            "--w",
+            "auto",
+            "--max-w",
+            "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("learned w ="), "{out}");
+        assert!(out.contains("accuracy:"), "{out}");
+        // CBF at this scale should classify far above chance (33%).
+        let acc: f64 = out
+            .split("accuracy: ")
+            .nth(1)
+            .unwrap()
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(acc > 60.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn explicit_window_and_other_measures_run() {
+        let (train, test) = setup();
+        for extra in [
+            vec!["--w", "5"],
+            vec!["--measure", "euclidean"],
+            vec!["--measure", "dtw"],
+        ] {
+            let mut a = raw(&[
+                "--train",
+                train.to_str().unwrap(),
+                "--test",
+                test.to_str().unwrap(),
+            ]);
+            a.extend(extra.iter().map(|s| s.to_string()));
+            let out = run(&a).unwrap();
+            assert!(out.contains("accuracy:"), "{out}");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let r = run(&raw(&["--train", "/nonexistent", "--test", "/nonexistent"]));
+        assert!(r.is_err());
+    }
+}

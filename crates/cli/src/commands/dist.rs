@@ -1,0 +1,135 @@
+//! `tsdtw dist` — one distance between two series files.
+
+use std::path::Path;
+
+use crate::args::{ArgError, Args};
+use crate::io::read_series;
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::banded::percent_to_band;
+use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_ref_distance};
+
+pub const HELP: &str = "\
+tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
+  M: dtw | cdtw (default, needs --w) | fastdtw | fastdtw-ref (need --radius)
+     | euclidean
+  series files: one value per line, '#' comments allowed";
+
+/// Runs the command, returning the printable result.
+pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let args = Args::parse(raw, &["a", "b", "measure", "w", "radius"], &["znorm"])?;
+    let mut a = read_series(Path::new(args.required("a")?))?;
+    let mut b = read_series(Path::new(args.required("b")?))?;
+    if args.has("znorm") {
+        tsdtw_core::norm::znorm_in_place(&mut a)?;
+        tsdtw_core::norm::znorm_in_place(&mut b)?;
+    }
+    let measure = args.optional("measure").unwrap_or("cdtw");
+    let d = match measure {
+        "dtw" => tsdtw_core::dtw(&a, &b)?,
+        "cdtw" => {
+            let w: f64 = args.get_or("w", 10.0)?;
+            tsdtw_core::cdtw(&a, &b, w)?
+        }
+        "fastdtw" => {
+            let r: usize = args.get_or("radius", 1)?;
+            fastdtw_distance(&a, &b, r, SquaredCost)?
+        }
+        "fastdtw-ref" => {
+            let r: usize = args.get_or("radius", 1)?;
+            fastdtw_ref_distance(&a, &b, r, SquaredCost)?
+        }
+        "euclidean" => tsdtw_core::sq_euclidean(&a, &b)?,
+        other => {
+            return Err(Box::new(ArgError(format!(
+                "unknown measure {other:?}; see `tsdtw help dist`"
+            ))))
+        }
+    };
+    let mut out = format!("{measure} distance: {d}\n");
+    if measure == "cdtw" {
+        let w: f64 = args.get_or("w", 10.0)?;
+        let band = percent_to_band(a.len().max(b.len()), w)?;
+        out.push_str(&format!("(w = {w}% -> band of {band} cells)\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_series;
+
+    fn setup(dir: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let d = std::env::temp_dir().join(dir);
+        std::fs::create_dir_all(&d).unwrap();
+        let a = d.join("a.txt");
+        let b = d.join("b.txt");
+        write_series(&a, &[0.0, 1.0, 2.0, 1.0, 0.0]).unwrap();
+        write_series(&b, &[0.0, 0.0, 1.0, 2.0, 1.0]).unwrap();
+        (a, b)
+    }
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn computes_each_measure() {
+        let (a, b) = setup("tsdtw-dist-test");
+        for m in ["dtw", "cdtw", "fastdtw", "fastdtw-ref", "euclidean"] {
+            let out = run(&raw(&[
+                "--a",
+                a.to_str().unwrap(),
+                "--b",
+                b.to_str().unwrap(),
+                "--measure",
+                m,
+                "--w",
+                "40",
+                "--radius",
+                "2",
+            ]))
+            .unwrap();
+            assert!(out.contains("distance:"), "{m}: {out}");
+        }
+    }
+
+    #[test]
+    fn znorm_switch_changes_the_result() {
+        let d = std::env::temp_dir().join("tsdtw-dist-znorm-test");
+        std::fs::create_dir_all(&d).unwrap();
+        let a = d.join("a.txt");
+        let b = d.join("b.txt");
+        write_series(&a, &[0.0, 1.0, 0.0, 1.0]).unwrap();
+        write_series(&b, &[10.0, 12.0, 10.0, 12.0]).unwrap();
+        let base = raw(&[
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "dtw",
+        ]);
+        let plain = run(&base).unwrap();
+        let mut z = base.clone();
+        z.push("--znorm".into());
+        let normed = run(&z).unwrap();
+        assert_ne!(plain, normed);
+        // Z-normalized, the two square waves are identical.
+        assert!(normed.contains("distance: 0"), "{normed}");
+    }
+
+    #[test]
+    fn unknown_measure_is_an_error() {
+        let (a, b) = setup("tsdtw-dist-err-test");
+        let r = run(&raw(&[
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "nope",
+        ]));
+        assert!(r.is_err());
+    }
+}

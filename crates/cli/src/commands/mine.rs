@@ -1,0 +1,101 @@
+//! `tsdtw motif` / `tsdtw discord` — closest-pair and most-anomalous
+//! subsequence discovery in a plain series file.
+
+use std::path::Path;
+
+use crate::args::Args;
+use crate::io::read_series;
+use tsdtw_core::dtw::banded::percent_to_band;
+use tsdtw_mining::anomaly::top_discord;
+use tsdtw_mining::motif::top_motif;
+
+pub const HELP_MOTIF: &str = "\
+tsdtw motif --file FILE --m LEN [--w PCT]
+  finds the most similar pair of non-overlapping length-LEN windows
+  (z-normalized cDTW_w; default w = 5)";
+
+pub const HELP_DISCORD: &str = "\
+tsdtw discord --file FILE --m LEN [--w PCT]
+  finds the length-LEN window farthest from its nearest non-overlapping
+  neighbor (z-normalized cDTW_w; default w = 5)";
+
+fn common(raw: &[String]) -> Result<(Vec<f64>, usize, usize), Box<dyn std::error::Error>> {
+    let args = Args::parse(raw, &["file", "m", "w"], &[])?;
+    let series = read_series(Path::new(args.required("file")?))?;
+    let m: usize = args.get_or("m", 32)?;
+    let w: f64 = args.get_or("w", 5.0)?;
+    let band = percent_to_band(m, w)?;
+    Ok((series, m, band))
+}
+
+/// Runs `tsdtw motif`.
+pub fn run_motif(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let (series, m, band) = common(raw)?;
+    let motif = top_motif(&series, m, band)?;
+    Ok(format!(
+        "top motif of length {m}: windows at {} and {} (distance {:.6})\n",
+        motif.first, motif.second, motif.distance
+    ))
+}
+
+/// Runs `tsdtw discord`.
+pub fn run_discord(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let (series, m, band) = common(raw)?;
+    let discord = top_discord(&series, m, band)?;
+    Ok(format!(
+        "top discord of length {m}: window at {} (nearest-neighbor distance {:.6})\n",
+        discord.position, discord.nn_distance
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_series;
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| v.to_string()).collect()
+    }
+
+    fn periodic_with_anomaly() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("tsdtw-mine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("series.txt");
+        let mut s: Vec<f64> = (0..320).map(|i| (i as f64 * 0.2).sin()).collect();
+        for (k, v) in s[160..192].iter_mut().enumerate() {
+            *v = 2.0 + (k as f64 * 0.9).cos(); // one odd stretch
+        }
+        write_series(&p, &s).unwrap();
+        p
+    }
+
+    #[test]
+    fn motif_finds_repeats_and_discord_finds_the_anomaly() {
+        let p = periodic_with_anomaly();
+        let m_out = run_motif(&raw(&["--file", p.to_str().unwrap(), "--m", "31"])).unwrap();
+        assert!(m_out.contains("top motif"), "{m_out}");
+        let d_out = run_discord(&raw(&["--file", p.to_str().unwrap(), "--m", "31"])).unwrap();
+        assert!(d_out.contains("top discord"), "{d_out}");
+        // The discord should land in the corrupted stretch [160, 192).
+        let pos: usize = d_out
+            .split("window at ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((129..=192).contains(&pos), "discord at {pos}");
+    }
+
+    #[test]
+    fn too_short_series_is_an_error() {
+        let dir = std::env::temp_dir().join("tsdtw-mine-err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("tiny.txt");
+        write_series(&p, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(run_motif(&raw(&["--file", p.to_str().unwrap(), "--m", "8"])).is_err());
+        assert!(run_discord(&raw(&["--file", p.to_str().unwrap(), "--m", "8"])).is_err());
+    }
+}

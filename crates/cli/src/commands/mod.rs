@@ -1,0 +1,12 @@
+//! One module per `tsdtw` subcommand. Every command is a pure function
+//! from parsed arguments to printable output, so the whole CLI is unit-
+//! testable without process spawning.
+
+pub mod bakeoff;
+pub mod classify;
+pub mod cluster;
+pub mod dist;
+pub mod generate;
+pub mod mine;
+pub mod search;
+pub mod window;

@@ -1,0 +1,123 @@
+//! `tsdtw search` — UCR-style subsequence search of a query in a long
+//! series, with top-k support.
+
+use std::path::Path;
+
+use crate::args::Args;
+use crate::io::read_series;
+use tsdtw_core::dtw::banded::percent_to_band;
+use tsdtw_mining::search::{subsequence_search, top_k_matches};
+
+pub const HELP: &str = "\
+tsdtw search --haystack FILE --query FILE [--w PCT] [--top K]
+  z-normalizes the query and every candidate window (UCR practice) and
+  reports the best match(es) under cDTW_w with pruning statistics";
+
+/// Runs the command, returning the printable result.
+pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let args = Args::parse(raw, &["haystack", "query", "w", "top"], &[])?;
+    let haystack = read_series(Path::new(args.required("haystack")?))?;
+    let query = read_series(Path::new(args.required("query")?))?;
+    let w: f64 = args.get_or("w", 5.0)?;
+    let band = percent_to_band(query.len(), w)?;
+    let k: usize = args.get_or("top", 1)?;
+
+    let mut out = format!(
+        "haystack {} points, query {} points, w = {w}% (band {band})\n",
+        haystack.len(),
+        query.len()
+    );
+    if k <= 1 {
+        let r = subsequence_search(&haystack, &query, band)?;
+        out.push_str(&format!(
+            "best match at offset {} (distance {:.6})\n",
+            r.position, r.distance
+        ));
+        out.push_str(&format!(
+            "pruning: {} candidates; {} LB_Kim, {} LB_Keogh, {} DTW-abandoned, {} full DP \
+             ({:.1}% pruned before DP)\n",
+            r.stats.candidates,
+            r.stats.pruned_kim,
+            r.stats.pruned_keogh,
+            r.stats.dtw_abandoned,
+            r.stats.dtw_exact,
+            r.stats.prune_rate() * 100.0
+        ));
+    } else {
+        let matches = top_k_matches(&haystack, &query, band, k, query.len())?;
+        out.push_str(&format!("top-{} non-overlapping matches:\n", matches.len()));
+        for m in &matches {
+            out.push_str(&format!(
+                "  offset {:>8}  distance {:.6}\n",
+                m.position, m.distance
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::write_series;
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| v.to_string()).collect()
+    }
+
+    #[test]
+    fn finds_a_planted_query() {
+        let dir = std::env::temp_dir().join("tsdtw-search-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let query: Vec<f64> = (0..32).map(|i| (i as f64 * 0.35).sin() * 2.0).collect();
+        let mut hay: Vec<f64> = (0..500)
+            .map(|i| ((i * i) as f64).sin() * 3.0) // deterministic noise
+            .collect();
+        for (j, &q) in query.iter().enumerate() {
+            hay[321 + j] = q;
+        }
+        let hp = dir.join("hay.txt");
+        let qp = dir.join("query.txt");
+        write_series(&hp, &hay).unwrap();
+        write_series(&qp, &query).unwrap();
+
+        let out = run(&raw(&[
+            "--haystack",
+            hp.to_str().unwrap(),
+            "--query",
+            qp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("best match at offset 321"), "{out}");
+        assert!(out.contains("pruned before DP"), "{out}");
+
+        let out = run(&raw(&[
+            "--haystack",
+            hp.to_str().unwrap(),
+            "--query",
+            qp.to_str().unwrap(),
+            "--top",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("top-3"), "{out}");
+        assert!(out.contains("offset"), "{out}");
+    }
+
+    #[test]
+    fn query_longer_than_haystack_is_an_error() {
+        let dir = std::env::temp_dir().join("tsdtw-search-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hp = dir.join("hay.txt");
+        let qp = dir.join("query.txt");
+        write_series(&hp, &[1.0, 2.0]).unwrap();
+        write_series(&qp, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(run(&raw(&[
+            "--haystack",
+            hp.to_str().unwrap(),
+            "--query",
+            qp.to_str().unwrap()
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Process-level tests of the `tsdtw` binary: exactly what a user types,
+//! spawned via `CARGO_BIN_EXE_tsdtw`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tsdtw"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsdtw-proc-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_arguments_prints_help_and_succeeds() {
+    let out = bin().output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("commands:"), "{text}");
+}
+
+#[test]
+fn help_for_each_command() {
+    for cmd in [
+        "dist", "classify", "search", "window", "cluster", "motif", "discord", "bakeoff",
+        "generate",
+    ] {
+        let out = bin().args(["help", cmd]).output().unwrap();
+        assert!(out.status.success(), "{cmd}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(cmd), "{cmd}: {text}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("unknown command"), "{text}");
+}
+
+#[test]
+fn generate_then_dist_round_trip() {
+    let dir = workdir("dist");
+    let a = dir.join("a.txt");
+    let b = dir.join("b.txt");
+    for (path, seed) in [(&a, "1"), (&b, "2")] {
+        let out = bin()
+            .args([
+                "generate",
+                "--kind",
+                "random-walk",
+                "--out",
+                path.to_str().unwrap(),
+                "--n",
+                "256",
+                "--seed",
+                seed,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = bin()
+        .args([
+            "dist",
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "cdtw",
+            "--w",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cdtw distance:"), "{text}");
+    assert!(text.contains("band of"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generate_classify_pipeline() {
+    let dir = workdir("classify");
+    let train = dir.join("train.tsv");
+    let test = dir.join("test.tsv");
+    for (path, count, seed) in [(&train, "8", "10"), (&test, "3", "20")] {
+        let out = bin()
+            .args([
+                "generate",
+                "--kind",
+                "cbf",
+                "--out",
+                path.to_str().unwrap(),
+                "--n",
+                "64",
+                "--count",
+                count,
+                "--seed",
+                seed,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    let out = bin()
+        .args([
+            "classify",
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            test.to_str().unwrap(),
+            "--w",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("accuracy:"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_flag_fails_and_echoes_command_help() {
+    let out = bin().args(["dist", "--bogus", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("error:"), "{text}");
+    assert!(text.contains("tsdtw dist"), "{text}");
+}

@@ -1,0 +1,108 @@
+//! Derivative DTW (DDTW, Keogh & Pazzani 2001): align estimated local
+//! slopes instead of raw values.
+//!
+//! DDTW is one of the classic DTW variants the surrounding literature
+//! reaches for when raw-value alignment produces "singularities" (one point
+//! of one series mapping to a long run of the other). It is included as an
+//! extension beyond the paper's experiments; the paper's arguments about
+//! exact-vs-approximate speed apply to it unchanged, since it is just DTW
+//! on a transformed signal.
+
+use crate::cost::CostFn;
+use crate::dtw::banded::cdtw_distance;
+use crate::dtw::full::dtw_distance;
+use crate::error::{check_finite, check_nonempty, Error, Result};
+
+/// The derivative estimate of Keogh & Pazzani:
+/// `d[i] = ((s[i] − s[i−1]) + (s[i+1] − s[i−1]) / 2) / 2`,
+/// with the boundary values copied from their nearest interior neighbor.
+///
+/// Requires at least 3 points (a slope needs interior context).
+pub fn derivative_transform(s: &[f64]) -> Result<Vec<f64>> {
+    check_nonempty("s", s)?;
+    check_finite("s", s)?;
+    if s.len() < 3 {
+        return Err(Error::InvalidParameter {
+            name: "s",
+            reason: format!(
+                "derivative transform needs at least 3 points, got {}",
+                s.len()
+            ),
+        });
+    }
+    let n = s.len();
+    let mut d = Vec::with_capacity(n);
+    d.push(0.0); // placeholder, patched below
+    for i in 1..n - 1 {
+        d.push(((s[i] - s[i - 1]) + (s[i + 1] - s[i - 1]) / 2.0) / 2.0);
+    }
+    d.push(0.0);
+    d[0] = d[1];
+    d[n - 1] = d[n - 2];
+    Ok(d)
+}
+
+/// Full (unconstrained) derivative DTW.
+pub fn ddtw_distance<C: CostFn>(x: &[f64], y: &[f64], cost: C) -> Result<f64> {
+    let dx = derivative_transform(x)?;
+    let dy = derivative_transform(y)?;
+    dtw_distance(&dx, &dy, cost)
+}
+
+/// Banded derivative DTW: `cDTW_band` on the slope transforms.
+pub fn cddtw_distance<C: CostFn>(x: &[f64], y: &[f64], band: usize, cost: C) -> Result<f64> {
+    let dx = derivative_transform(x)?;
+    let dy = derivative_transform(y)?;
+    cdtw_distance(&dx, &dy, band, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SquaredCost;
+
+    #[test]
+    fn derivative_of_linear_ramp_is_constant_slope() {
+        let s: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let d = derivative_transform(&s).unwrap();
+        assert!(d.iter().all(|&v| (v - 2.0).abs() < 1e-12), "{d:?}");
+    }
+
+    #[test]
+    fn derivative_of_constant_is_zero() {
+        let d = derivative_transform(&[5.0; 8]).unwrap();
+        assert!(d.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn derivative_preserves_length() {
+        let s = [0.0, 1.0, 4.0, 9.0, 16.0];
+        assert_eq!(derivative_transform(&s).unwrap().len(), s.len());
+    }
+
+    #[test]
+    fn ddtw_ignores_constant_offset() {
+        // Raw DTW sees a large gap between offset copies; DDTW sees none.
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.5).sin()).collect();
+        let y: Vec<f64> = x.iter().map(|v| v + 100.0).collect();
+        let raw = dtw_distance(&x, &y, SquaredCost).unwrap();
+        let ddtw = ddtw_distance(&x, &y, SquaredCost).unwrap();
+        assert!(raw > 1e5);
+        assert!(ddtw < 1e-12);
+    }
+
+    #[test]
+    fn banded_ddtw_upper_bounds_full_ddtw() {
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3 + 0.7).sin()).collect();
+        let full = ddtw_distance(&x, &y, SquaredCost).unwrap();
+        let banded = cddtw_distance(&x, &y, 2, SquaredCost).unwrap();
+        assert!(banded >= full - 1e-12);
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        assert!(derivative_transform(&[1.0, 2.0]).is_err());
+        assert!(ddtw_distance(&[1.0, 2.0], &[1.0, 2.0, 3.0], SquaredCost).is_err());
+    }
+}

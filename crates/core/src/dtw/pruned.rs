@@ -1,0 +1,252 @@
+//! PrunedDTW (Silva & Batista, SDM 2016): exact full DTW with cell
+//! pruning against an upper bound.
+//!
+//! The paper's opening line notes "many ideas have been introduced to
+//! reduce [DTW's] amortized time" — this is the canonical one for the
+//! *unconstrained* case. Seed the DP with any upper bound `UB` on the
+//! true distance (the squared Euclidean distance of the pair is always
+//! admissible for equal lengths); cells whose accumulated cost already
+//! exceeds `UB` can never be on the optimal path, and because accumulated
+//! costs grow monotonically along rows, the un-pruned region of each row
+//! stays a contiguous interval that can be tracked with two indices.
+//! Unlike FastDTW this is **exact**: pruning only discards provably
+//! suboptimal cells.
+
+use crate::cost::CostFn;
+use crate::error::{check_finite, check_nonempty, Error, Result};
+
+/// Exact unconstrained DTW with pruning against `upper_bound`.
+///
+/// `upper_bound` must be a true upper bound of `DTW(x, y)` in the
+/// accumulated-cost domain (pre-[`CostFn::finish`]); pass
+/// `f64::INFINITY` to disable pruning (plain full DTW). With a tight
+/// bound, the explored region hugs the optimal path and the runtime drops
+/// toward linear for well-aligned pairs.
+// The DP below indexes both series by row/column and deliberately mutates
+// `start` (row-region bookkeeping, not the loop bound) — iterator rewrites
+// obscure the recurrence.
+#[allow(clippy::needless_range_loop, clippy::mut_range_bound)]
+pub fn pruned_dtw_distance<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    upper_bound: f64,
+    cost: C,
+) -> Result<f64> {
+    check_nonempty("x", x)?;
+    check_nonempty("y", y)?;
+    check_finite("x", x)?;
+    check_finite("y", y)?;
+    if upper_bound < 0.0 || upper_bound.is_nan() {
+        return Err(Error::InvalidParameter {
+            name: "upper_bound",
+            reason: format!("must be a non-negative bound, got {upper_bound}"),
+        });
+    }
+    let n = x.len();
+    let m = y.len();
+    let ub = upper_bound;
+
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+
+    // Row 0.
+    let mut acc = 0.0;
+    let mut p_start = 0usize; // first un-pruned column of the previous row
+    let mut p_end = 0usize; // one past the last un-pruned column
+    for (j, &yj) in y.iter().enumerate() {
+        acc += cost.cost(x[0], yj);
+        if acc <= ub {
+            prev[j] = acc;
+            p_end = j + 1;
+        } else {
+            break; // row-0 costs only grow left to right
+        }
+    }
+    if p_end == 0 {
+        // Even the first cell exceeds the bound: the bound was not a true
+        // upper bound unless the distance equals it; fall back to
+        // reporting the bound-violating reality conservatively.
+        return Err(Error::InvalidParameter {
+            name: "upper_bound",
+            reason: "bound below the cost of cell (0,0); not a valid upper bound".into(),
+        });
+    }
+
+    for i in 1..n {
+        let xi = x[i];
+        let mut start = p_start;
+        let mut end_this = start; // one past last un-pruned col this row
+        let mut found_any = false;
+        // Columns before p_start can never be reached cheaper than ub:
+        // their only predecessors are pruned. Iterate from start.
+        for j in start..m {
+            let up = if j >= p_start && j < p_end {
+                prev[j]
+            } else {
+                f64::INFINITY
+            };
+            let diag = if j > p_start && j - 1 < p_end {
+                prev[j - 1]
+            } else {
+                f64::INFINITY
+            };
+            // cur was reset to infinity after the swap, so a pruned or
+            // untouched left neighbor contributes nothing to the min.
+            let left = if j > 0 { cur[j - 1] } else { f64::INFINITY };
+            let best = diag.min(up).min(left);
+            if !best.is_finite() {
+                if found_any && j >= p_end {
+                    // Past the previous row's region and no left
+                    // predecessor survived: nothing further can unprune.
+                    break;
+                }
+                cur[j] = f64::INFINITY;
+                if !found_any {
+                    start = j + 1;
+                }
+                continue;
+            }
+            let v = cost.cost(xi, y[j]) + best;
+            if v <= ub {
+                cur[j] = v;
+                if !found_any {
+                    found_any = true;
+                    start = j;
+                }
+                end_this = j + 1;
+            } else {
+                cur[j] = f64::INFINITY;
+                if !found_any {
+                    start = j + 1;
+                }
+                if j >= p_end {
+                    break;
+                }
+            }
+        }
+        if !found_any {
+            // Every cell of this row exceeds the bound — with a valid
+            // upper bound this cannot happen for the optimal path's row,
+            // so the bound must have been invalid.
+            return Err(Error::InvalidParameter {
+                name: "upper_bound",
+                reason: "pruning emptied a row; the bound was below the true distance".into(),
+            });
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        for v in cur.iter_mut() {
+            *v = f64::INFINITY;
+        }
+        p_start = start;
+        p_end = end_this;
+    }
+
+    let d = prev[m - 1];
+    if !d.is_finite() {
+        return Err(Error::InvalidParameter {
+            name: "upper_bound",
+            reason: "end cell pruned; the bound was below the true distance".into(),
+        });
+    }
+    Ok(cost.finish(d))
+}
+
+/// Convenience: PrunedDTW seeded with the squared Euclidean upper bound
+/// (valid for equal-length series — the lock-step path is admissible).
+pub fn pruned_dtw_auto<C: CostFn>(x: &[f64], y: &[f64], cost: C) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            x_len: x.len(),
+            y_len: y.len(),
+        });
+    }
+    check_nonempty("x", x)?;
+    let ub: f64 = x.iter().zip(y).map(|(a, b)| cost.cost(*a, *b)).sum();
+    pruned_dtw_distance(x, y, ub, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SquaredCost;
+    use crate::dtw::full::dtw_distance;
+
+    fn rand_series(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut v = 0.0;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v += ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_full_dtw_with_infinite_bound() {
+        for seed in 0..10 {
+            let x = rand_series(seed, 60);
+            let y = rand_series(seed + 99, 60);
+            let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+            let pruned = pruned_dtw_distance(&x, &y, f64::INFINITY, SquaredCost).unwrap();
+            assert!((exact - pruned).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_full_dtw_with_euclidean_bound() {
+        for seed in 0..20 {
+            let x = rand_series(seed, 50);
+            let y = rand_series(seed + 500, 50);
+            let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+            let pruned = pruned_dtw_auto(&x, &y, SquaredCost).unwrap();
+            assert!(
+                (exact - pruned).abs() < 1e-9,
+                "seed {seed}: pruned {pruned} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_full_dtw_with_exact_bound() {
+        // The tightest valid bound: the true distance itself.
+        for seed in 0..10 {
+            let x = rand_series(seed + 31, 40);
+            let y = rand_series(seed + 77, 40);
+            let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+            let pruned = pruned_dtw_distance(&x, &y, exact + 1e-9, SquaredCost).unwrap();
+            assert!((exact - pruned).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_bounds() {
+        let x = rand_series(1, 30);
+        let y: Vec<f64> = rand_series(2, 30).iter().map(|v| v + 10.0).collect();
+        let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+        // A bound below the true distance must be detected, not silently
+        // return a wrong answer.
+        assert!(pruned_dtw_distance(&x, &y, exact * 0.5, SquaredCost).is_err());
+        assert!(pruned_dtw_distance(&x, &y, -1.0, SquaredCost).is_err());
+        assert!(pruned_dtw_auto(&x, &y[..29], SquaredCost).is_err());
+    }
+
+    #[test]
+    fn identical_series_prune_to_the_diagonal() {
+        let x = rand_series(5, 200);
+        let d = pruned_dtw_auto(&x, &x, SquaredCost).unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn unequal_lengths_supported_with_explicit_bound() {
+        let x = rand_series(7, 30);
+        let y = rand_series(8, 45);
+        let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+        let pruned = pruned_dtw_distance(&x, &y, exact * 2.0, SquaredCost).unwrap();
+        assert!((exact - pruned).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,362 @@
+//! DTW restricted to an arbitrary [`SearchWindow`].
+//!
+//! This is the workhorse kernel of the crate: full DTW is the full window,
+//! `cDTW_w` is the Sakoe–Chiba band window, and FastDTW's per-level
+//! refinement is the projected-path window. Keeping one kernel guarantees
+//! the paper's "same task, same code" comparison discipline — the exact and
+//! approximate algorithms literally share their inner loop.
+//!
+//! The distance-only variant uses rolling two-row storage (`O(max row
+//! width)` memory); the path variant additionally records one traceback byte
+//! per admissible cell.
+
+// The DP kernels below index both series and both rolling rows by the
+// column variable `j`; iterator-chain rewrites obscure the recurrence.
+#![allow(clippy::needless_range_loop)]
+
+use crate::cost::CostFn;
+use crate::error::{check_finite, check_nonempty, Error, Result};
+use crate::matrix::WindowedDirections;
+use crate::path::{Direction, WarpingPath};
+use crate::window::SearchWindow;
+
+/// Validates the series pair against the window dimensions.
+fn check_inputs(x: &[f64], y: &[f64], window: &SearchWindow) -> Result<()> {
+    check_nonempty("x", x)?;
+    check_nonempty("y", y)?;
+    check_finite("x", x)?;
+    check_finite("y", y)?;
+    if window.n_rows() != x.len() || window.n_cols() != y.len() {
+        return Err(Error::InvalidWindow {
+            reason: format!(
+                "window is {}x{} but series are {}x{}",
+                window.n_rows(),
+                window.n_cols(),
+                x.len(),
+                y.len()
+            ),
+        });
+    }
+    window.validate()
+}
+
+/// Reusable scratch buffers for the rolling-row DP.
+///
+/// Allocation-free repeated calls matter in the all-pairs and 1-NN
+/// workloads (hundreds of thousands of DTW invocations); create one buffer
+/// per worker thread and pass it to [`windowed_distance_with_buf`].
+#[derive(Debug, Default, Clone)]
+pub struct DtwBuffer {
+    prev: Vec<f64>,
+    cur: Vec<f64>,
+}
+
+impl DtwBuffer {
+    /// Creates an empty buffer; rows are grown on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// DTW distance over `window`, allocating its own scratch space.
+pub fn windowed_distance<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+) -> Result<f64> {
+    let mut buf = DtwBuffer::new();
+    windowed_distance_with_buf(x, y, window, cost, &mut buf)
+}
+
+/// DTW distance over `window`, reusing caller-provided scratch space.
+pub fn windowed_distance_with_buf<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+    buf: &mut DtwBuffer,
+) -> Result<f64> {
+    check_inputs(x, y, window)?;
+    let n = x.len();
+
+    let width = (0..n)
+        .map(|i| {
+            let (lo, hi) = window.row_bounds(i);
+            hi - lo + 1
+        })
+        .max()
+        .expect("n >= 1");
+    buf.prev.clear();
+    buf.prev.resize(width, f64::INFINITY);
+    buf.cur.clear();
+    buf.cur.resize(width, f64::INFINITY);
+
+    // Row 0: plain prefix sums along the admissible interval (lo must be 0).
+    let (lo0, hi0) = window.row_bounds(0);
+    debug_assert_eq!(lo0, 0);
+    let x0 = x[0];
+    let mut acc = 0.0;
+    for (k, j) in (lo0..=hi0).enumerate() {
+        acc += cost.cost(x0, y[j]);
+        buf.prev[k] = acc;
+    }
+    let mut plo = lo0;
+    let mut phi = hi0;
+
+    for (i, &xi) in x.iter().enumerate().skip(1) {
+        let (lo, hi) = window.row_bounds(i);
+        for j in lo..=hi {
+            let up = if j >= plo && j <= phi {
+                buf.prev[j - plo]
+            } else {
+                f64::INFINITY
+            };
+            let diag = if j > plo && j - 1 <= phi {
+                buf.prev[j - 1 - plo]
+            } else {
+                f64::INFINITY
+            };
+            let left = if j > lo {
+                buf.cur[j - 1 - lo]
+            } else {
+                f64::INFINITY
+            };
+            let best = diag.min(up).min(left);
+            debug_assert!(
+                best.is_finite(),
+                "unreachable cell ({i}, {j}) in validated window"
+            );
+            buf.cur[j - lo] = cost.cost(xi, y[j]) + best;
+        }
+        std::mem::swap(&mut buf.prev, &mut buf.cur);
+        plo = lo;
+        phi = hi;
+    }
+
+    let (lo_last, hi_last) = window.row_bounds(n - 1);
+    debug_assert_eq!(hi_last, y.len() - 1);
+    Ok(cost.finish(buf.prev[hi_last - lo_last]))
+}
+
+/// DTW distance *and* optimal warping path over `window`.
+///
+/// Records one direction byte per admissible cell (ties broken in favour of
+/// the diagonal, then the vertical step, matching the classic presentation)
+/// and walks it back from `(n-1, m-1)`.
+pub fn windowed_with_path<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+) -> Result<(f64, WarpingPath)> {
+    check_inputs(x, y, window)?;
+    let n = x.len();
+    let m = y.len();
+
+    let mut dirs = WindowedDirections::for_window(window);
+    let mut buf = DtwBuffer::new();
+    let width = (0..n)
+        .map(|i| {
+            let (lo, hi) = window.row_bounds(i);
+            hi - lo + 1
+        })
+        .max()
+        .expect("n >= 1");
+    buf.prev.resize(width, f64::INFINITY);
+    buf.cur.resize(width, f64::INFINITY);
+
+    let (lo0, hi0) = window.row_bounds(0);
+    let x0 = x[0];
+    let mut acc = 0.0;
+    for (k, j) in (lo0..=hi0).enumerate() {
+        acc += cost.cost(x0, y[j]);
+        buf.prev[k] = acc;
+        dirs.set(
+            0,
+            j,
+            if j == 0 {
+                Direction::Diagonal
+            } else {
+                Direction::Left
+            },
+        );
+    }
+    let mut plo = lo0;
+    let mut phi = hi0;
+
+    for (i, &xi) in x.iter().enumerate().skip(1) {
+        let (lo, hi) = window.row_bounds(i);
+        for j in lo..=hi {
+            let up = if j >= plo && j <= phi {
+                buf.prev[j - plo]
+            } else {
+                f64::INFINITY
+            };
+            let diag = if j > plo && j - 1 <= phi {
+                buf.prev[j - 1 - plo]
+            } else {
+                f64::INFINITY
+            };
+            let left = if j > lo {
+                buf.cur[j - 1 - lo]
+            } else {
+                f64::INFINITY
+            };
+            let (best, dir) = if diag <= up && diag <= left {
+                (diag, Direction::Diagonal)
+            } else if up <= left {
+                (up, Direction::Up)
+            } else {
+                (left, Direction::Left)
+            };
+            debug_assert!(
+                best.is_finite(),
+                "unreachable cell ({i}, {j}) in validated window"
+            );
+            buf.cur[j - lo] = cost.cost(xi, y[j]) + best;
+            dirs.set(i, j, dir);
+        }
+        std::mem::swap(&mut buf.prev, &mut buf.cur);
+        plo = lo;
+        phi = hi;
+    }
+
+    let (lo_last, _) = window.row_bounds(n - 1);
+    let dist = cost.finish(buf.prev[m - 1 - lo_last]);
+    let cells = dirs.traceback((n - 1, m - 1));
+    let path = WarpingPath::new(cells).expect("DP traceback produces valid paths");
+    Ok((dist, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{AbsoluteCost, SquaredCost};
+
+    /// Textbook O(n·m) reference DP, kept deliberately naive.
+    fn reference_dtw(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let m = y.len();
+        let mut d = vec![vec![f64::INFINITY; m + 1]; n + 1];
+        d[0][0] = 0.0;
+        for i in 1..=n {
+            for j in 1..=m {
+                let c = (x[i - 1] - y[j - 1]).powi(2);
+                d[i][j] = c + d[i - 1][j - 1].min(d[i - 1][j]).min(d[i][j - 1]);
+            }
+        }
+        d[n][m]
+    }
+
+    #[test]
+    fn matches_reference_on_small_examples() {
+        let cases: &[(&[f64], &[f64])] = &[
+            (&[0.0], &[0.0]),
+            (&[0.0], &[5.0]),
+            (&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]),
+            (&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]),
+            (
+                &[0.0, 1.0, 2.0, 3.0, 2.0, 1.0],
+                &[0.0, 0.0, 1.0, 2.0, 3.0, 2.0],
+            ),
+            (&[1.0, 1.0, 1.0, 10.0], &[1.0, 10.0]),
+        ];
+        for (x, y) in cases {
+            let w = SearchWindow::full(x.len(), y.len());
+            let got = windowed_distance(x, y, &w, SquaredCost).unwrap();
+            let want = reference_dtw(x, y);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "x={x:?} y={y:?}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let x = [0.5, 1.5, -2.0, 3.25, 0.0];
+        let w = SearchWindow::full(5, 5);
+        assert_eq!(windowed_distance(&x, &x, &w, SquaredCost).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_series() {
+        let w = SearchWindow::full(1, 1);
+        assert!(windowed_distance(&[], &[0.0], &w, SquaredCost).is_err());
+        assert!(windowed_distance(&[0.0], &[], &w, SquaredCost).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_input() {
+        let w = SearchWindow::full(2, 2);
+        assert!(windowed_distance(&[0.0, f64::NAN], &[0.0, 1.0], &w, SquaredCost).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_window() {
+        let w = SearchWindow::full(3, 3);
+        let r = windowed_distance(&[0.0, 1.0], &[0.0, 1.0, 2.0], &w, SquaredCost);
+        assert!(matches!(r, Err(Error::InvalidWindow { .. })));
+    }
+
+    #[test]
+    fn path_variant_agrees_with_distance_variant() {
+        let x = [0.0, 1.0, 3.0, 2.0, 0.0, -1.0];
+        let y = [0.0, 0.5, 1.0, 3.5, 2.0, 0.0];
+        let w = SearchWindow::full(x.len(), y.len());
+        let d = windowed_distance(&x, &y, &w, SquaredCost).unwrap();
+        let (dp, path) = windowed_with_path(&x, &y, &w, SquaredCost).unwrap();
+        assert!((d - dp).abs() < 1e-12);
+        assert!(path.validate_for(x.len(), y.len()).is_ok());
+        // The path's replayed cost must equal the reported distance.
+        let replay = path.replay_cost(&x, &y, SquaredCost).unwrap();
+        assert!((replay - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_window_never_beats_full_window() {
+        let x = [0.0, 2.0, 4.0, 1.0, 0.0, 3.0, 5.0, 2.0];
+        let y = [1.0, 0.0, 2.0, 4.0, 1.0, 0.0, 3.0, 5.0];
+        let full = SearchWindow::full(8, 8);
+        let d_full = windowed_distance(&x, &y, &full, SquaredCost).unwrap();
+        for band in 0..8 {
+            let w = SearchWindow::sakoe_chiba(8, 8, band);
+            let d = windowed_distance(&x, &y, &w, SquaredCost).unwrap();
+            assert!(d >= d_full - 1e-12, "band {band}: {d} < full {d_full}");
+        }
+    }
+
+    #[test]
+    fn absolute_cost_supported() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 2.0, 2.0];
+        let w = SearchWindow::full(3, 3);
+        // Optimal: (0,0)=0, then warp 1 against 2 region: |1-2| = 1 best case.
+        let d = windowed_distance(&x, &y, &w, AbsoluteCost).unwrap();
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn buffer_reuse_gives_identical_results() {
+        let x = [0.0, 1.0, 2.0, 1.5];
+        let y = [0.5, 1.0, 2.5, 1.0];
+        let w = SearchWindow::full(4, 4);
+        let mut buf = DtwBuffer::new();
+        let a = windowed_distance_with_buf(&x, &y, &w, SquaredCost, &mut buf).unwrap();
+        let b = windowed_distance_with_buf(&x, &y, &w, SquaredCost, &mut buf).unwrap();
+        let c = windowed_distance(&x, &y, &w, SquaredCost).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn rectangular_series_supported() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [0.0, 2.5, 5.0];
+        let w = SearchWindow::full(6, 3);
+        let (d, path) = windowed_with_path(&x, &y, &w, SquaredCost).unwrap();
+        assert!(d.is_finite());
+        assert!(path.validate_for(6, 3).is_ok());
+    }
+}

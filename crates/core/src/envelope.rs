@@ -1,0 +1,200 @@
+//! Warping envelopes for LB_Keogh: per-point running min/max within a band.
+//!
+//! The envelope of a series `q` under band radius `w` is the pair of series
+//! `U[i] = max(q[i-w ..= i+w])`, `L[i] = min(q[i-w ..= i+w])`. LB_Keogh then
+//! charges a candidate only for excursions outside `[L, U]`.
+//!
+//! Two constructions are provided: a naive `O(n·w)` reference and Lemire's
+//! streaming monotonic-deque algorithm, which is `O(n)` regardless of `w`
+//! and is what production search uses. The test suite pins them to each
+//! other.
+
+use crate::error::{check_finite, check_nonempty, Result};
+use std::collections::VecDeque;
+
+/// The upper/lower warping envelope of a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// `upper[i] = max(q[i-w ..= i+w])`.
+    pub upper: Vec<f64>,
+    /// `lower[i] = min(q[i-w ..= i+w])`.
+    pub lower: Vec<f64>,
+}
+
+impl Envelope {
+    /// Builds the envelope with Lemire's streaming min/max (O(n)).
+    ///
+    /// ```
+    /// use tsdtw_core::Envelope;
+    ///
+    /// let q = [0.0, 1.0, 0.0, -1.0, 0.0];
+    /// let e = Envelope::new(&q, 1).unwrap();
+    /// assert_eq!(e.upper, vec![1.0, 1.0, 1.0, 0.0, 0.0]);
+    /// assert_eq!(e.lower, vec![0.0, 0.0, -1.0, -1.0, -1.0]);
+    /// ```
+    pub fn new(q: &[f64], band: usize) -> Result<Self> {
+        check_nonempty("q", q)?;
+        check_finite("q", q)?;
+        Ok(lemire(q, band))
+    }
+
+    /// Naive reference construction (O(n·w)); exported for tests and
+    /// benchmarks of the envelope itself.
+    pub fn naive(q: &[f64], band: usize) -> Result<Self> {
+        check_nonempty("q", q)?;
+        check_finite("q", q)?;
+        let n = q.len();
+        let mut upper = Vec::with_capacity(n);
+        let mut lower = Vec::with_capacity(n);
+        for i in 0..n {
+            let lo = i.saturating_sub(band);
+            let hi = (i + band).min(n - 1);
+            let win = &q[lo..=hi];
+            upper.push(win.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+            lower.push(win.iter().cloned().fold(f64::INFINITY, f64::min));
+        }
+        Ok(Envelope { upper, lower })
+    }
+
+    /// Series length the envelope covers.
+    pub fn len(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Envelopes are never empty (construction rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        self.upper.is_empty()
+    }
+}
+
+/// Lemire 2009: streaming min/max over a sliding window of width `2·band+1`
+/// using monotonic deques of indices. Each index enters and leaves each
+/// deque at most once, so the whole pass is linear.
+fn lemire(q: &[f64], band: usize) -> Envelope {
+    let n = q.len();
+    let mut upper = vec![0.0; n];
+    let mut lower = vec![0.0; n];
+    // Deques hold indices with monotone values: front is the extremum of
+    // the current window [i - band, i + band].
+    let mut max_dq: VecDeque<usize> = VecDeque::with_capacity(2 * band + 2);
+    let mut min_dq: VecDeque<usize> = VecDeque::with_capacity(2 * band + 2);
+
+    for j in 0..n + band {
+        // Admit q[j] (the right edge of windows centered at j - band).
+        if j < n {
+            while let Some(&back) = max_dq.back() {
+                if q[back] <= q[j] {
+                    max_dq.pop_back();
+                } else {
+                    break;
+                }
+            }
+            max_dq.push_back(j);
+            while let Some(&back) = min_dq.back() {
+                if q[back] >= q[j] {
+                    min_dq.pop_back();
+                } else {
+                    break;
+                }
+            }
+            min_dq.push_back(j);
+        }
+        // Emit the envelope for center i = j - band.
+        if j >= band {
+            let i = j - band;
+            if i < n {
+                // Expire indices left of the window.
+                while let Some(&front) = max_dq.front() {
+                    if front + band < i {
+                        max_dq.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                while let Some(&front) = min_dq.front() {
+                    if front + band < i {
+                        min_dq.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                upper[i] = q[*max_dq.front().expect("window never empty")];
+                lower[i] = q[*min_dq.front().expect("window never empty")];
+            }
+        }
+    }
+    Envelope { upper, lower }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_series(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lemire_matches_naive_across_bands_and_lengths() {
+        for seed in 0..5 {
+            for n in [1usize, 2, 3, 7, 32, 100] {
+                let q = rand_series(seed, n);
+                for band in [0usize, 1, 2, 5, 50] {
+                    let fast = Envelope::new(&q, band).unwrap();
+                    let slow = Envelope::naive(&q, band).unwrap();
+                    assert_eq!(fast, slow, "seed={seed} n={n} band={band}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_bounds_the_series() {
+        let q = rand_series(42, 200);
+        let e = Envelope::new(&q, 7).unwrap();
+        for (i, &v) in q.iter().enumerate() {
+            assert!(e.lower[i] <= v && v <= e.upper[i], "index {i}");
+        }
+    }
+
+    #[test]
+    fn band_zero_envelope_is_the_series() {
+        let q = rand_series(1, 50);
+        let e = Envelope::new(&q, 0).unwrap();
+        assert_eq!(e.upper, q);
+        assert_eq!(e.lower, q);
+    }
+
+    #[test]
+    fn band_larger_than_series_is_global_extrema() {
+        let q = [3.0, -1.0, 4.0, 1.0, -5.0];
+        let e = Envelope::new(&q, 100).unwrap();
+        assert!(e.upper.iter().all(|&v| v == 4.0));
+        assert!(e.lower.iter().all(|&v| v == -5.0));
+    }
+
+    #[test]
+    fn wider_band_widens_the_envelope() {
+        let q = rand_series(9, 80);
+        let narrow = Envelope::new(&q, 2).unwrap();
+        let wide = Envelope::new(&q, 10).unwrap();
+        for i in 0..q.len() {
+            assert!(wide.upper[i] >= narrow.upper[i]);
+            assert!(wide.lower[i] <= narrow.lower[i]);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(Envelope::new(&[], 1).is_err());
+        assert!(Envelope::new(&[1.0, f64::NAN], 1).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Error types shared across the `tsdtw` workspace.
+
+use std::fmt;
+
+/// Convenience alias used by every fallible API in this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the DTW kernels and their supporting machinery.
+///
+/// The crate deliberately avoids panicking on user input: every public entry
+/// point validates its arguments and reports problems through this enum. The
+/// only panics left in the crate are internal invariant violations (bugs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// One of the input series was empty. DTW over an empty sequence is
+    /// undefined (there is no warping path).
+    EmptyInput {
+        /// Name of the offending argument, e.g. `"x"`.
+        which: &'static str,
+    },
+    /// A parameter was outside its legal domain.
+    InvalidParameter {
+        /// Name of the offending parameter, e.g. `"w"`.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A pair of inputs that must have equal lengths did not.
+    ///
+    /// Only the lock-step measures (Euclidean distance, LB_Keogh against a
+    /// fixed-length envelope) require equal lengths; the DTW family does not.
+    LengthMismatch {
+        /// Length of the first series.
+        x_len: usize,
+        /// Length of the second series.
+        y_len: usize,
+    },
+    /// A [`SearchWindow`](crate::window::SearchWindow) was structurally
+    /// invalid for dynamic programming (empty row, non-monotone bounds, or a
+    /// gap that makes the end cell unreachable).
+    InvalidWindow {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A warping path failed validation (boundary, monotonicity or
+    /// continuity constraint).
+    InvalidPath {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A non-finite value (NaN or infinity) was found in an input series.
+    NonFiniteInput {
+        /// Name of the offending argument.
+        which: &'static str,
+        /// Index of the first non-finite element.
+        index: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyInput { which } => {
+                write!(f, "input series `{which}` is empty")
+            }
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::LengthMismatch { x_len, y_len } => {
+                write!(
+                    f,
+                    "length mismatch: x has {x_len} points, y has {y_len} \
+                     (this measure requires equal lengths)"
+                )
+            }
+            Error::InvalidWindow { reason } => {
+                write!(f, "invalid search window: {reason}")
+            }
+            Error::InvalidPath { reason } => {
+                write!(f, "invalid warping path: {reason}")
+            }
+            Error::NonFiniteInput { which, index } => {
+                write!(
+                    f,
+                    "input series `{which}` contains a non-finite value at index {index}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Validates that a series is non-empty, returning [`Error::EmptyInput`]
+/// otherwise.
+pub(crate) fn check_nonempty(name: &'static str, s: &[f64]) -> Result<()> {
+    if s.is_empty() {
+        Err(Error::EmptyInput { which: name })
+    } else {
+        Ok(())
+    }
+}
+
+/// Validates that every element of a series is finite.
+///
+/// The DP kernels use `f64::INFINITY` as an internal sentinel for
+/// unreachable cells, so admitting infinities (or NaNs, which poison `min`)
+/// in user data would corrupt results silently.
+pub(crate) fn check_finite(name: &'static str, s: &[f64]) -> Result<()> {
+    if let Some(index) = s.iter().position(|v| !v.is_finite()) {
+        Err(Error::NonFiniteInput { which: name, index })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_display_names_argument() {
+        let e = Error::EmptyInput { which: "x" };
+        assert_eq!(e.to_string(), "input series `x` is empty");
+    }
+
+    #[test]
+    fn check_nonempty_accepts_singleton() {
+        assert!(check_nonempty("x", &[1.0]).is_ok());
+    }
+
+    #[test]
+    fn check_nonempty_rejects_empty() {
+        assert_eq!(
+            check_nonempty("y", &[]),
+            Err(Error::EmptyInput { which: "y" })
+        );
+    }
+
+    #[test]
+    fn check_finite_rejects_nan_and_reports_index() {
+        let s = [0.0, 1.0, f64::NAN, 3.0];
+        assert_eq!(
+            check_finite("x", &s),
+            Err(Error::NonFiniteInput {
+                which: "x",
+                index: 2
+            })
+        );
+    }
+
+    #[test]
+    fn check_finite_rejects_infinity() {
+        let s = [0.0, f64::INFINITY];
+        assert_eq!(
+            check_finite("q", &s),
+            Err(Error::NonFiniteInput {
+                which: "q",
+                index: 1
+            })
+        );
+    }
+
+    #[test]
+    fn check_finite_accepts_ordinary_data() {
+        let s = [0.0, -1.5, 1e300, f64::MIN_POSITIVE];
+        assert!(check_finite("x", &s).is_ok());
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = Error::LengthMismatch { x_len: 3, y_len: 4 };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,333 @@
+//! FastDTW — a faithful Rust implementation of Salvador & Chan's multilevel
+//! approximation (Intelligent Data Analysis, 2007).
+//!
+//! The algorithm:
+//!
+//! 1. **Base case.** If either series has at most `radius + 2` points, solve
+//!    exactly with full DTW.
+//! 2. **Coarsen.** Halve both series by pairwise averaging
+//!    ([`paa::halve`](crate::paa::halve)).
+//! 3. **Recurse** to obtain a low-resolution warping path.
+//! 4. **Project & refine.** Expand every low-resolution path cell onto its
+//!    2×2 block at the current resolution, dilate the region by `radius`
+//!    cells, and run windowed DTW inside that region.
+//!
+//! Per level the window holds `O(N·(4r + 4))` cells and the level sizes form
+//! a geometric series, so total work is **linear in `N`** — exactly as the
+//! original paper advertises. Wu & Keogh's point, which this crate's
+//! benchmark suite reproduces, is about the *constant factor* and the
+//! comparison target: for every realistic `N` and natural warping width the
+//! exact banded `cDTW_w` fills fewer cells than FastDTW's multilevel
+//! cascade, and is exact.
+//!
+//! ## Two implementations, one algorithm
+//!
+//! This module hosts the **tuned** implementation: it shares its inner DP
+//! loop with the exact kernels (see [`windowed`](crate::dtw::windowed)),
+//! reuses buffers, stores its window as per-row ranges, and performs no
+//! per-cell allocation — FastDTW done as well as we know how.
+//!
+//! The [`reference`](mod@reference) submodule is a faithful transliteration of the
+//! *canonical* implementation (Salvador & Chan's reference, as consumed by
+//! the community through the `fastdtw` package): explicit cell-list
+//! windows, a hash-map DP table, full-enumeration base cases. The paper's
+//! timing results are results about that artifact, and the benchmark suite
+//! therefore measures it by default, reporting the tuned variant alongside
+//! as an extension (see EXPERIMENTS.md for what changes and what doesn't).
+
+pub mod reference;
+
+pub use reference::{fastdtw_ref_distance, fastdtw_ref_with_path};
+
+use crate::cost::CostFn;
+use crate::dtw::full::dtw_with_path;
+use crate::dtw::windowed::windowed_with_path;
+use crate::error::{check_finite, check_nonempty, Error, Result};
+use crate::paa::halve;
+use crate::path::WarpingPath;
+use crate::window::SearchWindow;
+
+/// Upper bound on recursion depth: each level halves the series, so 64
+/// levels cover any address space. Used only for a defensive assertion.
+const MAX_LEVELS: u32 = 64;
+
+/// Statistics describing the work one FastDTW invocation performed.
+///
+/// The paper's argument is ultimately about DP cells touched; exposing the
+/// counter lets the benchmark harness report cells as a hardware-independent
+/// work measure alongside wall-clock time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastDtwStats {
+    /// Number of resolution levels, including the exact base case.
+    pub levels: u32,
+    /// Total DP cells filled across all levels.
+    pub cells: u64,
+}
+
+/// FastDTW distance with the given `radius`.
+///
+/// See [`fastdtw_with_path`] for details; this variant discards the path.
+pub fn fastdtw_distance<C: CostFn>(x: &[f64], y: &[f64], radius: usize, cost: C) -> Result<f64> {
+    fastdtw_with_path(x, y, radius, cost).map(|(d, _)| d)
+}
+
+/// FastDTW distance and the (approximate) warping path it commits to.
+pub fn fastdtw_with_path<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    cost: C,
+) -> Result<(f64, WarpingPath)> {
+    let (d, p, _) = fastdtw_with_stats(x, y, radius, cost)?;
+    Ok((d, p))
+}
+
+/// FastDTW distance, path, and work statistics.
+pub fn fastdtw_with_stats<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    cost: C,
+) -> Result<(f64, WarpingPath, FastDtwStats)> {
+    check_nonempty("x", x)?;
+    check_nonempty("y", y)?;
+    check_finite("x", x)?;
+    check_finite("y", y)?;
+    let mut stats = FastDtwStats::default();
+    let (d, p) = recurse(x, y, radius, cost, &mut stats, 0)?;
+    Ok((d, p, stats))
+}
+
+fn recurse<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    cost: C,
+    stats: &mut FastDtwStats,
+    depth: u32,
+) -> Result<(f64, WarpingPath)> {
+    assert!(depth < MAX_LEVELS, "FastDTW recursion failed to converge");
+    stats.levels += 1;
+
+    // Salvador & Chan: below this size the exact computation is cheaper
+    // than further recursion, and the window expansion needs at least this
+    // much room.
+    let min_size = radius + 2;
+    if x.len() <= min_size || y.len() <= min_size {
+        stats.cells += (x.len() * y.len()) as u64;
+        return dtw_with_path(x, y, cost);
+    }
+
+    let shrunk_x = halve(x);
+    let shrunk_y = halve(y);
+    let (_, low_res_path) = recurse(&shrunk_x, &shrunk_y, radius, cost, stats, depth + 1)?;
+
+    let window = SearchWindow::from_low_res_path(&low_res_path, x.len(), y.len(), radius);
+    stats.cells += window.cell_count() as u64;
+    windowed_with_path(x, y, &window, cost)
+}
+
+/// Convenience struct bundling a radius, mirroring
+/// [`BandedDtw`](crate::dtw::banded::BandedDtw) for symmetric APIs in the
+/// benchmark harness.
+#[derive(Debug, Clone, Copy)]
+pub struct FastDtw {
+    radius: usize,
+}
+
+impl FastDtw {
+    /// Creates a FastDTW evaluator with the given radius.
+    pub fn new(radius: usize) -> Self {
+        FastDtw { radius }
+    }
+
+    /// The configured radius.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Computes the approximate distance.
+    pub fn distance<C: CostFn>(&self, x: &[f64], y: &[f64], cost: C) -> Result<f64> {
+        fastdtw_distance(x, y, self.radius, cost)
+    }
+}
+
+/// The approximation error measure proposed in the original FastDTW paper:
+/// `(approx - exact) / exact`, as a fraction (multiply by 100 for percent).
+///
+/// Returns an error if `exact` is negative, or if `exact` is zero while the
+/// approximation is not (the error is unbounded there — the original paper
+/// sidesteps this case; we surface it).
+pub fn approximation_error(approx: f64, exact: f64) -> Result<f64> {
+    if exact < 0.0 || !exact.is_finite() || !approx.is_finite() {
+        return Err(Error::InvalidParameter {
+            name: "exact",
+            reason: "distances must be finite and non-negative".into(),
+        });
+    }
+    if exact == 0.0 {
+        if approx == 0.0 {
+            return Ok(0.0);
+        }
+        return Err(Error::InvalidParameter {
+            name: "exact",
+            reason: "approximation error is unbounded when the exact distance is zero".into(),
+        });
+    }
+    Ok((approx - exact) / exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SquaredCost;
+    use crate::dtw::full::dtw_distance;
+
+    fn rand_series(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut v = 0.0;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v += ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn base_case_is_exact() {
+        // Series short enough to hit the base case directly.
+        let x = [0.0, 1.0, 2.0, 1.0];
+        let y = [0.0, 0.0, 1.0, 2.0];
+        let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+        let approx = fastdtw_distance(&x, &y, 5, SquaredCost).unwrap();
+        assert_eq!(exact, approx);
+    }
+
+    #[test]
+    fn never_below_exact_dtw() {
+        // FastDTW evaluates one admissible path, so it upper-bounds the
+        // optimum.
+        for seed in 0..10 {
+            let x = rand_series(seed, 120);
+            let y = rand_series(seed + 50, 120);
+            let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+            for radius in [0, 1, 3, 10] {
+                let approx = fastdtw_distance(&x, &y, radius, SquaredCost).unwrap();
+                assert!(
+                    approx >= exact - 1e-9,
+                    "seed {seed} radius {radius}: approx {approx} < exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_radius_equals_exact_dtw() {
+        let x = rand_series(1, 60);
+        let y = rand_series(2, 60);
+        let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+        // radius >= len-2 forces the exact base case.
+        let approx = fastdtw_distance(&x, &y, 60, SquaredCost).unwrap();
+        assert!((exact - approx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_radius_never_hurts_much() {
+        // Monotone improvement is not guaranteed in general, but on smooth
+        // random walks the approximation must not blow up with radius.
+        let x = rand_series(7, 200);
+        let y = rand_series(8, 200);
+        let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+        let a1 = fastdtw_distance(&x, &y, 1, SquaredCost).unwrap();
+        let a20 = fastdtw_distance(&x, &y, 20, SquaredCost).unwrap();
+        assert!(a20 <= a1 + exact.max(1.0)); // sanity envelope
+        assert!(a20 >= exact - 1e-9);
+    }
+
+    #[test]
+    fn path_is_valid_and_replays_to_distance() {
+        let x = rand_series(3, 97); // odd length exercises the tail handling
+        let y = rand_series(4, 131);
+        let (d, p) = fastdtw_with_path(&x, &y, 2, SquaredCost).unwrap();
+        assert!(p.validate_for(x.len(), y.len()).is_ok());
+        let replay = p.replay_cost(&x, &y, SquaredCost).unwrap();
+        assert!((replay - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_series_give_zero() {
+        let x = rand_series(5, 150);
+        let d = fastdtw_distance(&x, &x, 1, SquaredCost).unwrap();
+        assert!(d.abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_report_linear_cell_growth() {
+        // Cells should grow roughly linearly in N for fixed radius —
+        // the defining property of FastDTW.
+        let radius = 4;
+        let (_, _, s1) = fastdtw_with_stats(
+            &rand_series(1, 500),
+            &rand_series(2, 500),
+            radius,
+            SquaredCost,
+        )
+        .unwrap();
+        let (_, _, s2) = fastdtw_with_stats(
+            &rand_series(3, 1000),
+            &rand_series(4, 1000),
+            radius,
+            SquaredCost,
+        )
+        .unwrap();
+        let ratio = s2.cells as f64 / s1.cells as f64;
+        assert!(
+            (1.5..3.0).contains(&ratio),
+            "cells should scale ~2x when N doubles, got {ratio} ({} -> {})",
+            s1.cells,
+            s2.cells
+        );
+        assert!(s2.levels > 1);
+    }
+
+    #[test]
+    fn radius_zero_is_legal() {
+        let x = rand_series(11, 64);
+        let y = rand_series(12, 64);
+        let d = fastdtw_distance(&x, &y, 0, SquaredCost).unwrap();
+        let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+        assert!(d >= exact - 1e-9);
+    }
+
+    #[test]
+    fn unequal_and_tiny_lengths() {
+        for (n, m) in [(1, 1), (1, 9), (9, 1), (2, 3), (5, 64), (64, 5)] {
+            let x = rand_series(n as u64, n);
+            let y = rand_series(m as u64 + 99, m);
+            let (d, p) = fastdtw_with_path(&x, &y, 1, SquaredCost).unwrap();
+            assert!(d.is_finite(), "{n}x{m}");
+            assert!(p.validate_for(n, m).is_ok(), "{n}x{m}");
+        }
+    }
+
+    #[test]
+    fn approximation_error_matches_original_papers_metric() {
+        assert_eq!(approximation_error(2.0, 1.0).unwrap(), 1.0);
+        assert_eq!(approximation_error(1.0, 1.0).unwrap(), 0.0);
+        // The paper's Table 2 example: 31.24 vs 0.020 -> 156,100 %.
+        let e = approximation_error(31.24, 0.020).unwrap();
+        assert!((e * 100.0 - 156_100.0).abs() < 1.0);
+        assert!(approximation_error(1.0, 0.0).is_err());
+        assert_eq!(approximation_error(0.0, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert!(fastdtw_distance(&[], &[1.0], 1, SquaredCost).is_err());
+        assert!(fastdtw_distance(&[1.0], &[], 1, SquaredCost).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! # tsdtw-core — exact and approximate Dynamic Time Warping
+//!
+//! The algorithmic heart of the `tsdtw` workspace, which reproduces
+//! Wu & Keogh, *"FastDTW is approximate and Generally Slower than the
+//! Algorithm it Approximates"* (ICDE 2021). It provides, under one roof
+//! and sharing a single DP inner loop:
+//!
+//! * **Full DTW** — [`dtw()`], [`dtw::full`](mod@dtw::full);
+//! * **Constrained DTW** (`cDTW_w`, Sakoe–Chiba band) — [`cdtw()`],
+//!   [`dtw::banded`](mod@dtw::banded), with `w` in the paper's percentage
+//!   convention;
+//! * **FastDTW** (Salvador & Chan 2007) — [`fastdtw()`] (tuned) and
+//!   [`fastdtw::reference`](mod@fastdtw::reference) (the canonical
+//!   implementation);
+//! * the **UCR-suite acceleration stack** that only the exact algorithm can
+//!   use: z-normalization ([`norm`]), Lemire envelopes ([`envelope`]),
+//!   LB_Kim / LB_Keogh / LB_Improved and the pruning cascade
+//!   ([`lower_bounds`]), and early-abandoning DTW
+//!   ([`dtw::early_abandon`]);
+//! * classic variants as extensions: derivative DTW ([`derivative`]) and
+//!   weighted DTW ([`wdtw`]).
+//!
+//! ## Conventions
+//!
+//! * Series are `&[f64]`; all kernels validate for emptiness and
+//!   non-finite values and return [`error::Result`].
+//! * The default local cost is the squared difference and reported
+//!   distances are accumulated costs (no square root), matching the UCR
+//!   archive; wrap a cost in [`cost::Rooted`] for rooted values.
+//! * Warping constraints: `w` (a *percentage* of series length, the
+//!   paper's convention) converts to a cell radius via
+//!   [`dtw::banded::percent_to_band`]. FastDTW's `radius` is in cells at
+//!   each resolution level, exactly as in the original paper — the two
+//!   parameters are *not* comparable, as the paper is at pains to note.
+//!
+//! ## Example
+//!
+//! ```
+//! use tsdtw_core::{dtw, cdtw, fastdtw};
+//!
+//! let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.1).sin()).collect();
+//! let y: Vec<f64> = (0..128).map(|i| (i as f64 * 0.1 + 0.4).sin()).collect();
+//!
+//! let exact_full = dtw(&x, &y).unwrap();
+//! let exact_banded = cdtw(&x, &y, 10.0).unwrap(); // w = 10 % of N
+//! let approx = fastdtw(&x, &y, 10).unwrap();      // r = 10 cells
+//!
+//! assert!(exact_full <= exact_banded);
+//! assert!(exact_full <= approx + 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod cost;
+pub mod derivative;
+pub mod distance;
+pub mod dtw;
+pub mod envelope;
+pub mod error;
+pub mod fastdtw;
+pub mod lower_bounds;
+pub mod matrix;
+pub mod multivariate;
+pub mod norm;
+pub mod open_end;
+pub mod paa;
+pub mod path;
+pub mod subsequence;
+pub mod wdtw;
+pub mod window;
+
+pub use cost::{AbsoluteCost, CostFn, Rooted, SquaredCost};
+pub use distance::{cdtw, dtw, euclidean, fastdtw, sq_euclidean};
+pub use envelope::Envelope;
+pub use error::{Error, Result};
+pub use fastdtw::{
+    fastdtw_distance, fastdtw_ref_distance, fastdtw_ref_with_path, fastdtw_with_path,
+    fastdtw_with_stats, FastDtw, FastDtwStats,
+};
+pub use path::WarpingPath;
+pub use window::SearchWindow;

@@ -1,0 +1,368 @@
+//! The UCR-suite pruning cascade: cheap bounds first, DTW last.
+//!
+//! For a fixed query and a stream of same-length candidates (1-NN search),
+//! the cascade evaluates, in order:
+//!
+//! 1. **LB_Kim** (hierarchical, O(1)) — prunes gross mismatches;
+//! 2. **LB_Keogh(q → c)** (reordered, early-abandoning, O(n)) — candidate
+//!    against the query's envelope;
+//! 3. **LB_Keogh(c → q)** — query against the candidate's envelope, built
+//!    on demand (still O(n) via Lemire);
+//! 4. **early-abandoning banded DTW**, seeded with the cumulative bound
+//!    from stage 2.
+//!
+//! Each stage only runs if the previous one failed to prune. The exact same
+//! distance is returned as a brute-force `cDTW_w` would return — the
+//! cascade is *exact*, just faster, which is the whole point of the paper's
+//! Section 3.4: the approximate algorithm cannot be accelerated this way,
+//! the exact one can.
+
+use crate::cost::SquaredCost;
+use crate::dtw::early_abandon::{cdtw_distance_ea, EaOutcome};
+use crate::envelope::Envelope;
+use crate::error::{Error, Result};
+
+use super::keogh::{
+    lb_keogh_ea, lb_keogh_reordered, lb_keogh_with_contrib, sort_indices_by_magnitude, suffix_sums,
+};
+use super::kim::lb_kim_hierarchy;
+
+/// Which stage of the cascade disposed of a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneStage {
+    /// Pruned by hierarchical LB_Kim.
+    Kim,
+    /// Pruned by LB_Keogh of the candidate against the query envelope.
+    KeoghQC,
+    /// Pruned by LB_Keogh of the query against the candidate envelope.
+    KeoghCQ,
+    /// DTW ran and abandoned early (distance provably above threshold).
+    DtwAbandoned,
+    /// DTW ran to completion; the exact distance was produced.
+    DtwExact,
+}
+
+/// Result of pushing one candidate through the cascade.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeOutcome {
+    /// The stage that decided the candidate's fate.
+    pub stage: PruneStage,
+    /// For `DtwExact`, the exact `cDTW_w` distance. For pruning stages, the
+    /// lower bound that exceeded the threshold.
+    pub value: f64,
+}
+
+impl CascadeOutcome {
+    /// The exact distance, if the cascade computed one below the threshold
+    /// path (i.e. the candidate survived to a full DTW evaluation).
+    pub fn exact_distance(&self) -> Option<f64> {
+        match self.stage {
+            PruneStage::DtwExact => Some(self.value),
+            _ => None,
+        }
+    }
+}
+
+/// Per-stage counters, for reporting pruning power (the UCR papers report
+/// exactly these percentages).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CascadeStats {
+    /// Candidates pruned by LB_Kim.
+    pub pruned_kim: u64,
+    /// Candidates pruned by LB_Keogh (query envelope).
+    pub pruned_keogh_qc: u64,
+    /// Candidates pruned by LB_Keogh (candidate envelope).
+    pub pruned_keogh_cq: u64,
+    /// Candidates on which DTW started but abandoned.
+    pub dtw_abandoned: u64,
+    /// Candidates on which DTW ran to completion.
+    pub dtw_exact: u64,
+}
+
+impl CascadeStats {
+    /// Total candidates processed.
+    pub fn total(&self) -> u64 {
+        self.pruned_kim
+            + self.pruned_keogh_qc
+            + self.pruned_keogh_cq
+            + self.dtw_abandoned
+            + self.dtw_exact
+    }
+
+    /// Fraction of candidates for which the full DP ran to completion.
+    pub fn dtw_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.dtw_exact as f64 / t as f64
+        }
+    }
+}
+
+/// A fixed query prepared for cascaded exact 1-NN under `cDTW_band`.
+///
+/// ```
+/// use tsdtw_core::lower_bounds::Cascade;
+///
+/// let query: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
+/// let near: Vec<f64> = query.iter().map(|v| v + 0.01).collect();
+/// let far: Vec<f64> = query.iter().map(|v| v + 5.0).collect();
+///
+/// let mut cascade = Cascade::new(&query, 3).unwrap();
+/// let mut best = f64::INFINITY;
+/// for c in [&near, &far] {
+///     if let Some(d) = cascade.evaluate(c, best).unwrap().exact_distance() {
+///         best = best.min(d);
+///     }
+/// }
+/// // The near twin sets a tight threshold; the far candidate is pruned
+/// // without a full DP (or abandoned mid-DP) — and the result is exact.
+/// assert!(best < 0.1);
+/// assert_eq!(cascade.stats().total(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cascade {
+    query: Vec<f64>,
+    band: usize,
+    env: Envelope,
+    order: Vec<usize>,
+    stats: CascadeStats,
+    contrib: Vec<f64>,
+}
+
+impl Cascade {
+    /// Prepares the cascade for `query` under a Sakoe–Chiba band of `band`
+    /// cells. The query should normally be z-normalized (as should the
+    /// candidates) — the bounds stay valid either way, just looser.
+    pub fn new(query: &[f64], band: usize) -> Result<Self> {
+        if query.is_empty() {
+            return Err(Error::EmptyInput { which: "query" });
+        }
+        let env = Envelope::new(query, band)?;
+        let order = sort_indices_by_magnitude(query);
+        Ok(Cascade {
+            query: query.to_vec(),
+            band,
+            env,
+            order,
+            stats: CascadeStats::default(),
+            contrib: Vec::new(),
+        })
+    }
+
+    /// The band radius in cells.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// Accumulated pruning statistics.
+    pub fn stats(&self) -> CascadeStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CascadeStats::default();
+    }
+
+    /// Pushes one candidate through the cascade against the current
+    /// best-so-far (squared-cost domain). Returns how it was disposed of.
+    pub fn evaluate(&mut self, candidate: &[f64], bsf: f64) -> Result<CascadeOutcome> {
+        if candidate.len() != self.query.len() {
+            return Err(Error::LengthMismatch {
+                x_len: self.query.len(),
+                y_len: candidate.len(),
+            });
+        }
+
+        // Stage 1: LB_Kim.
+        let kim = lb_kim_hierarchy(&self.query, candidate, bsf)?;
+        if kim >= bsf {
+            self.stats.pruned_kim += 1;
+            return Ok(CascadeOutcome {
+                stage: PruneStage::Kim,
+                value: kim,
+            });
+        }
+
+        // Stage 2: reordered early-abandoning LB_Keogh(q -> c).
+        let keogh_qc = lb_keogh_reordered(candidate, &self.env, &self.order, bsf)?;
+        if keogh_qc >= bsf {
+            self.stats.pruned_keogh_qc += 1;
+            return Ok(CascadeOutcome {
+                stage: PruneStage::KeoghQC,
+                value: keogh_qc,
+            });
+        }
+
+        // Stage 3: LB_Keogh(c -> q) with the candidate's own envelope.
+        let cand_env = Envelope::new(candidate, self.band)?;
+        let keogh_cq = lb_keogh_ea(&self.query, &cand_env, bsf)?;
+        if keogh_cq >= bsf {
+            self.stats.pruned_keogh_cq += 1;
+            return Ok(CascadeOutcome {
+                stage: PruneStage::KeoghCQ,
+                value: keogh_cq,
+            });
+        }
+
+        // Stage 4: early-abandoning DTW seeded with the cumulative bound
+        // from the query-envelope pass (recomputed with per-index detail).
+        let _ = lb_keogh_with_contrib(candidate, &self.env, &mut self.contrib)?;
+        let cb = suffix_sums(&self.contrib);
+        match cdtw_distance_ea(
+            &self.query,
+            candidate,
+            self.band,
+            bsf,
+            Some(&cb),
+            SquaredCost,
+        )? {
+            EaOutcome::Exact(d) => {
+                self.stats.dtw_exact += 1;
+                Ok(CascadeOutcome {
+                    stage: PruneStage::DtwExact,
+                    value: d,
+                })
+            }
+            EaOutcome::Abandoned { .. } => {
+                self.stats.dtw_abandoned += 1;
+                Ok(CascadeOutcome {
+                    stage: PruneStage::DtwAbandoned,
+                    value: bsf,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::banded::cdtw_distance;
+    use crate::norm::znorm;
+
+    fn rand_series(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut v = 0.0;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v += ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                v
+            })
+            .collect()
+    }
+
+    /// Brute-force 1-NN against a pool, then verify the cascade finds the
+    /// same nearest neighbor and distance — the exactness guarantee.
+    #[test]
+    fn cascade_1nn_matches_brute_force() {
+        let n = 64;
+        let band = 5;
+        let query = znorm(&rand_series(999, n)).unwrap();
+        let pool: Vec<Vec<f64>> = (0..40)
+            .map(|s| znorm(&rand_series(s, n)).unwrap())
+            .collect();
+
+        // Brute force.
+        let mut bf_best = f64::INFINITY;
+        let mut bf_idx = usize::MAX;
+        for (i, c) in pool.iter().enumerate() {
+            let d = cdtw_distance(&query, c, band, SquaredCost).unwrap();
+            if d < bf_best {
+                bf_best = d;
+                bf_idx = i;
+            }
+        }
+
+        // Cascade.
+        let mut cascade = Cascade::new(&query, band).unwrap();
+        let mut best = f64::INFINITY;
+        let mut best_idx = usize::MAX;
+        for (i, c) in pool.iter().enumerate() {
+            let out = cascade.evaluate(c, best).unwrap();
+            if let Some(d) = out.exact_distance() {
+                if d < best {
+                    best = d;
+                    best_idx = i;
+                }
+            }
+        }
+
+        assert_eq!(best_idx, bf_idx);
+        assert!((best - bf_best).abs() < 1e-9);
+        // The cascade must have processed everything exactly once.
+        assert_eq!(cascade.stats().total(), pool.len() as u64);
+    }
+
+    #[test]
+    fn cascade_prunes_most_candidates_on_separated_data() {
+        let n = 128;
+        let band = 6;
+        let query = znorm(&rand_series(1, n)).unwrap();
+        let mut cascade = Cascade::new(&query, band).unwrap();
+        // Seed the threshold with the query's own distance to a near-twin.
+        let twin: Vec<f64> = query.iter().map(|v| v + 0.01).collect();
+        let near = cdtw_distance(&query, &twin, band, SquaredCost).unwrap();
+        let mut bsf = near + 1e-9;
+        let mut pruned = 0;
+        for s in 0..50 {
+            let c = znorm(&rand_series(s + 10_000, n)).unwrap();
+            let out = cascade.evaluate(&c, bsf).unwrap();
+            match out.stage {
+                PruneStage::DtwExact => {
+                    if out.value < bsf {
+                        bsf = out.value;
+                    }
+                }
+                _ => pruned += 1,
+            }
+        }
+        assert!(
+            pruned > 25,
+            "expected most random candidates pruned against a tight threshold, got {pruned}/50"
+        );
+    }
+
+    #[test]
+    fn evaluate_rejects_wrong_length() {
+        let query = rand_series(1, 32);
+        let mut cascade = Cascade::new(&query, 3).unwrap();
+        assert!(cascade
+            .evaluate(&rand_series(2, 31), f64::INFINITY)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert!(Cascade::new(&[], 3).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let query = znorm(&rand_series(5, 40)).unwrap();
+        let mut cascade = Cascade::new(&query, 4).unwrap();
+        for s in 0..10 {
+            let c = znorm(&rand_series(s + 100, 40)).unwrap();
+            cascade.evaluate(&c, 0.5).unwrap();
+        }
+        assert_eq!(cascade.stats().total(), 10);
+        cascade.reset_stats();
+        assert_eq!(cascade.stats().total(), 0);
+    }
+
+    #[test]
+    fn infinite_threshold_always_reaches_exact_dtw() {
+        let query = rand_series(3, 50);
+        let mut cascade = Cascade::new(&query, 5).unwrap();
+        let c = rand_series(4, 50);
+        let out = cascade.evaluate(&c, f64::INFINITY).unwrap();
+        assert_eq!(out.stage, PruneStage::DtwExact);
+        let exact = cdtw_distance(&query, &c, 5, SquaredCost).unwrap();
+        assert!((out.value - exact).abs() < 1e-9);
+    }
+}

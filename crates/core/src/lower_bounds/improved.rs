@@ -1,0 +1,115 @@
+//! LB_Improved (Lemire 2009): a two-pass envelope bound tighter than
+//! LB_Keogh.
+//!
+//! Pass one is plain `LB_Keogh(q, c)`: charge `c`'s excursions outside `q`'s
+//! envelope. Pass two projects `c` onto that envelope — `h[i] = clamp(c[i],
+//! L[i], U[i])` — and charges `q`'s excursions outside *`h`'s* envelope.
+//! The two charge disjoint cost components of any banded alignment, so
+//! their sum is still a lower bound, and it is never smaller than LB_Keogh
+//! alone.
+
+use crate::envelope::Envelope;
+use crate::error::{Error, Result};
+
+use super::keogh::lb_keogh;
+
+/// LB_Improved of candidate `c` against query `q` whose band-`band`
+/// envelope is `env` (i.e. `env == Envelope::new(q, band)`).
+///
+/// Costs `O(n)` like LB_Keogh but with a second envelope construction; use
+/// it as the stage between LB_Keogh and full DTW in a cascade.
+pub fn lb_improved(q: &[f64], c: &[f64], env: &Envelope, band: usize) -> Result<f64> {
+    if q.len() != env.len() {
+        return Err(Error::LengthMismatch {
+            x_len: q.len(),
+            y_len: env.len(),
+        });
+    }
+    let first = lb_keogh(c, env)?;
+    // Project the candidate onto the query's envelope.
+    let h: Vec<f64> = c
+        .iter()
+        .zip(env.upper.iter().zip(&env.lower))
+        .map(|(&ci, (&u, &l))| ci.clamp(l, u))
+        .collect();
+    let h_env = Envelope::new(&h, band)?;
+    let second = lb_keogh(q, &h_env)?;
+    Ok(first + second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SquaredCost;
+    use crate::dtw::banded::cdtw_distance;
+
+    fn rand_series(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn never_exceeds_cdtw() {
+        for seed in 0..25 {
+            let q = rand_series(seed, 60);
+            let c = rand_series(seed + 300, 60);
+            for band in [1usize, 3, 8] {
+                let env = Envelope::new(&q, band).unwrap();
+                let lb = lb_improved(&q, &c, &env, band).unwrap();
+                let d = cdtw_distance(&q, &c, band, SquaredCost).unwrap();
+                assert!(lb <= d + 1e-9, "seed {seed} band {band}: {lb} > {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_as_tight_as_lb_keogh() {
+        for seed in 0..25 {
+            let q = rand_series(seed, 48);
+            let c = rand_series(seed + 900, 48);
+            let band = 4;
+            let env = Envelope::new(&q, band).unwrap();
+            let keogh = lb_keogh(&c, &env).unwrap();
+            let improved = lb_improved(&q, &c, &env, band).unwrap();
+            assert!(improved >= keogh - 1e-12);
+        }
+    }
+
+    #[test]
+    fn strictly_tighter_on_some_input() {
+        // A case where the candidate sits inside the query's envelope (so
+        // LB_Keogh = 0) but the query escapes the projected candidate's
+        // envelope (so LB_Improved > 0).
+        let q = [0.0, 5.0, 0.0, -5.0, 0.0, 5.0, 0.0, -5.0, 0.0];
+        let c = [0.0; 9];
+        let band = 1;
+        let env = Envelope::new(&q, band).unwrap();
+        let keogh = lb_keogh(&c, &env).unwrap();
+        let improved = lb_improved(&q, &c, &env, band).unwrap();
+        assert_eq!(keogh, 0.0);
+        assert!(improved > 0.0);
+        let d = cdtw_distance(&q, &c, band, SquaredCost).unwrap();
+        assert!(improved <= d + 1e-9);
+    }
+
+    #[test]
+    fn zero_for_identical_series() {
+        let q = rand_series(7, 30);
+        let env = Envelope::new(&q, 3).unwrap();
+        assert_eq!(lb_improved(&q, &q, &env, 3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_query() {
+        let q = [0.0, 1.0, 2.0];
+        let env = Envelope::new(&[0.0, 1.0], 1).unwrap();
+        assert!(lb_improved(&q, &[0.0, 1.0], &env, 1).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! LB_Kim: constant-time-ish lower bounds from boundary points.
+//!
+//! Any warping path must align the first points of both series and the last
+//! points of both series, so their pointwise costs always contribute. The
+//! hierarchy variant adds the second and third points from each end with
+//! the cheapest admissible alignment, as in the UCR suite — still O(1), but
+//! noticeably tighter on z-normalized data.
+
+use crate::error::{check_nonempty, Result};
+
+#[inline(always)]
+fn d(a: f64, b: f64) -> f64 {
+    let v = a - b;
+    v * v
+}
+
+/// The simplest LB_Kim: cost of aligning first-with-first plus
+/// last-with-last.
+pub fn lb_kim_fl(x: &[f64], y: &[f64]) -> Result<f64> {
+    check_nonempty("x", x)?;
+    check_nonempty("y", y)?;
+    let mut lb = d(x[0], y[0]);
+    if x.len() > 1 || y.len() > 1 {
+        lb += d(x[x.len() - 1], y[y.len() - 1]);
+    }
+    Ok(lb)
+}
+
+/// The UCR-suite hierarchical LB_Kim: boundary points plus the cheapest
+/// admissible alignment of the second and third points from each end, with
+/// early exit against `bsf`.
+///
+/// Returns a valid lower bound in all cases; once the running bound exceeds
+/// `bsf` it returns immediately (the partial sum is itself a lower bound).
+/// Requires series of length ≥ 6 to apply the deeper tiers; shorter series
+/// fall back to [`lb_kim_fl`].
+pub fn lb_kim_hierarchy(x: &[f64], y: &[f64], bsf: f64) -> Result<f64> {
+    check_nonempty("x", x)?;
+    check_nonempty("y", y)?;
+    let n = x.len();
+    let m = y.len();
+    if n < 6 || m < 6 {
+        return lb_kim_fl(x, y);
+    }
+
+    // Tier 1: the corners are forced alignments.
+    let mut lb = d(x[0], y[0]) + d(x[n - 1], y[m - 1]);
+    if lb >= bsf {
+        return Ok(lb);
+    }
+
+    // Tier 2 (front): the second point of either series must align to one
+    // of {(x1,y0), (x0,y1), (x1,y1)}; charging the min is admissible.
+    lb += d(x[1], y[0]).min(d(x[0], y[1])).min(d(x[1], y[1]));
+    if lb >= bsf {
+        return Ok(lb);
+    }
+
+    // Tier 2 (back).
+    lb += d(x[n - 2], y[m - 1])
+        .min(d(x[n - 1], y[m - 2]))
+        .min(d(x[n - 2], y[m - 2]));
+    if lb >= bsf {
+        return Ok(lb);
+    }
+
+    // Tier 3 (front): third points; the admissible alignments for position
+    // 2 involve indices ≤ 2 on both sides beyond those already charged.
+    lb += d(x[2], y[0])
+        .min(d(x[2], y[1]))
+        .min(d(x[2], y[2]))
+        .min(d(x[1], y[2]))
+        .min(d(x[0], y[2]));
+    if lb >= bsf {
+        return Ok(lb);
+    }
+
+    // Tier 3 (back).
+    lb += d(x[n - 3], y[m - 1])
+        .min(d(x[n - 3], y[m - 2]))
+        .min(d(x[n - 3], y[m - 3]))
+        .min(d(x[n - 2], y[m - 3]))
+        .min(d(x[n - 1], y[m - 3]));
+    Ok(lb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SquaredCost;
+    use crate::dtw::full::dtw_distance;
+
+    fn rand_series(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fl_bound_is_corner_costs() {
+        let x = [1.0, 5.0, 2.0];
+        let y = [0.0, 9.0, 4.0];
+        // (1-0)^2 + (2-4)^2 = 1 + 4.
+        assert_eq!(lb_kim_fl(&x, &y).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn fl_singletons() {
+        assert_eq!(lb_kim_fl(&[2.0], &[5.0]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn both_bounds_never_exceed_full_dtw() {
+        for seed in 0..30 {
+            let x = rand_series(seed, 40);
+            let y = rand_series(seed + 1000, 40);
+            let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+            let fl = lb_kim_fl(&x, &y).unwrap();
+            let h = lb_kim_hierarchy(&x, &y, f64::INFINITY).unwrap();
+            assert!(
+                fl <= exact + 1e-12,
+                "seed {seed}: LB_Kim_FL {fl} > DTW {exact}"
+            );
+            assert!(
+                h <= exact + 1e-12,
+                "seed {seed}: LB_Kim_hier {h} > DTW {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_at_least_as_tight_as_fl() {
+        for seed in 0..20 {
+            let x = rand_series(seed, 25);
+            let y = rand_series(seed + 77, 25);
+            let fl = lb_kim_fl(&x, &y).unwrap();
+            let h = lb_kim_hierarchy(&x, &y, f64::INFINITY).unwrap();
+            assert!(h >= fl - 1e-12);
+        }
+    }
+
+    #[test]
+    fn hierarchy_early_exit_returns_partial_bound() {
+        let x = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let y = [10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0];
+        // Corners alone contribute 200; with bsf = 1 the early exit fires.
+        let lb = lb_kim_hierarchy(&x, &y, 1.0).unwrap();
+        assert!(lb >= 200.0 - 1e-12);
+        let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+        assert!(lb <= exact + 1e-12);
+    }
+
+    #[test]
+    fn short_series_fall_back_to_fl() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.5, 1.5, 2.5];
+        assert_eq!(
+            lb_kim_hierarchy(&x, &y, f64::INFINITY).unwrap(),
+            lb_kim_fl(&x, &y).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_for_identical_series() {
+        let x = rand_series(3, 30);
+        assert_eq!(lb_kim_hierarchy(&x, &x, f64::INFINITY).unwrap(), 0.0);
+    }
+}

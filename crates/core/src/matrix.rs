@@ -1,0 +1,177 @@
+//! Matrix storage for DP kernels that need full traceback information.
+//!
+//! Distance-only kernels in this crate use rolling two-row storage and never
+//! touch these types; the `with_path` variants store one byte of traceback
+//! direction per *admissible* cell. For windowed computations the storage is
+//! compacted to the window (`O(window cells)`, not `O(n·m)`), which is what
+//! lets `cDTW` on `N = 24,000` series (the paper's Case B) run in a few
+//! megabytes instead of four gigabytes.
+
+use crate::path::Direction;
+use crate::window::SearchWindow;
+
+/// A dense row-major matrix. Used for full-DTW traceback planes and exposed
+/// for tests and visualization helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix<T> {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> DenseMatrix<T> {
+    /// Allocates an `n_rows × n_cols` matrix filled with `fill`.
+    pub fn filled(n_rows: usize, n_cols: usize, fill: T) -> Self {
+        DenseMatrix {
+            n_rows,
+            n_cols,
+            data: vec![fill; n_rows * n_cols],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Reads cell `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        self.data[i * self.n_cols + j]
+    }
+
+    /// Writes cell `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.n_rows && j < self.n_cols);
+        self.data[i * self.n_cols + j] = v;
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+}
+
+/// Traceback directions stored compactly over the cells of a
+/// [`SearchWindow`].
+///
+/// Cell `(i, j)` with `j` inside row `i`'s window interval lives at
+/// `row_offset[i] + (j - lo[i])`.
+#[derive(Debug, Clone)]
+pub struct WindowedDirections {
+    row_offsets: Vec<usize>,
+    row_lo: Vec<usize>,
+    data: Vec<u8>,
+}
+
+impl WindowedDirections {
+    /// Allocates traceback storage for every admissible cell of `window`,
+    /// initialized to [`Direction::Unreached`].
+    pub fn for_window(window: &SearchWindow) -> Self {
+        let n_rows = window.n_rows();
+        let mut row_offsets = Vec::with_capacity(n_rows);
+        let mut row_lo = Vec::with_capacity(n_rows);
+        let mut total = 0usize;
+        for i in 0..n_rows {
+            let (lo, hi) = window.row_bounds(i);
+            row_offsets.push(total);
+            row_lo.push(lo);
+            total += hi - lo + 1;
+        }
+        WindowedDirections {
+            row_offsets,
+            row_lo,
+            data: vec![Direction::Unreached as u8; total],
+        }
+    }
+
+    /// Records the direction for cell `(i, j)`. The cell must be admissible.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, d: Direction) {
+        let idx = self.row_offsets[i] + (j - self.row_lo[i]);
+        self.data[idx] = d as u8;
+    }
+
+    /// Reads the direction for cell `(i, j)`. The cell must be admissible.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Direction {
+        let idx = self.row_offsets[i] + (j - self.row_lo[i]);
+        Direction::from_u8(self.data[idx])
+    }
+
+    /// Walks the direction plane from `(n-1, m-1)` back to `(0, 0)` and
+    /// returns the path cells in forward order.
+    ///
+    /// Panics (in debug) if the plane contains an `Unreached` cell on the
+    /// walk — that would be a kernel bug, not a user error.
+    pub fn traceback(&self, end: (usize, usize)) -> Vec<(usize, usize)> {
+        let (mut i, mut j) = end;
+        let mut cells = Vec::with_capacity(i + j + 1);
+        loop {
+            cells.push((i, j));
+            if i == 0 && j == 0 {
+                break;
+            }
+            match self.get(i, j) {
+                Direction::Diagonal => {
+                    i -= 1;
+                    j -= 1;
+                }
+                Direction::Up => i -= 1,
+                Direction::Left => j -= 1,
+                Direction::Unreached => {
+                    debug_assert!(false, "traceback hit unreached cell ({i}, {j})");
+                    break;
+                }
+            }
+        }
+        cells.reverse();
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matrix_roundtrip() {
+        let mut m = DenseMatrix::filled(3, 4, 0.0f64);
+        m.set(2, 3, 7.5);
+        m.set(0, 0, -1.0);
+        assert_eq!(m.get(2, 3), 7.5);
+        assert_eq!(m.get(0, 0), -1.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 4);
+        assert_eq!(m.row(2), &[0.0, 0.0, 0.0, 7.5]);
+    }
+
+    #[test]
+    fn windowed_directions_compact_storage() {
+        let w = SearchWindow::from_bounds(4, vec![0, 0, 1, 2], vec![1, 2, 3, 3]).unwrap();
+        let d = WindowedDirections::for_window(&w);
+        assert_eq!(d.data.len(), w.cell_count());
+    }
+
+    #[test]
+    fn traceback_follows_directions() {
+        let w = SearchWindow::full(3, 3);
+        let mut d = WindowedDirections::for_window(&w);
+        // Path (0,0) -> (0,1) -> (1,2) -> (2,2).
+        d.set(0, 1, Direction::Left);
+        d.set(1, 2, Direction::Diagonal);
+        d.set(2, 2, Direction::Up);
+        assert_eq!(d.traceback((2, 2)), vec![(0, 0), (0, 1), (1, 2), (2, 2)]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Open-end (prefix) DTW for online alignment and score following.
+//!
+//! Case B of the paper is score alignment: tracking a live performance
+//! against a reference score. The streaming form of that task uses
+//! **open-end DTW** (OE-DTW): the query `x` must be consumed entirely, but
+//! it may align to *any prefix* of the reference `y` — the reported
+//! distance is `min_j D(n-1, j)`, and the matched prefix length falls out
+//! of the argmin. This is the classic Mori/Tormene formulation, included
+//! as an extension of the exact-DTW toolbox (it inherits banding and the
+//! two-row memory profile; there is no FastDTW analogue, since committing
+//! to coarse-level prefixes is exactly what the adversarial example
+//! punishes).
+
+use crate::cost::CostFn;
+use crate::error::{check_finite, check_nonempty, Result};
+
+/// Result of an open-end alignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenEndMatch {
+    /// Accumulated cost of the best full-query-to-prefix alignment.
+    pub distance: f64,
+    /// Index into `y` of the last reference sample matched (the best
+    /// prefix is `y[..=end]`).
+    pub end: usize,
+}
+
+/// Open-end DTW: aligns all of `x` against the best prefix of `y`,
+/// optionally constrained to a Sakoe–Chiba band of `band` cells around the
+/// `x`-indexed diagonal `j = i` (pass `band ≥ max(x.len(), y.len())` for
+/// unconstrained).
+///
+/// ```
+/// use tsdtw_core::open_end::open_end_dtw;
+/// use tsdtw_core::SquaredCost;
+///
+/// // The live feed so far is exactly the first half of the score.
+/// let score: Vec<f64> = (0..40).map(|i| i as f64).collect();
+/// let live: Vec<f64> = score[..20].to_vec();
+/// let m = open_end_dtw(&live, &score, 40, SquaredCost).unwrap();
+/// assert_eq!(m.end, 19);
+/// assert_eq!(m.distance, 0.0);
+/// ```
+pub fn open_end_dtw<C: CostFn>(x: &[f64], y: &[f64], band: usize, cost: C) -> Result<OpenEndMatch> {
+    check_nonempty("x", x)?;
+    check_nonempty("y", y)?;
+    check_finite("x", x)?;
+    check_finite("y", y)?;
+    let n = x.len();
+    let m = y.len();
+
+    // Band around the identity diagonal j = i (prefix alignment assumes
+    // comparable sampling rates; wider bands subsume rate mismatch).
+    let bounds = |i: usize| -> (usize, usize) {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(m - 1);
+        (lo.min(m - 1), hi)
+    };
+
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+
+    let (lo0, hi0) = bounds(0);
+    let mut acc = 0.0;
+    for j in lo0..=hi0 {
+        acc += cost.cost(x[0], y[j]);
+        prev[j] = acc;
+    }
+
+    for (i, &xi) in x.iter().enumerate().skip(1) {
+        let (lo, hi) = bounds(i);
+        let (plo, phi) = bounds(i - 1);
+        for j in lo..=hi {
+            let up = if j >= plo && j <= phi {
+                prev[j]
+            } else {
+                f64::INFINITY
+            };
+            let diag = if j > plo && j - 1 <= phi {
+                prev[j - 1]
+            } else {
+                f64::INFINITY
+            };
+            let left = if j > lo { cur[j - 1] } else { f64::INFINITY };
+            let best = diag.min(up).min(left);
+            cur[j] = if best.is_finite() {
+                cost.cost(xi, y[j]) + best
+            } else {
+                f64::INFINITY
+            };
+        }
+        // Clear stale cells outside the current band before the swap.
+        for v in cur.iter_mut().take(lo) {
+            *v = f64::INFINITY;
+        }
+        for v in cur.iter_mut().skip(hi + 1) {
+            *v = f64::INFINITY;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+
+    let (lo_last, hi_last) = bounds(n - 1);
+    let (mut best_j, mut best) = (lo_last, f64::INFINITY);
+    for (j, &v) in prev.iter().enumerate().take(hi_last + 1).skip(lo_last) {
+        if v < best {
+            best = v;
+            best_j = j;
+        }
+    }
+    Ok(OpenEndMatch {
+        distance: cost.finish(best),
+        end: best_j,
+    })
+}
+
+/// Incremental open-end tracker: feed live samples one at a time and read
+/// the current best prefix match after each — one DP row (`O(m)` with
+/// `O(band)` interesting cells) per sample instead of re-running the whole
+/// DP. The batch function costs `O(t·band)` per update, so a naive tracker
+/// is quadratic over a performance; this one is linear.
+///
+/// Equivalent, sample for sample, to calling [`open_end_dtw`] on the
+/// growing prefix (the test suite pins the equivalence).
+#[derive(Debug, Clone)]
+pub struct OnlineOpenEnd<C: CostFn> {
+    reference: Vec<f64>,
+    band: usize,
+    cost: C,
+    /// DP row for the last pushed sample (index = reference column), plus
+    /// that row's band bounds. Empty until the first push.
+    row: Vec<f64>,
+    bounds: Option<(usize, usize)>,
+    t: usize,
+}
+
+impl<C: CostFn> OnlineOpenEnd<C> {
+    /// Creates a tracker against `reference` with a Sakoe–Chiba band of
+    /// `band` cells around the live-sample-indexed diagonal.
+    pub fn new(reference: &[f64], band: usize, cost: C) -> Result<Self> {
+        check_nonempty("reference", reference)?;
+        check_finite("reference", reference)?;
+        Ok(OnlineOpenEnd {
+            reference: reference.to_vec(),
+            band,
+            cost,
+            row: vec![f64::INFINITY; reference.len()],
+            bounds: None,
+            t: 0,
+        })
+    }
+
+    /// Number of live samples consumed so far.
+    pub fn len(&self) -> usize {
+        self.t
+    }
+
+    /// Whether any samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.t == 0
+    }
+
+    fn band_bounds(&self, i: usize) -> (usize, usize) {
+        let m = self.reference.len();
+        let lo = i.saturating_sub(self.band).min(m - 1);
+        let hi = (i + self.band).min(m - 1);
+        (lo, hi)
+    }
+
+    /// Consumes one live sample and returns the current best full-prefix
+    /// alignment.
+    pub fn push(&mut self, sample: f64) -> Result<OpenEndMatch> {
+        if !sample.is_finite() {
+            return Err(crate::error::Error::NonFiniteInput {
+                which: "sample",
+                index: self.t,
+            });
+        }
+        let i = self.t;
+        let (lo, hi) = self.band_bounds(i);
+        let mut next = vec![f64::INFINITY; self.reference.len()];
+        match self.bounds {
+            None => {
+                // Row 0: prefix sums along the admissible interval.
+                let mut acc = 0.0;
+                for (j, v) in next.iter_mut().enumerate().take(hi + 1).skip(lo) {
+                    acc += self.cost.cost(sample, self.reference[j]);
+                    *v = acc;
+                }
+            }
+            Some((plo, phi)) => {
+                for j in lo..=hi {
+                    let up = if j >= plo && j <= phi {
+                        self.row[j]
+                    } else {
+                        f64::INFINITY
+                    };
+                    let diag = if j > plo && j - 1 <= phi {
+                        self.row[j - 1]
+                    } else {
+                        f64::INFINITY
+                    };
+                    let left = if j > lo { next[j - 1] } else { f64::INFINITY };
+                    let best = diag.min(up).min(left);
+                    next[j] = if best.is_finite() {
+                        self.cost.cost(sample, self.reference[j]) + best
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+            }
+        }
+        self.row = next;
+        self.bounds = Some((lo, hi));
+        self.t += 1;
+
+        let (mut best_j, mut best) = (lo, f64::INFINITY);
+        for (j, &v) in self.row.iter().enumerate().take(hi + 1).skip(lo) {
+            if v < best {
+                best = v;
+                best_j = j;
+            }
+        }
+        Ok(OpenEndMatch {
+            distance: self.cost.finish(best),
+            end: best_j,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SquaredCost;
+    use crate::dtw::full::dtw_distance;
+
+    #[test]
+    fn full_reference_match_equals_plain_dtw_when_suffix_is_expensive() {
+        // If the reference ends right where the query ends, open-end DTW
+        // with the whole reference equals plain DTW.
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y = x.clone();
+        let m = open_end_dtw(&x, &y, y.len(), SquaredCost).unwrap();
+        assert_eq!(m.end, y.len() - 1);
+        assert!(m.distance < 1e-12);
+    }
+
+    #[test]
+    fn finds_the_true_prefix() {
+        // Query = first half of the reference; the rest of the reference
+        // is wildly different, so the match must stop near the midpoint.
+        let full: Vec<f64> = (0..80)
+            .map(|i| {
+                if i < 40 {
+                    (i as f64 * 0.25).sin()
+                } else {
+                    10.0 + i as f64
+                }
+            })
+            .collect();
+        let query: Vec<f64> = full[..40].to_vec();
+        let m = open_end_dtw(&query, &full, full.len(), SquaredCost).unwrap();
+        assert!(
+            (35..=45).contains(&m.end),
+            "prefix should end near sample 40, got {}",
+            m.end
+        );
+        assert!(m.distance < 1e-9);
+    }
+
+    #[test]
+    fn never_exceeds_plain_dtw_against_whole_reference() {
+        // Stopping early is always an option... including at the very end,
+        // so OE-DTW <= DTW(x, y).
+        let x: Vec<f64> = (0..25).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let y: Vec<f64> = (0..40).map(|i| (i as f64 * 0.17).cos()).collect();
+        let oe = open_end_dtw(&x, &y, y.len(), SquaredCost).unwrap();
+        let plain = dtw_distance(&x, &y, SquaredCost).unwrap();
+        assert!(oe.distance <= plain + 1e-9);
+    }
+
+    #[test]
+    fn band_restricts_the_prefix_search() {
+        let x = vec![0.0; 10];
+        let y: Vec<f64> = (0..100).map(|i| i as f64 * 0.001).collect();
+        let m = open_end_dtw(&x, &y, 5, SquaredCost).unwrap();
+        // With a 5-cell band around j = i, the match cannot end past 14.
+        assert!(m.end <= 14, "end {}", m.end);
+    }
+
+    #[test]
+    fn online_tracking_follows_a_performance() {
+        // Simulated score following: feed ever-longer live prefixes and
+        // check the matched score position advances monotonically.
+        let score: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        let live: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1 + 0.05).sin()).collect();
+        let mut last_end = 0;
+        for t in (20..=200).step_by(30) {
+            let m = open_end_dtw(&live[..t], &score, 20, SquaredCost).unwrap();
+            assert!(m.end + 1 >= last_end, "tracker went backwards at t={t}");
+            assert!(
+                m.end.abs_diff(t - 1) <= 21,
+                "tracker lost the position at t={t}: {}",
+                m.end
+            );
+            last_end = m.end;
+        }
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert!(open_end_dtw(&[], &[1.0], 1, SquaredCost).is_err());
+        assert!(open_end_dtw(&[1.0], &[], 1, SquaredCost).is_err());
+    }
+
+    #[test]
+    fn online_tracker_matches_batch_at_every_step() {
+        let score: Vec<f64> = (0..120).map(|i| (i as f64 * 0.13).sin() * 2.0).collect();
+        let live: Vec<f64> = (0..120)
+            .map(|i| (i as f64 * 0.13 + 0.07).sin() * 2.0)
+            .collect();
+        for band in [3usize, 10, 120] {
+            let mut tracker = OnlineOpenEnd::new(&score, band, SquaredCost).unwrap();
+            for t in 0..live.len() {
+                let online = tracker.push(live[t]).unwrap();
+                let batch = open_end_dtw(&live[..=t], &score, band, SquaredCost).unwrap();
+                assert!(
+                    (online.distance - batch.distance).abs() < 1e-9,
+                    "band {band} t {t}: {online:?} vs {batch:?}"
+                );
+                assert_eq!(online.end, batch.end, "band {band} t {t}");
+            }
+            assert_eq!(tracker.len(), live.len());
+        }
+    }
+
+    #[test]
+    fn online_tracker_rejects_bad_inputs() {
+        assert!(OnlineOpenEnd::new(&[], 3, SquaredCost).is_err());
+        let mut t = OnlineOpenEnd::new(&[1.0, 2.0], 1, SquaredCost).unwrap();
+        assert!(t.push(f64::NAN).is_err());
+        assert!(t.push(1.5).is_ok());
+    }
+}

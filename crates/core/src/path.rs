@@ -1,0 +1,255 @@
+//! Warping paths: the alignment a DTW computation discovers.
+//!
+//! A warping path for series of lengths `n` and `m` is a sequence of matrix
+//! cells `(i, j)` satisfying the three classic constraints:
+//!
+//! 1. **boundary** — it starts at `(0, 0)` and ends at `(n-1, m-1)`;
+//! 2. **monotonicity** — `i` and `j` never decrease;
+//! 3. **continuity** — each step moves by at most one in each coordinate,
+//!    and by at least one overall (no repeated cells).
+//!
+//! [`WarpingPath`] enforces these invariants at construction, so every path
+//! handed out by the DP kernels is valid by type.
+
+use crate::cost::CostFn;
+use crate::error::{Error, Result};
+
+/// A validated DTW warping path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpingPath {
+    cells: Vec<(usize, usize)>,
+}
+
+impl WarpingPath {
+    /// Validates and wraps a sequence of cells as a warping path.
+    ///
+    /// The boundary check is relative to the path itself (first cell must be
+    /// `(0,0)`; the last cell defines `(n-1, m-1)`); use
+    /// [`WarpingPath::validate_for`] to additionally pin the path to specific
+    /// series lengths.
+    pub fn new(cells: Vec<(usize, usize)>) -> Result<Self> {
+        if cells.is_empty() {
+            return Err(Error::InvalidPath {
+                reason: "path is empty".into(),
+            });
+        }
+        if cells[0] != (0, 0) {
+            return Err(Error::InvalidPath {
+                reason: format!("path starts at {:?}, not (0, 0)", cells[0]),
+            });
+        }
+        for k in 1..cells.len() {
+            let (pi, pj) = cells[k - 1];
+            let (ci, cj) = cells[k];
+            if ci < pi || cj < pj {
+                return Err(Error::InvalidPath {
+                    reason: format!("non-monotone step {:?} -> {:?}", cells[k - 1], cells[k]),
+                });
+            }
+            let di = ci - pi;
+            let dj = cj - pj;
+            if di > 1 || dj > 1 {
+                return Err(Error::InvalidPath {
+                    reason: format!("discontinuous step {:?} -> {:?}", cells[k - 1], cells[k]),
+                });
+            }
+            if di == 0 && dj == 0 {
+                return Err(Error::InvalidPath {
+                    reason: format!("repeated cell {:?} at position {k}", cells[k]),
+                });
+            }
+        }
+        Ok(WarpingPath { cells })
+    }
+
+    /// Checks that this path aligns series of exactly the given lengths.
+    pub fn validate_for(&self, x_len: usize, y_len: usize) -> Result<()> {
+        let &(li, lj) = self.cells.last().expect("paths are never empty");
+        if x_len == 0 || y_len == 0 {
+            return Err(Error::InvalidPath {
+                reason: "series of length zero".into(),
+            });
+        }
+        if (li, lj) != (x_len - 1, y_len - 1) {
+            return Err(Error::InvalidPath {
+                reason: format!(
+                    "path ends at ({li}, {lj}) but series lengths are ({x_len}, {y_len})"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The path cells in order from `(0,0)`.
+    #[inline]
+    pub fn cells(&self) -> &[(usize, usize)] {
+        &self.cells
+    }
+
+    /// Number of cells on the path. Always in `[max(n,m), n+m-1]`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Paths are never empty; provided for clippy-friendliness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Recomputes the accumulated cost of this path over concrete series.
+    ///
+    /// Used in tests to verify that the DP's reported distance equals the
+    /// replayed cost of the path it returns, and by FastDTW's evaluation of
+    /// projected paths.
+    pub fn replay_cost<C: CostFn>(&self, x: &[f64], y: &[f64], cost: C) -> Result<f64> {
+        self.validate_for(x.len(), y.len())?;
+        let acc: f64 = self.cells.iter().map(|&(i, j)| cost.cost(x[i], y[j])).sum();
+        Ok(cost.finish(acc))
+    }
+
+    /// Maximum absolute deviation `|i - j|` of the path from the main
+    /// diagonal, in cells. For equal-length series this is the smallest
+    /// Sakoe–Chiba radius under which this exact path remains admissible —
+    /// the paper's notion of the *natural* warping amount `W` (as cells;
+    /// divide by `N` for the percentage form the paper uses).
+    pub fn max_diagonal_deviation(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|&(i, j)| i.abs_diff(j))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// For each row `i`, the inclusive range of columns the path visits.
+    /// Helper for window construction and plotting.
+    pub fn row_ranges(&self, n_rows: usize) -> Vec<(usize, usize)> {
+        let mut ranges = vec![(usize::MAX, 0usize); n_rows];
+        for &(i, j) in &self.cells {
+            if i < n_rows {
+                ranges[i].0 = ranges[i].0.min(j);
+                ranges[i].1 = ranges[i].1.max(j);
+            }
+        }
+        ranges
+    }
+}
+
+/// Step directions recorded by DP kernels for traceback, packed as one byte
+/// per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Direction {
+    /// Came from `(i-1, j-1)`.
+    Diagonal = 0,
+    /// Came from `(i-1, j)`.
+    Up = 1,
+    /// Came from `(i, j-1)`.
+    Left = 2,
+    /// Cell was never reached (outside the window).
+    Unreached = 3,
+}
+
+impl Direction {
+    /// Decodes the byte representation written by the DP kernels.
+    #[inline]
+    pub fn from_u8(b: u8) -> Direction {
+        match b {
+            0 => Direction::Diagonal,
+            1 => Direction::Up,
+            2 => Direction::Left,
+            _ => Direction::Unreached,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SquaredCost;
+
+    #[test]
+    fn diagonal_path_is_valid() {
+        let p = WarpingPath::new(vec![(0, 0), (1, 1), (2, 2)]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p.validate_for(3, 3).is_ok());
+        assert_eq!(p.max_diagonal_deviation(), 0);
+    }
+
+    #[test]
+    fn rejects_wrong_start() {
+        assert!(WarpingPath::new(vec![(1, 0), (2, 1)]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(WarpingPath::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_monotone() {
+        assert!(WarpingPath::new(vec![(0, 0), (1, 1), (1, 0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_jump() {
+        assert!(WarpingPath::new(vec![(0, 0), (2, 1)]).is_err());
+    }
+
+    #[test]
+    fn rejects_repeated_cell() {
+        assert!(WarpingPath::new(vec![(0, 0), (0, 0), (1, 1)]).is_err());
+    }
+
+    #[test]
+    fn validate_for_checks_end_cell() {
+        let p = WarpingPath::new(vec![(0, 0), (1, 1)]).unwrap();
+        assert!(p.validate_for(2, 2).is_ok());
+        assert!(p.validate_for(3, 2).is_err());
+        assert!(p.validate_for(2, 3).is_err());
+    }
+
+    #[test]
+    fn replay_cost_sums_local_costs() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 1.0, 4.0];
+        let p = WarpingPath::new(vec![(0, 0), (1, 1), (2, 2)]).unwrap();
+        let c = p.replay_cost(&x, &y, SquaredCost).unwrap();
+        assert_eq!(c, 0.0 + 0.0 + 4.0);
+    }
+
+    #[test]
+    fn replay_cost_rejects_length_mismatch() {
+        let p = WarpingPath::new(vec![(0, 0), (1, 1)]).unwrap();
+        assert!(p
+            .replay_cost(&[0.0, 1.0, 2.0], &[0.0, 1.0], SquaredCost)
+            .is_err());
+    }
+
+    #[test]
+    fn max_deviation_measures_band_requirement() {
+        // Path that wanders 2 cells off the diagonal.
+        let p = WarpingPath::new(vec![(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]).unwrap();
+        assert_eq!(p.max_diagonal_deviation(), 2);
+    }
+
+    #[test]
+    fn row_ranges_cover_visited_columns() {
+        let p = WarpingPath::new(vec![(0, 0), (0, 1), (1, 2), (2, 2)]).unwrap();
+        let r = p.row_ranges(3);
+        assert_eq!(r, vec![(0, 1), (2, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn direction_roundtrip() {
+        for d in [
+            Direction::Diagonal,
+            Direction::Up,
+            Direction::Left,
+            Direction::Unreached,
+        ] {
+            assert_eq!(Direction::from_u8(d as u8), d);
+        }
+    }
+}

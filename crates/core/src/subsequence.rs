@@ -1,0 +1,191 @@
+//! Subsequence DTW (open-begin, open-end): align a whole query against the
+//! best-matching *contiguous region* of a long reference in one DP pass.
+//!
+//! Where [`open_end`](crate::open_end) frees only the end point, this
+//! frees both: the classic SPRING-style formulation initializes every
+//! column of row 0 as a fresh start (`D(0, j) = cost(x₀, y_j)`) and reads
+//! the answer off the minimum of the last row, tracking each cell's start
+//! column so the matched region falls out without a second pass.
+//!
+//! This is the unnormalized, single-DP counterpart of the UCR-style
+//! sliding-window search in `tsdtw-mining` (which z-normalizes every
+//! window and prunes with lower bounds): one pass of `O(n·m)` cells versus
+//! `n` windows of `O(m·w)` cells — the right tool when amplitude is
+//! already comparable and `m` is large.
+//!
+//! ```
+//! use tsdtw_core::subsequence::subsequence_dtw;
+//! use tsdtw_core::SquaredCost;
+//!
+//! let reference: Vec<f64> = (0..100).map(|i| if (40..60).contains(&i) {
+//!     ((i - 40) as f64 * 0.5).sin()
+//! } else {
+//!     5.0
+//! }).collect();
+//! let query: Vec<f64> = (0..20).map(|i| (i as f64 * 0.5).sin()).collect();
+//! let m = subsequence_dtw(&query, &reference, SquaredCost).unwrap();
+//! assert_eq!((m.start, m.end), (40, 59));
+//! assert!(m.distance < 1e-9);
+//! ```
+
+use crate::cost::CostFn;
+use crate::error::{check_finite, check_nonempty, Result};
+
+/// The best open-begin-open-end alignment of a query inside a reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsequenceMatch {
+    /// Accumulated cost of aligning the whole query to
+    /// `reference[start..=end]`.
+    pub distance: f64,
+    /// First reference index of the matched region.
+    pub start: usize,
+    /// Last reference index of the matched region (inclusive).
+    pub end: usize,
+}
+
+/// Aligns all of `query` to the best contiguous region of `reference`.
+///
+/// Time `O(n·m)`, memory `O(m)` (two rolling rows of cost plus start
+/// columns).
+pub fn subsequence_dtw<C: CostFn>(
+    query: &[f64],
+    reference: &[f64],
+    cost: C,
+) -> Result<SubsequenceMatch> {
+    check_nonempty("query", query)?;
+    check_nonempty("reference", reference)?;
+    check_finite("query", query)?;
+    check_finite("reference", reference)?;
+    let m = reference.len();
+
+    // cost rows and, per cell, the start column of the path that got there.
+    let mut prev = vec![0.0f64; m];
+    let mut cur = vec![0.0f64; m];
+    let mut prev_start = vec![0usize; m];
+    let mut cur_start = vec![0usize; m];
+
+    let q0 = query[0];
+    for (j, &rj) in reference.iter().enumerate() {
+        prev[j] = cost.cost(q0, rj);
+        prev_start[j] = j; // every column is a fresh start in row 0
+    }
+
+    for &qi in query.iter().skip(1) {
+        cur[0] = prev[0] + cost.cost(qi, reference[0]);
+        cur_start[0] = prev_start[0];
+        for j in 1..m {
+            let c = cost.cost(qi, reference[j]);
+            // min over (diag, up, left), inheriting the winner's start.
+            let (best, start) = {
+                let diag = prev[j - 1];
+                let up = prev[j];
+                let left = cur[j - 1];
+                if diag <= up && diag <= left {
+                    (diag, prev_start[j - 1])
+                } else if up <= left {
+                    (up, prev_start[j])
+                } else {
+                    (left, cur_start[j - 1])
+                }
+            };
+            cur[j] = c + best;
+            cur_start[j] = start;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(&mut prev_start, &mut cur_start);
+    }
+
+    let (mut best_j, mut best) = (0usize, f64::INFINITY);
+    for (j, &v) in prev.iter().enumerate() {
+        if v < best {
+            best = v;
+            best_j = j;
+        }
+    }
+    Ok(SubsequenceMatch {
+        distance: cost.finish(best),
+        start: prev_start[best_j],
+        end: best_j,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SquaredCost;
+    use crate::dtw::full::dtw_distance;
+
+    #[test]
+    fn exact_embedded_copy_matches_perfectly() {
+        let query: Vec<f64> = (0..25).map(|i| (i as f64 * 0.4).sin() * 2.0).collect();
+        let mut reference = vec![9.0; 120];
+        reference[50..75].copy_from_slice(&query);
+        let m = subsequence_dtw(&query, &reference, SquaredCost).unwrap();
+        assert_eq!(m.start, 50);
+        assert_eq!(m.end, 74);
+        assert!(m.distance < 1e-12);
+    }
+
+    #[test]
+    fn warped_embedded_copy_still_found() {
+        // Stretch the query 1.5x inside the reference.
+        let query: Vec<f64> = (0..20).map(|i| (i as f64 * 0.5).sin()).collect();
+        let stretched: Vec<f64> = (0..30).map(|i| (i as f64 * 0.5 / 1.5).sin()).collect();
+        let mut reference = vec![4.0; 100];
+        reference[30..60].copy_from_slice(&stretched);
+        let m = subsequence_dtw(&query, &reference, SquaredCost).unwrap();
+        // The match must land inside the embedded region (start near its
+        // beginning; end well before the flat suffix). Discrete phase
+        // mismatch along the 1.5x stretch leaves a modest residual cost —
+        // far below the cost of touching the flat background (16/cell).
+        assert!(m.start.abs_diff(30) <= 2, "{m:?}");
+        assert!((m.start + 15..60).contains(&m.end), "{m:?}");
+        assert!(m.distance < 2.0, "{m:?}");
+    }
+
+    #[test]
+    fn whole_reference_match_never_beats_plain_dtw() {
+        // Matching a region is at most as costly as matching everything.
+        let q: Vec<f64> = (0..15).map(|i| (i as f64).cos()).collect();
+        let r: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin()).collect();
+        let sub = subsequence_dtw(&q, &r, SquaredCost).unwrap();
+        let full = dtw_distance(&q, &r, SquaredCost).unwrap();
+        assert!(sub.distance <= full + 1e-9);
+        assert!(sub.start <= sub.end);
+        assert!(sub.end < r.len());
+    }
+
+    #[test]
+    fn start_is_consistent_with_distance() {
+        // Recompute plain DTW on the reported region: must equal the
+        // reported distance (the region is exactly the matched span).
+        let query: Vec<f64> = (0..12).map(|i| (i as f64 * 0.8).sin()).collect();
+        let mut reference = vec![3.0; 60];
+        for (k, &q) in query.iter().enumerate() {
+            reference[20 + k] = q + 0.01 * (k as f64);
+        }
+        let m = subsequence_dtw(&query, &reference, SquaredCost).unwrap();
+        let region = &reference[m.start..=m.end];
+        let check = dtw_distance(&query, region, SquaredCost).unwrap();
+        assert!(
+            (check - m.distance).abs() < 1e-9,
+            "{check} vs {}",
+            m.distance
+        );
+    }
+
+    #[test]
+    fn singleton_query_picks_nearest_sample() {
+        let reference = [5.0, 1.0, -3.0, 0.5];
+        let m = subsequence_dtw(&[0.4], &reference, SquaredCost).unwrap();
+        assert_eq!(m.start, 3);
+        assert_eq!(m.end, 3);
+        assert!((m.distance - 0.01f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert!(subsequence_dtw(&[], &[1.0], SquaredCost).is_err());
+        assert!(subsequence_dtw(&[1.0], &[], SquaredCost).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Weighted DTW (WDTW, Jeong et al. 2011): a soft alternative to the hard
+//! Sakoe–Chiba constraint.
+//!
+//! Instead of forbidding cells far from the diagonal, WDTW multiplies the
+//! local cost of cell `(i, j)` by a logistic weight of the phase difference
+//! `|i − j|`. As the steepness `g` grows, WDTW interpolates from full DTW
+//! (`g = 0` up to a constant factor) toward Euclidean-like behaviour —
+//! the same "a little warping is good, too much is bad" intuition the
+//! paper's Section 3.1 quotes as Ratanamahatana's observation, expressed
+//! smoothly. Included as an extension.
+
+use crate::error::{check_finite, check_nonempty, Error, Result};
+
+/// The logistic weight vector: `w[d] = w_max / (1 + exp(−g · (d − n/2)))`,
+/// normalized so the weights span `(0, w_max)`.
+pub fn logistic_weights(n: usize, g: f64, w_max: f64) -> Result<Vec<f64>> {
+    if n == 0 {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: "length must be positive".into(),
+        });
+    }
+    if !g.is_finite() || g < 0.0 {
+        return Err(Error::InvalidParameter {
+            name: "g",
+            reason: format!("steepness must be finite and non-negative, got {g}"),
+        });
+    }
+    let half = n as f64 / 2.0;
+    Ok((0..n)
+        .map(|d| w_max / (1.0 + (-g * (d as f64 - half)).exp()))
+        .collect())
+}
+
+/// Weighted DTW distance with weights indexed by phase difference
+/// `|i − j|`. `weights.len()` must be at least `max(n, m)`.
+pub fn wdtw_distance(x: &[f64], y: &[f64], weights: &[f64]) -> Result<f64> {
+    check_nonempty("x", x)?;
+    check_nonempty("y", y)?;
+    check_finite("x", x)?;
+    check_finite("y", y)?;
+    check_finite("weights", weights)?;
+    let n = x.len();
+    let m = y.len();
+    if weights.len() < n.max(m) {
+        return Err(Error::InvalidParameter {
+            name: "weights",
+            reason: format!("need at least {} weights, got {}", n.max(m), weights.len()),
+        });
+    }
+
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+
+    let c00 = x[0] - y[0];
+    prev[0] = weights[0] * c00 * c00;
+    for j in 1..m {
+        let c = x[0] - y[j];
+        prev[j] = prev[j - 1] + weights[j] * c * c;
+    }
+    for i in 1..n {
+        let c = x[i] - y[0];
+        cur[0] = prev[0] + weights[i] * c * c;
+        for j in 1..m {
+            let c = x[i] - y[j];
+            let w = weights[i.abs_diff(j)];
+            cur[j] = w * c * c + prev[j - 1].min(prev[j]).min(cur[j - 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    Ok(prev[m - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SquaredCost;
+    use crate::dtw::full::dtw_distance;
+
+    #[test]
+    fn logistic_weights_are_monotone_increasing() {
+        let w = logistic_weights(50, 0.25, 1.0).unwrap();
+        for i in 1..w.len() {
+            assert!(w[i] >= w[i - 1]);
+        }
+        assert!(w[0] < 0.01);
+        assert!(w[49] > 0.99);
+    }
+
+    #[test]
+    fn flat_weights_reproduce_scaled_dtw() {
+        let x = [0.0, 1.0, 3.0, 2.0, 0.0];
+        let y = [0.0, 0.0, 1.0, 3.0, 2.0];
+        let flat = vec![2.0; 5];
+        let wd = wdtw_distance(&x, &y, &flat).unwrap();
+        let d = dtw_distance(&x, &y, SquaredCost).unwrap();
+        assert!((wd - 2.0 * d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_for_identical_series() {
+        let x = [0.3, 1.7, -2.0, 0.5];
+        let w = logistic_weights(4, 0.1, 1.0).unwrap();
+        assert_eq!(wdtw_distance(&x, &x, &w).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn steeper_weights_raise_relative_warping_penalty() {
+        // The defining property of the logistic weighting: the *relative*
+        // price of a large phase difference versus staying on the diagonal
+        // grows with the steepness g.
+        let gentle = logistic_weights(16, 0.05, 1.0).unwrap();
+        let steep = logistic_weights(16, 1.0, 1.0).unwrap();
+        assert!(steep[12] / steep[0] > gentle[12] / gentle[0]);
+    }
+
+    #[test]
+    fn wdtw_is_sandwiched_by_scaled_dtw() {
+        // min(w) · DTW ≤ WDTW ≤ max(w) · DTW: every path's weighted cost is
+        // bounded by its unweighted cost scaled by the extreme weights.
+        let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4).sin() * 2.0).collect();
+        let y: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4 + 0.9).cos()).collect();
+        let w = logistic_weights(24, 0.3, 1.0).unwrap();
+        let wmin = w.iter().cloned().fold(f64::INFINITY, f64::min);
+        let wmax = w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let d = dtw_distance(&x, &y, SquaredCost).unwrap();
+        let wd = wdtw_distance(&x, &y, &w).unwrap();
+        assert!(wd >= wmin * d - 1e-12);
+        assert!(wd <= wmax * d + 1e-12);
+    }
+
+    #[test]
+    fn rejects_short_weight_vector() {
+        assert!(wdtw_distance(&[0.0; 5], &[0.0; 5], &[1.0; 4]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_steepness() {
+        assert!(logistic_weights(10, -1.0, 1.0).is_err());
+        assert!(logistic_weights(0, 0.1, 1.0).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests over the core DP kernels and their supporting
+//! machinery (proptest). These hammer the invariants that the paper's
+//! argument rests on: exactness identities, bound soundness, window
+//! algebra, and the equivalence of every kernel specialization.
+
+use proptest::prelude::*;
+use tsdtw_core::cost::{AbsoluteCost, SquaredCost};
+use tsdtw_core::dtw::banded::{cdtw_distance, cdtw_with_path, percent_to_band, BandedDtw};
+use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea, EaOutcome};
+use tsdtw_core::dtw::full::{dtw_distance, dtw_with_path};
+use tsdtw_core::dtw::windowed::windowed_distance;
+use tsdtw_core::envelope::Envelope;
+use tsdtw_core::lower_bounds::improved::lb_improved;
+use tsdtw_core::lower_bounds::keogh::{lb_keogh, lb_keogh_with_contrib, suffix_sums};
+use tsdtw_core::lower_bounds::kim::lb_kim_hierarchy;
+use tsdtw_core::lower_bounds::yi::lb_yi_symmetric;
+use tsdtw_core::multivariate::{mdtw_d_distance, MultiSeries};
+use tsdtw_core::open_end::open_end_dtw;
+use tsdtw_core::window::SearchWindow;
+
+fn series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 1..max_len)
+}
+
+fn equal_pair(max_len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1..max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-50.0f64..50.0, n..=n),
+            prop::collection::vec(-50.0f64..50.0, n..=n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The textbook O(n·m) reference DP agrees with the rolling-row kernel.
+    #[test]
+    fn full_dtw_matches_naive_reference(x in series(24), y in series(24)) {
+        let n = x.len();
+        let m = y.len();
+        let mut d = vec![vec![f64::INFINITY; m + 1]; n + 1];
+        d[0][0] = 0.0;
+        for i in 1..=n {
+            for j in 1..=m {
+                let c = (x[i - 1] - y[j - 1]).powi(2);
+                d[i][j] = c + d[i - 1][j - 1].min(d[i - 1][j]).min(d[i][j - 1]);
+            }
+        }
+        let fast = dtw_distance(&x, &y, SquaredCost).unwrap();
+        prop_assert!((fast - d[n][m]).abs() < 1e-6 * (1.0 + d[n][m].abs()));
+    }
+
+    /// The windowed kernel with a full window equals the specialized
+    /// full-DTW kernel.
+    #[test]
+    fn windowed_full_equals_specialized((x, y) in equal_pair(40)) {
+        let w = SearchWindow::full(x.len(), y.len());
+        let a = windowed_distance(&x, &y, &w, SquaredCost).unwrap();
+        let b = dtw_distance(&x, &y, SquaredCost).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// The reusable evaluator equals the one-shot function, repeatedly.
+    #[test]
+    fn banded_evaluator_is_stateless_across_calls(
+        (x, y) in equal_pair(32),
+        band in 0usize..8,
+    ) {
+        let mut eval = BandedDtw::new(x.len(), y.len(), band).unwrap();
+        let one = cdtw_distance(&x, &y, band, SquaredCost).unwrap();
+        for _ in 0..3 {
+            prop_assert_eq!(eval.distance(&x, &y, SquaredCost).unwrap(), one);
+        }
+    }
+
+    /// percent_to_band is monotone and hits both endpoints.
+    #[test]
+    fn percent_to_band_monotone(n in 1usize..3000) {
+        let mut last = 0;
+        for w in [0.0, 1.0, 5.0, 20.0, 50.0, 100.0] {
+            let b = percent_to_band(n, w).unwrap();
+            prop_assert!(b >= last);
+            last = b;
+        }
+        prop_assert_eq!(percent_to_band(n, 0.0).unwrap(), 0);
+        prop_assert_eq!(percent_to_band(n, 100.0).unwrap(), n);
+    }
+
+    /// Early abandoning with the genuine LB_Keogh cumulative bound never
+    /// abandons a within-threshold computation (the cb regression).
+    #[test]
+    fn early_abandon_with_real_cb_is_sound((x, y) in equal_pair(48), band in 0usize..6) {
+        let env = Envelope::new(&x, band).unwrap();
+        let mut contrib = Vec::new();
+        lb_keogh_with_contrib(&y, &env, &mut contrib).unwrap();
+        let cb = suffix_sums(&contrib);
+        let exact = cdtw_distance(&x, &y, band, SquaredCost).unwrap();
+        let out =
+            cdtw_distance_ea(&x, &y, band, exact + 1e-9, Some(&cb), SquaredCost).unwrap();
+        prop_assert_eq!(out.distance(), Some(exact));
+    }
+
+    /// Abandonment, when it happens, is always justified.
+    #[test]
+    fn early_abandon_never_lies((x, y) in equal_pair(40), band in 0usize..6, frac in 0.1f64..1.5) {
+        let exact = cdtw_distance(&x, &y, band, SquaredCost).unwrap();
+        let threshold = exact * frac;
+        match cdtw_distance_ea(&x, &y, band, threshold, None, SquaredCost).unwrap() {
+            EaOutcome::Exact(d) => prop_assert!((d - exact).abs() < 1e-9),
+            EaOutcome::Abandoned { .. } => prop_assert!(exact > threshold),
+        }
+    }
+
+    /// Every lower bound is below the constrained distance it bounds.
+    #[test]
+    fn all_bounds_below_cdtw((x, y) in equal_pair(40), band in 0usize..8) {
+        let exact = cdtw_distance(&x, &y, band, SquaredCost).unwrap();
+        let env = Envelope::new(&x, band).unwrap();
+        prop_assert!(lb_keogh(&y, &env).unwrap() <= exact + 1e-9);
+        prop_assert!(lb_improved(&x, &y, &env, band).unwrap() <= exact + 1e-9);
+        prop_assert!(lb_kim_hierarchy(&x, &y, f64::INFINITY).unwrap() <= exact + 1e-9);
+        // LB_Yi bounds full DTW, which is below cDTW.
+        prop_assert!(lb_yi_symmetric(&x, &y).unwrap() <= exact + 1e-9);
+    }
+
+    /// Paths from every with-path kernel replay to their distance.
+    #[test]
+    fn paths_replay((x, y) in equal_pair(32), band in 0usize..8) {
+        let (d1, p1) = dtw_with_path(&x, &y, SquaredCost).unwrap();
+        prop_assert!((p1.replay_cost(&x, &y, SquaredCost).unwrap() - d1).abs() < 1e-9);
+        let (d2, p2) = cdtw_with_path(&x, &y, band, SquaredCost).unwrap();
+        prop_assert!((p2.replay_cost(&x, &y, SquaredCost).unwrap() - d2).abs() < 1e-9);
+        prop_assert!(p2.max_diagonal_deviation() <= band);
+    }
+
+    /// Absolute-cost DTW obeys the same band monotonicity as squared.
+    #[test]
+    fn absolute_cost_band_monotone((x, y) in equal_pair(32)) {
+        let mut last = f64::INFINITY;
+        for band in [0usize, 2, 4, 32] {
+            let d = cdtw_distance(&x, &y, band, AbsoluteCost).unwrap();
+            prop_assert!(d <= last + 1e-9);
+            last = d;
+        }
+    }
+
+    /// Open-end DTW is bounded above by closed-end DTW and its match end
+    /// is in range.
+    #[test]
+    fn open_end_below_closed(x in series(24), y in series(24)) {
+        let band = x.len().max(y.len());
+        let oe = open_end_dtw(&x, &y, band, SquaredCost).unwrap();
+        let closed = dtw_distance(&x, &y, SquaredCost).unwrap();
+        prop_assert!(oe.distance <= closed + 1e-9);
+        prop_assert!(oe.end < y.len());
+    }
+
+    /// Dependent multivariate DTW on duplicated channels scales the
+    /// univariate distance by the dimension count.
+    #[test]
+    fn multivariate_duplicated_channels((x, y) in equal_pair(24), dim in 1usize..4) {
+        let mx = MultiSeries::from_channels(&vec![x.clone(); dim]).unwrap();
+        let my = MultiSeries::from_channels(&vec![y.clone(); dim]).unwrap();
+        let multi = mdtw_d_distance(&mx, &my, x.len()).unwrap();
+        let uni = dtw_distance(&x, &y, SquaredCost).unwrap();
+        prop_assert!((multi - dim as f64 * uni).abs() < 1e-6 * (1.0 + multi.abs()));
+    }
+
+    /// Sakoe–Chiba windows are always valid and grow with the band.
+    #[test]
+    fn band_windows_valid_and_monotone(n in 1usize..80, m in 1usize..80) {
+        let mut last = 0;
+        for band in [0usize, 1, 3, 10, 100] {
+            let w = SearchWindow::sakoe_chiba(n, m, band);
+            prop_assert!(w.validate().is_ok());
+            prop_assert!(w.cell_count() >= last);
+            last = w.cell_count();
+        }
+    }
+
+    /// Dilation only grows windows and preserves validity.
+    #[test]
+    fn dilation_grows(n in 2usize..40, band in 0usize..5, r in 0usize..5) {
+        let w = SearchWindow::sakoe_chiba(n, n, band);
+        let d = w.dilate(r);
+        prop_assert!(d.validate().is_ok());
+        prop_assert!(d.cell_count() >= w.cell_count());
+        for i in 0..n {
+            let (lo, hi) = w.row_bounds(i);
+            for j in lo..=hi {
+                prop_assert!(d.contains(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! The adversarial pair of the paper's Table 2 / Fig. 7 / Fig. 8 /
+//! Appendix A: two series that Full DTW finds almost identical but
+//! FastDTW misjudges by orders of magnitude.
+//!
+//! Appendix A explains the mechanism: PAA coarsening "depresses the
+//! important features and (relatively) magnifies a tiny feature that warps
+//! in the opposite direction to the original time series. It is this
+//! 'wrong way' warping that is passed up to a finer resolution for
+//! refinement. Once the low resolution approximation of FastDTW has
+//! committed to warping in the wrong direction, it cannot recover."
+//!
+//! Our construction realizes that recipe directly:
+//!
+//! * Each series carries a **large high-frequency feature** — an
+//!   alternating ±h spike train whose pairs average to exactly zero under
+//!   FastDTW's 2:1 coarsening, so it is *invisible* at every level except
+//!   the full resolution. Series A has it early, series B late: aligning
+//!   them needs a strong "rightward" (above-diagonal) warp.
+//! * Each series also carries a **tiny smooth bump** that *survives*
+//!   coarsening. A has it late, B early — the opposite phase. At every
+//!   coarse level the bumps are the only features, so the low-resolution
+//!   path commits to the "leftward" (below-diagonal) warp.
+//!
+//! With any radius much smaller than the series length, FastDTW's
+//! projected window around the leftward path excludes the rightward path
+//! entirely, and it must pay the full energy of both spike trains.
+
+use tsdtw_core::error::{Error, Result};
+
+/// Length of the adversarial series.
+pub const LEN: usize = 1024;
+
+/// Amplitude of the spike train (the "important feature").
+pub const SPIKE_AMP: f64 = 1.0;
+
+/// Amplitude of the smooth decoy bump (the "tiny feature").
+pub const BUMP_AMP: f64 = 0.02;
+
+/// The adversarial trio: `a` and `b` are near-twins under Full DTW; `c` is
+/// genuinely far from both, giving the Table 2 matrix its third row.
+#[derive(Debug, Clone)]
+pub struct AdversarialTrio {
+    /// Spike train early, decoy bump late.
+    pub a: Vec<f64>,
+    /// Spike train late, decoy bump early.
+    pub b: Vec<f64>,
+    /// A distinct mid-energy series, far from both under any measure.
+    pub c: Vec<f64>,
+}
+
+/// Adds an alternating ±`amp` spike train over `[start, start + len)`.
+/// `start` and `len` must be even so 2:1 pairwise averaging cancels it
+/// exactly.
+fn add_spike_train(s: &mut [f64], start: usize, len: usize, amp: f64) {
+    debug_assert!(start.is_multiple_of(2) && len.is_multiple_of(2));
+    for k in 0..len {
+        s[start + k] += if k % 2 == 0 { amp } else { -amp };
+    }
+}
+
+/// Adds a smooth Gaussian bump centered at `center` with width `sigma`.
+fn add_bump(s: &mut [f64], center: f64, sigma: f64, amp: f64) {
+    for (i, v) in s.iter_mut().enumerate() {
+        let z = (i as f64 - center) / sigma;
+        if z.abs() < 6.0 {
+            *v += amp * (-0.5 * z * z).exp();
+        }
+    }
+}
+
+/// Builds the adversarial trio. Deterministic — the construction is exact,
+/// not sampled (noise would leak the spike trains into the coarse levels).
+pub fn trio() -> AdversarialTrio {
+    let n = LEN;
+
+    // Series A: spikes early (rows 96..224), decoy bump late (~800).
+    let mut a = vec![0.0; n];
+    add_spike_train(&mut a, 96, 128, SPIKE_AMP);
+    add_bump(&mut a, 800.0, 40.0, BUMP_AMP);
+
+    // Series B: spikes late (768..896), decoy bump early (~224).
+    let mut b = vec![0.0; n];
+    add_spike_train(&mut b, 768, 128, SPIKE_AMP);
+    add_bump(&mut b, 224.0, 40.0, BUMP_AMP);
+
+    // Series C: a smooth mid-amplitude oscillation, unrelated to both.
+    let c: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = i as f64 / n as f64;
+            0.35 * (std::f64::consts::TAU * 3.0 * x).sin()
+        })
+        .collect();
+
+    AdversarialTrio { a, b, c }
+}
+
+/// The paper's approximation-error metric for this pair, in percent:
+/// `100 · (FastDTW_r(a,b) − DTW(a,b)) / DTW(a,b)`.
+pub fn headline_error_percent(radius: usize) -> Result<f64> {
+    let t = trio();
+    let exact = tsdtw_core::dtw(&t.a, &t.b)?;
+    let approx = tsdtw_core::fastdtw(&t.a, &t.b, radius)?;
+    if exact <= 0.0 {
+        return Err(Error::InvalidParameter {
+            name: "exact",
+            reason: "degenerate adversarial pair: exact distance is zero".into(),
+        });
+    }
+    Ok(100.0 * (approx - exact) / exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_core::paa::halve;
+    use tsdtw_core::{dtw, fastdtw};
+
+    #[test]
+    fn spike_trains_vanish_under_one_halving() {
+        let t = trio();
+        let ha = halve(&t.a);
+        let hb = halve(&t.b);
+        // After halving, only the bump remains: max magnitude ≈ BUMP_AMP.
+        let max_a = ha.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let max_b = hb.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(
+            max_a <= BUMP_AMP * 1.01,
+            "spikes leaked into coarse A: {max_a}"
+        );
+        assert!(
+            max_b <= BUMP_AMP * 1.01,
+            "spikes leaked into coarse B: {max_b}"
+        );
+        assert!(max_a > BUMP_AMP * 0.5, "bump vanished from coarse A");
+    }
+
+    #[test]
+    fn full_dtw_finds_near_twins() {
+        let t = trio();
+        let d = dtw(&t.a, &t.b).unwrap();
+        // Only the two misaligned decoy bumps contribute.
+        assert!(d < 0.2, "Full DTW should be tiny, got {d}");
+    }
+
+    #[test]
+    fn fastdtw_20_misjudges_by_orders_of_magnitude() {
+        let t = trio();
+        let exact = dtw(&t.a, &t.b).unwrap();
+        let approx = fastdtw(&t.a, &t.b, 20).unwrap();
+        assert!(
+            approx > 100.0 * exact,
+            "FastDTW_20 should be catastrophically wrong: exact {exact}, approx {approx}"
+        );
+        // It pays roughly both spike trains' energy.
+        assert!(approx > 100.0, "approx {approx}");
+    }
+
+    #[test]
+    fn coarse_warp_goes_the_wrong_way() {
+        use tsdtw_core::dtw::full::dtw_with_path;
+        use tsdtw_core::SquaredCost;
+        let t = trio();
+        // Coarsen three times (8:1, as in the paper's Fig. 8).
+        let mut ca = t.a.clone();
+        let mut cb = t.b.clone();
+        for _ in 0..3 {
+            ca = halve(&ca);
+            cb = halve(&cb);
+        }
+        let (_, coarse) = dtw_with_path(&ca, &cb, SquaredCost).unwrap();
+        let (_, fine) = dtw_with_path(&t.a, &t.b, SquaredCost).unwrap();
+        // Signed deviation: positive = below diagonal (i ahead of j).
+        let signed_mean = |p: &tsdtw_core::WarpingPath| {
+            p.cells()
+                .iter()
+                .map(|&(i, j)| i as f64 - j as f64)
+                .sum::<f64>()
+                / p.len() as f64
+        };
+        let coarse_dir = signed_mean(&coarse);
+        let fine_dir = signed_mean(&fine);
+        assert!(
+            coarse_dir * fine_dir < 0.0,
+            "coarse and fine warps should go opposite ways: coarse {coarse_dir}, fine {fine_dir}"
+        );
+    }
+
+    #[test]
+    fn c_sits_between_the_twins_and_the_blowup() {
+        let t = trio();
+        let ab = dtw(&t.a, &t.b).unwrap();
+        let ac = dtw(&t.a, &t.c).unwrap();
+        let bc = dtw(&t.b, &t.c).unwrap();
+        assert!(ab < ac && ab < bc, "A,B must be mutual nearest neighbors");
+        let fast_ab = fastdtw(&t.a, &t.b, 20).unwrap();
+        assert!(
+            ac < fast_ab && bc < fast_ab,
+            "under FastDTW the twins should look farther apart than either is from C \
+             (this is what flips the dendrogram): ac={ac} bc={bc} fast_ab={fast_ab}"
+        );
+    }
+
+    #[test]
+    fn headline_error_is_enormous() {
+        let e = headline_error_percent(20).unwrap();
+        assert!(e > 10_000.0, "error should be >10,000 %, got {e}%");
+    }
+
+    #[test]
+    fn larger_radius_eventually_recovers() {
+        // With radius ≥ the deviation needed, FastDTW finds the right warp.
+        let t = trio();
+        let exact = dtw(&t.a, &t.b).unwrap();
+        let big = fastdtw(&t.a, &t.b, LEN).unwrap();
+        assert!((big - exact).abs() < 1e-9);
+    }
+}

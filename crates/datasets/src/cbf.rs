@@ -1,0 +1,130 @@
+//! The classic Cylinder–Bell–Funnel synthetic classification problem
+//! (Saito 1994), the standard three-class benchmark for time-series
+//! classifiers.
+//!
+//! Each instance is noise plus one of three shapes over a random interval
+//! `[a, b]`: a plateau (cylinder), a rising ramp (bell), or a falling ramp
+//! (funnel). Because the interval's position and width vary, a little
+//! warping helps classification — the regime of the paper's Case A — which
+//! makes CBF a good substrate for the optimal-window (Fig. 2) machinery.
+
+use crate::rng::SeededRng;
+use crate::types::LabeledDataset;
+use tsdtw_core::error::{Error, Result};
+
+/// The three CBF classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CbfClass {
+    /// Plateau over `[a, b]`.
+    Cylinder = 0,
+    /// Ramp rising over `[a, b]`.
+    Bell = 1,
+    /// Ramp falling over `[a, b]`.
+    Funnel = 2,
+}
+
+/// One CBF instance of length `n`.
+pub fn instance(n: usize, class: CbfClass, rng: &mut SeededRng) -> Result<Vec<f64>> {
+    if n < 16 {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: format!("CBF needs at least 16 samples, got {n}"),
+        });
+    }
+    // Event interval: onset in the first half, width covering 25-70 %.
+    let a = rng.index(n / 8, n / 2);
+    let width = rng.index(n / 4, (7 * n) / 10);
+    let b = (a + width).min(n - 1);
+    let amp = 6.0 + rng.gaussian();
+    Ok((0..n)
+        .map(|t| {
+            let noise = rng.gaussian() * 0.5;
+            if t < a || t > b {
+                noise
+            } else {
+                let frac = (t - a) as f64 / (b - a).max(1) as f64;
+                let shape = match class {
+                    CbfClass::Cylinder => 1.0,
+                    CbfClass::Bell => frac,
+                    CbfClass::Funnel => 1.0 - frac,
+                };
+                amp * shape + noise
+            }
+        })
+        .collect())
+}
+
+/// A balanced CBF dataset: `per_class` instances of each class, length `n`,
+/// interleaved by class.
+pub fn dataset(n: usize, per_class: usize, seed: u64) -> Result<LabeledDataset> {
+    if per_class == 0 {
+        return Err(Error::EmptyInput { which: "per_class" });
+    }
+    let mut rng = SeededRng::new(seed);
+    let classes = [CbfClass::Cylinder, CbfClass::Bell, CbfClass::Funnel];
+    let mut series = Vec::with_capacity(3 * per_class);
+    let mut labels = Vec::with_capacity(3 * per_class);
+    for i in 0..3 * per_class {
+        let class = classes[i % 3];
+        series.push(instance(n, class, &mut rng)?);
+        labels.push(class as usize);
+    }
+    LabeledDataset::new("cbf", series, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shape() {
+        let d = dataset(128, 10, 1).unwrap();
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.series_len(), 128);
+        assert_eq!(d.n_classes(), 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(dataset(64, 4, 5).unwrap(), dataset(64, 4, 5).unwrap());
+    }
+
+    #[test]
+    fn cylinder_has_plateau_bell_rises_funnel_falls() {
+        let mut rng = SeededRng::new(2);
+        let n = 256;
+        // Average many instances to suppress noise.
+        let avg = |class: CbfClass, rng: &mut SeededRng| -> Vec<f64> {
+            let mut acc = vec![0.0; n];
+            for _ in 0..40 {
+                let inst = instance(n, class, rng).unwrap();
+                for (a, v) in acc.iter_mut().zip(&inst) {
+                    *a += v / 40.0;
+                }
+            }
+            acc
+        };
+        let bell = avg(CbfClass::Bell, &mut rng);
+        let funnel = avg(CbfClass::Funnel, &mut rng);
+        // Bell's mass is late; funnel's mass is early.
+        let first_half = |s: &[f64]| s[..n / 2].iter().sum::<f64>();
+        let second_half = |s: &[f64]| s[n / 2..].iter().sum::<f64>();
+        assert!(second_half(&bell) > first_half(&bell));
+        assert!(first_half(&funnel) > second_half(&funnel));
+    }
+
+    #[test]
+    fn event_amplitude_dominates_noise() {
+        let mut rng = SeededRng::new(3);
+        let inst = instance(200, CbfClass::Cylinder, &mut rng).unwrap();
+        let max = inst.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > 3.0);
+    }
+
+    #[test]
+    fn rejects_tiny_instances() {
+        let mut rng = SeededRng::new(4);
+        assert!(instance(8, CbfClass::Bell, &mut rng).is_err());
+        assert!(dataset(64, 0, 1).is_err());
+    }
+}

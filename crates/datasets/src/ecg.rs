@@ -1,0 +1,152 @@
+//! Synthetic electrocardiogram traces.
+//!
+//! The paper's Case D discussion leans on cardiology: ECGs are recorded at
+//! up to 25 kHz but ~250 Hz suffices, a heartbeat is 120–200 samples, and
+//! "it is never meaningful to compare ninety-eight heartbeats to
+//! one-hundred and three heartbeats" — beat-level comparison (Case A) is
+//! the right granularity. This generator produces beats and rhythm strips
+//! so examples and tests can exercise exactly that argument: individual
+//! beats compare well under small-band cDTW, while whole-minute strips
+//! with different beat counts produce meaningless alignments.
+
+use crate::rng::SeededRng;
+use tsdtw_core::error::{Error, Result};
+
+/// Sampling rate of the generated traces (Hz) — the clinically sufficient
+/// rate cited by the paper.
+pub const HZ: usize = 250;
+
+/// One stylized PQRST beat of `len` samples with mild morphology jitter.
+///
+/// The waveform is a sum of localized bumps: P wave, QRS complex (sharp
+/// down-up-down), and T wave, at the standard relative offsets.
+pub fn beat(len: usize, rng: &mut SeededRng) -> Result<Vec<f64>> {
+    if len < 40 {
+        return Err(Error::InvalidParameter {
+            name: "len",
+            reason: format!("a beat needs at least 40 samples, got {len}"),
+        });
+    }
+    // (center fraction, width fraction, amplitude) of each wave component.
+    let jit = |rng: &mut SeededRng, v: f64, rel: f64| v * (1.0 + rng.uniform_in(-rel, rel));
+    let comps = [
+        (0.18, 0.035, jit(rng, 0.18, 0.15)),  // P
+        (0.395, 0.016, jit(rng, -0.28, 0.1)), // Q
+        (0.42, 0.018, jit(rng, 1.55, 0.08)),  // R
+        (0.45, 0.016, jit(rng, -0.35, 0.1)),  // S
+        (0.70, 0.060, jit(rng, 0.38, 0.15)),  // T
+    ];
+    Ok((0..len)
+        .map(|i| {
+            let x = i as f64 / len as f64;
+            let mut v = rng.normal(0.0, 0.012);
+            for &(c, w, a) in &comps {
+                let z = (x - c) / w;
+                if z.abs() < 6.0 {
+                    v += a * (-0.5 * z * z).exp();
+                }
+            }
+            v
+        })
+        .collect())
+}
+
+/// A batch of beats of equal length (Case A's unit of comparison).
+pub fn beats(count: usize, len: usize, seed: u64) -> Result<Vec<Vec<f64>>> {
+    if count == 0 {
+        return Err(Error::EmptyInput { which: "count" });
+    }
+    let mut rng = SeededRng::new(seed);
+    (0..count).map(|_| beat(len, &mut rng)).collect()
+}
+
+/// A rhythm strip: `n_beats` beats concatenated with per-beat length
+/// variation of ±`rr_jitter` (fractional R-R variability), at 250 Hz.
+///
+/// Two strips with different beat counts are exactly the paper's
+/// "ninety-eight vs one-hundred-and-three heartbeats" situation.
+pub fn rhythm_strip(
+    n_beats: usize,
+    beat_len: usize,
+    rr_jitter: f64,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    if n_beats == 0 {
+        return Err(Error::EmptyInput { which: "n_beats" });
+    }
+    if !(0.0..0.5).contains(&rr_jitter) {
+        return Err(Error::InvalidParameter {
+            name: "rr_jitter",
+            reason: format!("R-R jitter must be in [0, 0.5), got {rr_jitter}"),
+        });
+    }
+    let mut rng = SeededRng::new(seed);
+    let mut out = Vec::with_capacity(n_beats * beat_len);
+    for _ in 0..n_beats {
+        let this_len = ((beat_len as f64) * (1.0 + rng.uniform_in(-rr_jitter, rr_jitter.max(1e-9))))
+            .round()
+            .max(40.0) as usize;
+        out.extend(beat(this_len, &mut rng)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_core::distance::{cdtw, sq_euclidean};
+
+    #[test]
+    fn beat_has_dominant_r_peak() {
+        let mut rng = SeededRng::new(1);
+        let b = beat(160, &mut rng).unwrap();
+        let (argmax, max) =
+            b.iter().enumerate().fold(
+                (0, f64::NEG_INFINITY),
+                |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc },
+            );
+        assert!(max > 1.0, "R peak amplitude {max}");
+        let frac = argmax as f64 / b.len() as f64;
+        assert!((0.35..0.5).contains(&frac), "R peak at fraction {frac}");
+    }
+
+    #[test]
+    fn beats_are_similar_under_small_band_cdtw() {
+        let bs = beats(6, 160, 2).unwrap();
+        for i in 1..bs.len() {
+            let warped = cdtw(&bs[0], &bs[i], 5.0).unwrap();
+            let lockstep = sq_euclidean(&bs[0], &bs[i]).unwrap();
+            assert!(warped <= lockstep + 1e-12);
+            assert!(warped < 1.0, "beats should align closely: {warped}");
+        }
+    }
+
+    #[test]
+    fn rhythm_strip_concatenates_with_jitter() {
+        let s = rhythm_strip(10, 160, 0.1, 3).unwrap();
+        // Total length within jitter bounds.
+        assert!(
+            s.len() >= 10 * 144 && s.len() <= 10 * 176,
+            "len {}",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(beats(3, 120, 7).unwrap(), beats(3, 120, 7).unwrap());
+        assert_eq!(
+            rhythm_strip(4, 120, 0.05, 9).unwrap(),
+            rhythm_strip(4, 120, 0.05, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let mut rng = SeededRng::new(1);
+        assert!(beat(10, &mut rng).is_err());
+        assert!(beats(0, 120, 1).is_err());
+        assert!(rhythm_strip(0, 120, 0.1, 1).is_err());
+        assert!(rhythm_strip(5, 120, 0.9, 1).is_err());
+    }
+}

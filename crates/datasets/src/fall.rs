@@ -1,0 +1,139 @@
+//! The early/late fall generator of the paper's Fig. 5 and Fig. 6.
+//!
+//! The thought experiment: actors wearing motion-capture suits are told to
+//! "fall over anytime within `L` seconds of hearing the beep"; the data is
+//! recorded at 100 Hz and never cropped, so `W ≈ 100 %`. The paper's
+//! generator "creates pairs of time series of length L seconds at 100 Hz.
+//! One time series has an immediate fall, then the actor is near
+//! motionless for the rest of the time. For the other time series, the
+//! actor is near motionless until just before L seconds are up, then he
+//! falls." We implement exactly that.
+
+use crate::rng::SeededRng;
+use tsdtw_core::error::{Error, Result};
+
+/// Sampling rate of the motion capture rig, per the paper.
+pub const HZ: usize = 100;
+
+/// A pair of fall recordings: one fall at the start, one at the end.
+#[derive(Debug, Clone)]
+pub struct FallPair {
+    /// The actor falls immediately.
+    pub early: Vec<f64>,
+    /// The actor falls just before the recording ends.
+    pub late: Vec<f64>,
+    /// Series length in samples (`L` seconds × 100 Hz).
+    pub len: usize,
+}
+
+/// The stereotyped fall waveform: a sharp acceleration transient followed
+/// by an impact spike and settling, about 0.6 s long at 100 Hz.
+fn fall_waveform(rng: &mut SeededRng) -> Vec<f64> {
+    let n = 60;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            // Build-up, impact, ring-down.
+            let impact = 3.0 * (-((t - 0.45) / 0.06).powi(2)).exp();
+            let tumble = 1.2 * (std::f64::consts::TAU * 2.5 * t).sin() * (1.0 - t);
+            impact + tumble + rng.normal(0.0, 0.02)
+        })
+        .collect()
+}
+
+/// Generates a fall pair for an `l_seconds`-long window at 100 Hz.
+///
+/// Both series share the same fall waveform shape (fresh noise each); the
+/// rest of each series is near-motionless sensor noise. Aligning the two
+/// falls requires warping across almost the whole window — `W ≈ 100 %`.
+pub fn pair(l_seconds: f64, seed: u64) -> Result<FallPair> {
+    if !l_seconds.is_finite() || l_seconds <= 0.0 {
+        return Err(Error::InvalidParameter {
+            name: "l_seconds",
+            reason: format!("duration must be positive, got {l_seconds}"),
+        });
+    }
+    let n = (l_seconds * HZ as f64).round() as usize;
+    let mut rng = SeededRng::new(seed);
+    let wave_a = fall_waveform(&mut rng);
+    let wave_b = fall_waveform(&mut rng);
+    if n < wave_a.len() + 2 {
+        return Err(Error::InvalidParameter {
+            name: "l_seconds",
+            reason: format!(
+                "window of {n} samples cannot hold a {}-sample fall",
+                wave_a.len()
+            ),
+        });
+    }
+
+    let still = |rng: &mut SeededRng| rng.normal(0.0, 0.015);
+
+    let mut early = Vec::with_capacity(n);
+    early.extend_from_slice(&wave_a);
+    while early.len() < n {
+        early.push(still(&mut rng));
+    }
+
+    let mut late = Vec::with_capacity(n);
+    while late.len() < n - wave_b.len() {
+        late.push(still(&mut rng));
+    }
+    late.extend_from_slice(&wave_b);
+
+    Ok(FallPair {
+        early,
+        late,
+        len: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_core::distance::{dtw, sq_euclidean};
+
+    #[test]
+    fn pair_has_expected_length() {
+        let p = pair(2.0, 1).unwrap();
+        assert_eq!(p.len, 200);
+        assert_eq!(p.early.len(), 200);
+        assert_eq!(p.late.len(), 200);
+    }
+
+    #[test]
+    fn falls_are_at_opposite_ends() {
+        let p = pair(4.0, 2).unwrap();
+        let energy = |s: &[f64]| s.iter().map(|v| v * v).sum::<f64>();
+        let q = p.len / 4;
+        assert!(energy(&p.early[..q]) > 10.0 * energy(&p.early[p.len - q..]));
+        assert!(energy(&p.late[p.len - q..]) > 10.0 * energy(&p.late[..q]));
+    }
+
+    #[test]
+    fn unconstrained_dtw_aligns_the_falls() {
+        let p = pair(3.0, 3).unwrap();
+        let warped = dtw(&p.early, &p.late).unwrap();
+        let lockstep = sq_euclidean(&p.early, &p.late).unwrap();
+        // Full DTW can slide one fall onto the other; lock-step cannot.
+        assert!(
+            warped < lockstep * 0.25,
+            "full warp should align falls: {warped} vs {lockstep}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = pair(1.0, 9).unwrap();
+        let b = pair(1.0, 9).unwrap();
+        assert_eq!(a.early, b.early);
+        assert_eq!(a.late, b.late);
+    }
+
+    #[test]
+    fn rejects_windows_too_short_for_a_fall() {
+        assert!(pair(0.3, 1).is_err());
+        assert!(pair(-1.0, 1).is_err());
+        assert!(pair(f64::NAN, 1).is_err());
+    }
+}

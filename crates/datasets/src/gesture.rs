@@ -1,0 +1,340 @@
+//! UWave-like gesture data — the substrate for the paper's Fig. 1 and
+//! Appendix B experiments.
+//!
+//! The real `UWaveGestureLibraryAll` dataset concatenates the x/y/z
+//! accelerometer channels of eight gesture vocabulary items into series of
+//! length 945 (8 classes, 896 training exemplars). We have no archive
+//! files, so this generator builds structurally equivalent data: each class
+//! has a fixed three-segment template of band-limited oscillations
+//! (mimicking the concatenated-axes structure), and each exemplar is the
+//! class template under a bounded random time warp, amplitude jitter and
+//! noise (see `warp`). Timing of DTW/FastDTW does not depend on the values
+//! at all; the class structure matters only for the accuracy half of the
+//! story, which bounded-warp templates preserve: a small warping window
+//! aligns within-class variation, while unconstrained warping lets classes
+//! bleed into each other (Ratanamahatana's observation).
+
+use crate::rng::SeededRng;
+use crate::types::LabeledDataset;
+use crate::warp::warped_instance;
+use tsdtw_core::error::{Error, Result};
+
+/// Parameters of the gesture generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GestureConfig {
+    /// Series length (the real dataset uses 945).
+    pub length: usize,
+    /// Number of gesture classes (the real dataset has 8).
+    pub n_classes: usize,
+    /// Exemplars per class.
+    pub per_class: usize,
+    /// Maximum time-warp displacement, in samples. The real dataset's
+    /// optimal window is w = 4 % ⇒ about 38 samples at N = 945.
+    pub max_shift: f64,
+    /// Additive Gaussian noise standard deviation.
+    pub noise_std: f64,
+    /// Relative amplitude jitter.
+    pub amp_jitter: f64,
+}
+
+impl Default for GestureConfig {
+    fn default() -> Self {
+        GestureConfig {
+            length: 945,
+            n_classes: 8,
+            per_class: 112, // 8 × 112 = 896, the paper's training size
+            max_shift: 38.0,
+            noise_std: 0.08,
+            amp_jitter: 0.1,
+        }
+    }
+}
+
+/// A class template: three concatenated band-limited oscillation segments,
+/// echoing the x/y/z-axis concatenation of the real dataset.
+fn class_template(length: usize, class: usize, rng: &mut SeededRng) -> Vec<f64> {
+    let seg = length / 3;
+    let mut out = Vec::with_capacity(length);
+    for axis in 0..3 {
+        let this_len = if axis == 2 { length - 2 * seg } else { seg };
+        // Class- and axis-specific frequency mix.
+        let f1 = 1.5 + class as f64 * 0.7 + axis as f64 * 0.31;
+        let f2 = 3.1 + class as f64 * 0.9 + axis as f64 * 0.57;
+        let a1 = rng.uniform_in(0.7, 1.3);
+        let a2 = rng.uniform_in(0.2, 0.6);
+        let p1 = rng.uniform_in(0.0, std::f64::consts::TAU);
+        let p2 = rng.uniform_in(0.0, std::f64::consts::TAU);
+        for i in 0..this_len {
+            let x = i as f64 / this_len as f64 * std::f64::consts::TAU;
+            out.push(a1 * (f1 * x + p1).sin() + a2 * (f2 * x + p2).sin());
+        }
+    }
+    out
+}
+
+/// Generates a UWave-like labeled dataset. Exemplars are interleaved by
+/// class (`label = i % n_classes`) so deterministic splits stay balanced.
+pub fn uwave_like(config: &GestureConfig, seed: u64) -> Result<LabeledDataset> {
+    if config.length < 9 {
+        return Err(Error::InvalidParameter {
+            name: "length",
+            reason: "gesture series need at least 9 samples (3 per axis)".into(),
+        });
+    }
+    if config.n_classes == 0 || config.per_class == 0 {
+        return Err(Error::InvalidParameter {
+            name: "n_classes/per_class",
+            reason: "must be positive".into(),
+        });
+    }
+    let mut rng = SeededRng::new(seed);
+    let templates: Vec<Vec<f64>> = (0..config.n_classes)
+        .map(|c| class_template(config.length, c, &mut rng))
+        .collect();
+
+    let total = config.n_classes * config.per_class;
+    let mut series = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..total {
+        let class = i % config.n_classes;
+        series.push(warped_instance(
+            &templates[class],
+            config.max_shift,
+            config.amp_jitter,
+            config.noise_std,
+            &mut rng,
+        )?);
+        labels.push(class);
+    }
+    LabeledDataset::new("uwave-like", series, labels)
+}
+
+/// The scaled-down labeled gesture set used by the Appendix B
+/// reproduction: short exemplars (N ≈ 60–200, like video-keypoint gesture
+/// traces) with moderate natural warping.
+pub fn labeled_short_gestures(
+    length: usize,
+    n_classes: usize,
+    per_class: usize,
+    seed: u64,
+) -> Result<LabeledDataset> {
+    let config = GestureConfig {
+        length,
+        n_classes,
+        per_class,
+        max_shift: length as f64 * 0.08,
+        noise_std: 0.15,
+        amp_jitter: 0.15,
+    };
+    let mut d = uwave_like(&config, seed)?;
+    d.name = "short-gestures".into();
+    Ok(d)
+}
+
+/// Timing-sensitive gesture classes: every class has the same peak
+/// *shapes* but a class-specific peak *timing pattern*, jittered only
+/// slightly (small natural `W`) within a class.
+///
+/// This is the regime where Ratanamahatana's observation bites — "a little
+/// warping is a good thing, but too much warping (can be) a bad thing":
+/// unconstrained warping (and hence FastDTW, which approximates *full*
+/// DTW) can slide any peak onto any peak and erases the class signal,
+/// while a small exact band preserves it. The Appendix B reproduction uses
+/// this generator to recover the paper's accuracy gap.
+pub fn timing_sensitive_gestures(
+    length: usize,
+    n_classes: usize,
+    per_class: usize,
+    seed: u64,
+) -> Result<LabeledDataset> {
+    if length < 40 {
+        return Err(Error::InvalidParameter {
+            name: "length",
+            reason: "timing-sensitive gestures need at least 40 samples".into(),
+        });
+    }
+    if n_classes == 0 || per_class == 0 {
+        return Err(Error::InvalidParameter {
+            name: "n_classes/per_class",
+            reason: "must be positive".into(),
+        });
+    }
+    let mut rng = SeededRng::new(seed);
+    // Each class: 3 peak centers drawn once, kept ≥ 10 samples apart.
+    let n_peaks = 3;
+    let margin = length / 10;
+    let peak_sets: Vec<Vec<f64>> = (0..n_classes)
+        .map(|_| {
+            let mut centers: Vec<f64>;
+            loop {
+                centers = (0..n_peaks)
+                    .map(|_| rng.uniform_in(margin as f64, (length - margin) as f64))
+                    .collect();
+                centers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                if centers.windows(2).all(|w| w[1] - w[0] >= 10.0) {
+                    break;
+                }
+            }
+            centers
+        })
+        .collect();
+
+    let jitter = (length as f64 * 0.02).max(1.0); // natural W ≈ 2 %
+    let width = 2.5;
+    let total = n_classes * per_class;
+    let mut series = Vec::with_capacity(total);
+    let mut labels = Vec::with_capacity(total);
+    for i in 0..total {
+        let class = i % n_classes;
+        let centers: Vec<f64> = peak_sets[class]
+            .iter()
+            .map(|&c| c + rng.uniform_in(-jitter, jitter))
+            .collect();
+        let s: Vec<f64> = (0..length)
+            .map(|t| {
+                let mut v = rng.normal(0.0, 0.05);
+                for &c in &centers {
+                    let z = (t as f64 - c) / width;
+                    if z.abs() < 6.0 {
+                        v += (-0.5 * z * z).exp();
+                    }
+                }
+                v
+            })
+            .collect();
+        series.push(s);
+        labels.push(class);
+    }
+    LabeledDataset::new("timing-gestures", series, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_core::dtw::banded::cdtw_distance;
+    use tsdtw_core::SquaredCost;
+
+    fn small() -> LabeledDataset {
+        let config = GestureConfig {
+            length: 120,
+            n_classes: 4,
+            per_class: 6,
+            max_shift: 8.0,
+            noise_std: 0.05,
+            amp_jitter: 0.05,
+        };
+        uwave_like(&config, 42).unwrap()
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let d = small();
+        assert_eq!(d.len(), 24);
+        assert_eq!(d.series_len(), 120);
+        assert_eq!(d.n_classes(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = GestureConfig::default();
+        let config = GestureConfig {
+            length: 60,
+            per_class: 2,
+            ..config
+        };
+        let a = uwave_like(&config, 7).unwrap();
+        let b = uwave_like(&config, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn within_class_closer_than_between_class_under_banded_dtw() {
+        let d = small();
+        let band = 10;
+        // Average within-class vs between-class distance over a few pairs.
+        let mut within = Vec::new();
+        let mut between = Vec::new();
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                let dist = cdtw_distance(&d.series[i], &d.series[j], band, SquaredCost).unwrap();
+                if d.labels[i] == d.labels[j] {
+                    within.push(dist);
+                } else {
+                    between.push(dist);
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&within) < avg(&between) * 0.5,
+            "classes should be separable: within {} vs between {}",
+            avg(&within),
+            avg(&between)
+        );
+    }
+
+    #[test]
+    fn default_config_matches_paper_shape() {
+        let c = GestureConfig::default();
+        assert_eq!(c.length, 945);
+        assert_eq!(c.n_classes * c.per_class, 896);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let bad = GestureConfig {
+            length: 2,
+            ..GestureConfig::default()
+        };
+        assert!(uwave_like(&bad, 1).is_err());
+        let bad = GestureConfig {
+            n_classes: 0,
+            ..GestureConfig::default()
+        };
+        assert!(uwave_like(&bad, 1).is_err());
+    }
+
+    #[test]
+    fn timing_classes_confuse_full_dtw_but_not_banded() {
+        use tsdtw_core::dtw::full::dtw_distance;
+        let d = timing_sensitive_gestures(100, 3, 4, 5).unwrap();
+        // Average within/between distances under both regimes.
+        let stats = |f: &dyn Fn(&[f64], &[f64]) -> f64| {
+            let mut within = Vec::new();
+            let mut between = Vec::new();
+            for i in 0..d.len() {
+                for j in (i + 1)..d.len() {
+                    let v = f(&d.series[i], &d.series[j]);
+                    if d.labels[i] == d.labels[j] {
+                        within.push(v);
+                    } else {
+                        between.push(v);
+                    }
+                }
+            }
+            let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            avg(&between) / avg(&within)
+        };
+        let banded_sep = stats(&|x, y| cdtw_distance(x, y, 4, SquaredCost).unwrap());
+        let full_sep = stats(&|x, y| dtw_distance(x, y, SquaredCost).unwrap());
+        assert!(
+            banded_sep > 2.0 * full_sep,
+            "a small band must separate timing classes far better than full DTW: \
+             banded ratio {banded_sep:.2}, full ratio {full_sep:.2}"
+        );
+    }
+
+    #[test]
+    fn timing_classes_reject_degenerate_configs() {
+        assert!(timing_sensitive_gestures(20, 2, 2, 1).is_err());
+        assert!(timing_sensitive_gestures(100, 0, 2, 1).is_err());
+    }
+
+    #[test]
+    fn short_gesture_helper_produces_requested_shape() {
+        let d = labeled_short_gestures(60, 5, 4, 3).unwrap();
+        assert_eq!(d.len(), 20);
+        assert_eq!(d.series_len(), 60);
+        assert_eq!(d.n_classes(), 5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Residential power-demand mornings with an embedded dishwasher program —
+//! the paper's Fig. 3 and the motivation for Case C (§3.3).
+//!
+//! The paper's example: electrical demand from midnight to 1:00 AM sampled
+//! every 8 seconds (N = 450). Most mornings are dissimilar, but some
+//! contain the same three-peak dishwasher program whose timing shifts by up
+//! to 153 samples between days — giving W = 34 %, rounded up to 40 %. This
+//! generator reproduces that geometry: a noisy baseline load plus a
+//! three-peak appliance signature whose onset (and inter-peak spacing)
+//! shifts day to day within a configurable budget.
+
+use crate::rng::SeededRng;
+use tsdtw_core::error::{Error, Result};
+
+/// Length of the paper's power-demand series: one hour at 1/8 Hz.
+pub const MORNING_LEN: usize = 450;
+
+/// The paper's observed maximum peak-timing difference, in samples.
+pub const PAPER_MAX_SHIFT: usize = 153;
+
+/// One synthetic midnight-to-1AM power trace.
+#[derive(Debug, Clone)]
+pub struct PowerMorning {
+    /// The demand series (kW-scale arbitrary units).
+    pub series: Vec<f64>,
+    /// Sample indices of the three dishwasher peak centers.
+    pub peak_centers: [usize; 3],
+}
+
+/// Generates one morning of length `n` whose dishwasher program is offset
+/// by `onset` samples from the earliest possible start. The three peaks
+/// have fixed shapes and (slightly jittered) spacings, standing well above
+/// the baseline.
+pub fn dishwasher_morning(n: usize, onset: usize, seed: u64) -> Result<PowerMorning> {
+    if n < 120 {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: format!("morning must have at least 120 samples, got {n}"),
+        });
+    }
+    let mut rng = SeededRng::new(seed);
+    // Baseline: fridge cycles + noise, low amplitude.
+    let mut series: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = i as f64 / n as f64;
+            0.15 + 0.05 * (std::f64::consts::TAU * 6.0 * x).sin().max(0.0) + rng.normal(0.0, 0.01)
+        })
+        .collect();
+
+    // Dishwasher program: heat (wide), wash (medium), dry (narrow) peaks.
+    let widths = [18usize, 12, 8];
+    let heights = [1.0f64, 0.8, 0.9];
+    let spacing = [0usize, 60, 120];
+    let max_center = n - widths[2] - 1;
+    let mut centers = [0usize; 3];
+    for k in 0..3 {
+        let jitter = rng.index(0, 7) as i64 - 3;
+        let c = (onset as i64 + spacing[k] as i64 + jitter).max(widths[k] as i64) as usize;
+        centers[k] = c.min(max_center);
+    }
+    for k in 0..3 {
+        let c = centers[k] as f64;
+        let w = widths[k] as f64;
+        for (i, v) in series.iter_mut().enumerate() {
+            let z = (i as f64 - c) / w;
+            *v += heights[k] * (-0.5 * z * z).exp();
+        }
+    }
+    Ok(PowerMorning {
+        series,
+        peak_centers: centers,
+    })
+}
+
+/// The Fig. 3 pair: two mornings with the same program, one starting early
+/// and one starting `shift` samples later (paper: 153).
+pub fn fig3_pair(seed: u64) -> Result<(PowerMorning, PowerMorning)> {
+    let early = dishwasher_morning(MORNING_LEN, 30, seed)?;
+    let late = dishwasher_morning(MORNING_LEN, 30 + PAPER_MAX_SHIFT, seed + 1)?;
+    Ok((early, late))
+}
+
+/// A year-like collection of mornings with uniformly random onsets within
+/// the shift budget — the population the Fig. 4 / Case C comparison runs
+/// over.
+pub fn mornings(count: usize, n: usize, max_shift: usize, seed: u64) -> Result<Vec<Vec<f64>>> {
+    if count == 0 {
+        return Err(Error::EmptyInput { which: "count" });
+    }
+    let mut rng = SeededRng::new(seed);
+    (0..count)
+        .map(|_| {
+            let onset = 30 + rng.index(0, max_shift.max(1));
+            dishwasher_morning(n, onset, rng.child_seed()).map(|m| m.series)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_core::distance::{cdtw, sq_euclidean};
+
+    #[test]
+    fn morning_has_requested_length_and_three_peaks() {
+        let m = dishwasher_morning(MORNING_LEN, 40, 1).unwrap();
+        assert_eq!(m.series.len(), MORNING_LEN);
+        // Peaks stand above the baseline.
+        for &c in &m.peak_centers {
+            assert!(m.series[c] > 0.6, "peak at {c} too small: {}", m.series[c]);
+        }
+    }
+
+    #[test]
+    fn fig3_pair_shift_matches_paper_geometry() {
+        let (early, late) = fig3_pair(2).unwrap();
+        let d0 = late.peak_centers[0] as i64 - early.peak_centers[0] as i64;
+        // Shift within jitter of the paper's 153 samples (W = 34 % of 450).
+        assert!((d0 - PAPER_MAX_SHIFT as i64).abs() <= 6, "shift {d0}");
+        let w = d0 as f64 / MORNING_LEN as f64 * 100.0;
+        assert!((30.0..40.0).contains(&w), "W = {w}% should be ~34%");
+    }
+
+    #[test]
+    fn wide_window_aligns_shifted_program_much_better_than_euclidean() {
+        let (early, late) = fig3_pair(3).unwrap();
+        let wide = cdtw(&early.series, &late.series, 40.0).unwrap();
+        let lockstep = sq_euclidean(&early.series, &late.series).unwrap();
+        assert!(
+            wide < lockstep * 0.35,
+            "40% warping should mostly align the program: {wide} vs {lockstep}"
+        );
+    }
+
+    #[test]
+    fn mornings_are_deterministic_and_distinct() {
+        let a = mornings(4, 300, 100, 5).unwrap();
+        let b = mornings(4, 300, 100, 5).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn rejects_tiny_morning() {
+        assert!(dishwasher_morning(50, 10, 1).is_err());
+        assert!(mornings(0, 300, 10, 1).is_err());
+    }
+}

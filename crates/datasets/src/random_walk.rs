@@ -1,0 +1,88 @@
+//! Gaussian random walks — the data of the paper's Fig. 4 experiment.
+//!
+//! The paper notes that "the timing for both algorithms does not depend on
+//! the data itself", and uses random walks for the N = 450 all-pairs
+//! timing comparison. These generators provide exactly that substrate.
+
+use crate::rng::SeededRng;
+use tsdtw_core::error::{Error, Result};
+
+/// One standard Gaussian random walk of length `n` (unit steps).
+pub fn random_walk(n: usize, seed: u64) -> Result<Vec<f64>> {
+    random_walk_with(n, 1.0, seed)
+}
+
+/// A Gaussian random walk with the given step standard deviation.
+pub fn random_walk_with(n: usize, step_std: f64, seed: u64) -> Result<Vec<f64>> {
+    if n == 0 {
+        return Err(Error::EmptyInput { which: "n" });
+    }
+    if !step_std.is_finite() || step_std < 0.0 {
+        return Err(Error::InvalidParameter {
+            name: "step_std",
+            reason: format!("must be finite and non-negative, got {step_std}"),
+        });
+    }
+    let mut rng = SeededRng::new(seed);
+    let mut v = 0.0;
+    Ok((0..n)
+        .map(|_| {
+            v += rng.normal(0.0, step_std);
+            v
+        })
+        .collect())
+}
+
+/// A batch of independent random walks, seeded derministically from `seed`.
+pub fn random_walks(count: usize, n: usize, seed: u64) -> Result<Vec<Vec<f64>>> {
+    if count == 0 {
+        return Err(Error::EmptyInput { which: "count" });
+    }
+    let mut rng = SeededRng::new(seed);
+    (0..count)
+        .map(|_| random_walk(n, rng.child_seed()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_determinism() {
+        let a = random_walk(100, 7).unwrap();
+        let b = random_walk(100, 7).unwrap();
+        assert_eq!(a.len(), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(random_walk(50, 1).unwrap(), random_walk(50, 2).unwrap());
+    }
+
+    #[test]
+    fn batch_members_are_independent() {
+        let batch = random_walks(5, 64, 3).unwrap();
+        assert_eq!(batch.len(), 5);
+        assert_ne!(batch[0], batch[1]);
+        // Deterministic as a batch.
+        let again = random_walks(5, 64, 3).unwrap();
+        assert_eq!(batch, again);
+    }
+
+    #[test]
+    fn steps_have_plausible_scale() {
+        let w = random_walk_with(10_000, 2.0, 9).unwrap();
+        let steps: Vec<f64> = w.windows(2).map(|p| p[1] - p[0]).collect();
+        let var = steps.iter().map(|s| s * s).sum::<f64>() / steps.len() as f64;
+        assert!((var.sqrt() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(random_walk(0, 1).is_err());
+        assert!(random_walk_with(10, -1.0, 1).is_err());
+        assert!(random_walks(0, 10, 1).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Seeded randomness helpers shared by all generators.
+//!
+//! Every generator in this crate takes an explicit `u64` seed and is fully
+//! deterministic given it — the benchmark harness depends on that to make
+//! every figure regenerable bit-for-bit. Gaussian variates come from a
+//! Box–Muller transform over `rand`'s uniform source, avoiding an extra
+//! dependency on `rand_distr` (see DESIGN.md §6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source for dataset generation.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    /// Cached second Box–Muller variate.
+    spare: Option<f64>,
+}
+
+impl SeededRng {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[lo, hi)` (half-open). `lo < hi` required.
+    pub fn index(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Standard normal via Box–Muller (with spare caching).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Avoid ln(0): draw u1 from (0, 1].
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.gaussian()
+    }
+
+    /// A fresh child seed, for splitting one seed into independent streams.
+    pub fn child_seed(&mut self) -> u64 {
+        self.inner.gen::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+            assert_eq!(a.gaussian(), b.gaussian());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..20).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = SeededRng::new(7);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut rng = SeededRng::new(3);
+        for _ in 0..1000 {
+            let v = rng.uniform_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn index_respects_bounds() {
+        let mut rng = SeededRng::new(4);
+        for _ in 0..1000 {
+            let i = rng.index(3, 10);
+            assert!((3..10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gaussian_values_are_finite() {
+        let mut rng = SeededRng::new(5);
+        assert!((0..10_000).all(|_| rng.gaussian().is_finite()));
+    }
+}

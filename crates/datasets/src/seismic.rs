@@ -1,0 +1,133 @@
+//! Seismogram-like traces — the paper's *other* Case B domain ("Music
+//! performance, classical dance performance, **seismic data**").
+//!
+//! The alignment task: the same event sequence recorded at two stations
+//! (or two repeats of an induced source), offset by small propagation
+//! differences — long series, narrow natural warping. The generator
+//! produces a quiet noise floor with sparse damped-oscillation events,
+//! and a partner trace whose event timings shift by a bounded number of
+//! samples.
+
+use crate::rng::SeededRng;
+use tsdtw_core::error::{Error, Result};
+
+/// A pair of seismogram-like traces with bounded relative event shifts.
+#[derive(Debug, Clone)]
+pub struct SeismicPair {
+    /// The first station's trace.
+    pub a: Vec<f64>,
+    /// The second station's trace (events shifted by ≤ `max_shift`).
+    pub b: Vec<f64>,
+    /// Event onset samples in trace `a`.
+    pub onsets: Vec<usize>,
+    /// The shift bound used, in samples.
+    pub max_shift: usize,
+}
+
+/// A damped oscillation (simplified P-wave arrival + coda).
+fn event(amplitude: f64, len: usize, rng: &mut SeededRng) -> Vec<f64> {
+    let freq = rng.uniform_in(0.25, 0.6);
+    let decay = rng.uniform_in(0.015, 0.04);
+    (0..len)
+        .map(|i| {
+            let t = i as f64;
+            amplitude * (freq * t).sin() * (-decay * t).exp()
+        })
+        .collect()
+}
+
+/// Generates a pair of traces of length `n` with `n_events` events whose
+/// relative timing differs by at most `max_shift` samples.
+pub fn pair(n: usize, n_events: usize, max_shift: usize, seed: u64) -> Result<SeismicPair> {
+    if n < 200 {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: format!("seismic traces need at least 200 samples, got {n}"),
+        });
+    }
+    if n_events == 0 {
+        return Err(Error::EmptyInput { which: "n_events" });
+    }
+    let event_len = (n / (2 * n_events)).clamp(40, 400);
+    if n_events * event_len + 2 * max_shift >= n {
+        return Err(Error::InvalidParameter {
+            name: "n_events",
+            reason: format!(
+                "{n_events} events of ~{event_len} samples plus shift {max_shift} do not fit in {n}"
+            ),
+        });
+    }
+    let mut rng = SeededRng::new(seed);
+    let noise = |rng: &mut SeededRng| rng.normal(0.0, 0.02);
+
+    let mut a: Vec<f64> = (0..n).map(|_| noise(&mut rng)).collect();
+    let mut b: Vec<f64> = (0..n).map(|_| noise(&mut rng)).collect();
+    let slot = n / n_events;
+    let mut onsets = Vec::with_capacity(n_events);
+    for k in 0..n_events {
+        let base = k * slot + max_shift + rng.index(0, (slot - event_len - 2 * max_shift).max(1));
+        let amp = rng.uniform_in(0.5, 2.0);
+        let wave = event(amp, event_len, &mut rng);
+        let shift = rng.index(0, 2 * max_shift.max(1) + 1) as isize - max_shift as isize;
+        for (i, &w) in wave.iter().enumerate() {
+            a[base + i] += w;
+            let jb = (base + i) as isize + shift;
+            if jb >= 0 && (jb as usize) < n {
+                b[jb as usize] += w;
+            }
+        }
+        onsets.push(base);
+    }
+    Ok(SeismicPair {
+        a,
+        b,
+        onsets,
+        max_shift,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_core::distance::{cdtw, sq_euclidean};
+
+    #[test]
+    fn pair_shape_and_determinism() {
+        let p = pair(2000, 4, 20, 7).unwrap();
+        assert_eq!(p.a.len(), 2000);
+        assert_eq!(p.b.len(), 2000);
+        assert_eq!(p.onsets.len(), 4);
+        let q = pair(2000, 4, 20, 7).unwrap();
+        assert_eq!(p.a, q.a);
+        assert_eq!(p.b, q.b);
+    }
+
+    #[test]
+    fn events_stand_above_the_noise_floor() {
+        let p = pair(1500, 3, 10, 3).unwrap();
+        let max = p.a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > 0.3, "peak {max}");
+        for &o in &p.onsets {
+            assert!(o < p.a.len());
+        }
+    }
+
+    #[test]
+    fn narrow_band_absorbs_the_station_offset() {
+        let shift = 25;
+        let p = pair(3000, 5, shift, 11).unwrap();
+        let banded = cdtw(&p.a, &p.b, (shift + 5) as f64 / 3000.0 * 100.0).unwrap();
+        let lockstep = sq_euclidean(&p.a, &p.b).unwrap();
+        assert!(
+            banded < lockstep * 0.5,
+            "a band covering the shift should align the events: {banded} vs {lockstep}"
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(pair(100, 2, 5, 1).is_err());
+        assert!(pair(2000, 0, 5, 1).is_err());
+        assert!(pair(500, 50, 100, 1).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! A Two-Patterns-style labeled generator (Geurts 2001).
+//!
+//! Four classes defined by the *order and polarity* of two transient
+//! events (up-up, up-down, down-up, down-down) at random positions in a
+//! noisy background. Classification requires invariance to event timing —
+//! precisely the "a little warping is a good thing" regime — making this
+//! the second classic classification substrate next to CBF.
+
+use crate::rng::SeededRng;
+use crate::types::LabeledDataset;
+use tsdtw_core::error::{Error, Result};
+
+/// The four classes: polarity of the first and second event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoPatternsClass {
+    /// up then up
+    UpUp = 0,
+    /// up then down
+    UpDown = 1,
+    /// down then up
+    DownUp = 2,
+    /// down then down
+    DownDown = 3,
+}
+
+impl TwoPatternsClass {
+    fn polarities(self) -> (f64, f64) {
+        match self {
+            TwoPatternsClass::UpUp => (1.0, 1.0),
+            TwoPatternsClass::UpDown => (1.0, -1.0),
+            TwoPatternsClass::DownUp => (-1.0, 1.0),
+            TwoPatternsClass::DownDown => (-1.0, -1.0),
+        }
+    }
+}
+
+/// A step-like transient: ramps from 0 to `polarity` over `width` samples
+/// and back, centered at `center`.
+fn add_event(s: &mut [f64], center: usize, width: usize, polarity: f64) {
+    let half = width / 2;
+    let start = center.saturating_sub(half);
+    for k in 0..width {
+        let idx = start + k;
+        if idx < s.len() {
+            // Triangular pulse.
+            let t = k as f64 / width as f64;
+            let amp = if t < 0.5 { 2.0 * t } else { 2.0 * (1.0 - t) };
+            s[idx] += 5.0 * polarity * amp;
+        }
+    }
+}
+
+/// One instance of length `n` of the given class.
+pub fn instance(n: usize, class: TwoPatternsClass, rng: &mut SeededRng) -> Result<Vec<f64>> {
+    if n < 64 {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: format!("Two-Patterns needs at least 64 samples, got {n}"),
+        });
+    }
+    let mut s: Vec<f64> = (0..n).map(|_| rng.gaussian() * 0.4).collect();
+    let width = n / 8;
+    // First event in the first half, second in the second half; positions
+    // jitter freely — the class signal is order + polarity, not timing.
+    let c1 = rng.index(width, n / 2 - width / 2);
+    let c2 = rng.index(n / 2 + width / 2, n - width);
+    let (p1, p2) = class.polarities();
+    add_event(&mut s, c1, width, p1);
+    add_event(&mut s, c2, width, p2);
+    Ok(s)
+}
+
+/// A balanced four-class dataset, interleaved by class.
+pub fn dataset(n: usize, per_class: usize, seed: u64) -> Result<LabeledDataset> {
+    if per_class == 0 {
+        return Err(Error::EmptyInput { which: "per_class" });
+    }
+    let classes = [
+        TwoPatternsClass::UpUp,
+        TwoPatternsClass::UpDown,
+        TwoPatternsClass::DownUp,
+        TwoPatternsClass::DownDown,
+    ];
+    let mut rng = SeededRng::new(seed);
+    let mut series = Vec::with_capacity(4 * per_class);
+    let mut labels = Vec::with_capacity(4 * per_class);
+    for i in 0..4 * per_class {
+        let class = classes[i % 4];
+        series.push(instance(n, class, &mut rng)?);
+        labels.push(class as usize);
+    }
+    LabeledDataset::new("two-patterns", series, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LabeledDataset;
+
+    #[test]
+    fn dataset_shape() {
+        let d = dataset(128, 5, 1).unwrap();
+        assert_eq!(d.len(), 20);
+        assert_eq!(d.n_classes(), 4);
+        assert_eq!(d.series_len(), 128);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(dataset(96, 3, 5).unwrap(), dataset(96, 3, 5).unwrap());
+    }
+
+    #[test]
+    fn polarity_structure_is_present() {
+        let mut rng = SeededRng::new(2);
+        let up_up = instance(256, TwoPatternsClass::UpUp, &mut rng).unwrap();
+        let down_down = instance(256, TwoPatternsClass::DownDown, &mut rng).unwrap();
+        let max = |s: &[f64]| s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = |s: &[f64]| s.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max(&up_up) > 3.0);
+        assert!(min(&down_down) < -3.0);
+    }
+
+    #[test]
+    fn warping_separates_classes_better_than_lockstep() {
+        // 1-NN style check: within-class DTW distances (which can align
+        // the jittered events) vs lock-step distances.
+        use tsdtw_core::distance::{cdtw, sq_euclidean};
+        let d: LabeledDataset = dataset(128, 4, 7).unwrap();
+        let mut dtw_within = Vec::new();
+        let mut euc_within = Vec::new();
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                if d.labels[i] == d.labels[j] {
+                    dtw_within.push(cdtw(&d.series[i], &d.series[j], 30.0).unwrap());
+                    euc_within.push(sq_euclidean(&d.series[i], &d.series[j]).unwrap());
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&dtw_within) < avg(&euc_within) * 0.6,
+            "warping should absorb event-position jitter: {} vs {}",
+            avg(&dtw_within),
+            avg(&euc_within)
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        let mut rng = SeededRng::new(1);
+        assert!(instance(32, TwoPatternsClass::UpUp, &mut rng).is_err());
+        assert!(dataset(128, 0, 1).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! The labeled-dataset container shared by the classification-style
+//! generators and the UCR-format loader.
+
+use tsdtw_core::error::{Error, Result};
+
+/// A labeled collection of equal-length univariate time series — the shape
+/// of a UCR-archive dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledDataset {
+    /// Human-readable dataset name (e.g. `"uwave-like"`).
+    pub name: String,
+    /// The series; all must share one length.
+    pub series: Vec<Vec<f64>>,
+    /// One class label per series.
+    pub labels: Vec<usize>,
+}
+
+impl LabeledDataset {
+    /// Builds a dataset, validating shape coherence: at least one series,
+    /// equal lengths, one label per series.
+    pub fn new(name: impl Into<String>, series: Vec<Vec<f64>>, labels: Vec<usize>) -> Result<Self> {
+        if series.is_empty() {
+            return Err(Error::EmptyInput { which: "series" });
+        }
+        if series.len() != labels.len() {
+            return Err(Error::InvalidParameter {
+                name: "labels",
+                reason: format!("{} series but {} labels", series.len(), labels.len()),
+            });
+        }
+        let len = series[0].len();
+        if len == 0 {
+            return Err(Error::EmptyInput { which: "series[0]" });
+        }
+        if let Some(bad) = series.iter().position(|s| s.len() != len) {
+            return Err(Error::InvalidParameter {
+                name: "series",
+                reason: format!(
+                    "series {bad} has length {}, expected {len}",
+                    series[bad].len()
+                ),
+            });
+        }
+        Ok(LabeledDataset {
+            name: name.into(),
+            series,
+            labels,
+        })
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Common length of every series.
+    pub fn series_len(&self) -> usize {
+        self.series[0].len()
+    }
+
+    /// Number of distinct classes.
+    pub fn n_classes(&self) -> usize {
+        let mut seen: Vec<usize> = self.labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Splits into (train, test) by taking every `k`-th *exemplar of each
+    /// class* into test — a deterministic, class-stratified split: every
+    /// class keeps `⌈(k−1)/k⌉` of its exemplars in train and is guaranteed
+    /// representation on both sides whenever it has ≥ `k` exemplars.
+    pub fn split_stratified(&self, k: usize) -> Result<(LabeledDataset, LabeledDataset)> {
+        if k < 2 {
+            return Err(Error::InvalidParameter {
+                name: "k",
+                reason: "split interval must be at least 2".into(),
+            });
+        }
+        let mut per_class_seen: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut train_s = Vec::new();
+        let mut train_l = Vec::new();
+        let mut test_s = Vec::new();
+        let mut test_l = Vec::new();
+        for (s, &l) in self.series.iter().zip(&self.labels) {
+            let seen = per_class_seen.entry(l).or_insert(0);
+            if (*seen).is_multiple_of(k) {
+                test_s.push(s.clone());
+                test_l.push(l);
+            } else {
+                train_s.push(s.clone());
+                train_l.push(l);
+            }
+            *seen += 1;
+        }
+        Ok((
+            LabeledDataset::new(format!("{}-train", self.name), train_s, train_l)?,
+            LabeledDataset::new(format!("{}-test", self.name), test_s, test_l)?,
+        ))
+    }
+
+    /// Splits into (train, test) by taking every `k`-th series into test.
+    ///
+    /// Beware with interleaved generators (`label = i % n_classes`): if `k`
+    /// shares a factor with the class count, whole classes land on one
+    /// side. Prefer [`LabeledDataset::split_stratified`] for
+    /// classification experiments.
+    pub fn split_every(&self, k: usize) -> Result<(LabeledDataset, LabeledDataset)> {
+        if k < 2 {
+            return Err(Error::InvalidParameter {
+                name: "k",
+                reason: "split interval must be at least 2".into(),
+            });
+        }
+        let mut train_s = Vec::new();
+        let mut train_l = Vec::new();
+        let mut test_s = Vec::new();
+        let mut test_l = Vec::new();
+        for (i, (s, &l)) in self.series.iter().zip(&self.labels).enumerate() {
+            if i % k == 0 {
+                test_s.push(s.clone());
+                test_l.push(l);
+            } else {
+                train_s.push(s.clone());
+                train_l.push(l);
+            }
+        }
+        Ok((
+            LabeledDataset::new(format!("{}-train", self.name), train_s, train_l)?,
+            LabeledDataset::new(format!("{}-test", self.name), test_s, test_l)?,
+        ))
+    }
+
+    /// Applies z-normalization to every series in place (UCR convention).
+    pub fn znorm_all(&mut self) -> Result<()> {
+        for s in &mut self.series {
+            tsdtw_core::norm::znorm_in_place(s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LabeledDataset {
+        LabeledDataset::new(
+            "t",
+            vec![
+                vec![0.0, 1.0],
+                vec![1.0, 2.0],
+                vec![2.0, 3.0],
+                vec![3.0, 4.0],
+            ],
+            vec![0, 1, 0, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.series_len(), 2);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_series() {
+        let r = LabeledDataset::new("r", vec![vec![0.0], vec![0.0, 1.0]], vec![0, 1]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_label_count_mismatch() {
+        let r = LabeledDataset::new("r", vec![vec![0.0]], vec![0, 1]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(LabeledDataset::new("r", vec![], vec![]).is_err());
+        assert!(LabeledDataset::new("r", vec![vec![]], vec![0]).is_err());
+    }
+
+    #[test]
+    fn split_every_partitions() {
+        let d = tiny();
+        let (train, test) = d.split_every(2).unwrap();
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 2);
+    }
+
+    #[test]
+    fn split_stratified_keeps_every_class_on_both_sides() {
+        // 8 interleaved classes and k = 4: the plain positional split
+        // would put classes 0 and 4 entirely into test; the stratified
+        // split must not.
+        let n_classes = 8;
+        let per_class = 8;
+        let series: Vec<Vec<f64>> = (0..n_classes * per_class)
+            .map(|i| vec![i as f64, 0.0])
+            .collect();
+        let labels: Vec<usize> = (0..n_classes * per_class).map(|i| i % n_classes).collect();
+        let d = LabeledDataset::new("s", series, labels).unwrap();
+        let (train, test) = d.split_stratified(4).unwrap();
+        assert_eq!(train.n_classes(), n_classes);
+        assert_eq!(test.n_classes(), n_classes);
+        assert_eq!(train.len() + test.len(), d.len());
+        // Every class contributes ceil(8/4) = 2 test exemplars.
+        for c in 0..n_classes {
+            assert_eq!(test.labels.iter().filter(|&&l| l == c).count(), 2);
+        }
+    }
+
+    #[test]
+    fn split_stratified_rejects_k_below_two() {
+        assert!(tiny().split_stratified(1).is_err());
+    }
+
+    #[test]
+    fn split_rejects_k_below_two() {
+        assert!(tiny().split_every(1).is_err());
+    }
+
+    #[test]
+    fn znorm_all_normalizes_each_series() {
+        let mut d = tiny();
+        d.znorm_all().unwrap();
+        for s in &d.series {
+            let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+            assert!(mean.abs() < 1e-12);
+        }
+    }
+}

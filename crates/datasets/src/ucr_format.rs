@@ -1,0 +1,165 @@
+//! Reader/writer for the UCR archive text format.
+//!
+//! The archive distributes each dataset as `<Name>_TRAIN.tsv` /
+//! `<Name>_TEST.tsv`: one series per line, the first field the integer
+//! class label, the remaining fields the values, separated by tabs (older
+//! versions used commas; both are accepted). If a user has real archive
+//! files, every experiment in the harness can run on them instead of the
+//! synthetic substitutes.
+
+use crate::types::LabeledDataset;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+use tsdtw_core::error::{Error, Result};
+
+/// Parses UCR text content from any reader.
+pub fn read_ucr<R: Read>(name: &str, reader: R) -> Result<LabeledDataset> {
+    let buf = BufReader::new(reader);
+    let mut series = Vec::new();
+    let mut labels = Vec::new();
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line.map_err(|e| Error::InvalidParameter {
+            name: "reader",
+            reason: format!("I/O error at line {}: {e}", lineno + 1),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let sep = if trimmed.contains('\t') { '\t' } else { ',' };
+        let mut fields = trimmed.split(sep).filter(|f| !f.is_empty());
+        let label_field = fields.next().ok_or_else(|| Error::InvalidParameter {
+            name: "line",
+            reason: format!("line {} has no fields", lineno + 1),
+        })?;
+        // Labels may be written as "1" or "1.0"; parse via f64.
+        let label = label_field
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| Error::InvalidParameter {
+                name: "label",
+                reason: format!("line {}: unparsable label {label_field:?}", lineno + 1),
+            })? as i64;
+        let values: std::result::Result<Vec<f64>, _> =
+            fields.map(|f| f.trim().parse::<f64>()).collect();
+        let values = values.map_err(|e| Error::InvalidParameter {
+            name: "values",
+            reason: format!("line {}: {e}", lineno + 1),
+        })?;
+        if values.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "values",
+                reason: format!("line {} has a label but no values", lineno + 1),
+            });
+        }
+        series.push(values);
+        // The archive uses labels like -1/1 or 1..k; shift to 0-based usize.
+        labels.push(label);
+    }
+    // Remap arbitrary integer labels onto 0..k.
+    let mut distinct: Vec<i64> = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let mapped: Vec<usize> = labels
+        .iter()
+        .map(|l| distinct.binary_search(l).expect("label present"))
+        .collect();
+    LabeledDataset::new(name, series, mapped)
+}
+
+/// Loads a UCR file from disk.
+pub fn load_ucr_file(path: &Path) -> Result<LabeledDataset> {
+    let file = std::fs::File::open(path).map_err(|e| Error::InvalidParameter {
+        name: "path",
+        reason: format!("cannot open {}: {e}", path.display()),
+    })?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "ucr".into());
+    read_ucr(&name, file)
+}
+
+/// Writes a dataset in UCR tab-separated format.
+pub fn write_ucr<W: Write>(data: &LabeledDataset, mut writer: W) -> Result<()> {
+    for (s, &l) in data.series.iter().zip(&data.labels) {
+        let mut line = String::with_capacity(s.len() * 12 + 8);
+        line.push_str(&l.to_string());
+        for v in s {
+            line.push('\t');
+            line.push_str(&format!("{v}"));
+        }
+        line.push('\n');
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| Error::InvalidParameter {
+                name: "writer",
+                reason: format!("I/O error: {e}"),
+            })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let d = LabeledDataset::new(
+            "rt",
+            vec![vec![0.5, -1.25, 3.0], vec![2.0, 2.0, 2.0]],
+            vec![0, 1],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_ucr(&d, &mut buf).unwrap();
+        let back = read_ucr("rt", buf.as_slice()).unwrap();
+        assert_eq!(back.series, d.series);
+        assert_eq!(back.labels, d.labels);
+    }
+
+    #[test]
+    fn reads_tab_separated() {
+        let text = "1\t0.0\t1.0\t2.0\n2\t3.0\t4.0\t5.0\n";
+        let d = read_ucr("t", text.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.series[1], vec![3.0, 4.0, 5.0]);
+        assert_eq!(d.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn reads_comma_separated_with_float_labels() {
+        let text = "1.0,0.5,0.75\n3.0,1.5,1.75\n";
+        let d = read_ucr("c", text.as_bytes()).unwrap();
+        assert_eq!(d.labels, vec![0, 1]);
+        assert_eq!(d.series[0], vec![0.5, 0.75]);
+    }
+
+    #[test]
+    fn remaps_negative_labels() {
+        let text = "-1\t0.0\t1.0\n1\t1.0\t0.0\n-1\t0.5\t0.5\n";
+        let d = read_ucr("n", text.as_bytes()).unwrap();
+        assert_eq!(d.labels, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "\n1\t0.0\t1.0\n\n2\t1.0\t0.0\n\n";
+        let d = read_ucr("b", text.as_bytes()).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_ucr("g", "1\tfoo\tbar\n".as_bytes()).is_err());
+        assert!(read_ucr("g", "label-only\n".as_bytes()).is_err());
+        assert!(read_ucr("g", "1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let text = "1\t0.0\t1.0\n2\t1.0\n";
+        assert!(read_ucr("r", text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Controlled time-warping: resample a template through a smooth monotone
+//! time map whose maximum displacement is bounded.
+//!
+//! This is the lever every labeled generator uses to dial in the paper's
+//! `W` — the *natural* warping amount of a domain, expressed as a
+//! percentage of the series length. A instance generated with
+//! `max_shift = s` never needs a warping path deviating more than about
+//! `s` cells from the diagonal to align with its template, so datasets
+//! built this way have a known ground-truth `W ≈ s / N`.
+
+use crate::rng::SeededRng;
+use tsdtw_core::error::{Error, Result};
+
+/// Samples `template` at position `t` (fractional) with linear
+/// interpolation, clamping at the ends.
+pub fn sample_at(template: &[f64], t: f64) -> f64 {
+    let n = template.len();
+    debug_assert!(n > 0);
+    if t <= 0.0 {
+        return template[0];
+    }
+    let max = (n - 1) as f64;
+    if t >= max {
+        return template[n - 1];
+    }
+    let i = t.floor() as usize;
+    let frac = t - i as f64;
+    template[i] * (1.0 - frac) + template[i + 1] * frac
+}
+
+/// Generates a smooth monotone time map `t(u)` over `n` samples with
+/// `|t(u) − u| ≤ max_shift`, as a vector of fractional source positions.
+///
+/// The map is `u + Σ a_k sin(π f_k u/n + φ_k)` with the perturbation scaled
+/// to respect the bound, forced to zero displacement at both endpoints so
+/// boundary alignment is preserved, and post-processed to be strictly
+/// monotone.
+pub fn monotone_time_map(n: usize, max_shift: f64, rng: &mut SeededRng) -> Result<Vec<f64>> {
+    if n == 0 {
+        return Err(Error::EmptyInput { which: "n" });
+    }
+    if max_shift < 0.0 || !max_shift.is_finite() {
+        return Err(Error::InvalidParameter {
+            name: "max_shift",
+            reason: format!("must be finite and non-negative, got {max_shift}"),
+        });
+    }
+    let mut map = Vec::with_capacity(n);
+    // Low-frequency sinusoidal displacement field.
+    let k = 3;
+    let comps: Vec<(f64, f64, f64)> = (0..k)
+        .map(|i| {
+            let freq = (i + 1) as f64;
+            let amp = rng.uniform_in(0.2, 1.0) / freq;
+            let phase = rng.uniform_in(0.0, std::f64::consts::TAU);
+            (amp, freq, phase)
+        })
+        .collect();
+    let amp_total: f64 = comps.iter().map(|(a, _, _)| a).sum();
+    let scale = if amp_total > 0.0 {
+        max_shift / amp_total
+    } else {
+        0.0
+    };
+
+    let denom = (n.max(2) - 1) as f64;
+    for u in 0..n {
+        let x = u as f64 / denom; // in [0, 1]
+        let mut disp = 0.0;
+        for &(a, f, p) in &comps {
+            disp += a * (std::f64::consts::PI * f * x + p).sin();
+        }
+        // sin(pi * x) envelope pins the endpoints.
+        let envelope = (std::f64::consts::PI * x).sin();
+        map.push(u as f64 + scale * disp * envelope);
+    }
+    // Clamp into the template's index range first, then enforce strict
+    // monotonicity (large shifts can locally fold, and clamping can
+    // flatten runs at the boundaries). The epsilon steps may overshoot the
+    // last index by a few nanounits; `sample_at` clamps on read.
+    let max = (n - 1) as f64;
+    for v in &mut map {
+        *v = v.clamp(0.0, max);
+    }
+    for i in 1..n {
+        if map[i] <= map[i - 1] {
+            map[i] = map[i - 1] + 1e-9;
+        }
+    }
+    Ok(map)
+}
+
+/// Produces a warped copy of `template`: resampled through a random
+/// monotone time map with displacement ≤ `max_shift` samples, then
+/// amplitude-scaled by `1 ± amp_jitter` and perturbed with Gaussian noise
+/// of standard deviation `noise_std`.
+pub fn warped_instance(
+    template: &[f64],
+    max_shift: f64,
+    amp_jitter: f64,
+    noise_std: f64,
+    rng: &mut SeededRng,
+) -> Result<Vec<f64>> {
+    if template.is_empty() {
+        return Err(Error::EmptyInput { which: "template" });
+    }
+    let n = template.len();
+    let map = monotone_time_map(n, max_shift, rng)?;
+    let amp = 1.0 + rng.uniform_in(-amp_jitter, amp_jitter.max(f64::MIN_POSITIVE));
+    Ok(map
+        .iter()
+        .map(|&t| amp * sample_at(template, t) + rng.normal(0.0, noise_std))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_at_interpolates_linearly() {
+        let t = [0.0, 10.0, 20.0];
+        assert_eq!(sample_at(&t, 0.5), 5.0);
+        assert_eq!(sample_at(&t, 1.25), 12.5);
+        assert_eq!(sample_at(&t, -3.0), 0.0);
+        assert_eq!(sample_at(&t, 99.0), 20.0);
+    }
+
+    #[test]
+    fn time_map_is_monotone_and_bounded() {
+        let mut rng = SeededRng::new(11);
+        for &shift in &[0.0, 3.0, 40.0] {
+            let map = monotone_time_map(200, shift, &mut rng).unwrap();
+            for i in 1..map.len() {
+                assert!(map[i] > map[i - 1], "fold at {i} for shift {shift}");
+            }
+            for (u, &t) in map.iter().enumerate() {
+                assert!(
+                    (t - u as f64).abs() <= shift + 1e-6,
+                    "displacement {} at {u} exceeds {shift}",
+                    t - u as f64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn time_map_pins_endpoints() {
+        let mut rng = SeededRng::new(5);
+        let map = monotone_time_map(100, 20.0, &mut rng).unwrap();
+        assert!((map[0] - 0.0).abs() < 1e-6);
+        assert!((map[99] - 99.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_shift_zero_noise_is_amplitude_scaled_identity() {
+        let template: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).sin()).collect();
+        let mut rng = SeededRng::new(3);
+        let inst = warped_instance(&template, 0.0, 0.0, 0.0, &mut rng).unwrap();
+        // amp_jitter 0 means amp factor within [1, 1 + tiny].
+        for (a, b) in template.iter().zip(&inst) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warped_instance_is_alignable_within_the_shift_budget() {
+        use tsdtw_core::dtw::banded::cdtw_distance;
+        use tsdtw_core::SquaredCost;
+        let template: Vec<f64> = (0..300).map(|i| (i as f64 * 0.07).sin() * 2.0).collect();
+        let mut rng = SeededRng::new(8);
+        let shift = 20.0;
+        let inst = warped_instance(&template, shift, 0.0, 0.0, &mut rng).unwrap();
+        // Aligning within the shift budget should be near-free; aligning
+        // with a lockstep (band 0) comparison should cost much more.
+        let within = cdtw_distance(&template, &inst, shift as usize + 2, SquaredCost).unwrap();
+        let lockstep = cdtw_distance(&template, &inst, 0, SquaredCost).unwrap();
+        assert!(
+            within < lockstep * 0.25,
+            "warping should recover most of the distortion: {within} vs {lockstep}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = SeededRng::new(1);
+        assert!(monotone_time_map(0, 1.0, &mut rng).is_err());
+        assert!(monotone_time_map(10, -1.0, &mut rng).is_err());
+        assert!(warped_instance(&[], 1.0, 0.0, 0.0, &mut rng).is_err());
+    }
+}

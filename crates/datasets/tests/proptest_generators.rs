@@ -1,0 +1,144 @@
+//! Property-based tests over the dataset generators: determinism, shape
+//! guarantees, and the structural promises each generator documents.
+
+use proptest::prelude::*;
+use tsdtw_datasets::cbf::{dataset as cbf_dataset, instance as cbf_instance, CbfClass};
+use tsdtw_datasets::ecg::{beats, rhythm_strip};
+use tsdtw_datasets::fall::pair as fall_pair;
+use tsdtw_datasets::gesture::{uwave_like, GestureConfig};
+use tsdtw_datasets::music::performance_pair;
+use tsdtw_datasets::power::dishwasher_morning;
+use tsdtw_datasets::random_walk::random_walk;
+use tsdtw_datasets::rng::SeededRng;
+use tsdtw_datasets::two_patterns::{dataset as tp_dataset, TwoPatternsClass};
+use tsdtw_datasets::warp::{monotone_time_map, warped_instance};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_walk_deterministic_and_finite(n in 1usize..500, seed in 0u64..1000) {
+        let a = random_walk(n, seed).unwrap();
+        let b = random_walk(n, seed).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn time_map_is_monotone_for_any_shift(n in 2usize..300, shift in 0.0f64..50.0, seed in 0u64..100) {
+        let mut rng = SeededRng::new(seed);
+        let map = monotone_time_map(n, shift, &mut rng).unwrap();
+        prop_assert_eq!(map.len(), n);
+        for w in map.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        for (u, &t) in map.iter().enumerate() {
+            prop_assert!((t - u as f64).abs() <= shift + 1e-6);
+        }
+    }
+
+    #[test]
+    fn warped_instance_preserves_length(n in 3usize..200, seed in 0u64..50) {
+        let template: Vec<f64> = (0..n).map(|i| (i as f64 * 0.2).sin()).collect();
+        let mut rng = SeededRng::new(seed);
+        let inst = warped_instance(&template, n as f64 * 0.1, 0.1, 0.05, &mut rng).unwrap();
+        prop_assert_eq!(inst.len(), n);
+        prop_assert!(inst.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn gesture_dataset_shape_holds(classes in 1usize..6, per_class in 1usize..5, seed in 0u64..20) {
+        let config = GestureConfig {
+            length: 60,
+            n_classes: classes,
+            per_class,
+            max_shift: 4.0,
+            noise_std: 0.05,
+            amp_jitter: 0.05,
+        };
+        let d = uwave_like(&config, seed).unwrap();
+        prop_assert_eq!(d.len(), classes * per_class);
+        prop_assert_eq!(d.series_len(), 60);
+        prop_assert!(d.n_classes() <= classes);
+        for (i, &l) in d.labels.iter().enumerate() {
+            prop_assert_eq!(l, i % classes);
+        }
+    }
+
+    #[test]
+    fn music_pair_respects_drift_budget(n in 50usize..800, drift in 0.0f64..20.0, seed in 0u64..30) {
+        let p = performance_pair(n, drift, seed).unwrap();
+        prop_assert_eq!(p.studio.len(), n);
+        prop_assert_eq!(p.live.len(), n);
+        prop_assert!(p.studio.iter().chain(&p.live).all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fall_pair_lengths_match_duration(l in 1.0f64..8.0, seed in 0u64..20) {
+        let p = fall_pair(l, seed).unwrap();
+        prop_assert_eq!(p.len, (l * 100.0).round() as usize);
+        prop_assert_eq!(p.early.len(), p.len);
+        prop_assert_eq!(p.late.len(), p.len);
+    }
+
+    #[test]
+    fn power_morning_peaks_in_bounds(n in 150usize..600, onset in 0usize..100, seed in 0u64..20) {
+        let m = dishwasher_morning(n, onset, seed).unwrap();
+        prop_assert_eq!(m.series.len(), n);
+        for &c in &m.peak_centers {
+            prop_assert!(c < n);
+        }
+        // Peaks are ordered by program stage.
+        prop_assert!(m.peak_centers[0] <= m.peak_centers[1]);
+        prop_assert!(m.peak_centers[1] <= m.peak_centers[2]);
+    }
+
+    #[test]
+    fn cbf_instances_have_requested_length(n in 16usize..300, seed in 0u64..20) {
+        let mut rng = SeededRng::new(seed);
+        for class in [CbfClass::Cylinder, CbfClass::Bell, CbfClass::Funnel] {
+            let inst = cbf_instance(n, class, &mut rng).unwrap();
+            prop_assert_eq!(inst.len(), n);
+        }
+    }
+
+    #[test]
+    fn cbf_dataset_balanced(per_class in 1usize..6, seed in 0u64..20) {
+        let d = cbf_dataset(64, per_class, seed).unwrap();
+        for c in 0..3usize {
+            prop_assert_eq!(d.labels.iter().filter(|&&l| l == c).count(), per_class);
+        }
+    }
+
+    #[test]
+    fn two_patterns_balanced(per_class in 1usize..5, seed in 0u64..20) {
+        let d = tp_dataset(64, per_class, seed).unwrap();
+        prop_assert_eq!(d.len(), 4 * per_class);
+        for c in [
+            TwoPatternsClass::UpUp,
+            TwoPatternsClass::UpDown,
+            TwoPatternsClass::DownUp,
+            TwoPatternsClass::DownDown,
+        ] {
+            prop_assert_eq!(
+                d.labels.iter().filter(|&&l| l == c as usize).count(),
+                per_class
+            );
+        }
+    }
+
+    #[test]
+    fn ecg_beats_deterministic(count in 1usize..6, len in 40usize..200, seed in 0u64..20) {
+        let a = beats(count, len, seed).unwrap();
+        let b = beats(count, len, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rhythm_strip_length_within_jitter(n_beats in 1usize..10, seed in 0u64..20) {
+        let s = rhythm_strip(n_beats, 120, 0.1, seed).unwrap();
+        prop_assert!(s.len() >= n_beats * 108);
+        prop_assert!(s.len() <= n_beats * 132);
+    }
+}

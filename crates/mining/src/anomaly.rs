@@ -1,0 +1,131 @@
+//! Discord discovery: the most anomalous subsequence of a series.
+//!
+//! A *discord* is the subsequence whose distance to its nearest
+//! non-overlapping neighbor is largest. Brute force is O(n²) distance
+//! calls; the early-abandoning inner loop (only available to exact
+//! measures — the running theme of the paper) keeps it tractable.
+//! Included as an extension used by the power-demand example.
+
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea, EaOutcome};
+use tsdtw_core::error::{Error, Result};
+use tsdtw_core::norm::znorm;
+
+/// Result of a discord search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discord {
+    /// Start offset of the discord subsequence.
+    pub position: usize,
+    /// Distance to its nearest non-overlapping neighbor.
+    pub nn_distance: f64,
+}
+
+/// Finds the top discord of window length `m` under z-normalized
+/// `cDTW_band`, with full (non-self-matching) exclusion of overlapping
+/// windows.
+pub fn top_discord(series: &[f64], m: usize, band: usize) -> Result<Discord> {
+    if m == 0 {
+        return Err(Error::EmptyInput { which: "m" });
+    }
+    if series.len() < 2 * m {
+        return Err(Error::InvalidParameter {
+            name: "series",
+            reason: format!(
+                "need at least two non-overlapping windows: len {} < 2×{m}",
+                series.len()
+            ),
+        });
+    }
+    let n_windows = series.len() - m + 1;
+    let windows: Vec<Vec<f64>> = (0..n_windows)
+        .map(|p| znorm(&series[p..p + m]))
+        .collect::<Result<_>>()?;
+
+    let mut best = Discord {
+        position: 0,
+        nn_distance: -1.0,
+    };
+    for p in 0..n_windows {
+        // Nearest non-overlapping neighbor of window p, with early abandon
+        // once it drops below the best discord score so far (a candidate
+        // whose NN is already closer than `best.nn_distance` cannot win).
+        let mut nn = f64::INFINITY;
+        for q in 0..n_windows {
+            if q.abs_diff(p) < m {
+                continue; // overlapping: trivial match exclusion
+            }
+            match cdtw_distance_ea(&windows[p], &windows[q], band, nn, None, SquaredCost)? {
+                EaOutcome::Exact(d) => nn = nn.min(d),
+                EaOutcome::Abandoned { .. } => {}
+            }
+            if nn <= best.nn_distance {
+                break; // cannot be the discord anymore
+            }
+        }
+        if nn > best.nn_distance && nn.is_finite() {
+            best = Discord {
+                position: p,
+                nn_distance: nn,
+            };
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A periodic signal with one corrupted cycle.
+    fn signal_with_anomaly(n_cycles: usize, cycle: usize, bad: usize) -> Vec<f64> {
+        let mut s = Vec::with_capacity(n_cycles * cycle);
+        for c in 0..n_cycles {
+            for i in 0..cycle {
+                let x = i as f64 / cycle as f64 * std::f64::consts::TAU;
+                let v = if c == bad {
+                    // Anomalous cycle: different shape entirely.
+                    (3.0 * x).sin() * 0.3 + 1.5
+                } else {
+                    x.sin()
+                };
+                s.push(v);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn finds_the_corrupted_cycle() {
+        let cycle = 32;
+        let s = signal_with_anomaly(8, cycle, 5);
+        let d = top_discord(&s, cycle, 3).unwrap();
+        let found_cycle = (d.position + cycle / 2) / cycle;
+        assert_eq!(
+            found_cycle, 5,
+            "discord at {} (cycle {found_cycle})",
+            d.position
+        );
+        assert!(d.nn_distance > 0.0);
+    }
+
+    #[test]
+    fn uniform_signal_has_low_discord_score() {
+        let cycle = 24;
+        let healthy = signal_with_anomaly(6, cycle, usize::MAX); // no bad cycle
+        let anomalous = signal_with_anomaly(6, cycle, 2);
+        let dh = top_discord(&healthy, cycle, 2).unwrap();
+        let da = top_discord(&anomalous, cycle, 2).unwrap();
+        assert!(
+            da.nn_distance > dh.nn_distance * 3.0,
+            "anomaly should stand out: {} vs {}",
+            da.nn_distance,
+            dh.nn_distance
+        );
+    }
+
+    #[test]
+    fn rejects_too_short_series() {
+        assert!(top_discord(&[0.0; 10], 8, 1).is_err());
+        assert!(top_discord(&[0.0; 10], 0, 1).is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Agglomerative hierarchical clustering with dendrograms — the machinery
+//! behind the paper's Fig. 7, where the same three series cluster
+//! correctly under Full DTW and pathologically under FastDTW_20.
+
+use tsdtw_core::error::{Error, Result};
+
+use crate::pairwise::DistanceMatrix;
+
+/// Linkage criterion for merging clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA).
+    Average,
+}
+
+/// One merge step: clusters `a` and `b` (node ids) joined at `height`.
+///
+/// Leaves are nodes `0..n`; the merge created by step `k` is node `n + k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged node id.
+    pub a: usize,
+    /// Second merged node id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub height: f64,
+    /// Number of leaves under the new node.
+    pub size: usize,
+}
+
+/// The full merge tree over `n` leaves (`n − 1` merges).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dendrogram {
+    /// Number of leaves.
+    pub n_leaves: usize,
+    /// Merges in chronological (increasing-height for single/complete/
+    /// average linkage on a metric) order.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cluster assignments after cutting the tree into `k` clusters.
+    /// Labels are arbitrary but consistent (0-based, dense).
+    pub fn cut(&self, k: usize) -> Result<Vec<usize>> {
+        let n = self.n_leaves;
+        if k == 0 || k > n {
+            return Err(Error::InvalidParameter {
+                name: "k",
+                reason: format!("k must be in 1..={n}, got {k}"),
+            });
+        }
+        // Union-find over the first n - k merges.
+        let mut parent: Vec<usize> = (0..n + self.merges.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, m) in self.merges.iter().take(n - k).enumerate() {
+            let node = n + step;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = node;
+            parent[rb] = node;
+        }
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(n);
+        for leaf in 0..n {
+            let root = find(&mut parent, leaf);
+            let next = label_of_root.len();
+            let l = *label_of_root.entry(root).or_insert(next);
+            labels.push(l);
+        }
+        Ok(labels)
+    }
+
+    /// The two leaves that merged first (the tree's tightest pair).
+    pub fn first_pair(&self) -> Option<(usize, usize)> {
+        self.merges.first().and_then(|m| {
+            if m.a < self.n_leaves && m.b < self.n_leaves {
+                Some((m.a.min(m.b), m.a.max(m.b)))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Renders a small dendrogram as indented ASCII, with leaves labeled by
+    /// `names` (padded with indices if too short). Intended for the
+    /// three-series Fig. 7 reproduction, not large trees.
+    pub fn render_ascii(&self, names: &[&str]) -> String {
+        fn node_str(d: &Dendrogram, names: &[&str], node: usize, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            if node < d.n_leaves {
+                let name = names
+                    .get(node)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("leaf{node}"));
+                out.push_str(&format!("{pad}{name}\n"));
+            } else {
+                let m = d.merges[node - d.n_leaves];
+                out.push_str(&format!("{pad}+- h={:.4}\n", m.height));
+                node_str(d, names, m.a, indent + 1, out);
+                node_str(d, names, m.b, indent + 1, out);
+            }
+        }
+        let mut out = String::new();
+        if self.merges.is_empty() {
+            for leaf in 0..self.n_leaves {
+                node_str(self, names, leaf, 0, &mut out);
+            }
+        } else {
+            node_str(
+                self,
+                names,
+                self.n_leaves + self.merges.len() - 1,
+                0,
+                &mut out,
+            );
+        }
+        out
+    }
+}
+
+/// Agglomerative clustering from a precomputed distance matrix.
+///
+/// Classic O(n³) implementation (n is small in every use here); the
+/// Lance–Williams updates keep single/complete/average linkage exact.
+pub fn agglomerative(dist: &DistanceMatrix, linkage: Linkage) -> Result<Dendrogram> {
+    let n = dist.len();
+    if n == 0 {
+        return Err(Error::EmptyInput { which: "dist" });
+    }
+    // Working inter-cluster distance matrix, indexed by *active* node id.
+    let total = 2 * n - 1;
+    let mut d = vec![f64::INFINITY; total * total];
+    let at = |i: usize, j: usize| i * total + j;
+    for i in 0..n {
+        for j in 0..n {
+            d[at(i, j)] = dist.get(i, j);
+        }
+    }
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut sizes = vec![1usize; total];
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest active pair.
+        let mut best = (0usize, 0usize, f64::INFINITY);
+        for (ai, &a) in active.iter().enumerate() {
+            for &b in &active[ai + 1..] {
+                let v = d[at(a, b)];
+                if v < best.2 {
+                    best = (a, b, v);
+                }
+            }
+        }
+        let (a, b, h) = best;
+        let node = n + step;
+        sizes[node] = sizes[a] + sizes[b];
+        merges.push(Merge {
+            a,
+            b,
+            height: h,
+            size: sizes[node],
+        });
+
+        // Lance–Williams update of distances from the new cluster to every
+        // other active cluster.
+        for &c in &active {
+            if c == a || c == b {
+                continue;
+            }
+            let dac = d[at(a, c)];
+            let dbc = d[at(b, c)];
+            let v = match linkage {
+                Linkage::Single => dac.min(dbc),
+                Linkage::Complete => dac.max(dbc),
+                Linkage::Average => {
+                    let (sa, sb) = (sizes[a] as f64, sizes[b] as f64);
+                    (sa * dac + sb * dbc) / (sa + sb)
+                }
+            };
+            d[at(node, c)] = v;
+            d[at(c, node)] = v;
+        }
+        active.retain(|&x| x != a && x != b);
+        active.push(node);
+    }
+
+    Ok(Dendrogram {
+        n_leaves: n,
+        merges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three points on a line: 0, 1, 10 — the obvious tree pairs {0,1}.
+    fn line_matrix() -> DistanceMatrix {
+        DistanceMatrix::from_triples(3, &[(0, 1, 1.0), (0, 2, 10.0), (1, 2, 9.0)])
+    }
+
+    #[test]
+    fn three_point_tree_pairs_the_close_ones() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let tree = agglomerative(&line_matrix(), linkage).unwrap();
+            assert_eq!(tree.first_pair(), Some((0, 1)), "{linkage:?}");
+            assert_eq!(tree.merges.len(), 2);
+            assert_eq!(tree.merges[0].height, 1.0);
+        }
+    }
+
+    #[test]
+    fn linkages_differ_on_second_merge() {
+        let single = agglomerative(&line_matrix(), Linkage::Single).unwrap();
+        let complete = agglomerative(&line_matrix(), Linkage::Complete).unwrap();
+        let average = agglomerative(&line_matrix(), Linkage::Average).unwrap();
+        assert_eq!(single.merges[1].height, 9.0);
+        assert_eq!(complete.merges[1].height, 10.0);
+        assert_eq!(average.merges[1].height, 9.5);
+    }
+
+    #[test]
+    fn cut_recovers_clusters() {
+        // Two tight pairs far apart.
+        let m = DistanceMatrix::from_triples(
+            4,
+            &[
+                (0, 1, 0.1),
+                (2, 3, 0.2),
+                (0, 2, 8.0),
+                (0, 3, 8.0),
+                (1, 2, 8.0),
+                (1, 3, 8.0),
+            ],
+        );
+        let tree = agglomerative(&m, Linkage::Average).unwrap();
+        let labels = tree.cut(2).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        // k = n: every leaf alone.
+        let singletons = tree.cut(4).unwrap();
+        let mut uniq = singletons.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4);
+    }
+
+    #[test]
+    fn cut_rejects_bad_k() {
+        let tree = agglomerative(&line_matrix(), Linkage::Single).unwrap();
+        assert!(tree.cut(0).is_err());
+        assert!(tree.cut(4).is_err());
+    }
+
+    #[test]
+    fn singleton_input() {
+        let m = DistanceMatrix::from_triples(1, &[]);
+        let tree = agglomerative(&m, Linkage::Single).unwrap();
+        assert!(tree.merges.is_empty());
+        assert_eq!(tree.cut(1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn ascii_render_contains_leaf_names() {
+        let tree = agglomerative(&line_matrix(), Linkage::Average).unwrap();
+        let art = tree.render_ascii(&["A", "B", "C"]);
+        assert!(art.contains('A') && art.contains('B') && art.contains('C'));
+        assert!(art.contains("h="));
+    }
+
+    #[test]
+    fn merge_heights_monotone_for_metric_average_linkage() {
+        let m = DistanceMatrix::from_triples(
+            5,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 4.0),
+                (0, 3, 6.0),
+                (0, 4, 7.0),
+                (1, 2, 3.5),
+                (1, 3, 5.5),
+                (1, 4, 6.5),
+                (2, 3, 2.0),
+                (2, 4, 5.0),
+                (3, 4, 4.5),
+            ],
+        );
+        let tree = agglomerative(&m, Linkage::Average).unwrap();
+        for w in tree.merges.windows(2) {
+            assert!(w[1].height >= w[0].height - 1e-12);
+        }
+    }
+}

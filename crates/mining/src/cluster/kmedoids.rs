@@ -1,0 +1,165 @@
+//! k-medoids (PAM-style) clustering under any precomputed distance matrix.
+//!
+//! DTW has no meaningful mean in raw-series space (that is what DBA is
+//! for), so partitional clustering under DTW classically uses medoids.
+//! Included as an extension; the paper's clustering demonstration (Fig. 7)
+//! uses the hierarchical module.
+
+use tsdtw_core::error::{Error, Result};
+
+use crate::pairwise::DistanceMatrix;
+
+/// Result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMedoids {
+    /// Indices of the chosen medoids.
+    pub medoids: Vec<usize>,
+    /// Cluster assignment (position into `medoids`) for every item.
+    pub assignment: Vec<usize>,
+    /// Sum of distances of items to their medoid.
+    pub inertia: f64,
+    /// Number of improvement sweeps performed.
+    pub iterations: usize,
+}
+
+/// Runs PAM-style alternating optimization: assign each point to its
+/// nearest medoid, then for each cluster pick the member minimizing the
+/// within-cluster distance sum; repeat to convergence (or `max_iter`).
+///
+/// Deterministic: initial medoids are the first `k` items scattered by a
+/// fixed stride, so results are reproducible without an RNG.
+pub fn k_medoids(dist: &DistanceMatrix, k: usize, max_iter: usize) -> Result<KMedoids> {
+    let n = dist.len();
+    if n == 0 {
+        return Err(Error::EmptyInput { which: "dist" });
+    }
+    if k == 0 || k > n {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            reason: format!("k must be in 1..={n}, got {k}"),
+        });
+    }
+    // Strided deterministic init.
+    let mut medoids: Vec<usize> = (0..k).map(|i| i * n / k).collect();
+    medoids.dedup();
+    while medoids.len() < k {
+        let next = (0..n).find(|i| !medoids.contains(i)).expect("k <= n");
+        medoids.push(next);
+    }
+
+    let assign = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut inertia = 0.0;
+        let a = (0..n)
+            .map(|i| {
+                let (best_m, best_d) = medoids
+                    .iter()
+                    .enumerate()
+                    .map(|(mi, &m)| (mi, dist.get(i, m)))
+                    .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite distances"))
+                    .expect("k >= 1");
+                inertia += best_d;
+                best_m
+            })
+            .collect();
+        (a, inertia)
+    };
+
+    let (mut assignment, mut inertia) = assign(&medoids);
+    let mut iterations = 0;
+    for _ in 0..max_iter {
+        iterations += 1;
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            // Best medoid within the cluster.
+            let (best, _) = members
+                .iter()
+                .map(|&cand| {
+                    let s: f64 = members.iter().map(|&m| dist.get(cand, m)).sum();
+                    (cand, s)
+                })
+                .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite distances"))
+                .expect("nonempty cluster");
+            if best != *medoid {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        let (a, i2) = assign(&medoids);
+        assignment = a;
+        if !changed {
+            inertia = i2;
+            break;
+        }
+        inertia = i2;
+    }
+
+    Ok(KMedoids {
+        medoids,
+        assignment,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups {0,1,2} and {3,4,5}, far apart.
+    fn two_blobs() -> DistanceMatrix {
+        let mut triples = Vec::new();
+        for i in 0..6usize {
+            for j in (i + 1)..6usize {
+                let near = (i < 3) == (j < 3);
+                let d = if near {
+                    1.0 + (i + j) as f64 * 0.01
+                } else {
+                    50.0
+                };
+                triples.push((i, j, d));
+            }
+        }
+        DistanceMatrix::from_triples(6, &triples)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = k_medoids(&two_blobs(), 2, 20).unwrap();
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[1], r.assignment[2]);
+        assert_eq!(r.assignment[3], r.assignment[4]);
+        assert_eq!(r.assignment[4], r.assignment[5]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+        assert!(r.inertia < 10.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let r = k_medoids(&two_blobs(), 6, 10).unwrap();
+        assert_eq!(r.inertia, 0.0);
+    }
+
+    #[test]
+    fn k_one_picks_global_medoid() {
+        let r = k_medoids(&two_blobs(), 1, 10).unwrap();
+        assert_eq!(r.medoids.len(), 1);
+        assert!(r.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = k_medoids(&two_blobs(), 2, 20).unwrap();
+        let b = k_medoids(&two_blobs(), 2, 20).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        assert!(k_medoids(&two_blobs(), 0, 5).is_err());
+        assert!(k_medoids(&two_blobs(), 7, 5).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Borrowed views over labeled series collections.
+//!
+//! The mining crate deliberately does not depend on the dataset
+//! generators; algorithms accept a [`LabeledView`] borrowing any storage
+//! (`tsdtw_datasets::LabeledDataset` included — its fields have exactly
+//! this shape).
+
+use tsdtw_core::error::{Error, Result};
+
+/// A borrowed labeled collection: parallel slices of series and labels.
+#[derive(Debug, Clone, Copy)]
+pub struct LabeledView<'a> {
+    /// The series.
+    pub series: &'a [Vec<f64>],
+    /// One label per series.
+    pub labels: &'a [usize],
+}
+
+impl<'a> LabeledView<'a> {
+    /// Builds a view, validating that series and labels are parallel and
+    /// non-empty.
+    pub fn new(series: &'a [Vec<f64>], labels: &'a [usize]) -> Result<Self> {
+        if series.is_empty() {
+            return Err(Error::EmptyInput { which: "series" });
+        }
+        if series.len() != labels.len() {
+            return Err(Error::InvalidParameter {
+                name: "labels",
+                reason: format!("{} series but {} labels", series.len(), labels.len()),
+            });
+        }
+        Ok(LabeledView { series, labels })
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the view is empty (never for a validated one).
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_view() {
+        let s = vec![vec![0.0], vec![1.0]];
+        let l = vec![0, 1];
+        let v = LabeledView::new(&s, &l).unwrap();
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn rejects_mismatch_and_empty() {
+        let s = vec![vec![0.0]];
+        let l = vec![0, 1];
+        assert!(LabeledView::new(&s, &l).is_err());
+        let empty: Vec<Vec<f64>> = vec![];
+        assert!(LabeledView::new(&empty, &[]).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! DTW Barycenter Averaging (DBA, Petitjean et al. 2011).
+//!
+//! The canonical way to average time series under DTW: start from a
+//! candidate average, align every series to it with DTW, replace each
+//! coordinate of the average with the mean of all sample values aligned to
+//! it, and repeat. The within-set DTW inertia is non-increasing across
+//! iterations. Included as an extension (the mining literature the paper
+//! addresses uses DBA heavily, always on top of *exact* DTW).
+
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::full::{dtw_distance, dtw_with_path};
+use tsdtw_core::error::{Error, Result};
+
+/// Result of a DBA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbaResult {
+    /// The barycenter.
+    pub average: Vec<f64>,
+    /// Sum of DTW distances from every series to the barycenter, one entry
+    /// per iteration (including the initial state), non-increasing.
+    pub inertia_trace: Vec<f64>,
+}
+
+/// Sum of DTW distances from every series to `center`.
+pub fn inertia(series: &[Vec<f64>], center: &[f64]) -> Result<f64> {
+    let mut total = 0.0;
+    for s in series {
+        total += dtw_distance(center, s, SquaredCost)?;
+    }
+    Ok(total)
+}
+
+/// Runs DBA for up to `iterations` refinement steps, starting from the
+/// medoid-ish choice of the first series.
+pub fn dba(series: &[Vec<f64>], iterations: usize) -> Result<DbaResult> {
+    if series.is_empty() {
+        return Err(Error::EmptyInput { which: "series" });
+    }
+    if series.iter().any(|s| s.is_empty()) {
+        return Err(Error::EmptyInput { which: "series[i]" });
+    }
+    let mut average = series[0].clone();
+    let mut trace = vec![inertia(series, &average)?];
+
+    for _ in 0..iterations {
+        let m = average.len();
+        let mut sums = vec![0.0; m];
+        let mut counts = vec![0usize; m];
+        for s in series {
+            let (_, path) = dtw_with_path(&average, s, SquaredCost)?;
+            for &(i, j) in path.cells() {
+                sums[i] += s[j];
+                counts[i] += 1;
+            }
+        }
+        for i in 0..m {
+            if counts[i] > 0 {
+                average[i] = sums[i] / counts[i] as f64;
+            }
+        }
+        trace.push(inertia(series, &average)?);
+    }
+
+    Ok(DbaResult {
+        average,
+        inertia_trace: trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shifted_family() -> Vec<Vec<f64>> {
+        (0..5)
+            .map(|k| {
+                (0..60)
+                    .map(|i| (((i + k * 2) as f64) * 0.25).sin() * 2.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inertia_is_non_increasing() {
+        let fam = shifted_family();
+        let r = dba(&fam, 8).unwrap();
+        for w in r.inertia_trace.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "inertia increased: {:?}",
+                r.inertia_trace
+            );
+        }
+    }
+
+    #[test]
+    fn averaging_improves_on_the_initial_member() {
+        let fam = shifted_family();
+        let r = dba(&fam, 8).unwrap();
+        assert!(
+            r.inertia_trace.last().unwrap() < &(r.inertia_trace[0] * 0.9),
+            "DBA should visibly reduce inertia: {:?}",
+            r.inertia_trace
+        );
+    }
+
+    #[test]
+    fn average_of_identical_series_is_that_series() {
+        let s = vec![vec![0.0, 1.0, 2.0, 1.0, 0.0]; 4];
+        let r = dba(&s, 3).unwrap();
+        for (a, b) in r.average.iter().zip(&s[0]) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(r.inertia_trace.iter().all(|&v| v < 1e-12));
+    }
+
+    #[test]
+    fn zero_iterations_returns_seed() {
+        let fam = shifted_family();
+        let r = dba(&fam, 0).unwrap();
+        assert_eq!(r.average, fam[0]);
+        assert_eq!(r.inertia_trace.len(), 1);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(dba(&[], 3).is_err());
+        assert!(dba(&[vec![]], 3).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! 1-nearest-neighbor classification — the task behind the paper's Fig. 1,
+//! Fig. 2 and Appendix B.
+//!
+//! Two execution paths are provided for the exact constrained measure:
+//!
+//! * **brute force** under any [`DistanceSpec`] — the apples-to-apples
+//!   head-to-head the paper's figures use;
+//! * the **cascaded** path (LB_Kim → LB_Keogh ×2 → early-abandoning DTW)
+//!   that only exact `cDTW` admits — the "further two to five orders of
+//!   magnitude" of §3.4. Both return identical predictions; tests pin that.
+
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
+use tsdtw_core::dtw::full::dtw_distance;
+use tsdtw_core::error::{Error, Result};
+use tsdtw_core::fastdtw::fastdtw_distance;
+use tsdtw_core::lower_bounds::Cascade;
+
+use crate::dataset_views::LabeledView;
+
+/// Which distance a classifier should use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistanceSpec {
+    /// Squared Euclidean (`cDTW_0`).
+    Euclidean,
+    /// `cDTW_w` with `w` in percent of series length.
+    CdtwPercent(f64),
+    /// `cDTW` with an explicit band in cells.
+    CdtwBand(usize),
+    /// Unconstrained DTW (`cDTW_100`).
+    FullDtw,
+    /// `FastDTW_r`, tuned implementation (shares the exact kernels).
+    FastDtw(usize),
+    /// `FastDTW_r`, reference implementation — the canonical cell-list +
+    /// hash-map structure the ecosystem actually runs (what the paper's
+    /// Appendix B correspondent measured).
+    FastDtwRef(usize),
+}
+
+impl DistanceSpec {
+    /// Evaluates the distance on a pair.
+    pub fn eval(&self, x: &[f64], y: &[f64]) -> Result<f64> {
+        match *self {
+            DistanceSpec::Euclidean => tsdtw_core::sq_euclidean(x, y),
+            DistanceSpec::CdtwPercent(w) => {
+                let band = percent_to_band(x.len().max(y.len()), w)?;
+                cdtw_distance(x, y, band, SquaredCost)
+            }
+            DistanceSpec::CdtwBand(band) => cdtw_distance(x, y, band, SquaredCost),
+            DistanceSpec::FullDtw => dtw_distance(x, y, SquaredCost),
+            DistanceSpec::FastDtw(r) => fastdtw_distance(x, y, r, SquaredCost),
+            DistanceSpec::FastDtwRef(r) => {
+                tsdtw_core::fastdtw::fastdtw_ref_distance(x, y, r, SquaredCost)
+            }
+        }
+    }
+}
+
+/// Result of a nearest-neighbor query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NnResult {
+    /// Index of the nearest training exemplar.
+    pub index: usize,
+    /// Its distance.
+    pub distance: f64,
+    /// Its label.
+    pub label: usize,
+}
+
+/// Brute-force 1-NN of `query` among `train`, skipping index `skip`
+/// (for leave-one-out; pass `usize::MAX` to skip nothing).
+pub fn nn_brute_force(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    spec: DistanceSpec,
+    skip: usize,
+) -> Result<NnResult> {
+    let mut best = NnResult {
+        index: usize::MAX,
+        distance: f64::INFINITY,
+        label: 0,
+    };
+    for (i, s) in train.series.iter().enumerate() {
+        if i == skip {
+            continue;
+        }
+        let d = spec.eval(query, s)?;
+        if d < best.distance {
+            best = NnResult {
+                index: i,
+                distance: d,
+                label: train.labels[i],
+            };
+        }
+    }
+    if best.index == usize::MAX {
+        return Err(Error::EmptyInput { which: "train" });
+    }
+    Ok(best)
+}
+
+/// Cascaded exact 1-NN under `cDTW_band` — identical output to
+/// [`nn_brute_force`] with [`DistanceSpec::CdtwBand`], but with the
+/// UCR-suite pruning stack. Requires equal-length series.
+pub fn nn_cascade(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    band: usize,
+    skip: usize,
+) -> Result<NnResult> {
+    let mut cascade = Cascade::new(query, band)?;
+    let mut best = NnResult {
+        index: usize::MAX,
+        distance: f64::INFINITY,
+        label: 0,
+    };
+    for (i, s) in train.series.iter().enumerate() {
+        if i == skip {
+            continue;
+        }
+        let out = cascade.evaluate(s, best.distance)?;
+        if let Some(d) = out.exact_distance() {
+            if d < best.distance {
+                best = NnResult {
+                    index: i,
+                    distance: d,
+                    label: train.labels[i],
+                };
+            }
+        }
+    }
+    if best.index == usize::MAX {
+        return Err(Error::EmptyInput { which: "train" });
+    }
+    Ok(best)
+}
+
+/// Brute-force k-NN: the `k` nearest training exemplars, nearest first.
+pub fn knn_brute_force(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    spec: DistanceSpec,
+    k: usize,
+    skip: usize,
+) -> Result<Vec<NnResult>> {
+    if k == 0 {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            reason: "k must be at least 1".into(),
+        });
+    }
+    let mut all: Vec<NnResult> = Vec::with_capacity(train.series.len());
+    for (i, s) in train.series.iter().enumerate() {
+        if i == skip {
+            continue;
+        }
+        let d = spec.eval(query, s)?;
+        all.push(NnResult {
+            index: i,
+            distance: d,
+            label: train.labels[i],
+        });
+    }
+    if all.is_empty() {
+        return Err(Error::EmptyInput { which: "train" });
+    }
+    all.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite distances")
+    });
+    all.truncate(k);
+    Ok(all)
+}
+
+/// Majority vote over the k nearest neighbors; ties break toward the
+/// nearer neighbor's label (the standard convention).
+pub fn classify_knn(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    spec: DistanceSpec,
+    k: usize,
+) -> Result<usize> {
+    let neighbors = knn_brute_force(train, query, spec, k, usize::MAX)?;
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for n in &neighbors {
+        *counts.entry(n.label).or_insert(0) += 1;
+    }
+    let best_count = *counts.values().max().expect("nonempty");
+    // Nearest neighbor whose label achieves the max count wins ties.
+    Ok(neighbors
+        .iter()
+        .find(|n| counts[&n.label] == best_count)
+        .expect("nonempty")
+        .label)
+}
+
+/// Classifies every test series by brute-force 1-NN against the training
+/// set; returns the error rate in `[0, 1]`.
+pub fn evaluate_split(
+    train: &LabeledView<'_>,
+    test: &LabeledView<'_>,
+    spec: DistanceSpec,
+) -> Result<f64> {
+    if test.series.is_empty() {
+        return Err(Error::EmptyInput { which: "test" });
+    }
+    let mut errors = 0usize;
+    for (q, &truth) in test.series.iter().zip(test.labels) {
+        let nn = nn_brute_force(train, q, spec, usize::MAX)?;
+        if nn.label != truth {
+            errors += 1;
+        }
+    }
+    Ok(errors as f64 / test.series.len() as f64)
+}
+
+/// Leave-one-out cross-validated 1-NN error rate under `spec`.
+///
+/// This is the procedure the UCR archive used to publish its optimal
+/// warping windows (and hence the procedure behind the paper's Fig. 2a).
+pub fn loocv_error(view: &LabeledView<'_>, spec: DistanceSpec) -> Result<f64> {
+    if view.series.len() < 2 {
+        return Err(Error::InvalidParameter {
+            name: "view",
+            reason: "LOOCV needs at least two series".into(),
+        });
+    }
+    let mut errors = 0usize;
+    for i in 0..view.series.len() {
+        let nn = nn_brute_force(view, &view.series[i], spec, i)?;
+        if nn.label != view.labels[i] {
+            errors += 1;
+        }
+    }
+    Ok(errors as f64 / view.series.len() as f64)
+}
+
+/// LOOCV error under exact `cDTW_band`, via the cascade (fast path).
+pub fn loocv_error_cdtw_fast(view: &LabeledView<'_>, band: usize) -> Result<f64> {
+    if view.series.len() < 2 {
+        return Err(Error::InvalidParameter {
+            name: "view",
+            reason: "LOOCV needs at least two series".into(),
+        });
+    }
+    let mut errors = 0usize;
+    for i in 0..view.series.len() {
+        let nn = nn_cascade(view, &view.series[i], band, i)?;
+        if nn.label != view.labels[i] {
+            errors += 1;
+        }
+    }
+    Ok(errors as f64 / view.series.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset_views::LabeledView;
+
+    /// Two well-separated synthetic classes: slow sine vs fast sine.
+    fn two_class() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let n = 64;
+        let mut series = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..10 {
+            let phase = k as f64 * 0.17;
+            series.push((0..n).map(|i| (i as f64 * 0.2 + phase).sin()).collect());
+            labels.push(0);
+            series.push((0..n).map(|i| (i as f64 * 0.55 + phase).sin()).collect());
+            labels.push(1);
+        }
+        (series, labels)
+    }
+
+    #[test]
+    fn brute_force_finds_true_nearest() {
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let nn = nn_brute_force(&view, &series[0], DistanceSpec::CdtwBand(4), 0).unwrap();
+        // Nearest to a class-0 exemplar must be class 0.
+        assert_eq!(nn.label, 0);
+        assert!(nn.index != 0);
+    }
+
+    #[test]
+    fn cascade_matches_brute_force_exactly() {
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        for band in [0usize, 3, 10] {
+            for (i, s) in series.iter().enumerate() {
+                let bf = nn_brute_force(&view, s, DistanceSpec::CdtwBand(band), i).unwrap();
+                let fast = nn_cascade(&view, s, band, i).unwrap();
+                assert_eq!(bf.index, fast.index, "band {band} query {i}");
+                assert!((bf.distance - fast.distance).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn loocv_zero_error_on_separable_data() {
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let err = loocv_error(&view, DistanceSpec::CdtwBand(4)).unwrap();
+        assert_eq!(err, 0.0);
+        let err_fast = loocv_error_cdtw_fast(&view, 4).unwrap();
+        assert_eq!(err_fast, 0.0);
+    }
+
+    #[test]
+    fn loocv_error_agrees_between_paths() {
+        // Noisy, overlapping classes so the error is nonzero.
+        let n = 32;
+        let mut series: Vec<Vec<f64>> = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..16 {
+            let jig = (k * 2654435761u64 as usize) as f64;
+            series.push(
+                (0..n)
+                    .map(|i| ((i as f64 + jig) * 0.9).sin() * ((k % 7) as f64 * 0.3))
+                    .collect(),
+            );
+            labels.push(k % 2);
+        }
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let slow = loocv_error(&view, DistanceSpec::CdtwBand(3)).unwrap();
+        let fast = loocv_error_cdtw_fast(&view, 3).unwrap();
+        assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn evaluate_split_perfect_on_separable() {
+        let (series, labels) = two_class();
+        let train = LabeledView {
+            series: &series[..10],
+            labels: &labels[..10],
+        };
+        let test = LabeledView {
+            series: &series[10..],
+            labels: &labels[10..],
+        };
+        let err = evaluate_split(&train, &test, DistanceSpec::CdtwBand(4)).unwrap();
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn all_distance_specs_are_usable() {
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        for spec in [
+            DistanceSpec::Euclidean,
+            DistanceSpec::CdtwPercent(5.0),
+            DistanceSpec::CdtwBand(2),
+            DistanceSpec::FullDtw,
+            DistanceSpec::FastDtw(3),
+            DistanceSpec::FastDtwRef(3),
+        ] {
+            let nn = nn_brute_force(&view, &series[1], spec, 1).unwrap();
+            assert!(nn.distance.is_finite());
+        }
+    }
+
+    #[test]
+    fn knn_returns_sorted_neighbors() {
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let nns = knn_brute_force(&view, &series[0], DistanceSpec::CdtwBand(4), 5, 0).unwrap();
+        assert_eq!(nns.len(), 5);
+        for w in nns.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        // Class-0 query: nearest neighbors dominated by class 0.
+        let zero_votes = nns.iter().filter(|n| n.label == 0).count();
+        assert!(zero_votes >= 3, "{zero_votes}/5 class-0 neighbors");
+    }
+
+    #[test]
+    fn knn_k1_matches_nn() {
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        for (q, s) in series.iter().enumerate().take(4) {
+            let nn = nn_brute_force(&view, s, DistanceSpec::CdtwBand(3), q).unwrap();
+            let k1 = knn_brute_force(&view, s, DistanceSpec::CdtwBand(3), 1, q).unwrap();
+            assert_eq!(k1[0], nn);
+        }
+    }
+
+    #[test]
+    fn classify_knn_majority_vote() {
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        for k in [1usize, 3, 5] {
+            let label = classify_knn(&view, &series[2], DistanceSpec::CdtwBand(4), k).unwrap();
+            assert_eq!(label, labels[2], "k={k}");
+        }
+    }
+
+    #[test]
+    fn knn_rejects_k_zero() {
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        assert!(knn_brute_force(&view, &series[0], DistanceSpec::Euclidean, 0, 0).is_err());
+    }
+
+    #[test]
+    fn empty_train_rejected() {
+        let series: Vec<Vec<f64>> = vec![vec![0.0; 4]];
+        let labels = vec![0];
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        // Skipping the only element leaves nothing.
+        assert!(nn_brute_force(&view, &series[0], DistanceSpec::Euclidean, 0).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! # tsdtw-mining — the tasks the paper measures, built on exact DTW
+//!
+//! Repeated-measurement workloads are where the paper's argument lands
+//! hardest: for one-off comparisons FastDTW is merely slower than `cDTW`;
+//! for 1-NN classification, similarity search and clustering, the exact
+//! pipeline additionally gets lower bounds and early abandoning — "a
+//! further two to five orders of magnitude" (§3.4) — which the
+//! approximation structurally cannot use.
+//!
+//! * [`knn`] — 1-NN classification (brute-force and cascaded), LOOCV;
+//! * [`wselect`] — brute-force optimal-warping-window search (Fig. 2a);
+//! * [`search`] — UCR-suite-style subsequence search (the trillion-point
+//!   footnote);
+//! * [`pairwise`] — parallel all-pairs distance matrices (Fig. 1, Fig. 4);
+//! * [`cluster`] — hierarchical dendrograms (Fig. 7) and k-medoids;
+//! * [`dba`] — DTW barycenter averaging (extension);
+//! * [`anomaly`] — discord discovery (extension);
+//! * [`motif`] — motif (closest-pair) discovery (extension).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod anomaly;
+pub mod cluster;
+pub mod dataset_views;
+pub mod dba;
+pub mod knn;
+pub mod motif;
+pub mod pairwise;
+pub mod search;
+pub mod wselect;
+
+pub use dataset_views::LabeledView;
+pub use knn::{
+    classify_knn, evaluate_split, knn_brute_force, loocv_error, loocv_error_cdtw_fast,
+    DistanceSpec, NnResult,
+};
+pub use pairwise::{pair_count, pairwise_matrix, DistanceMatrix};
+pub use search::{distance_profile, subsequence_search, top_k_matches, Match, SearchResult};
+pub use wselect::{integer_grid, optimal_window, WindowSearch};

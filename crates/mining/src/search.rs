@@ -1,0 +1,453 @@
+//! Similarity search under exact `cDTW`: whole-series nearest neighbor and
+//! UCR-suite-style subsequence search.
+//!
+//! The subsequence searcher is the machinery behind the paper's §3.4
+//! citation of Rakthanmanon et al.: *"for similarity search of a cDTW_5
+//! query of length 128 … searched a time series of length one trillion in
+//! 1.4 days, however … FastDTW_10 would take 5.8 years."* It slides a
+//! query over a long haystack, z-normalizing each candidate window
+//! *just-in-time* from rolling sums, and disposes of almost every position
+//! with the lower-bound cascade before the DP ever runs. None of this
+//! machinery is available to FastDTW.
+
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea, EaOutcome};
+use tsdtw_core::envelope::Envelope;
+use tsdtw_core::error::{Error, Result};
+use tsdtw_core::lower_bounds::keogh::{
+    lb_keogh_reordered, lb_keogh_with_contrib, sort_indices_by_magnitude, suffix_sums,
+};
+use tsdtw_core::lower_bounds::kim::lb_kim_hierarchy;
+use tsdtw_core::norm::znorm;
+
+/// Outcome of a subsequence search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Start offset of the best-matching window in the haystack.
+    pub position: usize,
+    /// Its exact `cDTW_band` distance (squared-cost domain) after
+    /// z-normalization of both query and window.
+    pub distance: f64,
+    /// How candidates were disposed of, for reporting pruning power.
+    pub stats: SearchStats,
+}
+
+/// Per-stage candidate disposition counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Total candidate windows examined.
+    pub candidates: u64,
+    /// Pruned by LB_Kim.
+    pub pruned_kim: u64,
+    /// Pruned by (reordered, early-abandoning) LB_Keogh.
+    pub pruned_keogh: u64,
+    /// DTW started but abandoned early.
+    pub dtw_abandoned: u64,
+    /// DTW ran to completion.
+    pub dtw_exact: u64,
+}
+
+impl SearchStats {
+    /// Fraction of candidates that never reached the DP at all.
+    pub fn prune_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            return 0.0;
+        }
+        (self.pruned_kim + self.pruned_keogh) as f64 / self.candidates as f64
+    }
+}
+
+/// Finds the best match of `query` across all sliding windows of
+/// `haystack`, comparing z-normalized windows under exact `cDTW_band`.
+///
+/// ```
+/// use tsdtw_mining::search::subsequence_search;
+///
+/// // Plant a scaled copy of the query inside noise; z-normalization
+/// // makes the match exact anyway.
+/// let query: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+/// let mut haystack = vec![0.25; 200];
+/// for (k, &q) in query.iter().enumerate() {
+///     haystack[120 + k] = 3.0 * q + 10.0;
+/// }
+/// let hit = subsequence_search(&haystack, &query, 2).unwrap();
+/// assert_eq!(hit.position, 120);
+/// assert!(hit.distance < 1e-9);
+/// ```
+pub fn subsequence_search(haystack: &[f64], query: &[f64], band: usize) -> Result<SearchResult> {
+    let m = query.len();
+    if m == 0 {
+        return Err(Error::EmptyInput { which: "query" });
+    }
+    if haystack.len() < m {
+        return Err(Error::InvalidParameter {
+            name: "haystack",
+            reason: format!("haystack ({}) shorter than query ({m})", haystack.len()),
+        });
+    }
+    let q = znorm(query)?;
+    let env = Envelope::new(&q, band)?;
+    let order = sort_indices_by_magnitude(&q);
+
+    let mut bsf = f64::INFINITY;
+    let mut best_pos = 0usize;
+    let mut stats = SearchStats::default();
+    let mut window = vec![0.0; m];
+    let mut contrib: Vec<f64> = Vec::new();
+
+    // Rolling sums for O(1) mean/std per position (just-in-time z-norm).
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &v in &haystack[..m] {
+        sum += v;
+        sum_sq += v * v;
+    }
+
+    for pos in 0..=haystack.len() - m {
+        if pos > 0 {
+            let out = haystack[pos - 1];
+            let inc = haystack[pos + m - 1];
+            sum += inc - out;
+            sum_sq += inc * inc - out * out;
+        }
+        stats.candidates += 1;
+        let mean = sum / m as f64;
+        let var = (sum_sq / m as f64 - mean * mean).max(0.0);
+        let std = var.sqrt();
+        let inv = if std > f64::EPSILON { 1.0 / std } else { 0.0 };
+
+        // Materialize the normalized candidate (one pass; the UCR suite
+        // fuses this with LB_Keogh — we keep it separate for clarity, the
+        // asymptotics are identical).
+        for (k, w) in window.iter_mut().enumerate() {
+            *w = (haystack[pos + k] - mean) * inv;
+        }
+
+        let kim = lb_kim_hierarchy(&q, &window, bsf)?;
+        if kim >= bsf {
+            stats.pruned_kim += 1;
+            continue;
+        }
+        let keogh = lb_keogh_reordered(&window, &env, &order, bsf)?;
+        if keogh >= bsf {
+            stats.pruned_keogh += 1;
+            continue;
+        }
+        let _ = lb_keogh_with_contrib(&window, &env, &mut contrib)?;
+        let cb = suffix_sums(&contrib);
+        match cdtw_distance_ea(&q, &window, band, bsf, Some(&cb), SquaredCost)? {
+            EaOutcome::Exact(d) => {
+                stats.dtw_exact += 1;
+                if d < bsf {
+                    bsf = d;
+                    best_pos = pos;
+                }
+            }
+            EaOutcome::Abandoned { .. } => stats.dtw_abandoned += 1,
+        }
+    }
+
+    Ok(SearchResult {
+        position: best_pos,
+        distance: bsf,
+        stats,
+    })
+}
+
+/// Brute-force reference: z-normalize every window, run plain `cDTW_band`.
+/// Exported for tests and the pruning-power ablation bench.
+pub fn subsequence_search_brute(
+    haystack: &[f64],
+    query: &[f64],
+    band: usize,
+) -> Result<SearchResult> {
+    let m = query.len();
+    if m == 0 {
+        return Err(Error::EmptyInput { which: "query" });
+    }
+    if haystack.len() < m {
+        return Err(Error::InvalidParameter {
+            name: "haystack",
+            reason: format!("haystack ({}) shorter than query ({m})", haystack.len()),
+        });
+    }
+    let q = znorm(query)?;
+    let mut bsf = f64::INFINITY;
+    let mut best_pos = 0usize;
+    let mut stats = SearchStats::default();
+    for pos in 0..=haystack.len() - m {
+        stats.candidates += 1;
+        let window = znorm(&haystack[pos..pos + m])?;
+        let d = tsdtw_core::dtw::banded::cdtw_distance(&q, &window, band, SquaredCost)?;
+        stats.dtw_exact += 1;
+        if d < bsf {
+            bsf = d;
+            best_pos = pos;
+        }
+    }
+    Ok(SearchResult {
+        position: best_pos,
+        distance: bsf,
+        stats,
+    })
+}
+
+/// The full z-normalized `cDTW_band` distance profile: `profile[p]` is the
+/// distance of the query to the window starting at `p`.
+///
+/// Unlike [`subsequence_search`] this computes *every* value (no
+/// pruning — all of them are the output), which is what top-k matching,
+/// motif exploration and plotting need.
+pub fn distance_profile(haystack: &[f64], query: &[f64], band: usize) -> Result<Vec<f64>> {
+    let m = query.len();
+    if m == 0 {
+        return Err(Error::EmptyInput { which: "query" });
+    }
+    if haystack.len() < m {
+        return Err(Error::InvalidParameter {
+            name: "haystack",
+            reason: format!("haystack ({}) shorter than query ({m})", haystack.len()),
+        });
+    }
+    let q = znorm(query)?;
+    let mut out = Vec::with_capacity(haystack.len() - m + 1);
+    let mut window = vec![0.0; m];
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &v in &haystack[..m] {
+        sum += v;
+        sum_sq += v * v;
+    }
+    for pos in 0..=haystack.len() - m {
+        if pos > 0 {
+            let outv = haystack[pos - 1];
+            let inv_ = haystack[pos + m - 1];
+            sum += inv_ - outv;
+            sum_sq += inv_ * inv_ - outv * outv;
+        }
+        let mean = sum / m as f64;
+        let var = (sum_sq / m as f64 - mean * mean).max(0.0);
+        let std = var.sqrt();
+        let inv = if std > f64::EPSILON { 1.0 / std } else { 0.0 };
+        for (k, w) in window.iter_mut().enumerate() {
+            *w = (haystack[pos + k] - mean) * inv;
+        }
+        out.push(tsdtw_core::dtw::banded::cdtw_distance(
+            &q,
+            &window,
+            band,
+            SquaredCost,
+        )?);
+    }
+    Ok(out)
+}
+
+/// One match from a top-k query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// Start offset of the window.
+    pub position: usize,
+    /// Its z-normalized `cDTW_band` distance to the query.
+    pub distance: f64,
+}
+
+/// The `k` best non-overlapping matches of `query` in `haystack`, selected
+/// greedily from the exact distance profile with an exclusion zone of
+/// `exclusion` positions around each accepted match (pass `query.len()`
+/// for fully non-overlapping matches). Returns fewer than `k` matches if
+/// the haystack cannot hold more.
+pub fn top_k_matches(
+    haystack: &[f64],
+    query: &[f64],
+    band: usize,
+    k: usize,
+    exclusion: usize,
+) -> Result<Vec<Match>> {
+    if k == 0 {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            reason: "k must be at least 1".into(),
+        });
+    }
+    let profile = distance_profile(haystack, query, band)?;
+    let mut order: Vec<usize> = (0..profile.len()).collect();
+    order.sort_by(|&a, &b| {
+        profile[a]
+            .partial_cmp(&profile[b])
+            .expect("finite distances")
+    });
+    let mut taken: Vec<Match> = Vec::with_capacity(k);
+    for p in order {
+        if taken.len() == k {
+            break;
+        }
+        if taken
+            .iter()
+            .all(|m| m.position.abs_diff(p) >= exclusion.max(1))
+        {
+            taken.push(Match {
+                position: p,
+                distance: profile[p],
+            });
+        }
+    }
+    Ok(taken)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A haystack with a planted (scaled + offset) copy of the query.
+    fn planted(seed: u64, n: usize, m: usize, at: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        let mut rnd = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let query: Vec<f64> = (0..m)
+            .map(|i| (i as f64 * 0.37).sin() * 2.0 + 0.2 * rnd())
+            .collect();
+        let mut hay: Vec<f64> = (0..n).map(|_| rnd() * 3.0).collect();
+        for (k, &qv) in query.iter().enumerate() {
+            // Scale and offset: z-normalization must undo this.
+            hay[at + k] = qv * 5.0 + 40.0;
+        }
+        (hay, query)
+    }
+
+    #[test]
+    fn finds_planted_match() {
+        let (hay, query) = planted(1, 600, 48, 333);
+        let r = subsequence_search(&hay, &query, 4).unwrap();
+        assert!(
+            r.position.abs_diff(333) <= 2,
+            "expected match near 333, got {}",
+            r.position
+        );
+        assert!(r.distance < 5.0, "distance {}", r.distance);
+    }
+
+    #[test]
+    fn matches_brute_force_exactly() {
+        for seed in 0..5 {
+            let (hay, query) = planted(seed, 300, 32, 120);
+            let fast = subsequence_search(&hay, &query, 3).unwrap();
+            let brute = subsequence_search_brute(&hay, &query, 3).unwrap();
+            assert_eq!(fast.position, brute.position, "seed {seed}");
+            assert!((fast.distance - brute.distance).abs() < 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cascade_prunes_most_positions() {
+        let (hay, query) = planted(7, 3000, 64, 1500);
+        let r = subsequence_search(&hay, &query, 5).unwrap();
+        // Most candidates must never reach a *completed* DP: pruned by a
+        // bound or abandoned mid-DP.
+        let completed_frac = r.stats.dtw_exact as f64 / r.stats.candidates as f64;
+        assert!(
+            completed_frac < 0.1,
+            "expected <10% of candidates to need a full DP, got {:.1}% ({:?})",
+            completed_frac * 100.0,
+            r.stats
+        );
+        assert!(
+            r.stats.prune_rate() > 0.3,
+            "expected the bounds alone to prune >30%, got {:.1}%",
+            r.stats.prune_rate() * 100.0
+        );
+        assert_eq!(r.stats.candidates, (hay.len() - query.len() + 1) as u64);
+    }
+
+    #[test]
+    fn invariant_to_window_scale_and_offset() {
+        // The planted copy is at scale 5, offset 40 — finding it at all
+        // proves JIT normalization works; also check a scaled haystack.
+        let (hay, query) = planted(3, 500, 40, 77);
+        let scaled: Vec<f64> = hay.iter().map(|v| v * 0.25 - 3.0).collect();
+        let a = subsequence_search(&hay, &query, 4).unwrap();
+        let b = subsequence_search(&scaled, &query, 4).unwrap();
+        assert_eq!(a.position, b.position);
+        assert!((a.distance - b.distance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(subsequence_search(&[1.0, 2.0], &[], 1).is_err());
+        assert!(subsequence_search(&[1.0], &[1.0, 2.0], 1).is_err());
+    }
+
+    #[test]
+    fn distance_profile_minimum_matches_search() {
+        let (hay, query) = planted(11, 400, 32, 200);
+        let profile = distance_profile(&hay, &query, 4).unwrap();
+        assert_eq!(profile.len(), hay.len() - query.len() + 1);
+        let (argmin, min) = profile
+            .iter()
+            .enumerate()
+            .fold(
+                (0, f64::INFINITY),
+                |acc, (i, &v)| if v < acc.1 { (i, v) } else { acc },
+            );
+        let search = subsequence_search(&hay, &query, 4).unwrap();
+        assert_eq!(argmin, search.position);
+        assert!((min - search.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_finds_both_planted_copies() {
+        // Plant two copies of the query far apart.
+        let mut state = 77u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let m = 40;
+        let query: Vec<f64> = (0..m).map(|i| (i as f64 * 0.31).sin() * 3.0).collect();
+        let mut hay: Vec<f64> = (0..600).map(|_| rnd() * 4.0).collect();
+        for (k, &q) in query.iter().enumerate() {
+            hay[100 + k] = q;
+            hay[400 + k] = q * 2.0 + 1.0; // scaled copy: z-norm recovers it
+        }
+        let matches = top_k_matches(&hay, &query, 4, 2, m).unwrap();
+        assert_eq!(matches.len(), 2);
+        let mut positions: Vec<usize> = matches.iter().map(|m| m.position).collect();
+        positions.sort_unstable();
+        assert!(positions[0].abs_diff(100) <= 2, "{positions:?}");
+        assert!(positions[1].abs_diff(400) <= 2, "{positions:?}");
+        // Exclusion honored.
+        assert!(positions[1] - positions[0] >= m);
+    }
+
+    #[test]
+    fn top_k_respects_exclusion_zone() {
+        let hay: Vec<f64> = (0..300).map(|i| (i as f64 * 0.2).sin()).collect();
+        let query: Vec<f64> = hay[50..90].to_vec();
+        let matches = top_k_matches(&hay, &query, 3, 5, 40).unwrap();
+        for a in 0..matches.len() {
+            for b in (a + 1)..matches.len() {
+                assert!(matches[a].position.abs_diff(matches[b].position) >= 40);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_rejects_zero_k() {
+        let hay = vec![0.0; 50];
+        let query = vec![0.0; 10];
+        assert!(top_k_matches(&hay, &query, 2, 0, 10).is_err());
+    }
+
+    #[test]
+    fn exact_match_has_zero_distance() {
+        let query: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut hay = vec![0.5; 200];
+        hay[100..132].copy_from_slice(&query);
+        let r = subsequence_search(&hay, &query, 3).unwrap();
+        assert_eq!(r.position, 100);
+        assert!(r.distance < 1e-18);
+    }
+}

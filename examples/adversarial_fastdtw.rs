@@ -1,0 +1,93 @@
+//! The FastDTW failure mode of the paper's Appendix A, end to end.
+//!
+//! ```text
+//! cargo run --release --example adversarial_fastdtw
+//! ```
+//!
+//! Builds the adversarial trio, prints both distance matrices (Table 2),
+//! both dendrograms (Fig. 7), and demonstrates the mechanism (Fig. 8):
+//! the coarsened series warp in the opposite direction to the raw series,
+//! and the committed low-resolution path locks FastDTW out of the true
+//! alignment.
+
+use tsdtw::core::cost::{Rooted, SquaredCost};
+use tsdtw::core::dtw::full::{dtw_distance, dtw_with_path};
+use tsdtw::core::fastdtw::{approximation_error, fastdtw_distance};
+use tsdtw::core::paa::halve;
+use tsdtw::datasets::adversarial::trio;
+use tsdtw::mining::cluster::{agglomerative, Linkage};
+use tsdtw::mining::pairwise::DistanceMatrix;
+
+fn matrix3(series: [&[f64]; 3], d: impl Fn(&[f64], &[f64]) -> f64) -> [[f64; 3]; 3] {
+    let mut m = [[0.0; 3]; 3];
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            m[i][j] = d(series[i], series[j]);
+            m[j][i] = m[i][j];
+        }
+    }
+    m
+}
+
+fn print_matrix(label: &str, m: &[[f64; 3]; 3]) {
+    println!("{label}:");
+    println!("{:>8}{:>10}{:>10}{:>10}", "", "A", "B", "C");
+    for (name, row) in ["A", "B", "C"].iter().zip(m) {
+        println!(
+            "{:>8}{:>10.3}{:>10.3}{:>10.3}",
+            name, row[0], row[1], row[2]
+        );
+    }
+}
+
+fn main() {
+    let t = trio();
+    let series: [&[f64]; 3] = [&t.a, &t.b, &t.c];
+    let cost = Rooted(SquaredCost);
+
+    let full = matrix3(series, |x, y| dtw_distance(x, y, cost).unwrap());
+    let fast = matrix3(series, |x, y| fastdtw_distance(x, y, 20, cost).unwrap());
+    print_matrix("Full DTW (rooted)", &full);
+    println!();
+    print_matrix("FastDTW_20 (rooted)", &fast);
+
+    let err = approximation_error(fast[0][1], full[0][1]).unwrap() * 100.0;
+    println!("\nFastDTW_20 error on d(A,B): {err:.0}%  (paper's instance: 156,100%)\n");
+
+    for (label, m) in [("Full DTW", &full), ("FastDTW_20", &fast)] {
+        let dm =
+            DistanceMatrix::from_triples(3, &[(0, 1, m[0][1]), (0, 2, m[0][2]), (1, 2, m[1][2])]);
+        let tree = agglomerative(&dm, Linkage::Average).unwrap();
+        println!(
+            "{label} dendrogram:\n{}",
+            tree.render_ascii(&["A", "B", "C"])
+        );
+    }
+
+    // The Fig. 8 mechanism: compare warp directions at fine and 8:1-coarse
+    // resolution.
+    let mut ca = t.a.clone();
+    let mut cb = t.b.clone();
+    for _ in 0..3 {
+        ca = halve(&ca);
+        cb = halve(&cb);
+    }
+    let (_, fine) = dtw_with_path(&t.a, &t.b, SquaredCost).unwrap();
+    let (_, coarse) = dtw_with_path(&ca, &cb, SquaredCost).unwrap();
+    let mean_dev = |p: &tsdtw::core::WarpingPath| {
+        p.cells()
+            .iter()
+            .map(|&(i, j)| i as f64 - j as f64)
+            .sum::<f64>()
+            / p.len() as f64
+    };
+    println!(
+        "mean signed path deviation: raw resolution {:+.1} cells, 8:1 PAA {:+.1} cells",
+        mean_dev(&fine),
+        mean_dev(&coarse)
+    );
+    println!(
+        "opposite signs = the coarse level warps the WRONG WAY; with radius 20 the \
+         refinement\ncan never recover — exactly the paper's Appendix A explanation."
+    );
+}

@@ -1,0 +1,62 @@
+//! Gesture classification — the paper's Case A / Appendix B scenario.
+//!
+//! ```text
+//! cargo run --release --example gesture_classification
+//! ```
+//!
+//! Builds a labeled gesture dataset, learns the optimal warping window by
+//! brute-force LOOCV on the training split (exactly how the UCR archive
+//! picked its published windows), then classifies a held-out test split
+//! with exact `cDTW_w` and with `FastDTW_30`, timing both.
+
+use std::time::Instant;
+use tsdtw::datasets::gesture::labeled_short_gestures;
+use tsdtw::mining::dataset_views::LabeledView;
+use tsdtw::mining::knn::{evaluate_split, DistanceSpec};
+use tsdtw::mining::wselect::{integer_grid, optimal_window};
+
+fn main() {
+    let data = labeled_short_gestures(96, 8, 10, 7).expect("generator");
+    let (train, test) = data.split_stratified(4).expect("split");
+    println!(
+        "gesture dataset: {} train / {} test exemplars, length {}, {} classes\n",
+        train.len(),
+        test.len(),
+        train.series_len(),
+        train.n_classes()
+    );
+
+    let train_view = LabeledView::new(&train.series, &train.labels).expect("valid");
+    let test_view = LabeledView::new(&test.series, &test.labels).expect("valid");
+
+    // Learn w on the training data only.
+    let t0 = Instant::now();
+    let search = optimal_window(&train_view, &integer_grid(15)).expect("search");
+    println!(
+        "optimal warping window (LOOCV over w=0..15%): w = {}% (train error {:.1}%) in {:.2}s",
+        search.best_w_percent,
+        search.best_error * 100.0,
+        t0.elapsed().as_secs_f64()
+    );
+    let band = (search.best_w_percent / 100.0 * train.series_len() as f64).ceil() as usize;
+
+    for (name, spec) in [
+        ("exact cDTW (learned w)", DistanceSpec::CdtwBand(band)),
+        ("FastDTW_30", DistanceSpec::FastDtw(30)),
+        ("Euclidean", DistanceSpec::Euclidean),
+    ] {
+        let t0 = Instant::now();
+        let err = evaluate_split(&train_view, &test_view, spec).expect("eval");
+        println!(
+            "{:<24} accuracy {:>6.2}%   test pass in {:>8.1} ms",
+            name,
+            (1.0 - err) * 100.0,
+            t0.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    println!(
+        "\nAs in the paper's Appendix B: the exact measure is both more accurate and \
+         faster than the approximation."
+    );
+}

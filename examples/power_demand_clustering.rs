@@ -1,0 +1,72 @@
+//! Power-demand mining — the paper's Case C data, pushed through three
+//! mining tasks: wide-window alignment, hierarchical clustering, and
+//! discord (anomaly) discovery.
+//!
+//! ```text
+//! cargo run --release --example power_demand_clustering
+//! ```
+
+use tsdtw::core::distance::cdtw;
+use tsdtw::datasets::power::{dishwasher_morning, fig3_pair, mornings, MORNING_LEN};
+use tsdtw::mining::anomaly::top_discord;
+use tsdtw::mining::cluster::{agglomerative, Linkage};
+use tsdtw::mining::pairwise::pairwise_matrix;
+
+fn main() {
+    // 1. The Fig. 3 pair: same dishwasher program, shifted by ~34% of N.
+    let (early, late) = fig3_pair(3).expect("generator");
+    println!(
+        "Fig. 3 pair: program peaks at {:?} vs {:?} (N = {MORNING_LEN})",
+        early.peak_centers, late.peak_centers
+    );
+    let d40 = cdtw(&early.series, &late.series, 40.0).expect("valid");
+    let d0 = cdtw(&early.series, &late.series, 0.0).expect("valid");
+    println!("cDTW_40 = {d40:.3} vs lock-step = {d0:.3} -> warping reveals the match\n");
+
+    // 2. Cluster a week of mornings: three with the dishwasher program at
+    //    varying times, three without (flat baseline + fridge).
+    let mut week = mornings(3, MORNING_LEN, 150, 42).expect("generator");
+    for k in 0..3 {
+        // Mornings without the program: strip it by generating with the
+        // program far out of view is not possible, so build baseline-only
+        // mornings from a different seed and zero amplitude instead.
+        let quiet = dishwasher_morning(MORNING_LEN, 30, 1000 + k).expect("generator");
+        // Subtract the program: keep baseline + noise only.
+        let mut s = quiet.series.clone();
+        for &c in &quiet.peak_centers {
+            let w = 40usize;
+            for i in c.saturating_sub(w)..(c + w).min(s.len()) {
+                s[i] = 0.15; // flatten the program region to baseline
+            }
+        }
+        week.push(s);
+    }
+    let matrix = pairwise_matrix(&week, 2, |a, b| cdtw(a, b, 40.0)).expect("distances");
+    let tree = agglomerative(&matrix, Linkage::Average).expect("clustering");
+    let labels = tree.cut(2).expect("2 clusters");
+    println!("clustering 6 mornings (first 3 have the dishwasher program):");
+    println!("  cluster labels: {labels:?}");
+    println!(
+        "{}",
+        tree.render_ascii(&["dish1", "dish2", "dish3", "flat1", "flat2", "flat3"])
+    );
+
+    // 3. Discord discovery in a synthetic week-long trace with one odd hour.
+    let mut trace = Vec::new();
+    for day in 0..7 {
+        let m = dishwasher_morning(MORNING_LEN, 30 + day * 3, 500 + day as u64).expect("generator");
+        trace.extend(m.series);
+    }
+    // Corrupt one stretch: the dishwasher runs twice back-to-back.
+    for i in 0..160 {
+        trace[3 * MORNING_LEN + 200 + i] += 0.9 * ((i as f64) * 0.2).sin().abs();
+    }
+    let discord = top_discord(&trace, 150, 10).expect("discord search");
+    println!(
+        "discord of length 150 found at offset {} (day {}), NN distance {:.2}",
+        discord.position,
+        discord.position / MORNING_LEN,
+        discord.nn_distance
+    );
+    println!("(the corrupted stretch was planted in day 3)");
+}

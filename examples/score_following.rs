@@ -1,0 +1,57 @@
+//! Online score following with open-end DTW — the streaming version of the
+//! paper's Case B.
+//!
+//! ```text
+//! cargo run --release --example score_following
+//! ```
+//!
+//! A "live performance" arrives in chunks; after each chunk, open-end DTW
+//! aligns everything heard so far against the best *prefix* of the score,
+//! giving the current score position and the accumulated alignment cost —
+//! all with the exact banded kernel, in milliseconds.
+
+use std::time::Instant;
+use tsdtw::core::cost::SquaredCost;
+use tsdtw::core::open_end::open_end_dtw;
+use tsdtw::datasets::music::performance_pair;
+
+fn main() {
+    // Four "minutes" at 100 Hz, scaled down 4x for a snappy demo.
+    let n = 6_000;
+    let drift = n as f64 * 0.0083;
+    let pair = performance_pair(n, drift, 21).expect("generator");
+    let score = &pair.studio;
+    let live = &pair.live;
+    let band = (drift as usize) + 20;
+
+    println!("score: {n} samples; live feed drifts up to ±{drift:.0} samples; band {band} cells\n");
+    println!(
+        "{:>10}{:>16}{:>14}{:>12}",
+        "heard (s)", "score pos (s)", "drift (smp)", "time (ms)"
+    );
+
+    let hz = 100.0;
+    let chunk = 600; // six seconds of audio per update
+    let mut t = chunk;
+    while t <= n {
+        let t0 = Instant::now();
+        let m = open_end_dtw(&live[..t], score, band, SquaredCost).expect("valid");
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:>10.1}{:>16.1}{:>14}{:>12.1}",
+            t as f64 / hz,
+            (m.end + 1) as f64 / hz,
+            m.end as i64 + 1 - t as i64,
+            dt
+        );
+        t += chunk;
+    }
+
+    println!(
+        "\nThe tracker recovers the score position within the drift bound at every \
+         update.\nOpen-end DTW inherits everything from the exact kernel — banding, \
+         O(N) memory — and,\nlike every trick in this repository's §3.4 toolbox, has \
+         no FastDTW analogue: committing\nto coarse-level prefixes is exactly what the \
+         adversarial example punishes."
+    );
+}

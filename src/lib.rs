@@ -1,0 +1,39 @@
+//! # tsdtw — an exact-and-approximate Dynamic Time Warping laboratory
+//!
+//! `tsdtw` is a workspace facade re-exporting the three library crates:
+//!
+//! * [`core`] ([`tsdtw_core`]) — the distance measures themselves: full DTW,
+//!   Sakoe–Chiba constrained `cDTW_w`, a faithful FastDTW implementation,
+//!   UCR-suite lower bounds, envelopes and normalization.
+//! * [`datasets`] ([`tsdtw_datasets`]) — deterministic synthetic generators for
+//!   every dataset used in Wu & Keogh's evaluation, plus UCR-format I/O.
+//! * [`mining`] ([`tsdtw_mining`]) — the tasks the paper measures: 1-NN
+//!   classification, similarity search, hierarchical clustering, and more.
+//!
+//! The workspace reproduces the ICDE 2021 paper *"FastDTW is approximate and
+//! Generally Slower than the Algorithm it Approximates"* (Wu & Keogh). See
+//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tsdtw::core::{cdtw, fastdtw, dtw};
+//!
+//! let x = [0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0];
+//! let y = [0.0, 0.0, 1.0, 2.0, 3.0, 2.0, 1.0];
+//!
+//! // Exact, unconstrained DTW.
+//! let full = dtw(&x, &y).unwrap();
+//! // Exact DTW constrained to a Sakoe–Chiba band of 20 % of N.
+//! let banded = cdtw(&x, &y, 20.0).unwrap();
+//! // Salvador & Chan's approximation with radius 1.
+//! let approx = fastdtw(&x, &y, 1).unwrap();
+//!
+//! assert!(full <= banded);
+//! assert!(full <= approx + 1e-12);
+//! ```
+
+pub use tsdtw_core as core;
+pub use tsdtw_datasets as datasets;
+pub use tsdtw_mining as mining;

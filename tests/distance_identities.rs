@@ -1,0 +1,98 @@
+//! Cross-crate integration: the algebraic identities the paper's Section 2
+//! states, exercised end-to-end through the facade crate on generated data.
+
+use tsdtw::core::cost::SquaredCost;
+use tsdtw::core::dtw::banded::{cdtw_distance, percent_to_band};
+use tsdtw::core::{cdtw, dtw, fastdtw, sq_euclidean};
+use tsdtw::datasets::random_walk::random_walks;
+
+fn pool() -> Vec<Vec<f64>> {
+    random_walks(12, 100, 0xDEAD).expect("generator")
+}
+
+#[test]
+fn cdtw_0_is_squared_euclidean_everywhere() {
+    let pool = pool();
+    for i in 0..pool.len() {
+        for j in (i + 1)..pool.len() {
+            let a = cdtw(&pool[i], &pool[j], 0.0).unwrap();
+            let b = sq_euclidean(&pool[i], &pool[j]).unwrap();
+            assert!((a - b).abs() < 1e-9, "pair ({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn cdtw_100_is_full_dtw_everywhere() {
+    let pool = pool();
+    for i in 0..pool.len() {
+        for j in (i + 1)..pool.len() {
+            let a = cdtw(&pool[i], &pool[j], 100.0).unwrap();
+            let b = dtw(&pool[i], &pool[j]).unwrap();
+            assert!((a - b).abs() < 1e-9, "pair ({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn distance_sandwich_dtw_le_cdtw_le_euclidean() {
+    let pool = pool();
+    for i in 0..pool.len() {
+        for j in (i + 1)..pool.len() {
+            let full = dtw(&pool[i], &pool[j]).unwrap();
+            let e = sq_euclidean(&pool[i], &pool[j]).unwrap();
+            let mut last = e;
+            // Distances must be monotone non-increasing as w grows.
+            for w in [0.0, 5.0, 10.0, 25.0, 50.0, 100.0] {
+                let d = cdtw(&pool[i], &pool[j], w).unwrap();
+                assert!(d <= last + 1e-9, "pair ({i},{j}) w {w}");
+                assert!(d >= full - 1e-9, "pair ({i},{j}) w {w}");
+                last = d;
+            }
+        }
+    }
+}
+
+#[test]
+fn both_fastdtw_implementations_upper_bound_exact_dtw() {
+    let pool = pool();
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            let exact = dtw(&pool[i], &pool[j]).unwrap();
+            for r in [0usize, 1, 5, 20] {
+                let tuned = fastdtw(&pool[i], &pool[j], r).unwrap();
+                let reference =
+                    tsdtw::core::fastdtw_ref_distance(&pool[i], &pool[j], r, SquaredCost).unwrap();
+                assert!(tuned >= exact - 1e-9, "tuned pair ({i},{j}) r {r}");
+                assert!(reference >= exact - 1e-9, "reference pair ({i},{j}) r {r}");
+            }
+        }
+    }
+}
+
+#[test]
+fn band_conversion_matches_direct_band_calls() {
+    let pool = pool();
+    let n = pool[0].len();
+    for w in [0.0, 4.0, 13.0, 50.0] {
+        let band = percent_to_band(n, w).unwrap();
+        let via_percent = cdtw(&pool[0], &pool[1], w).unwrap();
+        let via_band = cdtw_distance(&pool[0], &pool[1], band, SquaredCost).unwrap();
+        assert_eq!(via_percent, via_band);
+    }
+}
+
+#[test]
+fn symmetry_of_every_measure() {
+    let pool = pool();
+    let (x, y) = (&pool[3], &pool[7]);
+    assert_eq!(dtw(x, y).unwrap(), dtw(y, x).unwrap());
+    assert_eq!(cdtw(x, y, 10.0).unwrap(), cdtw(y, x, 10.0).unwrap());
+    assert_eq!(sq_euclidean(x, y).unwrap(), sq_euclidean(y, x).unwrap());
+    // FastDTW is not guaranteed symmetric (coarsening/window asymmetries),
+    // but must stay within approximation distance of itself reversed.
+    let a = fastdtw(x, y, 5).unwrap();
+    let b = fastdtw(y, x, 5).unwrap();
+    let exact = dtw(x, y).unwrap();
+    assert!(a >= exact - 1e-9 && b >= exact - 1e-9);
+}

@@ -1,0 +1,87 @@
+//! Cross-crate integration: the full lower-bound chain on generated data —
+//! every bound below the exact constrained distance, cascaded 1-NN exactly
+//! matching brute force, and the subsequence searcher matching its naive
+//! reference.
+
+use tsdtw::core::cost::SquaredCost;
+use tsdtw::core::dtw::banded::cdtw_distance;
+use tsdtw::core::envelope::Envelope;
+use tsdtw::core::lower_bounds::improved::lb_improved;
+use tsdtw::core::lower_bounds::keogh::lb_keogh;
+use tsdtw::core::lower_bounds::kim::{lb_kim_fl, lb_kim_hierarchy};
+use tsdtw::core::norm::znorm;
+use tsdtw::datasets::cbf::dataset;
+use tsdtw::datasets::random_walk::random_walk;
+use tsdtw::mining::dataset_views::LabeledView;
+use tsdtw::mining::knn::{loocv_error, loocv_error_cdtw_fast, DistanceSpec};
+use tsdtw::mining::search::{subsequence_search, subsequence_search_brute};
+
+#[test]
+fn bound_chain_holds_on_cbf_data() {
+    let mut data = dataset(128, 8, 0xBEEF).expect("generator");
+    data.znorm_all().expect("normalizable");
+    let band = 6;
+    for i in 0..data.len() {
+        let env = Envelope::new(&data.series[i], band).unwrap();
+        for j in 0..data.len() {
+            if i == j {
+                continue;
+            }
+            let q = &data.series[i];
+            let c = &data.series[j];
+            let exact = cdtw_distance(q, c, band, SquaredCost).unwrap();
+            let kim_fl = lb_kim_fl(q, c).unwrap();
+            let kim_h = lb_kim_hierarchy(q, c, f64::INFINITY).unwrap();
+            let keogh = lb_keogh(c, &env).unwrap();
+            let improved = lb_improved(q, c, &env, band).unwrap();
+            for (name, lb) in [
+                ("kim_fl", kim_fl),
+                ("kim_h", kim_h),
+                ("keogh", keogh),
+                ("improved", improved),
+            ] {
+                assert!(
+                    lb <= exact + 1e-9,
+                    "{name} violated on pair ({i},{j}): {lb} > {exact}"
+                );
+            }
+            assert!(improved >= keogh - 1e-12, "LB_Improved dominates LB_Keogh");
+        }
+    }
+}
+
+#[test]
+fn cascaded_loocv_is_exactly_brute_force_loocv() {
+    let mut data = dataset(96, 6, 0xCAFE).expect("generator");
+    data.znorm_all().expect("normalizable");
+    let view = LabeledView::new(&data.series, &data.labels).unwrap();
+    for band in [0usize, 4, 12] {
+        let brute = loocv_error(&view, DistanceSpec::CdtwBand(band)).unwrap();
+        let fast = loocv_error_cdtw_fast(&view, band).unwrap();
+        assert_eq!(brute, fast, "band {band}");
+    }
+}
+
+#[test]
+fn accelerated_search_equals_naive_search_on_noisy_haystack() {
+    let haystack = random_walk(4_000, 0x5EEC).unwrap();
+    let query: Vec<f64> = haystack[1_234..1_234 + 96].to_vec();
+    let fast = subsequence_search(&haystack, &query, 5).unwrap();
+    let brute = subsequence_search_brute(&haystack, &query, 5).unwrap();
+    assert_eq!(fast.position, brute.position);
+    assert!((fast.distance - brute.distance).abs() < 1e-9);
+    // The planted window is an exact (pre-normalization) match.
+    assert_eq!(fast.position, 1_234);
+    assert!(fast.distance < 1e-12);
+}
+
+#[test]
+fn znorm_then_bound_then_dtw_pipeline_is_scale_invariant() {
+    let x = random_walk(200, 1).unwrap();
+    let scaled: Vec<f64> = x.iter().map(|v| v * 17.0 - 4.0).collect();
+    let zx = znorm(&x).unwrap();
+    let zs = znorm(&scaled).unwrap();
+    for (a, b) in zx.iter().zip(&zs) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based invariants over the whole distance stack (proptest).
+//!
+//! These complement the per-module property tests inside the crates by
+//! running randomized series through the *public* facade, the way a
+//! downstream user would.
+
+use proptest::prelude::*;
+use tsdtw::core::cost::SquaredCost;
+use tsdtw::core::dtw::banded::cdtw_distance;
+use tsdtw::core::dtw::full::{dtw_distance, dtw_with_path};
+use tsdtw::core::envelope::Envelope;
+use tsdtw::core::fastdtw::{fastdtw_ref_with_path, fastdtw_with_path};
+use tsdtw::core::lower_bounds::keogh::lb_keogh;
+use tsdtw::core::lower_bounds::kim::lb_kim_hierarchy;
+use tsdtw::core::norm::znorm;
+use tsdtw::core::paa::{halve, paa};
+
+fn series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dtw_is_zero_iff_aligned_values_match(x in series(64)) {
+        let d = dtw_distance(&x, &x, SquaredCost).unwrap();
+        prop_assert!(d.abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_is_symmetric(x in series(48), y in series(48)) {
+        let a = dtw_distance(&x, &y, SquaredCost).unwrap();
+        let b = dtw_distance(&y, &x, SquaredCost).unwrap();
+        prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn cdtw_monotone_in_band(x in series(48), y in series(48)) {
+        let mut last = f64::INFINITY;
+        for band in [0usize, 1, 2, 4, 8, 16, 64] {
+            let d = cdtw_distance(&x, &y, band, SquaredCost).unwrap();
+            prop_assert!(d <= last + 1e-9);
+            last = d;
+        }
+    }
+
+    #[test]
+    fn full_path_is_valid_and_replays(x in series(40), y in series(40)) {
+        let (d, p) = dtw_with_path(&x, &y, SquaredCost).unwrap();
+        prop_assert!(p.validate_for(x.len(), y.len()).is_ok());
+        let replay = p.replay_cost(&x, &y, SquaredCost).unwrap();
+        prop_assert!((replay - d).abs() < 1e-6 * (1.0 + d.abs()));
+    }
+
+    #[test]
+    fn both_fastdtw_paths_are_valid_upper_bounds(
+        x in series(96),
+        y in series(96),
+        radius in 0usize..6,
+    ) {
+        let exact = dtw_distance(&x, &y, SquaredCost).unwrap();
+        let (dt, pt) = fastdtw_with_path(&x, &y, radius, SquaredCost).unwrap();
+        prop_assert!(pt.validate_for(x.len(), y.len()).is_ok());
+        prop_assert!(dt >= exact - 1e-9);
+        let (dr, pr) = fastdtw_ref_with_path(&x, &y, radius, SquaredCost).unwrap();
+        prop_assert!(pr.validate_for(x.len(), y.len()).is_ok());
+        prop_assert!(dr >= exact - 1e-9);
+    }
+
+    #[test]
+    fn lower_bounds_never_exceed_cdtw(x in series(48), y in series(48)) {
+        // Bounds require equal lengths; truncate to the shorter.
+        let n = x.len().min(y.len());
+        let (x, y) = (&x[..n], &y[..n]);
+        let band = 3usize.min(n.saturating_sub(1));
+        let exact = cdtw_distance(x, y, band, SquaredCost).unwrap();
+        let env = Envelope::new(x, band).unwrap();
+        prop_assert!(lb_keogh(y, &env).unwrap() <= exact + 1e-9);
+        prop_assert!(lb_kim_hierarchy(x, y, f64::INFINITY).unwrap() <= exact + 1e-9);
+    }
+
+    #[test]
+    fn envelope_bounds_its_series(x in series(64), band in 0usize..10) {
+        let e = Envelope::new(&x, band).unwrap();
+        for (i, &v) in x.iter().enumerate() {
+            prop_assert!(e.lower[i] <= v && v <= e.upper[i]);
+        }
+    }
+
+    #[test]
+    fn znorm_idempotent_up_to_numerics(x in series(64)) {
+        let z1 = znorm(&x).unwrap();
+        let z2 = znorm(&z1).unwrap();
+        for (a, b) in z1.iter().zip(&z2) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn halve_then_paa_agree_on_means(x in series(64)) {
+        // halve() preserves the grand mean for even-length input.
+        if x.len() % 2 == 0 && !x.is_empty() {
+            let h = halve(&x);
+            let mean_x: f64 = x.iter().sum::<f64>() / x.len() as f64;
+            let mean_h: f64 = h.iter().sum::<f64>() / h.len() as f64;
+            prop_assert!((mean_x - mean_h).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paa_of_full_resolution_is_identity(x in series(32)) {
+        let p = paa(&x, x.len()).unwrap();
+        for (a, b) in p.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn triangle_like_bound_dtw_under_concatenation(x in series(24)) {
+        // DTW against a constant equals best-constant alignment cost; a
+        // cheap sanity relation: DTW(x, c) <= sum (x_i - c)^2 for constant c.
+        let c = vec![0.0; x.len()];
+        let d = dtw_distance(&x, &c, SquaredCost).unwrap();
+        let sq: f64 = x.iter().map(|v| v * v).sum();
+        prop_assert!(d <= sq + 1e-9);
+    }
+}
