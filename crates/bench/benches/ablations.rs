@@ -102,6 +102,34 @@ fn fastdtw_recursion_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn meter_overhead(c: &mut Criterion) {
+    // The observability layer's contract: the meter is a monomorphized
+    // generic, so the `NoMeter` path must compile to the same code as the
+    // never-instrumented kernel (`cdtw_distance` delegates through it) and
+    // cost nothing. `WorkMeter` puts a number on the price of actually
+    // recording — a handful of integer adds per DP row.
+    use tsdtw_core::dtw::banded::cdtw_distance_metered;
+    use tsdtw_core::obs::{NoMeter, WorkMeter};
+    let x = random_walk(1024, 41).unwrap();
+    let y = random_walk(1024, 42).unwrap();
+    let band = 50;
+    let mut g = c.benchmark_group("ablation_meter");
+    g.sample_size(30);
+    g.bench_function("unmetered", |b| {
+        b.iter(|| black_box(cdtw_distance(&x, &y, band, SquaredCost).unwrap()))
+    });
+    g.bench_function("no_meter", |b| {
+        b.iter(|| {
+            black_box(cdtw_distance_metered(&x, &y, band, SquaredCost, &mut NoMeter).unwrap())
+        })
+    });
+    g.bench_function("work_meter", |b| {
+        let mut meter = WorkMeter::new();
+        b.iter(|| black_box(cdtw_distance_metered(&x, &y, band, SquaredCost, &mut meter).unwrap()))
+    });
+    g.finish();
+}
+
 fn constraint_shapes(c: &mut Criterion) {
     // Full window vs Sakoe–Chiba band vs Itakura parallelogram at N=512:
     // the DP cost is proportional to admissible cells, so the constraint
@@ -159,6 +187,7 @@ criterion_group!(
     knn_cascade_vs_brute,
     fastdtw_recursion_overhead,
     fastdtw_reference_vs_tuned,
+    meter_overhead,
     constraint_shapes
 );
 criterion_main!(benches);

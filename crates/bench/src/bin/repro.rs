@@ -4,7 +4,8 @@
 //! repro [EXPERIMENT ...] [--full] [--out DIR] [--list]
 //!
 //!   EXPERIMENT   one or more of: fig1 fig2 caseb fig3 fig4 fig6 table2
-//!                footnote2 appendixb, or 'all' (default)
+//!                footnote2 appendixb impls lbs radius cells, or 'all'
+//!                (default)
 //!   --full       paper-scale populations (minutes); default is --quick
 //!   --out DIR    where to write <id>.json records (default: results/)
 //!   --list       list experiments and exit

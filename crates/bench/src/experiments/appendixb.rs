@@ -9,7 +9,6 @@
 //! with a window chosen by LOOCV on the training set, plus a per-call
 //! timing comparison on the same pairs.
 
-use serde::Serialize;
 use std::hint::black_box;
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
@@ -22,7 +21,6 @@ use tsdtw_mining::wselect::{integer_grid, optimal_window};
 use crate::report::{Report, Scale};
 use crate::timing::time_once;
 
-#[derive(Serialize)]
 struct Record {
     series_len: usize,
     train: usize,
@@ -33,6 +31,17 @@ struct Record {
     accuracy_gain_points: f64,
     speed_ratio_fastdtw_over_cdtw: f64,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    series_len,
+    train,
+    test,
+    learned_w_percent,
+    accuracy_fastdtw30,
+    accuracy_cdtw,
+    accuracy_gain_points,
+    speed_ratio_fastdtw_over_cdtw
+});
 
 /// Runs the experiment.
 pub fn run(scale: &Scale) -> Report {
@@ -113,6 +122,12 @@ pub fn run(scale: &Scale) -> Report {
     rep.line(format!(
         "speed: exact cDTW is {:.1}x faster per call   [paper: ~24x mean, >=5.8x worst]",
         record.speed_ratio_fastdtw_over_cdtw
+    ));
+    rep.attach_work(&super::common::work_sample(
+        &train.series[0],
+        &train.series[1],
+        Some(w),
+        Some(30),
     ));
     rep
 }

@@ -9,7 +9,6 @@
 //! kernel-sharing FastDTW actually flips the ordering (see
 //! EXPERIMENTS.md).
 
-use serde::Serialize;
 use std::hint::black_box;
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
@@ -19,7 +18,6 @@ use tsdtw_datasets::music::performance_pair;
 use crate::report::{Report, Scale};
 use crate::timing::{time_reps, Timing};
 
-#[derive(Serialize)]
 struct Record {
     n: usize,
     w_percent: f64,
@@ -32,6 +30,19 @@ struct Record {
     ref40_over_cdtw: f64,
     tuned10_over_cdtw: f64,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    n,
+    w_percent,
+    band_cells,
+    cdtw,
+    ref_fastdtw_10,
+    ref_fastdtw_40,
+    tuned_fastdtw_10,
+    ref10_over_cdtw,
+    ref40_over_cdtw,
+    tuned10_over_cdtw
+});
 
 /// Runs the experiment.
 pub fn run(scale: &Scale) -> Report {
@@ -94,6 +105,12 @@ pub fn run(scale: &Scale) -> Report {
          FastDTW can win Case B, but no such implementation existed in the surveyed ecosystem",
         record.tuned_fastdtw_10.mean_ms(),
         record.tuned10_over_cdtw
+    ));
+    rep.attach_work(&super::common::work_sample(
+        &pair.studio,
+        &pair.live,
+        Some(w),
+        Some(10),
     ));
     rep
 }

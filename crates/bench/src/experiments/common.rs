@@ -1,7 +1,7 @@
 //! Timed all-pairs workloads shared by the Fig. 1 and Fig. 4 experiments.
 //!
 //! Every algorithm gets the same treatment: round-robin pair distribution
-//! over the same number of crossbeam workers, per-thread reusable state
+//! over the same number of scoped-thread workers, per-thread reusable state
 //! where the algorithm admits it (`BandedDtw` caches its window and
 //! scratch rows), and a `black_box`ed accumulator so the optimizer cannot
 //! delete the work.
@@ -11,12 +11,12 @@
 //! per-pair cost of every algorithm here is independent of which pair is
 //! measured, so the extrapolation is exact up to timer noise.
 
-use crossbeam::thread;
 use std::hint::black_box;
 use std::time::Instant;
 use tsdtw_core::cost::SquaredCost;
-use tsdtw_core::dtw::banded::{percent_to_band, BandedDtw};
-use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_ref_distance};
+use tsdtw_core::dtw::banded::{cdtw_distance_metered, percent_to_band, BandedDtw};
+use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_metered, fastdtw_ref_distance};
+use tsdtw_core::obs::WorkMeter;
 
 /// Which distance implementation an all-pairs run measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,10 +56,10 @@ pub fn time_allpairs(series: &[Vec<f64>], algo: Algo, param: f64, threads: usize
     let pairs = pairs(n);
     let threads = threads.max(1);
     let t0 = Instant::now();
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..threads {
             let pairs = &pairs;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut acc = 0.0;
                 let mut k = t;
                 match algo {
@@ -97,13 +97,12 @@ pub fn time_allpairs(series: &[Vec<f64>], algo: Algo, param: f64, threads: usize
                 black_box(acc);
             });
         }
-    })
-    .expect("scope");
+    });
     t0.elapsed().as_secs_f64()
 }
 
 /// One row of a sweep result.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// `"cdtw"`, `"fastdtw_ref"` or `"fastdtw_tuned"`.
     pub algo: String,
@@ -117,6 +116,14 @@ pub struct SweepRow {
     /// Linear extrapolation to the paper's full pair count.
     pub extrapolated_s: f64,
 }
+
+tsdtw_obs::impl_to_json!(SweepRow {
+    algo,
+    param,
+    measured_pairs,
+    measured_s,
+    extrapolated_s,
+});
 
 fn algo_key(algo: Algo) -> &'static str {
     match algo {
@@ -151,6 +158,32 @@ pub fn sweep_algo(
             }
         })
         .collect()
+}
+
+/// Meters one representative comparison at an experiment's configuration:
+/// a `cDTW_w` evaluation (skipped when `w_percent` is `None`) and a tuned
+/// FastDTW run at `radius` (skipped when `None`), over the given pair.
+///
+/// Experiments attach the result as their report's `work` section.
+/// Metering is deliberately kept *out* of the timed hot loops — the work
+/// per comparison is identical across a population of same-length pairs,
+/// so one metered pass characterizes the whole run without perturbing the
+/// timings it rides along with.
+pub fn work_sample(
+    x: &[f64],
+    y: &[f64],
+    w_percent: Option<f64>,
+    radius: Option<usize>,
+) -> WorkMeter {
+    let mut meter = WorkMeter::new();
+    if let Some(w) = w_percent {
+        let band = percent_to_band(x.len().max(y.len()), w).expect("valid w");
+        cdtw_distance_metered(x, y, band, SquaredCost, &mut meter).expect("valid inputs");
+    }
+    if let Some(r) = radius {
+        fastdtw_metered(x, y, r, SquaredCost, &mut meter).expect("valid inputs");
+    }
+    meter
 }
 
 /// Finds the row for a given algorithm key and parameter.

@@ -14,16 +14,14 @@
 //! measure the tuned FastDTW that shares cDTW's kernel — no such
 //! implementation existed in the ecosystem the paper surveys.
 
-use serde::Serialize;
 use tsdtw_datasets::gesture::{uwave_like, GestureConfig};
 
-use super::common::{find, render_rows, sweep_algo, Algo, SweepRow};
+use super::common::{find, render_rows, sweep_algo, work_sample, Algo, SweepRow};
 use crate::report::{Report, Scale};
 
 /// Pairs in the paper's population: 896 × 895 / 2.
 const TARGET_PAIRS: usize = 400_960;
 
-#[derive(Serialize)]
 struct Record {
     n: usize,
     exemplars_cheap: usize,
@@ -37,6 +35,17 @@ struct Record {
     /// per-pair ratio: tuned FastDTW_10 over cDTW_4 (extension).
     tuned_fastdtw10_over_cdtw4: f64,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    n,
+    exemplars_cheap,
+    exemplars_ref,
+    target_pairs,
+    rows,
+    ref_fastdtw0_over_cdtw4,
+    ref_fastdtw10_over_cdtw20,
+    tuned_fastdtw10_over_cdtw4
+});
 
 /// Runs the experiment.
 pub fn run(scale: &Scale) -> Report {
@@ -118,6 +127,7 @@ pub fn run(scale: &Scale) -> Report {
          but does not close Case A)",
         record.tuned_fastdtw10_over_cdtw4
     ));
+    rep.attach_work(&work_sample(&series[0], &series[1], Some(4.0), Some(10)));
     rep
 }
 

@@ -5,14 +5,12 @@
 //! Expected shape (paper): lengths mostly below 1,000; optimal `w` rarely
 //! above 10 %.
 
-use serde::Serialize;
 use tsdtw_datasets::suite::{generate_suite, SuiteConfig};
 use tsdtw_mining::dataset_views::LabeledView;
 use tsdtw_mining::wselect::{integer_grid, optimal_window};
 
 use crate::report::{Report, Scale};
 
-#[derive(Serialize)]
 struct Record {
     n_datasets: usize,
     optimal_w: Vec<f64>,
@@ -22,6 +20,16 @@ struct Record {
     frac_w_at_most_10: f64,
     frac_len_below_1000: f64,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    n_datasets,
+    optimal_w,
+    lengths,
+    w_histogram,
+    length_histogram,
+    frac_w_at_most_10,
+    frac_len_below_1000
+});
 
 fn histogram<T: Copy, F: Fn(T) -> usize>(
     values: &[T],
@@ -129,6 +137,12 @@ pub fn run(scale: &Scale) -> Report {
     rep.line(format!(
         "length < 1000 (scaled): {:.0}% of datasets  [paper: 'majority ... less than 1,000']",
         record.frac_len_below_1000 * 100.0
+    ));
+    rep.attach_work(&super::common::work_sample(
+        &suite[0].data.series[0],
+        &suite[0].data.series[1],
+        Some(record.optimal_w[0]),
+        None,
     ));
     rep
 }

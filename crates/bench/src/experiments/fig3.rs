@@ -7,7 +7,6 @@
 //! window aligns the program where lock-step comparison cannot, and the
 //! optimal warping path actually deviates by about the peak shift.
 
-use serde::Serialize;
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::distance::sq_euclidean;
 use tsdtw_core::dtw::banded::{cdtw_with_path, percent_to_band};
@@ -15,7 +14,6 @@ use tsdtw_datasets::power::{fig3_pair, MORNING_LEN};
 
 use crate::report::{Report, Scale};
 
-#[derive(Serialize)]
 struct Record {
     n: usize,
     peak_shift_samples: i64,
@@ -25,6 +23,16 @@ struct Record {
     alignment_gain: f64,
     path_max_deviation: usize,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    n,
+    peak_shift_samples,
+    w_estimate_percent,
+    cdtw40,
+    euclidean,
+    alignment_gain,
+    path_max_deviation
+});
 
 /// Runs the experiment.
 pub fn run(_scale: &Scale) -> Report {
@@ -63,6 +71,12 @@ pub fn run(_scale: &Scale) -> Report {
     rep.line(format!(
         "optimal path deviates up to {} cells from the diagonal (needs a wide window)",
         record.path_max_deviation
+    ));
+    rep.attach_work(&super::common::work_sample(
+        &early.series,
+        &late.series,
+        Some(40.0),
+        None,
     ));
     rep
 }

@@ -9,16 +9,14 @@
 //! the original FastDTW paper's own accuracy numbers), which the report
 //! prints but does not gate on.
 
-use serde::Serialize;
 use tsdtw_datasets::random_walk::random_walks;
 
-use super::common::{find, render_rows, sweep_algo, Algo, SweepRow};
+use super::common::{find, render_rows, sweep_algo, work_sample, Algo, SweepRow};
 use crate::report::{Report, Scale};
 
 /// Pairs in the paper's population: 1000 × 999 / 2.
 const TARGET_PAIRS: usize = 499_500;
 
-#[derive(Serialize)]
 struct Record {
     n: usize,
     walks_cheap: usize,
@@ -30,6 +28,16 @@ struct Record {
     /// per-pair ratio: reference FastDTW_10 over cDTW_40.
     ref_fastdtw10_over_cdtw40: f64,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    n,
+    walks_cheap,
+    walks_ref,
+    target_pairs,
+    rows,
+    matched_ratios,
+    ref_fastdtw10_over_cdtw40
+});
 
 /// Runs the experiment.
 pub fn run(scale: &Scale) -> Report {
@@ -101,6 +109,7 @@ pub fn run(scale: &Scale) -> Report {
         "reference FastDTW_10 vs cDTW_40 (widest window Case C needs): {:.0}x slower",
         record.ref_fastdtw10_over_cdtw40
     ));
+    rep.attach_work(&work_sample(&cheap[0], &cheap[1], Some(10.0), Some(10)));
     rep
 }
 

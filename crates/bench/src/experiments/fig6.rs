@@ -10,7 +10,6 @@
 //! implementation's constants push its crossover far beyond any L in the
 //! sweep. Both are reported.
 
-use serde::Serialize;
 use std::hint::black_box;
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::full::dtw_distance;
@@ -20,7 +19,6 @@ use tsdtw_datasets::fall::{pair, HZ};
 use crate::report::{Report, Scale};
 use crate::timing::time_reps;
 
-#[derive(Serialize)]
 struct Row {
     l_seconds: f64,
     n: usize,
@@ -30,12 +28,26 @@ struct Row {
     fastdtw_aligns_falls: bool,
 }
 
-#[derive(Serialize)]
+tsdtw_obs::impl_to_json!(Row {
+    l_seconds,
+    n,
+    full_dtw_ms,
+    tuned_fastdtw_40_ms,
+    ref_fastdtw_40_ms,
+    fastdtw_aligns_falls
+});
+
 struct Record {
     rows: Vec<Row>,
     tuned_crossover_l: Option<f64>,
     ref_crossover_l: Option<f64>,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    rows,
+    tuned_crossover_l,
+    ref_crossover_l
+});
 
 /// Runs the experiment.
 pub fn run(scale: &Scale) -> Report {
@@ -149,6 +161,13 @@ pub fn run(scale: &Scale) -> Report {
         "note: at the crossover FastDTW_40 merely approximates the cDTW_100 result it ties."
             .to_string(),
     );
+    let wp = pair(1.0, 0xF165 + 10).expect("generator");
+    rep.attach_work(&super::common::work_sample(
+        &wp.early,
+        &wp.late,
+        Some(100.0),
+        Some(40),
+    ));
     rep
 }
 

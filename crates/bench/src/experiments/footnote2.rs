@@ -10,7 +10,6 @@
 //! throughput in haystack points per second — and extrapolate all of them
 //! to the trillion scale.
 
-use serde::Serialize;
 use std::hint::black_box;
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
@@ -24,7 +23,6 @@ use crate::timing::{human, time_once};
 const N: usize = 128;
 const TRILLION: f64 = 1e12;
 
-#[derive(Serialize)]
 struct Record {
     n: usize,
     ref_fastdtw10_per_call_ms: f64,
@@ -37,6 +35,19 @@ struct Record {
     search_trillion_s: f64,
     search_prune_rate: f64,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    n,
+    ref_fastdtw10_per_call_ms,
+    tuned_fastdtw10_per_call_ms,
+    cdtw5_per_call_ms,
+    ref_fastdtw_trillion_s,
+    tuned_fastdtw_trillion_s,
+    cdtw_brute_trillion_s,
+    search_points_per_s,
+    search_trillion_s,
+    search_prune_rate
+});
 
 fn per_call(calls: usize, mut f: impl FnMut(usize) -> f64) -> f64 {
     time_once(|| {
@@ -125,6 +136,7 @@ pub fn run(scale: &Scale) -> Report {
         record.search_prune_rate * 100.0,
         human(record.search_trillion_s)
     ));
+    rep.attach_work(&super::common::work_sample(x(0), y(0), Some(5.0), Some(10)));
     rep
 }
 

@@ -14,7 +14,6 @@
 //!   statement about implementations rather than about the algorithm — and
 //!   for the other three cases, about both.
 
-use serde::Serialize;
 use std::hint::black_box;
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
@@ -24,7 +23,6 @@ use tsdtw_datasets::random_walk::random_walk;
 use crate::report::{Report, Scale};
 use crate::timing::time_reps;
 
-#[derive(Serialize)]
 struct Row {
     regime: String,
     n: usize,
@@ -35,10 +33,21 @@ struct Row {
     reference_ms: f64,
 }
 
-#[derive(Serialize)]
+tsdtw_obs::impl_to_json!(Row {
+    regime,
+    n,
+    w_percent,
+    radius,
+    cdtw_ms,
+    tuned_ms,
+    reference_ms
+});
+
 struct Record {
     rows: Vec<Row>,
 }
+
+tsdtw_obs::impl_to_json!(Record { rows });
 
 /// Runs the experiment.
 pub fn run(scale: &Scale) -> Report {
@@ -98,6 +107,9 @@ pub fn run(scale: &Scale) -> Report {
          algorithm's inherent gap."
             .to_string(),
     );
+    let wx = random_walk(450, 0x1111 + 450).expect("generator");
+    let wy = random_walk(450, 0x2222 + 450).expect("generator");
+    rep.attach_work(&super::common::work_sample(&wx, &wy, Some(40.0), Some(40)));
     rep
 }
 

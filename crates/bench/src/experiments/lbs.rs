@@ -8,7 +8,6 @@
 //! bound on two substrates — raw random walks and z-normalized gesture
 //! data — at the archive-typical w = 5 %.
 
-use serde::Serialize;
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
 use tsdtw_core::envelope::Envelope;
@@ -22,7 +21,6 @@ use tsdtw_datasets::random_walk::random_walks;
 
 use crate::report::{Report, Scale};
 
-#[derive(Serialize)]
 struct Row {
     substrate: String,
     bound: String,
@@ -30,13 +28,26 @@ struct Row {
     max_tightness: f64,
 }
 
-#[derive(Serialize)]
+tsdtw_obs::impl_to_json!(Row {
+    substrate,
+    bound,
+    mean_tightness,
+    max_tightness
+});
+
 struct Record {
     n: usize,
     w_percent: f64,
     pairs: usize,
     rows: Vec<Row>,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    n,
+    w_percent,
+    pairs,
+    rows
+});
 
 fn tightness_rows(name: &str, pool: &[Vec<f64>], band: usize, rows: &mut Vec<Row>) {
     let mut sums = [0.0f64; 4];
@@ -142,6 +153,22 @@ pub fn run(scale: &Scale) -> Report {
          by construction; none of these exist for FastDTW."
             .to_string(),
     );
+    // The work section meters a full cascaded 1-NN pass over the walk
+    // pool, so the JSON records the lower-bound invocations and prune
+    // tallies these bounds buy in practice.
+    let mut cascade = tsdtw_core::lower_bounds::Cascade::new(&walks[0], band).expect("valid query");
+    let mut meter = tsdtw_core::obs::WorkMeter::new();
+    let mut bsf = f64::INFINITY;
+    for c in &walks[1..] {
+        if let Some(d) = cascade
+            .evaluate_metered(c, bsf, &mut meter)
+            .expect("valid candidate")
+            .exact_distance()
+        {
+            bsf = bsf.min(d);
+        }
+    }
+    rep.attach_work(&meter);
     rep
 }
 

@@ -3,6 +3,7 @@
 
 pub mod appendixb;
 pub mod caseb;
+pub mod cells;
 pub mod common;
 pub mod fig1;
 pub mod fig2;
@@ -35,6 +36,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("impls", impls::run),
         ("lbs", lbs::run),
         ("radius", radius::run),
+        ("cells", cells::run),
     ]
 }
 
@@ -47,8 +49,9 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 12);
+        assert_eq!(ids.len(), 13);
         assert!(ids.contains(&"table2"));
         assert!(ids.contains(&"impls"));
+        assert!(ids.contains(&"cells"));
     }
 }

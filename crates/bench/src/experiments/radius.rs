@@ -13,7 +13,6 @@
 //! Error metric: the original paper's
 //! `(approx − exact) / exact × 100 %`, averaged over random-walk pairs.
 
-use serde::Serialize;
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::full::dtw_distance;
 use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_ref_distance};
@@ -21,19 +20,25 @@ use tsdtw_datasets::random_walk::random_walks;
 
 use crate::report::{Report, Scale};
 
-#[derive(Serialize)]
 struct Row {
     radius: usize,
     mean_error_percent_tuned: f64,
     mean_error_percent_reference: f64,
 }
 
-#[derive(Serialize)]
+tsdtw_obs::impl_to_json!(Row {
+    radius,
+    mean_error_percent_tuned,
+    mean_error_percent_reference
+});
+
 struct Record {
     n: usize,
     pairs: usize,
     rows: Vec<Row>,
 }
+
+tsdtw_obs::impl_to_json!(Record { n, pairs, rows });
 
 /// Runs the experiment.
 pub fn run(scale: &Scale) -> Report {
@@ -100,6 +105,12 @@ pub fn run(scale: &Scale) -> Report {
          never was."
             .to_string(),
     );
+    rep.attach_work(&super::common::work_sample(
+        &pool[0],
+        &pool[1],
+        None,
+        Some(10),
+    ));
     rep
 }
 

@@ -9,7 +9,6 @@
 //! below d(·,C) under Full DTW, explodes past d(·,C) under FastDTW_20,
 //! and the clustering flips.
 
-use serde::Serialize;
 use tsdtw_core::cost::{Rooted, SquaredCost};
 use tsdtw_core::dtw::full::dtw_distance;
 use tsdtw_core::fastdtw::fastdtw_distance;
@@ -19,7 +18,6 @@ use tsdtw_mining::pairwise::DistanceMatrix;
 
 use crate::report::{Report, Scale};
 
-#[derive(Serialize)]
 struct Record {
     full: [[f64; 3]; 3],
     fast20: [[f64; 3]; 3],
@@ -32,6 +30,17 @@ struct Record {
     fast_first_pair: (usize, usize),
     dendrograms_differ: bool,
 }
+
+tsdtw_obs::impl_to_json!(Record {
+    full,
+    fast20,
+    error_percent,
+    ref_ab,
+    ref_error_percent,
+    full_first_pair,
+    fast_first_pair,
+    dendrograms_differ
+});
 
 fn matrix<F: Fn(&[f64], &[f64]) -> f64>(series: &[&[f64]; 3], d: F) -> [[f64; 3]; 3] {
     let mut m = [[0.0; 3]; 3];
@@ -123,6 +132,12 @@ pub fn run(_scale: &Scale) -> Report {
     for l in fast_tree.render_ascii(&names).lines() {
         rep.line(format!("  {l}"));
     }
+    rep.attach_work(&super::common::work_sample(
+        &t.a,
+        &t.b,
+        Some(100.0),
+        Some(20),
+    ));
     rep
 }
 

@@ -1,7 +1,7 @@
 //! Report plumbing shared by all experiments.
 
-use serde::Serialize;
 use std::path::Path;
+use tsdtw_obs::{Json, ToJson, WorkMeter};
 
 /// How much work an experiment run should do.
 ///
@@ -38,24 +38,35 @@ pub struct Report {
     /// Human-readable result lines.
     pub lines: Vec<String>,
     /// Machine-readable record mirroring the lines.
-    pub json: serde_json::Value,
+    pub json: Json,
 }
 
 impl Report {
     /// Creates a report with the JSON payload built from any serializable
     /// record.
-    pub fn new<T: Serialize>(id: &'static str, title: impl Into<String>, record: &T) -> Self {
+    pub fn new<T: ToJson>(id: &'static str, title: impl Into<String>, record: &T) -> Self {
         Report {
             id,
             title: title.into(),
             lines: Vec::new(),
-            json: serde_json::to_value(record).expect("records are plain data"),
+            json: record.to_json(),
         }
     }
 
     /// Appends a printable line.
     pub fn line(&mut self, s: impl Into<String>) {
         self.lines.push(s.into());
+    }
+
+    /// Attaches the run's work accounting as the `work` section of the
+    /// JSON record. A non-object record is wrapped as `{"record": …}`
+    /// first so the section always lands at the top level.
+    pub fn attach_work(&mut self, meter: &WorkMeter) {
+        if !matches!(self.json, Json::Obj(_)) {
+            let record = std::mem::replace(&mut self.json, Json::object());
+            self.json.set("record", record);
+        }
+        self.json.set("work", meter.report());
     }
 
     /// Renders the report for the terminal.
@@ -70,14 +81,22 @@ impl Report {
         out
     }
 
-    /// Writes the JSON record to `<dir>/<id>.json`.
+    /// Writes the JSON record to `<dir>/<id>.json` atomically: the bytes
+    /// land in a temp file in the same directory which is then renamed
+    /// over the target, so a crashed or interrupted run can never leave a
+    /// half-written report behind.
     pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&self.json).expect("valid json"),
-        )
+        let tmp = dir.join(format!(".{}.json.tmp", self.id));
+        std::fs::write(&tmp, self.json.to_string_pretty())?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -93,10 +112,11 @@ mod tests {
 
     #[test]
     fn report_renders_lines() {
-        #[derive(Serialize)]
+        #[derive(Debug)]
         struct R {
             x: u32,
         }
+        tsdtw_obs::impl_to_json!(R { x });
         let mut r = Report::new("t", "title", &R { x: 3 });
         r.line("hello");
         let s = r.render();
@@ -106,17 +126,42 @@ mod tests {
     }
 
     #[test]
-    fn write_json_creates_file() {
+    fn write_json_creates_file_and_leaves_no_temp() {
         let dir = std::env::temp_dir().join("tsdtw-report-test");
         let _ = std::fs::remove_dir_all(&dir);
-        #[derive(Serialize)]
+        #[derive(Debug)]
         struct R {
             ok: bool,
         }
+        tsdtw_obs::impl_to_json!(R { ok });
         let r = Report::new("wtest", "t", &R { ok: true });
         r.write_json(&dir).unwrap();
         let content = std::fs::read_to_string(dir.join("wtest.json")).unwrap();
         assert!(content.contains("ok"));
+        assert!(
+            !dir.join(".wtest.json.tmp").exists(),
+            "temp file must be renamed away"
+        );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attach_work_adds_section() {
+        let mut meter = WorkMeter::new();
+        meter.cells = 10;
+        meter.window_cells = 10;
+        let mut r = Report::new("w", "t", &Json::object().with("n", 5));
+        r.attach_work(&meter);
+        assert_eq!(r.json["n"], 5);
+        assert_eq!(r.json["work"]["cells"], 10);
+    }
+
+    #[test]
+    fn attach_work_wraps_non_object_records() {
+        let meter = WorkMeter::new();
+        let mut r = Report::new("w", "t", &7u32);
+        r.attach_work(&meter);
+        assert_eq!(r.json["record"], 7);
+        assert!(r.json.get("work").is_some());
     }
 }

@@ -3,7 +3,7 @@
 use std::time::{Duration, Instant};
 
 /// Simple summary of repeated timings.
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Timing {
     /// Number of repetitions measured.
     pub reps: usize,
@@ -11,7 +11,19 @@ pub struct Timing {
     pub mean_s: f64,
     /// Fastest repetition, seconds.
     pub min_s: f64,
+    /// Median seconds per repetition (robust to one-off stalls).
+    pub median_s: f64,
+    /// 95th-percentile seconds per repetition (nearest-rank).
+    pub p95_s: f64,
 }
+
+tsdtw_obs::impl_to_json!(Timing {
+    reps,
+    mean_s,
+    min_s,
+    median_s,
+    p95_s
+});
 
 impl Timing {
     /// Mean time scaled to milliseconds.
@@ -27,22 +39,38 @@ pub fn time_once<F: FnOnce()>(f: F) -> Duration {
     t0.elapsed()
 }
 
-/// Times `reps` calls of `f`, reporting mean and min. The closure's result
-/// should be fed through [`std::hint::black_box`] by the caller to prevent
-/// the optimizer from deleting the work.
+/// Times `reps` calls of `f`, reporting mean, min, median, and p95. The
+/// closure's result should be fed through [`std::hint::black_box`] by the
+/// caller to prevent the optimizer from deleting the work.
 pub fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> Timing {
     assert!(reps > 0, "need at least one repetition");
-    let mut total = Duration::ZERO;
-    let mut min = Duration::MAX;
+    let mut samples: Vec<f64> = Vec::with_capacity(reps);
     for _ in 0..reps {
-        let d = time_once(&mut f);
-        total += d;
-        min = min.min(d);
+        samples.push(time_once(&mut f).as_secs_f64());
     }
+    summarize(&samples)
+}
+
+/// Builds a [`Timing`] from raw per-repetition samples in seconds.
+pub fn summarize(samples: &[f64]) -> Timing {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let n = samples.len();
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median_s = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) * 0.5
+    };
+    // Nearest-rank p95: the smallest sample with at least 95 % of the
+    // samples at or below it.
+    let rank = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
     Timing {
-        reps,
-        mean_s: total.as_secs_f64() / reps as f64,
-        min_s: min.as_secs_f64(),
+        reps: n,
+        mean_s: sorted.iter().sum::<f64>() / n as f64,
+        min_s: sorted[0],
+        median_s,
+        p95_s: sorted[rank - 1],
     }
 }
 
@@ -76,7 +104,40 @@ mod tests {
         });
         assert_eq!(t.reps, 5);
         assert!(t.min_s <= t.mean_s);
+        assert!(t.min_s <= t.median_s);
+        assert!(t.median_s <= t.p95_s);
         assert!(t.mean_s >= 0.0);
+    }
+
+    #[test]
+    fn summarize_odd_and_even_medians() {
+        let t = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!(t.median_s, 2.0);
+        assert_eq!(t.min_s, 1.0);
+        assert_eq!(t.mean_s, 2.0);
+        let t = summarize(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t.median_s, 2.5);
+    }
+
+    #[test]
+    fn summarize_p95_nearest_rank() {
+        // 20 samples: rank ceil(0.95*20)=19 → the 19th smallest.
+        let samples: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        assert_eq!(summarize(&samples).p95_s, 19.0);
+        // A single sample is its own p95.
+        assert_eq!(summarize(&[7.0]).p95_s, 7.0);
+        // 100 samples → the 95th.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(summarize(&samples).p95_s, 95.0);
+    }
+
+    #[test]
+    fn timing_serializes_all_fields() {
+        use tsdtw_obs::ToJson;
+        let j = summarize(&[1.0, 2.0]).to_json();
+        for key in ["reps", "mean_s", "min_s", "median_s", "p95_s"] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
     }
 
     #[test]

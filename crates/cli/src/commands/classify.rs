@@ -5,24 +5,37 @@
 use std::path::Path;
 
 use crate::args::{ArgError, Args};
+use crate::stats;
 use tsdtw_core::dtw::banded::percent_to_band;
 use tsdtw_datasets::ucr_format::load_ucr_file;
 use tsdtw_mining::dataset_views::LabeledView;
-use tsdtw_mining::knn::{evaluate_split, DistanceSpec};
+use tsdtw_mining::knn::{evaluate_split, evaluate_split_metered, DistanceSpec};
 use tsdtw_mining::wselect::{integer_grid, optimal_window};
+use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
 tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure M]
+               [--stats] [--stats-json FILE]
   M: cdtw (default) | dtw | euclidean | fastdtw-ref (with --radius R)
   --w auto learns the window by LOOCV on the training set (grid 0..--max-w, default 20)
+  --stats        print DP-cell counters summed over every test-vs-train comparison
+  --stats-json   also dump the counters as JSON to FILE (implies --stats)
   files: UCR archive format (label, then values; tab- or comma-separated)";
 
 /// Runs the command, returning the printable result.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let args = Args::parse(
         raw,
-        &["train", "test", "w", "max-w", "measure", "radius"],
-        &[],
+        &[
+            "train",
+            "test",
+            "w",
+            "max-w",
+            "measure",
+            "radius",
+            stats::STATS_JSON_FLAG,
+        ],
+        &[stats::STATS_SWITCH],
     )?;
     let train = load_ucr_file(Path::new(args.required("train")?))?;
     let test = load_ucr_file(Path::new(args.required("test")?))?;
@@ -61,7 +74,14 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         }
     };
 
-    let err = evaluate_split(&train_view, &test_view, spec)?;
+    let json_path = args.optional(stats::STATS_JSON_FLAG);
+    let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
+    let mut meter = WorkMeter::new();
+    let err = if want_stats {
+        evaluate_split_metered(&train_view, &test_view, spec, &mut meter)?
+    } else {
+        evaluate_split(&train_view, &test_view, spec)?
+    };
     out.push_str(&format!(
         "{} train / {} test exemplars, length {}, {} classes\n",
         train.len(),
@@ -74,6 +94,9 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         (1.0 - err) * 100.0,
         err
     ));
+    if want_stats {
+        stats::render(&meter, json_path, &mut out)?;
+    }
     Ok(out)
 }
 
@@ -148,6 +171,31 @@ mod tests {
             let out = run(&a).unwrap();
             assert!(out.contains("accuracy:"), "{out}");
         }
+    }
+
+    #[test]
+    fn stats_switch_sums_work_over_the_split() {
+        let (train, test) = setup();
+        let json = std::env::temp_dir()
+            .join("tsdtw-classify-test")
+            .join("work.json");
+        let out = run(&raw(&[
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            test.to_str().unwrap(),
+            "--w",
+            "5",
+            "--stats",
+            "--stats-json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("accuracy:"), "{out}");
+        assert!(out.contains("-- work --"), "{out}");
+        assert!(out.contains("DP cells evaluated"), "{out}");
+        let dumped = std::fs::read_to_string(&json).unwrap();
+        assert!(dumped.contains("\"window_cells\""), "{dumped}");
     }
 
     #[test]

@@ -4,19 +4,27 @@ use std::path::Path;
 
 use crate::args::{ArgError, Args};
 use crate::io::read_series;
-use tsdtw_core::cost::SquaredCost;
+use crate::stats;
 use tsdtw_core::dtw::banded::percent_to_band;
-use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_ref_distance};
+use tsdtw_mining::knn::DistanceSpec;
+use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
 tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
+           [--stats] [--stats-json FILE]
   M: dtw | cdtw (default, needs --w) | fastdtw | fastdtw-ref (need --radius)
      | euclidean
+  --stats        print DP-cell / window / buffer counters for the evaluation
+  --stats-json   also dump the counters as JSON to FILE (implies --stats)
   series files: one value per line, '#' comments allowed";
 
 /// Runs the command, returning the printable result.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
-    let args = Args::parse(raw, &["a", "b", "measure", "w", "radius"], &["znorm"])?;
+    let args = Args::parse(
+        raw,
+        &["a", "b", "measure", "w", "radius", stats::STATS_JSON_FLAG],
+        &["znorm", stats::STATS_SWITCH],
+    )?;
     let mut a = read_series(Path::new(args.required("a")?))?;
     let mut b = read_series(Path::new(args.required("b")?))?;
     if args.has("znorm") {
@@ -24,32 +32,34 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         tsdtw_core::norm::znorm_in_place(&mut b)?;
     }
     let measure = args.optional("measure").unwrap_or("cdtw");
-    let d = match measure {
-        "dtw" => tsdtw_core::dtw(&a, &b)?,
-        "cdtw" => {
-            let w: f64 = args.get_or("w", 10.0)?;
-            tsdtw_core::cdtw(&a, &b, w)?
-        }
-        "fastdtw" => {
-            let r: usize = args.get_or("radius", 1)?;
-            fastdtw_distance(&a, &b, r, SquaredCost)?
-        }
-        "fastdtw-ref" => {
-            let r: usize = args.get_or("radius", 1)?;
-            fastdtw_ref_distance(&a, &b, r, SquaredCost)?
-        }
-        "euclidean" => tsdtw_core::sq_euclidean(&a, &b)?,
+    let spec = match measure {
+        "dtw" => DistanceSpec::FullDtw,
+        "cdtw" => DistanceSpec::CdtwPercent(args.get_or("w", 10.0)?),
+        "fastdtw" => DistanceSpec::FastDtw(args.get_or("radius", 1)?),
+        "fastdtw-ref" => DistanceSpec::FastDtwRef(args.get_or("radius", 1)?),
+        "euclidean" => DistanceSpec::Euclidean,
         other => {
             return Err(Box::new(ArgError(format!(
                 "unknown measure {other:?}; see `tsdtw help dist`"
             ))))
         }
     };
+    let json_path = args.optional(stats::STATS_JSON_FLAG);
+    let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
+    let mut meter = WorkMeter::new();
+    let d = if want_stats {
+        spec.eval_metered(&a, &b, &mut meter)?
+    } else {
+        spec.eval(&a, &b)?
+    };
     let mut out = format!("{measure} distance: {d}\n");
     if measure == "cdtw" {
         let w: f64 = args.get_or("w", 10.0)?;
         let band = percent_to_band(a.len().max(b.len()), w)?;
         out.push_str(&format!("(w = {w}% -> band of {band} cells)\n"));
+    }
+    if want_stats {
+        stats::render(&meter, json_path, &mut out)?;
     }
     Ok(out)
 }
@@ -117,6 +127,33 @@ mod tests {
         assert_ne!(plain, normed);
         // Z-normalized, the two square waves are identical.
         assert!(normed.contains("distance: 0"), "{normed}");
+    }
+
+    #[test]
+    fn stats_switch_prints_counters_and_dumps_json() {
+        let (a, b) = setup("tsdtw-dist-stats-test");
+        let json = std::env::temp_dir()
+            .join("tsdtw-dist-stats-test")
+            .join("work.json");
+        let out = run(&raw(&[
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "fastdtw",
+            "--radius",
+            "1",
+            "--stats",
+            "--stats-json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("-- work --"), "{out}");
+        assert!(out.contains("DP cells evaluated"), "{out}");
+        assert!(out.contains("fastdtw:"), "{out}");
+        let dumped = std::fs::read_to_string(&json).unwrap();
+        assert!(dumped.contains("\"fastdtw_levels\""), "{dumped}");
     }
 
     #[test]

@@ -5,22 +5,34 @@ use std::path::Path;
 
 use crate::args::Args;
 use crate::io::read_series;
+use crate::stats;
 use tsdtw_core::dtw::banded::percent_to_band;
-use tsdtw_mining::search::{subsequence_search, top_k_matches};
+use tsdtw_mining::search::{subsequence_search_metered, top_k_matches_metered};
+use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
 tsdtw search --haystack FILE --query FILE [--w PCT] [--top K]
+             [--stats] [--stats-json FILE]
   z-normalizes the query and every candidate window (UCR practice) and
-  reports the best match(es) under cDTW_w with pruning statistics";
+  reports the best match(es) under cDTW_w with pruning statistics
+  --stats        print DP-cell / lower-bound / prune counters for the search
+  --stats-json   also dump the counters as JSON to FILE (implies --stats)";
 
 /// Runs the command, returning the printable result.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
-    let args = Args::parse(raw, &["haystack", "query", "w", "top"], &[])?;
+    let args = Args::parse(
+        raw,
+        &["haystack", "query", "w", "top", stats::STATS_JSON_FLAG],
+        &[stats::STATS_SWITCH],
+    )?;
     let haystack = read_series(Path::new(args.required("haystack")?))?;
     let query = read_series(Path::new(args.required("query")?))?;
     let w: f64 = args.get_or("w", 5.0)?;
     let band = percent_to_band(query.len(), w)?;
     let k: usize = args.get_or("top", 1)?;
+    let json_path = args.optional(stats::STATS_JSON_FLAG);
+    let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
+    let mut meter = WorkMeter::new();
 
     let mut out = format!(
         "haystack {} points, query {} points, w = {w}% (band {band})\n",
@@ -28,7 +40,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         query.len()
     );
     if k <= 1 {
-        let r = subsequence_search(&haystack, &query, band)?;
+        let r = subsequence_search_metered(&haystack, &query, band, &mut meter)?;
         out.push_str(&format!(
             "best match at offset {} (distance {:.6})\n",
             r.position, r.distance
@@ -44,7 +56,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             r.stats.prune_rate() * 100.0
         ));
     } else {
-        let matches = top_k_matches(&haystack, &query, band, k, query.len())?;
+        let matches = top_k_matches_metered(&haystack, &query, band, k, query.len(), &mut meter)?;
         out.push_str(&format!("top-{} non-overlapping matches:\n", matches.len()));
         for m in &matches {
             out.push_str(&format!(
@@ -52,6 +64,9 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
                 m.position, m.distance
             ));
         }
+    }
+    if want_stats {
+        stats::render(&meter, json_path, &mut out)?;
     }
     Ok(out)
 }
@@ -102,6 +117,35 @@ mod tests {
         .unwrap();
         assert!(out.contains("top-3"), "{out}");
         assert!(out.contains("offset"), "{out}");
+    }
+
+    #[test]
+    fn stats_switch_reports_search_work() {
+        let dir = std::env::temp_dir().join("tsdtw-search-stats-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let query: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4).sin()).collect();
+        let mut hay: Vec<f64> = (0..300).map(|i| ((i * 7) as f64).cos()).collect();
+        for (j, &q) in query.iter().enumerate() {
+            hay[100 + j] = q;
+        }
+        let hp = dir.join("hay.txt");
+        let qp = dir.join("query.txt");
+        write_series(&hp, &hay).unwrap();
+        write_series(&qp, &query).unwrap();
+        let json = dir.join("work.json");
+        let out = run(&raw(&[
+            "--haystack",
+            hp.to_str().unwrap(),
+            "--query",
+            qp.to_str().unwrap(),
+            "--stats-json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("-- work --"), "{out}");
+        assert!(out.contains("prune cascade"), "{out}");
+        let dumped = std::fs::read_to_string(&json).unwrap();
+        assert!(dumped.contains("\"prune\""), "{dumped}");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 mod args;
 mod commands;
 mod io;
+mod stats;
 
 use std::process::ExitCode;
 

@@ -1,0 +1,67 @@
+//! Shared `--stats` rendering: every command that accepts the flag funnels
+//! its [`WorkMeter`] through here for the human-readable counter block and
+//! the optional `--stats-json FILE` dump.
+
+use tsdtw_obs::{take_spans, WorkMeter};
+
+/// Flag names shared by all `--stats`-capable commands.
+pub const STATS_SWITCH: &str = "stats";
+/// Value flag naming the JSON dump file.
+pub const STATS_JSON_FLAG: &str = "stats-json";
+
+/// Appends the meter's counter summary to `out` and, when `json_path` is
+/// given, writes the meter's `work` JSON there. Timing spans (collected
+/// only under the `obs` feature) are drained and appended when present.
+pub fn render(
+    meter: &WorkMeter,
+    json_path: Option<&str>,
+    out: &mut String,
+) -> Result<(), Box<dyn std::error::Error>> {
+    out.push_str("-- work --\n");
+    out.push_str(&meter.summary());
+    let spans = take_spans();
+    if !spans.is_empty() {
+        out.push_str("-- spans --\n");
+        for s in &spans {
+            out.push_str(&format!(
+                "  {:<24} {:>8}x  {:>12.6}s total\n",
+                s.label, s.count, s.total_s
+            ));
+        }
+    }
+    if let Some(path) = json_path {
+        std::fs::write(path, format!("{}\n", meter.report().to_string_pretty()))?;
+        out.push_str(&format!("work JSON written to {path}\n"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_summary_and_writes_json() {
+        let dir = std::env::temp_dir().join("tsdtw-stats-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("work.json");
+        let mut meter = WorkMeter::new();
+        meter.cells = 42;
+        meter.window_cells = 42;
+        let mut out = String::new();
+        render(&meter, path.to_str(), &mut out).unwrap();
+        assert!(out.contains("-- work --"), "{out}");
+        assert!(out.contains("42 DP cells"), "{out}");
+        assert!(out.contains("work JSON written"), "{out}");
+        let dumped = std::fs::read_to_string(&path).unwrap();
+        assert!(dumped.contains("\"cells\""), "{dumped}");
+    }
+
+    #[test]
+    fn no_json_path_writes_nothing() {
+        let meter = WorkMeter::new();
+        let mut out = String::new();
+        render(&meter, None, &mut out).unwrap();
+        assert!(!out.contains("work JSON written"));
+    }
+}

@@ -14,8 +14,11 @@ use crate::cost::CostFn;
 use crate::error::{Error, Result};
 use crate::path::WarpingPath;
 use crate::window::SearchWindow;
+use tsdtw_obs::{Meter, NoMeter};
 
-use super::windowed::{windowed_distance_with_buf, windowed_with_path, DtwBuffer};
+use super::windowed::{
+    windowed_distance_metered, windowed_distance_with_buf, windowed_with_path, DtwBuffer,
+};
 
 /// Converts the paper's percentage form of the warping constraint into a
 /// band radius in cells: `⌈w/100 · n⌉`.
@@ -34,15 +37,28 @@ pub fn percent_to_band(n: usize, w_percent: f64) -> Result<usize> {
 
 /// `cDTW_w` distance with the band given as a cell radius.
 pub fn cdtw_distance<C: CostFn>(x: &[f64], y: &[f64], band: usize, cost: C) -> Result<f64> {
+    cdtw_distance_metered(x, y, band, cost, &mut NoMeter)
+}
+
+/// [`cdtw_distance`] with work accounting: the meter receives the band
+/// area as window cells, every filled cell, and the scratch footprint.
+pub fn cdtw_distance_metered<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    cost: C,
+    meter: &mut M,
+) -> Result<f64> {
     if x.is_empty() {
         return Err(Error::EmptyInput { which: "x" });
     }
     if y.is_empty() {
         return Err(Error::EmptyInput { which: "y" });
     }
+    let _span = tsdtw_obs::span("cdtw");
     let window = SearchWindow::sakoe_chiba(x.len(), y.len(), band);
     let mut buf = DtwBuffer::new();
-    windowed_distance_with_buf(x, y, &window, cost, &mut buf)
+    windowed_distance_metered(x, y, &window, cost, &mut buf, meter)
 }
 
 /// `cDTW_w` distance and optimal constrained warping path.
@@ -123,6 +139,28 @@ impl BandedDtw {
             });
         }
         windowed_distance_with_buf(x, y, &self.window, cost, &mut self.buf)
+    }
+
+    /// [`BandedDtw::distance`] with work accounting.
+    pub fn distance_metered<C: CostFn, M: Meter>(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        cost: C,
+        meter: &mut M,
+    ) -> Result<f64> {
+        if x.len() != self.n || y.len() != self.m {
+            return Err(Error::InvalidWindow {
+                reason: format!(
+                    "evaluator built for {}x{} but series are {}x{}",
+                    self.n,
+                    self.m,
+                    x.len(),
+                    y.len()
+                ),
+            });
+        }
+        windowed_distance_metered(x, y, &self.window, cost, &mut self.buf, meter)
     }
 }
 
@@ -207,6 +245,36 @@ mod tests {
         // Second call reuses buffers and still agrees.
         let c = eval.distance(&x, &y, SquaredCost).unwrap();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn metered_cdtw_counts_band_area() {
+        use tsdtw_obs::WorkMeter;
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).sin()).collect();
+        let y: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).cos()).collect();
+        for band in [0, 2, 7, 40] {
+            let mut meter = WorkMeter::new();
+            let d = cdtw_distance_metered(&x, &y, band, SquaredCost, &mut meter).unwrap();
+            assert_eq!(d, cdtw_distance(&x, &y, band, SquaredCost).unwrap());
+            let area = SearchWindow::sakoe_chiba(40, 40, band).cell_count() as u64;
+            assert_eq!(meter.window_cells, area, "band {band}");
+            assert_eq!(meter.cells, area, "band {band}");
+        }
+    }
+
+    #[test]
+    fn evaluator_metered_matches_unmetered() {
+        use tsdtw_obs::WorkMeter;
+        let x = [0.0, 1.0, 4.0, 2.0, 1.0, 0.0];
+        let y = [1.0, 0.0, 1.0, 4.0, 2.0, 1.0];
+        let mut eval = BandedDtw::new(6, 6, 2).unwrap();
+        let plain = eval.distance(&x, &y, SquaredCost).unwrap();
+        let mut meter = WorkMeter::new();
+        let metered = eval
+            .distance_metered(&x, &y, SquaredCost, &mut meter)
+            .unwrap();
+        assert_eq!(plain, metered);
+        assert_eq!(meter.cells, eval.cell_count() as u64);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::cost::CostFn;
 use crate::error::{check_finite, check_nonempty, Error, Result};
 use crate::window::SearchWindow;
+use tsdtw_obs::{Meter, NoMeter};
 
 /// Outcome of an early-abandoning DTW evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +68,23 @@ pub fn cdtw_distance_ea<C: CostFn>(
     cb: Option<&[f64]>,
     cost: C,
 ) -> Result<EaOutcome> {
+    cdtw_distance_ea_metered(x, y, band, threshold, cb, cost, &mut NoMeter)
+}
+
+/// [`cdtw_distance_ea`] with work accounting: the meter receives the
+/// full band area as window cells, the cells actually filled before any
+/// abandonment as evaluated cells (this is where the two counters
+/// diverge), and the rows filled vs total via
+/// [`Meter::ea_rows`].
+pub fn cdtw_distance_ea_metered<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    threshold: f64,
+    cb: Option<&[f64]>,
+    cost: C,
+    meter: &mut M,
+) -> Result<EaOutcome> {
     check_nonempty("x", x)?;
     check_nonempty("y", y)?;
     check_finite("x", x)?;
@@ -86,15 +104,19 @@ pub fn cdtw_distance_ea<C: CostFn>(
     let n = x.len();
     let window = SearchWindow::sakoe_chiba(n, y.len(), band);
 
+    let mut band_area = 0u64;
     let width = (0..n)
         .map(|i| {
             let (lo, hi) = window.row_bounds(i);
+            band_area += (hi - lo + 1) as u64;
             hi - lo + 1
         })
         .max()
         .expect("n >= 1");
     let mut prev = vec![f64::INFINITY; width];
     let mut cur = vec![f64::INFINITY; width];
+    meter.window_cells(band_area);
+    meter.dp_buffer_bytes(2 * width as u64 * std::mem::size_of::<f64>() as u64);
 
     let (lo0, hi0) = window.row_bounds(0);
     let x0 = x[0];
@@ -105,6 +127,7 @@ pub fn cdtw_distance_ea<C: CostFn>(
         prev[k] = acc;
         row_min = row_min.min(acc);
     }
+    meter.cells((hi0 - lo0 + 1) as u64);
     let suffix_bound = |cb: Option<&[f64]>, row: usize| {
         cb.map_or(0.0, |cb| {
             let k = row + band + 1;
@@ -116,6 +139,7 @@ pub fn cdtw_distance_ea<C: CostFn>(
         })
     };
     if row_min + suffix_bound(cb, 0) > threshold {
+        meter.ea_rows(1, n as u64);
         return Ok(EaOutcome::Abandoned { rows_filled: 1 });
     }
     let mut plo = lo0;
@@ -123,6 +147,7 @@ pub fn cdtw_distance_ea<C: CostFn>(
 
     for (i, &xi) in x.iter().enumerate().skip(1) {
         let (lo, hi) = window.row_bounds(i);
+        meter.cells((hi - lo + 1) as u64);
         row_min = f64::INFINITY;
         for j in lo..=hi {
             let up = if j >= plo && j <= phi {
@@ -145,6 +170,7 @@ pub fn cdtw_distance_ea<C: CostFn>(
             row_min = row_min.min(v);
         }
         if row_min + suffix_bound(cb, i) > threshold {
+            meter.ea_rows((i + 1) as u64, n as u64);
             return Ok(EaOutcome::Abandoned { rows_filled: i + 1 });
         }
         std::mem::swap(&mut prev, &mut cur);
@@ -152,6 +178,7 @@ pub fn cdtw_distance_ea<C: CostFn>(
         phi = hi;
     }
 
+    meter.ea_rows(n as u64, n as u64);
     let (lo_last, _) = window.row_bounds(n - 1);
     Ok(EaOutcome::Exact(cost.finish(prev[y.len() - 1 - lo_last])))
 }
@@ -273,6 +300,31 @@ mod tests {
                 EaOutcome::Abandoned { .. } => assert!(exact > exact * 0.9),
             }
         }
+    }
+
+    #[test]
+    fn metered_ea_counts_fewer_cells_when_abandoning() {
+        use tsdtw_obs::WorkMeter;
+        let x = rand_series(3, 200);
+        let y: Vec<f64> = rand_series(4, 200).iter().map(|v| v + 10.0).collect();
+
+        let mut full = WorkMeter::new();
+        let out = cdtw_distance_ea_metered(&x, &y, 10, f64::INFINITY, None, SquaredCost, &mut full)
+            .unwrap();
+        assert!(out.distance().is_some());
+        assert_eq!(
+            full.cells, full.window_cells,
+            "no abandon: whole band filled"
+        );
+        assert_eq!(full.ea_rows_filled, 200);
+        assert_eq!(full.ea_rows_total, 200);
+
+        let mut cut = WorkMeter::new();
+        let out = cdtw_distance_ea_metered(&x, &y, 10, 1.0, None, SquaredCost, &mut cut).unwrap();
+        assert!(matches!(out, EaOutcome::Abandoned { .. }));
+        assert!(cut.cells < cut.window_cells, "abandon leaves band unfilled");
+        assert!(cut.ea_rows_filled < cut.ea_rows_total);
+        assert_eq!(cut.window_cells, full.window_cells);
     }
 
     #[test]

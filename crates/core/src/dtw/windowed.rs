@@ -9,6 +9,13 @@
 //! The distance-only variant uses rolling two-row storage (`O(max row
 //! width)` memory); the path variant additionally records one traceback byte
 //! per admissible cell.
+//!
+//! Both kernels exist in `*_metered` form, generic over
+//! [`Meter`]: the meter records evaluated cells,
+//! admissible window cells, and peak scratch bytes. The plain entry
+//! points delegate with [`NoMeter`], whose inlined
+//! empty methods leave the un-instrumented code unchanged (the
+//! `meter_ablation` bench group in `tsdtw-bench` guards this).
 
 // The DP kernels below index both series and both rolling rows by the
 // column variable `j`; iterator-chain rewrites obscure the recurrence.
@@ -19,6 +26,7 @@ use crate::error::{check_finite, check_nonempty, Error, Result};
 use crate::matrix::WindowedDirections;
 use crate::path::{Direction, WarpingPath};
 use crate::window::SearchWindow;
+use tsdtw_obs::{Meter, NoMeter};
 
 /// Validates the series pair against the window dimensions.
 fn check_inputs(x: &[f64], y: &[f64], window: &SearchWindow) -> Result<()> {
@@ -77,6 +85,22 @@ pub fn windowed_distance_with_buf<C: CostFn>(
     cost: C,
     buf: &mut DtwBuffer,
 ) -> Result<f64> {
+    windowed_distance_metered(x, y, window, cost, buf, &mut NoMeter)
+}
+
+/// [`windowed_distance_with_buf`] with work accounting: evaluated cells,
+/// admissible window cells, and peak scratch bytes are recorded on
+/// `meter`. (For this kernel evaluated equals admissible — every
+/// in-window cell is filled; the early-abandoning kernel is where the
+/// two diverge.)
+pub fn windowed_distance_metered<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+    buf: &mut DtwBuffer,
+    meter: &mut M,
+) -> Result<f64> {
     check_inputs(x, y, window)?;
     let n = x.len();
 
@@ -91,6 +115,7 @@ pub fn windowed_distance_with_buf<C: CostFn>(
     buf.prev.resize(width, f64::INFINITY);
     buf.cur.clear();
     buf.cur.resize(width, f64::INFINITY);
+    meter.dp_buffer_bytes(2 * width as u64 * std::mem::size_of::<f64>() as u64);
 
     // Row 0: plain prefix sums along the admissible interval (lo must be 0).
     let (lo0, hi0) = window.row_bounds(0);
@@ -101,11 +126,15 @@ pub fn windowed_distance_with_buf<C: CostFn>(
         acc += cost.cost(x0, y[j]);
         buf.prev[k] = acc;
     }
+    meter.window_cells((hi0 - lo0 + 1) as u64);
+    meter.cells((hi0 - lo0 + 1) as u64);
     let mut plo = lo0;
     let mut phi = hi0;
 
     for (i, &xi) in x.iter().enumerate().skip(1) {
         let (lo, hi) = window.row_bounds(i);
+        meter.window_cells((hi - lo + 1) as u64);
+        meter.cells((hi - lo + 1) as u64);
         for j in lo..=hi {
             let up = if j >= plo && j <= phi {
                 buf.prev[j - plo]
@@ -150,21 +179,39 @@ pub fn windowed_with_path<C: CostFn>(
     window: &SearchWindow,
     cost: C,
 ) -> Result<(f64, WarpingPath)> {
+    windowed_with_path_metered(x, y, window, cost, &mut NoMeter)
+}
+
+/// [`windowed_with_path`] with work accounting. The peak-buffer figure
+/// includes the traceback byte per admissible cell on top of the two
+/// rolling rows.
+pub fn windowed_with_path_metered<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+    meter: &mut M,
+) -> Result<(f64, WarpingPath)> {
     check_inputs(x, y, window)?;
     let n = x.len();
     let m = y.len();
 
     let mut dirs = WindowedDirections::for_window(window);
     let mut buf = DtwBuffer::new();
+    let mut total_cells = 0u64;
     let width = (0..n)
         .map(|i| {
             let (lo, hi) = window.row_bounds(i);
+            total_cells += (hi - lo + 1) as u64;
             hi - lo + 1
         })
         .max()
         .expect("n >= 1");
     buf.prev.resize(width, f64::INFINITY);
     buf.cur.resize(width, f64::INFINITY);
+    meter.window_cells(total_cells);
+    meter.cells(total_cells);
+    meter.dp_buffer_bytes(2 * width as u64 * std::mem::size_of::<f64>() as u64 + total_cells);
 
     let (lo0, hi0) = window.row_bounds(0);
     let x0 = x[0];
@@ -348,6 +395,26 @@ mod tests {
         let c = windowed_distance(&x, &y, &w, SquaredCost).unwrap();
         assert_eq!(a, b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn meter_counts_exact_window_area() {
+        use tsdtw_obs::WorkMeter;
+        let x = [0.0, 1.0, 2.0, 1.5, 0.5];
+        let y = [0.5, 1.0, 2.5, 1.0, 0.0];
+        let w = SearchWindow::sakoe_chiba(5, 5, 1);
+        let mut buf = DtwBuffer::new();
+        let mut meter = WorkMeter::new();
+        let d = windowed_distance_metered(&x, &y, &w, SquaredCost, &mut buf, &mut meter).unwrap();
+        assert_eq!(d, windowed_distance(&x, &y, &w, SquaredCost).unwrap());
+        assert_eq!(meter.window_cells, w.cell_count() as u64);
+        assert_eq!(meter.cells, meter.window_cells);
+        assert!(meter.dp_peak_bytes > 0);
+
+        let mut pmeter = WorkMeter::new();
+        let (dp, _) = windowed_with_path_metered(&x, &y, &w, SquaredCost, &mut pmeter).unwrap();
+        assert_eq!(dp, d);
+        assert_eq!(pmeter.cells, w.cell_count() as u64);
     }
 
     #[test]

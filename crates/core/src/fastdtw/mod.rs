@@ -37,15 +37,15 @@
 
 pub mod reference;
 
-pub use reference::{fastdtw_ref_distance, fastdtw_ref_with_path};
+pub use reference::{fastdtw_ref_distance, fastdtw_ref_metered, fastdtw_ref_with_path};
 
 use crate::cost::CostFn;
-use crate::dtw::full::dtw_with_path;
-use crate::dtw::windowed::windowed_with_path;
+use crate::dtw::windowed::windowed_with_path_metered;
 use crate::error::{check_finite, check_nonempty, Error, Result};
 use crate::paa::halve;
 use crate::path::WarpingPath;
 use crate::window::SearchWindow;
+use tsdtw_obs::{FastDtwLevel, Meter, NoMeter};
 
 /// Upper bound on recursion depth: each level halves the series, so 64
 /// levels cover any address space. Used only for a defensive assertion.
@@ -89,22 +89,43 @@ pub fn fastdtw_with_stats<C: CostFn>(
     radius: usize,
     cost: C,
 ) -> Result<(f64, WarpingPath, FastDtwStats)> {
+    fastdtw_metered(x, y, radius, cost, &mut NoMeter)
+}
+
+/// FastDTW distance, path, and work statistics, with full per-level work
+/// accounting.
+///
+/// Beyond the aggregate [`FastDtwStats`], the meter receives one
+/// [`FastDtwLevel`] per resolution (coarsest first) splitting each
+/// level's window into cells the low-resolution path *projects* onto
+/// versus cells the radius dilation *expands* into — the decomposition
+/// the paper's Section 3 uses to compare FastDTW's total touched cells
+/// against the single band of `cDTW_w`.
+pub fn fastdtw_metered<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    cost: C,
+    meter: &mut M,
+) -> Result<(f64, WarpingPath, FastDtwStats)> {
     check_nonempty("x", x)?;
     check_nonempty("y", y)?;
     check_finite("x", x)?;
     check_finite("y", y)?;
+    let _span = tsdtw_obs::span("fastdtw");
     let mut stats = FastDtwStats::default();
-    let (d, p) = recurse(x, y, radius, cost, &mut stats, 0)?;
+    let (d, p) = recurse(x, y, radius, cost, &mut stats, 0, meter)?;
     Ok((d, p, stats))
 }
 
-fn recurse<C: CostFn>(
+fn recurse<C: CostFn, M: Meter>(
     x: &[f64],
     y: &[f64],
     radius: usize,
     cost: C,
     stats: &mut FastDtwStats,
     depth: u32,
+    meter: &mut M,
 ) -> Result<(f64, WarpingPath)> {
     assert!(depth < MAX_LEVELS, "FastDTW recursion failed to converge");
     stats.levels += 1;
@@ -114,17 +135,45 @@ fn recurse<C: CostFn>(
     // much room.
     let min_size = radius + 2;
     if x.len() <= min_size || y.len() <= min_size {
-        stats.cells += (x.len() * y.len()) as u64;
-        return dtw_with_path(x, y, cost);
+        let nm = (x.len() * y.len()) as u64;
+        stats.cells += nm;
+        if meter.enabled() {
+            meter.fastdtw_level(FastDtwLevel {
+                len_x: x.len(),
+                len_y: y.len(),
+                window_cells: nm,
+                projected_cells: nm,
+                expanded_cells: 0,
+                base_case: true,
+            });
+        }
+        let window = SearchWindow::full(x.len(), y.len());
+        return windowed_with_path_metered(x, y, &window, cost, meter);
     }
 
     let shrunk_x = halve(x);
     let shrunk_y = halve(y);
-    let (_, low_res_path) = recurse(&shrunk_x, &shrunk_y, radius, cost, stats, depth + 1)?;
+    let (_, low_res_path) = recurse(&shrunk_x, &shrunk_y, radius, cost, stats, depth + 1, meter)?;
 
     let window = SearchWindow::from_low_res_path(&low_res_path, x.len(), y.len(), radius);
-    stats.cells += window.cell_count() as u64;
-    windowed_with_path(x, y, &window, cost)
+    let window_cells = window.cell_count() as u64;
+    stats.cells += window_cells;
+    if meter.enabled() {
+        // Rebuild the projection-only window (radius 0) to split this
+        // level's cells into projected vs radius-expanded — extra work
+        // that exists only under an enabled meter.
+        let projected =
+            SearchWindow::from_low_res_path(&low_res_path, x.len(), y.len(), 0).cell_count() as u64;
+        meter.fastdtw_level(FastDtwLevel {
+            len_x: x.len(),
+            len_y: y.len(),
+            window_cells,
+            projected_cells: projected,
+            expanded_cells: window_cells - projected,
+            base_case: false,
+        });
+    }
+    windowed_with_path_metered(x, y, &window, cost, meter)
 }
 
 /// Convenience struct bundling a radius, mirroring
@@ -292,6 +341,33 @@ mod tests {
             s2.cells
         );
         assert!(s2.levels > 1);
+    }
+
+    #[test]
+    fn metered_levels_decompose_the_cell_total() {
+        use tsdtw_obs::WorkMeter;
+        let x = rand_series(21, 700);
+        let y = rand_series(22, 700);
+        let radius = 3;
+        let mut meter = WorkMeter::new();
+        let (d, _, stats) = fastdtw_metered(&x, &y, radius, SquaredCost, &mut meter).unwrap();
+        let (d0, _, stats0) = fastdtw_with_stats(&x, &y, radius, SquaredCost).unwrap();
+        assert_eq!(d, d0);
+        assert_eq!(stats, stats0);
+        // The per-level decomposition must account for every counted cell.
+        assert_eq!(meter.levels.len() as u32, stats.levels);
+        assert_eq!(meter.fastdtw_total_window_cells(), stats.cells);
+        assert_eq!(meter.window_cells, stats.cells);
+        assert_eq!(meter.cells, stats.cells);
+        for l in &meter.levels {
+            assert_eq!(l.projected_cells + l.expanded_cells, l.window_cells);
+            if !l.base_case {
+                assert!(l.expanded_cells > 0, "radius > 0 must expand the window");
+            }
+        }
+        // Exactly one base case, and it comes first (coarsest level).
+        assert_eq!(meter.levels.iter().filter(|l| l.base_case).count(), 1);
+        assert!(meter.levels[0].base_case);
     }
 
     #[test]

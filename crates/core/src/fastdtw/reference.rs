@@ -27,6 +27,7 @@ use std::collections::{HashMap, HashSet};
 use crate::cost::CostFn;
 use crate::error::{check_finite, check_nonempty, Result};
 use crate::path::WarpingPath;
+use tsdtw_obs::{FastDtwLevel, Meter, NoMeter};
 
 /// Reference FastDTW distance. See the module docs for provenance.
 pub fn fastdtw_ref_distance<C: CostFn>(
@@ -45,27 +46,73 @@ pub fn fastdtw_ref_with_path<C: CostFn>(
     radius: usize,
     cost: C,
 ) -> Result<(f64, WarpingPath)> {
+    fastdtw_ref_metered(x, y, radius, cost, &mut NoMeter)
+}
+
+/// [`fastdtw_ref_with_path`] with work accounting: one
+/// [`FastDtwLevel`] per resolution (cells = explicit window-list
+/// entries), the hash-map DP's payload bytes as the buffer figure, and
+/// every window entry as an evaluated cell. Because the reference
+/// dilates *before* projecting, its per-level windows are wider than the
+/// tuned implementation's at the same radius — the meter makes that
+/// difference a number.
+pub fn fastdtw_ref_metered<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    cost: C,
+    meter: &mut M,
+) -> Result<(f64, WarpingPath)> {
     check_nonempty("x", x)?;
     check_nonempty("y", y)?;
     check_finite("x", x)?;
     check_finite("y", y)?;
-    let (d, cells) = recurse(x, y, radius, cost);
+    let _span = tsdtw_obs::span("fastdtw_ref");
+    let (d, cells) = recurse(x, y, radius, cost, meter);
     let path = WarpingPath::new(cells).expect("reference DP produces valid paths");
     path.validate_for(x.len(), y.len())?;
     Ok((d, path))
 }
 
-fn recurse<C: CostFn>(x: &[f64], y: &[f64], radius: usize, cost: C) -> (f64, Vec<(usize, usize)>) {
+fn recurse<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    cost: C,
+    meter: &mut M,
+) -> (f64, Vec<(usize, usize)>) {
     // Reference: `if len(x) < min_time_size` — strictly less-than.
     let min_time_size = radius + 2;
     if x.len() < min_time_size || y.len() < min_time_size {
-        return dtw_over_window(x, y, &full_window(x.len(), y.len()), cost);
+        let window = full_window(x.len(), y.len());
+        if meter.enabled() {
+            meter.fastdtw_level(FastDtwLevel {
+                len_x: x.len(),
+                len_y: y.len(),
+                window_cells: window.len() as u64,
+                projected_cells: window.len() as u64,
+                expanded_cells: 0,
+                base_case: true,
+            });
+        }
+        return dtw_over_window(x, y, &window, cost, meter);
     }
     let shrunk_x = reduce_by_half(x);
     let shrunk_y = reduce_by_half(y);
-    let (_, low_path) = recurse(&shrunk_x, &shrunk_y, radius, cost);
+    let (_, low_path) = recurse(&shrunk_x, &shrunk_y, radius, cost, meter);
     let window = expand_window(&low_path, x.len(), y.len(), radius);
-    dtw_over_window(x, y, &window, cost)
+    if meter.enabled() {
+        let projected = expand_window(&low_path, x.len(), y.len(), 0).len() as u64;
+        meter.fastdtw_level(FastDtwLevel {
+            len_x: x.len(),
+            len_y: y.len(),
+            window_cells: window.len() as u64,
+            projected_cells: projected,
+            expanded_cells: (window.len() as u64).saturating_sub(projected),
+            base_case: false,
+        });
+    }
+    dtw_over_window(x, y, &window, cost, meter)
 }
 
 /// Pairwise means, dropping the unpaired tail of odd-length input — the
@@ -153,14 +200,22 @@ fn expand_window(
 
 /// The reference windowed DP: a hash map from 1-based cell to
 /// `(cost, prev_i, prev_j)`, iterated in window order.
-fn dtw_over_window<C: CostFn>(
+fn dtw_over_window<C: CostFn, M: Meter>(
     x: &[f64],
     y: &[f64],
     window: &[(usize, usize)],
     cost: C,
+    meter: &mut M,
 ) -> (f64, Vec<(usize, usize)>) {
     let len_x = x.len();
     let len_y = y.len();
+    meter.window_cells(window.len() as u64);
+    meter.cells(window.len() as u64);
+    // Payload bytes of the hash-map DP (key + value per entry, plus the
+    // origin sentinel); hash-table overhead is excluded so the figure is
+    // comparable across allocators.
+    let entry = std::mem::size_of::<((usize, usize), (f64, usize, usize))>() as u64;
+    meter.dp_buffer_bytes((window.len() as u64 + 1) * entry);
     let mut d: HashMap<(usize, usize), (f64, usize, usize)> =
         HashMap::with_capacity(window.len() + 1);
     d.insert((0, 0), (0.0, 0, 0));
@@ -305,6 +360,40 @@ mod tests {
     fn rejects_empty_inputs() {
         assert!(fastdtw_ref_distance(&[], &[1.0], 1, SquaredCost).is_err());
         assert!(fastdtw_ref_distance(&[1.0], &[], 1, SquaredCost).is_err());
+    }
+
+    #[test]
+    fn metered_reference_levels_decompose_the_cell_total() {
+        use tsdtw_obs::WorkMeter;
+        let x = rand_series(21, 300);
+        let y = rand_series(22, 300);
+        let mut meter = WorkMeter::new();
+        let (d, _) = fastdtw_ref_metered(&x, &y, 3, SquaredCost, &mut meter).unwrap();
+        let (plain, _) = fastdtw_ref_with_path(&x, &y, 3, SquaredCost).unwrap();
+        assert_eq!(d, plain, "metering must not perturb the result");
+        assert!(!meter.levels.is_empty());
+        assert_eq!(
+            meter.levels.iter().filter(|l| l.base_case).count(),
+            1,
+            "exactly one base-case level"
+        );
+        assert!(meter.levels[0].base_case, "coarsest level is the base case");
+        for level in &meter.levels {
+            assert_eq!(
+                level.projected_cells + level.expanded_cells,
+                level.window_cells,
+                "level {}x{}",
+                level.len_x,
+                level.len_y
+            );
+        }
+        let level_total: u64 = meter.levels.iter().map(|l| l.window_cells).sum();
+        assert_eq!(meter.window_cells, level_total);
+        assert_eq!(
+            meter.cells, level_total,
+            "hash-map DP visits every window cell"
+        );
+        assert!(meter.dp_peak_bytes > 0);
     }
 
     #[test]

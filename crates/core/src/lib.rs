@@ -20,6 +20,17 @@
 //! * classic variants as extensions: derivative DTW ([`derivative`]) and
 //!   weighted DTW ([`wdtw`]).
 //!
+//! ## Observability
+//!
+//! Every kernel has a `*_metered` twin taking a
+//! [`tsdtw_obs::Meter`]: DP cells evaluated vs. admissible
+//! window cells, FastDTW per-level windows, lower-bound and envelope
+//! invocations, cascade prune tallies, early-abandon row counts, and
+//! peak DP-buffer bytes. The meter is a monomorphized generic whose
+//! no-op default ([`obs::NoMeter`], what the plain entry points pass)
+//! compiles to the uninstrumented code. Enable the `obs` cargo feature
+//! to additionally wrap kernels in timing spans.
+//!
 //! ## Conventions
 //!
 //! * Series are `&[f64]`; all kernels validate for emptiness and
@@ -71,13 +82,18 @@ pub mod subsequence;
 pub mod wdtw;
 pub mod window;
 
+/// Re-export of the work-accounting crate, so downstream users can name
+/// [`obs::Meter`], [`obs::NoMeter`], and [`obs::WorkMeter`] without a
+/// separate dependency on `tsdtw-obs`.
+pub use tsdtw_obs as obs;
+
 pub use cost::{AbsoluteCost, CostFn, Rooted, SquaredCost};
 pub use distance::{cdtw, dtw, euclidean, fastdtw, sq_euclidean};
 pub use envelope::Envelope;
 pub use error::{Error, Result};
 pub use fastdtw::{
-    fastdtw_distance, fastdtw_ref_distance, fastdtw_ref_with_path, fastdtw_with_path,
-    fastdtw_with_stats, FastDtw, FastDtwStats,
+    fastdtw_distance, fastdtw_metered, fastdtw_ref_distance, fastdtw_ref_metered,
+    fastdtw_ref_with_path, fastdtw_with_path, fastdtw_with_stats, FastDtw, FastDtwStats,
 };
 pub use path::WarpingPath;
 pub use window::SearchWindow;

@@ -18,9 +18,10 @@
 //! the exact one can.
 
 use crate::cost::SquaredCost;
-use crate::dtw::early_abandon::{cdtw_distance_ea, EaOutcome};
+use crate::dtw::early_abandon::{cdtw_distance_ea_metered, EaOutcome};
 use crate::envelope::Envelope;
 use crate::error::{Error, Result};
+use tsdtw_obs::{LbKind, Meter, NoMeter, StageTag};
 
 use super::keogh::{
     lb_keogh_ea, lb_keogh_reordered, lb_keogh_with_contrib, sort_indices_by_magnitude, suffix_sums,
@@ -50,6 +51,19 @@ pub struct CascadeOutcome {
     /// For `DtwExact`, the exact `cDTW_w` distance. For pruning stages, the
     /// lower bound that exceeded the threshold.
     pub value: f64,
+}
+
+impl PruneStage {
+    /// The crate-neutral tag `tsdtw-obs` uses for the same stage.
+    pub fn tag(self) -> StageTag {
+        match self {
+            PruneStage::Kim => StageTag::Kim,
+            PruneStage::KeoghQC => StageTag::KeoghQC,
+            PruneStage::KeoghCQ => StageTag::KeoghCQ,
+            PruneStage::DtwAbandoned => StageTag::DtwAbandoned,
+            PruneStage::DtwExact => StageTag::DtwExact,
+        }
+    }
 }
 
 impl CascadeOutcome {
@@ -169,69 +183,79 @@ impl Cascade {
     /// Pushes one candidate through the cascade against the current
     /// best-so-far (squared-cost domain). Returns how it was disposed of.
     pub fn evaluate(&mut self, candidate: &[f64], bsf: f64) -> Result<CascadeOutcome> {
+        self.evaluate_metered(candidate, bsf, &mut NoMeter)
+    }
+
+    /// [`Cascade::evaluate`] with work accounting: every lower-bound
+    /// invocation (including the stage-4 contribution recompute), the
+    /// on-demand candidate envelope, the disposal stage, and — through the
+    /// metered DTW kernel — the cells the surviving DP actually filled.
+    pub fn evaluate_metered<M: Meter>(
+        &mut self,
+        candidate: &[f64],
+        bsf: f64,
+        meter: &mut M,
+    ) -> Result<CascadeOutcome> {
         if candidate.len() != self.query.len() {
             return Err(Error::LengthMismatch {
                 x_len: self.query.len(),
                 y_len: candidate.len(),
             });
         }
+        let _span = tsdtw_obs::span("cascade");
+
+        let dispose = |stats: &mut CascadeStats, meter: &mut M, stage, value| {
+            match stage {
+                PruneStage::Kim => stats.pruned_kim += 1,
+                PruneStage::KeoghQC => stats.pruned_keogh_qc += 1,
+                PruneStage::KeoghCQ => stats.pruned_keogh_cq += 1,
+                PruneStage::DtwAbandoned => stats.dtw_abandoned += 1,
+                PruneStage::DtwExact => stats.dtw_exact += 1,
+            }
+            meter.prune(stage.tag());
+            Ok(CascadeOutcome { stage, value })
+        };
 
         // Stage 1: LB_Kim.
+        meter.lb(LbKind::Kim);
         let kim = lb_kim_hierarchy(&self.query, candidate, bsf)?;
         if kim >= bsf {
-            self.stats.pruned_kim += 1;
-            return Ok(CascadeOutcome {
-                stage: PruneStage::Kim,
-                value: kim,
-            });
+            return dispose(&mut self.stats, meter, PruneStage::Kim, kim);
         }
 
         // Stage 2: reordered early-abandoning LB_Keogh(q -> c).
+        meter.lb(LbKind::Keogh);
         let keogh_qc = lb_keogh_reordered(candidate, &self.env, &self.order, bsf)?;
         if keogh_qc >= bsf {
-            self.stats.pruned_keogh_qc += 1;
-            return Ok(CascadeOutcome {
-                stage: PruneStage::KeoghQC,
-                value: keogh_qc,
-            });
+            return dispose(&mut self.stats, meter, PruneStage::KeoghQC, keogh_qc);
         }
 
         // Stage 3: LB_Keogh(c -> q) with the candidate's own envelope.
         let cand_env = Envelope::new(candidate, self.band)?;
+        meter.envelope_built(candidate.len() as u64);
+        meter.lb(LbKind::Keogh);
         let keogh_cq = lb_keogh_ea(&self.query, &cand_env, bsf)?;
         if keogh_cq >= bsf {
-            self.stats.pruned_keogh_cq += 1;
-            return Ok(CascadeOutcome {
-                stage: PruneStage::KeoghCQ,
-                value: keogh_cq,
-            });
+            return dispose(&mut self.stats, meter, PruneStage::KeoghCQ, keogh_cq);
         }
 
         // Stage 4: early-abandoning DTW seeded with the cumulative bound
         // from the query-envelope pass (recomputed with per-index detail).
+        meter.lb(LbKind::Keogh);
         let _ = lb_keogh_with_contrib(candidate, &self.env, &mut self.contrib)?;
         let cb = suffix_sums(&self.contrib);
-        match cdtw_distance_ea(
+        match cdtw_distance_ea_metered(
             &self.query,
             candidate,
             self.band,
             bsf,
             Some(&cb),
             SquaredCost,
+            meter,
         )? {
-            EaOutcome::Exact(d) => {
-                self.stats.dtw_exact += 1;
-                Ok(CascadeOutcome {
-                    stage: PruneStage::DtwExact,
-                    value: d,
-                })
-            }
+            EaOutcome::Exact(d) => dispose(&mut self.stats, meter, PruneStage::DtwExact, d),
             EaOutcome::Abandoned { .. } => {
-                self.stats.dtw_abandoned += 1;
-                Ok(CascadeOutcome {
-                    stage: PruneStage::DtwAbandoned,
-                    value: bsf,
-                })
+                dispose(&mut self.stats, meter, PruneStage::DtwAbandoned, bsf)
             }
         }
     }
@@ -353,6 +377,47 @@ mod tests {
         assert_eq!(cascade.stats().total(), 10);
         cascade.reset_stats();
         assert_eq!(cascade.stats().total(), 0);
+    }
+
+    #[test]
+    fn metered_tallies_mirror_cascade_stats() {
+        use tsdtw_obs::WorkMeter;
+        let n = 96;
+        let band = 5;
+        let query = znorm(&rand_series(77, n)).unwrap();
+        let mut cascade = Cascade::new(&query, band).unwrap();
+        let mut meter = WorkMeter::new();
+        let mut bsf = f64::INFINITY;
+        for s in 0..30 {
+            let c = znorm(&rand_series(s + 500, n)).unwrap();
+            let out = cascade.evaluate_metered(&c, bsf, &mut meter).unwrap();
+            if let Some(d) = out.exact_distance() {
+                bsf = bsf.min(d);
+            }
+        }
+        let stats = cascade.stats();
+        assert_eq!(meter.candidates(), stats.total());
+        assert_eq!(meter.pruned_kim, stats.pruned_kim);
+        assert_eq!(meter.pruned_keogh_qc, stats.pruned_keogh_qc);
+        assert_eq!(meter.pruned_keogh_cq, stats.pruned_keogh_cq);
+        assert_eq!(meter.dtw_abandoned, stats.dtw_abandoned);
+        assert_eq!(meter.dtw_exact, stats.dtw_exact);
+        // Every candidate that reached stage 3 built one envelope of n points.
+        assert_eq!(meter.envelope_points, meter.envelopes_built * n as u64);
+        // DTW ran only for stage-4 survivors, and never outside the band.
+        assert_eq!(meter.ea_invocations, stats.dtw_abandoned + stats.dtw_exact);
+        assert!(meter.cells <= meter.window_cells);
+        // Metering must not change the outcome of the search.
+        let mut plain = Cascade::new(&query, band).unwrap();
+        let mut plain_bsf = f64::INFINITY;
+        for s in 0..30 {
+            let c = znorm(&rand_series(s + 500, n)).unwrap();
+            if let Some(d) = plain.evaluate(&c, plain_bsf).unwrap().exact_distance() {
+                plain_bsf = plain_bsf.min(d);
+            }
+        }
+        assert_eq!(bsf, plain_bsf);
+        assert_eq!(plain.stats(), stats);
     }
 
     #[test]

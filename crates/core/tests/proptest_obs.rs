@@ -1,0 +1,106 @@
+//! Property-based tests for the observability layer: the work meter's
+//! tallies are accounting identities, not estimates. Whatever the inputs,
+//! (1) a metered kernel returns exactly what the unmetered one returns,
+//! (2) cDTW's cell count lives inside the Sakoe–Chiba band area O(N·w),
+//! and (3) the cascade's per-stage prune tallies partition the candidates
+//! it processed.
+
+use proptest::prelude::*;
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::banded::{cdtw_distance, cdtw_distance_metered};
+use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_metered};
+use tsdtw_core::lower_bounds::Cascade;
+use tsdtw_core::obs::WorkMeter;
+
+fn equal_pair(max_len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (4..max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-20.0f64..20.0, n..=n),
+            prop::collection::vec(-20.0f64..20.0, n..=n),
+        )
+    })
+}
+
+fn pool(max_len: usize, max_count: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2..max_count, 8..max_len).prop_flat_map(|(k, n)| {
+        prop::collection::vec(prop::collection::vec(-20.0f64..20.0, n..=n), k..=k)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Metered cDTW returns the same distance as the plain kernel, and its
+    /// cell count is sandwiched by the band geometry: at least the main
+    /// diagonal, at most the full Sakoe–Chiba area N·(2w+1).
+    #[test]
+    fn metered_cdtw_cells_stay_within_band_area(
+        (x, y) in equal_pair(64),
+        band in 0usize..12,
+    ) {
+        let mut meter = WorkMeter::new();
+        let metered = cdtw_distance_metered(&x, &y, band, SquaredCost, &mut meter).unwrap();
+        let plain = cdtw_distance(&x, &y, band, SquaredCost).unwrap();
+        prop_assert_eq!(metered, plain);
+        let n = x.len() as u64;
+        prop_assert!(meter.cells >= n, "at least the diagonal: {} < {n}", meter.cells);
+        prop_assert!(
+            meter.cells <= n * (2 * band as u64 + 1),
+            "cells {} exceed band area {}",
+            meter.cells,
+            n * (2 * band as u64 + 1)
+        );
+        // The non-abandoning kernel evaluates its whole window.
+        prop_assert_eq!(meter.cells, meter.window_cells);
+    }
+
+    /// Tuned FastDTW: metering changes nothing about the answer, and the
+    /// per-level decomposition re-sums to the meter's totals.
+    #[test]
+    fn metered_fastdtw_levels_decompose_totals(
+        (x, y) in equal_pair(48),
+        radius in 0usize..6,
+    ) {
+        let plain = fastdtw_distance(&x, &y, radius, SquaredCost).unwrap();
+        let mut meter = WorkMeter::new();
+        let (metered, _, _) = fastdtw_metered(&x, &y, radius, SquaredCost, &mut meter).unwrap();
+        prop_assert_eq!(metered, plain);
+        let level_sum: u64 = meter.levels.iter().map(|l| l.window_cells).sum();
+        prop_assert_eq!(level_sum, meter.window_cells);
+        prop_assert_eq!(meter.cells, meter.window_cells);
+    }
+
+    /// The cascade's prune tallies are a partition: every candidate it
+    /// processes is disposed of at exactly one stage, so the five stage
+    /// counters sum to the number of candidates — and they agree with the
+    /// cascade's own `CascadeStats`.
+    #[test]
+    fn prune_tallies_partition_candidates(
+        series in pool(48, 8),
+        band in 0usize..6,
+    ) {
+        let mut cascade = Cascade::new(&series[0], band).unwrap();
+        let mut meter = WorkMeter::new();
+        let mut bsf = f64::INFINITY;
+        let mut processed = 0u64;
+        for c in &series[1..] {
+            let out = cascade.evaluate_metered(c, bsf, &mut meter).unwrap();
+            if let Some(d) = out.exact_distance() {
+                bsf = bsf.min(d);
+            }
+            processed += 1;
+        }
+        let stage_sum = meter.pruned_kim
+            + meter.pruned_keogh_qc
+            + meter.pruned_keogh_cq
+            + meter.dtw_abandoned
+            + meter.dtw_exact;
+        prop_assert_eq!(stage_sum, processed);
+        prop_assert_eq!(meter.candidates(), processed);
+        prop_assert_eq!(cascade.stats().total(), processed);
+        prop_assert_eq!(meter.pruned_kim, cascade.stats().pruned_kim);
+        prop_assert_eq!(meter.dtw_exact, cascade.stats().dtw_exact);
+        // Early-abandoning DP only ever evaluates a subset of its window.
+        prop_assert!(meter.cells <= meter.window_cells);
+    }
+}

@@ -2,17 +2,17 @@
 //!
 //! Every generator in this crate takes an explicit `u64` seed and is fully
 //! deterministic given it — the benchmark harness depends on that to make
-//! every figure regenerable bit-for-bit. Gaussian variates come from a
-//! Box–Muller transform over `rand`'s uniform source, avoiding an extra
-//! dependency on `rand_distr` (see DESIGN.md §6).
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! every figure regenerable bit-for-bit. The uniform source is a
+//! self-contained xoshiro256++ generator (seeded through SplitMix64, the
+//! procedure its authors recommend), so the crate carries no external
+//! randomness dependency and builds hermetically; Gaussian variates come
+//! from a Box–Muller transform over it (see DESIGN.md §6).
 
 /// A deterministic random source for dataset generation.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    /// xoshiro256++ state.
+    s: [u64; 4],
     /// Cached second Box–Muller variate.
     spare: Option<f64>,
 }
@@ -20,15 +20,41 @@ pub struct SeededRng {
 impl SeededRng {
     /// Creates a generator from a seed. Equal seeds give equal streams.
     pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state; never
+        // yields the all-zero state xoshiro cannot escape.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
         SeededRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [next(), next(), next(), next()],
             spare: None,
         }
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Next raw 64-bit output (xoshiro256++ step).
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Uniform in `[lo, hi)`.
@@ -39,7 +65,7 @@ impl SeededRng {
     /// Uniform integer in `[lo, hi)` (half-open). `lo < hi` required.
     pub fn index(&mut self, lo: usize, hi: usize) -> usize {
         debug_assert!(lo < hi);
-        self.inner.gen_range(lo..hi)
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
     }
 
     /// Standard normal via Box–Muller (with spare caching).
@@ -63,7 +89,7 @@ impl SeededRng {
 
     /// A fresh child seed, for splitting one seed into independent streams.
     pub fn child_seed(&mut self) -> u64 {
-        self.inner.gen::<u64>()
+        self.next_u64()
     }
 }
 
@@ -122,5 +148,11 @@ mod tests {
     fn gaussian_values_are_finite() {
         let mut rng = SeededRng::new(5);
         assert!((0..10_000).all(|_| rng.gaussian().is_finite()));
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = SeededRng::new(6);
+        assert!((0..10_000).all(|_| (0.0..1.0).contains(&rng.uniform())));
     }
 }

@@ -24,6 +24,7 @@ pub struct Discord {
 /// `cDTW_band`, with full (non-self-matching) exclusion of overlapping
 /// windows.
 pub fn top_discord(series: &[f64], m: usize, band: usize) -> Result<Discord> {
+    let _span = tsdtw_obs::span("anomaly");
     if m == 0 {
         return Err(Error::EmptyInput { which: "m" });
     }

@@ -133,6 +133,7 @@ impl Dendrogram {
 /// Classic O(n³) implementation (n is small in every use here); the
 /// Lance–Williams updates keep single/complete/average linkage exact.
 pub fn agglomerative(dist: &DistanceMatrix, linkage: Linkage) -> Result<Dendrogram> {
+    let _span = tsdtw_obs::span("cluster");
     let n = dist.len();
     if n == 0 {
         return Err(Error::EmptyInput { which: "dist" });

@@ -29,6 +29,7 @@ pub struct KMedoids {
 /// Deterministic: initial medoids are the first `k` items scattered by a
 /// fixed stride, so results are reproducible without an RNG.
 pub fn k_medoids(dist: &DistanceMatrix, k: usize, max_iter: usize) -> Result<KMedoids> {
+    let _span = tsdtw_obs::span("cluster");
     let n = dist.len();
     if n == 0 {
         return Err(Error::EmptyInput { which: "dist" });

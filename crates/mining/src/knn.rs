@@ -10,11 +10,12 @@
 //!   magnitude" of §3.4. Both return identical predictions; tests pin that.
 
 use tsdtw_core::cost::SquaredCost;
-use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
+use tsdtw_core::dtw::banded::{cdtw_distance_metered, percent_to_band};
 use tsdtw_core::dtw::full::dtw_distance;
 use tsdtw_core::error::{Error, Result};
-use tsdtw_core::fastdtw::fastdtw_distance;
+use tsdtw_core::fastdtw::{fastdtw_metered, fastdtw_ref_metered};
 use tsdtw_core::lower_bounds::Cascade;
+use tsdtw_obs::{Meter, NoMeter};
 
 use crate::dataset_views::LabeledView;
 
@@ -40,17 +41,36 @@ pub enum DistanceSpec {
 impl DistanceSpec {
     /// Evaluates the distance on a pair.
     pub fn eval(&self, x: &[f64], y: &[f64]) -> Result<f64> {
+        self.eval_metered(x, y, &mut NoMeter)
+    }
+
+    /// Like [`eval`](Self::eval), recording DP work into `meter`.
+    ///
+    /// Squared Euclidean runs no DP, so it records nothing. Full DTW is
+    /// routed through the banded kernel with a matrix-covering band when a
+    /// recording meter is attached, so its cells land in the same counters
+    /// as every other spec; with [`NoMeter`] it keeps the tight two-row
+    /// kernel.
+    pub fn eval_metered<M: Meter>(&self, x: &[f64], y: &[f64], meter: &mut M) -> Result<f64> {
         match *self {
             DistanceSpec::Euclidean => tsdtw_core::sq_euclidean(x, y),
             DistanceSpec::CdtwPercent(w) => {
                 let band = percent_to_band(x.len().max(y.len()), w)?;
-                cdtw_distance(x, y, band, SquaredCost)
+                cdtw_distance_metered(x, y, band, SquaredCost, meter)
             }
-            DistanceSpec::CdtwBand(band) => cdtw_distance(x, y, band, SquaredCost),
-            DistanceSpec::FullDtw => dtw_distance(x, y, SquaredCost),
-            DistanceSpec::FastDtw(r) => fastdtw_distance(x, y, r, SquaredCost),
+            DistanceSpec::CdtwBand(band) => cdtw_distance_metered(x, y, band, SquaredCost, meter),
+            DistanceSpec::FullDtw => {
+                if meter.enabled() {
+                    cdtw_distance_metered(x, y, x.len().max(y.len()), SquaredCost, meter)
+                } else {
+                    dtw_distance(x, y, SquaredCost)
+                }
+            }
+            DistanceSpec::FastDtw(r) => {
+                fastdtw_metered(x, y, r, SquaredCost, meter).map(|(d, _, _)| d)
+            }
             DistanceSpec::FastDtwRef(r) => {
-                tsdtw_core::fastdtw::fastdtw_ref_distance(x, y, r, SquaredCost)
+                fastdtw_ref_metered(x, y, r, SquaredCost, meter).map(|(d, _)| d)
             }
         }
     }
@@ -75,6 +95,19 @@ pub fn nn_brute_force(
     spec: DistanceSpec,
     skip: usize,
 ) -> Result<NnResult> {
+    nn_brute_force_metered(train, query, spec, skip, &mut NoMeter)
+}
+
+/// [`nn_brute_force`] with a [`Meter`] accumulating the DP work of every
+/// comparison the query performs.
+pub fn nn_brute_force_metered<M: Meter>(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    spec: DistanceSpec,
+    skip: usize,
+    meter: &mut M,
+) -> Result<NnResult> {
+    let _span = tsdtw_obs::span("knn");
     let mut best = NnResult {
         index: usize::MAX,
         distance: f64::INFINITY,
@@ -84,7 +117,7 @@ pub fn nn_brute_force(
         if i == skip {
             continue;
         }
-        let d = spec.eval(query, s)?;
+        let d = spec.eval_metered(query, s, meter)?;
         if d < best.distance {
             best = NnResult {
                 index: i,
@@ -108,6 +141,20 @@ pub fn nn_cascade(
     band: usize,
     skip: usize,
 ) -> Result<NnResult> {
+    nn_cascade_metered(train, query, band, skip, &mut NoMeter)
+}
+
+/// [`nn_cascade`] with a [`Meter`] accumulating the lower-bound
+/// invocations, per-stage prune tallies and (abandoned) DP work of the
+/// whole query.
+pub fn nn_cascade_metered<M: Meter>(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    band: usize,
+    skip: usize,
+    meter: &mut M,
+) -> Result<NnResult> {
+    let _span = tsdtw_obs::span("knn");
     let mut cascade = Cascade::new(query, band)?;
     let mut best = NnResult {
         index: usize::MAX,
@@ -118,7 +165,7 @@ pub fn nn_cascade(
         if i == skip {
             continue;
         }
-        let out = cascade.evaluate(s, best.distance)?;
+        let out = cascade.evaluate_metered(s, best.distance, meter)?;
         if let Some(d) = out.exact_distance() {
             if d < best.distance {
                 best = NnResult {
@@ -143,6 +190,20 @@ pub fn knn_brute_force(
     k: usize,
     skip: usize,
 ) -> Result<Vec<NnResult>> {
+    knn_brute_force_metered(train, query, spec, k, skip, &mut NoMeter)
+}
+
+/// [`knn_brute_force`] with a [`Meter`] accumulating the DP work of every
+/// comparison.
+pub fn knn_brute_force_metered<M: Meter>(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    spec: DistanceSpec,
+    k: usize,
+    skip: usize,
+    meter: &mut M,
+) -> Result<Vec<NnResult>> {
+    let _span = tsdtw_obs::span("knn");
     if k == 0 {
         return Err(Error::InvalidParameter {
             name: "k",
@@ -154,7 +215,7 @@ pub fn knn_brute_force(
         if i == skip {
             continue;
         }
-        let d = spec.eval(query, s)?;
+        let d = spec.eval_metered(query, s, meter)?;
         all.push(NnResult {
             index: i,
             distance: d,
@@ -181,7 +242,19 @@ pub fn classify_knn(
     spec: DistanceSpec,
     k: usize,
 ) -> Result<usize> {
-    let neighbors = knn_brute_force(train, query, spec, k, usize::MAX)?;
+    classify_knn_metered(train, query, spec, k, &mut NoMeter)
+}
+
+/// [`classify_knn`] with a [`Meter`] accumulating the DP work of the
+/// query's comparisons against the training set.
+pub fn classify_knn_metered<M: Meter>(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    spec: DistanceSpec,
+    k: usize,
+    meter: &mut M,
+) -> Result<usize> {
+    let neighbors = knn_brute_force_metered(train, query, spec, k, usize::MAX, meter)?;
     let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
     for n in &neighbors {
         *counts.entry(n.label).or_insert(0) += 1;
@@ -202,12 +275,23 @@ pub fn evaluate_split(
     test: &LabeledView<'_>,
     spec: DistanceSpec,
 ) -> Result<f64> {
+    evaluate_split_metered(train, test, spec, &mut NoMeter)
+}
+
+/// [`evaluate_split`] with a [`Meter`] accumulating the DP work of every
+/// test-versus-train comparison.
+pub fn evaluate_split_metered<M: Meter>(
+    train: &LabeledView<'_>,
+    test: &LabeledView<'_>,
+    spec: DistanceSpec,
+    meter: &mut M,
+) -> Result<f64> {
     if test.series.is_empty() {
         return Err(Error::EmptyInput { which: "test" });
     }
     let mut errors = 0usize;
     for (q, &truth) in test.series.iter().zip(test.labels) {
-        let nn = nn_brute_force(train, q, spec, usize::MAX)?;
+        let nn = nn_brute_force_metered(train, q, spec, usize::MAX, meter)?;
         if nn.label != truth {
             errors += 1;
         }
@@ -428,6 +512,45 @@ mod tests {
             labels: &labels,
         };
         assert!(knn_brute_force(&view, &series[0], DistanceSpec::Euclidean, 0, 0).is_err());
+    }
+
+    #[test]
+    fn metered_paths_match_plain_and_count_work() {
+        use tsdtw_obs::WorkMeter;
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        for spec in [
+            DistanceSpec::Euclidean,
+            DistanceSpec::CdtwPercent(5.0),
+            DistanceSpec::CdtwBand(2),
+            DistanceSpec::FullDtw,
+            DistanceSpec::FastDtw(3),
+            DistanceSpec::FastDtwRef(3),
+        ] {
+            let plain = spec.eval(&series[0], &series[1]).unwrap();
+            let mut meter = WorkMeter::new();
+            let metered = spec
+                .eval_metered(&series[0], &series[1], &mut meter)
+                .unwrap();
+            assert!((plain - metered).abs() < 1e-9, "{spec:?}");
+            if spec != DistanceSpec::Euclidean {
+                assert!(meter.cells > 0, "{spec:?} should touch DP cells");
+            }
+            let bf = nn_brute_force(&view, &series[0], spec, 0).unwrap();
+            let mut m2 = WorkMeter::new();
+            let bf_m = nn_brute_force_metered(&view, &series[0], spec, 0, &mut m2).unwrap();
+            assert_eq!(bf.index, bf_m.index, "{spec:?}");
+        }
+        // Cascaded path: the meter sees one cascade disposition per
+        // non-skipped exemplar, and the answer is unchanged.
+        let mut meter = WorkMeter::new();
+        let plain = nn_cascade(&view, &series[0], 4, 0).unwrap();
+        let metered = nn_cascade_metered(&view, &series[0], 4, 0, &mut meter).unwrap();
+        assert_eq!(plain, metered);
+        assert_eq!(meter.candidates(), (series.len() - 1) as u64);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub struct Motif {
 /// Finds the top motif of window length `m` under z-normalized
 /// `cDTW_band`, requiring the two windows not to overlap.
 pub fn top_motif(series: &[f64], m: usize, band: usize) -> Result<Motif> {
+    let _span = tsdtw_obs::span("motif");
     if m == 0 {
         return Err(Error::EmptyInput { which: "m" });
     }

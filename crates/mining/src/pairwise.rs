@@ -3,11 +3,10 @@
 //! The paper's Fig. 1 and Fig. 4 measure the cumulative time for *all
 //! pairwise comparisons* in a dataset (400,960 and 499,500 pairs
 //! respectively). This module provides that workload, parallelized with
-//! crossbeam scoped threads. Parallelism is applied identically whichever
-//! distance closure is passed, so exact/approximate *ratios* — the thing
-//! the paper argues about — are preserved.
+//! `std::thread::scope` workers. Parallelism is applied identically
+//! whichever distance closure is passed, so exact/approximate *ratios* —
+//! the thing the paper argues about — are preserved.
 
-use crossbeam::thread;
 use tsdtw_core::error::{Error, Result};
 
 /// A symmetric distance matrix stored densely.
@@ -82,12 +81,12 @@ where
         .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
         .collect();
 
-    let results: Result<Vec<Vec<(usize, usize, f64)>>> = thread::scope(|scope| {
+    let results: Result<Vec<Vec<(usize, usize, f64)>>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_threads);
         for t in 0..n_threads {
             let pairs = &pairs;
             let dist = &dist;
-            handles.push(scope.spawn(move |_| -> Result<Vec<(usize, usize, f64)>> {
+            handles.push(scope.spawn(move || -> Result<Vec<(usize, usize, f64)>> {
                 let mut out = Vec::with_capacity(pairs.len() / n_threads + 1);
                 let mut k = t;
                 while k < pairs.len() {
@@ -102,8 +101,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("pairwise worker panicked"))
             .collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut m = DistanceMatrix::zeros(n);
     for chunk in results? {

@@ -11,7 +11,7 @@
 //! machinery is available to FastDTW.
 
 use tsdtw_core::cost::SquaredCost;
-use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea, EaOutcome};
+use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea_metered, EaOutcome};
 use tsdtw_core::envelope::Envelope;
 use tsdtw_core::error::{Error, Result};
 use tsdtw_core::lower_bounds::keogh::{
@@ -19,6 +19,7 @@ use tsdtw_core::lower_bounds::keogh::{
 };
 use tsdtw_core::lower_bounds::kim::lb_kim_hierarchy;
 use tsdtw_core::norm::znorm;
+use tsdtw_obs::{LbKind, Meter, NoMeter, StageTag};
 
 /// Outcome of a subsequence search.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +76,20 @@ impl SearchStats {
 /// assert!(hit.distance < 1e-9);
 /// ```
 pub fn subsequence_search(haystack: &[f64], query: &[f64], band: usize) -> Result<SearchResult> {
+    subsequence_search_metered(haystack, query, band, &mut NoMeter)
+}
+
+/// [`subsequence_search`] with a [`Meter`] accumulating lower-bound
+/// invocations, per-stage prune tallies and the (early-abandoning) DP work
+/// across all candidate positions. The [`SearchStats`] counters and the
+/// meter's prune tallies agree by construction; tests pin it.
+pub fn subsequence_search_metered<M: Meter>(
+    haystack: &[f64],
+    query: &[f64],
+    band: usize,
+    meter: &mut M,
+) -> Result<SearchResult> {
+    let _span = tsdtw_obs::span("subsequence_search");
     let m = query.len();
     if m == 0 {
         return Err(Error::EmptyInput { which: "query" });
@@ -87,6 +102,7 @@ pub fn subsequence_search(haystack: &[f64], query: &[f64], band: usize) -> Resul
     }
     let q = znorm(query)?;
     let env = Envelope::new(&q, band)?;
+    meter.envelope_built(q.len() as u64);
     let order = sort_indices_by_magnitude(&q);
 
     let mut bsf = f64::INFINITY;
@@ -123,27 +139,36 @@ pub fn subsequence_search(haystack: &[f64], query: &[f64], band: usize) -> Resul
             *w = (haystack[pos + k] - mean) * inv;
         }
 
+        meter.lb(LbKind::Kim);
         let kim = lb_kim_hierarchy(&q, &window, bsf)?;
         if kim >= bsf {
             stats.pruned_kim += 1;
+            meter.prune(StageTag::Kim);
             continue;
         }
+        meter.lb(LbKind::Keogh);
         let keogh = lb_keogh_reordered(&window, &env, &order, bsf)?;
         if keogh >= bsf {
             stats.pruned_keogh += 1;
+            meter.prune(StageTag::KeoghQC);
             continue;
         }
+        meter.lb(LbKind::Keogh);
         let _ = lb_keogh_with_contrib(&window, &env, &mut contrib)?;
         let cb = suffix_sums(&contrib);
-        match cdtw_distance_ea(&q, &window, band, bsf, Some(&cb), SquaredCost)? {
+        match cdtw_distance_ea_metered(&q, &window, band, bsf, Some(&cb), SquaredCost, meter)? {
             EaOutcome::Exact(d) => {
                 stats.dtw_exact += 1;
+                meter.prune(StageTag::DtwExact);
                 if d < bsf {
                     bsf = d;
                     best_pos = pos;
                 }
             }
-            EaOutcome::Abandoned { .. } => stats.dtw_abandoned += 1,
+            EaOutcome::Abandoned { .. } => {
+                stats.dtw_abandoned += 1;
+                meter.prune(StageTag::DtwAbandoned);
+            }
         }
     }
 
@@ -199,6 +224,18 @@ pub fn subsequence_search_brute(
 /// pruning — all of them are the output), which is what top-k matching,
 /// motif exploration and plotting need.
 pub fn distance_profile(haystack: &[f64], query: &[f64], band: usize) -> Result<Vec<f64>> {
+    distance_profile_metered(haystack, query, band, &mut NoMeter)
+}
+
+/// [`distance_profile`] with a [`Meter`] accumulating the DP work of every
+/// window evaluation (no pruning here, so `cells == window_cells`).
+pub fn distance_profile_metered<M: Meter>(
+    haystack: &[f64],
+    query: &[f64],
+    band: usize,
+    meter: &mut M,
+) -> Result<Vec<f64>> {
+    let _span = tsdtw_obs::span("subsequence_search");
     let m = query.len();
     if m == 0 {
         return Err(Error::EmptyInput { which: "query" });
@@ -232,11 +269,12 @@ pub fn distance_profile(haystack: &[f64], query: &[f64], band: usize) -> Result<
         for (k, w) in window.iter_mut().enumerate() {
             *w = (haystack[pos + k] - mean) * inv;
         }
-        out.push(tsdtw_core::dtw::banded::cdtw_distance(
+        out.push(tsdtw_core::dtw::banded::cdtw_distance_metered(
             &q,
             &window,
             band,
             SquaredCost,
+            meter,
         )?);
     }
     Ok(out)
@@ -263,13 +301,26 @@ pub fn top_k_matches(
     k: usize,
     exclusion: usize,
 ) -> Result<Vec<Match>> {
+    top_k_matches_metered(haystack, query, band, k, exclusion, &mut NoMeter)
+}
+
+/// [`top_k_matches`] with a [`Meter`] accumulating the full profile's DP
+/// work.
+pub fn top_k_matches_metered<M: Meter>(
+    haystack: &[f64],
+    query: &[f64],
+    band: usize,
+    k: usize,
+    exclusion: usize,
+    meter: &mut M,
+) -> Result<Vec<Match>> {
     if k == 0 {
         return Err(Error::InvalidParameter {
             name: "k",
             reason: "k must be at least 1".into(),
         });
     }
-    let profile = distance_profile(haystack, query, band)?;
+    let profile = distance_profile_metered(haystack, query, band, meter)?;
     let mut order: Vec<usize> = (0..profile.len()).collect();
     order.sort_by(|&a, &b| {
         profile[a]
@@ -439,6 +490,31 @@ mod tests {
         let hay = vec![0.0; 50];
         let query = vec![0.0; 10];
         assert!(top_k_matches(&hay, &query, 2, 0, 10).is_err());
+    }
+
+    #[test]
+    fn metered_search_matches_plain_and_mirrors_stats() {
+        use tsdtw_obs::WorkMeter;
+        let (hay, query) = planted(5, 800, 48, 432);
+        let plain = subsequence_search(&hay, &query, 4).unwrap();
+        let mut meter = WorkMeter::new();
+        let metered = subsequence_search_metered(&hay, &query, 4, &mut meter).unwrap();
+        assert_eq!(plain, metered);
+        // The meter's prune tallies are the SearchStats, field for field
+        // (the cascade's q→c Keogh stage is where the search's single
+        // Keogh bound reports).
+        assert_eq!(meter.pruned_kim, plain.stats.pruned_kim);
+        assert_eq!(meter.pruned_keogh_qc, plain.stats.pruned_keogh);
+        assert_eq!(meter.dtw_abandoned, plain.stats.dtw_abandoned);
+        assert_eq!(meter.dtw_exact, plain.stats.dtw_exact);
+        assert_eq!(meter.candidates(), plain.stats.candidates);
+        // The query envelope is built exactly once, and only survivors of
+        // both bounds reach the DP.
+        assert_eq!(meter.envelopes_built, 1);
+        assert_eq!(meter.envelope_points, query.len() as u64);
+        assert_eq!(meter.ea_invocations, meter.dtw_abandoned + meter.dtw_exact);
+        assert!(meter.cells > 0);
+        assert!(meter.cells <= meter.window_cells);
     }
 
     #[test]

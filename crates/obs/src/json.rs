@@ -1,0 +1,535 @@
+//! A small, ordered JSON value.
+//!
+//! The workspace writes every benchmark report and `--stats-json` dump
+//! as JSON, but builds hermetically with no registry access, so it
+//! cannot pull in `serde_json`. This module is the replacement: a value
+//! enum whose objects preserve insertion order (reports diff cleanly
+//! run-to-run), a [`ToJson`] conversion trait for report record
+//! structs, and the [`impl_to_json!`](crate::impl_to_json) /
+//! [`json_obj!`](crate::json_obj) convenience macros.
+//!
+//! Only serialization is implemented — nothing in the workspace parses
+//! JSON back in. Non-finite floats serialize as `null` (JSON has no
+//! NaN/Infinity).
+
+use std::fmt;
+
+/// A JSON value with order-preserving objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer. Counters (cell counts, tallies) stay exact here
+    /// instead of rounding through `f64`.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Shared `null` returned by indexing misses, mirroring `serde_json`'s
+/// forgiving `value["missing"]` behaviour that the bench tests rely on.
+const NULL: Json = Json::Null;
+
+impl Json {
+    /// An empty object to populate with [`Json::set`].
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An empty array to populate with [`Json::push`].
+    pub fn array() -> Json {
+        Json::Arr(Vec::new())
+    }
+
+    /// Inserts (or replaces) `key` in an object.
+    ///
+    /// # Panics
+    /// If `self` is not an object.
+    pub fn set(&mut self, key: &str, value: impl ToJson) -> &mut Self {
+        let Json::Obj(entries) = self else {
+            panic!("Json::set on non-object");
+        };
+        let value = value.to_json();
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => entries.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Builder-style [`Json::set`].
+    pub fn with(mut self, key: &str, value: impl ToJson) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Appends to an array.
+    ///
+    /// # Panics
+    /// If `self` is not an array.
+    pub fn push(&mut self, value: impl ToJson) -> &mut Self {
+        let Json::Arr(items) = self else {
+            panic!("Json::push on non-array");
+        };
+        items.push(value.to_json());
+        self
+    }
+
+    /// `true` for `Json::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (both `Int` and `Float` qualify).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object view (ordered key/value pairs).
+    pub fn as_object(&self) -> Option<&Vec<(String, Json)>> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation and a trailing
+    /// newline, matching what `serde_json::to_string_pretty` produced
+    /// for the seed reports closely enough for human diffing.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Rust's shortest round-trip formatting; always valid JSON.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(entries) => {
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = &entries[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+
+    /// `value["key"]`; yields `Json::Null` when absent or non-object.
+    fn index(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Json {
+    type Output = Json;
+
+    /// `value[i]`; yields `Json::Null` when out of bounds or non-array.
+    fn index(&self, i: usize) -> &Json {
+        match self {
+            Json::Arr(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! eq_via {
+    ($($t:ty => $conv:ident),* $(,)?) => {$(
+        impl PartialEq<$t> for Json {
+            fn eq(&self, other: &$t) -> bool {
+                self.$conv() == Some(*other as _)
+            }
+        }
+
+        impl PartialEq<Json> for $t {
+            fn eq(&self, other: &Json) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+eq_via!(
+    i32 => as_i64,
+    i64 => as_i64,
+    u32 => as_i64,
+    u64 => as_u64,
+    usize => as_u64,
+    f64 => as_f64,
+    bool => as_bool,
+);
+
+impl PartialEq<&str> for Json {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Json> for &str {
+    fn eq(&self, other: &Json) -> bool {
+        other == self
+    }
+}
+
+/// Conversion into [`Json`]; the analogue of `serde::Serialize` for the
+/// report structs in `tsdtw-bench`. Implement by hand or with
+/// [`impl_to_json!`](crate::impl_to_json).
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+to_json_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields in the
+/// order they should appear in the object:
+///
+/// ```ignore
+/// impl_to_json!(SweepRow { algo, param, measured_pairs, measured_s });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                let mut obj = $crate::Json::object();
+                $(obj.set(stringify!($field), &self.$field);)+
+                obj
+            }
+        }
+    };
+}
+
+/// Builds an ordered JSON object literal:
+///
+/// ```ignore
+/// let j = json_obj! { "n" => 1024, "algo" => "cdtw" };
+/// ```
+#[macro_export]
+macro_rules! json_obj {
+    ($($k:expr => $v:expr),* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut obj = $crate::Json::object();
+        $(obj.set($k, $v);)*
+        obj
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_eq_match_serde_json_idioms() {
+        let j = json_obj! { "x" => 3, "name" => "dtw", "ratio" => 1.5 };
+        assert_eq!(j["x"], 3);
+        assert_eq!(j["name"], "dtw");
+        assert_eq!(j["ratio"].as_f64().unwrap(), 1.5);
+        assert!(j["missing"].is_null());
+        assert_eq!(j["x"].as_f64().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn arrays_index_and_report_len() {
+        let mut a = Json::array();
+        a.push(1).push(2).push(3);
+        assert_eq!(a.as_array().unwrap().len(), 3);
+        assert_eq!(a[1], 2);
+        assert!(a[9].is_null());
+    }
+
+    #[test]
+    fn object_order_is_insertion_order_and_set_replaces() {
+        let mut o = Json::object();
+        o.set("b", 1).set("a", 2).set("b", 3);
+        let keys: Vec<&str> = o
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(o["b"], 3);
+    }
+
+    #[test]
+    fn compact_serialization() {
+        let j = json_obj! {
+            "s" => "a\"b\n",
+            "v" => vec![1.0f64, 2.5],
+            "none" => Option::<u32>::None,
+            "nan" => f64::NAN,
+        };
+        assert_eq!(
+            j.to_string_compact(),
+            r#"{"s":"a\"b\n","v":[1.0,2.5],"none":null,"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_serialization_indents() {
+        let j = json_obj! { "a" => 1, "b" => Json::Arr(vec![Json::Int(2)]) };
+        assert_eq!(
+            j.to_string_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn floats_round_trip_distinguishably() {
+        assert_eq!(Json::Float(1.0).to_string_compact(), "1.0");
+        assert_eq!(Json::Float(0.1).to_string_compact(), "0.1");
+        assert_eq!(Json::Int(1).to_string_compact(), "1");
+    }
+
+    #[test]
+    fn impl_to_json_macro() {
+        struct P {
+            n: usize,
+            label: String,
+        }
+        impl_to_json!(P { n, label });
+        let j = P {
+            n: 7,
+            label: "x".into(),
+        }
+        .to_json();
+        assert_eq!(j["n"], 7);
+        assert_eq!(j["label"], "x");
+    }
+}

@@ -1,0 +1,34 @@
+//! Work accounting and tracing for the tsdtw stack.
+//!
+//! The paper's core claim ("FastDTW is generally slower than cDTW")
+//! is ultimately an argument about *work*: how many dynamic-programming
+//! cells each algorithm touches as a function of series length and
+//! constraint radius. This crate provides the instrumentation used to
+//! measure that work everywhere in the workspace without perturbing it:
+//!
+//! * [`Meter`] — a monomorphized counter sink. Kernels are generic over
+//!   `M: Meter`; the default [`NoMeter`] has `#[inline]` empty methods,
+//!   so the un-instrumented call path compiles to exactly the code it
+//!   had before instrumentation (verified by the `meter_ablation`
+//!   criterion group in `tsdtw-bench`). [`WorkMeter`] records
+//!   everything: DP cells evaluated, admissible window cells, FastDTW
+//!   per-level breakdowns, lower-bound invocations, prune-cascade
+//!   dispositions, early-abandon row progress, and peak scratch bytes.
+//! * [`Json`] / [`ToJson`] — a small ordered JSON value used for bench
+//!   `Report`s, the repro `work` sections, and the CLI `--stats-json`
+//!   dump. Insertion order is preserved so reports diff cleanly.
+//! * [`span`] — feature-gated timing probes (`--features spans`).
+//!   Disabled, a span is a unit struct and the probe vanishes; enabled,
+//!   per-label call counts and wall time accumulate in a thread-local
+//!   table drained by [`take_spans`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod json;
+mod meter;
+mod span;
+
+pub use json::{Json, ToJson};
+pub use meter::{FastDtwLevel, LbKind, Meter, NoMeter, StageTag, WorkMeter};
+pub use span::{span, spans_enabled, take_spans, SpanGuard, SpanStat};

@@ -1,0 +1,583 @@
+//! The [`Meter`] abstraction: monomorphized work counters.
+//!
+//! Every instrumented kernel in `tsdtw-core` is generic over
+//! `M: Meter` and calls the trait's recording methods at the points
+//! where work happens (a DP cell evaluated, a candidate pruned, a row
+//! abandoned). The default sink, [`NoMeter`], implements every method
+//! as an empty `#[inline]` body; after monomorphization the compiler
+//! erases the calls entirely, so the public un-metered entry points —
+//! which delegate with `&mut NoMeter` — keep their original machine
+//! code. The `meter_ablation` bench group in `tsdtw-bench` checks this
+//! stays true (<2% overhead on banded DTW).
+//!
+//! [`WorkMeter`] is the recording sink. Its counters map one-to-one to
+//! the quantities in the paper's Section 3 argument: `cells` is the
+//! number of DP recurrences actually executed, `window_cells` the
+//! admissible-band area, and `levels` the FastDTW per-resolution
+//! breakdown whose sum the `cells` experiment compares against the
+//! cDTW band area.
+
+use crate::json::Json;
+
+/// Which lower bound was invoked, for [`Meter::lb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbKind {
+    /// LB_Kim (constant-time endpoint bound).
+    Kim,
+    /// LB_Keogh (envelope bound), either orientation.
+    Keogh,
+    /// LB_Improved (Lemire's two-pass refinement).
+    Improved,
+    /// LB_Yi (sum over values outside the min/max range).
+    Yi,
+}
+
+/// Where a pruning cascade disposed of a candidate, for
+/// [`Meter::prune`]. Mirrors `PruneStage` in
+/// `tsdtw-core::lower_bounds::cascade` (which maps into this; `obs` is
+/// a leaf crate and cannot depend on core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageTag {
+    /// Pruned by LB_Kim.
+    Kim,
+    /// Pruned by LB_Keogh(query → candidate).
+    KeoghQC,
+    /// Pruned by LB_Keogh(candidate → query).
+    KeoghCQ,
+    /// Early-abandoned inside the banded DTW.
+    DtwAbandoned,
+    /// Survived every filter; exact DTW computed.
+    DtwExact,
+}
+
+/// One resolution level of a FastDTW run, for [`Meter::fastdtw_level`].
+///
+/// `window_cells = projected_cells + expanded_cells`: the cells the
+/// low-resolution warp path projects onto plus the extra cells the
+/// radius dilation admits. The paper's Section 3 compares the sum of
+/// `window_cells` over all levels against the single-level band area of
+/// cDTW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastDtwLevel {
+    /// Resolution length of `x` at this level.
+    pub len_x: usize,
+    /// Resolution length of `y` at this level.
+    pub len_y: usize,
+    /// Admissible cells in this level's window.
+    pub window_cells: u64,
+    /// Cells covered by projecting the coarser level's path.
+    pub projected_cells: u64,
+    /// Additional cells admitted by the radius dilation.
+    pub expanded_cells: u64,
+    /// Whether this level was the full-DTW base case.
+    pub base_case: bool,
+}
+
+crate::impl_to_json!(FastDtwLevel {
+    len_x,
+    len_y,
+    window_cells,
+    projected_cells,
+    expanded_cells,
+    base_case,
+});
+
+/// A sink for work accounting events.
+///
+/// All methods default to empty `#[inline]` bodies, so a sink only
+/// overrides what it cares about and [`NoMeter`] overrides nothing.
+pub trait Meter {
+    /// Whether this sink records anything. Kernels consult it before
+    /// computing *expensive arguments* that exist only for metering
+    /// (e.g. FastDTW's separate projection-only window); for `NoMeter`
+    /// it is a constant `false`, so the guarded block is statically
+    /// dead after monomorphization.
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// `n` DP cell recurrences were evaluated.
+    #[inline]
+    fn cells(&mut self, n: u64) {
+        let _ = n;
+    }
+
+    /// A DP pass began over a window admitting `n` cells (the band
+    /// area for cDTW; the projected+expanded window for FastDTW).
+    #[inline]
+    fn window_cells(&mut self, n: u64) {
+        let _ = n;
+    }
+
+    /// A DP scratch buffer of `bytes` was in use; the meter keeps the
+    /// maximum seen.
+    #[inline]
+    fn dp_buffer_bytes(&mut self, bytes: u64) {
+        let _ = bytes;
+    }
+
+    /// One FastDTW resolution level completed.
+    #[inline]
+    fn fastdtw_level(&mut self, level: FastDtwLevel) {
+        let _ = level;
+    }
+
+    /// A lower bound was invoked.
+    #[inline]
+    fn lb(&mut self, kind: LbKind) {
+        let _ = kind;
+    }
+
+    /// An LB_Keogh envelope was built over `points` points.
+    #[inline]
+    fn envelope_built(&mut self, points: u64) {
+        let _ = points;
+    }
+
+    /// A pruning cascade disposed of one candidate at `stage`.
+    #[inline]
+    fn prune(&mut self, stage: StageTag) {
+        let _ = stage;
+    }
+
+    /// An early-abandoning DTW finished having filled `filled` of
+    /// `total` rows (`filled == total` means it ran to completion).
+    #[inline]
+    fn ea_rows(&mut self, filled: u64, total: u64) {
+        let _ = (filled, total);
+    }
+}
+
+/// The do-nothing sink; the default for every un-metered entry point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoMeter;
+
+impl Meter for NoMeter {}
+
+impl<M: Meter + ?Sized> Meter for &mut M {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn cells(&mut self, n: u64) {
+        (**self).cells(n);
+    }
+
+    #[inline]
+    fn window_cells(&mut self, n: u64) {
+        (**self).window_cells(n);
+    }
+
+    #[inline]
+    fn dp_buffer_bytes(&mut self, bytes: u64) {
+        (**self).dp_buffer_bytes(bytes);
+    }
+
+    #[inline]
+    fn fastdtw_level(&mut self, level: FastDtwLevel) {
+        (**self).fastdtw_level(level);
+    }
+
+    #[inline]
+    fn lb(&mut self, kind: LbKind) {
+        (**self).lb(kind);
+    }
+
+    #[inline]
+    fn envelope_built(&mut self, points: u64) {
+        (**self).envelope_built(points);
+    }
+
+    #[inline]
+    fn prune(&mut self, stage: StageTag) {
+        (**self).prune(stage);
+    }
+
+    #[inline]
+    fn ea_rows(&mut self, filled: u64, total: u64) {
+        (**self).ea_rows(filled, total);
+    }
+}
+
+/// The recording sink: plain counters, no allocation on the hot path
+/// except the per-level `Vec` push (once per FastDTW resolution).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkMeter {
+    /// DP cell recurrences evaluated.
+    pub cells: u64,
+    /// Admissible cells across all DP windows entered.
+    pub window_cells: u64,
+    /// Peak DP scratch bytes observed.
+    pub dp_peak_bytes: u64,
+    /// FastDTW per-level breakdown, outermost call's coarsest level first.
+    pub levels: Vec<FastDtwLevel>,
+    /// LB_Kim invocations.
+    pub lb_kim: u64,
+    /// LB_Keogh invocations (either orientation).
+    pub lb_keogh: u64,
+    /// LB_Improved invocations.
+    pub lb_improved: u64,
+    /// LB_Yi invocations.
+    pub lb_yi: u64,
+    /// Envelopes built.
+    pub envelopes_built: u64,
+    /// Total points across built envelopes.
+    pub envelope_points: u64,
+    /// Candidates pruned by LB_Kim.
+    pub pruned_kim: u64,
+    /// Candidates pruned by LB_Keogh(q→c).
+    pub pruned_keogh_qc: u64,
+    /// Candidates pruned by LB_Keogh(c→q).
+    pub pruned_keogh_cq: u64,
+    /// Candidates abandoned inside banded DTW.
+    pub dtw_abandoned: u64,
+    /// Candidates that needed the exact DTW.
+    pub dtw_exact: u64,
+    /// Early-abandoning DTW invocations.
+    pub ea_invocations: u64,
+    /// Rows actually filled across those invocations.
+    pub ea_rows_filled: u64,
+    /// Rows that would have been filled without abandoning.
+    pub ea_rows_total: u64,
+}
+
+impl WorkMeter {
+    /// A fresh meter with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total candidates the pruning cascade disposed of (all stages).
+    pub fn candidates(&self) -> u64 {
+        self.pruned_kim
+            + self.pruned_keogh_qc
+            + self.pruned_keogh_cq
+            + self.dtw_abandoned
+            + self.dtw_exact
+    }
+
+    /// Evaluated-cells over admissible-cells; `None` before any DP ran.
+    pub fn fill_fraction(&self) -> Option<f64> {
+        if self.window_cells == 0 {
+            None
+        } else {
+            Some(self.cells as f64 / self.window_cells as f64)
+        }
+    }
+
+    /// Sum of per-level window cells — FastDTW's total touched-cell
+    /// account that the paper compares against the cDTW band area.
+    pub fn fastdtw_total_window_cells(&self) -> u64 {
+        self.levels.iter().map(|l| l.window_cells).sum()
+    }
+
+    /// Folds another meter's counters into this one (used when worker
+    /// threads each carry their own meter).
+    pub fn merge(&mut self, other: &WorkMeter) {
+        self.cells += other.cells;
+        self.window_cells += other.window_cells;
+        self.dp_peak_bytes = self.dp_peak_bytes.max(other.dp_peak_bytes);
+        self.levels.extend(other.levels.iter().copied());
+        self.lb_kim += other.lb_kim;
+        self.lb_keogh += other.lb_keogh;
+        self.lb_improved += other.lb_improved;
+        self.lb_yi += other.lb_yi;
+        self.envelopes_built += other.envelopes_built;
+        self.envelope_points += other.envelope_points;
+        self.pruned_kim += other.pruned_kim;
+        self.pruned_keogh_qc += other.pruned_keogh_qc;
+        self.pruned_keogh_cq += other.pruned_keogh_cq;
+        self.dtw_abandoned += other.dtw_abandoned;
+        self.dtw_exact += other.dtw_exact;
+        self.ea_invocations += other.ea_invocations;
+        self.ea_rows_filled += other.ea_rows_filled;
+        self.ea_rows_total += other.ea_rows_total;
+    }
+
+    /// The `work` section emitted into bench reports and `--stats-json`.
+    pub fn report(&self) -> Json {
+        let mut j = crate::json_obj! {
+            "cells" => self.cells,
+            "window_cells" => self.window_cells,
+            "dp_peak_bytes" => self.dp_peak_bytes,
+        };
+        if let Some(f) = self.fill_fraction() {
+            j.set("fill_fraction", f);
+        }
+        if !self.levels.is_empty() {
+            j.set("fastdtw_levels", &self.levels);
+            j.set(
+                "fastdtw_total_window_cells",
+                self.fastdtw_total_window_cells(),
+            );
+        }
+        let lb_total = self.lb_kim + self.lb_keogh + self.lb_improved + self.lb_yi;
+        if lb_total > 0 {
+            j.set(
+                "lower_bounds",
+                crate::json_obj! {
+                    "kim" => self.lb_kim,
+                    "keogh" => self.lb_keogh,
+                    "improved" => self.lb_improved,
+                    "yi" => self.lb_yi,
+                },
+            );
+        }
+        if self.envelopes_built > 0 {
+            j.set("envelopes_built", self.envelopes_built);
+            j.set("envelope_points", self.envelope_points);
+        }
+        if self.candidates() > 0 {
+            j.set(
+                "prune",
+                crate::json_obj! {
+                    "kim" => self.pruned_kim,
+                    "keogh_qc" => self.pruned_keogh_qc,
+                    "keogh_cq" => self.pruned_keogh_cq,
+                    "dtw_abandoned" => self.dtw_abandoned,
+                    "dtw_exact" => self.dtw_exact,
+                    "candidates" => self.candidates(),
+                },
+            );
+        }
+        if self.ea_invocations > 0 {
+            j.set(
+                "early_abandon",
+                crate::json_obj! {
+                    "invocations" => self.ea_invocations,
+                    "rows_filled" => self.ea_rows_filled,
+                    "rows_total" => self.ea_rows_total,
+                },
+            );
+        }
+        j
+    }
+
+    /// Human-readable multi-line counter summary for `--stats`.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "work: {} DP cells evaluated / {} cells in window",
+            self.cells, self.window_cells
+        ));
+        if let Some(f) = self.fill_fraction() {
+            out.push_str(&format!(" ({:.1}% filled)", f * 100.0));
+        }
+        out.push('\n');
+        out.push_str(&format!("  peak DP buffer: {} bytes\n", self.dp_peak_bytes));
+        if !self.levels.is_empty() {
+            out.push_str(&format!(
+                "  fastdtw: {} levels, {} total window cells\n",
+                self.levels.len(),
+                self.fastdtw_total_window_cells()
+            ));
+            for (i, l) in self.levels.iter().enumerate() {
+                out.push_str(&format!(
+                    "    level {i}: {}x{} {} ({} projected + {} radius-expanded)\n",
+                    l.len_x,
+                    l.len_y,
+                    if l.base_case { "full DP" } else { "windowed" },
+                    l.projected_cells,
+                    l.expanded_cells,
+                ));
+            }
+        }
+        let lb_total = self.lb_kim + self.lb_keogh + self.lb_improved + self.lb_yi;
+        if lb_total > 0 {
+            out.push_str(&format!(
+                "  lower bounds: kim={} keogh={} improved={} yi={}\n",
+                self.lb_kim, self.lb_keogh, self.lb_improved, self.lb_yi
+            ));
+        }
+        if self.envelopes_built > 0 {
+            out.push_str(&format!(
+                "  envelopes built: {} ({} points)\n",
+                self.envelopes_built, self.envelope_points
+            ));
+        }
+        if self.candidates() > 0 {
+            out.push_str(&format!(
+                "  prune cascade ({} candidates): kim={} keogh_qc={} keogh_cq={} abandoned={} exact={}\n",
+                self.candidates(),
+                self.pruned_kim,
+                self.pruned_keogh_qc,
+                self.pruned_keogh_cq,
+                self.dtw_abandoned,
+                self.dtw_exact
+            ));
+        }
+        if self.ea_invocations > 0 {
+            out.push_str(&format!(
+                "  early abandon: {} runs, {}/{} rows filled\n",
+                self.ea_invocations, self.ea_rows_filled, self.ea_rows_total
+            ));
+        }
+        out
+    }
+}
+
+impl Meter for WorkMeter {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn cells(&mut self, n: u64) {
+        self.cells += n;
+    }
+
+    #[inline]
+    fn window_cells(&mut self, n: u64) {
+        self.window_cells += n;
+    }
+
+    #[inline]
+    fn dp_buffer_bytes(&mut self, bytes: u64) {
+        self.dp_peak_bytes = self.dp_peak_bytes.max(bytes);
+    }
+
+    #[inline]
+    fn fastdtw_level(&mut self, level: FastDtwLevel) {
+        self.levels.push(level);
+    }
+
+    #[inline]
+    fn lb(&mut self, kind: LbKind) {
+        match kind {
+            LbKind::Kim => self.lb_kim += 1,
+            LbKind::Keogh => self.lb_keogh += 1,
+            LbKind::Improved => self.lb_improved += 1,
+            LbKind::Yi => self.lb_yi += 1,
+        }
+    }
+
+    #[inline]
+    fn envelope_built(&mut self, points: u64) {
+        self.envelopes_built += 1;
+        self.envelope_points += points;
+    }
+
+    #[inline]
+    fn prune(&mut self, stage: StageTag) {
+        match stage {
+            StageTag::Kim => self.pruned_kim += 1,
+            StageTag::KeoghQC => self.pruned_keogh_qc += 1,
+            StageTag::KeoghCQ => self.pruned_keogh_cq += 1,
+            StageTag::DtwAbandoned => self.dtw_abandoned += 1,
+            StageTag::DtwExact => self.dtw_exact += 1,
+        }
+    }
+
+    #[inline]
+    fn ea_rows(&mut self, filled: u64, total: u64) {
+        self.ea_invocations += 1;
+        self.ea_rows_filled += filled;
+        self.ea_rows_total += total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_meter_is_inert() {
+        let mut m = NoMeter;
+        m.cells(10);
+        m.prune(StageTag::Kim);
+        m.ea_rows(1, 2);
+        assert_eq!(m, NoMeter);
+    }
+
+    #[test]
+    fn work_meter_accumulates() {
+        let mut m = WorkMeter::new();
+        m.cells(5);
+        m.cells(7);
+        m.window_cells(20);
+        m.dp_buffer_bytes(100);
+        m.dp_buffer_bytes(64);
+        m.lb(LbKind::Keogh);
+        m.lb(LbKind::Keogh);
+        m.envelope_built(32);
+        m.prune(StageTag::Kim);
+        m.prune(StageTag::DtwExact);
+        m.ea_rows(3, 10);
+        assert_eq!(m.cells, 12);
+        assert_eq!(m.window_cells, 20);
+        assert_eq!(m.dp_peak_bytes, 100);
+        assert_eq!(m.lb_keogh, 2);
+        assert_eq!(m.envelopes_built, 1);
+        assert_eq!(m.envelope_points, 32);
+        assert_eq!(m.candidates(), 2);
+        assert_eq!(m.ea_rows_filled, 3);
+        assert_eq!(m.ea_rows_total, 10);
+        assert_eq!(m.fill_fraction(), Some(0.6));
+    }
+
+    #[test]
+    fn merge_folds_counters_and_maxes_peak() {
+        let mut a = WorkMeter::new();
+        a.cells(1);
+        a.dp_buffer_bytes(10);
+        let mut b = WorkMeter::new();
+        b.cells(2);
+        b.dp_buffer_bytes(30);
+        b.fastdtw_level(FastDtwLevel {
+            len_x: 4,
+            len_y: 4,
+            window_cells: 16,
+            projected_cells: 16,
+            expanded_cells: 0,
+            base_case: true,
+        });
+        a.merge(&b);
+        assert_eq!(a.cells, 3);
+        assert_eq!(a.dp_peak_bytes, 30);
+        assert_eq!(a.levels.len(), 1);
+        assert_eq!(a.fastdtw_total_window_cells(), 16);
+    }
+
+    #[test]
+    fn report_emits_populated_sections_only() {
+        let mut m = WorkMeter::new();
+        m.cells(4);
+        m.window_cells(8);
+        let j = m.report();
+        assert_eq!(j["cells"], 4u64);
+        assert_eq!(j["window_cells"], 8u64);
+        assert_eq!(j["fill_fraction"].as_f64().unwrap(), 0.5);
+        assert!(j["prune"].is_null());
+        assert!(j["fastdtw_levels"].is_null());
+
+        m.prune(StageTag::DtwExact);
+        let j = m.report();
+        assert_eq!(j["prune"]["dtw_exact"], 1u64);
+        assert_eq!(j["prune"]["candidates"], 1u64);
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let mut m = WorkMeter::new();
+        m.cells(4);
+        m.window_cells(8);
+        m.prune(StageTag::Kim);
+        let s = m.summary();
+        assert!(s.contains("4 DP cells"));
+        assert!(s.contains("prune cascade"));
+    }
+
+    #[test]
+    fn meter_through_mut_ref() {
+        fn run<M: Meter>(mut m: M) {
+            m.cells(3);
+        }
+        let mut w = WorkMeter::new();
+        run(&mut w);
+        assert_eq!(w.cells, 3);
+    }
+}

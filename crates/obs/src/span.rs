@@ -1,0 +1,142 @@
+//! Feature-gated timing spans.
+//!
+//! A span brackets a region of interest — a DTW kernel, a mining loop
+//! iteration batch — with a label. With the `spans` cargo feature off
+//! (the default), [`span`] returns a unit-sized guard and the whole
+//! probe compiles away; call sites need no `cfg` of their own. With
+//! `--features spans`, each guard's drop adds its wall time to a
+//! thread-local per-label table that [`take_spans`] drains.
+//!
+//! The table is thread-local on purpose: the hot loops are spawned
+//! per-thread, and a global table would put a lock on the measured
+//! path. Callers that fan out drain per-thread and merge, the same
+//! pattern as [`WorkMeter::merge`](crate::WorkMeter::merge).
+
+/// Aggregated timings for one span label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// The label passed to [`span`].
+    pub label: &'static str,
+    /// How many guards with this label were dropped.
+    pub count: u64,
+    /// Total wall time across those guards, in seconds.
+    pub total_s: f64,
+}
+
+crate::impl_to_json!(SpanStat {
+    label,
+    count,
+    total_s
+});
+
+/// Whether span timing is compiled in.
+pub const fn spans_enabled() -> bool {
+    cfg!(feature = "spans")
+}
+
+#[cfg(feature = "spans")]
+mod enabled {
+    use super::SpanStat;
+    use std::cell::RefCell;
+    use std::time::Instant;
+
+    thread_local! {
+        static TABLE: RefCell<Vec<(&'static str, u64, f64)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    /// Timing guard; records on drop.
+    #[must_use = "a span measures the scope holding the guard"]
+    pub struct SpanGuard {
+        label: &'static str,
+        start: Instant,
+    }
+
+    /// Opens a timing span labelled `label`.
+    pub fn span(label: &'static str) -> SpanGuard {
+        SpanGuard {
+            label,
+            start: Instant::now(),
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let dt = self.start.elapsed().as_secs_f64();
+            TABLE.with(|t| {
+                let mut t = t.borrow_mut();
+                match t.iter_mut().find(|(l, _, _)| *l == self.label) {
+                    Some((_, count, total)) => {
+                        *count += 1;
+                        *total += dt;
+                    }
+                    None => t.push((self.label, 1, dt)),
+                }
+            });
+        }
+    }
+
+    /// Drains this thread's span table, first-opened label first.
+    pub fn take_spans() -> Vec<SpanStat> {
+        TABLE.with(|t| {
+            t.borrow_mut()
+                .drain(..)
+                .map(|(label, count, total_s)| SpanStat {
+                    label,
+                    count,
+                    total_s,
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(feature = "spans")]
+pub use enabled::{span, take_spans, SpanGuard};
+
+#[cfg(not(feature = "spans"))]
+mod disabled {
+    use super::SpanStat;
+
+    /// Unit-sized guard; the disabled probe compiles to nothing.
+    #[must_use = "a span measures the scope holding the guard"]
+    pub struct SpanGuard;
+
+    /// Opens a (disabled) timing span; `label` is ignored.
+    #[inline(always)]
+    pub fn span(_label: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// Always empty with spans disabled.
+    #[inline]
+    pub fn take_spans() -> Vec<SpanStat> {
+        Vec::new()
+    }
+}
+
+#[cfg(not(feature = "spans"))]
+pub use disabled::{span, take_spans, SpanGuard};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_empty_enabled_spans_record() {
+        {
+            let _g = span("unit_test_region");
+            std::hint::black_box(1 + 1);
+        }
+        let stats = take_spans();
+        if spans_enabled() {
+            assert_eq!(stats.len(), 1);
+            assert_eq!(stats[0].label, "unit_test_region");
+            assert_eq!(stats[0].count, 1);
+            assert!(stats[0].total_s >= 0.0);
+            assert!(take_spans().is_empty(), "drained");
+        } else {
+            assert!(stats.is_empty());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The real `proptest` cannot be vendored into this environment, so this
+//! shim implements exactly the subset of its surface the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` header and `pattern in strategy`
+//!   arguments);
+//! * range strategies over the primitive numeric types;
+//! * `prop::collection::vec` with a `Range`/`RangeInclusive` size;
+//! * tuple strategies and [`Strategy::prop_flat_map`](crate::strategy::Strategy::prop_flat_map);
+//! * `prop_assert!` / `prop_assert_eq!` (mapped to panicking asserts).
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! per-test seed (derived from the test name, so failures are perfectly
+//! reproducible), and there is **no shrinking** — a failing case reports
+//! its inputs via the assertion message instead.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Size specification for [`vec()`]: a half-open or inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.size.lo, self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident(
+            $($arg:pat in $strat:expr),* $(,)?
+        ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property; panics (failing the test case) when violated.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality of two expressions within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}

@@ -100,7 +100,7 @@ proptest! {
     #[test]
     fn halve_then_paa_agree_on_means(x in series(64)) {
         // halve() preserves the grand mean for even-length input.
-        if x.len() % 2 == 0 && !x.is_empty() {
+        if x.len().is_multiple_of(2) && !x.is_empty() {
             let h = halve(&x);
             let mean_x: f64 = x.iter().sum::<f64>() / x.len() as f64;
             let mean_h: f64 = h.iter().sum::<f64>() / h.len() as f64;
