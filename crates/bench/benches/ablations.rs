@@ -5,7 +5,9 @@
 //!   thresholds;
 //! * cascaded 1-NN vs brute-force 1-NN (the §3.4 claim in miniature);
 //! * FastDTW's multilevel recursion vs a single windowed DP over its own
-//!   final window (isolating the recursion overhead).
+//!   final window (isolating the recursion overhead);
+//! * the flight recorder armed vs spans-only vs no probes at all (the
+//!   observability layer's < 5 % overhead budget on the banded kernel).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -130,6 +132,42 @@ fn meter_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn recorder_overhead(c: &mut Criterion) {
+    // The flight recorder's contract mirrors the meter's: without
+    // `--features obs` the span probes are unit structs and cost
+    // nothing; with it, an armed recorder pays one ring push per
+    // begin/end plus a histogram update on drop. ISSUE budget: < 5 %
+    // on the banded kernel. The three states measured here are
+    // baseline (no probes active), spans-without-recorder (aggregate
+    // table only), and spans-with-armed-recorder (table + ring).
+    use tsdtw_obs::{recorder_start, recorder_stop, span, take_spans};
+    let x = random_walk(1024, 51).unwrap();
+    let y = random_walk(1024, 52).unwrap();
+    let band = 50;
+    let mut g = c.benchmark_group("ablation_recorder");
+    g.sample_size(30);
+    g.bench_function("baseline", |b| {
+        b.iter(|| black_box(cdtw_distance(&x, &y, band, SquaredCost).unwrap()))
+    });
+    g.bench_function("span_table_only", |b| {
+        b.iter(|| {
+            let _s = span("bench_cdtw");
+            black_box(cdtw_distance(&x, &y, band, SquaredCost).unwrap())
+        })
+    });
+    let _ = take_spans();
+    g.bench_function("span_plus_recorder", |b| {
+        recorder_start(tsdtw_obs::DEFAULT_TRACE_CAPACITY);
+        b.iter(|| {
+            let _s = span("bench_cdtw");
+            black_box(cdtw_distance(&x, &y, band, SquaredCost).unwrap())
+        });
+        let _ = recorder_stop();
+    });
+    let _ = take_spans();
+    g.finish();
+}
+
 fn constraint_shapes(c: &mut Criterion) {
     // Full window vs Sakoe–Chiba band vs Itakura parallelogram at N=512:
     // the DP cost is proportional to admissible cells, so the constraint
@@ -188,6 +226,7 @@ criterion_group!(
     fastdtw_recursion_overhead,
     fastdtw_reference_vs_tuned,
     meter_overhead,
+    recorder_overhead,
     constraint_shapes
 );
 criterion_main!(benches);

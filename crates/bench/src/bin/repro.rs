@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of Wu & Keogh (ICDE 2021).
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--full] [--out DIR] [--list]
+//! repro [EXPERIMENT ...] [--full] [--out DIR] [--list] [--trace]
 //!
 //!   EXPERIMENT   one or more of: fig1 fig2 caseb fig3 fig4 fig6 table2
 //!                footnote2 appendixb impls lbs radius cells, or 'all'
@@ -9,22 +9,47 @@
 //!   --full       paper-scale populations (minutes); default is --quick
 //!   --out DIR    where to write <id>.json records (default: results/)
 //!   --list       list experiments and exit
+//!   --trace      arm the flight recorder per experiment and write
+//!                TRACE_<id>.json (Chrome Trace Format; open in
+//!                Perfetto). Needs --features obs to carry events.
 //! ```
+//!
+//! Every run additionally emits one perf-trajectory snapshot per
+//! experiment (`BENCH_<id>.json`, see `tsdtw_bench::snapshot`) which
+//! `tsdtw report diff` compares against a committed baseline.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tsdtw_bench::experiments::{self, Runner};
-use tsdtw_bench::Scale;
+use tsdtw_bench::{snapshot, Scale};
+use tsdtw_obs::{recorder_start, recorder_stop, take_spans, DEFAULT_TRACE_CAPACITY};
+
+/// Writes a trace export atomically next to the snapshots.
+fn write_trace(dir: &Path, id: &str, trace: &tsdtw_obs::Trace) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("TRACE_{id}.json"));
+    let tmp = dir.join(format!(".TRACE_{id}.json.tmp"));
+    std::fs::write(&tmp, trace.chrome_json().to_string_compact())?;
+    match std::fs::rename(&tmp, &path) {
+        Ok(()) => Ok(path),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let mut wanted: Vec<String> = Vec::new();
     let mut scale = Scale::Quick;
     let mut out = PathBuf::from("results");
+    let mut want_trace = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--trace" => want_trace = true,
             "--out" => match args.next() {
                 Some(dir) => out = PathBuf::from(dir),
                 None => {
@@ -40,7 +65,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [EXPERIMENT ...] [--full] [--out DIR] [--list]\n\
+                    "usage: repro [EXPERIMENT ...] [--full] [--out DIR] [--list] [--trace]\n\
                      experiments: {}",
                     experiments::all()
                         .iter()
@@ -85,13 +110,42 @@ fn main() -> ExitCode {
         },
         out.display()
     );
+    if want_trace && !tsdtw_obs::spans_enabled() {
+        eprintln!(
+            "note: --trace without --features obs records no span events; \
+             the trace files will be valid but empty"
+        );
+    }
     for (id, runner) in selected {
+        // Drain spans left over from a previous experiment so each
+        // snapshot's kernel table reflects this run only.
+        let _ = take_spans();
+        if want_trace {
+            recorder_start(DEFAULT_TRACE_CAPACITY);
+        }
         let t0 = std::time::Instant::now();
         let report = runner(&scale);
+        let wall_s = t0.elapsed().as_secs_f64();
         print!("{}", report.render());
-        println!("   ({} in {:.1}s)\n", id, t0.elapsed().as_secs_f64());
+        println!("   ({id} in {wall_s:.1}s)\n");
         if let Err(e) = report.write_json(&out) {
             eprintln!("warning: could not write {id}.json: {e}");
+        }
+        let spans = take_spans();
+        let snap = snapshot::capture(id, &report.title, wall_s, report.json.get("work"), &spans);
+        if let Err(e) = snapshot::write(&out, id, &snap) {
+            eprintln!("warning: could not write BENCH_{id}.json: {e}");
+        }
+        if want_trace {
+            if let Some(trace) = recorder_stop() {
+                match write_trace(&out, id, &trace) {
+                    Ok(path) => {
+                        println!("   flight recorder -> {}", path.display());
+                        print!("{}", trace.summary_table());
+                    }
+                    Err(e) => eprintln!("warning: could not write TRACE_{id}.json: {e}"),
+                }
+            }
         }
     }
     ExitCode::SUCCESS

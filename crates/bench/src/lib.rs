@@ -16,6 +16,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod snapshot;
 pub mod timing;
 
 pub use report::{Report, Scale};

@@ -1,0 +1,454 @@
+//! Perf-trajectory snapshots: the canonical `BENCH_<experiment>.json`
+//! schema, its emission, and the diff that gates regressions.
+//!
+//! Every `repro` run emits one snapshot per experiment alongside the
+//! existing `<id>.json` record:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "experiment": "cells",
+//!   "title": "…",
+//!   "git_rev": "abc1234",
+//!   "spans_enabled": true,
+//!   "env": { "os": "linux", "arch": "x86_64", "family": "unix",
+//!            "threads": 16, "host": "…" },
+//!   "wall_s": 1.23,
+//!   "work": { "cells": …, "window_cells": …, … },
+//!   "kernels": { "cdtw": { "count": …, "total_s": …, "p50_s": …,
+//!                          "p99_s": …, "max_s": … }, … }
+//! }
+//! ```
+//!
+//! `work` is the deterministic part — DP cells, window cells, prune
+//! tallies are pure functions of the experiment configuration — so
+//! [`diff`] **hard-fails** on work-counter growth beyond the tolerance.
+//! `wall_s` and `kernels` (per-span latency summaries, populated under
+//! `--features obs`) vary with hardware and load, so timing changes are
+//! **advisory**: the diff prints warnings but never fails on them.
+//! This split is what lets CI run the gate on shared runners without
+//! flakes while still catching every algorithmic regression.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use tsdtw_obs::{json_obj, Json, SpanStat};
+
+/// Version tag every snapshot carries; [`diff`] refuses to compare
+/// across versions.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Relative timing slowdown (percent) beyond which the diff emits an
+/// advisory warning. Deliberately loose: shared CI runners jitter.
+pub const TIMING_WARN_PCT: f64 = 25.0;
+
+/// Fingerprint of the machine the snapshot was taken on. Enough to
+/// explain a timing delta, deliberately free of anything secret.
+pub fn env_fingerprint() -> Json {
+    json_obj! {
+        "os" => std::env::consts::OS,
+        "arch" => std::env::consts::ARCH,
+        "family" => std::env::consts::FAMILY,
+        "threads" => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        "host" => std::env::var("HOSTNAME")
+            .or_else(|_| std::env::var("COMPUTERNAME"))
+            .unwrap_or_else(|_| "unknown".into()),
+    }
+}
+
+/// The current git revision (short form), `"unknown"` outside a
+/// repository. Overridable via `TSDTW_GIT_REV` for hermetic builds.
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("TSDTW_GIT_REV") {
+        return rev;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Builds one snapshot document from an experiment's outcome: its
+/// report `work` section (if any), the run's wall time, and the span
+/// table drained after the run (empty without `--features obs`).
+pub fn capture(
+    experiment: &str,
+    title: &str,
+    wall_s: f64,
+    work: Option<&Json>,
+    spans: &[SpanStat],
+) -> Json {
+    let mut kernels = Json::object();
+    for s in spans {
+        kernels.set(
+            s.label,
+            json_obj! {
+                "count" => s.count,
+                "total_s" => s.total_s,
+                "p50_s" => s.p50_s,
+                "p99_s" => s.p99_s,
+                "max_s" => s.max_s,
+            },
+        );
+    }
+    json_obj! {
+        "schema" => SCHEMA_VERSION,
+        "experiment" => experiment,
+        "title" => title,
+        "git_rev" => git_rev(),
+        "spans_enabled" => tsdtw_obs::spans_enabled(),
+        "env" => env_fingerprint(),
+        "wall_s" => wall_s,
+        "work" => work.cloned().unwrap_or(Json::Null),
+        "kernels" => kernels,
+    }
+}
+
+/// Writes a snapshot to `<dir>/BENCH_<experiment>.json` atomically
+/// (temp file + rename, the same discipline as `Report::write_json`).
+pub fn write(dir: &Path, experiment: &str, snapshot: &Json) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    let tmp = dir.join(format!(".BENCH_{experiment}.json.tmp"));
+    std::fs::write(&tmp, snapshot.to_string_pretty())?;
+    match std::fs::rename(&tmp, &path) {
+        Ok(()) => Ok(path),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The outcome of comparing two snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct Diff {
+    /// Human-readable comparison, one line per compared quantity.
+    pub lines: Vec<String>,
+    /// Work-counter regressions beyond the tolerance — each one a
+    /// reason to fail.
+    pub regressions: Vec<String>,
+    /// Work counters that shrank (informational).
+    pub improvements: usize,
+    /// Counters compared overall.
+    pub compared: usize,
+    /// Advisory timing warnings.
+    pub timing_warnings: usize,
+}
+
+impl Diff {
+    /// Renders the full comparison for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "work counters: {} compared, {} regressed, {} improved; timing: {} advisory warning(s)\n",
+            self.compared,
+            self.regressions.len(),
+            self.improvements,
+            self.timing_warnings
+        ));
+        out
+    }
+}
+
+/// Collects every integer-counter leaf under `value` as
+/// `(dotted.path, count)`, descending arrays by index.
+fn counter_leaves(value: &Json, prefix: &str, out: &mut Vec<(String, i64)>) {
+    match value {
+        Json::Int(i) => out.push((prefix.to_string(), *i)),
+        Json::Obj(entries) => {
+            for (k, v) in entries {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                counter_leaves(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                counter_leaves(v, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        // Floats (fill_fraction, ratios) are derived, not work; booleans
+        // and strings carry no magnitude. All advisory-only.
+        _ => {}
+    }
+}
+
+fn pct_change(base: f64, cur: f64) -> f64 {
+    if base == 0.0 {
+        if cur == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (cur - base) / base * 100.0
+    }
+}
+
+/// Compares two snapshots. Work-counter growth beyond `fail_pct`
+/// percent lands in [`Diff::regressions`]; timing deltas are advisory
+/// lines only (see the module docs for why).
+pub fn diff(baseline: &Json, current: &Json, fail_pct: f64) -> Diff {
+    let mut d = Diff::default();
+
+    let schema_b = baseline["schema"].as_i64();
+    let schema_c = current["schema"].as_i64();
+    if schema_b != Some(SCHEMA_VERSION) || schema_c != Some(SCHEMA_VERSION) {
+        d.regressions.push(format!(
+            "schema mismatch: baseline {schema_b:?}, current {schema_c:?}, tool speaks {SCHEMA_VERSION}"
+        ));
+        d.lines.push(d.regressions[0].clone());
+        return d;
+    }
+    let exp_b = baseline["experiment"].as_str().unwrap_or("?");
+    let exp_c = current["experiment"].as_str().unwrap_or("?");
+    if exp_b != exp_c {
+        d.lines.push(format!(
+            "warn: comparing different experiments ({exp_b} vs {exp_c})"
+        ));
+        d.timing_warnings += 1;
+    }
+    d.lines.push(format!(
+        "experiment {exp_c}: baseline rev {} -> current rev {}",
+        baseline["git_rev"].as_str().unwrap_or("?"),
+        current["git_rev"].as_str().unwrap_or("?")
+    ));
+
+    // --- deterministic work counters: the hard gate -------------------
+    let mut base_counters = Vec::new();
+    let mut cur_counters = Vec::new();
+    counter_leaves(&baseline["work"], "work", &mut base_counters);
+    counter_leaves(&current["work"], "work", &mut cur_counters);
+    let cur_map: std::collections::HashMap<&str, i64> =
+        cur_counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let base_keys: std::collections::HashSet<&str> =
+        base_counters.iter().map(|(k, _)| k.as_str()).collect();
+
+    for (path, base) in &base_counters {
+        let Some(&cur) = cur_map.get(path.as_str()) else {
+            d.lines.push(format!(
+                "warn: counter {path} missing from current snapshot"
+            ));
+            d.timing_warnings += 1;
+            continue;
+        };
+        d.compared += 1;
+        let pct = pct_change(*base as f64, cur as f64);
+        match cur.cmp(base) {
+            std::cmp::Ordering::Equal => {}
+            std::cmp::Ordering::Less => {
+                d.improvements += 1;
+                d.lines
+                    .push(format!("  {path}: {base} -> {cur} ({pct:+.2}%) improved"));
+            }
+            std::cmp::Ordering::Greater => {
+                let line = format!("  {path}: {base} -> {cur} ({pct:+.2}%)");
+                if pct > fail_pct {
+                    d.lines.push(format!("{line} REGRESSION"));
+                    d.regressions.push(format!(
+                        "{path} grew {base} -> {cur} ({pct:+.2}% > {fail_pct}%)"
+                    ));
+                } else {
+                    d.lines.push(format!("{line} within tolerance"));
+                }
+            }
+        }
+    }
+    for (path, _) in &cur_counters {
+        if !base_keys.contains(path.as_str()) {
+            d.lines
+                .push(format!("note: new counter {path} (not in baseline)"));
+        }
+    }
+
+    // --- timing: advisory only ----------------------------------------
+    let advise = |name: &str, base: Option<f64>, cur: Option<f64>, d: &mut Diff| {
+        let (Some(base), Some(cur)) = (base, cur) else {
+            return;
+        };
+        if base <= 0.0 {
+            return;
+        }
+        let pct = pct_change(base, cur);
+        if pct > TIMING_WARN_PCT {
+            d.lines.push(format!(
+                "warn: {name} slowed {base:.6}s -> {cur:.6}s ({pct:+.1}%) [advisory]"
+            ));
+            d.timing_warnings += 1;
+        }
+    };
+    advise(
+        "wall_s",
+        baseline["wall_s"].as_f64(),
+        current["wall_s"].as_f64(),
+        &mut d,
+    );
+    if let (Some(base_k), Some(cur_k)) = (
+        baseline["kernels"].as_object(),
+        current["kernels"].as_object(),
+    ) {
+        for (label, base_stats) in base_k {
+            let Some(cur_stats) = cur_k.iter().find(|(k, _)| k == label).map(|(_, v)| v) else {
+                continue;
+            };
+            for field in ["total_s", "p99_s"] {
+                advise(
+                    &format!("kernel {label}.{field}"),
+                    base_stats[field].as_f64(),
+                    cur_stats[field].as_f64(),
+                    &mut d,
+                );
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(cells: i64, wall: f64) -> Json {
+        json_obj! {
+            "schema" => SCHEMA_VERSION,
+            "experiment" => "cells",
+            "title" => "t",
+            "git_rev" => "deadbee",
+            "spans_enabled" => false,
+            "env" => env_fingerprint(),
+            "wall_s" => wall,
+            "work" => json_obj! {
+                "cells" => cells,
+                "window_cells" => cells,
+                "prune" => json_obj! { "kim" => 3 },
+                "fastdtw_levels" => Json::array()
+                    .with_pushed(json_obj! { "window_cells" => cells / 2 }),
+            },
+            "kernels" => json_obj! {
+                "cdtw" => json_obj! {
+                    "count" => 10, "total_s" => wall / 2.0,
+                    "p50_s" => 0.001, "p99_s" => 0.002, "max_s" => 0.003,
+                },
+            },
+        }
+    }
+
+    // Small test helper: Json::with for arrays.
+    trait WithPushed {
+        fn with_pushed(self, v: Json) -> Json;
+    }
+    impl WithPushed for Json {
+        fn with_pushed(mut self, v: Json) -> Json {
+            self.push(v);
+            self
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_diff_clean() {
+        let a = snap(1000, 1.0);
+        let d = diff(&a, &a, 0.0);
+        assert!(d.regressions.is_empty(), "{:?}", d.lines);
+        assert_eq!(d.improvements, 0);
+        assert!(d.compared >= 4, "counts nested + array counters");
+        assert_eq!(d.timing_warnings, 0);
+    }
+
+    #[test]
+    fn counter_growth_beyond_tolerance_is_a_regression() {
+        let base = snap(1000, 1.0);
+        let cur = snap(1100, 1.0); // +10 %
+        let d = diff(&base, &cur, 5.0);
+        assert!(!d.regressions.is_empty());
+        assert!(
+            d.regressions.iter().any(|r| r.contains("work.cells")),
+            "{:?}",
+            d.regressions
+        );
+        // Within tolerance: same delta, looser gate.
+        let d = diff(&base, &cur, 15.0);
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+        assert!(d.render().contains("within tolerance"), "{}", d.render());
+    }
+
+    #[test]
+    fn counter_shrink_is_an_improvement_not_a_failure() {
+        let d = diff(&snap(1000, 1.0), &snap(900, 1.0), 0.0);
+        assert!(d.regressions.is_empty());
+        assert!(d.improvements >= 1);
+    }
+
+    #[test]
+    fn timing_slowdown_is_advisory_only() {
+        let d = diff(&snap(1000, 1.0), &snap(1000, 10.0), 0.0);
+        assert!(d.regressions.is_empty(), "timing never hard-fails");
+        assert!(d.timing_warnings >= 1);
+        assert!(d.render().contains("advisory"), "{}", d.render());
+    }
+
+    #[test]
+    fn schema_mismatch_refuses_to_compare() {
+        let mut bad = snap(1, 1.0);
+        bad.set("schema", 999);
+        let d = diff(&bad, &snap(1, 1.0), 0.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].contains("schema"));
+    }
+
+    #[test]
+    fn zero_to_nonzero_counter_is_infinite_regression() {
+        let mut base = snap(1000, 1.0);
+        base.set("work", json_obj! { "cells" => 0 });
+        let mut cur = snap(1000, 1.0);
+        cur.set("work", json_obj! { "cells" => 5 });
+        let d = diff(&base, &cur, 1e9);
+        assert_eq!(d.regressions.len(), 1, "inf% exceeds any tolerance");
+    }
+
+    #[test]
+    fn capture_produces_the_documented_schema() {
+        let spans = vec![tsdtw_obs::SpanStat {
+            label: "cdtw",
+            count: 3,
+            total_s: 0.5,
+            p50_s: 0.1,
+            p99_s: 0.2,
+            max_s: 0.25,
+        }];
+        let work = json_obj! { "cells" => 7 };
+        let s = capture("cells", "title", 1.5, Some(&work), &spans);
+        assert_eq!(s["schema"], SCHEMA_VERSION);
+        assert_eq!(s["experiment"], "cells");
+        assert_eq!(s["work"]["cells"], 7);
+        assert_eq!(s["kernels"]["cdtw"]["count"], 3u64);
+        assert!(s["env"]["threads"].as_u64().unwrap() >= 1);
+        assert!(!s["git_rev"].as_str().unwrap().is_empty());
+        // And it round-trips through the parser the diff tool uses.
+        let back = Json::parse(&s.to_string_pretty()).unwrap();
+        assert_eq!(back["experiment"], "cells");
+    }
+
+    #[test]
+    fn write_is_atomic_and_named_canonically() {
+        let dir = std::env::temp_dir().join("tsdtw-snapshot-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = write(&dir, "cells", &snap(1, 1.0)).unwrap();
+        assert!(path.ends_with("BENCH_cells.json"));
+        assert!(!dir.join(".BENCH_cells.json.tmp").exists());
+        let parsed = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed["experiment"], "cells");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

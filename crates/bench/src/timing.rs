@@ -1,6 +1,17 @@
 //! Small wall-clock measurement helpers.
+//!
+//! Repeated timings feed a log-linear
+//! [`LatencyHist`] and report the full
+//! p50/p90/p99/max profile from the bucketed samples (≤ 3.2 % relative
+//! bucket error; the max is exact) instead of the median+p95-only
+//! summary of earlier revisions. The `median_s`/`p95_s` fields are kept
+//! for report continuity and are computed exactly from the retained
+//! samples; both follow the nearest-rank convention pinned by
+//! [`tsdtw_obs::nearest_rank`] (see its docs for the `n = 1, 2` edge
+//! cases).
 
 use std::time::{Duration, Instant};
+use tsdtw_obs::{nearest_rank, LatencyHist};
 
 /// Simple summary of repeated timings.
 #[derive(Debug, Clone, Copy)]
@@ -11,10 +22,20 @@ pub struct Timing {
     pub mean_s: f64,
     /// Fastest repetition, seconds.
     pub min_s: f64,
-    /// Median seconds per repetition (robust to one-off stalls).
+    /// Median seconds per repetition (exact; averages the middle pair
+    /// for even `reps` — the one place the averaging convention
+    /// survives, for continuity with earlier reports).
     pub median_s: f64,
-    /// 95th-percentile seconds per repetition (nearest-rank).
+    /// 95th-percentile seconds per repetition (exact nearest-rank).
     pub p95_s: f64,
+    /// Median from the bucketed histogram (nearest-rank).
+    pub p50_s: f64,
+    /// 90th percentile from the bucketed histogram (nearest-rank).
+    pub p90_s: f64,
+    /// 99th percentile from the bucketed histogram (nearest-rank).
+    pub p99_s: f64,
+    /// Slowest repetition, seconds (exact).
+    pub max_s: f64,
 }
 
 tsdtw_obs::impl_to_json!(Timing {
@@ -22,7 +43,11 @@ tsdtw_obs::impl_to_json!(Timing {
     mean_s,
     min_s,
     median_s,
-    p95_s
+    p95_s,
+    p50_s,
+    p90_s,
+    p99_s,
+    max_s
 });
 
 impl Timing {
@@ -39,7 +64,7 @@ pub fn time_once<F: FnOnce()>(f: F) -> Duration {
     t0.elapsed()
 }
 
-/// Times `reps` calls of `f`, reporting mean, min, median, and p95. The
+/// Times `reps` calls of `f`, reporting the full latency profile. The
 /// closure's result should be fed through [`std::hint::black_box`] by the
 /// caller to prevent the optimizer from deleting the work.
 pub fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> Timing {
@@ -49,6 +74,17 @@ pub fn time_reps<F: FnMut()>(reps: usize, mut f: F) -> Timing {
         samples.push(time_once(&mut f).as_secs_f64());
     }
     summarize(&samples)
+}
+
+/// Builds the histogram behind [`summarize`]; callers that want the
+/// raw bucket distribution (e.g. the perf-trajectory snapshots) use
+/// this directly.
+pub fn histogram(samples: &[f64]) -> LatencyHist {
+    let mut h = LatencyHist::new();
+    for &s in samples {
+        h.record_s(s);
+    }
+    h
 }
 
 /// Builds a [`Timing`] from raw per-repetition samples in seconds.
@@ -62,15 +98,17 @@ pub fn summarize(samples: &[f64]) -> Timing {
     } else {
         (sorted[n / 2 - 1] + sorted[n / 2]) * 0.5
     };
-    // Nearest-rank p95: the smallest sample with at least 95 % of the
-    // samples at or below it.
-    let rank = ((0.95 * n as f64).ceil() as usize).clamp(1, n);
+    let hist = histogram(&sorted);
     Timing {
         reps: n,
         mean_s: sorted.iter().sum::<f64>() / n as f64,
         min_s: sorted[0],
         median_s,
-        p95_s: sorted[rank - 1],
+        p95_s: sorted[nearest_rank(n, 0.95) - 1],
+        p50_s: hist.percentile_s(0.50),
+        p90_s: hist.percentile_s(0.90),
+        p99_s: hist.percentile_s(0.99),
+        max_s: sorted[n - 1],
     }
 }
 
@@ -106,6 +144,8 @@ mod tests {
         assert!(t.min_s <= t.mean_s);
         assert!(t.min_s <= t.median_s);
         assert!(t.median_s <= t.p95_s);
+        assert!(t.p95_s <= t.max_s);
+        assert!(t.p50_s <= t.p99_s);
         assert!(t.mean_s >= 0.0);
     }
 
@@ -115,8 +155,10 @@ mod tests {
         assert_eq!(t.median_s, 2.0);
         assert_eq!(t.min_s, 1.0);
         assert_eq!(t.mean_s, 2.0);
+        assert_eq!(t.max_s, 3.0);
         let t = summarize(&[4.0, 1.0, 2.0, 3.0]);
         assert_eq!(t.median_s, 2.5);
+        assert_eq!(t.max_s, 4.0);
     }
 
     #[test]
@@ -132,10 +174,52 @@ mod tests {
     }
 
     #[test]
+    fn tiny_sample_counts_pin_the_nearest_rank_convention() {
+        // n = 1: every percentile is the sample itself; max == min.
+        let t = summarize(&[7.0]);
+        assert_eq!(t.p95_s, 7.0);
+        assert_eq!(t.max_s, 7.0);
+        assert_eq!(t.p50_s, 7.0, "top bucket resolves to the exact max");
+        assert_eq!(t.p99_s, 7.0);
+        // n = 2: nearest-rank puts p ≤ 0.5 on the smaller sample and
+        // p > 0.5 on the larger; the exact median still averages.
+        let t = summarize(&[1.0, 3.0]);
+        assert_eq!(t.median_s, 2.0, "median keeps the averaging convention");
+        assert_eq!(t.p95_s, 3.0, "p95 of two samples is the larger one");
+        assert_eq!(t.p99_s, 3.0);
+        assert_eq!(t.max_s, 3.0);
+        assert!(
+            (t.p50_s - 1.0).abs() / 1.0 < 0.04,
+            "p50 of two samples is the smaller one (bucketed): {}",
+            t.p50_s
+        );
+    }
+
+    #[test]
+    fn bucketed_percentiles_track_exact_ones_within_bucket_error() {
+        let samples: Vec<f64> = (1..=200).map(|i| i as f64 * 1e-4).collect();
+        let t = summarize(&samples);
+        for (approx, exact) in [(t.p50_s, 100e-4), (t.p90_s, 180e-4), (t.p99_s, 198e-4)] {
+            assert!((approx - exact).abs() / exact < 0.04, "{approx} vs {exact}");
+        }
+        assert_eq!(t.max_s, 200e-4);
+    }
+
+    #[test]
+    fn histogram_exposes_the_bucketed_distribution() {
+        let h = histogram(&[1e-3, 1e-3, 2e-3]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_s(), 2e-3);
+        assert!(!h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
     fn timing_serializes_all_fields() {
         use tsdtw_obs::ToJson;
         let j = summarize(&[1.0, 2.0]).to_json();
-        for key in ["reps", "mean_s", "min_s", "median_s", "p95_s"] {
+        for key in [
+            "reps", "mean_s", "min_s", "median_s", "p95_s", "p50_s", "p90_s", "p99_s", "max_s",
+        ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
     }

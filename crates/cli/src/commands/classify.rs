@@ -15,11 +15,13 @@ use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
 tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure M]
-               [--stats] [--stats-json FILE]
+               [--stats] [--stats-json FILE] [--trace FILE]
   M: cdtw (default) | dtw | euclidean | fastdtw-ref (with --radius R)
   --w auto learns the window by LOOCV on the training set (grid 0..--max-w, default 20)
   --stats        print DP-cell counters summed over every test-vs-train comparison
   --stats-json   also dump the counters as JSON to FILE (implies --stats)
+  --trace        record a flight-recorder trace of the evaluation to FILE
+                 (Chrome Trace Format; needs a build with --features obs)
   files: UCR archive format (label, then values; tab- or comma-separated)";
 
 /// Runs the command, returning the printable result.
@@ -34,6 +36,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "measure",
             "radius",
             stats::STATS_JSON_FLAG,
+            stats::TRACE_FLAG,
         ],
         &[stats::STATS_SWITCH],
     )?;
@@ -75,8 +78,10 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     };
 
     let json_path = args.optional(stats::STATS_JSON_FLAG);
+    let trace_path = args.optional(stats::TRACE_FLAG);
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let mut meter = WorkMeter::new();
+    stats::trace_start(trace_path);
     let err = if want_stats {
         evaluate_split_metered(&train_view, &test_view, spec, &mut meter)?
     } else {
@@ -94,6 +99,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         (1.0 - err) * 100.0,
         err
     ));
+    stats::trace_finish(trace_path, &mut out)?;
     if want_stats {
         stats::render(&meter, json_path, &mut out)?;
     }

@@ -11,18 +11,28 @@ use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
 tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
-           [--stats] [--stats-json FILE]
+           [--stats] [--stats-json FILE] [--trace FILE]
   M: dtw | cdtw (default, needs --w) | fastdtw | fastdtw-ref (need --radius)
      | euclidean
   --stats        print DP-cell / window / buffer counters for the evaluation
   --stats-json   also dump the counters as JSON to FILE (implies --stats)
+  --trace        record a flight-recorder trace of the evaluation to FILE
+                 (Chrome Trace Format; needs a build with --features obs)
   series files: one value per line, '#' comments allowed";
 
 /// Runs the command, returning the printable result.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let args = Args::parse(
         raw,
-        &["a", "b", "measure", "w", "radius", stats::STATS_JSON_FLAG],
+        &[
+            "a",
+            "b",
+            "measure",
+            "w",
+            "radius",
+            stats::STATS_JSON_FLAG,
+            stats::TRACE_FLAG,
+        ],
         &["znorm", stats::STATS_SWITCH],
     )?;
     let mut a = read_series(Path::new(args.required("a")?))?;
@@ -45,14 +55,17 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         }
     };
     let json_path = args.optional(stats::STATS_JSON_FLAG);
+    let trace_path = args.optional(stats::TRACE_FLAG);
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let mut meter = WorkMeter::new();
+    stats::trace_start(trace_path);
     let d = if want_stats {
         spec.eval_metered(&a, &b, &mut meter)?
     } else {
         spec.eval(&a, &b)?
     };
     let mut out = format!("{measure} distance: {d}\n");
+    stats::trace_finish(trace_path, &mut out)?;
     if measure == "cdtw" {
         let w: f64 = args.get_or("w", 10.0)?;
         let band = percent_to_band(a.len().max(b.len()), w)?;
@@ -154,6 +167,37 @@ mod tests {
         assert!(out.contains("fastdtw:"), "{out}");
         let dumped = std::fs::read_to_string(&json).unwrap();
         assert!(dumped.contains("\"fastdtw_levels\""), "{dumped}");
+    }
+
+    #[test]
+    fn trace_flag_writes_a_chrome_trace_file() {
+        let (a, b) = setup("tsdtw-dist-trace-test");
+        let trace = std::env::temp_dir()
+            .join("tsdtw-dist-trace-test")
+            .join("trace.json");
+        let out = run(&raw(&[
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "fastdtw",
+            "--radius",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("trace written"), "{out}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let parsed = tsdtw_obs::Json::parse(&text).unwrap();
+        assert!(parsed.get("traceEvents").is_some());
+        if tsdtw_obs::spans_enabled() {
+            assert!(
+                !parsed["traceEvents"].as_array().unwrap().is_empty(),
+                "obs build records span events"
+            );
+        }
     }
 
     #[test]

@@ -8,5 +8,6 @@ pub mod cluster;
 pub mod dist;
 pub mod generate;
 pub mod mine;
+pub mod report;
 pub mod search;
 pub mod window;

@@ -1,0 +1,178 @@
+//! `tsdtw report` — perf-trajectory tooling over `BENCH_*.json`
+//! snapshots (see `tsdtw_bench::snapshot` for the schema).
+//!
+//! `report diff` is the CI regression gate: deterministic work counters
+//! (DP cells, window cells, prunes) are compared hard — any growth
+//! beyond `--fail-on-regress` percent is an error and the process exits
+//! non-zero — while wall-clock and per-kernel timings only ever produce
+//! advisory warnings, so the gate stays green on noisy shared runners.
+
+use std::path::Path;
+
+use crate::args::ArgError;
+use tsdtw_bench::snapshot;
+use tsdtw_obs::Json;
+
+pub const HELP: &str = "\
+tsdtw report diff BASELINE CURRENT [--fail-on-regress PCT]
+  BASELINE, CURRENT   BENCH_<experiment>.json snapshot files (see `repro`)
+  --fail-on-regress   tolerance in percent for work-counter growth
+                      (default 0 = any growth fails); timing changes are
+                      always advisory and never fail the diff";
+
+fn load(path: &str) -> Result<Json, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(Path::new(path))
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    Json::parse(&text).map_err(|e| ArgError(format!("{path} is not valid JSON: {e}")).into())
+}
+
+/// Runs the command. `report diff` parses its operands by hand because,
+/// unlike every other subcommand, it takes positional file arguments.
+pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let Some(action) = raw.first() else {
+        return Err(Box::new(ArgError(
+            "report needs an action; see `tsdtw help report`".into(),
+        )));
+    };
+    if action != "diff" {
+        return Err(Box::new(ArgError(format!(
+            "unknown report action {action:?}; see `tsdtw help report`"
+        ))));
+    }
+
+    let mut files: Vec<&str> = Vec::new();
+    let mut fail_pct = 0.0f64;
+    let mut it = raw[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fail-on-regress" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--fail-on-regress needs a percentage".into()))?;
+                fail_pct = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--fail-on-regress: {v:?} is not a number")))?;
+                if fail_pct.is_nan() || fail_pct < 0.0 {
+                    return Err(Box::new(ArgError(
+                        "--fail-on-regress must be non-negative".into(),
+                    )));
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(Box::new(ArgError(format!("unknown flag {other:?}"))));
+            }
+            other => files.push(other),
+        }
+    }
+    let [baseline_path, current_path] = files[..] else {
+        return Err(Box::new(ArgError(format!(
+            "diff takes exactly two snapshot files, got {}",
+            files.len()
+        ))));
+    };
+
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let d = snapshot::diff(&baseline, &current, fail_pct);
+    let rendered = d.render();
+    if d.regressions.is_empty() {
+        Ok(rendered)
+    } else {
+        // Err path: main prints to stderr and exits non-zero — that IS
+        // the gate. Include the full comparison so CI logs are useful.
+        let mut msg = rendered;
+        msg.push_str(&format!(
+            "FAIL: {} work-counter regression(s) beyond {fail_pct}%:\n",
+            d.regressions.len()
+        ));
+        for r in &d.regressions {
+            msg.push_str(&format!("  {r}\n"));
+        }
+        Err(Box::new(ArgError(msg)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_obs::json_obj;
+
+    fn snap_file(dir: &Path, name: &str, cells: i64) -> String {
+        let s = json_obj! {
+            "schema" => 1,
+            "experiment" => "cells",
+            "title" => "t",
+            "git_rev" => "abc",
+            "spans_enabled" => false,
+            "env" => json_obj! { "os" => "linux" },
+            "wall_s" => 1.0,
+            "work" => json_obj! { "cells" => cells },
+            "kernels" => Json::object(),
+        };
+        let path = dir.join(name);
+        std::fs::write(&path, s.to_string_pretty()).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    fn raw(s: &[&str]) -> Vec<String> {
+        s.iter().map(|v| v.to_string()).collect()
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let d = tmpdir("tsdtw-report-same");
+        let a = snap_file(&d, "a.json", 100);
+        let b = snap_file(&d, "b.json", 100);
+        let out = run(&raw(&["diff", &a, &b])).unwrap();
+        assert!(out.contains("0 regressed"), "{out}");
+    }
+
+    #[test]
+    fn regression_is_an_error_with_details() {
+        let d = tmpdir("tsdtw-report-regress");
+        let a = snap_file(&d, "a.json", 100);
+        let b = snap_file(&d, "b.json", 150);
+        let err = run(&raw(&["diff", &a, &b])).unwrap_err().to_string();
+        assert!(err.contains("FAIL"), "{err}");
+        assert!(err.contains("work.cells"), "{err}");
+        // Loosening the tolerance past the delta lets it pass.
+        let out = run(&raw(&["diff", &a, &b, "--fail-on-regress", "75"])).unwrap();
+        assert!(out.contains("within tolerance"), "{out}");
+    }
+
+    #[test]
+    fn improvements_pass_at_zero_tolerance() {
+        let d = tmpdir("tsdtw-report-improve");
+        let a = snap_file(&d, "a.json", 100);
+        let b = snap_file(&d, "b.json", 80);
+        let out = run(&raw(&["diff", &a, &b])).unwrap();
+        assert!(out.contains("1 improved"), "{out}");
+    }
+
+    #[test]
+    fn bad_usage_is_rejected() {
+        let d = tmpdir("tsdtw-report-usage");
+        let a = snap_file(&d, "a.json", 1);
+        assert!(run(&raw(&[])).is_err(), "missing action");
+        assert!(run(&raw(&["frobnicate"])).is_err(), "unknown action");
+        assert!(run(&raw(&["diff", &a])).is_err(), "one file");
+        assert!(
+            run(&raw(&["diff", &a, &a, "--fail-on-regress", "x"])).is_err(),
+            "non-numeric tolerance"
+        );
+        assert!(
+            run(&raw(&["diff", &a, &a, "--fail-on-regress", "-1"])).is_err(),
+            "negative tolerance"
+        );
+        assert!(
+            run(&raw(&["diff", &a, "/nonexistent/b.json"])).is_err(),
+            "missing file"
+        );
+    }
+}

@@ -12,17 +12,26 @@ use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
 tsdtw search --haystack FILE --query FILE [--w PCT] [--top K]
-             [--stats] [--stats-json FILE]
+             [--stats] [--stats-json FILE] [--trace FILE]
   z-normalizes the query and every candidate window (UCR practice) and
   reports the best match(es) under cDTW_w with pruning statistics
   --stats        print DP-cell / lower-bound / prune counters for the search
-  --stats-json   also dump the counters as JSON to FILE (implies --stats)";
+  --stats-json   also dump the counters as JSON to FILE (implies --stats)
+  --trace        record a flight-recorder trace of the search to FILE
+                 (Chrome Trace Format; needs a build with --features obs)";
 
 /// Runs the command, returning the printable result.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let args = Args::parse(
         raw,
-        &["haystack", "query", "w", "top", stats::STATS_JSON_FLAG],
+        &[
+            "haystack",
+            "query",
+            "w",
+            "top",
+            stats::STATS_JSON_FLAG,
+            stats::TRACE_FLAG,
+        ],
         &[stats::STATS_SWITCH],
     )?;
     let haystack = read_series(Path::new(args.required("haystack")?))?;
@@ -31,8 +40,10 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let band = percent_to_band(query.len(), w)?;
     let k: usize = args.get_or("top", 1)?;
     let json_path = args.optional(stats::STATS_JSON_FLAG);
+    let trace_path = args.optional(stats::TRACE_FLAG);
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let mut meter = WorkMeter::new();
+    stats::trace_start(trace_path);
 
     let mut out = format!(
         "haystack {} points, query {} points, w = {w}% (band {band})\n",
@@ -65,6 +76,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             ));
         }
     }
+    stats::trace_finish(trace_path, &mut out)?;
     if want_stats {
         stats::render(&meter, json_path, &mut out)?;
     }

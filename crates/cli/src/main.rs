@@ -7,6 +7,7 @@
 //! tsdtw window    brute-force optimal-warping-window search (the Fig. 2a procedure)
 //! tsdtw cluster   hierarchical / k-medoids clustering under cDTW
 //! tsdtw generate  write this workspace's synthetic datasets to disk
+//! tsdtw report    perf-snapshot diffing (the CI regression gate)
 //! tsdtw help [command]
 //! ```
 
@@ -30,6 +31,7 @@ commands:
   discord   most anomalous subsequence in a series
   bakeoff   Euclidean vs cDTW vs FastDTW 1-NN accuracy over an archive directory
   generate  synthetic dataset generation
+  report    perf-trajectory tooling (report diff = the regression gate)
   help      this message, or per-command help";
 
 fn command_help(name: &str) -> Option<&'static str> {
@@ -43,6 +45,7 @@ fn command_help(name: &str) -> Option<&'static str> {
         "discord" => Some(commands::mine::HELP_DISCORD),
         "bakeoff" => Some(commands::bakeoff::HELP),
         "generate" => Some(commands::generate::HELP),
+        "report" => Some(commands::report::HELP),
         _ => None,
     }
 }
@@ -65,6 +68,7 @@ fn main() -> ExitCode {
         "discord" => commands::mine::run_discord(rest),
         "bakeoff" => commands::bakeoff::run(rest),
         "generate" => commands::generate::run(rest),
+        "report" => commands::report::run(rest),
         "help" | "--help" | "-h" => {
             match rest.first().and_then(|n| command_help(n)) {
                 Some(h) => println!("{h}"),

@@ -1,17 +1,77 @@
 //! Shared `--stats` rendering: every command that accepts the flag funnels
 //! its [`WorkMeter`] through here for the human-readable counter block and
-//! the optional `--stats-json FILE` dump.
+//! the optional `--stats-json FILE` dump. The `--trace FILE` flag shares
+//! this module too: it arms the flight recorder before the command's work
+//! and exports the resulting Chrome-trace file afterwards.
 
-use tsdtw_obs::{take_spans, WorkMeter};
+use std::path::Path;
+use tsdtw_obs::{recorder_start, recorder_stop, take_spans, WorkMeter, DEFAULT_TRACE_CAPACITY};
 
 /// Flag names shared by all `--stats`-capable commands.
 pub const STATS_SWITCH: &str = "stats";
 /// Value flag naming the JSON dump file.
 pub const STATS_JSON_FLAG: &str = "stats-json";
+/// Value flag naming the Chrome-trace output file.
+pub const TRACE_FLAG: &str = "trace";
+
+/// Writes `text` to `path` atomically: temp file in the same directory,
+/// then rename — the same discipline as `Report::write_json`, so a
+/// concurrent reader (or a crash mid-write) never observes a torn file.
+pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("{} has no file name", path.display())))?;
+    let tmp = dir.join(format!(".{}.tmp", name.to_string_lossy()));
+    std::fs::write(&tmp, text)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Arms the flight recorder if the command was given `--trace FILE`.
+/// Call before the command's real work; pair with [`trace_finish`].
+pub fn trace_start(trace_path: Option<&str>) {
+    if trace_path.is_some() {
+        recorder_start(DEFAULT_TRACE_CAPACITY);
+    }
+}
+
+/// Stops the recorder and writes the Chrome-trace file named by
+/// `--trace FILE`, appending a note (and the per-span summary table) to
+/// `out`. A no-op when the flag was absent.
+pub fn trace_finish(
+    trace_path: Option<&str>,
+    out: &mut String,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = trace_path else {
+        return Ok(());
+    };
+    let Some(trace) = recorder_stop() else {
+        return Ok(());
+    };
+    write_atomic(Path::new(path), &trace.chrome_json().to_string_compact())?;
+    out.push_str(&format!(
+        "trace written to {path} (open in Perfetto / chrome://tracing)\n"
+    ));
+    out.push_str(&trace.summary_table());
+    if !tsdtw_obs::spans_enabled() {
+        out.push_str("note: built without --features obs; the trace has no span events\n");
+    }
+    Ok(())
+}
 
 /// Appends the meter's counter summary to `out` and, when `json_path` is
-/// given, writes the meter's `work` JSON there. Timing spans (collected
-/// only under the `obs` feature) are drained and appended when present.
+/// given, writes the meter's `work` JSON there (atomically). Timing spans
+/// (collected only under the `obs` feature) are drained and appended with
+/// their latency profile when present.
 pub fn render(
     meter: &WorkMeter,
     json_path: Option<&str>,
@@ -22,15 +82,22 @@ pub fn render(
     let spans = take_spans();
     if !spans.is_empty() {
         out.push_str("-- spans --\n");
+        out.push_str(&format!(
+            "  {:<24} {:>8}  {:>12}  {:>10}  {:>10}  {:>10}\n",
+            "span", "count", "total", "p50", "p99", "max"
+        ));
         for s in &spans {
             out.push_str(&format!(
-                "  {:<24} {:>8}x  {:>12.6}s total\n",
-                s.label, s.count, s.total_s
+                "  {:<24} {:>8}x  {:>11.6}s  {:>9.6}s  {:>9.6}s  {:>9.6}s\n",
+                s.label, s.count, s.total_s, s.p50_s, s.p99_s, s.max_s
             ));
         }
     }
     if let Some(path) = json_path {
-        std::fs::write(path, format!("{}\n", meter.report().to_string_pretty()))?;
+        write_atomic(
+            Path::new(path),
+            &format!("{}\n", meter.report().to_string_pretty()),
+        )?;
         out.push_str(&format!("work JSON written to {path}\n"));
     }
     Ok(())
@@ -55,6 +122,8 @@ mod tests {
         assert!(out.contains("work JSON written"), "{out}");
         let dumped = std::fs::read_to_string(&path).unwrap();
         assert!(dumped.contains("\"cells\""), "{dumped}");
+        // The atomic write leaves no temp file behind.
+        assert!(!dir.join(".work.json.tmp").exists());
     }
 
     #[test]
@@ -63,5 +132,44 @@ mod tests {
         let mut out = String::new();
         render(&meter, None, &mut out).unwrap();
         assert!(!out.contains("work JSON written"));
+    }
+
+    #[test]
+    fn write_atomic_handles_bare_file_names() {
+        let dir = std::env::temp_dir().join("tsdtw-stats-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prev = std::env::current_dir().unwrap();
+        // Bare names (no parent component) must land in the cwd.
+        std::env::set_current_dir(&dir).unwrap();
+        write_atomic(Path::new("bare.json"), "{}").unwrap();
+        let ok = std::fs::read_to_string(dir.join("bare.json"));
+        std::env::set_current_dir(prev).unwrap();
+        assert_eq!(ok.unwrap(), "{}");
+    }
+
+    #[test]
+    fn trace_flow_writes_a_valid_chrome_trace() {
+        let dir = std::env::temp_dir().join("tsdtw-stats-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let path_str = path.to_str().unwrap().to_string();
+        trace_start(Some(&path_str));
+        {
+            let _s = tsdtw_obs::span("cli_stats_test");
+        }
+        let mut out = String::new();
+        trace_finish(Some(&path_str), &mut out).unwrap();
+        assert!(out.contains("trace written"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = tsdtw_obs::Json::parse(&text).unwrap();
+        assert!(parsed.get("traceEvents").is_some());
+        let _ = take_spans();
+    }
+
+    #[test]
+    fn trace_finish_without_flag_is_a_no_op() {
+        let mut out = String::new();
+        trace_finish(None, &mut out).unwrap();
+        assert!(out.is_empty());
     }
 }

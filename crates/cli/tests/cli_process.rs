@@ -27,7 +27,7 @@ fn no_arguments_prints_help_and_succeeds() {
 fn help_for_each_command() {
     for cmd in [
         "dist", "classify", "search", "window", "cluster", "motif", "discord", "bakeoff",
-        "generate",
+        "generate", "report",
     ] {
         let out = bin().args(["help", cmd]).output().unwrap();
         assert!(out.status.success(), "{cmd}");
@@ -134,6 +134,142 @@ fn generate_classify_pipeline() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("accuracy:"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Writes a minimal-but-valid perf snapshot for `report diff` tests.
+fn write_snapshot(path: &std::path::Path, cells: u64, wall_s: f64) {
+    let text = format!(
+        "{{\"schema\": 1, \"experiment\": \"cells\", \"title\": \"t\", \
+          \"git_rev\": \"abc\", \"spans_enabled\": false, \
+          \"env\": {{\"os\": \"linux\"}}, \"wall_s\": {wall_s}, \
+          \"work\": {{\"cells\": {cells}}}, \"kernels\": {{}}}}"
+    );
+    std::fs::write(path, text).unwrap();
+}
+
+#[test]
+fn report_diff_passes_on_equal_snapshots_and_fails_on_regression() {
+    let dir = workdir("report-diff");
+    let base = dir.join("base.json");
+    let same = dir.join("same.json");
+    let worse = dir.join("worse.json");
+    write_snapshot(&base, 1000, 1.0);
+    write_snapshot(&same, 1000, 1.0);
+    write_snapshot(&worse, 1200, 1.0);
+
+    // Equal work: exit 0, summary on stdout.
+    let out = bin()
+        .args([
+            "report",
+            "diff",
+            base.to_str().unwrap(),
+            same.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 regressed"), "{text}");
+
+    // +20 % work at zero tolerance: non-zero exit, detail on stderr.
+    let out = bin()
+        .args([
+            "report",
+            "diff",
+            base.to_str().unwrap(),
+            worse.to_str().unwrap(),
+            "--fail-on-regress",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "regression must exit non-zero");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(text.contains("work.cells"), "{text}");
+
+    // The same pair passes once the tolerance covers the delta.
+    let out = bin()
+        .args([
+            "report",
+            "diff",
+            base.to_str().unwrap(),
+            worse.to_str().unwrap(),
+            "--fail-on-regress",
+            "25",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_diff_warns_on_timing_but_does_not_fail() {
+    let dir = workdir("report-timing");
+    let base = dir.join("base.json");
+    let slow = dir.join("slow.json");
+    write_snapshot(&base, 1000, 1.0);
+    write_snapshot(&slow, 1000, 50.0);
+    let out = bin()
+        .args([
+            "report",
+            "diff",
+            base.to_str().unwrap(),
+            slow.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "timing changes are advisory: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("advisory"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dist_trace_flag_emits_chrome_trace_json() {
+    let dir = workdir("dist-trace");
+    let a = dir.join("a.txt");
+    let b = dir.join("b.txt");
+    std::fs::write(&a, "0\n1\n2\n1\n0\n").unwrap();
+    std::fs::write(&b, "0\n0\n1\n2\n1\n").unwrap();
+    let trace = dir.join("trace.json");
+    let out = bin()
+        .args([
+            "dist",
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "fastdtw",
+            "--radius",
+            "1",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.contains("\"traceEvents\""), "{text}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

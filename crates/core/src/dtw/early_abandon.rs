@@ -101,6 +101,7 @@ pub fn cdtw_distance_ea_metered<C: CostFn, M: Meter>(
             });
         }
     }
+    let _span = tsdtw_obs::span("dtw_ea");
     let n = x.len();
     let window = SearchWindow::sakoe_chiba(n, y.len(), band);
 

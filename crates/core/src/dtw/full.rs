@@ -19,6 +19,7 @@ pub fn dtw_distance<C: CostFn>(x: &[f64], y: &[f64], cost: C) -> Result<f64> {
     check_nonempty("y", y)?;
     check_finite("x", x)?;
     check_finite("y", y)?;
+    let _span = tsdtw_obs::span("dtw_full");
     // Put the shorter series on the columns so the rolling rows are minimal.
     let (rows, cols) = if x.len() >= y.len() { (x, y) } else { (y, x) };
     let m = cols.len();

@@ -42,6 +42,7 @@ pub fn pruned_dtw_distance<C: CostFn>(
             reason: format!("must be a non-negative bound, got {upper_bound}"),
         });
     }
+    let _span = tsdtw_obs::span("dtw_pruned");
     let n = x.len();
     let m = y.len();
     let ub = upper_bound;

@@ -102,6 +102,7 @@ pub fn windowed_distance_metered<C: CostFn, M: Meter>(
     meter: &mut M,
 ) -> Result<f64> {
     check_inputs(x, y, window)?;
+    let _span = tsdtw_obs::span("dtw_windowed");
     let n = x.len();
 
     let width = (0..n)
@@ -193,6 +194,7 @@ pub fn windowed_with_path_metered<C: CostFn, M: Meter>(
     meter: &mut M,
 ) -> Result<(f64, WarpingPath)> {
     check_inputs(x, y, window)?;
+    let _span = tsdtw_obs::span("dtw_windowed");
     let n = x.len();
     let m = y.len();
 

@@ -35,6 +35,7 @@ impl Envelope {
     pub fn new(q: &[f64], band: usize) -> Result<Self> {
         check_nonempty("q", q)?;
         check_finite("q", q)?;
+        let _span = tsdtw_obs::span("envelope");
         Ok(lemire(q, band))
     }
 

@@ -147,6 +147,7 @@ fn recurse<C: CostFn, M: Meter>(
                 base_case: true,
             });
         }
+        let _span = tsdtw_obs::span("fastdtw_base");
         let window = SearchWindow::full(x.len(), y.len());
         return windowed_with_path_metered(x, y, &window, cost, meter);
     }
@@ -155,7 +156,11 @@ fn recurse<C: CostFn, M: Meter>(
     let shrunk_y = halve(y);
     let (_, low_res_path) = recurse(&shrunk_x, &shrunk_y, radius, cost, stats, depth + 1, meter)?;
 
-    let window = SearchWindow::from_low_res_path(&low_res_path, x.len(), y.len(), radius);
+    let _span = tsdtw_obs::span("fastdtw_level");
+    let window = {
+        let _expand = tsdtw_obs::span("fastdtw_expand");
+        SearchWindow::from_low_res_path(&low_res_path, x.len(), y.len(), radius)
+    };
     let window_cells = window.cell_count() as u64;
     stats.cells += window_cells;
     if meter.enabled() {

@@ -84,6 +84,7 @@ fn recurse<C: CostFn, M: Meter>(
     // Reference: `if len(x) < min_time_size` — strictly less-than.
     let min_time_size = radius + 2;
     if x.len() < min_time_size || y.len() < min_time_size {
+        let _span = tsdtw_obs::span("fastdtw_ref_base");
         let window = full_window(x.len(), y.len());
         if meter.enabled() {
             meter.fastdtw_level(FastDtwLevel {
@@ -100,7 +101,11 @@ fn recurse<C: CostFn, M: Meter>(
     let shrunk_x = reduce_by_half(x);
     let shrunk_y = reduce_by_half(y);
     let (_, low_path) = recurse(&shrunk_x, &shrunk_y, radius, cost, meter);
-    let window = expand_window(&low_path, x.len(), y.len(), radius);
+    let _span = tsdtw_obs::span("fastdtw_ref_level");
+    let window = {
+        let _expand = tsdtw_obs::span("fastdtw_ref_expand");
+        expand_window(&low_path, x.len(), y.len(), radius)
+    };
     if meter.enabled() {
         let projected = expand_window(&low_path, x.len(), y.len(), 0).len() as u64;
         meter.fastdtw_level(FastDtwLevel {

@@ -217,30 +217,40 @@ impl Cascade {
         };
 
         // Stage 1: LB_Kim.
-        meter.lb(LbKind::Kim);
-        let kim = lb_kim_hierarchy(&self.query, candidate, bsf)?;
+        let kim = {
+            let _stage = tsdtw_obs::span("lb_kim");
+            meter.lb(LbKind::Kim);
+            lb_kim_hierarchy(&self.query, candidate, bsf)?
+        };
         if kim >= bsf {
             return dispose(&mut self.stats, meter, PruneStage::Kim, kim);
         }
 
         // Stage 2: reordered early-abandoning LB_Keogh(q -> c).
-        meter.lb(LbKind::Keogh);
-        let keogh_qc = lb_keogh_reordered(candidate, &self.env, &self.order, bsf)?;
+        let keogh_qc = {
+            let _stage = tsdtw_obs::span("lb_keogh_qc");
+            meter.lb(LbKind::Keogh);
+            lb_keogh_reordered(candidate, &self.env, &self.order, bsf)?
+        };
         if keogh_qc >= bsf {
             return dispose(&mut self.stats, meter, PruneStage::KeoghQC, keogh_qc);
         }
 
         // Stage 3: LB_Keogh(c -> q) with the candidate's own envelope.
-        let cand_env = Envelope::new(candidate, self.band)?;
-        meter.envelope_built(candidate.len() as u64);
-        meter.lb(LbKind::Keogh);
-        let keogh_cq = lb_keogh_ea(&self.query, &cand_env, bsf)?;
+        let keogh_cq = {
+            let _stage = tsdtw_obs::span("lb_keogh_cq");
+            let cand_env = Envelope::new(candidate, self.band)?;
+            meter.envelope_built(candidate.len() as u64);
+            meter.lb(LbKind::Keogh);
+            lb_keogh_ea(&self.query, &cand_env, bsf)?
+        };
         if keogh_cq >= bsf {
             return dispose(&mut self.stats, meter, PruneStage::KeoghCQ, keogh_cq);
         }
 
         // Stage 4: early-abandoning DTW seeded with the cumulative bound
         // from the query-envelope pass (recomputed with per-index detail).
+        let _stage = tsdtw_obs::span("cascade_dtw");
         meter.lb(LbKind::Keogh);
         let _ = lb_keogh_with_contrib(candidate, &self.env, &mut self.contrib)?;
         let cb = suffix_sums(&self.contrib);

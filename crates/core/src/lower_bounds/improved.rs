@@ -25,6 +25,7 @@ pub fn lb_improved(q: &[f64], c: &[f64], env: &Envelope, band: usize) -> Result<
             y_len: env.len(),
         });
     }
+    let _span = tsdtw_obs::span("lb_improved");
     let first = lb_keogh(c, env)?;
     // Project the candidate onto the query's envelope.
     let h: Vec<f64> = c

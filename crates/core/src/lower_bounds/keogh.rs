@@ -43,6 +43,7 @@ fn check_len(c: &[f64], env: &Envelope) -> Result<()> {
 /// Plain LB_Keogh of candidate `c` against the envelope of the query.
 pub fn lb_keogh(c: &[f64], env: &Envelope) -> Result<f64> {
     check_len(c, env)?;
+    let _span = tsdtw_obs::span("lb_keogh");
     Ok(c.iter()
         .zip(env.upper.iter().zip(&env.lower))
         .map(|(&ci, (&u, &l))| excursion(ci, u, l))

@@ -19,6 +19,7 @@ pub fn lb_yi(q: &[f64], c: &[f64]) -> Result<f64> {
     check_nonempty("c", c)?;
     check_finite("q", q)?;
     check_finite("c", c)?;
+    let _span = tsdtw_obs::span("lb_yi");
     let qmax = q.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let qmin = q.iter().cloned().fold(f64::INFINITY, f64::min);
     Ok(c.iter()

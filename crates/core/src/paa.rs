@@ -58,6 +58,7 @@ pub fn paa(src: &[f64], n_segments: usize) -> Result<Vec<f64>> {
 /// final unpaired sample becomes its own coarse point, so a series of
 /// length `2k + 1` coarsens to length `k + 1` and no data is dropped.
 pub fn halve(src: &[f64]) -> Vec<f64> {
+    let _span = tsdtw_obs::span("paa_halve");
     let mut out = Vec::with_capacity(src.len().div_ceil(2));
     let mut chunks = src.chunks_exact(2);
     for pair in &mut chunks {

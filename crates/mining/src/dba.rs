@@ -43,6 +43,7 @@ pub fn dba(series: &[Vec<f64>], iterations: usize) -> Result<DbaResult> {
     let mut trace = vec![inertia(series, &average)?];
 
     for _ in 0..iterations {
+        let _span = tsdtw_obs::span("dba_iteration");
         let m = average.len();
         let mut sums = vec![0.0; m];
         let mut counts = vec![0usize; m];

@@ -17,18 +17,35 @@
 //! * [`Json`] / [`ToJson`] — a small ordered JSON value used for bench
 //!   `Report`s, the repro `work` sections, and the CLI `--stats-json`
 //!   dump. Insertion order is preserved so reports diff cleanly.
+//!   [`Json::parse`] reads documents back in for the perf-trajectory
+//!   diff tooling.
 //! * [`span`] — feature-gated timing probes (`--features spans`).
 //!   Disabled, a span is a unit struct and the probe vanishes; enabled,
-//!   per-label call counts and wall time accumulate in a thread-local
-//!   table drained by [`take_spans`].
+//!   per-label call counts, wall time, and a latency histogram
+//!   accumulate in a thread-local table drained by [`take_spans`].
+//! * [`recorder_start`] / [`recorder_stop`] — the flight recorder: a
+//!   fixed-capacity ring of structured begin/end span events with
+//!   nesting intact, exportable as a Chrome Trace Format file
+//!   ([`Trace::chrome_json`], openable in Perfetto) or a compact
+//!   per-span summary table.
+//! * [`LatencyHist`] — the log-linear (HDR-style) histogram behind
+//!   every latency quantile in the workspace, with the nearest-rank
+//!   percentile convention pinned by [`nearest_rank`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod hist;
 mod json;
 mod meter;
+mod recorder;
 mod span;
 
-pub use json::{Json, ToJson};
+pub use hist::{nearest_rank, LatencyHist};
+pub use json::{Json, JsonParseError, ToJson};
 pub use meter::{FastDtwLevel, LbKind, Meter, NoMeter, StageTag, WorkMeter};
+pub use recorder::{
+    recorder_active, recorder_start, recorder_stop, Recorder, Trace, TraceEvent, TracePhase,
+    TraceSummaryRow, DEFAULT_TRACE_CAPACITY,
+};
 pub use span::{span, spans_enabled, take_spans, SpanGuard, SpanStat};

@@ -1,0 +1,476 @@
+//! The flight recorder: a fixed-capacity ring buffer of structured span
+//! events.
+//!
+//! The per-label aggregate table in [`span`](crate::span) answers "how
+//! much time went to each kernel"; the flight recorder answers *where in
+//! the run* it went. While a recorder is active on a thread, every span
+//! guard additionally appends a begin event on open and an end event on
+//! drop, with the parent/child structure (nesting depth) intact — a
+//! FastDTW invocation shows each resolution level, its window
+//! expansion, and the PAA coarsening as individually timed children.
+//!
+//! The buffer is a *flight recorder* in the avionics sense: fixed
+//! capacity chosen up front, oldest events overwritten first, so an
+//! arbitrarily long run keeps the last N events at a bounded, constant
+//! memory and per-event cost. Dropped events are counted, never
+//! silently lost.
+//!
+//! Two exporters:
+//! * [`Trace::chrome_json`] — the Chrome Trace Format (the
+//!   `traceEvents` array of `ph: "B"` / `"E"` records), openable
+//!   directly in [Perfetto](https://ui.perfetto.dev) or
+//!   `chrome://tracing`. Only balanced begin/end pairs are exported, so
+//!   the file is always well-formed even after ring wrap-around.
+//! * [`Trace::summary_table`] — a compact per-label table (count,
+//!   total, p50/p99/max from a [`LatencyHist`]) for terminal output.
+//!
+//! Recording is wired through the feature-gated span probes: with the
+//! `spans` cargo feature off, spans compile to nothing, no events are
+//! ever produced, and [`recorder_stop`] returns an empty (but valid)
+//! trace. The [`Recorder`]/[`Trace`] types themselves are always
+//! available, so exporters and tests are feature-independent.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::hist::LatencyHist;
+use crate::json::Json;
+
+/// Default ring capacity used by CLI `--trace` (events, not spans; one
+/// span is two events).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Whether a [`TraceEvent`] opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// The span opened (guard created).
+    Begin,
+    /// The span closed (guard dropped).
+    End,
+}
+
+/// One structured event in the flight-recorder ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// The span label (same label as the aggregate table).
+    pub label: &'static str,
+    /// Begin or end.
+    pub phase: TracePhase,
+    /// Microseconds since the recorder started.
+    pub ts_us: f64,
+    /// Nesting depth of the span this event belongs to (0 = root).
+    pub depth: u32,
+    /// Identifier pairing this event with its begin/end partner,
+    /// unique per recorder.
+    pub span_id: u64,
+}
+
+/// A fixed-capacity ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct Recorder {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    depth: u32,
+    next_id: u64,
+    epoch: Instant,
+}
+
+impl Recorder {
+    /// A recorder holding at most `capacity` events (clamped to ≥ 2,
+    /// one begin/end pair).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        Recorder {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+            depth: 0,
+            next_id: 0,
+            epoch: Instant::now(),
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Records a begin event, returning the span id its end must echo.
+    pub fn begin(&mut self, label: &'static str) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let depth = self.depth;
+        self.depth += 1;
+        self.push(TraceEvent {
+            label,
+            phase: TracePhase::Begin,
+            ts_us: self.epoch.elapsed().as_secs_f64() * 1e6,
+            depth,
+            span_id: id,
+        });
+        id
+    }
+
+    /// Records the end event matching [`begin`](Recorder::begin).
+    pub fn end(&mut self, label: &'static str, span_id: u64) {
+        self.depth = self.depth.saturating_sub(1);
+        let depth = self.depth;
+        self.push(TraceEvent {
+            label,
+            phase: TracePhase::End,
+            ts_us: self.epoch.elapsed().as_secs_f64() * 1e6,
+            depth,
+            span_id,
+        });
+    }
+
+    /// Stops recording and yields the retained events.
+    pub fn finish(self) -> Trace {
+        Trace {
+            events: self.events.into_iter().collect(),
+            dropped: self.dropped,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// The drained contents of a [`Recorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by ring wrap-around.
+    pub dropped: u64,
+    /// The ring capacity the trace was recorded with.
+    pub capacity: usize,
+}
+
+impl Trace {
+    /// Span ids with both a begin and an end retained in the ring —
+    /// the set the exporters emit, guaranteeing balance.
+    fn balanced_ids(&self) -> std::collections::HashSet<u64> {
+        let mut begun = std::collections::HashSet::new();
+        let mut balanced = std::collections::HashSet::new();
+        for ev in &self.events {
+            match ev.phase {
+                TracePhase::Begin => {
+                    begun.insert(ev.span_id);
+                }
+                TracePhase::End => {
+                    if begun.contains(&ev.span_id) {
+                        balanced.insert(ev.span_id);
+                    }
+                }
+            }
+        }
+        balanced
+    }
+
+    /// The trace in Chrome Trace Format, openable in Perfetto or
+    /// `chrome://tracing`.
+    ///
+    /// Only balanced begin/end pairs are emitted (ring eviction can
+    /// orphan the oldest events), so the `traceEvents` stream is always
+    /// properly nested. Drop accounting lands in `otherData`.
+    pub fn chrome_json(&self) -> Json {
+        let balanced = self.balanced_ids();
+        let mut events = Json::array();
+        for ev in &self.events {
+            if !balanced.contains(&ev.span_id) {
+                continue;
+            }
+            events.push(crate::json_obj! {
+                "name" => ev.label,
+                "cat" => "tsdtw",
+                "ph" => match ev.phase {
+                    TracePhase::Begin => "B",
+                    TracePhase::End => "E",
+                },
+                "ts" => ev.ts_us,
+                "pid" => 1,
+                "tid" => 1,
+                "args" => crate::json_obj! {
+                    "depth" => ev.depth,
+                    "span_id" => ev.span_id,
+                },
+            });
+        }
+        crate::json_obj! {
+            "traceEvents" => events,
+            "displayTimeUnit" => "ms",
+            "otherData" => crate::json_obj! {
+                "source" => "tsdtw flight recorder",
+                "capacity" => self.capacity,
+                "dropped_events" => self.dropped,
+                "spans_feature" => crate::spans_enabled(),
+            },
+        }
+    }
+
+    /// Per-label aggregation over the balanced spans: count, total
+    /// time, and a latency histogram of span durations.
+    pub fn summary(&self) -> Vec<TraceSummaryRow> {
+        let balanced = self.balanced_ids();
+        let mut open: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+        let mut rows: Vec<TraceSummaryRow> = Vec::new();
+        for ev in &self.events {
+            if !balanced.contains(&ev.span_id) {
+                continue;
+            }
+            match ev.phase {
+                TracePhase::Begin => {
+                    open.insert(ev.span_id, ev.ts_us);
+                }
+                TracePhase::End => {
+                    let Some(begin_us) = open.remove(&ev.span_id) else {
+                        continue;
+                    };
+                    let dur_s = (ev.ts_us - begin_us).max(0.0) * 1e-6;
+                    let row = match rows.iter_mut().find(|r| r.label == ev.label) {
+                        Some(row) => row,
+                        None => {
+                            rows.push(TraceSummaryRow {
+                                label: ev.label,
+                                count: 0,
+                                total_s: 0.0,
+                                hist: LatencyHist::new(),
+                            });
+                            rows.last_mut().expect("just pushed")
+                        }
+                    };
+                    row.count += 1;
+                    row.total_s += dur_s;
+                    row.hist.record_s(dur_s);
+                }
+            }
+        }
+        rows
+    }
+
+    /// The compact per-span summary table for terminal output.
+    pub fn summary_table(&self) -> String {
+        let rows = self.summary();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24}{:>10}{:>14}{:>12}{:>12}{:>12}\n",
+            "span", "count", "total", "p50", "p99", "max"
+        ));
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<24}{:>10}{:>14.6}{:>12.9}{:>12.9}{:>12.9}\n",
+                r.label,
+                r.count,
+                r.total_s,
+                r.hist.percentile_s(0.5),
+                r.hist.percentile_s(0.99),
+                r.hist.max_s(),
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "({} older events dropped at ring capacity {})\n",
+                self.dropped, self.capacity
+            ));
+        }
+        out
+    }
+}
+
+/// One row of [`Trace::summary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummaryRow {
+    /// The span label.
+    pub label: &'static str,
+    /// Completed (balanced) spans with this label.
+    pub count: u64,
+    /// Total seconds across those spans.
+    pub total_s: f64,
+    /// Duration distribution.
+    pub hist: LatencyHist,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Starts (or restarts) the flight recorder on this thread with the
+/// given ring capacity. Span guards opened after this call record
+/// begin/end events until [`recorder_stop`].
+pub fn recorder_start(capacity: usize) {
+    ACTIVE.with(|a| *a.borrow_mut() = Some(Recorder::new(capacity)));
+}
+
+/// Stops this thread's recorder and returns its trace; `None` when no
+/// recorder was active. Without the `spans` cargo feature the trace is
+/// empty (the probes compile away) but still exports as a valid file.
+pub fn recorder_stop() -> Option<Trace> {
+    ACTIVE.with(|a| a.borrow_mut().take()).map(Recorder::finish)
+}
+
+/// Whether a recorder is active on this thread.
+pub fn recorder_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Span-guard hook: begin event if a recorder is active.
+#[cfg_attr(not(feature = "spans"), allow(dead_code))]
+pub(crate) fn recorder_begin(label: &'static str) -> Option<u64> {
+    ACTIVE.with(|a| a.borrow_mut().as_mut().map(|r| r.begin(label)))
+}
+
+/// Span-guard hook: end event matching `recorder_begin`.
+#[cfg_attr(not(feature = "spans"), allow(dead_code))]
+pub(crate) fn recorder_end(label: &'static str, span_id: Option<u64>) {
+    if let Some(id) = span_id {
+        ACTIVE.with(|a| {
+            if let Some(r) = a.borrow_mut().as_mut() {
+                r.end(label, id);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        label: &'static str,
+        phase: TracePhase,
+        ts_us: f64,
+        depth: u32,
+        span_id: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            label,
+            phase,
+            ts_us,
+            depth,
+            span_id,
+        }
+    }
+
+    #[test]
+    fn recorder_nests_and_balances() {
+        let mut r = Recorder::new(64);
+        let a = r.begin("outer");
+        let b = r.begin("inner");
+        r.end("inner", b);
+        r.end("outer", a);
+        let t = r.finish();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.events[0].depth, 0);
+        assert_eq!(t.events[1].depth, 1);
+        // Timestamps never go backwards.
+        for w in t.events.windows(2) {
+            assert!(w[1].ts_us >= w[0].ts_us);
+        }
+        let rows = t.summary();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "inner"); // inner closes first
+        assert_eq!(rows[0].count, 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest_first_and_counts_drops() {
+        let mut r = Recorder::new(4);
+        for i in 0..3 {
+            let id = r.begin("s");
+            r.end("s", id);
+            let _ = i;
+        }
+        let t = r.finish();
+        // 6 events through a 4-slot ring: the first pair was evicted.
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 2);
+        assert_eq!(t.events[0].span_id, 1, "oldest events go first");
+        // The evicted pair is gone from the export; what's left balances.
+        let chrome = t.chrome_json();
+        let events = chrome["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn chrome_export_is_balanced_after_partial_eviction() {
+        // Hand-built pathological ring contents: an orphan End (its Begin
+        // was evicted) and an unclosed Begin must both be filtered out.
+        let t = Trace {
+            events: vec![
+                ev("lost_begin", TracePhase::End, 1.0, 0, 7),
+                ev("ok", TracePhase::Begin, 2.0, 0, 8),
+                ev("ok", TracePhase::End, 3.0, 0, 8),
+                ev("still_open", TracePhase::Begin, 4.0, 0, 9),
+            ],
+            dropped: 1,
+            capacity: 4,
+        };
+        let chrome = t.chrome_json();
+        let events = chrome["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["ph"], "B");
+        assert_eq!(events[1]["ph"], "E");
+        assert_eq!(events[0]["name"], "ok");
+        assert_eq!(chrome["otherData"]["dropped_events"], 1u64);
+    }
+
+    #[test]
+    fn chrome_export_nesting_is_stack_disciplined() {
+        let mut r = Recorder::new(64);
+        let a = r.begin("fastdtw");
+        let b = r.begin("fastdtw_level");
+        r.end("fastdtw_level", b);
+        let c = r.begin("fastdtw_level");
+        r.end("fastdtw_level", c);
+        r.end("fastdtw", a);
+        let chrome = r.finish().chrome_json();
+        let events = chrome["traceEvents"].as_array().unwrap();
+        // Replay the B/E stream against a stack: it must never underflow
+        // and must end empty.
+        let mut stack: Vec<String> = Vec::new();
+        for e in events {
+            match e["ph"].as_str().unwrap() {
+                "B" => stack.push(e["name"].as_str().unwrap().to_string()),
+                "E" => {
+                    let top = stack.pop().expect("E without open B");
+                    assert_eq!(top, e["name"].as_str().unwrap());
+                }
+                other => panic!("unexpected phase {other}"),
+            }
+        }
+        assert!(stack.is_empty(), "unclosed spans in export");
+    }
+
+    #[test]
+    fn summary_table_mentions_labels_and_drops() {
+        let mut r = Recorder::new(2);
+        for _ in 0..3 {
+            let id = r.begin("kernel");
+            r.end("kernel", id);
+        }
+        let t = r.finish();
+        let table = t.summary_table();
+        assert!(table.contains("kernel"), "{table}");
+        assert!(table.contains("dropped"), "{table}");
+    }
+
+    #[test]
+    fn thread_local_recorder_roundtrip() {
+        assert!(!recorder_active());
+        assert!(recorder_stop().is_none());
+        recorder_start(16);
+        assert!(recorder_active());
+        if let Some(id) = recorder_begin("tl_span") {
+            recorder_end("tl_span", Some(id));
+        }
+        let t = recorder_stop().expect("was active");
+        assert!(!recorder_active());
+        assert_eq!(t.capacity, 16);
+        assert_eq!(t.events.len(), 2);
+    }
+}

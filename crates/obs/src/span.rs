@@ -1,11 +1,20 @@
 //! Feature-gated timing spans.
 //!
-//! A span brackets a region of interest — a DTW kernel, a mining loop
-//! iteration batch — with a label. With the `spans` cargo feature off
-//! (the default), [`span`] returns a unit-sized guard and the whole
-//! probe compiles away; call sites need no `cfg` of their own. With
-//! `--features spans`, each guard's drop adds its wall time to a
-//! thread-local per-label table that [`take_spans`] drains.
+//! A span brackets a region of interest — a DTW kernel, a FastDTW
+//! resolution level, a mining loop iteration — with a label. With the
+//! `spans` cargo feature off (the default), [`span`] returns a
+//! unit-sized guard and the whole probe compiles away; call sites need
+//! no `cfg` of their own. With `--features spans`, each guard's drop
+//! adds its wall time to a thread-local per-label table that
+//! [`take_spans`] drains, folding the duration into a per-label
+//! [`LatencyHist`](crate::LatencyHist) so every kernel carries
+//! p50/p99/max alongside count and total.
+//!
+//! When a flight recorder is active on the thread (see
+//! [`recorder_start`](crate::recorder_start)), each guard additionally
+//! records a begin event on open and an end event on drop, preserving
+//! the parent/child nesting — that is what turns the aggregate table
+//! into an openable Chrome trace.
 //!
 //! The table is thread-local on purpose: the hot loops are spawned
 //! per-thread, and a global table would put a lock on the measured
@@ -21,12 +30,22 @@ pub struct SpanStat {
     pub count: u64,
     /// Total wall time across those guards, in seconds.
     pub total_s: f64,
+    /// Median guard duration (nearest-rank, from the histogram).
+    pub p50_s: f64,
+    /// 99th-percentile guard duration (nearest-rank, from the
+    /// histogram).
+    pub p99_s: f64,
+    /// Longest single guard, exact.
+    pub max_s: f64,
 }
 
 crate::impl_to_json!(SpanStat {
     label,
     count,
-    total_s
+    total_s,
+    p50_s,
+    p99_s,
+    max_s
 });
 
 /// Whether span timing is compiled in.
@@ -37,12 +56,19 @@ pub const fn spans_enabled() -> bool {
 #[cfg(feature = "spans")]
 mod enabled {
     use super::SpanStat;
+    use crate::hist::LatencyHist;
     use std::cell::RefCell;
     use std::time::Instant;
 
+    struct Entry {
+        label: &'static str,
+        count: u64,
+        total_s: f64,
+        hist: LatencyHist,
+    }
+
     thread_local! {
-        static TABLE: RefCell<Vec<(&'static str, u64, f64)>> =
-            const { RefCell::new(Vec::new()) };
+        static TABLE: RefCell<Vec<Entry>> = const { RefCell::new(Vec::new()) };
     }
 
     /// Timing guard; records on drop.
@@ -50,28 +76,40 @@ mod enabled {
     pub struct SpanGuard {
         label: &'static str,
         start: Instant,
+        recorder_id: Option<u64>,
     }
 
     /// Opens a timing span labelled `label`.
     pub fn span(label: &'static str) -> SpanGuard {
+        let recorder_id = crate::recorder::recorder_begin(label);
         SpanGuard {
             label,
             start: Instant::now(),
+            recorder_id,
         }
     }
 
     impl Drop for SpanGuard {
         fn drop(&mut self) {
             let dt = self.start.elapsed().as_secs_f64();
+            crate::recorder::recorder_end(self.label, self.recorder_id.take());
             TABLE.with(|t| {
                 let mut t = t.borrow_mut();
-                match t.iter_mut().find(|(l, _, _)| *l == self.label) {
-                    Some((_, count, total)) => {
-                        *count += 1;
-                        *total += dt;
+                let entry = match t.iter_mut().find(|e| e.label == self.label) {
+                    Some(e) => e,
+                    None => {
+                        t.push(Entry {
+                            label: self.label,
+                            count: 0,
+                            total_s: 0.0,
+                            hist: LatencyHist::new(),
+                        });
+                        t.last_mut().expect("just pushed")
                     }
-                    None => t.push((self.label, 1, dt)),
-                }
+                };
+                entry.count += 1;
+                entry.total_s += dt;
+                entry.hist.record_s(dt);
             });
         }
     }
@@ -81,10 +119,13 @@ mod enabled {
         TABLE.with(|t| {
             t.borrow_mut()
                 .drain(..)
-                .map(|(label, count, total_s)| SpanStat {
-                    label,
-                    count,
-                    total_s,
+                .map(|e| SpanStat {
+                    label: e.label,
+                    count: e.count,
+                    total_s: e.total_s,
+                    p50_s: e.hist.percentile_s(0.50),
+                    p99_s: e.hist.percentile_s(0.99),
+                    max_s: e.hist.max_s(),
                 })
                 .collect()
         })
@@ -134,9 +175,28 @@ mod tests {
             assert_eq!(stats[0].label, "unit_test_region");
             assert_eq!(stats[0].count, 1);
             assert!(stats[0].total_s >= 0.0);
+            assert!(stats[0].max_s >= stats[0].p50_s || stats[0].count == 1);
             assert!(take_spans().is_empty(), "drained");
         } else {
             assert!(stats.is_empty());
+        }
+    }
+
+    #[test]
+    fn enabled_spans_feed_an_active_recorder() {
+        crate::recorder_start(64);
+        {
+            let _outer = span("rec_outer");
+            let _inner = span("rec_inner");
+        }
+        let trace = crate::recorder_stop().expect("recorder was started");
+        let _ = take_spans(); // keep the aggregate table clean for other tests
+        if spans_enabled() {
+            assert_eq!(trace.events.len(), 4, "two begin/end pairs");
+            let rows = trace.summary();
+            assert_eq!(rows.len(), 2);
+        } else {
+            assert!(trace.events.is_empty(), "no probes compiled in");
         }
     }
 }

@@ -1,0 +1,142 @@
+//! Golden tests for the flight-recorder trace export: the Chrome-trace
+//! output must parse as JSON, be begin/end balanced and properly
+//! nested, and the ring must drop oldest-first at capacity. Runs under
+//! both feature configurations — without `spans` the recorder yields an
+//! empty but still valid trace file.
+
+use tsdtw_obs::{
+    recorder_start, recorder_stop, span, spans_enabled, take_spans, Json, Recorder, Trace,
+    TraceEvent, TracePhase,
+};
+
+/// Replays a Chrome `traceEvents` stream against a stack, asserting
+/// strict begin/end balance and label-matched nesting. Returns the
+/// maximum nesting depth observed.
+fn assert_balanced(events: &[Json]) -> usize {
+    let mut stack: Vec<String> = Vec::new();
+    let mut max_depth = 0;
+    let mut last_ts = f64::NEG_INFINITY;
+    for e in events {
+        let ts = e["ts"].as_f64().expect("ts is numeric");
+        assert!(ts >= last_ts, "timestamps must be monotone");
+        last_ts = ts;
+        match e["ph"].as_str().expect("ph is a string") {
+            "B" => {
+                stack.push(e["name"].as_str().unwrap().to_string());
+                max_depth = max_depth.max(stack.len());
+            }
+            "E" => {
+                let open = stack.pop().expect("E without matching B");
+                assert_eq!(open, e["name"].as_str().unwrap(), "mismatched nesting");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+    max_depth
+}
+
+#[test]
+fn chrome_trace_from_real_spans_parses_and_nests() {
+    recorder_start(1 << 12);
+    {
+        let _outer = span("golden_outer");
+        for _ in 0..3 {
+            let _inner = span("golden_inner");
+            std::hint::black_box(1 + 1);
+        }
+    }
+    let trace = recorder_stop().expect("recorder was active");
+    let _ = take_spans(); // drain the aggregate table too
+
+    // The export must round-trip through the strict parser.
+    let text = trace.chrome_json().to_string_pretty();
+    let parsed = Json::parse(&text).expect("chrome trace is valid JSON");
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+
+    if spans_enabled() {
+        assert_eq!(events.len(), 8, "4 spans = 8 events");
+        let depth = assert_balanced(events);
+        assert_eq!(depth, 2, "inner spans nest under the outer span");
+        assert_eq!(
+            events[0]["name"], "golden_outer",
+            "outermost span begins first"
+        );
+    } else {
+        assert!(events.is_empty(), "no probes compiled in");
+    }
+    assert_eq!(parsed["otherData"]["dropped_events"], 0u64);
+    assert_eq!(
+        parsed["otherData"]["spans_feature"],
+        spans_enabled(),
+        "the file records how it was built"
+    );
+}
+
+#[test]
+fn ring_buffer_drops_oldest_first_and_export_stays_balanced() {
+    // 10 spans (20 events) through an 8-slot ring: only the newest
+    // events survive, and the oldest retained pair has the highest
+    // evicted span id + 1.
+    let mut r = Recorder::new(8);
+    for _ in 0..10 {
+        let id = r.begin("wrap");
+        r.end("wrap", id);
+    }
+    let trace = r.finish();
+    assert_eq!(trace.events.len(), 8);
+    assert_eq!(trace.dropped, 12);
+    assert_eq!(trace.events[0].span_id, 6, "spans 0..=5 were evicted");
+
+    let parsed = Json::parse(&trace.chrome_json().to_string_compact()).unwrap();
+    let events = parsed["traceEvents"].as_array().unwrap();
+    assert_eq!(events.len(), 8, "all retained pairs are balanced");
+    assert_balanced(events);
+    assert_eq!(parsed["otherData"]["dropped_events"], 12u64);
+}
+
+#[test]
+fn export_filters_orphans_created_by_wraparound() {
+    // A parent whose Begin was evicted mid-flight: the ring holds the
+    // child pair plus the parent's End. The export keeps only the
+    // balanced child.
+    let t = Trace {
+        events: vec![
+            TraceEvent {
+                label: "child",
+                phase: TracePhase::Begin,
+                ts_us: 10.0,
+                depth: 1,
+                span_id: 5,
+            },
+            TraceEvent {
+                label: "child",
+                phase: TracePhase::End,
+                ts_us: 20.0,
+                depth: 1,
+                span_id: 5,
+            },
+            TraceEvent {
+                label: "parent",
+                phase: TracePhase::End,
+                ts_us: 30.0,
+                depth: 0,
+                span_id: 4,
+            },
+        ],
+        dropped: 1,
+        capacity: 3,
+    };
+    let parsed = Json::parse(&t.chrome_json().to_string_compact()).unwrap();
+    let events = parsed["traceEvents"].as_array().unwrap();
+    assert_eq!(events.len(), 2);
+    assert_balanced(events);
+    assert_eq!(events[0]["name"], "child");
+
+    // The summary sees the same balanced view.
+    let rows = t.summary();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].label, "child");
+    assert_eq!(rows[0].count, 1);
+    assert!((rows[0].total_s - 10e-6).abs() < 1e-12);
+}
