@@ -1,12 +1,17 @@
 //! `repro` — regenerate every table and figure of Wu & Keogh (ICDE 2021).
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--full] [--out DIR] [--list] [--trace]
+//! repro [EXPERIMENT ...] [--full] [--threads N] [--out DIR] [--list]
+//!       [--trace]
 //!
 //!   EXPERIMENT   one or more of: fig1 fig2 caseb fig3 fig4 fig6 table2
 //!                footnote2 appendixb impls lbs radius cells, or 'all'
 //!                (default)
 //!   --full       paper-scale populations (minutes); default is --quick
+//!   --threads N  worker threads for parallel experiments (default 1).
+//!                Work counters in BENCH_<id>.json are deterministic and
+//!                independent of N, so snapshots from any thread count
+//!                diff cleanly against a serial baseline.
 //!   --out DIR    where to write <id>.json records (default: results/)
 //!   --list       list experiments and exit
 //!   --trace      arm the flight recorder per experiment and write
@@ -22,6 +27,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tsdtw_bench::experiments::{self, Runner};
 use tsdtw_bench::{snapshot, Scale};
+use tsdtw_mining::ParConfig;
 use tsdtw_obs::{recorder_start, recorder_stop, take_spans, DEFAULT_TRACE_CAPACITY};
 
 /// Writes a trace export atomically next to the snapshots.
@@ -44,12 +50,20 @@ fn main() -> ExitCode {
     let mut scale = Scale::Quick;
     let mut out = PathBuf::from("results");
     let mut want_trace = false;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
             "--trace" => want_trace = true,
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out = PathBuf::from(dir),
                 None => {
@@ -65,7 +79,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [EXPERIMENT ...] [--full] [--out DIR] [--list] [--trace]\n\
+                    "usage: repro [EXPERIMENT ...] [--full] [--threads N] [--out DIR] \
+                     [--list] [--trace]\n\
                      experiments: {}",
                     experiments::all()
                         .iter()
@@ -101,13 +116,21 @@ fn main() -> ExitCode {
             sel
         };
 
+    let par = match ParConfig::new(threads) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bad --threads value: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
-        "tsdtw repro — scale: {} — writing JSON to {}",
+        "tsdtw repro — scale: {} — threads: {} — writing JSON to {}",
         if scale == Scale::Full {
             "FULL (paper-scale)"
         } else {
             "QUICK"
         },
+        par.n_threads,
         out.display()
     );
     if want_trace && !tsdtw_obs::spans_enabled() {
@@ -124,7 +147,7 @@ fn main() -> ExitCode {
             recorder_start(DEFAULT_TRACE_CAPACITY);
         }
         let t0 = std::time::Instant::now();
-        let report = runner(&scale);
+        let report = runner(&scale, &par);
         let wall_s = t0.elapsed().as_secs_f64();
         print!("{}", report.render());
         println!("   ({id} in {wall_s:.1}s)\n");
@@ -132,7 +155,14 @@ fn main() -> ExitCode {
             eprintln!("warning: could not write {id}.json: {e}");
         }
         let spans = take_spans();
-        let snap = snapshot::capture(id, &report.title, wall_s, report.json.get("work"), &spans);
+        let snap = snapshot::capture(
+            id,
+            &report.title,
+            wall_s,
+            report.json.get("work"),
+            &spans,
+            par.n_threads,
+        );
         if let Err(e) = snapshot::write(&out, id, &snap) {
             eprintln!("warning: could not write BENCH_{id}.json: {e}");
         }

@@ -18,6 +18,8 @@ use tsdtw_mining::dataset_views::LabeledView;
 use tsdtw_mining::knn::{evaluate_split, DistanceSpec};
 use tsdtw_mining::wselect::{integer_grid, optimal_window};
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 use crate::timing::time_once;
 
@@ -44,7 +46,7 @@ tsdtw_obs::impl_to_json!(Record {
 });
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
+pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
     let length = scale.pick(64, 128);
     let per_class = scale.pick(8, 16);
     let data = timing_sensitive_gestures(length, 8, per_class, 0xABB1).expect("generator");
@@ -138,7 +140,7 @@ mod tests {
 
     #[test]
     fn exact_cdtw_is_no_worse_and_much_faster() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let v = &rep.json;
         assert!(
             v["accuracy_cdtw"].as_f64().unwrap() + 1e-9

@@ -15,6 +15,8 @@ use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
 use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_ref_distance};
 use tsdtw_datasets::music::performance_pair;
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 use crate::timing::{time_reps, Timing};
 
@@ -45,7 +47,7 @@ tsdtw_obs::impl_to_json!(Record {
 });
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
+pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
     let n = scale.pick(4_000, 24_000);
     let w = 0.83;
     // Drift scales with n so w stays semantically right.
@@ -121,7 +123,7 @@ mod tests {
 
     #[test]
     fn quick_run_reproduces_the_ordering() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let v = &rep.json;
         assert!(
             v["ref10_over_cdtw"].as_f64().unwrap() > 1.0,

@@ -24,6 +24,7 @@ use tsdtw_core::fastdtw::{fastdtw_metered, fastdtw_ref_metered};
 use tsdtw_core::obs::WorkMeter;
 use tsdtw_datasets::ecg::beats;
 use tsdtw_datasets::random_walk::random_walks;
+use tsdtw_mining::{par_map, ParConfig};
 
 use crate::report::{Report, Scale};
 
@@ -74,6 +75,10 @@ tsdtw_obs::impl_to_json!(Record {
     fastdtw_exceeds_cdtw_case_b,
 });
 
+/// Counts one row's cells. The three per-algorithm meters merge into
+/// `total` in a fixed order (cdtw, tuned, reference), so the aggregate
+/// `work` section — including the order-sensitive FastDTW level list —
+/// is identical whether rows run serially or on executor workers.
 fn count_row(case: &str, x: &[f64], y: &[f64], radius: usize, total: &mut WorkMeter) -> Row {
     let mut cdtw = WorkMeter::new();
     cdtw_distance_metered(x, y, radius, SquaredCost, &mut cdtw).expect("valid inputs");
@@ -98,26 +103,42 @@ fn count_row(case: &str, x: &[f64], y: &[f64], radius: usize, total: &mut WorkMe
     }
 }
 
-/// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
+/// Runs the experiment. Rows are independent (each counts one `(N, r)`
+/// configuration on its own pair), so they fan out on the deterministic
+/// executor: per-row meter shards merge into the report's `work` section
+/// in row order, making the snapshot counters bitwise identical at any
+/// `--threads` — which is what lets the perf gate compare a parallel run
+/// against a serial baseline with zero drift.
+pub fn run(scale: &Scale, par: &ParConfig) -> Report {
     let radii: Vec<usize> = vec![1, 10, scale.pick(20, 40)];
     let case_a_lengths: Vec<usize> = scale.pick(vec![128, 512], vec![128, 256, 512, 1024]);
     let case_b_lengths: Vec<usize> = scale.pick(vec![2048, 4096], vec![2048, 8192, 16384]);
 
-    let mut rows = Vec::new();
+    let case_a_pools: Vec<Vec<Vec<f64>>> = case_a_lengths
+        .iter()
+        .map(|&n| beats(2, n, 0xCE11).expect("generator"))
+        .collect();
+    let case_b_pools: Vec<Vec<Vec<f64>>> = case_b_lengths
+        .iter()
+        .map(|&n| random_walks(2, n, 0xCE12).expect("generator"))
+        .collect();
+    let mut jobs: Vec<(&str, &[f64], &[f64], usize)> = Vec::new();
+    for pool in &case_a_pools {
+        for &r in &radii {
+            jobs.push(("A", &pool[0], &pool[1], r));
+        }
+    }
+    for pool in &case_b_pools {
+        for &r in &radii {
+            jobs.push(("B", &pool[0], &pool[1], r));
+        }
+    }
+
     let mut total = WorkMeter::new();
-    for &n in &case_a_lengths {
-        let pool = beats(2, n, 0xCE11).expect("generator");
-        for &r in &radii {
-            rows.push(count_row("A", &pool[0], &pool[1], r, &mut total));
-        }
-    }
-    for &n in &case_b_lengths {
-        let walks = random_walks(2, n, 0xCE12).expect("generator");
-        for &r in &radii {
-            rows.push(count_row("B", &walks[0], &walks[1], r, &mut total));
-        }
-    }
+    let rows = par_map(par, &jobs, &mut total, |_, &(case, x, y, r), shard| {
+        Ok(count_row(case, x, y, r, shard))
+    })
+    .expect("cell counting is infallible");
 
     let exceeds = |case: &str| {
         rows.iter()
@@ -170,7 +191,28 @@ mod tests {
 
     #[test]
     fn quick_run_confirms_the_cell_inequality() {
-        let rep = run(&Scale::Quick);
+        check_inequality(&run(&Scale::Quick, &ParConfig::serial()));
+    }
+
+    #[test]
+    fn parallel_run_work_section_is_bitwise_serial() {
+        let serial = run(&Scale::Quick, &ParConfig::serial());
+        let par = run(&Scale::Quick, &ParConfig::new(4).unwrap());
+        // The whole attached work section — every counter and the
+        // order-sensitive FastDTW level list — must be identical, or the
+        // perf gate could drift with --threads.
+        assert_eq!(
+            serial.json["work"].to_string_pretty(),
+            par.json["work"].to_string_pretty()
+        );
+        assert_eq!(
+            serial.json["rows"].to_string_pretty(),
+            par.json["rows"].to_string_pretty()
+        );
+        check_inequality(&par);
+    }
+
+    fn check_inequality(rep: &Report) {
         assert_eq!(rep.json["fastdtw_exceeds_cdtw_case_a"], true);
         assert_eq!(rep.json["fastdtw_exceeds_cdtw_case_b"], true);
         let rows = rep.json["rows"].as_array().unwrap();

@@ -17,6 +17,7 @@ use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::banded::{cdtw_distance_metered, percent_to_band, BandedDtw};
 use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_metered, fastdtw_ref_distance};
 use tsdtw_core::obs::WorkMeter;
+use tsdtw_mining::ParConfig;
 
 /// Which distance implementation an all-pairs run measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,11 +51,16 @@ fn pairs(n: usize) -> Vec<(usize, usize)> {
 
 /// Wall-clock seconds for all pairwise distances of `series` under `algo`
 /// with parameter `param` (`w` percent for cDTW, radius for FastDTW).
-pub fn time_allpairs(series: &[Vec<f64>], algo: Algo, param: f64, threads: usize) -> f64 {
+///
+/// This is a pure *timing* loop — it produces a single wall-clock number
+/// and no per-pair results or counters — so it keeps its own static
+/// round-robin worker split (per-thread `BandedDtw` reuse matters here)
+/// and takes only the worker count from `par`.
+pub fn time_allpairs(series: &[Vec<f64>], algo: Algo, param: f64, par: &ParConfig) -> f64 {
     let n = series.len();
     let len = series[0].len();
     let pairs = pairs(n);
-    let threads = threads.max(1);
+    let threads = par.n_threads.max(1);
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
@@ -140,7 +146,7 @@ pub fn sweep_algo(
     algo: Algo,
     params: &[f64],
     target_pairs: usize,
-    threads: usize,
+    par: &ParConfig,
 ) -> Vec<SweepRow> {
     let n = series.len();
     let measured_pairs = n * (n - 1) / 2;
@@ -148,7 +154,7 @@ pub fn sweep_algo(
     params
         .iter()
         .map(|&p| {
-            let s = time_allpairs(series, algo, p, threads);
+            let s = time_allpairs(series, algo, p, par);
             SweepRow {
                 algo: algo_key(algo).into(),
                 param: p,
@@ -228,10 +234,14 @@ mod tests {
             .collect()
     }
 
+    fn par(n: usize) -> ParConfig {
+        ParConfig::new(n).unwrap()
+    }
+
     #[test]
     fn sweep_produces_a_row_per_setting_with_extrapolation() {
         let s = toy(8, 64);
-        let rows = sweep_algo(&s, Algo::Cdtw, &[0.0, 10.0], 1000, 2);
+        let rows = sweep_algo(&s, Algo::Cdtw, &[0.0, 10.0], 1000, &par(2));
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert_eq!(r.measured_pairs, 28);
@@ -242,8 +252,8 @@ mod tests {
     #[test]
     fn find_locates_rows() {
         let s = toy(6, 32);
-        let mut rows = sweep_algo(&s, Algo::Cdtw, &[5.0], 100, 1);
-        rows.extend(sweep_algo(&s, Algo::FastDtwTuned, &[2.0], 100, 1));
+        let mut rows = sweep_algo(&s, Algo::Cdtw, &[5.0], 100, &par(1));
+        rows.extend(sweep_algo(&s, Algo::FastDtwTuned, &[2.0], 100, &par(1)));
         assert!(find(&rows, "cdtw", 5.0).is_some());
         assert!(find(&rows, "fastdtw_tuned", 2.0).is_some());
         assert!(find(&rows, "fastdtw_ref", 2.0).is_none());
@@ -253,7 +263,7 @@ mod tests {
     fn all_three_algorithms_run() {
         let s = toy(5, 48);
         for algo in [Algo::Cdtw, Algo::FastDtwRef, Algo::FastDtwTuned] {
-            let t = time_allpairs(&s, algo, 4.0, 2);
+            let t = time_allpairs(&s, algo, 4.0, &par(2));
             assert!(t >= 0.0, "{algo:?}");
         }
     }
@@ -263,8 +273,8 @@ mod tests {
         // The paper's core claim, visible already on tiny populations: the
         // canonical FastDTW implementation loses to exact banded DTW.
         let s = toy(8, 128);
-        let cdtw = time_allpairs(&s, Algo::Cdtw, 5.0, 1);
-        let fast = time_allpairs(&s, Algo::FastDtwRef, 5.0, 1);
+        let cdtw = time_allpairs(&s, Algo::Cdtw, 5.0, &par(1));
+        let fast = time_allpairs(&s, Algo::FastDtwRef, 5.0, &par(1));
         assert!(
             cdtw < fast,
             "cDTW_5% should beat reference FastDTW_5 on N=128: {cdtw}s vs {fast}s"

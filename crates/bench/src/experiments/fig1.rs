@@ -15,6 +15,7 @@
 //! implementation existed in the ecosystem the paper surveys.
 
 use tsdtw_datasets::gesture::{uwave_like, GestureConfig};
+use tsdtw_mining::ParConfig;
 
 use super::common::{find, render_rows, sweep_algo, work_sample, Algo, SweepRow};
 use crate::report::{Report, Scale};
@@ -47,9 +48,9 @@ tsdtw_obs::impl_to_json!(Record {
     tuned_fastdtw10_over_cdtw4
 });
 
-/// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
-    let threads = scale.pick(2, 4);
+/// Runs the experiment. Timing loops use `par.n_threads` workers; the
+/// attached work sample is single-comparison and thread-independent.
+pub fn run(scale: &Scale, par: &ParConfig) -> Report {
     let cheap_exemplars = scale.pick(32, 96);
     let ref_exemplars = scale.pick(6, 24);
     let config = GestureConfig {
@@ -73,20 +74,20 @@ pub fn run(scale: &Scale) -> Report {
         Scale::Full => params.clone(),
     };
 
-    let mut rows = sweep_algo(&series, Algo::Cdtw, &params, TARGET_PAIRS, threads);
+    let mut rows = sweep_algo(&series, Algo::Cdtw, &params, TARGET_PAIRS, par);
     rows.extend(sweep_algo(
         &ref_series,
         Algo::FastDtwRef,
         &ref_params,
         TARGET_PAIRS,
-        threads,
+        par,
     ));
     rows.extend(sweep_algo(
         &series,
         Algo::FastDtwTuned,
         &params,
         TARGET_PAIRS,
-        threads,
+        par,
     ));
 
     let per_pair = |algo: &str, p: f64| {
@@ -137,7 +138,7 @@ mod tests {
 
     #[test]
     fn quick_run_reproduces_the_papers_ordering() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::new(2).unwrap());
         let v = &rep.json;
         assert!(
             v["ref_fastdtw0_over_cdtw4"].as_f64().unwrap() > 1.0,

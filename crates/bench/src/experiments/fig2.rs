@@ -9,6 +9,8 @@ use tsdtw_datasets::suite::{generate_suite, SuiteConfig};
 use tsdtw_mining::dataset_views::LabeledView;
 use tsdtw_mining::wselect::{integer_grid, optimal_window};
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 
 struct Record {
@@ -44,7 +46,7 @@ fn histogram<T: Copy, F: Fn(T) -> usize>(
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
+pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
     let config = SuiteConfig {
         n_datasets: scale.pick(24, 128),
         exemplars: scale.pick(12, 24),
@@ -153,7 +155,7 @@ mod tests {
 
     #[test]
     fn quick_run_reproduces_the_papers_distributions() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let v = &rep.json;
         assert!(
             v["frac_w_at_most_10"].as_f64().unwrap() > 0.6,

@@ -12,6 +12,8 @@ use tsdtw_core::distance::sq_euclidean;
 use tsdtw_core::dtw::banded::{cdtw_with_path, percent_to_band};
 use tsdtw_datasets::power::{fig3_pair, MORNING_LEN};
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 
 struct Record {
@@ -35,7 +37,7 @@ tsdtw_obs::impl_to_json!(Record {
 });
 
 /// Runs the experiment.
-pub fn run(_scale: &Scale) -> Report {
+pub fn run(_scale: &Scale, _par: &ParConfig) -> Report {
     let (early, late) = fig3_pair(0xF163).expect("generator");
     let shift = late.peak_centers[0] as i64 - early.peak_centers[0] as i64;
     let w_est = shift as f64 / MORNING_LEN as f64 * 100.0;
@@ -88,7 +90,7 @@ mod tests {
 
     #[test]
     fn geometry_matches_the_paper() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let v = &rep.json;
         let shift = v["peak_shift_samples"].as_i64().unwrap();
         assert!((shift - PAPER_MAX_SHIFT as i64).abs() <= 6, "shift {shift}");

@@ -10,6 +10,7 @@
 //! prints but does not gate on.
 
 use tsdtw_datasets::random_walk::random_walks;
+use tsdtw_mining::ParConfig;
 
 use super::common::{find, render_rows, sweep_algo, work_sample, Algo, SweepRow};
 use crate::report::{Report, Scale};
@@ -39,9 +40,9 @@ tsdtw_obs::impl_to_json!(Record {
     ref_fastdtw10_over_cdtw40
 });
 
-/// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
-    let threads = scale.pick(2, 4);
+/// Runs the experiment. Timing loops use `par.n_threads` workers; the
+/// attached work sample is single-comparison and thread-independent.
+pub fn run(scale: &Scale, par: &ParConfig) -> Report {
     let n = 450;
     let cheap = random_walks(scale.pick(40, 120), n, 0xF164).expect("generator");
     let ref_series: Vec<Vec<f64>> = cheap[..scale.pick(6, 16)].to_vec();
@@ -55,20 +56,20 @@ pub fn run(scale: &Scale) -> Report {
         Scale::Full => vec![0.0, 5.0, 10.0, 20.0, 30.0, 40.0],
     };
 
-    let mut rows = sweep_algo(&cheap, Algo::Cdtw, &params, TARGET_PAIRS, threads);
+    let mut rows = sweep_algo(&cheap, Algo::Cdtw, &params, TARGET_PAIRS, par);
     rows.extend(sweep_algo(
         &ref_series,
         Algo::FastDtwRef,
         &ref_params,
         TARGET_PAIRS,
-        threads,
+        par,
     ));
     rows.extend(sweep_algo(
         &cheap,
         Algo::FastDtwTuned,
         &params,
         TARGET_PAIRS,
-        threads,
+        par,
     ));
 
     let per_pair =
@@ -119,7 +120,7 @@ mod tests {
 
     #[test]
     fn quick_run_reproduces_case_c() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::new(2).unwrap());
         let v = &rep.json;
         for pair in v["matched_ratios"].as_array().unwrap() {
             let p = pair[0].as_f64().unwrap();

@@ -16,6 +16,8 @@ use tsdtw_core::dtw::full::dtw_distance;
 use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_ref_distance};
 use tsdtw_datasets::fall::{pair, HZ};
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 use crate::timing::time_reps;
 
@@ -50,7 +52,7 @@ tsdtw_obs::impl_to_json!(Record {
 });
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
+pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
     let ls: Vec<f64> = match scale {
         Scale::Quick => vec![1.0, 2.0, 4.0, 8.0, 16.0],
         Scale::Full => vec![1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0],
@@ -177,7 +179,7 @@ mod tests {
 
     #[test]
     fn quick_run_has_full_dtw_winning_at_small_l() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let rows = rep.json["rows"].as_array().unwrap();
         let first = &rows[0];
         assert!(

@@ -17,6 +17,8 @@ use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_ref_distance};
 use tsdtw_datasets::random_walk::{random_walk, random_walks};
 use tsdtw_mining::search::subsequence_search;
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 use crate::timing::{human, time_once};
 
@@ -62,7 +64,7 @@ fn per_call(calls: usize, mut f: impl FnMut(usize) -> f64) -> f64 {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
+pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
     let pool = random_walks(64, N, 0xF166).expect("generator");
     let band = percent_to_band(N, 5.0).expect("valid w");
     let x = |k: usize| &pool[k % 64];
@@ -146,7 +148,7 @@ mod tests {
 
     #[test]
     fn search_pipeline_dwarfs_fastdtw_at_scale() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let v = &rep.json;
         assert!(
             v["cdtw5_per_call_ms"].as_f64().unwrap()

@@ -20,6 +20,8 @@ use tsdtw_core::dtw::banded::{cdtw_distance, percent_to_band};
 use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_ref_distance};
 use tsdtw_datasets::random_walk::random_walk;
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 use crate::timing::time_reps;
 
@@ -50,7 +52,7 @@ struct Record {
 tsdtw_obs::impl_to_json!(Record { rows });
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
+pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
     // (regime label, N, w%, r) — one row per paper regime.
     let configs: Vec<(&str, usize, f64, usize)> = vec![
         ("Case A (search scale)", 128, 5.0, 10),
@@ -119,7 +121,7 @@ mod tests {
 
     #[test]
     fn constants_table_tells_the_expected_story() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let rows = rep.json["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 4);
         for row in rows {

@@ -19,6 +19,8 @@ use tsdtw_core::norm::znorm;
 use tsdtw_datasets::gesture::{uwave_like, GestureConfig};
 use tsdtw_datasets::random_walk::random_walks;
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 
 struct Row {
@@ -91,7 +93,7 @@ fn tightness_rows(name: &str, pool: &[Vec<f64>], band: usize, rows: &mut Vec<Row
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
+pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
     let n = 128;
     let w = 5.0;
     let band = percent_to_band(n, w).expect("valid w");
@@ -178,7 +180,7 @@ mod tests {
 
     #[test]
     fn tightness_is_a_valid_fraction_and_improved_dominates() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let rows = rep.json["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 8);
         for r in rows {

@@ -17,9 +17,12 @@ pub mod radius;
 pub mod table2;
 
 use crate::report::{Report, Scale};
+use tsdtw_mining::ParConfig;
 
-/// The signature every experiment module's `run` conforms to.
-pub type Runner = fn(&Scale) -> Report;
+/// The signature every experiment module's `run` conforms to. The
+/// [`ParConfig`] carries the `--threads` worker count; experiments that
+/// are inherently single-threaded take it as `_par` and ignore it.
+pub type Runner = fn(&Scale, &ParConfig) -> Report;
 
 /// All experiments in paper order: `(id, runner)`.
 pub fn all() -> Vec<(&'static str, Runner)> {

@@ -18,6 +18,8 @@ use tsdtw_core::dtw::full::dtw_distance;
 use tsdtw_core::fastdtw::{fastdtw_distance, fastdtw_ref_distance};
 use tsdtw_datasets::random_walk::random_walks;
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 
 struct Row {
@@ -41,7 +43,7 @@ struct Record {
 tsdtw_obs::impl_to_json!(Record { n, pairs, rows });
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Report {
+pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
     let n = scale.pick(256, 1000);
     let pool_size = scale.pick(12, 30);
     let pool = random_walks(pool_size, n, 0x0AD1).expect("generator");
@@ -120,7 +122,7 @@ mod tests {
 
     #[test]
     fn error_decays_with_radius_and_is_nonnegative() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let rows = rep.json["rows"].as_array().unwrap();
         let first = rows.first().unwrap()["mean_error_percent_tuned"]
             .as_f64()

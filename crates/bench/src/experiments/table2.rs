@@ -16,6 +16,8 @@ use tsdtw_datasets::adversarial::trio;
 use tsdtw_mining::cluster::{agglomerative, Linkage};
 use tsdtw_mining::pairwise::DistanceMatrix;
 
+use tsdtw_mining::ParConfig;
+
 use crate::report::{Report, Scale};
 
 struct Record {
@@ -55,7 +57,7 @@ fn matrix<F: Fn(&[f64], &[f64]) -> f64>(series: &[&[f64]; 3], d: F) -> [[f64; 3]
 }
 
 /// Runs the experiment.
-pub fn run(_scale: &Scale) -> Report {
+pub fn run(_scale: &Scale, _par: &ParConfig) -> Report {
     let t = trio();
     let series: [&[f64]; 3] = [&t.a, &t.b, &t.c];
     let cost = Rooted(SquaredCost); // the paper's Table 2 is in rooted units
@@ -147,7 +149,7 @@ mod tests {
 
     #[test]
     fn reproduces_the_catastrophe() {
-        let rep = run(&Scale::Quick);
+        let rep = run(&Scale::Quick, &ParConfig::serial());
         let v = &rep.json;
         let full_ab = v["full"][0][1].as_f64().unwrap();
         let full_ac = v["full"][0][2].as_f64().unwrap();

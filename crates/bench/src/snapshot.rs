@@ -12,7 +12,7 @@
 //!   "git_rev": "abc1234",
 //!   "spans_enabled": true,
 //!   "env": { "os": "linux", "arch": "x86_64", "family": "unix",
-//!            "threads": 16, "host": "…" },
+//!            "threads": 16, "n_threads": 4, "host": "…" },
 //!   "wall_s": 1.23,
 //!   "work": { "cells": …, "window_cells": …, … },
 //!   "kernels": { "cdtw": { "count": …, "total_s": …, "p50_s": …,
@@ -41,14 +41,20 @@ pub const SCHEMA_VERSION: i64 = 1;
 /// advisory warning. Deliberately loose: shared CI runners jitter.
 pub const TIMING_WARN_PCT: f64 = 25.0;
 
-/// Fingerprint of the machine the snapshot was taken on. Enough to
-/// explain a timing delta, deliberately free of anything secret.
-pub fn env_fingerprint() -> Json {
+/// Fingerprint of the machine and run configuration the snapshot was
+/// taken on. Enough to explain a timing delta, deliberately free of
+/// anything secret. `threads` is the machine's available parallelism;
+/// `n_threads` is the worker count the run was *configured* with —
+/// recorded so a timing delta against a differently-threaded baseline
+/// is explainable, while the `work` section (the hard gate) stays
+/// thread-count independent by the executor's determinism contract.
+pub fn env_fingerprint(n_threads: usize) -> Json {
     json_obj! {
         "os" => std::env::consts::OS,
         "arch" => std::env::consts::ARCH,
         "family" => std::env::consts::FAMILY,
         "threads" => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        "n_threads" => n_threads,
         "host" => std::env::var("HOSTNAME")
             .or_else(|_| std::env::var("COMPUTERNAME"))
             .unwrap_or_else(|_| "unknown".into()),
@@ -81,6 +87,7 @@ pub fn capture(
     wall_s: f64,
     work: Option<&Json>,
     spans: &[SpanStat],
+    n_threads: usize,
 ) -> Json {
     let mut kernels = Json::object();
     for s in spans {
@@ -101,7 +108,7 @@ pub fn capture(
         "title" => title,
         "git_rev" => git_rev(),
         "spans_enabled" => tsdtw_obs::spans_enabled(),
-        "env" => env_fingerprint(),
+        "env" => env_fingerprint(n_threads),
         "wall_s" => wall_s,
         "work" => work.cloned().unwrap_or(Json::Null),
         "kernels" => kernels,
@@ -327,7 +334,7 @@ mod tests {
             "title" => "t",
             "git_rev" => "deadbee",
             "spans_enabled" => false,
-            "env" => env_fingerprint(),
+            "env" => env_fingerprint(1),
             "wall_s" => wall,
             "work" => json_obj! {
                 "cells" => cells,
@@ -428,12 +435,13 @@ mod tests {
             max_s: 0.25,
         }];
         let work = json_obj! { "cells" => 7 };
-        let s = capture("cells", "title", 1.5, Some(&work), &spans);
+        let s = capture("cells", "title", 1.5, Some(&work), &spans, 4);
         assert_eq!(s["schema"], SCHEMA_VERSION);
         assert_eq!(s["experiment"], "cells");
         assert_eq!(s["work"]["cells"], 7);
         assert_eq!(s["kernels"]["cdtw"]["count"], 3u64);
         assert!(s["env"]["threads"].as_u64().unwrap() >= 1);
+        assert_eq!(s["env"]["n_threads"], 4);
         assert!(!s["git_rev"].as_str().unwrap().is_empty());
         // And it round-trips through the parser the diff tool uses.
         let back = Json::parse(&s.to_string_pretty()).unwrap();

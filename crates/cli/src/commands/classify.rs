@@ -9,15 +9,18 @@ use crate::stats;
 use tsdtw_core::dtw::banded::percent_to_band;
 use tsdtw_datasets::ucr_format::load_ucr_file;
 use tsdtw_mining::dataset_views::LabeledView;
-use tsdtw_mining::knn::{evaluate_split, evaluate_split_metered, DistanceSpec};
-use tsdtw_mining::wselect::{integer_grid, optimal_window};
-use tsdtw_obs::WorkMeter;
+use tsdtw_mining::knn::{evaluate_split_par, DistanceSpec};
+use tsdtw_mining::wselect::{integer_grid, optimal_window_par};
+use tsdtw_mining::ParConfig;
+use tsdtw_obs::{NoMeter, WorkMeter};
 
 pub const HELP: &str = "\
 tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure M]
-               [--stats] [--stats-json FILE] [--trace FILE]
+               [--threads N] [--stats] [--stats-json FILE] [--trace FILE]
   M: cdtw (default) | dtw | euclidean | fastdtw-ref (with --radius R)
   --w auto learns the window by LOOCV on the training set (grid 0..--max-w, default 20)
+  --threads N    worker threads for the evaluation (default 1); results and
+                 --stats counters are bitwise identical at every N
   --stats        print DP-cell counters summed over every test-vs-train comparison
   --stats-json   also dump the counters as JSON to FILE (implies --stats)
   --trace        record a flight-recorder trace of the evaluation to FILE
@@ -35,11 +38,13 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "max-w",
             "measure",
             "radius",
+            "threads",
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
         ],
         &[stats::STATS_SWITCH],
     )?;
+    let par = ParConfig::new(args.get_or("threads", 1)?)?;
     let train = load_ucr_file(Path::new(args.required("train")?))?;
     let test = load_ucr_file(Path::new(args.required("test")?))?;
     let train_view = LabeledView::new(&train.series, &train.labels)?;
@@ -55,7 +60,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             let w_arg = args.optional("w").unwrap_or("auto");
             let w = if w_arg == "auto" {
                 let max_w: usize = args.get_or("max-w", 20)?;
-                let search = optimal_window(&train_view, &integer_grid(max_w))?;
+                let search = optimal_window_par(&train_view, &integer_grid(max_w), &par)?;
                 out.push_str(&format!(
                     "learned w = {}% (train LOOCV error {:.2}%)\n",
                     search.best_w_percent,
@@ -83,9 +88,9 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
     let err = if want_stats {
-        evaluate_split_metered(&train_view, &test_view, spec, &mut meter)?
+        evaluate_split_par(&train_view, &test_view, spec, &par, &mut meter)?
     } else {
-        evaluate_split(&train_view, &test_view, spec)?
+        evaluate_split_par(&train_view, &test_view, spec, &par, &mut NoMeter)?
     };
     out.push_str(&format!(
         "{} train / {} test exemplars, length {}, {} classes\n",
@@ -202,6 +207,48 @@ mod tests {
         assert!(out.contains("DP cells evaluated"), "{out}");
         let dumped = std::fs::read_to_string(&json).unwrap();
         assert!(dumped.contains("\"window_cells\""), "{dumped}");
+    }
+
+    #[test]
+    fn threads_flag_is_bitwise_output_invariant() {
+        let (train, test) = setup();
+        let base = |threads: &str| {
+            run(&raw(&[
+                "--train",
+                train.to_str().unwrap(),
+                "--test",
+                test.to_str().unwrap(),
+                "--w",
+                "auto",
+                "--max-w",
+                "6",
+                "--threads",
+                threads,
+                "--stats",
+            ]))
+            .unwrap()
+        };
+        let serial = base("1");
+        let parallel = base("4");
+        assert_eq!(
+            serial, parallel,
+            "classify output (learned window, accuracy, work counters) must \
+             not depend on --threads"
+        );
+    }
+
+    #[test]
+    fn zero_threads_is_a_clean_error() {
+        let (train, test) = setup();
+        assert!(run(&raw(&[
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            test.to_str().unwrap(),
+            "--threads",
+            "0",
+        ]))
+        .is_err());
     }
 
     #[test]

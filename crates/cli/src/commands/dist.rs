@@ -11,9 +11,11 @@ use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
 tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
-           [--stats] [--stats-json FILE] [--trace FILE]
+           [--threads N] [--stats] [--stats-json FILE] [--trace FILE]
   M: dtw | cdtw (default, needs --w) | fastdtw | fastdtw-ref (need --radius)
      | euclidean
+  --threads N    accepted for uniformity with the other commands (a single
+                 pair is evaluated serially; N is only validated)
   --stats        print DP-cell / window / buffer counters for the evaluation
   --stats-json   also dump the counters as JSON to FILE (implies --stats)
   --trace        record a flight-recorder trace of the evaluation to FILE
@@ -30,11 +32,15 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "measure",
             "w",
             "radius",
+            "threads",
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
         ],
         &["znorm", stats::STATS_SWITCH],
     )?;
+    // A single pair runs serially; the flag exists so scripts can pass the
+    // same --threads to every command, and bad values still fail fast.
+    let _par = tsdtw_mining::ParConfig::new(args.get_or("threads", 1)?)?;
     let mut a = read_series(Path::new(args.required("a")?))?;
     let mut b = read_series(Path::new(args.required("b")?))?;
     if args.has("znorm") {

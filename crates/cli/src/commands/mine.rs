@@ -6,45 +6,62 @@ use std::path::Path;
 use crate::args::Args;
 use crate::io::read_series;
 use tsdtw_core::dtw::banded::percent_to_band;
-use tsdtw_mining::anomaly::top_discord;
-use tsdtw_mining::motif::top_motif;
+use tsdtw_mining::anomaly::top_discord_par;
+use tsdtw_mining::motif::top_motif_par;
+use tsdtw_mining::ParConfig;
 
 pub const HELP_MOTIF: &str = "\
-tsdtw motif --file FILE --m LEN [--w PCT]
+tsdtw motif --file FILE --m LEN [--w PCT] [--threads N]
   finds the most similar pair of non-overlapping length-LEN windows
-  (z-normalized cDTW_w; default w = 5)";
+  (z-normalized cDTW_w; default w = 5); the result is bitwise identical
+  at every --threads value (default 1)";
 
 pub const HELP_DISCORD: &str = "\
-tsdtw discord --file FILE --m LEN [--w PCT]
+tsdtw discord --file FILE --m LEN [--w PCT] [--threads N]
   finds the length-LEN window farthest from its nearest non-overlapping
-  neighbor (z-normalized cDTW_w; default w = 5)";
+  neighbor (z-normalized cDTW_w; default w = 5); the result is bitwise
+  identical at every --threads value (default 1)";
 
-fn common(raw: &[String]) -> Result<(Vec<f64>, usize, usize), Box<dyn std::error::Error>> {
-    let args = Args::parse(raw, &["file", "m", "w"], &[])?;
+/// Parsed inputs shared by `motif` and `discord`.
+struct MineInput {
+    series: Vec<f64>,
+    m: usize,
+    band: usize,
+    par: ParConfig,
+}
+
+fn common(raw: &[String]) -> Result<MineInput, Box<dyn std::error::Error>> {
+    let args = Args::parse(raw, &["file", "m", "w", "threads"], &[])?;
     let series = read_series(Path::new(args.required("file")?))?;
     let m: usize = args.get_or("m", 32)?;
     let w: f64 = args.get_or("w", 5.0)?;
     let band = percent_to_band(m, w)?;
-    Ok((series, m, band))
+    let par = ParConfig::new(args.get_or("threads", 1)?)?;
+    Ok(MineInput {
+        series,
+        m,
+        band,
+        par,
+    })
 }
 
 /// Runs `tsdtw motif`.
 pub fn run_motif(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
-    let (series, m, band) = common(raw)?;
-    let motif = top_motif(&series, m, band)?;
+    let input = common(raw)?;
+    let motif = top_motif_par(&input.series, input.m, input.band, &input.par)?;
     Ok(format!(
-        "top motif of length {m}: windows at {} and {} (distance {:.6})\n",
-        motif.first, motif.second, motif.distance
+        "top motif of length {}: windows at {} and {} (distance {:.6})\n",
+        input.m, motif.first, motif.second, motif.distance
     ))
 }
 
 /// Runs `tsdtw discord`.
 pub fn run_discord(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
-    let (series, m, band) = common(raw)?;
-    let discord = top_discord(&series, m, band)?;
+    let input = common(raw)?;
+    let discord = top_discord_par(&input.series, input.m, input.band, &input.par)?;
     Ok(format!(
-        "top discord of length {m}: window at {} (nearest-neighbor distance {:.6})\n",
-        discord.position, discord.nn_distance
+        "top discord of length {}: window at {} (nearest-neighbor distance {:.6})\n",
+        input.m, discord.position, discord.nn_distance
     ))
 }
 
@@ -87,6 +104,35 @@ mod tests {
             .parse()
             .unwrap();
         assert!((129..=192).contains(&pos), "discord at {pos}");
+    }
+
+    #[test]
+    fn threads_flag_is_bitwise_output_invariant() {
+        let p = periodic_with_anomaly();
+        for threads in ["2", "4"] {
+            let serial = run_motif(&raw(&["--file", p.to_str().unwrap(), "--m", "31"])).unwrap();
+            let par = run_motif(&raw(&[
+                "--file",
+                p.to_str().unwrap(),
+                "--m",
+                "31",
+                "--threads",
+                threads,
+            ]))
+            .unwrap();
+            assert_eq!(serial, par, "motif at --threads {threads}");
+            let serial = run_discord(&raw(&["--file", p.to_str().unwrap(), "--m", "31"])).unwrap();
+            let par = run_discord(&raw(&[
+                "--file",
+                p.to_str().unwrap(),
+                "--m",
+                "31",
+                "--threads",
+                threads,
+            ]))
+            .unwrap();
+            assert_eq!(serial, par, "discord at --threads {threads}");
+        }
     }
 
     #[test]

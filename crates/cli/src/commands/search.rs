@@ -7,14 +7,18 @@ use crate::args::Args;
 use crate::io::read_series;
 use crate::stats;
 use tsdtw_core::dtw::banded::percent_to_band;
-use tsdtw_mining::search::{subsequence_search_metered, top_k_matches_metered};
+use tsdtw_mining::search::{subsequence_search_par, top_k_matches_par};
+use tsdtw_mining::ParConfig;
 use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
-tsdtw search --haystack FILE --query FILE [--w PCT] [--top K]
+tsdtw search --haystack FILE --query FILE [--w PCT] [--top K] [--threads N]
              [--stats] [--stats-json FILE] [--trace FILE]
   z-normalizes the query and every candidate window (UCR practice) and
   reports the best match(es) under cDTW_w with pruning statistics
+  --threads N    worker threads for the candidate scan (default 1); matches,
+                 pruning statistics and --stats counters are bitwise
+                 identical at every N
   --stats        print DP-cell / lower-bound / prune counters for the search
   --stats-json   also dump the counters as JSON to FILE (implies --stats)
   --trace        record a flight-recorder trace of the search to FILE
@@ -29,11 +33,13 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "query",
             "w",
             "top",
+            "threads",
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
         ],
         &[stats::STATS_SWITCH],
     )?;
+    let par = ParConfig::new(args.get_or("threads", 1)?)?;
     let haystack = read_series(Path::new(args.required("haystack")?))?;
     let query = read_series(Path::new(args.required("query")?))?;
     let w: f64 = args.get_or("w", 5.0)?;
@@ -51,7 +57,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         query.len()
     );
     if k <= 1 {
-        let r = subsequence_search_metered(&haystack, &query, band, &mut meter)?;
+        let r = subsequence_search_par(&haystack, &query, band, &par, &mut meter)?;
         out.push_str(&format!(
             "best match at offset {} (distance {:.6})\n",
             r.position, r.distance
@@ -67,7 +73,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             r.stats.prune_rate() * 100.0
         ));
     } else {
-        let matches = top_k_matches_metered(&haystack, &query, band, k, query.len(), &mut meter)?;
+        let matches = top_k_matches_par(&haystack, &query, band, k, query.len(), &par, &mut meter)?;
         out.push_str(&format!("top-{} non-overlapping matches:\n", matches.len()));
         for m in &matches {
             out.push_str(&format!(
@@ -158,6 +164,36 @@ mod tests {
         assert!(out.contains("prune cascade"), "{out}");
         let dumped = std::fs::read_to_string(&json).unwrap();
         assert!(dumped.contains("\"prune\""), "{dumped}");
+    }
+
+    #[test]
+    fn threads_flag_is_bitwise_output_invariant() {
+        let dir = std::env::temp_dir().join("tsdtw-search-threads-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let query: Vec<f64> = (0..28).map(|i| (i as f64 * 0.3).sin()).collect();
+        let hay: Vec<f64> = (0..600).map(|i| ((i * 3) as f64 * 0.11).sin()).collect();
+        let hp = dir.join("hay.txt");
+        let qp = dir.join("query.txt");
+        write_series(&hp, &hay).unwrap();
+        write_series(&qp, &query).unwrap();
+        let base = |threads: &str| {
+            run(&raw(&[
+                "--haystack",
+                hp.to_str().unwrap(),
+                "--query",
+                qp.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--stats",
+            ]))
+            .unwrap()
+        };
+        assert_eq!(
+            base("1"),
+            base("4"),
+            "search output (match, pruning stats, work counters) must not \
+             depend on --threads"
+        );
     }
 
     #[test]

@@ -6,20 +6,23 @@ use std::path::Path;
 use crate::args::Args;
 use tsdtw_datasets::ucr_format::load_ucr_file;
 use tsdtw_mining::dataset_views::LabeledView;
-use tsdtw_mining::wselect::{integer_grid, optimal_window};
+use tsdtw_mining::wselect::{integer_grid, optimal_window_par};
+use tsdtw_mining::ParConfig;
 
 pub const HELP: &str = "\
-tsdtw window --file FILE [--max-w PCT]
+tsdtw window --file FILE [--max-w PCT] [--threads N]
   LOOCV 1-NN error at every integer window 0..max-w (default 20); prints the
-  full profile and the winner (ties break toward the smaller window)";
+  full profile and the winner (ties break toward the smaller window); the
+  profile is bitwise identical at every --threads value (default 1)";
 
 /// Runs the command, returning the printable result.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
-    let args = Args::parse(raw, &["file", "max-w"], &[])?;
+    let args = Args::parse(raw, &["file", "max-w", "threads"], &[])?;
     let data = load_ucr_file(Path::new(args.required("file")?))?;
     let max_w: usize = args.get_or("max-w", 20)?;
+    let par = ParConfig::new(args.get_or("threads", 1)?)?;
     let view = LabeledView::new(&data.series, &data.labels)?;
-    let search = optimal_window(&view, &integer_grid(max_w))?;
+    let search = optimal_window_par(&view, &integer_grid(max_w), &par)?;
 
     let mut out = format!(
         "{} series, length {}, {} classes; LOOCV over w = 0..{max_w}%\n",

@@ -55,6 +55,13 @@ pub enum Error {
         /// Index of the first non-finite element.
         index: usize,
     },
+    /// A worker thread of a parallel executor panicked. The executor
+    /// joins every worker and converts the panic into this error
+    /// instead of hanging or poisoning shared state.
+    WorkerPanicked {
+        /// The panic payload rendered as text, when it was a string.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -84,6 +91,9 @@ impl fmt::Display for Error {
                     f,
                     "input series `{which}` contains a non-finite value at index {index}"
                 )
+            }
+            Error::WorkerPanicked { reason } => {
+                write!(f, "a parallel worker thread panicked: {reason}")
             }
         }
     }
@@ -165,6 +175,17 @@ mod tests {
     fn check_finite_accepts_ordinary_data() {
         let s = [0.0, -1.5, 1e300, f64::MIN_POSITIVE];
         assert!(check_finite("x", &s).is_ok());
+    }
+
+    #[test]
+    fn worker_panicked_display_carries_reason() {
+        let e = Error::WorkerPanicked {
+            reason: "index out of bounds".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "a parallel worker thread panicked: index out of bounds"
+        );
     }
 
     #[test]

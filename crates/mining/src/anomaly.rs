@@ -6,10 +6,12 @@
 //! measures — the running theme of the paper) keeps it tractable.
 //! Included as an extension used by the power-demand example.
 
+use crate::par::{par_fold_argmin, ParConfig};
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea, EaOutcome};
 use tsdtw_core::error::{Error, Result};
 use tsdtw_core::norm::znorm;
+use tsdtw_obs::NoMeter;
 
 /// Result of a discord search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +75,78 @@ pub fn top_discord(series: &[f64], m: usize, band: usize) -> Result<Discord> {
     Ok(best)
 }
 
+/// [`top_discord`] on the deterministic parallel executor.
+///
+/// Discord discovery is an arg*max* (the candidate with the *largest*
+/// nearest-neighbor distance wins), so it rides the executor's argmin by
+/// negating the score. Candidate positions in a chunk compute their NN
+/// distance against the discord score frozen at the chunk boundary (the
+/// inner loop's "cannot win anymore" cutoff), and a completed candidate's
+/// NN distance never depends on that cutoff — a weaker frozen score only
+/// makes losing candidates finish their scans instead of breaking early.
+/// The winner and its distance are therefore identical to [`top_discord`]
+/// at any `(n_threads, chunk)`; strict comparisons in position order keep
+/// the earlier position on exact ties, exactly like the serial scan.
+pub fn top_discord_par(series: &[f64], m: usize, band: usize, cfg: &ParConfig) -> Result<Discord> {
+    let _span = tsdtw_obs::span("anomaly");
+    if m == 0 {
+        return Err(Error::EmptyInput { which: "m" });
+    }
+    if series.len() < 2 * m {
+        return Err(Error::InvalidParameter {
+            name: "series",
+            reason: format!(
+                "need at least two non-overlapping windows: len {} < 2×{m}",
+                series.len()
+            ),
+        });
+    }
+    let n_windows = series.len() - m + 1;
+    let windows: Vec<Vec<f64>> = (0..n_windows)
+        .map(|p| znorm(&series[p..p + m]))
+        .collect::<Result<_>>()?;
+    let positions: Vec<usize> = (0..n_windows).collect();
+
+    // init = 1.0 is the negation of the serial `-1.0` floor, so a
+    // candidate only scores once its NN distance strictly exceeds it.
+    let (winner, outcomes) = par_fold_argmin(
+        cfg,
+        &positions,
+        &mut NoMeter,
+        1.0,
+        || Ok(()),
+        |_, _, &p, frozen, _| {
+            let cutoff = -frozen;
+            let mut nn = f64::INFINITY;
+            for q in 0..n_windows {
+                if q.abs_diff(p) < m {
+                    continue; // overlapping: trivial match exclusion
+                }
+                match cdtw_distance_ea(&windows[p], &windows[q], band, nn, None, SquaredCost)? {
+                    EaOutcome::Exact(d) => nn = nn.min(d),
+                    EaOutcome::Abandoned { .. } => {}
+                }
+                if nn <= cutoff {
+                    break; // cannot be the discord anymore
+                }
+            }
+            Ok(nn)
+        },
+        |&nn: &f64| if nn.is_finite() { Some(-nn) } else { None },
+    )?;
+
+    match winner {
+        Some((p, _)) => Ok(Discord {
+            position: p,
+            nn_distance: outcomes[p],
+        }),
+        None => Ok(Discord {
+            position: 0,
+            nn_distance: -1.0,
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +202,25 @@ mod tests {
     fn rejects_too_short_series() {
         assert!(top_discord(&[0.0; 10], 8, 1).is_err());
         assert!(top_discord(&[0.0; 10], 0, 1).is_err());
+        let cfg = ParConfig::new(2).unwrap();
+        assert!(top_discord_par(&[0.0; 10], 8, 1, &cfg).is_err());
+        assert!(top_discord_par(&[0.0; 10], 0, 1, &cfg).is_err());
+    }
+
+    #[test]
+    fn par_discord_is_bitwise_serial_at_any_thread_count() {
+        let cycle = 28;
+        let s = signal_with_anomaly(7, cycle, 4);
+        let serial = top_discord(&s, cycle, 3).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let cfg = ParConfig::with_chunk(threads, 8).unwrap();
+            let par = top_discord_par(&s, cycle, 3, &cfg).unwrap();
+            assert_eq!(par.position, serial.position, "{threads} threads");
+            assert_eq!(
+                par.nn_distance.to_bits(),
+                serial.nn_distance.to_bits(),
+                "{threads} threads"
+            );
+        }
     }
 }

@@ -7,9 +7,11 @@
 //! iterations. Included as an extension (the mining literature the paper
 //! addresses uses DBA heavily, always on top of *exact* DTW).
 
+use crate::par::{par_map, ParConfig};
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::full::{dtw_distance, dtw_with_path};
 use tsdtw_core::error::{Error, Result};
+use tsdtw_obs::NoMeter;
 
 /// Result of a DBA run.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +62,64 @@ pub fn dba(series: &[Vec<f64>], iterations: usize) -> Result<DbaResult> {
             }
         }
         trace.push(inertia(series, &average)?);
+    }
+
+    Ok(DbaResult {
+        average,
+        inertia_trace: trace,
+    })
+}
+
+/// [`inertia`] on the deterministic parallel executor: per-series
+/// distances are computed on workers and summed in series order, so the
+/// total is bitwise identical to the serial sum at any thread count.
+pub fn inertia_par(series: &[Vec<f64>], center: &[f64], cfg: &ParConfig) -> Result<f64> {
+    let distances = par_map(cfg, series, &mut NoMeter, |_, s, _| {
+        dtw_distance(center, s, SquaredCost)
+    })?;
+    Ok(distances.iter().sum())
+}
+
+/// [`dba`] on the deterministic parallel executor.
+///
+/// Each iteration aligns every series to the current average on a worker
+/// (the expensive part — a full DP with path recovery per series), but the
+/// barycenter update itself replays the returned warping paths **serially,
+/// in series order**. Merging per-series partial `sums[i]` instead would
+/// reassociate the floating-point additions (`(a + b) + c ≠ a + (b + c)`)
+/// and let the averages drift across thread counts; replaying the paths
+/// keeps every accumulation in the exact serial order, so the result is
+/// bitwise identical to [`dba`] at any `(n_threads, chunk)`.
+pub fn dba_par(series: &[Vec<f64>], iterations: usize, cfg: &ParConfig) -> Result<DbaResult> {
+    if series.is_empty() {
+        return Err(Error::EmptyInput { which: "series" });
+    }
+    if series.iter().any(|s| s.is_empty()) {
+        return Err(Error::EmptyInput { which: "series[i]" });
+    }
+    let mut average = series[0].clone();
+    let mut trace = vec![inertia_par(series, &average, cfg)?];
+
+    for _ in 0..iterations {
+        let _span = tsdtw_obs::span("dba_iteration");
+        let m = average.len();
+        let mut sums = vec![0.0; m];
+        let mut counts = vec![0usize; m];
+        let paths = par_map(cfg, series, &mut NoMeter, |_, s, _| {
+            dtw_with_path(&average, s, SquaredCost).map(|(_, path)| path)
+        })?;
+        for (s, path) in series.iter().zip(&paths) {
+            for &(i, j) in path.cells() {
+                sums[i] += s[j];
+                counts[i] += 1;
+            }
+        }
+        for i in 0..m {
+            if counts[i] > 0 {
+                average[i] = sums[i] / counts[i] as f64;
+            }
+        }
+        trace.push(inertia_par(series, &average, cfg)?);
     }
 
     Ok(DbaResult {
@@ -128,5 +188,36 @@ mod tests {
     fn rejects_empty_input() {
         assert!(dba(&[], 3).is_err());
         assert!(dba(&[vec![]], 3).is_err());
+        let cfg = ParConfig::new(2).unwrap();
+        assert!(dba_par(&[], 3, &cfg).is_err());
+        assert!(dba_par(&[vec![]], 3, &cfg).is_err());
+    }
+
+    #[test]
+    fn par_dba_is_bitwise_serial_at_any_thread_count() {
+        let fam = shifted_family();
+        let serial = dba(&fam, 6).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let cfg = ParConfig::with_chunk(threads, 2).unwrap();
+            let par = dba_par(&fam, 6, &cfg).unwrap();
+            // Full bitwise equality: the path-replay accumulation keeps
+            // every floating-point addition in serial order.
+            assert_eq!(par, serial, "{threads} threads");
+            for (a, b) in par.inertia_trace.iter().zip(&serial.inertia_trace) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn par_inertia_is_bitwise_serial() {
+        let fam = shifted_family();
+        let center = &fam[2];
+        let serial = inertia(&fam, center).unwrap();
+        for threads in [2usize, 5] {
+            let cfg = ParConfig::with_chunk(threads, 1).unwrap();
+            let par = inertia_par(&fam, center, &cfg).unwrap();
+            assert_eq!(par.to_bits(), serial.to_bits(), "{threads} threads");
+        }
     }
 }

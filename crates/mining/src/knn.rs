@@ -15,9 +15,15 @@ use tsdtw_core::dtw::full::dtw_distance;
 use tsdtw_core::error::{Error, Result};
 use tsdtw_core::fastdtw::{fastdtw_metered, fastdtw_ref_metered};
 use tsdtw_core::lower_bounds::Cascade;
-use tsdtw_obs::{Meter, NoMeter};
+use tsdtw_obs::{Meter, MeterShard, NoMeter};
 
 use crate::dataset_views::LabeledView;
+use crate::par::{par_fold_argmin, par_map, ParConfig};
+
+/// Training-set indices that survive the leave-one-out `skip`, in order.
+fn candidate_indices(train: &LabeledView<'_>, skip: usize) -> Vec<usize> {
+    (0..train.series.len()).filter(|&i| i != skip).collect()
+}
 
 /// Which distance a classifier should use.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,6 +138,41 @@ pub fn nn_brute_force_metered<M: Meter>(
     Ok(best)
 }
 
+/// [`nn_brute_force`] on the deterministic parallel executor: every
+/// candidate is evaluated (no pruning, so the work is bound-independent)
+/// and the minimum is taken in index order with strict `<`. Results and
+/// merged counters are bitwise identical to the serial path at any
+/// `n_threads`.
+pub fn nn_brute_force_par<M: MeterShard>(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    spec: DistanceSpec,
+    skip: usize,
+    cfg: &ParConfig,
+    meter: &mut M,
+) -> Result<NnResult> {
+    let _span = tsdtw_obs::span("knn");
+    let idxs = candidate_indices(train, skip);
+    if idxs.is_empty() {
+        return Err(Error::EmptyInput { which: "train" });
+    }
+    let distances = par_map(cfg, &idxs, meter, |_, &i, m| {
+        spec.eval_metered(query, &train.series[i], m)
+    })?;
+    let mut best: Option<(usize, f64)> = None;
+    for (&i, &d) in idxs.iter().zip(&distances) {
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    let (index, distance) = best.expect("nonempty candidate set");
+    Ok(NnResult {
+        index,
+        distance,
+        label: train.labels[index],
+    })
+}
+
 /// Cascaded exact 1-NN under `cDTW_band` — identical output to
 /// [`nn_brute_force`] with [`DistanceSpec::CdtwBand`], but with the
 /// UCR-suite pruning stack. Requires equal-length series.
@@ -180,6 +221,44 @@ pub fn nn_cascade_metered<M: Meter>(
         return Err(Error::EmptyInput { which: "train" });
     }
     Ok(best)
+}
+
+/// [`nn_cascade`] on the deterministic parallel executor: candidates are
+/// evaluated in chunk-synchronous rounds against the best-so-far frozen
+/// at each chunk boundary (each worker clones the prepared cascade), and
+/// the bound advances in index order with strict `<`. The result is
+/// bitwise identical to the serial cascade at any `n_threads`; the
+/// merged counters are a pure function of `cfg.chunk` (with `chunk = 1`
+/// they equal the continuous-best-so-far serial counters exactly).
+pub fn nn_cascade_par<M: MeterShard>(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    band: usize,
+    skip: usize,
+    cfg: &ParConfig,
+    meter: &mut M,
+) -> Result<NnResult> {
+    let _span = tsdtw_obs::span("knn");
+    let idxs = candidate_indices(train, skip);
+    if idxs.is_empty() {
+        return Err(Error::EmptyInput { which: "train" });
+    }
+    let (best, _) = par_fold_argmin(
+        cfg,
+        &idxs,
+        meter,
+        f64::INFINITY,
+        || Cascade::new(query, band),
+        |cascade, _, &i, bsf, m| cascade.evaluate_metered(&train.series[i], bsf, m),
+        |out| out.exact_distance(),
+    )?;
+    let (k, distance) = best.ok_or(Error::EmptyInput { which: "train" })?;
+    let index = idxs[k];
+    Ok(NnResult {
+        index,
+        distance,
+        label: train.labels[index],
+    })
 }
 
 /// Brute-force k-NN: the `k` nearest training exemplars, nearest first.
@@ -234,6 +313,51 @@ pub fn knn_brute_force_metered<M: Meter>(
     Ok(all)
 }
 
+/// [`knn_brute_force`] on the deterministic parallel executor. All
+/// candidate distances are computed in parallel, then sorted with the
+/// same stable comparison as the serial path — bitwise-identical
+/// neighbors and counters at any `n_threads`.
+pub fn knn_brute_force_par<M: MeterShard>(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    spec: DistanceSpec,
+    k: usize,
+    skip: usize,
+    cfg: &ParConfig,
+    meter: &mut M,
+) -> Result<Vec<NnResult>> {
+    let _span = tsdtw_obs::span("knn");
+    if k == 0 {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            reason: "k must be at least 1".into(),
+        });
+    }
+    let idxs = candidate_indices(train, skip);
+    if idxs.is_empty() {
+        return Err(Error::EmptyInput { which: "train" });
+    }
+    let distances = par_map(cfg, &idxs, meter, |_, &i, m| {
+        spec.eval_metered(query, &train.series[i], m)
+    })?;
+    let mut all: Vec<NnResult> = idxs
+        .iter()
+        .zip(&distances)
+        .map(|(&i, &d)| NnResult {
+            index: i,
+            distance: d,
+            label: train.labels[i],
+        })
+        .collect();
+    all.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .expect("finite distances")
+    });
+    all.truncate(k);
+    Ok(all)
+}
+
 /// Majority vote over the k nearest neighbors; ties break toward the
 /// nearer neighbor's label (the standard convention).
 pub fn classify_knn(
@@ -255,17 +379,37 @@ pub fn classify_knn_metered<M: Meter>(
     meter: &mut M,
 ) -> Result<usize> {
     let neighbors = knn_brute_force_metered(train, query, spec, k, usize::MAX, meter)?;
+    // Nearest neighbor whose label achieves the max count wins ties.
+    Ok(majority_vote(&neighbors))
+}
+
+/// [`classify_knn`] on the deterministic parallel executor (the
+/// distances parallelize; the vote is unchanged).
+pub fn classify_knn_par<M: MeterShard>(
+    train: &LabeledView<'_>,
+    query: &[f64],
+    spec: DistanceSpec,
+    k: usize,
+    cfg: &ParConfig,
+    meter: &mut M,
+) -> Result<usize> {
+    let neighbors = knn_brute_force_par(train, query, spec, k, usize::MAX, cfg, meter)?;
+    Ok(majority_vote(&neighbors))
+}
+
+/// Majority vote with ties broken toward the nearer neighbor's label —
+/// shared by the serial and parallel classify paths.
+fn majority_vote(neighbors: &[NnResult]) -> usize {
     let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
-    for n in &neighbors {
+    for n in neighbors {
         *counts.entry(n.label).or_insert(0) += 1;
     }
     let best_count = *counts.values().max().expect("nonempty");
-    // Nearest neighbor whose label achieves the max count wins ties.
-    Ok(neighbors
+    neighbors
         .iter()
         .find(|n| counts[&n.label] == best_count)
         .expect("nonempty")
-        .label)
+        .label
 }
 
 /// Classifies every test series by brute-force 1-NN against the training
@@ -299,6 +443,29 @@ pub fn evaluate_split_metered<M: Meter>(
     Ok(errors as f64 / test.series.len() as f64)
 }
 
+/// [`evaluate_split`] on the deterministic parallel executor: test
+/// queries are independent, so each runs its (serial) 1-NN scan on a
+/// worker with a private meter shard; shards merge in test order.
+/// Error rate and counters are bitwise identical to the serial path at
+/// any `n_threads`.
+pub fn evaluate_split_par<M: MeterShard>(
+    train: &LabeledView<'_>,
+    test: &LabeledView<'_>,
+    spec: DistanceSpec,
+    cfg: &ParConfig,
+    meter: &mut M,
+) -> Result<f64> {
+    if test.series.is_empty() {
+        return Err(Error::EmptyInput { which: "test" });
+    }
+    let queries: Vec<usize> = (0..test.series.len()).collect();
+    let misses = par_map(cfg, &queries, meter, |_, &q, m| {
+        let nn = nn_brute_force_metered(train, &test.series[q], spec, usize::MAX, m)?;
+        Ok(u64::from(nn.label != test.labels[q]))
+    })?;
+    Ok(misses.iter().sum::<u64>() as f64 / test.series.len() as f64)
+}
+
 /// Leave-one-out cross-validated 1-NN error rate under `spec`.
 ///
 /// This is the procedure the UCR archive used to publish its optimal
@@ -320,6 +487,24 @@ pub fn loocv_error(view: &LabeledView<'_>, spec: DistanceSpec) -> Result<f64> {
     Ok(errors as f64 / view.series.len() as f64)
 }
 
+/// [`loocv_error`] on the deterministic parallel executor: each
+/// held-out query runs its (serial) 1-NN scan on a worker. Identical
+/// error rate at any `n_threads`.
+pub fn loocv_error_par(view: &LabeledView<'_>, spec: DistanceSpec, cfg: &ParConfig) -> Result<f64> {
+    if view.series.len() < 2 {
+        return Err(Error::InvalidParameter {
+            name: "view",
+            reason: "LOOCV needs at least two series".into(),
+        });
+    }
+    let queries: Vec<usize> = (0..view.series.len()).collect();
+    let misses = par_map(cfg, &queries, &mut NoMeter, |_, &i, _| {
+        let nn = nn_brute_force(view, &view.series[i], spec, i)?;
+        Ok(u64::from(nn.label != view.labels[i]))
+    })?;
+    Ok(misses.iter().sum::<u64>() as f64 / view.series.len() as f64)
+}
+
 /// LOOCV error under exact `cDTW_band`, via the cascade (fast path).
 pub fn loocv_error_cdtw_fast(view: &LabeledView<'_>, band: usize) -> Result<f64> {
     if view.series.len() < 2 {
@@ -336,6 +521,29 @@ pub fn loocv_error_cdtw_fast(view: &LabeledView<'_>, band: usize) -> Result<f64>
         }
     }
     Ok(errors as f64 / view.series.len() as f64)
+}
+
+/// [`loocv_error_cdtw_fast`] on the deterministic parallel executor:
+/// each held-out query runs its own (serial, continuously-pruned)
+/// cascade on a worker, so per-query work is exactly the serial work and
+/// the error rate is bitwise identical at any `n_threads`.
+pub fn loocv_error_cdtw_fast_par(
+    view: &LabeledView<'_>,
+    band: usize,
+    cfg: &ParConfig,
+) -> Result<f64> {
+    if view.series.len() < 2 {
+        return Err(Error::InvalidParameter {
+            name: "view",
+            reason: "LOOCV needs at least two series".into(),
+        });
+    }
+    let queries: Vec<usize> = (0..view.series.len()).collect();
+    let misses = par_map(cfg, &queries, &mut NoMeter, |_, &i, _| {
+        let nn = nn_cascade(view, &view.series[i], band, i)?;
+        Ok(u64::from(nn.label != view.labels[i]))
+    })?;
+    Ok(misses.iter().sum::<u64>() as f64 / view.series.len() as f64)
 }
 
 #[cfg(test)]
@@ -563,5 +771,119 @@ mod tests {
         };
         // Skipping the only element leaves nothing.
         assert!(nn_brute_force(&view, &series[0], DistanceSpec::Euclidean, 0).is_err());
+        let cfg = ParConfig::new(2).unwrap();
+        assert!(nn_brute_force_par(
+            &view,
+            &series[0],
+            DistanceSpec::Euclidean,
+            0,
+            &cfg,
+            &mut NoMeter
+        )
+        .is_err());
+        assert!(nn_cascade_par(&view, &series[0], 2, 0, &cfg, &mut NoMeter).is_err());
+    }
+
+    #[test]
+    fn par_cascade_chunk_one_equals_serial_metered_exactly() {
+        use tsdtw_obs::WorkMeter;
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let mut serial_meter = WorkMeter::new();
+        let serial = nn_cascade_metered(&view, &series[3], 4, 3, &mut serial_meter).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let cfg = ParConfig::with_chunk(threads, 1).unwrap();
+            let mut meter = WorkMeter::new();
+            let par = nn_cascade_par(&view, &series[3], 4, 3, &cfg, &mut meter).unwrap();
+            assert_eq!(par, serial, "{threads} threads");
+            assert_eq!(meter, serial_meter, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_cascade_counters_are_thread_count_invariant_at_fixed_chunk() {
+        use tsdtw_obs::WorkMeter;
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let run = |threads: usize| {
+            let cfg = ParConfig::with_chunk(threads, 4).unwrap();
+            let mut meter = WorkMeter::new();
+            let nn = nn_cascade_par(&view, &series[0], 4, 0, &cfg, &mut meter).unwrap();
+            (nn, meter)
+        };
+        let (nn1, m1) = run(1);
+        let serial = nn_cascade(&view, &series[0], 4, 0).unwrap();
+        assert_eq!(nn1.index, serial.index);
+        assert_eq!(nn1.distance.to_bits(), serial.distance.to_bits());
+        for threads in [2usize, 3, 7] {
+            let (nn, m) = run(threads);
+            assert_eq!(nn, nn1, "{threads} threads");
+            assert_eq!(m, m1, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_brute_knn_and_classify_are_bitwise_serial() {
+        use tsdtw_obs::WorkMeter;
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let spec = DistanceSpec::CdtwBand(4);
+        let mut serial_meter = WorkMeter::new();
+        let serial_nn =
+            nn_brute_force_metered(&view, &series[5], spec, 5, &mut serial_meter).unwrap();
+        let serial_knn = knn_brute_force(&view, &series[5], spec, 3, 5).unwrap();
+        let serial_label = classify_knn(&view, &series[5], spec, 3).unwrap();
+        for threads in [1usize, 3, 7] {
+            // Independent items: counters equal serial at ANY chunk.
+            let cfg = ParConfig::with_chunk(threads, 4).unwrap();
+            let mut meter = WorkMeter::new();
+            let nn = nn_brute_force_par(&view, &series[5], spec, 5, &cfg, &mut meter).unwrap();
+            assert_eq!(nn, serial_nn, "{threads} threads");
+            assert_eq!(meter, serial_meter, "{threads} threads");
+            let knn =
+                knn_brute_force_par(&view, &series[5], spec, 3, 5, &cfg, &mut NoMeter).unwrap();
+            assert_eq!(knn, serial_knn, "{threads} threads");
+            let label = classify_knn_par(&view, &series[5], spec, 3, &cfg, &mut NoMeter).unwrap();
+            assert_eq!(label, serial_label, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_split_and_loocv_are_bitwise_serial() {
+        let (series, labels) = two_class();
+        let train = LabeledView {
+            series: &series[..10],
+            labels: &labels[..10],
+        };
+        let test = LabeledView {
+            series: &series[10..],
+            labels: &labels[10..],
+        };
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let spec = DistanceSpec::CdtwBand(4);
+        let serial_split = evaluate_split(&train, &test, spec).unwrap();
+        let serial_loocv = loocv_error(&view, spec).unwrap();
+        let serial_fast = loocv_error_cdtw_fast(&view, 4).unwrap();
+        for threads in [1usize, 2, 7] {
+            let cfg = ParConfig::with_chunk(threads, 2).unwrap();
+            let split = evaluate_split_par(&train, &test, spec, &cfg, &mut NoMeter).unwrap();
+            assert_eq!(split.to_bits(), serial_split.to_bits(), "{threads} threads");
+            let loocv = loocv_error_par(&view, spec, &cfg).unwrap();
+            assert_eq!(loocv.to_bits(), serial_loocv.to_bits(), "{threads} threads");
+            let fast = loocv_error_cdtw_fast_par(&view, 4, &cfg).unwrap();
+            assert_eq!(fast.to_bits(), serial_fast.to_bits(), "{threads} threads");
+        }
     }
 }

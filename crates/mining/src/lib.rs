@@ -28,14 +28,20 @@ pub mod dba;
 pub mod knn;
 pub mod motif;
 pub mod pairwise;
+pub mod par;
 pub mod search;
 pub mod wselect;
 
 pub use dataset_views::LabeledView;
 pub use knn::{
-    classify_knn, evaluate_split, knn_brute_force, loocv_error, loocv_error_cdtw_fast,
-    DistanceSpec, NnResult,
+    classify_knn, classify_knn_par, evaluate_split, evaluate_split_par, knn_brute_force,
+    knn_brute_force_par, loocv_error, loocv_error_cdtw_fast, loocv_error_cdtw_fast_par,
+    loocv_error_par, DistanceSpec, NnResult,
 };
-pub use pairwise::{pair_count, pairwise_matrix, DistanceMatrix};
-pub use search::{distance_profile, subsequence_search, top_k_matches, Match, SearchResult};
-pub use wselect::{integer_grid, optimal_window, WindowSearch};
+pub use pairwise::{pair_count, pairwise_matrix, pairwise_matrix_par, DistanceMatrix};
+pub use par::{par_fold_argmin, par_map, ParConfig, DEFAULT_CHUNK};
+pub use search::{
+    distance_profile, distance_profile_par, subsequence_search, subsequence_search_par,
+    top_k_matches, top_k_matches_par, Match, SearchResult,
+};
+pub use wselect::{integer_grid, optimal_window, optimal_window_par, WindowSearch};

@@ -7,10 +7,12 @@
 //! early-abandons against the best-so-far pair — once more, an
 //! acceleration only the exact measure admits.
 
+use crate::par::{par_fold_argmin, ParConfig};
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea, EaOutcome};
 use tsdtw_core::error::{Error, Result};
 use tsdtw_core::norm::znorm;
+use tsdtw_obs::NoMeter;
 
 /// The best-matching non-overlapping window pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +77,76 @@ pub fn top_motif(series: &[f64], m: usize, band: usize) -> Result<Motif> {
     Ok(best)
 }
 
+/// [`top_motif`] on the deterministic parallel executor.
+///
+/// The O(n²) pair scan is parallelized by *rows* (each row `i` owns every
+/// pair `(i, j)` with `j ≥ i + m`): rows in a chunk run against the best
+/// distance frozen at the chunk boundary, each keeping a row-local
+/// best-so-far for its own early abandoning, and the global bound
+/// advances at the merge in row order with strict `<`. Completed `cDTW`
+/// values never depend on the abandoning bound, so the winning pair and
+/// its distance are identical to [`top_motif`] at any
+/// `(n_threads, chunk)` — a weaker frozen bound only makes some losing
+/// pairs complete instead of abandon.
+pub fn top_motif_par(series: &[f64], m: usize, band: usize, cfg: &ParConfig) -> Result<Motif> {
+    let _span = tsdtw_obs::span("motif");
+    if m == 0 {
+        return Err(Error::EmptyInput { which: "m" });
+    }
+    if series.len() < 2 * m {
+        return Err(Error::InvalidParameter {
+            name: "series",
+            reason: format!(
+                "need at least two non-overlapping windows: len {} < 2×{m}",
+                series.len()
+            ),
+        });
+    }
+    let n_windows = series.len() - m + 1;
+    let windows: Vec<Vec<f64>> = (0..n_windows)
+        .map(|p| znorm(&series[p..p + m]))
+        .collect::<Result<_>>()?;
+    let rows: Vec<usize> = (0..n_windows).collect();
+
+    let (winner, outcomes) = par_fold_argmin(
+        cfg,
+        &rows,
+        &mut NoMeter,
+        f64::INFINITY,
+        || Ok(()),
+        |_, _, &i, frozen, _| {
+            let mut row_best: Option<Motif> = None;
+            let mut bsf = frozen;
+            for j in (i + m)..n_windows {
+                match cdtw_distance_ea(&windows[i], &windows[j], band, bsf, None, SquaredCost)? {
+                    EaOutcome::Exact(d) => {
+                        if d < bsf {
+                            bsf = d;
+                            row_best = Some(Motif {
+                                first: i,
+                                second: j,
+                                distance: d,
+                            });
+                        }
+                    }
+                    EaOutcome::Abandoned { .. } => {}
+                }
+            }
+            Ok(row_best)
+        },
+        |e: &Option<Motif>| e.as_ref().map(|mo| mo.distance),
+    )?;
+
+    match winner {
+        Some((row, _)) => Ok(outcomes[row].expect("scoring row carries its motif")),
+        None => Ok(Motif {
+            first: 0,
+            second: m,
+            distance: f64::INFINITY,
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +195,26 @@ mod tests {
     fn rejects_too_short_series() {
         assert!(top_motif(&[0.0; 10], 8, 1).is_err());
         assert!(top_motif(&[0.0; 10], 0, 1).is_err());
+        let cfg = ParConfig::new(2).unwrap();
+        assert!(top_motif_par(&[0.0; 10], 8, 1, &cfg).is_err());
+        assert!(top_motif_par(&[0.0; 10], 0, 1, &cfg).is_err());
+    }
+
+    #[test]
+    fn par_motif_is_bitwise_serial_at_any_thread_count() {
+        let m = 20;
+        let s = with_planted_pair(260, m, 40, 180);
+        let serial = top_motif(&s, m, 2).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let cfg = ParConfig::with_chunk(threads, 8).unwrap();
+            let par = top_motif_par(&s, m, 2, &cfg).unwrap();
+            assert_eq!(par.first, serial.first, "{threads} threads");
+            assert_eq!(par.second, serial.second, "{threads} threads");
+            assert_eq!(
+                par.distance.to_bits(),
+                serial.distance.to_bits(),
+                "{threads} threads"
+            );
+        }
     }
 }

@@ -2,12 +2,16 @@
 //!
 //! The paper's Fig. 1 and Fig. 4 measure the cumulative time for *all
 //! pairwise comparisons* in a dataset (400,960 and 499,500 pairs
-//! respectively). This module provides that workload, parallelized with
-//! `std::thread::scope` workers. Parallelism is applied identically
-//! whichever distance closure is passed, so exact/approximate *ratios* —
-//! the thing the paper argues about — are preserved.
+//! respectively). This module provides that workload, built on the
+//! deterministic executor in [`par`](crate::par). Parallelism is applied
+//! identically whichever distance closure is passed, so
+//! exact/approximate *ratios* — the thing the paper argues about — are
+//! preserved, and the per-pair meter shards merge in pair order, so the
+//! work counters are identical at any thread count.
 
+use crate::par::{par_map, ParConfig};
 use tsdtw_core::error::{Error, Result};
+use tsdtw_obs::{MeterShard, NoMeter};
 
 /// A symmetric distance matrix stored densely.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,51 +69,52 @@ pub fn pair_count(n: usize) -> usize {
 ///
 /// The distance closure must be pure; it receives `(series[i], series[j])`
 /// for every `i < j`. Errors from any pair abort the whole computation.
+/// `n_threads = 0` is clamped to 1 (kept for backward compatibility;
+/// [`pairwise_matrix_par`] rejects it instead).
 pub fn pairwise_matrix<F>(series: &[Vec<f64>], n_threads: usize, dist: F) -> Result<DistanceMatrix>
 where
     F: Fn(&[f64], &[f64]) -> Result<f64> + Sync,
+{
+    let cfg = ParConfig {
+        n_threads: n_threads.max(1),
+        chunk: crate::par::DEFAULT_CHUNK,
+    };
+    pairwise_matrix_par(series, &cfg, &mut NoMeter, |a, b, _: &mut NoMeter| {
+        dist(a, b)
+    })
+}
+
+/// [`pairwise_matrix`] on an explicit [`ParConfig`], with a metered
+/// distance closure: each pair's work lands in a private shard and the
+/// shards merge into `meter` in pair order (row-major over `i < j`), so
+/// the merged counters are identical at any thread count.
+pub fn pairwise_matrix_par<M, F>(
+    series: &[Vec<f64>],
+    cfg: &ParConfig,
+    meter: &mut M,
+    dist: F,
+) -> Result<DistanceMatrix>
+where
+    M: MeterShard,
+    F: Fn(&[f64], &[f64], &mut M) -> Result<f64> + Sync,
 {
     let n = series.len();
     if n == 0 {
         return Err(Error::EmptyInput { which: "series" });
     }
-    let n_threads = n_threads.max(1);
-
-    // Enumerate pairs once; round-robin them across workers so cost is
-    // balanced even though later rows have fewer pairs.
+    // Enumerate pairs once, row-major; the executor chunks them so cost
+    // stays balanced even though later rows have fewer pairs.
     let pairs: Vec<(usize, usize)> = (0..n)
         .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
         .collect();
-
-    let results: Result<Vec<Vec<(usize, usize, f64)>>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n_threads);
-        for t in 0..n_threads {
-            let pairs = &pairs;
-            let dist = &dist;
-            handles.push(scope.spawn(move || -> Result<Vec<(usize, usize, f64)>> {
-                let mut out = Vec::with_capacity(pairs.len() / n_threads + 1);
-                let mut k = t;
-                while k < pairs.len() {
-                    let (i, j) = pairs[k];
-                    out.push((i, j, dist(&series[i], &series[j])?));
-                    k += n_threads;
-                }
-                Ok(out)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("pairwise worker panicked"))
-            .collect()
-    });
-
-    let mut m = DistanceMatrix::zeros(n);
-    for chunk in results? {
-        for (i, j, d) in chunk {
-            m.set_sym(i, j, d);
-        }
+    let distances = par_map(cfg, &pairs, meter, |_, &(i, j), m| {
+        dist(&series[i], &series[j], m)
+    })?;
+    let mut out = DistanceMatrix::zeros(n);
+    for (&(i, j), d) in pairs.iter().zip(distances) {
+        out.set_sym(i, j, d);
     }
-    Ok(m)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -179,6 +184,34 @@ mod tests {
         let m = pairwise_matrix(&s, 2, sq_euclidean).unwrap();
         assert_eq!(m.len(), 1);
         assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn metered_par_counters_are_thread_count_invariant() {
+        use tsdtw_obs::WorkMeter;
+        let s = toy_series(9, 40);
+        let run = |threads: usize| {
+            let cfg = ParConfig::with_chunk(threads, 4).unwrap();
+            let mut meter = WorkMeter::new();
+            let m = pairwise_matrix_par(&s, &cfg, &mut meter, |a, b, mm| {
+                tsdtw_core::dtw::banded::cdtw_distance_metered(
+                    a,
+                    b,
+                    3,
+                    tsdtw_core::cost::SquaredCost,
+                    mm,
+                )
+            })
+            .unwrap();
+            (m, meter)
+        };
+        let (m1, meter1) = run(1);
+        assert!(meter1.cells > 0);
+        for threads in [2usize, 3, 7] {
+            let (m, meter) = run(threads);
+            assert_eq!(m, m1, "{threads} threads");
+            assert_eq!(meter, meter1, "{threads} threads");
+        }
     }
 
     #[test]

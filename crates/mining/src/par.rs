@@ -1,0 +1,664 @@
+//! The deterministic chunked parallel executor.
+//!
+//! Every parallel entry point in this crate (`*_par`) runs on one of the
+//! two primitives here, and both share one contract: **the result — and
+//! every merged [`WorkMeter`](tsdtw_obs::WorkMeter) counter — is bitwise
+//! identical at any `n_threads` for a fixed [`ParConfig::chunk`]**. That
+//! is what lets the PR 2 perf gate keep hard-failing on work-counter
+//! drift no matter how many threads a run used.
+//!
+//! * [`par_map`] — independent items (all-pairs distances, per-query
+//!   classification, DBA alignments). Each item is evaluated with a
+//!   private meter shard ([`MeterShard::fresh`]) and the shards are
+//!   absorbed into the caller's meter **in item-index order**, so the
+//!   merged meter equals the serial one exactly — including the
+//!   order-sensitive FastDTW per-level list.
+//! * [`par_fold_argmin`] — best-so-far-pruned scans (the 1-NN cascade,
+//!   subsequence search, motif/discord rows). Items are processed in
+//!   *chunk-synchronous* rounds: within a chunk every item is evaluated
+//!   against the best-so-far **frozen at the chunk boundary**, and the
+//!   bound only advances when the chunk's results merge, scanned in
+//!   index order with strict `<` (equal values keep the lower index).
+//!   Pruning decisions therefore depend only on (item index, chunk-start
+//!   bound) — never on thread interleaving — which makes the work
+//!   counters a pure function of the chunk size. With `chunk = 1` the
+//!   frozen bound refreshes after every item, reproducing the
+//!   continuous-best-so-far serial path byte for byte.
+//!
+//! With `n_threads == 1` neither primitive spawns: the loop runs inline
+//! on the caller's thread, writing straight into the caller's meter.
+//! Worker panics are caught at join and surfaced as
+//! [`Error::WorkerPanicked`] instead of a hang; item errors are reported
+//! deterministically — the first error in item order wins, and shards of
+//! later items are discarded so the caller's meter ends in the same
+//! state at any thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tsdtw_core::error::{Error, Result};
+use tsdtw_obs::{absorb_raw_spans, drain_raw_spans, MeterShard};
+
+/// Default chunk size: large enough to amortize per-chunk spawn and
+/// merge costs, small enough that the frozen best-so-far of
+/// [`par_fold_argmin`] stays close to the continuous one.
+pub const DEFAULT_CHUNK: usize = 64;
+
+/// How a parallel entry point should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Worker threads. `1` means run inline on the caller's thread
+    /// (no spawn at all). Must be at least 1.
+    pub n_threads: usize,
+    /// Items per scheduling chunk; also the granularity at which the
+    /// frozen best-so-far of [`par_fold_argmin`] advances. Must be at
+    /// least 1. Results depend on `chunk` only through the frozen-bound
+    /// semantics — never on `n_threads`.
+    pub chunk: usize,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl ParConfig {
+    /// Single-threaded execution with the default chunk size.
+    pub fn serial() -> Self {
+        ParConfig {
+            n_threads: 1,
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// `n_threads` workers with the default chunk size.
+    pub fn new(n_threads: usize) -> Result<Self> {
+        Self::with_chunk(n_threads, DEFAULT_CHUNK)
+    }
+
+    /// Fully explicit configuration.
+    pub fn with_chunk(n_threads: usize, chunk: usize) -> Result<Self> {
+        let cfg = ParConfig { n_threads, chunk };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks both fields are at least 1.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_threads == 0 {
+            return Err(Error::InvalidParameter {
+                name: "n_threads",
+                reason: "at least one worker thread is required".into(),
+            });
+        }
+        if self.chunk == 0 {
+            return Err(Error::InvalidParameter {
+                name: "chunk",
+                reason: "chunk size must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The winner of a [`par_fold_argmin`] run: the `(item_index, value)`
+/// pair achieving the minimum, or `None` when nothing scored below the
+/// fold's `init` bound.
+pub type Argmin = Option<(usize, f64)>;
+
+/// Renders a worker panic payload as [`Error::WorkerPanicked`].
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> Error {
+    let reason = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    Error::WorkerPanicked { reason }
+}
+
+/// Maps `f` over `items` with `cfg.n_threads` workers, absorbing each
+/// item's private meter shard into `meter` in item-index order.
+///
+/// `f` receives `(item_index, &item, &mut shard)` and must not depend on
+/// any state mutated by other items — the executor may evaluate items in
+/// any order across threads. Results come back in item order. The first
+/// error in item order is returned, with the shards of all later items
+/// discarded (so the meter ends identically at any thread count); a
+/// worker panic surfaces as [`Error::WorkerPanicked`].
+pub fn par_map<T, R, M, F>(cfg: &ParConfig, items: &[T], meter: &mut M, f: F) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    M: MeterShard,
+    F: Fn(usize, &T, &mut M) -> Result<R> + Sync,
+{
+    cfg.validate()?;
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    if cfg.n_threads == 1 {
+        // Inline: no spawn, no sharding — byte-identical to a plain loop.
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            out.push(f(i, item, meter)?);
+        }
+        return Ok(out);
+    }
+
+    let n_chunks = items.len().div_ceil(cfg.chunk);
+    let workers = cfg.n_threads.min(n_chunks);
+    let next = AtomicUsize::new(0);
+    let handoff = tsdtw_obs::recorder_handoff();
+
+    type EvalSlot<R, M> = Vec<(Result<R>, M)>;
+    type ChunkOut<R, M> = (usize, EvalSlot<R, M>);
+    type WorkerYield<R, M> = (
+        Vec<ChunkOut<R, M>>,
+        tsdtw_obs::RawSpans,
+        Option<tsdtw_obs::Trace>,
+    );
+    let joined: Vec<std::thread::Result<WorkerYield<R, M>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    if let Some(h) = handoff {
+                        tsdtw_obs::recorder_start_shard(h);
+                    }
+                    let mut mine: Vec<ChunkOut<R, M>> = Vec::new();
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let start = c * cfg.chunk;
+                        let end = (start + cfg.chunk).min(items.len());
+                        let mut chunk_out = Vec::with_capacity(end - start);
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            let mut shard = M::fresh();
+                            let r = f(i, item, &mut shard);
+                            chunk_out.push((r, shard));
+                        }
+                        mine.push((c, chunk_out));
+                    }
+                    (mine, drain_raw_spans(), tsdtw_obs::recorder_stop())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+
+    let mut chunks: Vec<Option<EvalSlot<R, M>>> = (0..n_chunks).map(|_| None).collect();
+    let mut first_panic = None;
+    for j in joined {
+        match j {
+            Ok((mine, raw, shard_trace)) => {
+                for (c, out) in mine {
+                    chunks[c] = Some(out);
+                }
+                absorb_raw_spans(raw);
+                if let Some(t) = shard_trace {
+                    tsdtw_obs::recorder_absorb(t);
+                }
+            }
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(panic_error(payload));
+                }
+            }
+        }
+    }
+    if let Some(e) = first_panic {
+        return Err(e);
+    }
+
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in chunks {
+        for (r, shard) in chunk.expect("every chunk was claimed by a worker") {
+            meter.absorb(shard);
+            out.push(r?);
+        }
+    }
+    Ok(out)
+}
+
+/// Chunk-synchronous best-so-far fold: evaluates `items` in chunks of
+/// `cfg.chunk`, each item against the bound **frozen at its chunk's
+/// start**, and advances the bound by scanning the chunk's results in
+/// index order (strict `<`; equal values keep the lower index).
+///
+/// * `make_ctx` builds one worker-local scratch context per worker per
+///   chunk (e.g. a cloned pruning cascade); contexts never cross threads.
+/// * `eval` receives `(ctx, item_index, &item, frozen_bound, &mut shard)`
+///   and its metered work must depend only on the item and the bound.
+/// * `score` projects an outcome to the value competing for the minimum
+///   (`None` does not compete).
+///
+/// Returns the winning `(item_index, value)` — `None` when nothing
+/// scored below `init` — and every outcome in item order. With
+/// `chunk = 1` the bound refreshes after every item, i.e. exactly the
+/// continuous best-so-far loop of the serial implementations.
+pub fn par_fold_argmin<T, C, E, M, FC, F, S>(
+    cfg: &ParConfig,
+    items: &[T],
+    meter: &mut M,
+    init: f64,
+    make_ctx: FC,
+    eval: F,
+    score: S,
+) -> Result<(Argmin, Vec<E>)>
+where
+    T: Sync,
+    E: Send,
+    M: MeterShard,
+    FC: Fn() -> Result<C> + Sync,
+    F: Fn(&mut C, usize, &T, f64, &mut M) -> Result<E> + Sync,
+    S: Fn(&E) -> Option<f64>,
+{
+    cfg.validate()?;
+    let mut best: Argmin = None;
+    let mut bound = init;
+    let mut outcomes = Vec::with_capacity(items.len());
+    if items.is_empty() {
+        return Ok((None, outcomes));
+    }
+
+    if cfg.n_threads == 1 {
+        // Inline, but with the same chunk-frozen bound semantics as the
+        // parallel path so counters do not depend on the thread count.
+        let mut ctx = make_ctx()?;
+        let mut frozen = bound;
+        for (i, item) in items.iter().enumerate() {
+            if i % cfg.chunk == 0 {
+                frozen = bound;
+            }
+            let e = eval(&mut ctx, i, item, frozen, meter)?;
+            if let Some(v) = score(&e) {
+                if v < bound {
+                    bound = v;
+                    best = Some((i, v));
+                }
+            }
+            outcomes.push(e);
+        }
+        return Ok((best, outcomes));
+    }
+
+    let mut start = 0usize;
+    while start < items.len() {
+        let end = (start + cfg.chunk).min(items.len());
+        let slice = &items[start..end];
+        let frozen = bound;
+        let workers = cfg.n_threads.min(slice.len());
+        let handoff = tsdtw_obs::recorder_handoff();
+
+        type WorkerOut<E, M> = Result<Vec<(usize, Result<E>, M)>>;
+        type FoldYield<E, M> = (
+            WorkerOut<E, M>,
+            tsdtw_obs::RawSpans,
+            Option<tsdtw_obs::Trace>,
+        );
+        let joined: Vec<std::thread::Result<FoldYield<E, M>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let make_ctx = &make_ctx;
+                    let eval = &eval;
+                    scope.spawn(move || {
+                        if let Some(h) = handoff {
+                            tsdtw_obs::recorder_start_shard(h);
+                        }
+                        let run = || -> WorkerOut<E, M> {
+                            let mut ctx = make_ctx()?;
+                            let mut out = Vec::new();
+                            let mut k = w;
+                            while k < slice.len() {
+                                let mut shard = M::fresh();
+                                let r = eval(&mut ctx, start + k, &slice[k], frozen, &mut shard);
+                                out.push((k, r, shard));
+                                k += workers;
+                            }
+                            Ok(out)
+                        };
+                        (run(), drain_raw_spans(), tsdtw_obs::recorder_stop())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        let mut slots: Vec<Option<(Result<E>, M)>> = (0..slice.len()).map(|_| None).collect();
+        let mut first_panic = None;
+        let mut ctx_error = None;
+        for j in joined {
+            match j {
+                Ok((worker_out, raw, shard_trace)) => {
+                    match worker_out {
+                        Ok(entries) => {
+                            for (k, r, shard) in entries {
+                                slots[k] = Some((r, shard));
+                            }
+                        }
+                        Err(e) => {
+                            if ctx_error.is_none() {
+                                ctx_error = Some(e);
+                            }
+                        }
+                    }
+                    absorb_raw_spans(raw);
+                    if let Some(t) = shard_trace {
+                        tsdtw_obs::recorder_absorb(t);
+                    }
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(panic_error(payload));
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_panic {
+            return Err(e);
+        }
+        if let Some(e) = ctx_error {
+            return Err(e);
+        }
+
+        for (k, slot) in slots.into_iter().enumerate() {
+            let (r, shard) = slot.expect("every slice item was evaluated");
+            meter.absorb(shard);
+            let e = r?;
+            if let Some(v) = score(&e) {
+                if v < bound {
+                    bound = v;
+                    best = Some((start + k, v));
+                }
+            }
+            outcomes.push(e);
+        }
+        start = end;
+    }
+    Ok((best, outcomes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_obs::{Meter, NoMeter, WorkMeter};
+
+    fn items(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 37 % 101) as f64) * 0.5).collect()
+    }
+
+    #[test]
+    fn config_rejects_zero_threads_and_zero_chunk() {
+        assert!(ParConfig::new(0).is_err());
+        assert!(ParConfig::with_chunk(2, 0).is_err());
+        assert!(ParConfig::with_chunk(1, 1).is_ok());
+        let bad = ParConfig {
+            n_threads: 0,
+            chunk: 4,
+        };
+        assert!(par_map(&bad, &[1.0], &mut NoMeter, |_, v, _| Ok(*v)).is_err());
+    }
+
+    #[test]
+    fn single_thread_runs_inline_without_spawning() {
+        let caller = std::thread::current().id();
+        let cfg = ParConfig::serial();
+        let out = par_map(&cfg, &items(10), &mut NoMeter, |i, v, _| {
+            assert_eq!(std::thread::current().id(), caller, "item {i} spawned");
+            Ok(v * 2.0)
+        })
+        .unwrap();
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn map_results_and_meters_match_serial_at_any_thread_count() {
+        let data = items(57);
+        let cfg1 = ParConfig::with_chunk(1, 8).unwrap();
+        let mut m1 = WorkMeter::new();
+        let expect = par_map(&cfg1, &data, &mut m1, |i, v, m| {
+            m.cells((i as u64 % 5) + 1);
+            Ok(v + i as f64)
+        })
+        .unwrap();
+        for threads in [2usize, 3, 7, 16] {
+            let cfg = ParConfig::with_chunk(threads, 8).unwrap();
+            let mut m = WorkMeter::new();
+            let out = par_map(&cfg, &data, &mut m, |i, v, mm| {
+                mm.cells((i as u64 % 5) + 1);
+                Ok(v + i as f64)
+            })
+            .unwrap();
+            assert_eq!(out, expect, "{threads} threads");
+            assert_eq!(m, m1, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let cfg = ParConfig::with_chunk(32, 2).unwrap();
+        let out = par_map(&cfg, &items(3), &mut NoMeter, |_, v, _| Ok(*v)).unwrap();
+        assert_eq!(out, items(3));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let cfg = ParConfig::new(4).unwrap();
+        let data: Vec<f64> = Vec::new();
+        assert!(par_map(&cfg, &data, &mut NoMeter, |_, v, _| Ok(*v))
+            .unwrap()
+            .is_empty());
+        let (best, outcomes) = par_fold_argmin(
+            &cfg,
+            &data,
+            &mut NoMeter,
+            f64::INFINITY,
+            || Ok(()),
+            |_, _, v, _, _| Ok(*v),
+            |v| Some(*v),
+        )
+        .unwrap();
+        assert!(best.is_none());
+        assert!(outcomes.is_empty());
+    }
+
+    #[test]
+    fn first_error_in_item_order_wins_and_meter_is_deterministic() {
+        let data = items(40);
+        let run = |threads: usize| {
+            let cfg = ParConfig::with_chunk(threads, 4).unwrap();
+            let mut m = WorkMeter::new();
+            let r = par_map(&cfg, &data, &mut m, |i, v, mm| {
+                mm.cells(1);
+                if i == 17 || i == 33 {
+                    Err(Error::InvalidParameter {
+                        name: "item",
+                        reason: format!("boom at {i}"),
+                    })
+                } else {
+                    Ok(*v)
+                }
+            });
+            (r.unwrap_err(), m)
+        };
+        let (e1, m1) = run(1);
+        assert!(e1.to_string().contains("boom at 17"), "{e1}");
+        for threads in [2usize, 5] {
+            let (e, m) = run(threads);
+            assert_eq!(e, e1, "{threads} threads");
+            // Shards past the failing item are discarded: 17 successes
+            // plus the failing item's own shard.
+            assert_eq!(m, m1, "{threads} threads");
+            assert_eq!(m.cells, 18);
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_an_error_not_a_hang() {
+        let data = items(20);
+        for threads in [1usize, 4] {
+            let cfg = ParConfig::with_chunk(threads, 2).unwrap();
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                par_map(&cfg, &data, &mut NoMeter, |i, v, _| {
+                    if i == 9 {
+                        panic!("poisoned worker");
+                    }
+                    Ok(*v)
+                })
+            }));
+            if threads == 1 {
+                // Inline execution propagates the panic like a plain loop.
+                assert!(r.is_err());
+            } else {
+                let err = r.expect("no panic crosses par_map").unwrap_err();
+                match err {
+                    Error::WorkerPanicked { reason } => {
+                        assert!(reason.contains("poisoned worker"), "{reason}")
+                    }
+                    other => panic!("expected WorkerPanicked, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_matches_continuous_serial_with_chunk_one() {
+        // Reference: the classic continuous best-so-far loop.
+        let data = items(63);
+        let mut bsf = f64::INFINITY;
+        let mut best = None;
+        let mut evals = 0u64;
+        for (i, &v) in data.iter().enumerate() {
+            evals += 1; // a continuous-bsf loop "touches" every item
+            if v < bsf {
+                bsf = v;
+                best = Some((i, v));
+            }
+        }
+        for threads in [1usize, 3] {
+            let cfg = ParConfig::with_chunk(threads, 1).unwrap();
+            let mut m = WorkMeter::new();
+            let (got, outcomes) = par_fold_argmin(
+                &cfg,
+                &data,
+                &mut m,
+                f64::INFINITY,
+                || Ok(()),
+                |_, _, v, _, mm| {
+                    mm.cells(1);
+                    Ok(*v)
+                },
+                |v| Some(*v),
+            )
+            .unwrap();
+            assert_eq!(got, best, "{threads} threads");
+            assert_eq!(outcomes, data);
+            assert_eq!(m.cells, evals);
+        }
+    }
+
+    #[test]
+    fn fold_is_thread_count_invariant_for_fixed_chunk() {
+        // Make the metered work depend on the frozen bound, the way a
+        // pruning cascade does: cheap when the bound already beats the
+        // item, expensive otherwise.
+        let data = items(97);
+        let run = |threads: usize| {
+            let cfg = ParConfig::with_chunk(threads, 8).unwrap();
+            let mut m = WorkMeter::new();
+            let r = par_fold_argmin(
+                &cfg,
+                &data,
+                &mut m,
+                f64::INFINITY,
+                || Ok(()),
+                |_, _, v, bound, mm: &mut WorkMeter| {
+                    if *v >= bound {
+                        mm.cells(1); // "pruned"
+                        Ok(f64::INFINITY)
+                    } else {
+                        mm.cells(10); // "full evaluation"
+                        Ok(*v)
+                    }
+                },
+                |v| if v.is_finite() { Some(*v) } else { None },
+            )
+            .unwrap();
+            (r.0, m)
+        };
+        let (best1, m1) = run(1);
+        for threads in [2usize, 3, 7] {
+            let (best, m) = run(threads);
+            assert_eq!(best, best1, "{threads} threads");
+            assert_eq!(m, m1, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn fold_argmin_ties_pick_the_lower_index() {
+        // Two exact ties inside the same chunk and across chunks.
+        let data = vec![5.0, 3.0, 3.0, 4.0, 3.0];
+        for threads in [1usize, 2, 4] {
+            let cfg = ParConfig::with_chunk(threads, 8).unwrap();
+            let (best, _) = par_fold_argmin(
+                &cfg,
+                &data,
+                &mut NoMeter,
+                f64::INFINITY,
+                || Ok(()),
+                |_, _, v, _, _| Ok(*v),
+                |v| Some(*v),
+            )
+            .unwrap();
+            assert_eq!(best, Some((1, 3.0)), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn fold_context_errors_propagate() {
+        let data = items(8);
+        let cfg = ParConfig::new(3).unwrap();
+        let r: Result<(Argmin, Vec<f64>)> = par_fold_argmin(
+            &cfg,
+            &data,
+            &mut NoMeter,
+            f64::INFINITY,
+            || -> Result<()> {
+                Err(Error::InvalidParameter {
+                    name: "ctx",
+                    reason: "no context today".into(),
+                })
+            },
+            |_, _, v, _, _| Ok(*v),
+            |v| Some(*v),
+        );
+        assert!(r.unwrap_err().to_string().contains("no context today"));
+    }
+
+    #[test]
+    fn worker_spans_reach_an_armed_flight_recorder() {
+        let data = items(12);
+        let cfg = ParConfig::with_chunk(3, 2).unwrap();
+        tsdtw_obs::recorder_start(256);
+        let out = par_map(&cfg, &data, &mut NoMeter, |_, v, _| {
+            let _g = tsdtw_obs::span("par_test_item");
+            Ok(*v * 2.0)
+        })
+        .unwrap();
+        let trace = tsdtw_obs::recorder_stop().expect("recorder was armed");
+        assert_eq!(out.len(), 12);
+        if tsdtw_obs::spans_enabled() {
+            // Every worker item produced a begin/end pair, absorbed onto
+            // per-worker tracks; ids stay pairable after the merge.
+            assert_eq!(trace.events.len(), 24, "{:?}", trace.events);
+            assert!(trace.events.iter().all(|e| e.track >= 1));
+            let rows = trace.summary();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].count, 12);
+        } else {
+            assert!(trace.events.is_empty());
+        }
+    }
+}

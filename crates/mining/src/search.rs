@@ -10,6 +10,7 @@
 //! with the lower-bound cascade before the DP ever runs. None of this
 //! machinery is available to FastDTW.
 
+use crate::par::{par_fold_argmin, par_map, ParConfig};
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea_metered, EaOutcome};
 use tsdtw_core::envelope::Envelope;
@@ -19,7 +20,7 @@ use tsdtw_core::lower_bounds::keogh::{
 };
 use tsdtw_core::lower_bounds::kim::lb_kim_hierarchy;
 use tsdtw_core::norm::znorm;
-use tsdtw_obs::{LbKind, Meter, NoMeter, StageTag};
+use tsdtw_obs::{LbKind, Meter, MeterShard, NoMeter, StageTag};
 
 /// Outcome of a subsequence search.
 #[derive(Debug, Clone, PartialEq)]
@@ -179,6 +180,144 @@ pub fn subsequence_search_metered<M: Meter>(
     })
 }
 
+/// Per-position `(mean, 1/std)` of every length-`m` window of `haystack`,
+/// computed with the exact rolling-sum recurrence the serial searchers
+/// use, so the windows the parallel paths materialize from these arrays
+/// are bitwise identical to the serially-normalized ones.
+fn rolling_norm_params(haystack: &[f64], m: usize) -> (Vec<f64>, Vec<f64>) {
+    let n_pos = haystack.len() - m + 1;
+    let mut means = Vec::with_capacity(n_pos);
+    let mut invs = Vec::with_capacity(n_pos);
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &v in &haystack[..m] {
+        sum += v;
+        sum_sq += v * v;
+    }
+    for pos in 0..n_pos {
+        if pos > 0 {
+            let out = haystack[pos - 1];
+            let inc = haystack[pos + m - 1];
+            sum += inc - out;
+            sum_sq += inc * inc - out * out;
+        }
+        let mean = sum / m as f64;
+        let var = (sum_sq / m as f64 - mean * mean).max(0.0);
+        let std = var.sqrt();
+        means.push(mean);
+        invs.push(if std > f64::EPSILON { 1.0 / std } else { 0.0 });
+    }
+    (means, invs)
+}
+
+/// How the parallel searcher disposed of one candidate position.
+enum Disposition {
+    Kim,
+    Keogh,
+    Abandoned,
+    Exact(f64),
+}
+
+/// [`subsequence_search`] on the deterministic parallel executor.
+///
+/// Candidate positions are folded chunk-synchronously: every position in
+/// a chunk is bounded and early-abandoned against the best-so-far frozen
+/// at the chunk's start, and the bound advances at the merge in position
+/// order. Because completed `cDTW` values are independent of the bound
+/// (early abandoning only ever discards provably-worse candidates), the
+/// winning position and distance are bitwise identical to the serial
+/// search at any `(n_threads, chunk)`; the [`SearchStats`] and meter
+/// counters are a pure function of `chunk` — with `chunk = 1` they equal
+/// the serial ones exactly, and for any fixed `chunk` they are identical
+/// at every thread count.
+pub fn subsequence_search_par<M: MeterShard>(
+    haystack: &[f64],
+    query: &[f64],
+    band: usize,
+    cfg: &ParConfig,
+    meter: &mut M,
+) -> Result<SearchResult> {
+    let _span = tsdtw_obs::span("subsequence_search");
+    let m = query.len();
+    if m == 0 {
+        return Err(Error::EmptyInput { which: "query" });
+    }
+    if haystack.len() < m {
+        return Err(Error::InvalidParameter {
+            name: "haystack",
+            reason: format!("haystack ({}) shorter than query ({m})", haystack.len()),
+        });
+    }
+    let q = znorm(query)?;
+    let env = Envelope::new(&q, band)?;
+    meter.envelope_built(q.len() as u64);
+    let order = sort_indices_by_magnitude(&q);
+    let (means, invs) = rolling_norm_params(haystack, m);
+    let positions: Vec<usize> = (0..means.len()).collect();
+
+    let (best, outcomes) = par_fold_argmin(
+        cfg,
+        &positions,
+        meter,
+        f64::INFINITY,
+        || Ok((vec![0.0; m], Vec::<f64>::new())),
+        |ctx, _, &pos, bsf, mm| {
+            let (window, contrib) = ctx;
+            for (k, w) in window.iter_mut().enumerate() {
+                *w = (haystack[pos + k] - means[pos]) * invs[pos];
+            }
+            mm.lb(LbKind::Kim);
+            let kim = lb_kim_hierarchy(&q, window, bsf)?;
+            if kim >= bsf {
+                mm.prune(StageTag::Kim);
+                return Ok(Disposition::Kim);
+            }
+            mm.lb(LbKind::Keogh);
+            let keogh = lb_keogh_reordered(window, &env, &order, bsf)?;
+            if keogh >= bsf {
+                mm.prune(StageTag::KeoghQC);
+                return Ok(Disposition::Keogh);
+            }
+            mm.lb(LbKind::Keogh);
+            let _ = lb_keogh_with_contrib(window, &env, contrib)?;
+            let cb = suffix_sums(contrib);
+            match cdtw_distance_ea_metered(&q, window, band, bsf, Some(&cb), SquaredCost, mm)? {
+                EaOutcome::Exact(d) => {
+                    mm.prune(StageTag::DtwExact);
+                    Ok(Disposition::Exact(d))
+                }
+                EaOutcome::Abandoned { .. } => {
+                    mm.prune(StageTag::DtwAbandoned);
+                    Ok(Disposition::Abandoned)
+                }
+            }
+        },
+        |e| match e {
+            Disposition::Exact(d) => Some(*d),
+            _ => None,
+        },
+    )?;
+
+    let mut stats = SearchStats {
+        candidates: outcomes.len() as u64,
+        ..SearchStats::default()
+    };
+    for e in &outcomes {
+        match e {
+            Disposition::Kim => stats.pruned_kim += 1,
+            Disposition::Keogh => stats.pruned_keogh += 1,
+            Disposition::Abandoned => stats.dtw_abandoned += 1,
+            Disposition::Exact(_) => stats.dtw_exact += 1,
+        }
+    }
+    let (position, distance) = best.map_or((0, f64::INFINITY), |(pos, d)| (pos, d));
+    Ok(SearchResult {
+        position,
+        distance,
+        stats,
+    })
+}
+
 /// Brute-force reference: z-normalize every window, run plain `cDTW_band`.
 /// Exported for tests and the pruning-power ablation bench.
 pub fn subsequence_search_brute(
@@ -280,6 +419,40 @@ pub fn distance_profile_metered<M: Meter>(
     Ok(out)
 }
 
+/// [`distance_profile`] on the deterministic parallel executor: every
+/// window evaluation is an independent item, so the profile *and* the
+/// merged meter counters are bitwise identical to the serial ones at any
+/// `(n_threads, chunk)`.
+pub fn distance_profile_par<M: MeterShard>(
+    haystack: &[f64],
+    query: &[f64],
+    band: usize,
+    cfg: &ParConfig,
+    meter: &mut M,
+) -> Result<Vec<f64>> {
+    let _span = tsdtw_obs::span("subsequence_search");
+    let m = query.len();
+    if m == 0 {
+        return Err(Error::EmptyInput { which: "query" });
+    }
+    if haystack.len() < m {
+        return Err(Error::InvalidParameter {
+            name: "haystack",
+            reason: format!("haystack ({}) shorter than query ({m})", haystack.len()),
+        });
+    }
+    let q = znorm(query)?;
+    let (means, invs) = rolling_norm_params(haystack, m);
+    let positions: Vec<usize> = (0..means.len()).collect();
+    par_map(cfg, &positions, meter, |_, &pos, mm| {
+        let mut window = vec![0.0; m];
+        for (k, w) in window.iter_mut().enumerate() {
+            *w = (haystack[pos + k] - means[pos]) * invs[pos];
+        }
+        tsdtw_core::dtw::banded::cdtw_distance_metered(&q, &window, band, SquaredCost, mm)
+    })
+}
+
 /// One match from a top-k query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Match {
@@ -321,6 +494,35 @@ pub fn top_k_matches_metered<M: Meter>(
         });
     }
     let profile = distance_profile_metered(haystack, query, band, meter)?;
+    Ok(greedy_top_k(&profile, k, exclusion))
+}
+
+/// [`top_k_matches`] on the deterministic parallel executor: the profile
+/// is computed via [`distance_profile_par`], then the greedy selection
+/// (a cheap, inherently serial scan) runs exactly as in the serial path.
+pub fn top_k_matches_par<M: MeterShard>(
+    haystack: &[f64],
+    query: &[f64],
+    band: usize,
+    k: usize,
+    exclusion: usize,
+    cfg: &ParConfig,
+    meter: &mut M,
+) -> Result<Vec<Match>> {
+    if k == 0 {
+        return Err(Error::InvalidParameter {
+            name: "k",
+            reason: "k must be at least 1".into(),
+        });
+    }
+    let profile = distance_profile_par(haystack, query, band, cfg, meter)?;
+    Ok(greedy_top_k(&profile, k, exclusion))
+}
+
+/// Greedy non-overlapping selection from a distance profile, shared by
+/// the serial and parallel top-k entry points. Stable sort and strict
+/// index order make the selection deterministic under exact ties.
+fn greedy_top_k(profile: &[f64], k: usize, exclusion: usize) -> Vec<Match> {
     let mut order: Vec<usize> = (0..profile.len()).collect();
     order.sort_by(|&a, &b| {
         profile[a]
@@ -342,7 +544,7 @@ pub fn top_k_matches_metered<M: Meter>(
             });
         }
     }
-    Ok(taken)
+    taken
 }
 
 #[cfg(test)]
@@ -515,6 +717,77 @@ mod tests {
         assert_eq!(meter.ea_invocations, meter.dtw_abandoned + meter.dtw_exact);
         assert!(meter.cells > 0);
         assert!(meter.cells <= meter.window_cells);
+    }
+
+    #[test]
+    fn par_search_chunk_one_equals_serial_metered_exactly() {
+        use tsdtw_obs::WorkMeter;
+        let (hay, query) = planted(9, 700, 40, 250);
+        let mut serial_meter = WorkMeter::new();
+        let serial = subsequence_search_metered(&hay, &query, 4, &mut serial_meter).unwrap();
+        for threads in [1usize, 2, 3, 7] {
+            let cfg = ParConfig::with_chunk(threads, 1).unwrap();
+            let mut meter = WorkMeter::new();
+            let r = subsequence_search_par(&hay, &query, 4, &cfg, &mut meter).unwrap();
+            assert_eq!(r, serial, "{threads} threads");
+            assert_eq!(meter, serial_meter, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_search_finds_serial_match_with_thread_invariant_counters() {
+        use tsdtw_obs::WorkMeter;
+        let (hay, query) = planted(13, 900, 48, 512);
+        let serial = subsequence_search(&hay, &query, 4).unwrap();
+        let run = |threads: usize| {
+            let cfg = ParConfig::with_chunk(threads, 16).unwrap();
+            let mut meter = WorkMeter::new();
+            let r = subsequence_search_par(&hay, &query, 4, &cfg, &mut meter).unwrap();
+            (r, meter)
+        };
+        let (r1, m1) = run(1);
+        // The winner is bitwise the serial one (completed cDTW values do
+        // not depend on the pruning bound), even though the frozen-bound
+        // stats differ from the continuous serial ones at chunk 16.
+        assert_eq!(r1.position, serial.position);
+        assert_eq!(r1.distance.to_bits(), serial.distance.to_bits());
+        for threads in [2usize, 3, 7] {
+            let (r, m) = run(threads);
+            assert_eq!(r, r1, "{threads} threads");
+            assert_eq!(m, m1, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_profile_and_top_k_are_bitwise_serial() {
+        use tsdtw_obs::WorkMeter;
+        let (hay, query) = planted(21, 500, 32, 321);
+        let mut serial_meter = WorkMeter::new();
+        let serial = distance_profile_metered(&hay, &query, 3, &mut serial_meter).unwrap();
+        for threads in [2usize, 5] {
+            let cfg = ParConfig::with_chunk(threads, 8).unwrap();
+            let mut meter = WorkMeter::new();
+            let profile = distance_profile_par(&hay, &query, 3, &cfg, &mut meter).unwrap();
+            assert_eq!(profile, serial, "{threads} threads");
+            assert_eq!(meter, serial_meter, "{threads} threads");
+            let a = top_k_matches(&hay, &query, 3, 3, query.len()).unwrap();
+            let b = top_k_matches_par(&hay, &query, 3, 3, query.len(), &cfg, &mut NoMeter).unwrap();
+            assert_eq!(a, b, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_search_rejects_bad_config_and_degenerate_inputs() {
+        let (hay, query) = planted(2, 120, 16, 40);
+        let bad = ParConfig {
+            n_threads: 0,
+            chunk: 4,
+        };
+        assert!(subsequence_search_par(&hay, &query, 2, &bad, &mut NoMeter).is_err());
+        let ok = ParConfig::new(2).unwrap();
+        assert!(subsequence_search_par(&hay, &[], 2, &ok, &mut NoMeter).is_err());
+        assert!(distance_profile_par(&[1.0], &[1.0, 2.0], 1, &ok, &mut NoMeter).is_err());
+        assert!(top_k_matches_par(&hay, &query, 2, 0, 8, &ok, &mut NoMeter).is_err());
     }
 
     #[test]

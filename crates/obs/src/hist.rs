@@ -321,6 +321,45 @@ mod tests {
     }
 
     #[test]
+    fn merge_preserves_exact_extrema_and_total_count() {
+        // The parallel executor merges per-worker histograms shard-wise;
+        // the merged histogram must agree exactly with one built from
+        // the full sample stream — bucket counts, exact min/max, count,
+        // and total are all preserved, in any merge order.
+        let samples: Vec<u64> = (0..200u64).map(|i| (i * 7919 + 13) % 1_000_003).collect();
+        let mut whole = LatencyHist::new();
+        for &s in &samples {
+            whole.record_ns(s);
+        }
+        for chunk_len in [1usize, 3, 7, 64] {
+            let shards: Vec<LatencyHist> = samples
+                .chunks(chunk_len)
+                .map(|c| {
+                    let mut h = LatencyHist::new();
+                    for &s in c {
+                        h.record_ns(s);
+                    }
+                    h
+                })
+                .collect();
+            let mut fwd = LatencyHist::new();
+            for s in &shards {
+                fwd.merge(s);
+            }
+            assert_eq!(fwd, whole, "chunk {chunk_len}");
+            let mut rev = LatencyHist::new();
+            for s in shards.iter().rev() {
+                rev.merge(s);
+            }
+            assert_eq!(rev.count(), whole.count());
+            assert_eq!(rev.min_ns, whole.min_ns);
+            assert_eq!(rev.max_ns, whole.max_ns);
+            assert_eq!(rev.total_ns, whole.total_ns);
+            assert_eq!(rev.nonzero_buckets(), whole.nonzero_buckets());
+        }
+    }
+
+    #[test]
     fn serializes_summary_fields() {
         let mut h = LatencyHist::new();
         h.record_s(2e-3);

@@ -43,9 +43,13 @@ mod span;
 
 pub use hist::{nearest_rank, LatencyHist};
 pub use json::{Json, JsonParseError, ToJson};
-pub use meter::{FastDtwLevel, LbKind, Meter, NoMeter, StageTag, WorkMeter};
+pub use meter::{FastDtwLevel, LbKind, Meter, MeterShard, NoMeter, StageTag, WorkMeter};
 pub use recorder::{
-    recorder_active, recorder_start, recorder_stop, Recorder, Trace, TraceEvent, TracePhase,
-    TraceSummaryRow, DEFAULT_TRACE_CAPACITY,
+    recorder_absorb, recorder_active, recorder_handoff, recorder_start, recorder_start_shard,
+    recorder_stop, Recorder, RecorderHandoff, Trace, TraceEvent, TracePhase, TraceSummaryRow,
+    DEFAULT_TRACE_CAPACITY,
 };
-pub use span::{span, spans_enabled, take_spans, SpanGuard, SpanStat};
+pub use span::{
+    absorb_raw_spans, drain_raw_spans, span, spans_enabled, take_spans, RawSpans, SpanGuard,
+    SpanStat,
+};

@@ -419,6 +419,47 @@ impl WorkMeter {
     }
 }
 
+/// A [`Meter`] that can be sharded across worker threads and merged
+/// back deterministically.
+///
+/// The parallel executor in `tsdtw-mining::par` gives every work item
+/// its own shard (created with [`fresh`](MeterShard::fresh) on the
+/// worker thread) and folds the shards into the caller's meter **in
+/// item-index order** with [`absorb`](MeterShard::absorb). Because
+/// counter addition is associative and commutative and the only
+/// order-sensitive field (`levels`) is concatenated in item order, the
+/// merged meter is bit-identical to the one a serial run would have
+/// produced — at any thread count.
+pub trait MeterShard: Meter + Send + Sized {
+    /// A fresh, empty shard of this meter kind.
+    fn fresh() -> Self;
+
+    /// Folds a worker shard back into this meter. Callers must absorb
+    /// shards in item-index order to preserve the serial ordering of
+    /// order-sensitive fields.
+    fn absorb(&mut self, shard: Self);
+}
+
+impl MeterShard for NoMeter {
+    #[inline]
+    fn fresh() -> Self {
+        NoMeter
+    }
+
+    #[inline]
+    fn absorb(&mut self, _shard: Self) {}
+}
+
+impl MeterShard for WorkMeter {
+    fn fresh() -> Self {
+        WorkMeter::new()
+    }
+
+    fn absorb(&mut self, shard: Self) {
+        self.merge(&shard);
+    }
+}
+
 impl Meter for WorkMeter {
     #[inline]
     fn enabled(&self) -> bool {
@@ -569,6 +610,89 @@ mod tests {
         let s = m.summary();
         assert!(s.contains("4 DP cells"));
         assert!(s.contains("prune cascade"));
+    }
+
+    /// A deterministic pseudo-random meter for the algebra tests.
+    fn arbitrary_meter(seed: u64) -> WorkMeter {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % 97
+        };
+        let mut m = WorkMeter::new();
+        m.cells(next());
+        m.window_cells(next());
+        m.dp_buffer_bytes(next());
+        m.lb(LbKind::Kim);
+        m.lb(LbKind::Keogh);
+        m.envelope_built(next());
+        m.prune(StageTag::KeoghQC);
+        m.prune(StageTag::DtwExact);
+        m.ea_rows(next() % 10, 10);
+        m.fastdtw_level(FastDtwLevel {
+            len_x: (next() + 1) as usize,
+            len_y: (next() + 1) as usize,
+            window_cells: next(),
+            projected_cells: next(),
+            expanded_cells: next(),
+            base_case: next() % 2 == 0,
+        });
+        m
+    }
+
+    /// Strips the order-sensitive `levels` field so the commutativity
+    /// check compares only the plain counters.
+    fn counters_only(mut m: WorkMeter) -> WorkMeter {
+        m.levels.clear();
+        m
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let (a, b, c) = (arbitrary_meter(1), arbitrary_meter(2), arbitrary_meter(3));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_counters_are_commutative() {
+        let (a, b) = (arbitrary_meter(7), arbitrary_meter(11));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // `levels` ordering is deliberately order-sensitive; every plain
+        // counter commutes.
+        assert_eq!(counters_only(ab.clone()), counters_only(ba));
+        // ... and the identity element leaves everything unchanged.
+        let mut with_zero = a.clone();
+        with_zero.merge(&WorkMeter::new());
+        assert_eq!(with_zero, a);
+    }
+
+    #[test]
+    fn shard_fresh_is_empty_and_absorb_matches_merge() {
+        assert_eq!(WorkMeter::fresh(), WorkMeter::new());
+        let (a, b) = (arbitrary_meter(5), arbitrary_meter(6));
+        let mut via_absorb = a.clone();
+        via_absorb.absorb(b.clone());
+        let mut via_merge = a.clone();
+        via_merge.merge(&b);
+        assert_eq!(via_absorb, via_merge);
+        // NoMeter shards are inert.
+        let mut n = NoMeter;
+        n.absorb(NoMeter::fresh());
+        assert_eq!(n, NoMeter);
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct TraceEvent {
     /// Identifier pairing this event with its begin/end partner,
     /// unique per recorder.
     pub span_id: u64,
+    /// Which execution track the event belongs to: 0 is the recording
+    /// thread itself; absorbed worker shards (see [`recorder_absorb`])
+    /// get successive tracks 1, 2, … and export as distinct `tid`s.
+    pub track: u32,
 }
 
 /// A fixed-capacity ring buffer of [`TraceEvent`]s.
@@ -74,6 +78,7 @@ pub struct Recorder {
     dropped: u64,
     depth: u32,
     next_id: u64,
+    next_track: u32,
     epoch: Instant,
 }
 
@@ -81,6 +86,13 @@ impl Recorder {
     /// A recorder holding at most `capacity` events (clamped to ≥ 2,
     /// one begin/end pair).
     pub fn new(capacity: usize) -> Self {
+        Self::with_epoch(capacity, Instant::now())
+    }
+
+    /// A recorder whose timestamps are measured from `epoch` instead of
+    /// "now" — worker shards share the parent's epoch so their events
+    /// land on the same timeline (see [`recorder_start_shard`]).
+    fn with_epoch(capacity: usize, epoch: Instant) -> Self {
         let capacity = capacity.max(2);
         Recorder {
             capacity,
@@ -88,7 +100,8 @@ impl Recorder {
             dropped: 0,
             depth: 0,
             next_id: 0,
-            epoch: Instant::now(),
+            next_track: 1,
+            epoch,
         }
     }
 
@@ -112,6 +125,7 @@ impl Recorder {
             ts_us: self.epoch.elapsed().as_secs_f64() * 1e6,
             depth,
             span_id: id,
+            track: 0,
         });
         id
     }
@@ -126,7 +140,32 @@ impl Recorder {
             ts_us: self.epoch.elapsed().as_secs_f64() * 1e6,
             depth,
             span_id,
+            track: 0,
         });
+    }
+
+    /// Merges a worker shard's trace into this recorder: span ids are
+    /// remapped into this recorder's id space (so begin/end pairing
+    /// survives the merge) and every absorbed event is stamped with the
+    /// next free track number, keeping each shard a well-nested stream
+    /// of its own. Shard drop counts accumulate.
+    pub fn absorb(&mut self, shard: Trace) {
+        let offset = self.next_id;
+        let mut max_id = None::<u64>;
+        let track = self.next_track;
+        self.next_track += 1;
+        for ev in shard.events {
+            max_id = Some(max_id.map_or(ev.span_id, |m| m.max(ev.span_id)));
+            self.push(TraceEvent {
+                span_id: offset + ev.span_id,
+                track,
+                ..ev
+            });
+        }
+        if let Some(m) = max_id {
+            self.next_id = offset + m + 1;
+        }
+        self.dropped += shard.dropped;
     }
 
     /// Stops recording and yields the retained events.
@@ -193,7 +232,9 @@ impl Trace {
                 },
                 "ts" => ev.ts_us,
                 "pid" => 1,
-                "tid" => 1,
+                // Track 0 (the recording thread) keeps the historical
+                // tid 1; absorbed worker shards render as tid 2, 3, …
+                "tid" => ev.track + 1,
                 "args" => crate::json_obj! {
                     "depth" => ev.depth,
                     "span_id" => ev.span_id,
@@ -317,6 +358,45 @@ pub fn recorder_active() -> bool {
     ACTIVE.with(|a| a.borrow().is_some())
 }
 
+/// A capability for starting a worker-shard recorder that shares the
+/// parent's epoch and capacity, so shard timestamps line up with the
+/// parent timeline. Obtained on the parent thread *before* spawning
+/// workers via [`recorder_handoff`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecorderHandoff {
+    capacity: usize,
+    epoch: Instant,
+}
+
+/// Captures this thread's recorder configuration for handing to worker
+/// threads; `None` when no recorder is active (workers then record
+/// nothing, at zero cost).
+pub fn recorder_handoff() -> Option<RecorderHandoff> {
+    ACTIVE.with(|a| {
+        a.borrow().as_ref().map(|r| RecorderHandoff {
+            capacity: r.capacity,
+            epoch: r.epoch,
+        })
+    })
+}
+
+/// Starts a shard recorder on a worker thread from a parent's
+/// [`RecorderHandoff`]. Stop it with [`recorder_stop`] and feed the
+/// returned trace to [`recorder_absorb`] on the parent thread.
+pub fn recorder_start_shard(handoff: RecorderHandoff) {
+    ACTIVE.with(|a| *a.borrow_mut() = Some(Recorder::with_epoch(handoff.capacity, handoff.epoch)));
+}
+
+/// Merges a worker shard's trace into this thread's active recorder
+/// (see [`Recorder::absorb`]); a no-op when no recorder is active.
+pub fn recorder_absorb(shard: Trace) {
+    ACTIVE.with(|a| {
+        if let Some(r) = a.borrow_mut().as_mut() {
+            r.absorb(shard);
+        }
+    });
+}
+
 /// Span-guard hook: begin event if a recorder is active.
 #[cfg_attr(not(feature = "spans"), allow(dead_code))]
 pub(crate) fn recorder_begin(label: &'static str) -> Option<u64> {
@@ -352,7 +432,49 @@ mod tests {
             ts_us,
             depth,
             span_id,
+            track: 0,
         }
+    }
+
+    #[test]
+    fn absorb_remaps_span_ids_and_assigns_tracks() {
+        let mut main = Recorder::new(64);
+        let a = main.begin("main_work");
+        main.end("main_work", a);
+
+        let mut shard1 = Recorder::new(64);
+        let s = shard1.begin("worker_work");
+        shard1.end("worker_work", s);
+        let mut shard2 = Recorder::new(64);
+        let s = shard2.begin("worker_work");
+        shard2.end("worker_work", s);
+        let mut t2 = shard2.finish();
+        t2.dropped = 3; // pretend this shard wrapped
+
+        main.absorb(shard1.finish());
+        main.absorb(t2);
+        let b = main.begin("after"); // ids must stay unique after absorb
+        main.end("after", b);
+
+        let t = main.finish();
+        assert_eq!(t.events.len(), 8);
+        assert_eq!(t.dropped, 3);
+        let ids: std::collections::HashSet<u64> = t.events.iter().map(|e| e.span_id).collect();
+        assert_eq!(ids.len(), 4, "span ids must be unique after the merge");
+        let tracks: Vec<u32> = t.events.iter().map(|e| e.track).collect();
+        assert_eq!(tracks, vec![0, 0, 1, 1, 2, 2, 0, 0]);
+        // Every pair stays balanced, so both exporters see all spans.
+        let rows = t.summary();
+        let worker: &TraceSummaryRow = rows
+            .iter()
+            .find(|r| r.label == "worker_work")
+            .expect("worker spans survive the merge");
+        assert_eq!(worker.count, 2);
+        let json = t.chrome_json().to_string_compact();
+        assert!(
+            json.contains("\"tid\": 2") || json.contains("\"tid\":2"),
+            "{json}"
+        );
     }
 
     #[test]

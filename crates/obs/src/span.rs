@@ -130,10 +130,42 @@ mod enabled {
                 .collect()
         })
     }
+
+    /// One worker thread's span aggregates, drained with their
+    /// histograms intact so a parent thread can absorb them losslessly.
+    /// Opaque; with the `spans` feature off this is a unit struct.
+    #[must_use = "drained spans are lost unless absorbed"]
+    pub struct RawSpans(Vec<Entry>);
+
+    /// Drains this thread's span table with histograms intact, for
+    /// handing back to a parent thread (see [`absorb_raw_spans`]).
+    pub fn drain_raw_spans() -> RawSpans {
+        RawSpans(TABLE.with(|t| t.borrow_mut().drain(..).collect()))
+    }
+
+    /// Folds a worker's drained span aggregates into this thread's
+    /// table: counts and totals sum, histograms merge bucket-wise
+    /// (preserving exact min/max). Callers absorb worker shards in a
+    /// fixed order so the resulting label order is deterministic.
+    pub fn absorb_raw_spans(raw: RawSpans) {
+        TABLE.with(|t| {
+            let mut t = t.borrow_mut();
+            for e in raw.0 {
+                match t.iter_mut().find(|dst| dst.label == e.label) {
+                    Some(dst) => {
+                        dst.count += e.count;
+                        dst.total_s += e.total_s;
+                        dst.hist.merge(&e.hist);
+                    }
+                    None => t.push(e),
+                }
+            }
+        });
+    }
 }
 
 #[cfg(feature = "spans")]
-pub use enabled::{span, take_spans, SpanGuard};
+pub use enabled::{absorb_raw_spans, drain_raw_spans, span, take_spans, RawSpans, SpanGuard};
 
 #[cfg(not(feature = "spans"))]
 mod disabled {
@@ -154,10 +186,25 @@ mod disabled {
     pub fn take_spans() -> Vec<SpanStat> {
         Vec::new()
     }
+
+    /// Unit-sized stand-in; with spans disabled there is nothing to
+    /// drain or absorb.
+    #[must_use = "drained spans are lost unless absorbed"]
+    pub struct RawSpans;
+
+    /// Disabled: returns the unit stand-in.
+    #[inline(always)]
+    pub fn drain_raw_spans() -> RawSpans {
+        RawSpans
+    }
+
+    /// Disabled: a no-op.
+    #[inline(always)]
+    pub fn absorb_raw_spans(_raw: RawSpans) {}
 }
 
 #[cfg(not(feature = "spans"))]
-pub use disabled::{span, take_spans, SpanGuard};
+pub use disabled::{absorb_raw_spans, drain_raw_spans, span, take_spans, RawSpans, SpanGuard};
 
 #[cfg(test)]
 mod tests {
@@ -177,6 +224,40 @@ mod tests {
             assert!(stats[0].total_s >= 0.0);
             assert!(stats[0].max_s >= stats[0].p50_s || stats[0].count == 1);
             assert!(take_spans().is_empty(), "drained");
+        } else {
+            assert!(stats.is_empty());
+        }
+    }
+
+    #[test]
+    fn raw_spans_round_trip_across_threads() {
+        let _ = take_spans(); // start from a clean table
+        {
+            let _g = span("raw_parent");
+        }
+        let raw = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    {
+                        let _g = span("raw_parent");
+                    }
+                    {
+                        let _g = span("raw_child_only");
+                    }
+                    drain_raw_spans()
+                })
+                .join()
+                .expect("worker")
+        });
+        absorb_raw_spans(raw);
+        let stats = take_spans();
+        if spans_enabled() {
+            // Shared label merged (count 2), worker-only label appended.
+            assert_eq!(stats.len(), 2, "{stats:?}");
+            assert_eq!(stats[0].label, "raw_parent");
+            assert_eq!(stats[0].count, 2);
+            assert_eq!(stats[1].label, "raw_child_only");
+            assert_eq!(stats[1].count, 1);
         } else {
             assert!(stats.is_empty());
         }

@@ -108,6 +108,7 @@ fn export_filters_orphans_created_by_wraparound() {
                 ts_us: 10.0,
                 depth: 1,
                 span_id: 5,
+                track: 0,
             },
             TraceEvent {
                 label: "child",
@@ -115,6 +116,7 @@ fn export_filters_orphans_created_by_wraparound() {
                 ts_us: 20.0,
                 depth: 1,
                 span_id: 5,
+                track: 0,
             },
             TraceEvent {
                 label: "parent",
@@ -122,6 +124,7 @@ fn export_filters_orphans_created_by_wraparound() {
                 ts_us: 30.0,
                 depth: 0,
                 span_id: 4,
+                track: 0,
             },
         ],
         dropped: 1,

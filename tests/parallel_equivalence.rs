@@ -1,0 +1,263 @@
+//! Differential test layer for the deterministic parallel executor.
+//!
+//! Every parallel entry point must be **bitwise** equal to its serial
+//! counterpart — same winners, same distances down to the bit, and the
+//! same merged work counters — at every thread count. These tests run
+//! randomized suites through the public facade and compare:
+//!
+//! * results: `to_bits()` on distances, exact equality on indices/labels;
+//! * counters: full [`WorkMeter`] equality (`PartialEq` covers every
+//!   counter, the latency histograms, and the order-sensitive FastDTW
+//!   level list).
+//!
+//! The thread counts exercised default to `{1, 2, 3, 7}`; CI pins a
+//! single count per job with `TSDTW_TEST_THREADS=N` so the suite runs
+//! once serial and once genuinely parallel.
+//!
+//! Two equality regimes apply (see `tsdtw_mining::par`):
+//!
+//! * independent-item workloads (`par_map`: k-NN, split evaluation,
+//!   pairwise matrices) match the plain serial path exactly at any
+//!   `(n_threads, chunk)`;
+//! * best-so-far-pruned scans (`par_fold_argmin`: the 1-NN cascade,
+//!   subsequence search) match the plain serial path exactly at
+//!   `chunk = 1`, and for any fixed chunk their counters are identical
+//!   at every thread count (winners are bitwise identical regardless).
+
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use tsdtw::core::cost::SquaredCost;
+use tsdtw::core::dtw::banded::cdtw_distance_metered;
+use tsdtw::mining::knn::{
+    evaluate_split_par, knn_brute_force_metered, knn_brute_force_par, nn_cascade_metered,
+    nn_cascade_par,
+};
+use tsdtw::mining::search::{subsequence_search_metered, subsequence_search_par};
+use tsdtw::mining::{
+    evaluate_split, pairwise_matrix, pairwise_matrix_par, DistanceSpec, LabeledView, ParConfig,
+};
+use tsdtw_obs::WorkMeter;
+
+/// Thread counts to test. `TSDTW_TEST_THREADS=N` pins the parallel count
+/// (CI runs the suite once with 1 and once with 4); unset, a spread of
+/// small counts including a prime that never divides the chunk evenly.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("TSDTW_TEST_THREADS") {
+        Ok(v) => {
+            let n: usize = v
+                .parse()
+                .expect("TSDTW_TEST_THREADS must be a positive integer");
+            assert!(n >= 1, "TSDTW_TEST_THREADS must be at least 1");
+            vec![n]
+        }
+        Err(_) => vec![1, 2, 3, 7],
+    }
+}
+
+/// A labeled suite of equal-length series (what 1-NN workloads consume).
+fn labeled_suite(
+    max_series: usize,
+    len: usize,
+) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<usize>)> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0f64..10.0, len..=len),
+        3..max_series,
+    )
+    .prop_flat_map(|series| {
+        let n = series.len();
+        (Just(series), prop::collection::vec(0usize..3, n..=n))
+    })
+}
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// 1-NN cascade, chunk = 1: winner, distance and *every* counter
+    /// equal the continuous-best-so-far serial scan byte for byte.
+    #[test]
+    fn cascade_chunk_one_is_bitwise_serial(
+        (series, labels) in labeled_suite(10, 48),
+        query in prop::collection::vec(-10.0f64..10.0, 48..=48),
+        band in 0usize..5,
+    ) {
+        let view = LabeledView::new(&series, &labels).unwrap();
+        let mut serial_meter = WorkMeter::new();
+        let serial = nn_cascade_metered(&view, &query, band, usize::MAX, &mut serial_meter).unwrap();
+        for n in thread_counts() {
+            let cfg = ParConfig::with_chunk(n, 1).unwrap();
+            let mut par_meter = WorkMeter::new();
+            let par = nn_cascade_par(&view, &query, band, usize::MAX, &cfg, &mut par_meter).unwrap();
+            prop_assert_eq!(par.index, serial.index, "n_threads={}", n);
+            prop_assert_eq!(par.label, serial.label, "n_threads={}", n);
+            prop_assert_eq!(bits(par.distance), bits(serial.distance), "n_threads={}", n);
+            prop_assert_eq!(&par_meter, &serial_meter, "n_threads={}", n);
+        }
+    }
+
+    /// 1-NN cascade, fixed chunk: winners are bitwise identical to the
+    /// serial scan at *any* chunk, and the counters are identical across
+    /// every thread count (they may differ from chunk = 1 — the frozen
+    /// bound prunes less — but never across n_threads).
+    #[test]
+    fn cascade_counters_are_thread_count_invariant(
+        (series, labels) in labeled_suite(12, 40),
+        query in prop::collection::vec(-10.0f64..10.0, 40..=40),
+        band in 0usize..4,
+        chunk in 1usize..6,
+    ) {
+        let view = LabeledView::new(&series, &labels).unwrap();
+        let mut serial_meter = WorkMeter::new();
+        let serial = nn_cascade_metered(&view, &query, band, usize::MAX, &mut serial_meter).unwrap();
+        let cfg1 = ParConfig::with_chunk(1, chunk).unwrap();
+        let mut base_meter = WorkMeter::new();
+        let base = nn_cascade_par(&view, &query, band, usize::MAX, &cfg1, &mut base_meter).unwrap();
+        prop_assert_eq!(base.index, serial.index);
+        prop_assert_eq!(bits(base.distance), bits(serial.distance));
+        for n in thread_counts() {
+            let cfg = ParConfig::with_chunk(n, chunk).unwrap();
+            let mut par_meter = WorkMeter::new();
+            let par = nn_cascade_par(&view, &query, band, usize::MAX, &cfg, &mut par_meter).unwrap();
+            prop_assert_eq!(par.index, serial.index, "n_threads={} chunk={}", n, chunk);
+            prop_assert_eq!(bits(par.distance), bits(serial.distance), "n_threads={}", n);
+            prop_assert_eq!(&par_meter, &base_meter, "n_threads={} chunk={}", n, chunk);
+        }
+    }
+
+    /// Brute-force k-NN is an independent-item workload: neighbors and
+    /// counters equal the plain serial path at any thread count.
+    #[test]
+    fn knn_brute_force_is_bitwise_serial(
+        (series, labels) in labeled_suite(10, 32),
+        query in prop::collection::vec(-10.0f64..10.0, 32..=32),
+        k in 1usize..4,
+        band in 0usize..4,
+    ) {
+        let view = LabeledView::new(&series, &labels).unwrap();
+        let spec = DistanceSpec::CdtwBand(band);
+        let mut serial_meter = WorkMeter::new();
+        let serial =
+            knn_brute_force_metered(&view, &query, spec, k, usize::MAX, &mut serial_meter).unwrap();
+        for n in thread_counts() {
+            let cfg = ParConfig::new(n).unwrap();
+            let mut par_meter = WorkMeter::new();
+            let par =
+                knn_brute_force_par(&view, &query, spec, k, usize::MAX, &cfg, &mut par_meter)
+                    .unwrap();
+            prop_assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                prop_assert_eq!(p.index, s.index, "n_threads={}", n);
+                prop_assert_eq!(p.label, s.label, "n_threads={}", n);
+                prop_assert_eq!(bits(p.distance), bits(s.distance), "n_threads={}", n);
+            }
+            prop_assert_eq!(&par_meter, &serial_meter, "n_threads={}", n);
+        }
+    }
+
+    /// Subsequence search, chunk = 1: position, distance, pruning stats
+    /// and counters all equal the serial UCR-style scan.
+    #[test]
+    fn subsequence_search_chunk_one_is_bitwise_serial(
+        haystack in prop::collection::vec(-10.0f64..10.0, 80..200),
+        query in prop::collection::vec(-10.0f64..10.0, 16..=16),
+        band in 0usize..4,
+    ) {
+        let mut serial_meter = WorkMeter::new();
+        let serial =
+            subsequence_search_metered(&haystack, &query, band, &mut serial_meter).unwrap();
+        for n in thread_counts() {
+            let cfg = ParConfig::with_chunk(n, 1).unwrap();
+            let mut par_meter = WorkMeter::new();
+            let par = subsequence_search_par(&haystack, &query, band, &cfg, &mut par_meter).unwrap();
+            prop_assert_eq!(par.position, serial.position, "n_threads={}", n);
+            prop_assert_eq!(bits(par.distance), bits(serial.distance), "n_threads={}", n);
+            prop_assert_eq!(par.stats, serial.stats, "n_threads={}", n);
+            prop_assert_eq!(&par_meter, &serial_meter, "n_threads={}", n);
+        }
+    }
+
+    /// Subsequence search, fixed chunk: the winner is bitwise serial at
+    /// any chunk, and stats/counters never vary with the thread count.
+    #[test]
+    fn subsequence_search_is_thread_count_invariant(
+        haystack in prop::collection::vec(-10.0f64..10.0, 80..200),
+        query in prop::collection::vec(-10.0f64..10.0, 16..=16),
+        band in 0usize..4,
+        chunk in 1usize..40,
+    ) {
+        let mut serial_meter = WorkMeter::new();
+        let serial =
+            subsequence_search_metered(&haystack, &query, band, &mut serial_meter).unwrap();
+        let cfg1 = ParConfig::with_chunk(1, chunk).unwrap();
+        let mut base_meter = WorkMeter::new();
+        let base = subsequence_search_par(&haystack, &query, band, &cfg1, &mut base_meter).unwrap();
+        prop_assert_eq!(base.position, serial.position);
+        prop_assert_eq!(bits(base.distance), bits(serial.distance));
+        for n in thread_counts() {
+            let cfg = ParConfig::with_chunk(n, chunk).unwrap();
+            let mut par_meter = WorkMeter::new();
+            let par = subsequence_search_par(&haystack, &query, band, &cfg, &mut par_meter).unwrap();
+            prop_assert_eq!(par.position, serial.position, "n_threads={} chunk={}", n, chunk);
+            prop_assert_eq!(bits(par.distance), bits(serial.distance), "n_threads={}", n);
+            prop_assert_eq!(par.stats, base.stats, "n_threads={} chunk={}", n, chunk);
+            prop_assert_eq!(&par_meter, &base_meter, "n_threads={} chunk={}", n, chunk);
+        }
+    }
+
+    /// Pairwise distance matrices: every entry and every counter equals
+    /// the single-threaded run at any thread count.
+    #[test]
+    fn pairwise_matrix_is_bitwise_serial(
+        (series, _) in labeled_suite(9, 24),
+        band in 0usize..4,
+    ) {
+        let dist = |a: &[f64], b: &[f64], m: &mut WorkMeter| {
+            cdtw_distance_metered(a, b, band, SquaredCost, m)
+        };
+        let cfg1 = ParConfig::new(1).unwrap();
+        let mut serial_meter = WorkMeter::new();
+        let serial = pairwise_matrix_par(&series, &cfg1, &mut serial_meter, dist).unwrap();
+        // The unmetered convenience wrapper agrees with the metered path.
+        let plain = pairwise_matrix(&series, 1, |a, b| {
+            tsdtw::core::dtw::banded::cdtw_distance(a, b, band, SquaredCost)
+        })
+        .unwrap();
+        prop_assert_eq!(&plain, &serial);
+        for n in thread_counts() {
+            let cfg = ParConfig::new(n).unwrap();
+            let mut par_meter = WorkMeter::new();
+            let par = pairwise_matrix_par(&series, &cfg, &mut par_meter, dist).unwrap();
+            prop_assert_eq!(&par, &serial, "n_threads={}", n);
+            prop_assert_eq!(&par_meter, &serial_meter, "n_threads={}", n);
+        }
+    }
+
+    /// End-to-end 1-NN split evaluation (the `tsdtw classify` core):
+    /// the error rate and the merged counters match plain serial.
+    #[test]
+    fn evaluate_split_is_bitwise_serial(
+        (train_series, train_labels) in labeled_suite(8, 32),
+        (test_series, test_labels) in labeled_suite(6, 32),
+        band in 0usize..4,
+    ) {
+        let train = LabeledView::new(&train_series, &train_labels).unwrap();
+        let test = LabeledView::new(&test_series, &test_labels).unwrap();
+        let spec = DistanceSpec::CdtwBand(band);
+        let serial = evaluate_split(&train, &test, spec).unwrap();
+        let mut serial_meter = WorkMeter::new();
+        let serial_metered =
+            evaluate_split_par(&train, &test, spec, &ParConfig::serial(), &mut serial_meter)
+                .unwrap();
+        prop_assert_eq!(bits(serial_metered), bits(serial));
+        for n in thread_counts() {
+            let cfg = ParConfig::new(n).unwrap();
+            let mut par_meter = WorkMeter::new();
+            let par = evaluate_split_par(&train, &test, spec, &cfg, &mut par_meter).unwrap();
+            prop_assert_eq!(bits(par), bits(serial), "n_threads={}", n);
+            prop_assert_eq!(&par_meter, &serial_meter, "n_threads={}", n);
+        }
+    }
+}
