@@ -7,7 +7,10 @@
 //! * FastDTW's multilevel recursion vs a single windowed DP over its own
 //!   final window (isolating the recursion overhead);
 //! * the flight recorder armed vs spans-only vs no probes at all (the
-//!   observability layer's < 5 % overhead budget on the banded kernel).
+//!   observability layer's < 5 % overhead budget on the banded kernel);
+//! * the tiered row sweep: segmented vs generic on a 10 % band, plus an
+//!   auto-vs-generic pair on an opted-out cost pinning zero dispatch
+//!   overhead.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -192,6 +195,104 @@ fn constraint_shapes(c: &mut Criterion) {
     g.finish();
 }
 
+fn kernel_tiers(c: &mut Criterion) {
+    // The tiered row sweep (DESIGN.md §11): Generic guards every cell,
+    // Segmented runs a branch-free unrolled interior. Two claims pinned
+    // here: (1) Segmented beats Generic on band shapes with a wide
+    // interior; (2) dispatch is free — `Auto` on an opted-out cost must
+    // time identically to explicitly requesting Generic, because the
+    // tier resolves once per call, not per cell.
+    use tsdtw_core::cost::CostFn;
+    use tsdtw_core::Kernel;
+
+    // A cost identical to SquaredCost except for the segmentation
+    // opt-in, so auto-vs-generic isolates pure dispatch overhead.
+    #[derive(Clone, Copy)]
+    struct PlainSq;
+    impl CostFn for PlainSq {
+        #[inline(always)]
+        fn cost(&self, a: f64, b: f64) -> f64 {
+            let d = a - b;
+            d * d
+        }
+    }
+
+    let n = 2048;
+    let x = random_walk(n, 61).unwrap();
+    let y = random_walk(n, 62).unwrap();
+    let band = n / 10;
+    let mut g = c.benchmark_group("ablation_kernels");
+    g.sample_size(30);
+    g.bench_function("generic", |b| {
+        b.iter(|| {
+            black_box(
+                tsdtw_core::dtw::banded::cdtw_distance_kernel(
+                    &x,
+                    &y,
+                    band,
+                    SquaredCost,
+                    Kernel::Generic,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("segmented", |b| {
+        b.iter(|| {
+            black_box(
+                tsdtw_core::dtw::banded::cdtw_distance_kernel(
+                    &x,
+                    &y,
+                    band,
+                    SquaredCost,
+                    Kernel::Segmented,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("auto_on_fast_cost", |b| {
+        b.iter(|| {
+            black_box(
+                tsdtw_core::dtw::banded::cdtw_distance_kernel(
+                    &x,
+                    &y,
+                    band,
+                    SquaredCost,
+                    Kernel::Auto,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    // Dispatch-overhead pair: PlainSq has SEGMENTED_FAST = false, so
+    // Auto resolves to Generic; any timing gap to the explicit Generic
+    // call would be dispatch cost. Budget: zero.
+    g.bench_function("auto_on_plain_cost", |b| {
+        b.iter(|| {
+            black_box(
+                tsdtw_core::dtw::banded::cdtw_distance_kernel(&x, &y, band, PlainSq, Kernel::Auto)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("generic_on_plain_cost", |b| {
+        b.iter(|| {
+            black_box(
+                tsdtw_core::dtw::banded::cdtw_distance_kernel(
+                    &x,
+                    &y,
+                    band,
+                    PlainSq,
+                    Kernel::Generic,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
 fn fastdtw_reference_vs_tuned(c: &mut Criterion) {
     // The decisive ablation for this reproduction: the canonical
     // implementation structure (cell-list window + hash-map DP) versus the
@@ -225,6 +326,7 @@ criterion_group!(
     knn_cascade_vs_brute,
     fastdtw_recursion_overhead,
     fastdtw_reference_vs_tuned,
+    kernel_tiers,
     meter_overhead,
     recorder_overhead,
     constraint_shapes

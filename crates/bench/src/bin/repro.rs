@@ -1,17 +1,22 @@
 //! `repro` — regenerate every table and figure of Wu & Keogh (ICDE 2021).
 //!
 //! ```text
-//! repro [EXPERIMENT ...] [--full] [--threads N] [--out DIR] [--list]
-//!       [--trace]
+//! repro [EXPERIMENT ...] [--full] [--threads N] [--kernel K] [--out DIR]
+//!       [--list] [--trace]
 //!
 //!   EXPERIMENT   one or more of: fig1 fig2 caseb fig3 fig4 fig6 table2
-//!                footnote2 appendixb impls lbs radius cells, or 'all'
-//!                (default)
+//!                footnote2 appendixb impls lbs radius cells kernels, or
+//!                'all' (default)
 //!   --full       paper-scale populations (minutes); default is --quick
 //!   --threads N  worker threads for parallel experiments (default 1).
 //!                Work counters in BENCH_<id>.json are deterministic and
 //!                independent of N, so snapshots from any thread count
 //!                diff cleanly against a serial baseline.
+//!   --kernel K   DP row-sweep tier for every experiment: auto (default),
+//!                generic, or segmented. Tiers are bitwise equal, so
+//!                work counters never depend on K — CI exploits this by
+//!                diffing a --kernel segmented run against the serial
+//!                baseline at zero tolerance.
 //!   --out DIR    where to write <id>.json records (default: results/)
 //!   --list       list experiments and exit
 //!   --trace      arm the flight recorder per experiment and write
@@ -64,6 +69,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--kernel" => match args.next().as_deref().and_then(tsdtw_core::Kernel::parse) {
+                Some(k) => tsdtw_core::set_default_kernel(k),
+                None => {
+                    eprintln!("--kernel needs one of: auto, generic, segmented");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match args.next() {
                 Some(dir) => out = PathBuf::from(dir),
                 None => {
@@ -79,8 +91,8 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [EXPERIMENT ...] [--full] [--threads N] [--out DIR] \
-                     [--list] [--trace]\n\
+                    "usage: repro [EXPERIMENT ...] [--full] [--threads N] [--kernel K] \
+                     [--out DIR] [--list] [--trace]\n\
                      experiments: {}",
                     experiments::all()
                         .iter()
@@ -124,13 +136,14 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "tsdtw repro — scale: {} — threads: {} — writing JSON to {}",
+        "tsdtw repro — scale: {} — threads: {} — kernel: {} — writing JSON to {}",
         if scale == Scale::Full {
             "FULL (paper-scale)"
         } else {
             "QUICK"
         },
         par.n_threads,
+        tsdtw_core::default_kernel().name(),
         out.display()
     );
     if want_trace && !tsdtw_obs::spans_enabled() {

@@ -1,0 +1,223 @@
+//! `kernels` — micro-benchmark of the tiered row sweep (DESIGN.md §11):
+//! Generic (guarded every cell) vs. Segmented (branch-free interior)
+//! on the same windowed DP, across the paper's two data regimes.
+//!
+//! Four fixed `N × W` cases, all with a 10 % Sakoe–Chiba band:
+//!
+//! * **A1/A2** — UCR-scale ECG exemplars (N = 128, 512);
+//! * **B1/B2** — long random walks (N = 2048, 4096).
+//!
+//! Per case and tier the experiment reports min/mean wall time and the
+//! derived cells-per-second throughput, plus the segmented-over-generic
+//! speedup. Timing is advisory (shared runners jitter); the *hard*
+//! content is the equality contract: both tiers must return bitwise
+//! identical distances and byte-identical [`WorkMeter`] counters, and
+//! exactly one metered repetition per `(case, tier)` feeds the attached
+//! `work` section in a fixed order, so the snapshot gate stays
+//! deterministic while the timing loops run unmetered.
+
+use std::hint::black_box;
+
+use tsdtw_core::cost::SquaredCost;
+use tsdtw_core::dtw::banded::{cdtw_distance_kernel, cdtw_distance_metered_with_buf_kernel};
+use tsdtw_core::dtw::windowed::DtwBuffer;
+use tsdtw_core::obs::WorkMeter;
+use tsdtw_core::Kernel;
+use tsdtw_datasets::ecg::beats;
+use tsdtw_datasets::random_walk::random_walks;
+use tsdtw_mining::ParConfig;
+
+use crate::report::{Report, Scale};
+use crate::timing::{time_reps, Timing};
+
+struct Row {
+    case: String,
+    n: usize,
+    band: usize,
+    cells: u64,
+    generic: Timing,
+    segmented: Timing,
+    generic_cells_per_s: f64,
+    segmented_cells_per_s: f64,
+    /// `generic.min_s / segmented.min_s` — > 1 means the branch-free
+    /// interior pays for itself on this shape.
+    speedup: f64,
+    /// Bitwise distance equality *and* full meter equality for this case.
+    tiers_identical: bool,
+}
+
+tsdtw_obs::impl_to_json!(Row {
+    case,
+    n,
+    band,
+    cells,
+    generic,
+    segmented,
+    generic_cells_per_s,
+    segmented_cells_per_s,
+    speedup,
+    tiers_identical
+});
+
+struct Record {
+    band_percent: f64,
+    reps: usize,
+    rows: Vec<Row>,
+    /// Every case passed the bitwise distance + meter equality check.
+    all_tiers_identical: bool,
+}
+
+tsdtw_obs::impl_to_json!(Record {
+    band_percent,
+    reps,
+    rows,
+    all_tiers_identical
+});
+
+/// Measures one `(N, band)` case: one metered repetition per tier (the
+/// deterministic part, merged into `total` generic-first), then `reps`
+/// unmetered timing repetitions per tier.
+fn bench_case(
+    case: &str,
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    reps: usize,
+    total: &mut WorkMeter,
+) -> Row {
+    let mut buf = DtwBuffer::new();
+
+    let mut m_gen = WorkMeter::new();
+    let d_gen = cdtw_distance_metered_with_buf_kernel(
+        x,
+        y,
+        band,
+        SquaredCost,
+        &mut buf,
+        &mut m_gen,
+        Kernel::Generic,
+    )
+    .expect("valid inputs");
+    let mut m_seg = WorkMeter::new();
+    let d_seg = cdtw_distance_metered_with_buf_kernel(
+        x,
+        y,
+        band,
+        SquaredCost,
+        &mut buf,
+        &mut m_seg,
+        Kernel::Segmented,
+    )
+    .expect("valid inputs");
+    let tiers_identical = d_gen.to_bits() == d_seg.to_bits() && m_gen == m_seg;
+    total.merge(&m_gen);
+    total.merge(&m_seg);
+
+    let time_tier = |kernel: Kernel| {
+        time_reps(reps, || {
+            black_box(
+                cdtw_distance_kernel(black_box(x), black_box(y), band, SquaredCost, kernel)
+                    .expect("valid inputs"),
+            );
+        })
+    };
+    let generic = time_tier(Kernel::Generic);
+    let segmented = time_tier(Kernel::Segmented);
+
+    let cells = m_gen.cells;
+    Row {
+        case: case.into(),
+        n: x.len(),
+        band,
+        cells,
+        generic_cells_per_s: cells as f64 / generic.min_s,
+        segmented_cells_per_s: cells as f64 / segmented.min_s,
+        speedup: generic.min_s / segmented.min_s,
+        tiers_identical,
+        generic,
+        segmented,
+    }
+}
+
+/// Runs the experiment. Cases run serially in a fixed order — the whole
+/// point is clean per-tier timing, so the experiment ignores `--threads`.
+pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
+    let band_percent = 10.0;
+    let reps = scale.pick(5, 30);
+
+    let case_a: Vec<(&str, usize)> = vec![("A1", 128), ("A2", 512)];
+    let case_b: Vec<(&str, usize)> = vec![("B1", 2048), ("B2", 4096)];
+
+    let mut total = WorkMeter::new();
+    let mut rows = Vec::new();
+    for &(case, n) in &case_a {
+        let pool = beats(2, n, 0x4B31).expect("generator");
+        let band = (n as f64 * band_percent / 100.0).ceil() as usize;
+        rows.push(bench_case(case, &pool[0], &pool[1], band, reps, &mut total));
+    }
+    for &(case, n) in &case_b {
+        let pool = random_walks(2, n, 0x4B32).expect("generator");
+        let band = (n as f64 * band_percent / 100.0).ceil() as usize;
+        rows.push(bench_case(case, &pool[0], &pool[1], band, reps, &mut total));
+    }
+
+    let record = Record {
+        band_percent,
+        reps,
+        all_tiers_identical: rows.iter().all(|r| r.tiers_identical),
+        rows,
+    };
+
+    let mut rep = Report::new(
+        "kernels",
+        "Tiered row sweep: segmented (branch-free interior) vs generic, 10% band",
+        &record,
+    );
+    rep.line(format!(
+        "{:<6}{:>8}{:>8}{:>12}{:>14}{:>14}{:>10}{:>8}",
+        "case", "N", "band", "cells", "gen Mc/s", "seg Mc/s", "speedup", "equal"
+    ));
+    for row in &record.rows {
+        rep.line(format!(
+            "{:<6}{:>8}{:>8}{:>12}{:>14.1}{:>14.1}{:>9.2}x{:>8}",
+            row.case,
+            row.n,
+            row.band,
+            row.cells,
+            row.generic_cells_per_s / 1e6,
+            row.segmented_cells_per_s / 1e6,
+            row.speedup,
+            row.tiers_identical
+        ));
+    }
+    rep.line(format!(
+        "tiers bitwise identical (distances and meters) in every case: {}",
+        record.all_tiers_identical
+    ));
+    rep.attach_work(&total);
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_tiers_are_identical_and_rows_complete() {
+        let rep = run(&Scale::Quick, &ParConfig::serial());
+        assert_eq!(rep.json["all_tiers_identical"], true);
+        let rows = rep.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in rows {
+            assert_eq!(row["tiers_identical"], true, "case {}", row["case"]);
+            assert!(row["cells"].as_u64().unwrap() > 0);
+            assert!(row["speedup"].as_f64().unwrap() > 0.0);
+            assert!(row["generic"]["reps"].as_u64().unwrap() >= 1);
+        }
+        // Both tiers were metered once per case, so the attached work
+        // section counts each case's cells exactly twice.
+        let work_cells = rep.json["work"]["cells"].as_u64().unwrap();
+        let row_cells: u64 = rows.iter().map(|r| r["cells"].as_u64().unwrap()).sum();
+        assert_eq!(work_cells, 2 * row_cells);
+    }
+}

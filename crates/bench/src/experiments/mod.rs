@@ -12,6 +12,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod footnote2;
 pub mod impls;
+pub mod kernels;
 pub mod lbs;
 pub mod radius;
 pub mod table2;
@@ -40,6 +41,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("lbs", lbs::run),
         ("radius", radius::run),
         ("cells", cells::run),
+        ("kernels", kernels::run),
     ]
 }
 
@@ -52,9 +54,10 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
         assert!(ids.contains(&"table2"));
         assert!(ids.contains(&"impls"));
         assert!(ids.contains(&"cells"));
+        assert!(ids.contains(&"kernels"));
     }
 }

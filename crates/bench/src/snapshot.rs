@@ -55,6 +55,7 @@ pub fn env_fingerprint(n_threads: usize) -> Json {
         "family" => std::env::consts::FAMILY,
         "threads" => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         "n_threads" => n_threads,
+        "kernel" => tsdtw_core::dtw::kernel::default_kernel().name(),
         "host" => std::env::var("HOSTNAME")
             .or_else(|_| std::env::var("COMPUTERNAME"))
             .unwrap_or_else(|_| "unknown".into()),

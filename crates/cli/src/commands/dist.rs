@@ -11,9 +11,12 @@ use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
 tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
-           [--threads N] [--stats] [--stats-json FILE] [--trace FILE]
+           [--kernel K] [--threads N] [--stats] [--stats-json FILE]
+           [--trace FILE]
   M: dtw | cdtw (default, needs --w) | fastdtw | fastdtw-ref (need --radius)
      | euclidean
+  --kernel K     DP row-sweep tier: auto (default), generic, or segmented.
+                 Tiers are bitwise equal; the choice only affects speed.
   --threads N    accepted for uniformity with the other commands (a single
                  pair is evaluated serially; N is only validated)
   --stats        print DP-cell / window / buffer counters for the evaluation
@@ -32,6 +35,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "measure",
             "w",
             "radius",
+            "kernel",
             "threads",
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
@@ -41,6 +45,16 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     // A single pair runs serially; the flag exists so scripts can pass the
     // same --threads to every command, and bad values still fail fast.
     let _par = tsdtw_mining::ParConfig::new(args.get_or("threads", 1)?)?;
+    if let Some(k) = args.optional("kernel") {
+        match tsdtw_core::Kernel::parse(k) {
+            Some(kernel) => tsdtw_core::set_default_kernel(kernel),
+            None => {
+                return Err(Box::new(ArgError(format!(
+                    "unknown kernel {k:?}; expected auto, generic, or segmented"
+                ))))
+            }
+        }
+    }
     let mut a = read_series(Path::new(args.required("a")?))?;
     let mut b = read_series(Path::new(args.required("b")?))?;
     if args.has("znorm") {
@@ -204,6 +218,39 @@ mod tests {
                 "obs build records span events"
             );
         }
+    }
+
+    #[test]
+    fn kernel_flag_selects_a_tier_without_changing_the_distance() {
+        let (a, b) = setup("tsdtw-dist-kernel-test");
+        let base = raw(&[
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "cdtw",
+            "--w",
+            "40",
+        ]);
+        let mut outputs = Vec::new();
+        for k in ["auto", "generic", "segmented"] {
+            let mut argv = base.clone();
+            argv.push("--kernel".into());
+            argv.push(k.into());
+            outputs.push(run(&argv).unwrap());
+        }
+        // Tiers are bitwise equal, so the printed output is identical.
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+        tsdtw_core::set_default_kernel(tsdtw_core::Kernel::Auto);
+
+        let mut bad = base;
+        bad.push("--kernel".into());
+        bad.push("nope".into());
+        let r = run(&bad);
+        assert!(r.is_err(), "unknown kernel must be rejected");
+        tsdtw_core::set_default_kernel(tsdtw_core::Kernel::Auto);
     }
 
     #[test]

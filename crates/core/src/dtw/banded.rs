@@ -16,15 +16,18 @@ use crate::path::WarpingPath;
 use crate::window::SearchWindow;
 use tsdtw_obs::{Meter, NoMeter};
 
-use super::windowed::{
-    windowed_distance_metered, windowed_distance_with_buf, windowed_with_path, DtwBuffer,
-};
+use super::kernel::{default_kernel, Kernel};
+use super::windowed::{windowed_distance_metered_kernel, windowed_with_path_kernel, DtwBuffer};
 
 /// Converts the paper's percentage form of the warping constraint into a
 /// band radius in cells: `⌈w/100 · n⌉`.
 ///
 /// `n` should be the (common) series length; for unequal lengths use the
-/// longer one, which keeps the constraint conservative.
+/// **longer** one, which keeps the constraint conservative — this is the
+/// convention [`BandedDtw::with_percent`] applies (`n.max(m)`), so a given
+/// `w` admits at least the cells it would admit for two series of the
+/// longer length. Callers converting `w` themselves must use the same
+/// length or their band radius will disagree with the evaluator's.
 pub fn percent_to_band(n: usize, w_percent: f64) -> Result<usize> {
     if !(0.0..=100.0).contains(&w_percent) || !w_percent.is_finite() {
         return Err(Error::InvalidParameter {
@@ -35,9 +38,37 @@ pub fn percent_to_band(n: usize, w_percent: f64) -> Result<usize> {
     Ok((w_percent / 100.0 * n as f64).ceil() as usize)
 }
 
+/// Rejects band radii so large that the band window arithmetic
+/// (`column + band`) would overflow `usize` — otherwise
+/// [`SearchWindow::sakoe_chiba`] wraps in release builds and produces a
+/// silently wrong (far too narrow) window. Radii beyond the matrix are
+/// still fine — they just mean "unconstrained" — so the check only trips
+/// on nonsensical `i64`-scale values.
+pub(crate) fn check_band(n: usize, m: usize, band: usize) -> Result<()> {
+    if band.checked_add(n.max(m)).is_none() {
+        return Err(Error::InvalidParameter {
+            name: "band",
+            reason: format!("band radius {band} overflows for series of length {n} and {m}"),
+        });
+    }
+    Ok(())
+}
+
 /// `cDTW_w` distance with the band given as a cell radius.
 pub fn cdtw_distance<C: CostFn>(x: &[f64], y: &[f64], band: usize, cost: C) -> Result<f64> {
     cdtw_distance_metered(x, y, band, cost, &mut NoMeter)
+}
+
+/// [`cdtw_distance`] with an explicit kernel tier.
+pub fn cdtw_distance_kernel<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    cost: C,
+    kernel: Kernel,
+) -> Result<f64> {
+    let mut buf = DtwBuffer::new();
+    cdtw_distance_metered_with_buf_kernel(x, y, band, cost, &mut buf, &mut NoMeter, kernel)
 }
 
 /// [`cdtw_distance`] with work accounting: the meter receives the band
@@ -49,16 +80,44 @@ pub fn cdtw_distance_metered<C: CostFn, M: Meter>(
     cost: C,
     meter: &mut M,
 ) -> Result<f64> {
+    let mut buf = DtwBuffer::new();
+    cdtw_distance_metered_with_buf_kernel(x, y, band, cost, &mut buf, meter, default_kernel())
+}
+
+/// [`cdtw_distance_metered`] reusing caller-provided scratch space — the
+/// allocation-free form repeated-evaluation loops (1-NN, all-pairs) use
+/// when they cannot keep a [`BandedDtw`] because shapes vary.
+pub fn cdtw_distance_metered_with_buf<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    cost: C,
+    buf: &mut DtwBuffer,
+    meter: &mut M,
+) -> Result<f64> {
+    cdtw_distance_metered_with_buf_kernel(x, y, band, cost, buf, meter, default_kernel())
+}
+
+/// [`cdtw_distance_metered_with_buf`] with an explicit kernel tier.
+pub fn cdtw_distance_metered_with_buf_kernel<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    cost: C,
+    buf: &mut DtwBuffer,
+    meter: &mut M,
+    kernel: Kernel,
+) -> Result<f64> {
     if x.is_empty() {
         return Err(Error::EmptyInput { which: "x" });
     }
     if y.is_empty() {
         return Err(Error::EmptyInput { which: "y" });
     }
+    check_band(x.len(), y.len(), band)?;
     let _span = tsdtw_obs::span("cdtw");
     let window = SearchWindow::sakoe_chiba(x.len(), y.len(), band);
-    let mut buf = DtwBuffer::new();
-    windowed_distance_metered(x, y, &window, cost, &mut buf, meter)
+    windowed_distance_metered_kernel(x, y, &window, cost, buf, meter, kernel)
 }
 
 /// `cDTW_w` distance and optimal constrained warping path.
@@ -68,14 +127,26 @@ pub fn cdtw_with_path<C: CostFn>(
     band: usize,
     cost: C,
 ) -> Result<(f64, WarpingPath)> {
+    cdtw_with_path_kernel(x, y, band, cost, default_kernel())
+}
+
+/// [`cdtw_with_path`] with an explicit kernel tier.
+pub fn cdtw_with_path_kernel<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    cost: C,
+    kernel: Kernel,
+) -> Result<(f64, WarpingPath)> {
     if x.is_empty() {
         return Err(Error::EmptyInput { which: "x" });
     }
     if y.is_empty() {
         return Err(Error::EmptyInput { which: "y" });
     }
+    check_band(x.len(), y.len(), band)?;
     let window = SearchWindow::sakoe_chiba(x.len(), y.len(), band);
-    windowed_with_path(x, y, &window, cost)
+    windowed_with_path_kernel(x, y, &window, cost, kernel)
 }
 
 /// A reusable `cDTW_w` evaluator for repeated comparisons of series of a
@@ -104,6 +175,7 @@ impl BandedDtw {
         if m == 0 {
             return Err(Error::EmptyInput { which: "y" });
         }
+        check_band(n, m, band)?;
         Ok(BandedDtw {
             window: SearchWindow::sakoe_chiba(n, m, band),
             buf: DtwBuffer::new(),
@@ -113,6 +185,12 @@ impl BandedDtw {
     }
 
     /// Prepares an evaluator from the paper's percentage form of `w`.
+    ///
+    /// For unequal lengths the radius is `⌈w/100 · max(n, m)⌉` — the
+    /// percentage is taken of the **longer** series, the conservative
+    /// convention documented on [`percent_to_band`]. A caller converting
+    /// with the shorter length would build a narrower band than this
+    /// evaluator and disagree with it on unequal-length pairs.
     pub fn with_percent(n: usize, m: usize, w_percent: f64) -> Result<Self> {
         let band = percent_to_band(n.max(m), w_percent)?;
         Self::new(n, m, band)
@@ -127,18 +205,7 @@ impl BandedDtw {
     /// Computes the constrained distance. Series lengths must match the
     /// shape given at construction.
     pub fn distance<C: CostFn>(&mut self, x: &[f64], y: &[f64], cost: C) -> Result<f64> {
-        if x.len() != self.n || y.len() != self.m {
-            return Err(Error::InvalidWindow {
-                reason: format!(
-                    "evaluator built for {}x{} but series are {}x{}",
-                    self.n,
-                    self.m,
-                    x.len(),
-                    y.len()
-                ),
-            });
-        }
-        windowed_distance_with_buf(x, y, &self.window, cost, &mut self.buf)
+        self.distance_metered(x, y, cost, &mut NoMeter)
     }
 
     /// [`BandedDtw::distance`] with work accounting.
@@ -148,6 +215,18 @@ impl BandedDtw {
         y: &[f64],
         cost: C,
         meter: &mut M,
+    ) -> Result<f64> {
+        self.distance_metered_kernel(x, y, cost, meter, default_kernel())
+    }
+
+    /// [`BandedDtw::distance_metered`] with an explicit kernel tier.
+    pub fn distance_metered_kernel<C: CostFn, M: Meter>(
+        &mut self,
+        x: &[f64],
+        y: &[f64],
+        cost: C,
+        meter: &mut M,
+        kernel: Kernel,
     ) -> Result<f64> {
         if x.len() != self.n || y.len() != self.m {
             return Err(Error::InvalidWindow {
@@ -160,7 +239,7 @@ impl BandedDtw {
                 ),
             });
         }
-        windowed_distance_metered(x, y, &self.window, cost, &mut self.buf, meter)
+        windowed_distance_metered_kernel(x, y, &self.window, cost, &mut self.buf, meter, kernel)
     }
 }
 
@@ -281,6 +360,46 @@ mod tests {
     fn evaluator_rejects_wrong_shape() {
         let mut eval = BandedDtw::new(4, 4, 1).unwrap();
         assert!(eval.distance(&[0.0; 5], &[0.0; 4], SquaredCost).is_err());
+    }
+
+    #[test]
+    fn with_percent_uses_the_longer_length() {
+        // The documented convention: for unequal lengths the percentage is
+        // taken of max(n, m). Pin it by comparing the evaluator against the
+        // radius-based API with an explicitly converted band.
+        let x: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
+        let y: Vec<f64> = (0..12).map(|i| (i as f64 * 0.4).cos()).collect();
+        let w = 10.0;
+        let band_long = percent_to_band(30, w).unwrap();
+        let band_short = percent_to_band(12, w).unwrap();
+        assert_ne!(band_long, band_short, "test needs the lengths to differ");
+        let mut eval = BandedDtw::with_percent(30, 12, w).unwrap();
+        let via_eval = eval.distance(&x, &y, SquaredCost).unwrap();
+        let via_long = cdtw_distance(&x, &y, band_long, SquaredCost).unwrap();
+        assert_eq!(via_eval.to_bits(), via_long.to_bits());
+        // The wrong (shorter-length) conversion yields a narrower band and
+        // here a different distance — the disagreement the doc warns about.
+        let via_short = cdtw_distance(&x, &y, band_short, SquaredCost).unwrap();
+        assert!(via_short >= via_long);
+    }
+
+    #[test]
+    fn oversized_band_is_rejected_not_saturated() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 1.0];
+        for band in [usize::MAX, usize::MAX - 1, usize::MAX - 2] {
+            assert!(
+                cdtw_distance(&x, &y, band, SquaredCost).is_err(),
+                "band {band}"
+            );
+            assert!(cdtw_with_path(&x, &y, band, SquaredCost).is_err());
+            assert!(BandedDtw::new(3, 2, band).is_err());
+        }
+        // A merely over-wide band (larger than the matrix but no overflow)
+        // still works and equals full DTW.
+        let d = cdtw_distance(&x, &y, 1000, SquaredCost).unwrap();
+        let full = dtw_distance(&x, &y, SquaredCost).unwrap();
+        assert!((d - full).abs() < 1e-12);
     }
 
     #[test]

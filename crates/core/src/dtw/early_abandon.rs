@@ -28,6 +28,10 @@ use crate::error::{check_finite, check_nonempty, Error, Result};
 use crate::window::SearchWindow;
 use tsdtw_obs::{Meter, NoMeter};
 
+use super::banded::check_band;
+use super::kernel::{default_kernel, Kernel};
+use super::sweep;
+
 /// Outcome of an early-abandoning DTW evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EaOutcome {
@@ -85,10 +89,29 @@ pub fn cdtw_distance_ea_metered<C: CostFn, M: Meter>(
     cost: C,
     meter: &mut M,
 ) -> Result<EaOutcome> {
+    cdtw_distance_ea_metered_kernel(x, y, band, threshold, cb, cost, meter, default_kernel())
+}
+
+/// [`cdtw_distance_ea_metered`] with an explicit kernel tier. The
+/// per-row minimum that drives the abandon test folds left-to-right in
+/// both tiers, so the abandonment row — and with it every counter — is
+/// tier-invariant.
+#[allow(clippy::too_many_arguments)]
+pub fn cdtw_distance_ea_metered_kernel<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    threshold: f64,
+    cb: Option<&[f64]>,
+    cost: C,
+    meter: &mut M,
+    kernel: Kernel,
+) -> Result<EaOutcome> {
     check_nonempty("x", x)?;
     check_nonempty("y", y)?;
     check_finite("x", x)?;
     check_finite("y", y)?;
+    check_band(x.len(), y.len(), band)?;
     if let Some(cb) = cb {
         if cb.len() != y.len() {
             return Err(Error::InvalidParameter {
@@ -105,15 +128,8 @@ pub fn cdtw_distance_ea_metered<C: CostFn, M: Meter>(
     let n = x.len();
     let window = SearchWindow::sakoe_chiba(n, y.len(), band);
 
-    let mut band_area = 0u64;
-    let width = (0..n)
-        .map(|i| {
-            let (lo, hi) = window.row_bounds(i);
-            band_area += (hi - lo + 1) as u64;
-            hi - lo + 1
-        })
-        .max()
-        .expect("n >= 1");
+    let band_area = window.cell_count() as u64;
+    let width = window.max_row_width();
     let mut prev = vec![f64::INFINITY; width];
     let mut cur = vec![f64::INFINITY; width];
     meter.window_cells(band_area);
@@ -146,30 +162,11 @@ pub fn cdtw_distance_ea_metered<C: CostFn, M: Meter>(
     let mut plo = lo0;
     let mut phi = hi0;
 
+    let segmented = kernel.segmented::<C>();
     for (i, &xi) in x.iter().enumerate().skip(1) {
         let (lo, hi) = window.row_bounds(i);
         meter.cells((hi - lo + 1) as u64);
-        row_min = f64::INFINITY;
-        for j in lo..=hi {
-            let up = if j >= plo && j <= phi {
-                prev[j - plo]
-            } else {
-                f64::INFINITY
-            };
-            let diag = if j > plo && j - 1 <= phi {
-                prev[j - 1 - plo]
-            } else {
-                f64::INFINITY
-            };
-            let left = if j > lo {
-                cur[j - 1 - lo]
-            } else {
-                f64::INFINITY
-            };
-            let v = cost.cost(xi, y[j]) + diag.min(up).min(left);
-            cur[j - lo] = v;
-            row_min = row_min.min(v);
-        }
+        row_min = sweep::min_row(segmented, xi, y, lo, hi, plo, phi, &prev, &mut cur, cost);
         if row_min + suffix_bound(cb, i) > threshold {
             meter.ea_rows((i + 1) as u64, n as u64);
             return Ok(EaOutcome::Abandoned { rows_filled: i + 1 });

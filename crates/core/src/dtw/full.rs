@@ -10,11 +10,28 @@ use crate::error::{check_finite, check_nonempty, Result};
 use crate::path::WarpingPath;
 use crate::window::SearchWindow;
 
+use super::kernel::{default_kernel, Kernel};
+use super::sweep;
+
 /// Exact unconstrained DTW distance between `x` and `y`.
 ///
 /// Time `O(n·m)`, memory `O(min(n, m))` (the shorter series indexes the
 /// columns).
 pub fn dtw_distance<C: CostFn>(x: &[f64], y: &[f64], cost: C) -> Result<f64> {
+    dtw_distance_kernel(x, y, cost, default_kernel())
+}
+
+/// [`dtw_distance`] with an explicit kernel tier.
+///
+/// The full matrix is the degenerate window `lo = 0, hi = m - 1` on every
+/// row, so the segmented tier's interior is the whole row except column 0 —
+/// the entire DP runs branch-free.
+pub fn dtw_distance_kernel<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    cost: C,
+    kernel: Kernel,
+) -> Result<f64> {
     check_nonempty("x", x)?;
     check_nonempty("y", y)?;
     check_finite("x", x)?;
@@ -35,13 +52,20 @@ pub fn dtw_distance<C: CostFn>(x: &[f64], y: &[f64], cost: C) -> Result<f64> {
         prev[j] = acc;
     }
 
+    let segmented = kernel.segmented::<C>();
     for &ri in rows.iter().skip(1) {
-        // Column 0 can only come from above.
-        cur[0] = prev[0] + cost.cost(ri, cols[0]);
-        for j in 1..m {
-            let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
-            cur[j] = cost.cost(ri, cols[j]) + best;
-        }
+        sweep::distance_row(
+            segmented,
+            ri,
+            cols,
+            0,
+            m - 1,
+            0,
+            m - 1,
+            &prev,
+            &mut cur,
+            cost,
+        );
         std::mem::swap(&mut prev, &mut cur);
     }
 

@@ -1,0 +1,157 @@
+//! Kernel-tier selection for the shared DP row sweep.
+//!
+//! Every DP kernel in this crate (full DTW, banded `cDTW_w`, the arbitrary
+//! [`SearchWindow`](crate::window::SearchWindow) kernel FastDTW refines
+//! over, the path-recovery variant, and the early-abandoning kernel) fills
+//! its rows through the tiered sweep in the private `sweep` module. Two
+//! tiers exist:
+//!
+//! * **Generic** — the original guarded loop: every cell checks whether its
+//!   `up`/`diag`/`left` neighbors fall inside the previous/current row's
+//!   admissible interval. Correct for any window shape, any cost.
+//! * **Segmented** — splits each row into prefix / interior / suffix at
+//!   `max(lo, plo + 1)` and `min(hi, phi)`. In the interior *both* `up` and
+//!   `diag` are admissible by construction, so the hot loop runs branch-free
+//!   with a fused three-way min and a 4-wide unrolled column walk; the
+//!   (short) prefix and suffix keep the guarded logic.
+//!
+//! The segmented tier performs the *same per-cell operations in the same
+//! order* as the generic tier, so results are **bitwise equal** on every
+//! window shape and all `WorkMeter` counters are unchanged — the
+//! zero-tolerance perf-trajectory gate doubles as a kernel-equivalence gate
+//! (`tests/kernel_equivalence.rs` is the differential proof).
+//!
+//! [`Kernel::Auto`] resolves per cost function: costs that opt in via
+//! [`CostFn::SEGMENTED_FAST`]
+//! (`SquaredCost`, `AbsoluteCost` — the two every experiment uses) get the
+//! segmented tier, monomorphized per cost by the generic sweep functions;
+//! everything else stays on the proven generic loop.
+//!
+//! The process-wide default (consulted by the plain, non-`_kernel` entry
+//! points) is [`Kernel::Auto`] and can be overridden with
+//! [`set_default_kernel`] — the CLI `--kernel` flag and the repro harness
+//! use this so a whole run can be pinned to one tier without threading a
+//! parameter through every call site. Tests and benches that need
+//! determinism under parallel execution use the explicit `*_kernel`
+//! variants instead of the global.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::cost::CostFn;
+
+/// Which row-sweep tier the DP kernels use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Resolve per cost function: segmented when
+    /// [`CostFn::SEGMENTED_FAST`] is `true`, generic otherwise.
+    #[default]
+    Auto,
+    /// Force the guarded per-cell loop for every row.
+    Generic,
+    /// Force the three-segment branch-free-interior sweep for every row.
+    Segmented,
+}
+
+impl Kernel {
+    /// Parses a CLI-style kernel name.
+    pub fn parse(s: &str) -> Option<Kernel> {
+        match s {
+            "auto" => Some(Kernel::Auto),
+            "generic" => Some(Kernel::Generic),
+            "segmented" => Some(Kernel::Segmented),
+            _ => None,
+        }
+    }
+
+    /// The canonical lower-case name (`auto` / `generic` / `segmented`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Auto => "auto",
+            Kernel::Generic => "generic",
+            Kernel::Segmented => "segmented",
+        }
+    }
+
+    /// Whether this tier resolves to the segmented sweep for cost `C`.
+    #[inline(always)]
+    pub fn segmented<C: CostFn>(self) -> bool {
+        match self {
+            Kernel::Auto => C::SEGMENTED_FAST,
+            Kernel::Generic => false,
+            Kernel::Segmented => true,
+        }
+    }
+}
+
+// Encoded Kernel for the process-wide default: 0 = Auto, 1 = Generic,
+// 2 = Segmented.
+static DEFAULT_KERNEL: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default tier used by the plain (non-`_kernel`)
+/// DP entry points. Affects every thread; intended for program start-up
+/// (CLI flag parsing), not for per-call selection — use the `*_kernel`
+/// variants for that.
+pub fn set_default_kernel(kernel: Kernel) {
+    let code = match kernel {
+        Kernel::Auto => 0,
+        Kernel::Generic => 1,
+        Kernel::Segmented => 2,
+    };
+    DEFAULT_KERNEL.store(code, Ordering::Relaxed);
+}
+
+/// The current process-wide default tier ([`Kernel::Auto`] unless
+/// [`set_default_kernel`] was called).
+#[inline]
+pub fn default_kernel() -> Kernel {
+    match DEFAULT_KERNEL.load(Ordering::Relaxed) {
+        1 => Kernel::Generic,
+        2 => Kernel::Segmented,
+        _ => Kernel::Auto,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{AbsoluteCost, Rooted, SquaredCost};
+
+    #[derive(Clone, Copy)]
+    struct OptOutCost;
+    impl CostFn for OptOutCost {
+        fn cost(&self, a: f64, b: f64) -> f64 {
+            (a - b).abs().sqrt()
+        }
+    }
+
+    #[test]
+    fn auto_resolves_via_cost_opt_in() {
+        assert!(Kernel::Auto.segmented::<SquaredCost>());
+        assert!(Kernel::Auto.segmented::<AbsoluteCost>());
+        assert!(Kernel::Auto.segmented::<Rooted<SquaredCost>>());
+        assert!(!Kernel::Auto.segmented::<OptOutCost>());
+        assert!(!Kernel::Auto.segmented::<Rooted<OptOutCost>>());
+    }
+
+    #[test]
+    fn explicit_tiers_override_the_cost() {
+        assert!(!Kernel::Generic.segmented::<SquaredCost>());
+        assert!(Kernel::Segmented.segmented::<OptOutCost>());
+    }
+
+    #[test]
+    fn parse_and_name_round_trip() {
+        for k in [Kernel::Auto, Kernel::Generic, Kernel::Segmented] {
+            assert_eq!(Kernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::parse("simd"), None);
+        assert_eq!(Kernel::parse(""), None);
+    }
+
+    #[test]
+    fn default_is_auto() {
+        // Other tests in the workspace never mutate the global (they use
+        // the explicit `_kernel` variants), so this is race-free.
+        assert_eq!(default_kernel(), Kernel::Auto);
+    }
+}

@@ -15,16 +15,23 @@
 //!   "cDTW-only" optimizations of Rakthanmanon et al. the paper credits
 //!   with two to five further orders of magnitude.
 //!
+//! All of these fill their rows through the tiered sweep in the private
+//! `sweep` module; [`kernel`] selects the tier (`Auto | Generic |
+//! Segmented`) with a bitwise-equality guarantee between tiers.
+//!
 //! [`SearchWindow`]: crate::window::SearchWindow
 
 pub mod banded;
 pub mod early_abandon;
 pub mod full;
+pub mod kernel;
 pub mod pruned;
+pub(crate) mod sweep;
 pub mod windowed;
 
 pub use banded::{cdtw_distance, cdtw_with_path, percent_to_band};
 pub use early_abandon::cdtw_distance_ea;
 pub use full::{dtw_distance, dtw_with_path};
+pub use kernel::{default_kernel, set_default_kernel, Kernel};
 pub use pruned::{pruned_dtw_auto, pruned_dtw_distance};
 pub use windowed::{windowed_distance, windowed_with_path};

@@ -16,6 +16,12 @@
 //! points delegate with [`NoMeter`], whose inlined
 //! empty methods leave the un-instrumented code unchanged (the
 //! `meter_ablation` bench group in `tsdtw-bench` guards this).
+//!
+//! Rows are filled by the tiered sweep in the private `sweep` module;
+//! `*_kernel`
+//! variants take an explicit [`Kernel`] tier, the plain forms consult the
+//! process-wide default ([`super::kernel::default_kernel`]). Tiers are
+//! bitwise-equal, so which one runs is observable only in wall-clock time.
 
 // The DP kernels below index both series and both rolling rows by the
 // column variable `j`; iterator-chain rewrites obscure the recurrence.
@@ -27,6 +33,9 @@ use crate::matrix::WindowedDirections;
 use crate::path::{Direction, WarpingPath};
 use crate::window::SearchWindow;
 use tsdtw_obs::{Meter, NoMeter};
+
+use super::kernel::{default_kernel, Kernel};
+use super::sweep;
 
 /// Validates the series pair against the window dimensions.
 fn check_inputs(x: &[f64], y: &[f64], window: &SearchWindow) -> Result<()> {
@@ -77,6 +86,18 @@ pub fn windowed_distance<C: CostFn>(
     windowed_distance_with_buf(x, y, window, cost, &mut buf)
 }
 
+/// [`windowed_distance`] with an explicit kernel tier.
+pub fn windowed_distance_kernel<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+    kernel: Kernel,
+) -> Result<f64> {
+    let mut buf = DtwBuffer::new();
+    windowed_distance_metered_kernel(x, y, window, cost, &mut buf, &mut NoMeter, kernel)
+}
+
 /// DTW distance over `window`, reusing caller-provided scratch space.
 pub fn windowed_distance_with_buf<C: CostFn>(
     x: &[f64],
@@ -101,17 +122,26 @@ pub fn windowed_distance_metered<C: CostFn, M: Meter>(
     buf: &mut DtwBuffer,
     meter: &mut M,
 ) -> Result<f64> {
+    windowed_distance_metered_kernel(x, y, window, cost, buf, meter, default_kernel())
+}
+
+/// [`windowed_distance_metered`] with an explicit kernel tier. All meter
+/// counters are recorded from the window bounds alone, so they are
+/// identical at every tier.
+pub fn windowed_distance_metered_kernel<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+    buf: &mut DtwBuffer,
+    meter: &mut M,
+    kernel: Kernel,
+) -> Result<f64> {
     check_inputs(x, y, window)?;
     let _span = tsdtw_obs::span("dtw_windowed");
     let n = x.len();
 
-    let width = (0..n)
-        .map(|i| {
-            let (lo, hi) = window.row_bounds(i);
-            hi - lo + 1
-        })
-        .max()
-        .expect("n >= 1");
+    let width = window.max_row_width();
     buf.prev.clear();
     buf.prev.resize(width, f64::INFINITY);
     buf.cur.clear();
@@ -132,33 +162,23 @@ pub fn windowed_distance_metered<C: CostFn, M: Meter>(
     let mut plo = lo0;
     let mut phi = hi0;
 
+    let segmented = kernel.segmented::<C>();
     for (i, &xi) in x.iter().enumerate().skip(1) {
         let (lo, hi) = window.row_bounds(i);
         meter.window_cells((hi - lo + 1) as u64);
         meter.cells((hi - lo + 1) as u64);
-        for j in lo..=hi {
-            let up = if j >= plo && j <= phi {
-                buf.prev[j - plo]
-            } else {
-                f64::INFINITY
-            };
-            let diag = if j > plo && j - 1 <= phi {
-                buf.prev[j - 1 - plo]
-            } else {
-                f64::INFINITY
-            };
-            let left = if j > lo {
-                buf.cur[j - 1 - lo]
-            } else {
-                f64::INFINITY
-            };
-            let best = diag.min(up).min(left);
-            debug_assert!(
-                best.is_finite(),
-                "unreachable cell ({i}, {j}) in validated window"
-            );
-            buf.cur[j - lo] = cost.cost(xi, y[j]) + best;
-        }
+        sweep::distance_row(
+            segmented,
+            xi,
+            y,
+            lo,
+            hi,
+            plo,
+            phi,
+            &buf.prev,
+            &mut buf.cur,
+            cost,
+        );
         std::mem::swap(&mut buf.prev, &mut buf.cur);
         plo = lo;
         phi = hi;
@@ -183,6 +203,17 @@ pub fn windowed_with_path<C: CostFn>(
     windowed_with_path_metered(x, y, window, cost, &mut NoMeter)
 }
 
+/// [`windowed_with_path`] with an explicit kernel tier.
+pub fn windowed_with_path_kernel<C: CostFn>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+    kernel: Kernel,
+) -> Result<(f64, WarpingPath)> {
+    windowed_with_path_metered_kernel(x, y, window, cost, &mut NoMeter, kernel)
+}
+
 /// [`windowed_with_path`] with work accounting. The peak-buffer figure
 /// includes the traceback byte per admissible cell on top of the two
 /// rolling rows.
@@ -193,6 +224,20 @@ pub fn windowed_with_path_metered<C: CostFn, M: Meter>(
     cost: C,
     meter: &mut M,
 ) -> Result<(f64, WarpingPath)> {
+    windowed_with_path_metered_kernel(x, y, window, cost, meter, default_kernel())
+}
+
+/// [`windowed_with_path_metered`] with an explicit kernel tier. Both the
+/// distance and the traced path are tier-invariant (the tie-break runs on
+/// bitwise-identical neighbor values).
+pub fn windowed_with_path_metered_kernel<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+    meter: &mut M,
+    kernel: Kernel,
+) -> Result<(f64, WarpingPath)> {
     check_inputs(x, y, window)?;
     let _span = tsdtw_obs::span("dtw_windowed");
     let n = x.len();
@@ -200,15 +245,8 @@ pub fn windowed_with_path_metered<C: CostFn, M: Meter>(
 
     let mut dirs = WindowedDirections::for_window(window);
     let mut buf = DtwBuffer::new();
-    let mut total_cells = 0u64;
-    let width = (0..n)
-        .map(|i| {
-            let (lo, hi) = window.row_bounds(i);
-            total_cells += (hi - lo + 1) as u64;
-            hi - lo + 1
-        })
-        .max()
-        .expect("n >= 1");
+    let total_cells = window.cell_count() as u64;
+    let width = window.max_row_width();
     buf.prev.resize(width, f64::INFINITY);
     buf.cur.resize(width, f64::INFINITY);
     meter.window_cells(total_cells);
@@ -234,38 +272,23 @@ pub fn windowed_with_path_metered<C: CostFn, M: Meter>(
     let mut plo = lo0;
     let mut phi = hi0;
 
+    let segmented = kernel.segmented::<C>();
     for (i, &xi) in x.iter().enumerate().skip(1) {
         let (lo, hi) = window.row_bounds(i);
-        for j in lo..=hi {
-            let up = if j >= plo && j <= phi {
-                buf.prev[j - plo]
-            } else {
-                f64::INFINITY
-            };
-            let diag = if j > plo && j - 1 <= phi {
-                buf.prev[j - 1 - plo]
-            } else {
-                f64::INFINITY
-            };
-            let left = if j > lo {
-                buf.cur[j - 1 - lo]
-            } else {
-                f64::INFINITY
-            };
-            let (best, dir) = if diag <= up && diag <= left {
-                (diag, Direction::Diagonal)
-            } else if up <= left {
-                (up, Direction::Up)
-            } else {
-                (left, Direction::Left)
-            };
-            debug_assert!(
-                best.is_finite(),
-                "unreachable cell ({i}, {j}) in validated window"
-            );
-            buf.cur[j - lo] = cost.cost(xi, y[j]) + best;
-            dirs.set(i, j, dir);
-        }
+        sweep::path_row(
+            segmented,
+            i,
+            xi,
+            y,
+            lo,
+            hi,
+            plo,
+            phi,
+            &buf.prev,
+            &mut buf.cur,
+            &mut dirs,
+            cost,
+        );
         std::mem::swap(&mut buf.prev, &mut buf.cur);
         plo = lo;
         phi = hi;

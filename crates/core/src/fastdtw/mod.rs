@@ -40,7 +40,8 @@ pub mod reference;
 pub use reference::{fastdtw_ref_distance, fastdtw_ref_metered, fastdtw_ref_with_path};
 
 use crate::cost::CostFn;
-use crate::dtw::windowed::windowed_with_path_metered;
+use crate::dtw::kernel::{default_kernel, Kernel};
+use crate::dtw::windowed::windowed_with_path_metered_kernel;
 use crate::error::{check_finite, check_nonempty, Error, Result};
 use crate::paa::halve;
 use crate::path::WarpingPath;
@@ -108,16 +109,30 @@ pub fn fastdtw_metered<C: CostFn, M: Meter>(
     cost: C,
     meter: &mut M,
 ) -> Result<(f64, WarpingPath, FastDtwStats)> {
+    fastdtw_metered_kernel(x, y, radius, cost, meter, default_kernel())
+}
+
+/// [`fastdtw_metered`] with an explicit kernel tier for every per-level
+/// refinement DP (including the exact base case).
+pub fn fastdtw_metered_kernel<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    radius: usize,
+    cost: C,
+    meter: &mut M,
+    kernel: Kernel,
+) -> Result<(f64, WarpingPath, FastDtwStats)> {
     check_nonempty("x", x)?;
     check_nonempty("y", y)?;
     check_finite("x", x)?;
     check_finite("y", y)?;
     let _span = tsdtw_obs::span("fastdtw");
     let mut stats = FastDtwStats::default();
-    let (d, p) = recurse(x, y, radius, cost, &mut stats, 0, meter)?;
+    let (d, p) = recurse(x, y, radius, cost, &mut stats, 0, meter, kernel)?;
     Ok((d, p, stats))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn recurse<C: CostFn, M: Meter>(
     x: &[f64],
     y: &[f64],
@@ -126,6 +141,7 @@ fn recurse<C: CostFn, M: Meter>(
     stats: &mut FastDtwStats,
     depth: u32,
     meter: &mut M,
+    kernel: Kernel,
 ) -> Result<(f64, WarpingPath)> {
     assert!(depth < MAX_LEVELS, "FastDTW recursion failed to converge");
     stats.levels += 1;
@@ -149,12 +165,21 @@ fn recurse<C: CostFn, M: Meter>(
         }
         let _span = tsdtw_obs::span("fastdtw_base");
         let window = SearchWindow::full(x.len(), y.len());
-        return windowed_with_path_metered(x, y, &window, cost, meter);
+        return windowed_with_path_metered_kernel(x, y, &window, cost, meter, kernel);
     }
 
     let shrunk_x = halve(x);
     let shrunk_y = halve(y);
-    let (_, low_res_path) = recurse(&shrunk_x, &shrunk_y, radius, cost, stats, depth + 1, meter)?;
+    let (_, low_res_path) = recurse(
+        &shrunk_x,
+        &shrunk_y,
+        radius,
+        cost,
+        stats,
+        depth + 1,
+        meter,
+        kernel,
+    )?;
 
     let _span = tsdtw_obs::span("fastdtw_level");
     let window = {
@@ -178,7 +203,7 @@ fn recurse<C: CostFn, M: Meter>(
             base_case: false,
         });
     }
-    windowed_with_path_metered(x, y, &window, cost, meter)
+    windowed_with_path_metered_kernel(x, y, &window, cost, meter, kernel)
 }
 
 /// Convenience struct bundling a radius, mirroring

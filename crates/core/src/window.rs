@@ -26,9 +26,46 @@ pub struct SearchWindow {
     lo: Vec<usize>,
     /// `hi[i]` — last admissible column in row `i` (inclusive).
     hi: Vec<usize>,
+    /// Cached `max_i (hi[i] - lo[i] + 1)` — the scratch-row width every DP
+    /// kernel needs; repeated-use evaluators (`BandedDtw`, 1-NN loops) would
+    /// otherwise re-scan all rows on every call.
+    max_width: usize,
+    /// Cached total admissible-cell count.
+    n_cells: usize,
 }
 
 impl SearchWindow {
+    /// Builds a window from already-validated bounds, computing the cached
+    /// aggregates. Every construction site funnels through here (or through
+    /// [`SearchWindow::recache`] after in-place mutation) so the caches can
+    /// never go stale.
+    fn assemble(n_cols: usize, lo: Vec<usize>, hi: Vec<usize>) -> Self {
+        let mut w = SearchWindow {
+            n_cols,
+            lo,
+            hi,
+            max_width: 0,
+            n_cells: 0,
+        };
+        w.recache();
+        w
+    }
+
+    /// Recomputes the cached row-width maximum and cell count from the
+    /// current bounds.
+    fn recache(&mut self) {
+        let mut max_width = 0usize;
+        let mut n_cells = 0usize;
+        for (&l, &h) in self.lo.iter().zip(&self.hi) {
+            // `saturating_sub` keeps the cache well-defined even on bounds
+            // that `validate` will subsequently reject (empty rows).
+            let width = (h + 1).saturating_sub(l);
+            max_width = max_width.max(width);
+            n_cells += width;
+        }
+        self.max_width = max_width;
+        self.n_cells = n_cells;
+    }
     /// Builds a window from explicit per-row inclusive bounds.
     ///
     /// Returns [`Error::InvalidWindow`] if any row is empty (`lo > hi`), any
@@ -41,18 +78,18 @@ impl SearchWindow {
                 reason: format!("lo has {} rows but hi has {}", lo.len(), hi.len()),
             });
         }
-        let w = SearchWindow { n_cols, lo, hi };
+        let w = SearchWindow::assemble(n_cols, lo, hi);
         w.validate()?;
         Ok(w)
     }
 
     /// The full (unconstrained) window over an `n_rows × n_cols` matrix.
     pub fn full(n_rows: usize, n_cols: usize) -> Self {
-        SearchWindow {
+        SearchWindow::assemble(
             n_cols,
-            lo: vec![0; n_rows],
-            hi: vec![n_cols.saturating_sub(1); n_rows],
-        }
+            vec![0; n_rows],
+            vec![n_cols.saturating_sub(1); n_rows],
+        )
     }
 
     /// A Sakoe–Chiba band of radius `band` cells around the (staircase)
@@ -77,7 +114,7 @@ impl SearchWindow {
             lo.push(j0.saturating_sub(band));
             hi.push((j1 + band).min(n_cols - 1));
         }
-        let w = SearchWindow { n_cols, lo, hi };
+        let w = SearchWindow::assemble(n_cols, lo, hi);
         debug_assert!(
             w.validate().is_ok(),
             "staircase band must be valid: {:?}",
@@ -127,7 +164,7 @@ impl SearchWindow {
         }
         lo[0] = 0;
         hi[n_rows - 1] = n_cols - 1;
-        let mut w = SearchWindow { n_cols, lo, hi };
+        let mut w = SearchWindow::assemble(n_cols, lo, hi);
         w.repair_connectivity();
         Ok(w)
     }
@@ -175,7 +212,7 @@ impl SearchWindow {
                 hi[r] = ph;
             }
         }
-        let mut w = SearchWindow { n_cols, lo, hi };
+        let mut w = SearchWindow::assemble(n_cols, lo, hi);
         if radius > 0 {
             w = w.dilate(radius);
         }
@@ -204,11 +241,7 @@ impl SearchWindow {
             lo[i] = l.saturating_sub(radius);
             hi[i] = (h + radius).min(self.n_cols - 1);
         }
-        SearchWindow {
-            n_cols: self.n_cols,
-            lo,
-            hi,
-        }
+        SearchWindow::assemble(self.n_cols, lo, hi)
     }
 
     /// Forces the window to admit at least one monotone staircase path from
@@ -256,6 +289,7 @@ impl SearchWindow {
                 self.hi[i] = self.hi[i - 1];
             }
         }
+        self.recache();
         debug_assert!(self.validate().is_ok(), "repair_connectivity failed");
     }
 
@@ -344,13 +378,25 @@ impl SearchWindow {
         i < self.lo.len() && j >= self.lo[i] && j <= self.hi[i]
     }
 
+    /// The widest row of the window, `max_i (hi[i] - lo[i] + 1)` — the
+    /// scratch-row length the rolling-row DP kernels allocate.
+    ///
+    /// Cached at construction; O(1).
+    #[inline]
+    pub fn max_row_width(&self) -> usize {
+        self.max_width
+    }
+
     /// Total number of admissible cells — the work the DP will do.
     ///
     /// This is the quantity the paper's Fig. 1/Fig. 4 comparisons ultimately
     /// trade on: FastDTW's window has `O(N·r)` cells *per level*, while
     /// `cDTW_w`'s band has `O(N·w)` cells once.
+    ///
+    /// Cached at construction; O(1).
+    #[inline]
     pub fn cell_count(&self) -> usize {
-        self.lo.iter().zip(&self.hi).map(|(&l, &h)| h - l + 1).sum()
+        self.n_cells
     }
 }
 
@@ -513,6 +559,31 @@ mod tests {
         for (n, m) in [(1usize, 1usize), (1, 8), (8, 1), (5, 9), (9, 5)] {
             let w = SearchWindow::itakura(n, m, 2.0).unwrap();
             assert!(w.validate().is_ok(), "{n}x{m}: {:?}", w.validate());
+        }
+    }
+
+    #[test]
+    fn cached_aggregates_match_recomputation() {
+        let p = WarpingPath::new(vec![(0, 0), (1, 1), (2, 1), (3, 2)]).unwrap();
+        let windows = vec![
+            SearchWindow::full(4, 6),
+            SearchWindow::sakoe_chiba(9, 5, 2),
+            SearchWindow::sakoe_chiba(5, 13, 0),
+            SearchWindow::itakura(12, 17, 2.0).unwrap(),
+            SearchWindow::from_bounds(4, vec![0, 0, 1, 2], vec![1, 2, 3, 3]).unwrap(),
+            SearchWindow::from_low_res_path(&p, 8, 5, 1),
+            SearchWindow::sakoe_chiba(9, 9, 1).dilate(2),
+        ];
+        for w in windows {
+            let mut max_width = 0;
+            let mut cells = 0;
+            for i in 0..w.n_rows() {
+                let (lo, hi) = w.row_bounds(i);
+                max_width = max_width.max(hi - lo + 1);
+                cells += hi - lo + 1;
+            }
+            assert_eq!(w.max_row_width(), max_width, "{w:?}");
+            assert_eq!(w.cell_count(), cells, "{w:?}");
         }
     }
 

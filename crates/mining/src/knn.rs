@@ -10,8 +10,9 @@
 //!   magnitude" of §3.4. Both return identical predictions; tests pin that.
 
 use tsdtw_core::cost::SquaredCost;
-use tsdtw_core::dtw::banded::{cdtw_distance_metered, percent_to_band};
+use tsdtw_core::dtw::banded::{cdtw_distance_metered_with_buf, percent_to_band};
 use tsdtw_core::dtw::full::dtw_distance;
+use tsdtw_core::dtw::windowed::DtwBuffer;
 use tsdtw_core::error::{Error, Result};
 use tsdtw_core::fastdtw::{fastdtw_metered, fastdtw_ref_metered};
 use tsdtw_core::lower_bounds::Cascade;
@@ -58,16 +59,41 @@ impl DistanceSpec {
     /// as every other spec; with [`NoMeter`] it keeps the tight two-row
     /// kernel.
     pub fn eval_metered<M: Meter>(&self, x: &[f64], y: &[f64], meter: &mut M) -> Result<f64> {
+        let mut buf = DtwBuffer::new();
+        self.eval_metered_buf(x, y, meter, &mut buf)
+    }
+
+    /// Like [`eval_metered`](Self::eval_metered), reusing caller-provided
+    /// DP scratch rows for the banded/full specs — the allocation-free
+    /// form the serial 1-NN and k-NN scan loops use (one buffer per scan
+    /// instead of one per comparison). FastDTW manages its own per-level
+    /// buffers and Euclidean runs no DP; both ignore `buf`.
+    pub fn eval_metered_buf<M: Meter>(
+        &self,
+        x: &[f64],
+        y: &[f64],
+        meter: &mut M,
+        buf: &mut DtwBuffer,
+    ) -> Result<f64> {
         match *self {
             DistanceSpec::Euclidean => tsdtw_core::sq_euclidean(x, y),
             DistanceSpec::CdtwPercent(w) => {
                 let band = percent_to_band(x.len().max(y.len()), w)?;
-                cdtw_distance_metered(x, y, band, SquaredCost, meter)
+                cdtw_distance_metered_with_buf(x, y, band, SquaredCost, buf, meter)
             }
-            DistanceSpec::CdtwBand(band) => cdtw_distance_metered(x, y, band, SquaredCost, meter),
+            DistanceSpec::CdtwBand(band) => {
+                cdtw_distance_metered_with_buf(x, y, band, SquaredCost, buf, meter)
+            }
             DistanceSpec::FullDtw => {
                 if meter.enabled() {
-                    cdtw_distance_metered(x, y, x.len().max(y.len()), SquaredCost, meter)
+                    cdtw_distance_metered_with_buf(
+                        x,
+                        y,
+                        x.len().max(y.len()),
+                        SquaredCost,
+                        buf,
+                        meter,
+                    )
                 } else {
                     dtw_distance(x, y, SquaredCost)
                 }
@@ -119,11 +145,12 @@ pub fn nn_brute_force_metered<M: Meter>(
         distance: f64::INFINITY,
         label: 0,
     };
+    let mut buf = DtwBuffer::new();
     for (i, s) in train.series.iter().enumerate() {
         if i == skip {
             continue;
         }
-        let d = spec.eval_metered(query, s, meter)?;
+        let d = spec.eval_metered_buf(query, s, meter, &mut buf)?;
         if d < best.distance {
             best = NnResult {
                 index: i,
@@ -290,11 +317,12 @@ pub fn knn_brute_force_metered<M: Meter>(
         });
     }
     let mut all: Vec<NnResult> = Vec::with_capacity(train.series.len());
+    let mut buf = DtwBuffer::new();
     for (i, s) in train.series.iter().enumerate() {
         if i == skip {
             continue;
         }
-        let d = spec.eval_metered(query, s, meter)?;
+        let d = spec.eval_metered_buf(query, s, meter, &mut buf)?;
         all.push(NnResult {
             index: i,
             distance: d,

@@ -1,0 +1,396 @@
+//! Differential test layer for the tiered DP row sweep (DESIGN.md §11).
+//!
+//! The segmented kernel — branch-free interior, guarded prefix/suffix —
+//! must be **bitwise** equal to the generic guarded kernel on every
+//! window shape the stack produces, and both must match a naive
+//! full-matrix reference DP:
+//!
+//! * distances compare by `to_bits()` — not approximate equality;
+//! * warping paths compare exactly (`WarpingPath` is `Eq`);
+//! * work accounting compares by full [`WorkMeter`] equality — counters
+//!   are recorded from window bounds alone, so no tier may change them.
+//!
+//! Window shapes covered: Sakoe–Chiba bands (square and staircase,
+//! radius 0 up), Itakura parallelograms, FastDTW projected windows
+//! (exercised through the real multi-level recursion), and the full
+//! matrix. Costs cover both monomorphized fast paths (`SquaredCost`,
+//! `AbsoluteCost`) and an opted-out wrapper (`Rooted`), so forcing
+//! `Kernel::Segmented` on a cost that `Auto` would route generically is
+//! exercised too. The early-abandoning kernel with an infinite
+//! threshold must equal the plain kernel bitwise in both tiers.
+
+use proptest::prelude::*;
+use tsdtw::core::cost::{AbsoluteCost, CostFn, Rooted, SquaredCost};
+use tsdtw::core::dtw::banded::{
+    cdtw_distance_kernel, cdtw_distance_metered_with_buf_kernel, cdtw_with_path_kernel,
+};
+use tsdtw::core::dtw::early_abandon::{cdtw_distance_ea_metered_kernel, EaOutcome};
+use tsdtw::core::dtw::full::dtw_distance_kernel;
+use tsdtw::core::dtw::windowed::{
+    windowed_distance_metered_kernel, windowed_with_path_kernel, DtwBuffer,
+};
+use tsdtw::core::fastdtw::fastdtw_metered_kernel;
+use tsdtw::core::{Kernel, SearchWindow};
+use tsdtw_obs::{NoMeter, WorkMeter};
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Naive full-matrix reference: materializes the whole `n × m` grid,
+/// fills only admissible cells, reads inadmissible neighbors as `+∞`,
+/// and uses the exact expression the kernels use
+/// (`cost + diag.min(up).min(left)`), so equality is bitwise.
+fn naive_windowed<C: CostFn>(x: &[f64], y: &[f64], w: &SearchWindow, cost: C) -> f64 {
+    let n = x.len();
+    let m = y.len();
+    let mut dp = vec![vec![f64::INFINITY; m]; n];
+    let admissible = |i: usize, j: usize| {
+        let (lo, hi) = w.row_bounds(i);
+        (lo..=hi).contains(&j)
+    };
+    for i in 0..n {
+        let (lo, hi) = w.row_bounds(i);
+        for j in lo..=hi {
+            let c = cost.cost(x[i], y[j]);
+            if i == 0 && j == 0 {
+                dp[i][j] = c;
+                continue;
+            }
+            let up = if i > 0 && admissible(i - 1, j) {
+                dp[i - 1][j]
+            } else {
+                f64::INFINITY
+            };
+            let diag = if i > 0 && j > 0 && admissible(i - 1, j - 1) {
+                dp[i - 1][j - 1]
+            } else {
+                f64::INFINITY
+            };
+            let left = if j > 0 && admissible(i, j - 1) {
+                dp[i][j - 1]
+            } else {
+                f64::INFINITY
+            };
+            dp[i][j] = c + diag.min(up).min(left);
+        }
+    }
+    cost.finish(dp[n - 1][m - 1])
+}
+
+/// Runs one window through both tiers and the naive reference with a
+/// given cost; asserts bitwise distance equality and meter equality.
+fn assert_window_tiers_match<C: CostFn + Copy>(x: &[f64], y: &[f64], w: &SearchWindow, cost: C) {
+    let mut buf = DtwBuffer::new();
+    let mut m_gen = WorkMeter::new();
+    let d_gen =
+        windowed_distance_metered_kernel(x, y, w, cost, &mut buf, &mut m_gen, Kernel::Generic)
+            .unwrap();
+    let mut m_seg = WorkMeter::new();
+    let d_seg =
+        windowed_distance_metered_kernel(x, y, w, cost, &mut buf, &mut m_seg, Kernel::Segmented)
+            .unwrap();
+    let mut m_auto = WorkMeter::new();
+    let d_auto =
+        windowed_distance_metered_kernel(x, y, w, cost, &mut buf, &mut m_auto, Kernel::Auto)
+            .unwrap();
+    prop_assert_eq!(bits(d_gen), bits(d_seg), "generic vs segmented");
+    prop_assert_eq!(bits(d_gen), bits(d_auto), "generic vs auto");
+    prop_assert_eq!(bits(d_gen), bits(naive_windowed(x, y, w, cost)), "vs naive");
+    prop_assert_eq!(&m_gen, &m_seg, "meters must be tier-invariant");
+    prop_assert_eq!(&m_gen, &m_auto);
+
+    let (pd_gen, p_gen) = windowed_with_path_kernel(x, y, w, cost, Kernel::Generic).unwrap();
+    let (pd_seg, p_seg) = windowed_with_path_kernel(x, y, w, cost, Kernel::Segmented).unwrap();
+    prop_assert_eq!(bits(pd_gen), bits(pd_seg), "path-kernel distance");
+    prop_assert_eq!(bits(pd_gen), bits(d_gen), "path kernel vs distance kernel");
+    prop_assert_eq!(p_gen, p_seg, "paths must be identical across tiers");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sakoe–Chiba bands on equal and unequal lengths (the staircase
+    /// diagonal), radii from 0 (pure diagonal) to wider than the matrix.
+    #[test]
+    fn sakoe_chiba_bands_are_tier_invariant(
+        x in prop::collection::vec(-10.0f64..10.0, 1..28),
+        y in prop::collection::vec(-10.0f64..10.0, 1..28),
+        band in 0usize..10,
+    ) {
+        let w = SearchWindow::sakoe_chiba(x.len(), y.len(), band);
+        assert_window_tiers_match(&x, &y, &w, SquaredCost);
+        assert_window_tiers_match(&x, &y, &w, AbsoluteCost);
+        // Rooted opts out of SEGMENTED_FAST: Auto routes it generically,
+        // yet forcing Segmented must still agree bitwise.
+        assert_window_tiers_match(&x, &y, &w, Rooted(SquaredCost));
+    }
+
+    /// The full matrix is the widest window; the shared [`dtw_distance_kernel`]
+    /// entry point must agree with the windowed kernels and naive DP.
+    #[test]
+    fn full_matrix_is_tier_invariant(
+        x in prop::collection::vec(-10.0f64..10.0, 1..20),
+        y in prop::collection::vec(-10.0f64..10.0, 1..20),
+    ) {
+        let w = SearchWindow::full(x.len(), y.len());
+        assert_window_tiers_match(&x, &y, &w, SquaredCost);
+        let d_gen = dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Generic).unwrap();
+        let d_seg = dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Segmented).unwrap();
+        prop_assert_eq!(bits(d_gen), bits(d_seg));
+        prop_assert_eq!(bits(d_gen), bits(naive_windowed(&x, &y, &w, SquaredCost)));
+    }
+
+    /// Itakura parallelograms have rows whose interiors shrink to nothing
+    /// near the corners — the degenerate-segment fallback path.
+    #[test]
+    fn itakura_windows_are_tier_invariant(
+        x in prop::collection::vec(-10.0f64..10.0, 2..24),
+        y in prop::collection::vec(-10.0f64..10.0, 2..24),
+        slope_tenths in 12u32..40,
+    ) {
+        let slope = slope_tenths as f64 / 10.0;
+        let w = SearchWindow::itakura(x.len(), y.len(), slope).unwrap();
+        assert_window_tiers_match(&x, &y, &w, SquaredCost);
+        assert_window_tiers_match(&x, &y, &w, AbsoluteCost);
+    }
+
+    /// FastDTW's projected-and-dilated windows, exercised through the
+    /// real multi-level recursion: distance, path, and the full meter —
+    /// including the order-sensitive per-level window list — must be
+    /// identical across tiers.
+    #[test]
+    fn fastdtw_projected_windows_are_tier_invariant(
+        x in prop::collection::vec(-10.0f64..10.0, 1..48),
+        y in prop::collection::vec(-10.0f64..10.0, 1..48),
+        radius in 0usize..4,
+    ) {
+        let mut m_gen = WorkMeter::new();
+        let (d_gen, p_gen, s_gen) =
+            fastdtw_metered_kernel(&x, &y, radius, SquaredCost, &mut m_gen, Kernel::Generic)
+                .unwrap();
+        let mut m_seg = WorkMeter::new();
+        let (d_seg, p_seg, s_seg) =
+            fastdtw_metered_kernel(&x, &y, radius, SquaredCost, &mut m_seg, Kernel::Segmented)
+                .unwrap();
+        prop_assert_eq!(bits(d_gen), bits(d_seg));
+        prop_assert_eq!(p_gen, p_seg);
+        prop_assert_eq!(s_gen.levels, s_seg.levels);
+        prop_assert_eq!(&m_gen, &m_seg);
+    }
+
+    /// cdtw distance and path entry points (band in cells) across tiers.
+    #[test]
+    fn cdtw_entry_points_are_tier_invariant(
+        x in prop::collection::vec(-10.0f64..10.0, 1..24),
+        y in prop::collection::vec(-10.0f64..10.0, 1..24),
+        band in 0usize..8,
+    ) {
+        let d_gen = cdtw_distance_kernel(&x, &y, band, SquaredCost, Kernel::Generic).unwrap();
+        let d_seg = cdtw_distance_kernel(&x, &y, band, SquaredCost, Kernel::Segmented).unwrap();
+        prop_assert_eq!(bits(d_gen), bits(d_seg));
+        let (pd_gen, p_gen) =
+            cdtw_with_path_kernel(&x, &y, band, SquaredCost, Kernel::Generic).unwrap();
+        let (pd_seg, p_seg) =
+            cdtw_with_path_kernel(&x, &y, band, SquaredCost, Kernel::Segmented).unwrap();
+        prop_assert_eq!(bits(pd_gen), bits(pd_seg));
+        prop_assert_eq!(bits(pd_gen), bits(d_gen));
+        prop_assert_eq!(p_gen, p_seg);
+    }
+
+    /// Early abandoning with an infinite threshold never abandons, so it
+    /// must equal the plain kernel bitwise — in both tiers, with
+    /// tier-invariant EA counters.
+    #[test]
+    fn ea_with_infinite_threshold_equals_plain(
+        x in prop::collection::vec(-10.0f64..10.0, 1..24),
+        y in prop::collection::vec(-10.0f64..10.0, 1..24),
+        band in 0usize..8,
+    ) {
+        let plain = cdtw_distance_kernel(&x, &y, band, SquaredCost, Kernel::Generic).unwrap();
+        let mut m_gen = WorkMeter::new();
+        let ea_gen = cdtw_distance_ea_metered_kernel(
+            &x, &y, band, f64::INFINITY, None, SquaredCost, &mut m_gen, Kernel::Generic,
+        )
+        .unwrap();
+        let mut m_seg = WorkMeter::new();
+        let ea_seg = cdtw_distance_ea_metered_kernel(
+            &x, &y, band, f64::INFINITY, None, SquaredCost, &mut m_seg, Kernel::Segmented,
+        )
+        .unwrap();
+        let (EaOutcome::Exact(d_gen), EaOutcome::Exact(d_seg)) = (ea_gen, ea_seg) else {
+            panic!("infinite threshold must never abandon: {ea_gen:?} vs {ea_seg:?}");
+        };
+        prop_assert_eq!(bits(d_gen), bits(d_seg), "EA tiers");
+        prop_assert_eq!(bits(d_gen), bits(plain), "EA vs plain kernel");
+        prop_assert_eq!(&m_gen, &m_seg, "EA counters must be tier-invariant");
+    }
+
+    /// Early abandoning with a *finite* threshold: whatever the outcome
+    /// (exact or abandoned at some row), it is identical across tiers —
+    /// the per-row minimum folds in the same order in both.
+    #[test]
+    fn ea_abandonment_row_is_tier_invariant(
+        x in prop::collection::vec(-10.0f64..10.0, 2..24),
+        y in prop::collection::vec(-10.0f64..10.0, 2..24),
+        band in 0usize..6,
+        threshold in 0.0f64..200.0,
+    ) {
+        let mut m_gen = WorkMeter::new();
+        let ea_gen = cdtw_distance_ea_metered_kernel(
+            &x, &y, band, threshold, None, SquaredCost, &mut m_gen, Kernel::Generic,
+        )
+        .unwrap();
+        let mut m_seg = WorkMeter::new();
+        let ea_seg = cdtw_distance_ea_metered_kernel(
+            &x, &y, band, threshold, None, SquaredCost, &mut m_seg, Kernel::Segmented,
+        )
+        .unwrap();
+        match (ea_gen, ea_seg) {
+            (EaOutcome::Exact(a), EaOutcome::Exact(b)) => prop_assert_eq!(bits(a), bits(b)),
+            (EaOutcome::Abandoned { rows_filled: a }, EaOutcome::Abandoned { rows_filled: b }) => {
+                prop_assert_eq!(a, b, "abandonment row must be tier-invariant");
+            }
+            (a, b) => panic!("tiers disagree on the outcome kind: {a:?} vs {b:?}"),
+        }
+        prop_assert_eq!(&m_gen, &m_seg);
+    }
+}
+
+/// Projected windows straight from a low-resolution path (the shape
+/// FastDTW feeds the kernel), without going through the recursion:
+/// dilate produces ragged rows whose interior segments start and end
+/// mid-row on both sides.
+#[test]
+fn projected_and_dilated_window_shapes_match() {
+    use tsdtw::core::path::WarpingPath;
+    let x: Vec<f64> = (0..31).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+    let y: Vec<f64> = (0..29).map(|i| (i as f64 * 0.41).cos() * 3.0).collect();
+    let low =
+        WarpingPath::new(vec![(0, 0), (1, 1), (2, 1), (3, 2), (4, 3), (5, 4), (6, 5)]).unwrap();
+    for radius in 0..4 {
+        let w = SearchWindow::from_low_res_path(&low, x.len(), y.len(), radius);
+        let d_gen = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            SquaredCost,
+            &mut DtwBuffer::new(),
+            &mut NoMeter,
+            Kernel::Generic,
+        )
+        .unwrap();
+        let d_seg = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            SquaredCost,
+            &mut DtwBuffer::new(),
+            &mut NoMeter,
+            Kernel::Segmented,
+        )
+        .unwrap();
+        assert_eq!(bits(d_gen), bits(d_seg), "radius {radius}");
+        assert_eq!(bits(d_gen), bits(naive_windowed(&x, &y, &w, SquaredCost)));
+        let dilated = w.dilate(radius + 1);
+        let d_gen = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &dilated,
+            SquaredCost,
+            &mut DtwBuffer::new(),
+            &mut NoMeter,
+            Kernel::Generic,
+        )
+        .unwrap();
+        let d_seg = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &dilated,
+            SquaredCost,
+            &mut DtwBuffer::new(),
+            &mut NoMeter,
+            Kernel::Segmented,
+        )
+        .unwrap();
+        assert_eq!(bits(d_gen), bits(d_seg), "dilated radius {radius}");
+        assert_eq!(
+            bits(d_gen),
+            bits(naive_windowed(&x, &y, &dilated, SquaredCost))
+        );
+    }
+}
+
+/// One deterministic case wide enough that the 4-wide unrolled interior,
+/// its scalar remainder, and both guarded edges all execute.
+#[test]
+fn wide_band_exercises_the_unrolled_interior() {
+    let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.05).sin() * 5.0).collect();
+    let y: Vec<f64> = (0..200)
+        .map(|i| (i as f64 * 0.05 + 0.3).sin() * 5.0)
+        .collect();
+    for band in [0usize, 1, 2, 3, 5, 17, 50, 199] {
+        let mut buf = DtwBuffer::new();
+        let mut m_gen = WorkMeter::new();
+        let w = SearchWindow::sakoe_chiba(x.len(), y.len(), band);
+        let d_gen = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            SquaredCost,
+            &mut buf,
+            &mut m_gen,
+            Kernel::Generic,
+        )
+        .unwrap();
+        let mut m_seg = WorkMeter::new();
+        let d_seg = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            SquaredCost,
+            &mut buf,
+            &mut m_seg,
+            Kernel::Segmented,
+        )
+        .unwrap();
+        assert_eq!(bits(d_gen), bits(d_seg), "band {band}");
+        assert_eq!(m_gen, m_seg, "band {band}");
+    }
+}
+
+/// The buffered cdtw entry point used by the mining hot loops.
+#[test]
+fn buffered_cdtw_is_tier_invariant_across_reuse() {
+    let x: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin()).collect();
+    let y: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).cos()).collect();
+    // One buffer reused across differently-sized calls, as the k-NN scan
+    // does: stale capacity must never leak into the result.
+    let mut buf = DtwBuffer::new();
+    for band in [40usize, 2, 11, 0, 25] {
+        let mut m_gen = WorkMeter::new();
+        let d_gen = cdtw_distance_metered_with_buf_kernel(
+            &x,
+            &y,
+            band,
+            SquaredCost,
+            &mut buf,
+            &mut m_gen,
+            Kernel::Generic,
+        )
+        .unwrap();
+        let mut m_seg = WorkMeter::new();
+        let d_seg = cdtw_distance_metered_with_buf_kernel(
+            &x,
+            &y,
+            band,
+            SquaredCost,
+            &mut buf,
+            &mut m_seg,
+            Kernel::Segmented,
+        )
+        .unwrap();
+        assert_eq!(bits(d_gen), bits(d_seg), "band {band}");
+        assert_eq!(m_gen, m_seg, "band {band}");
+    }
+}
