@@ -10,7 +10,12 @@
 //!   observability layer's < 5 % overhead budget on the banded kernel);
 //! * the tiered row sweep: segmented vs generic on a 10 % band, plus an
 //!   auto-vs-generic pair on an opted-out cost pinning zero dispatch
-//!   overhead.
+//!   overhead;
+//! * the counting allocator armed vs per-call [`AllocScope`] probes vs
+//!   cold construction (the heap-telemetry layer's < 5 % budget on the
+//!   windowed-DTW hot path).
+//!
+//! [`AllocScope`]: tsdtw_obs::AllocScope
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -293,6 +298,60 @@ fn kernel_tiers(c: &mut Criterion) {
     g.finish();
 }
 
+fn alloc_telemetry_overhead(c: &mut Criterion) {
+    // The counting allocator's contract (DESIGN.md §12): arming it must
+    // not tax the DP hot path, because the hot path doesn't allocate —
+    // the wrapper only adds a few atomic-free thread-local adds *per
+    // heap event*, and a warmed windowed DTW has none. Three states:
+    //
+    // * `baseline` — the warmed buffered kernel, no probes. Comparing
+    //   this bench between a default build and an `--features
+    //   alloc-telemetry` build is the cross-build arming cost; the CI
+    //   perf gate's < 5 % budget applies to it.
+    // * `alloc_scope_per_call` — an [`AllocScope`] begin/end pair
+    //   around every call: the in-build price of actually probing
+    //   (a ZST no-op without the feature).
+    // * `cold_construction` — evaluator construction + first call per
+    //   iteration, the allocation-carrying shape, showing where the
+    //   per-event counting cost actually lands.
+    use tsdtw_core::dtw::banded::{cdtw_distance_metered_with_buf, BandedDtw};
+    use tsdtw_core::dtw::windowed::DtwBuffer;
+    use tsdtw_core::obs::NoMeter;
+    use tsdtw_obs::AllocScope;
+    let n = 1024;
+    let x = random_walk(n, 71).unwrap();
+    let y = random_walk(n, 72).unwrap();
+    let band = n / 10;
+    let mut g = c.benchmark_group("ablation_alloc");
+    g.sample_size(30);
+    let mut buf = DtwBuffer::new();
+    cdtw_distance_metered_with_buf(&x, &y, band, SquaredCost, &mut buf, &mut NoMeter).unwrap();
+    g.bench_function("baseline", |b| {
+        b.iter(|| {
+            black_box(
+                cdtw_distance_metered_with_buf(&x, &y, band, SquaredCost, &mut buf, &mut NoMeter)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("alloc_scope_per_call", |b| {
+        b.iter(|| {
+            let probe = AllocScope::begin();
+            let d =
+                cdtw_distance_metered_with_buf(&x, &y, band, SquaredCost, &mut buf, &mut NoMeter)
+                    .unwrap();
+            black_box((d, probe.end()))
+        })
+    });
+    g.bench_function("cold_construction", |b| {
+        b.iter(|| {
+            let mut eval = BandedDtw::new(n, n, band).unwrap();
+            black_box(eval.distance(&x, &y, SquaredCost).unwrap())
+        })
+    });
+    g.finish();
+}
+
 fn fastdtw_reference_vs_tuned(c: &mut Criterion) {
     // The decisive ablation for this reproduction: the canonical
     // implementation structure (cell-list window + hash-map DP) versus the
@@ -329,6 +388,7 @@ criterion_group!(
     kernel_tiers,
     meter_overhead,
     recorder_overhead,
+    alloc_telemetry_overhead,
     constraint_shapes
 );
 criterion_main!(benches);

@@ -5,8 +5,8 @@
 //!       [--list] [--trace]
 //!
 //!   EXPERIMENT   one or more of: fig1 fig2 caseb fig3 fig4 fig6 table2
-//!                footnote2 appendixb impls lbs radius cells kernels, or
-//!                'all' (default)
+//!                footnote2 appendixb impls lbs radius cells kernels
+//!                memory, or 'all' (default)
 //!   --full       paper-scale populations (minutes); default is --quick
 //!   --threads N  worker threads for parallel experiments (default 1).
 //!                Work counters in BENCH_<id>.json are deterministic and
@@ -160,7 +160,13 @@ fn main() -> ExitCode {
             recorder_start(DEFAULT_TRACE_CAPACITY);
         }
         let t0 = std::time::Instant::now();
+        // Probe the heap across the whole experiment; under
+        // --features alloc-telemetry the delta lands in the snapshot's
+        // `memory` section (the stub section marks telemetry off
+        // otherwise, so diffs can tell "no data" from "zero traffic").
+        let heap_probe = tsdtw_obs::AllocScope::begin();
         let report = runner(&scale, &par);
+        let heap = heap_probe.end();
         let wall_s = t0.elapsed().as_secs_f64();
         print!("{}", report.render());
         println!("   ({id} in {wall_s:.1}s)\n");
@@ -168,11 +174,13 @@ fn main() -> ExitCode {
             eprintln!("warning: could not write {id}.json: {e}");
         }
         let spans = take_spans();
+        let memory = heap.report();
         let snap = snapshot::capture(
             id,
             &report.title,
             wall_s,
             report.json.get("work"),
+            Some(&memory),
             &spans,
             par.n_threads,
         );

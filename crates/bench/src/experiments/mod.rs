@@ -14,6 +14,7 @@ pub mod footnote2;
 pub mod impls;
 pub mod kernels;
 pub mod lbs;
+pub mod memory;
 pub mod radius;
 pub mod table2;
 
@@ -42,6 +43,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("radius", radius::run),
         ("cells", cells::run),
         ("kernels", kernels::run),
+        ("memory", memory::run),
     ]
 }
 
@@ -54,10 +56,11 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
         assert!(ids.contains(&"table2"));
         assert!(ids.contains(&"impls"));
         assert!(ids.contains(&"cells"));
         assert!(ids.contains(&"kernels"));
+        assert!(ids.contains(&"memory"));
     }
 }

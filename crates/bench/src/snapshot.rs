@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "experiment": "cells",
 //!   "title": "…",
 //!   "git_rev": "abc1234",
@@ -15,8 +15,10 @@
 //!            "threads": 16, "n_threads": 4, "host": "…" },
 //!   "wall_s": 1.23,
 //!   "work": { "cells": …, "window_cells": …, … },
+//!   "memory": { "telemetry": true, "allocs": …, "frees": …,
+//!               "bytes_allocated": …, "peak_bytes": …, … },
 //!   "kernels": { "cdtw": { "count": …, "total_s": …, "p50_s": …,
-//!                          "p99_s": …, "max_s": … }, … }
+//!                          "p99_s": …, "max_s": …, "alloc_bytes": … }, … }
 //! }
 //! ```
 //!
@@ -28,14 +30,27 @@
 //! **advisory**: the diff prints warnings but never fails on them.
 //! This split is what lets CI run the gate on shared runners without
 //! flakes while still catching every algorithmic regression.
+//!
+//! `memory` (schema 2, populated under `--features alloc-telemetry`)
+//! splits the same way *within* the section: allocation **counts**
+//! (allocs, frees, reallocs, …) are deterministic for the serial repro
+//! experiments and gate hard; **byte** totals (any leaf whose name
+//! contains `bytes`) move with allocator and libstd versions, so they
+//! are advisory. A baseline recorded with telemetry armed also pins the
+//! `telemetry` flag: comparing an armed baseline against a disarmed
+//! current run is itself a regression (the gate would otherwise pass
+//! vacuously on all-zero counters). Finally, the diff checks the two
+//! snapshots carry the same top-level sections — a section present in
+//! the baseline but missing from the current run fails the gate.
 
 use std::io;
 use std::path::{Path, PathBuf};
 use tsdtw_obs::{json_obj, Json, SpanStat};
 
 /// Version tag every snapshot carries; [`diff`] refuses to compare
-/// across versions.
-pub const SCHEMA_VERSION: i64 = 1;
+/// across versions. Version 2 added the `memory` section and the
+/// per-kernel `alloc_bytes` column.
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// Relative timing slowdown (percent) beyond which the diff emits an
 /// advisory warning. Deliberately loose: shared CI runners jitter.
@@ -80,13 +95,16 @@ pub fn git_rev() -> String {
 }
 
 /// Builds one snapshot document from an experiment's outcome: its
-/// report `work` section (if any), the run's wall time, and the span
-/// table drained after the run (empty without `--features obs`).
+/// report `work` section (if any), the heap delta measured around the
+/// run (`None` emits the disarmed all-zero stub, so the `memory`
+/// section exists in every snapshot), and the span table drained after
+/// the run (empty without `--features obs`).
 pub fn capture(
     experiment: &str,
     title: &str,
     wall_s: f64,
     work: Option<&Json>,
+    memory: Option<&Json>,
     spans: &[SpanStat],
     n_threads: usize,
 ) -> Json {
@@ -100,6 +118,7 @@ pub fn capture(
                 "p50_s" => s.p50_s,
                 "p99_s" => s.p99_s,
                 "max_s" => s.max_s,
+                "alloc_bytes" => s.alloc_bytes,
             },
         );
     }
@@ -112,6 +131,14 @@ pub fn capture(
         "env" => env_fingerprint(n_threads),
         "wall_s" => wall_s,
         "work" => work.cloned().unwrap_or(Json::Null),
+        "memory" => memory.cloned().unwrap_or_else(|| {
+            // No probe data reached capture: mark the stub disarmed even
+            // if the allocator happens to be armed in this process, so a
+            // diff can tell "not measured" from "measured zero traffic".
+            let mut stub = tsdtw_obs::AllocDelta::default().report();
+            stub.set("telemetry", false);
+            stub
+        }),
         "kernels" => kernels,
     }
 }
@@ -205,6 +232,67 @@ fn pct_change(base: f64, cur: f64) -> f64 {
     }
 }
 
+/// Walks one snapshot section's integer-counter leaves, hard-gating
+/// growth beyond `fail_pct` except on leaves `advisory` claims, which
+/// only warn (the `memory` section passes `bytes`-named leaves here).
+fn gate_counters(
+    section: &str,
+    baseline: &Json,
+    current: &Json,
+    fail_pct: f64,
+    advisory: &dyn Fn(&str) -> bool,
+    d: &mut Diff,
+) {
+    let mut base_counters = Vec::new();
+    let mut cur_counters = Vec::new();
+    counter_leaves(&baseline[section], section, &mut base_counters);
+    counter_leaves(&current[section], section, &mut cur_counters);
+    let cur_map: std::collections::HashMap<&str, i64> =
+        cur_counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let base_keys: std::collections::HashSet<&str> =
+        base_counters.iter().map(|(k, _)| k.as_str()).collect();
+
+    for (path, base) in &base_counters {
+        let Some(&cur) = cur_map.get(path.as_str()) else {
+            d.lines.push(format!(
+                "warn: counter {path} missing from current snapshot"
+            ));
+            d.timing_warnings += 1;
+            continue;
+        };
+        d.compared += 1;
+        let pct = pct_change(*base as f64, cur as f64);
+        match cur.cmp(base) {
+            std::cmp::Ordering::Equal => {}
+            std::cmp::Ordering::Less => {
+                d.improvements += 1;
+                d.lines
+                    .push(format!("  {path}: {base} -> {cur} ({pct:+.2}%) improved"));
+            }
+            std::cmp::Ordering::Greater => {
+                let line = format!("  {path}: {base} -> {cur} ({pct:+.2}%)");
+                if pct <= fail_pct {
+                    d.lines.push(format!("{line} within tolerance"));
+                } else if advisory(path) {
+                    d.lines.push(format!("{line} [advisory]"));
+                    d.timing_warnings += 1;
+                } else {
+                    d.lines.push(format!("{line} REGRESSION"));
+                    d.regressions.push(format!(
+                        "{path} grew {base} -> {cur} ({pct:+.2}% > {fail_pct}%)"
+                    ));
+                }
+            }
+        }
+    }
+    for (path, _) in &cur_counters {
+        if !base_keys.contains(path.as_str()) {
+            d.lines
+                .push(format!("note: new counter {path} (not in baseline)"));
+        }
+    }
+}
+
 /// Compares two snapshots. Work-counter growth beyond `fail_pct`
 /// percent lands in [`Diff::regressions`]; timing deltas are advisory
 /// lines only (see the module docs for why).
@@ -234,52 +322,44 @@ pub fn diff(baseline: &Json, current: &Json, fail_pct: f64) -> Diff {
         current["git_rev"].as_str().unwrap_or("?")
     ));
 
-    // --- deterministic work counters: the hard gate -------------------
-    let mut base_counters = Vec::new();
-    let mut cur_counters = Vec::new();
-    counter_leaves(&baseline["work"], "work", &mut base_counters);
-    counter_leaves(&current["work"], "work", &mut cur_counters);
-    let cur_map: std::collections::HashMap<&str, i64> =
-        cur_counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    let base_keys: std::collections::HashSet<&str> =
-        base_counters.iter().map(|(k, _)| k.as_str()).collect();
-
-    for (path, base) in &base_counters {
-        let Some(&cur) = cur_map.get(path.as_str()) else {
-            d.lines.push(format!(
-                "warn: counter {path} missing from current snapshot"
-            ));
-            d.timing_warnings += 1;
-            continue;
-        };
-        d.compared += 1;
-        let pct = pct_change(*base as f64, cur as f64);
-        match cur.cmp(base) {
-            std::cmp::Ordering::Equal => {}
-            std::cmp::Ordering::Less => {
-                d.improvements += 1;
+    // --- section set: both snapshots must describe the same shape -----
+    if let (Some(base_obj), Some(cur_obj)) = (baseline.as_object(), current.as_object()) {
+        for (k, _) in base_obj {
+            if !cur_obj.iter().any(|(ck, _)| ck == k) {
+                let msg = format!("section {k} present in baseline but missing from current");
+                d.lines.push(format!("warn: {msg} REGRESSION"));
+                d.regressions.push(msg);
+            }
+        }
+        for (k, _) in cur_obj {
+            if !base_obj.iter().any(|(bk, _)| bk == k) {
                 d.lines
-                    .push(format!("  {path}: {base} -> {cur} ({pct:+.2}%) improved"));
-            }
-            std::cmp::Ordering::Greater => {
-                let line = format!("  {path}: {base} -> {cur} ({pct:+.2}%)");
-                if pct > fail_pct {
-                    d.lines.push(format!("{line} REGRESSION"));
-                    d.regressions.push(format!(
-                        "{path} grew {base} -> {cur} ({pct:+.2}% > {fail_pct}%)"
-                    ));
-                } else {
-                    d.lines.push(format!("{line} within tolerance"));
-                }
+                    .push(format!("note: new section {k} (not in baseline)"));
             }
         }
     }
-    for (path, _) in &cur_counters {
-        if !base_keys.contains(path.as_str()) {
-            d.lines
-                .push(format!("note: new counter {path} (not in baseline)"));
-        }
+
+    // --- deterministic work counters: the hard gate -------------------
+    gate_counters("work", baseline, current, fail_pct, &|_| false, &mut d);
+
+    // --- memory: counts gate hard, byte totals are advisory -----------
+    if baseline["memory"]["telemetry"].as_bool() == Some(true)
+        && current["memory"]["telemetry"].as_bool() == Some(false)
+    {
+        let msg = "memory telemetry disarmed: baseline was recorded with alloc-telemetry, \
+                   current was not (its zero counters would pass the gate vacuously)"
+            .to_string();
+        d.lines.push(format!("warn: {msg}"));
+        d.regressions.push(msg);
     }
+    gate_counters(
+        "memory",
+        baseline,
+        current,
+        fail_pct,
+        &|path| path.contains("bytes"),
+        &mut d,
+    );
 
     // --- timing: advisory only ----------------------------------------
     let advise = |name: &str, base: Option<f64>, cur: Option<f64>, d: &mut Diff| {
@@ -348,7 +428,17 @@ mod tests {
                 "cdtw" => json_obj! {
                     "count" => 10, "total_s" => wall / 2.0,
                     "p50_s" => 0.001, "p99_s" => 0.002, "max_s" => 0.003,
+                    "alloc_bytes" => 0u64,
                 },
+            },
+            "memory" => json_obj! {
+                "telemetry" => true,
+                "allocs" => 12,
+                "frees" => 12,
+                "reallocs" => 0,
+                "bytes_allocated" => 4096u64,
+                "bytes_freed" => 4096u64,
+                "peak_bytes" => 2048u64,
             },
         }
     }
@@ -426,6 +516,74 @@ mod tests {
     }
 
     #[test]
+    fn memory_count_growth_is_a_hard_regression() {
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        let mut mem = base["memory"].clone();
+        mem.set("allocs", 99);
+        cur.set("memory", mem);
+        let d = diff(&base, &cur, 0.0);
+        assert!(
+            d.regressions.iter().any(|r| r.contains("memory.allocs")),
+            "{:?}",
+            d.regressions
+        );
+    }
+
+    #[test]
+    fn memory_byte_growth_is_advisory_only() {
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        let mut mem = base["memory"].clone();
+        mem.set("peak_bytes", 999_999u64);
+        mem.set("bytes_allocated", 999_999u64);
+        cur.set("memory", mem);
+        let d = diff(&base, &cur, 0.0);
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+        assert!(d.timing_warnings >= 2, "{}", d.render());
+        assert!(d.render().contains("[advisory]"), "{}", d.render());
+    }
+
+    #[test]
+    fn disarming_telemetry_against_an_armed_baseline_regresses() {
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        cur.set(
+            "memory",
+            tsdtw_obs::AllocDelta::default()
+                .report()
+                .with("telemetry", false),
+        );
+        let d = diff(&base, &cur, 1e9);
+        assert!(
+            d.regressions
+                .iter()
+                .any(|r| r.contains("telemetry disarmed")),
+            "{:?}",
+            d.regressions
+        );
+    }
+
+    #[test]
+    fn dropped_section_is_a_regression_added_section_is_a_note() {
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        if let Json::Obj(fields) = &mut cur {
+            fields.retain(|(k, _)| k != "memory");
+        }
+        cur.set("extra", json_obj! { "x" => 1 });
+        let d = diff(&base, &cur, 1e9);
+        assert!(
+            d.regressions
+                .iter()
+                .any(|r| r.contains("section memory present in baseline")),
+            "{:?}",
+            d.regressions
+        );
+        assert!(d.render().contains("new section extra"), "{}", d.render());
+    }
+
+    #[test]
     fn capture_produces_the_documented_schema() {
         let spans = vec![tsdtw_obs::SpanStat {
             label: "cdtw",
@@ -434,13 +592,18 @@ mod tests {
             p50_s: 0.1,
             p99_s: 0.2,
             max_s: 0.25,
+            alloc_bytes: 64,
         }];
         let work = json_obj! { "cells" => 7 };
-        let s = capture("cells", "title", 1.5, Some(&work), &spans, 4);
+        let s = capture("cells", "title", 1.5, Some(&work), None, &spans, 4);
         assert_eq!(s["schema"], SCHEMA_VERSION);
         assert_eq!(s["experiment"], "cells");
         assert_eq!(s["work"]["cells"], 7);
         assert_eq!(s["kernels"]["cdtw"]["count"], 3u64);
+        assert_eq!(s["kernels"]["cdtw"]["alloc_bytes"], 64u64);
+        // No memory report passed: the stub section marks telemetry off.
+        assert_eq!(s["memory"]["telemetry"], false);
+        assert_eq!(s["memory"]["allocs"], 0);
         assert!(s["env"]["threads"].as_u64().unwrap() >= 1);
         assert_eq!(s["env"]["n_threads"], 4);
         assert!(!s["git_rev"].as_str().unwrap().is_empty());

@@ -87,10 +87,15 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
-    let err = if want_stats {
-        evaluate_split_par(&train_view, &test_view, spec, &par, &mut meter)?
+    let (err, heap) = if want_stats {
+        let probe = tsdtw_obs::AllocScope::begin();
+        let err = evaluate_split_par(&train_view, &test_view, spec, &par, &mut meter)?;
+        (err, Some(probe.end()))
     } else {
-        evaluate_split_par(&train_view, &test_view, spec, &par, &mut NoMeter)?
+        (
+            evaluate_split_par(&train_view, &test_view, spec, &par, &mut NoMeter)?,
+            None,
+        )
     };
     out.push_str(&format!(
         "{} train / {} test exemplars, length {}, {} classes\n",
@@ -106,7 +111,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     ));
     stats::trace_finish(trace_path, &mut out)?;
     if want_stats {
-        stats::render(&meter, json_path, &mut out)?;
+        stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }
     Ok(out)
 }
@@ -228,8 +233,10 @@ mod tests {
             ]))
             .unwrap()
         };
-        let serial = base("1");
-        let parallel = base("4");
+        let serial = crate::stats::run_invariant_view(&base("1"));
+        let parallel = crate::stats::run_invariant_view(&base("4"));
+        // Span wall-clock latencies are the one legitimately varying part
+        // of the rendering; the projection keeps labels and counts.
         assert_eq!(
             serial, parallel,
             "classify output (learned window, accuracy, work counters) must \

@@ -79,10 +79,12 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
-    let d = if want_stats {
-        spec.eval_metered(&a, &b, &mut meter)?
+    let (d, heap) = if want_stats {
+        let probe = tsdtw_obs::AllocScope::begin();
+        let d = spec.eval_metered(&a, &b, &mut meter)?;
+        (d, Some(probe.end()))
     } else {
-        spec.eval(&a, &b)?
+        (spec.eval(&a, &b)?, None)
     };
     let mut out = format!("{measure} distance: {d}\n");
     stats::trace_finish(trace_path, &mut out)?;
@@ -92,7 +94,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         out.push_str(&format!("(w = {w}% -> band of {band} cells)\n"));
     }
     if want_stats {
-        stats::render(&meter, json_path, &mut out)?;
+        stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }
     Ok(out)
 }

@@ -2,10 +2,13 @@
 //! snapshots (see `tsdtw_bench::snapshot` for the schema).
 //!
 //! `report diff` is the CI regression gate: deterministic work counters
-//! (DP cells, window cells, prunes) are compared hard — any growth
-//! beyond `--fail-on-regress` percent is an error and the process exits
-//! non-zero — while wall-clock and per-kernel timings only ever produce
-//! advisory warnings, so the gate stays green on noisy shared runners.
+//! (DP cells, window cells, prunes) and `memory` allocation counts are
+//! compared hard — any growth beyond `--fail-on-regress` percent is an
+//! error and the process exits non-zero, as is a top-level section
+//! present in the baseline but missing from the current snapshot —
+//! while wall-clock, per-kernel timings, and memory *byte* totals only
+//! ever produce advisory warnings, so the gate stays green on noisy
+//! shared runners and across allocator-size-class changes.
 
 use std::path::Path;
 
@@ -16,9 +19,11 @@ use tsdtw_obs::Json;
 pub const HELP: &str = "\
 tsdtw report diff BASELINE CURRENT [--fail-on-regress PCT]
   BASELINE, CURRENT   BENCH_<experiment>.json snapshot files (see `repro`)
-  --fail-on-regress   tolerance in percent for work-counter growth
-                      (default 0 = any growth fails); timing changes are
-                      always advisory and never fail the diff";
+  --fail-on-regress   tolerance in percent for work-counter and
+                      memory-count growth (default 0 = any growth
+                      fails); timing changes and memory byte totals are
+                      always advisory and never fail the diff. A
+                      baseline section missing from CURRENT fails too.";
 
 fn load(path: &str) -> Result<Json, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(Path::new(path))
@@ -82,7 +87,8 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         // the gate. Include the full comparison so CI logs are useful.
         let mut msg = rendered;
         msg.push_str(&format!(
-            "FAIL: {} work-counter regression(s) beyond {fail_pct}%:\n",
+            "FAIL: {} regression(s) (counters beyond {fail_pct}%, dropped sections, \
+             or disarmed telemetry):\n",
             d.regressions.len()
         ));
         for r in &d.regressions {
@@ -97,9 +103,9 @@ mod tests {
     use super::*;
     use tsdtw_obs::json_obj;
 
-    fn snap_file(dir: &Path, name: &str, cells: i64) -> String {
-        let s = json_obj! {
-            "schema" => 1,
+    fn snap_json(cells: i64) -> Json {
+        json_obj! {
+            "schema" => snapshot::SCHEMA_VERSION,
             "experiment" => "cells",
             "title" => "t",
             "git_rev" => "abc",
@@ -108,10 +114,18 @@ mod tests {
             "wall_s" => 1.0,
             "work" => json_obj! { "cells" => cells },
             "kernels" => Json::object(),
-        };
+            "memory" => json_obj! { "telemetry" => false, "allocs" => 0 },
+        }
+    }
+
+    fn write_snap(dir: &Path, name: &str, s: &Json) -> String {
         let path = dir.join(name);
         std::fs::write(&path, s.to_string_pretty()).unwrap();
         path.to_str().unwrap().to_string()
+    }
+
+    fn snap_file(dir: &Path, name: &str, cells: i64) -> String {
+        write_snap(dir, name, &snap_json(cells))
     }
 
     fn raw(s: &[&str]) -> Vec<String> {
@@ -153,6 +167,22 @@ mod tests {
         let b = snap_file(&d, "b.json", 80);
         let out = run(&raw(&["diff", &a, &b])).unwrap();
         assert!(out.contains("1 improved"), "{out}");
+    }
+
+    #[test]
+    fn dropped_section_fails_the_gate_even_with_loose_tolerance() {
+        let d = tmpdir("tsdtw-report-sections");
+        let a = snap_file(&d, "a.json", 100);
+        let mut stripped = snap_json(100);
+        if let Json::Obj(fields) = &mut stripped {
+            fields.retain(|(k, _)| k != "memory");
+        }
+        let b = write_snap(&d, "b.json", &stripped);
+        let err = run(&raw(&["diff", &a, &b, "--fail-on-regress", "1000"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("FAIL"), "{err}");
+        assert!(err.contains("section memory"), "{err}");
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! and exports the resulting Chrome-trace file afterwards.
 
 use std::path::Path;
-use tsdtw_obs::{recorder_start, recorder_stop, take_spans, WorkMeter, DEFAULT_TRACE_CAPACITY};
+use tsdtw_obs::{
+    recorder_start, recorder_stop, take_spans, AllocDelta, WorkMeter, DEFAULT_TRACE_CAPACITY,
+};
 
 /// Flag names shared by all `--stats`-capable commands.
 pub const STATS_SWITCH: &str = "stats";
@@ -71,14 +73,26 @@ pub fn trace_finish(
 /// Appends the meter's counter summary to `out` and, when `json_path` is
 /// given, writes the meter's `work` JSON there (atomically). Timing spans
 /// (collected only under the `obs` feature) are drained and appended with
-/// their latency profile when present.
+/// their latency profile when present. A heap delta measured around the
+/// command's work (see [`AllocScope`](tsdtw_obs::AllocScope)) renders as
+/// one memory line and a `memory` section in the JSON dump; it reads all
+/// zero unless the build armed `--features alloc-telemetry`.
 pub fn render(
     meter: &WorkMeter,
+    heap: Option<&AllocDelta>,
     json_path: Option<&str>,
     out: &mut String,
 ) -> Result<(), Box<dyn std::error::Error>> {
     out.push_str("-- work --\n");
     out.push_str(&meter.summary());
+    if let Some(heap) = heap {
+        out.push_str(&format!("{}\n", heap.summary()));
+        if !tsdtw_obs::heap_telemetry_enabled() {
+            out.push_str(
+                "  (counting allocator disarmed; build with --features alloc-telemetry)\n",
+            );
+        }
+    }
     let spans = take_spans();
     if !spans.is_empty() {
         out.push_str("-- spans --\n");
@@ -94,13 +108,47 @@ pub fn render(
         }
     }
     if let Some(path) = json_path {
-        write_atomic(
-            Path::new(path),
-            &format!("{}\n", meter.report().to_string_pretty()),
-        )?;
+        let mut dump = meter.report();
+        if let Some(heap) = heap {
+            dump.set("memory", heap.report());
+        }
+        write_atomic(Path::new(path), &format!("{}\n", dump.to_string_pretty()))?;
         out.push_str(&format!("work JSON written to {path}\n"));
     }
     Ok(())
+}
+
+/// Projects a `--stats` rendering onto its thread-invariant fields:
+/// everything verbatim except span rows (only label and count survive)
+/// and the `memory:` heap line (elided entirely). Wall-clock span
+/// latencies vary between otherwise identical runs, and the heap delta
+/// legitimately depends on `--threads` (each worker owns scratch
+/// buffers), so the differential CLI tests (serial vs `--threads N`)
+/// compare through this view.
+#[cfg(test)]
+pub fn run_invariant_view(out: &str) -> String {
+    let mut view = String::new();
+    let mut in_spans = false;
+    for line in out.lines() {
+        if line == "-- spans --" {
+            in_spans = true;
+        } else if in_spans && line.starts_with("  ") {
+            let mut cols = line.split_whitespace();
+            if let (Some(label), Some(count)) = (cols.next(), cols.next()) {
+                view.push_str(&format!("  {label} {count}\n"));
+            }
+            continue;
+        } else {
+            in_spans = false;
+            if line.starts_with("memory: ") {
+                view.push_str("memory: <thread-dependent>\n");
+                continue;
+            }
+        }
+        view.push_str(line);
+        view.push('\n');
+    }
+    view
 }
 
 #[cfg(test)]
@@ -116,21 +164,63 @@ mod tests {
         meter.cells = 42;
         meter.window_cells = 42;
         let mut out = String::new();
-        render(&meter, path.to_str(), &mut out).unwrap();
+        render(&meter, None, path.to_str(), &mut out).unwrap();
         assert!(out.contains("-- work --"), "{out}");
         assert!(out.contains("42 DP cells"), "{out}");
         assert!(out.contains("work JSON written"), "{out}");
         let dumped = std::fs::read_to_string(&path).unwrap();
         assert!(dumped.contains("\"cells\""), "{dumped}");
+        // No heap delta was passed, so no memory line or section.
+        assert!(!out.contains("memory:"), "{out}");
+        assert!(!dumped.contains("\"memory\""), "{dumped}");
         // The atomic write leaves no temp file behind.
         assert!(!dir.join(".work.json.tmp").exists());
+    }
+
+    #[test]
+    fn heap_delta_renders_a_memory_line_and_json_section() {
+        let dir = std::env::temp_dir().join("tsdtw-stats-mem-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("work.json");
+        let meter = WorkMeter::new();
+        let heap = AllocDelta {
+            allocs: 3,
+            frees: 3,
+            bytes_allocated: 96,
+            bytes_freed: 96,
+            peak_bytes: 64,
+            ..AllocDelta::default()
+        };
+        let mut out = String::new();
+        render(&meter, Some(&heap), path.to_str(), &mut out).unwrap();
+        assert!(out.contains("memory: 3 allocs"), "{out}");
+        if !tsdtw_obs::heap_telemetry_enabled() {
+            assert!(out.contains("disarmed"), "{out}");
+        }
+        let dumped = std::fs::read_to_string(&path).unwrap();
+        assert!(dumped.contains("\"memory\""), "{dumped}");
+        assert!(dumped.contains("\"peak_bytes\""), "{dumped}");
+    }
+
+    #[test]
+    fn run_invariant_view_drops_span_timings_but_keeps_counts() {
+        let a = "best match at 4\nmemory: 23 allocs / 19 frees, peak 32950 B above entry\n-- spans --\n  span  count  total  p50  p99  max\n  dtw_ea  92x  0.000456s  0.000005s  0.000026s  0.000026s\nwork JSON written to w.json\n";
+        let b = "best match at 4\nmemory: 255 allocs / 12 frees, peak 145838 B above entry\n-- spans --\n  span  count  total  p50  p99  max\n  dtw_ea  92x  0.000601s  0.000005s  0.000051s  0.000051s\nwork JSON written to w.json\n";
+        assert_eq!(run_invariant_view(a), run_invariant_view(b));
+        assert!(run_invariant_view(a).contains("dtw_ea 92x"));
+        assert!(run_invariant_view(a).contains("work JSON written"));
+        // Differences outside the span table still show through.
+        let c = b.replace("match at 4", "match at 5");
+        assert_ne!(run_invariant_view(b), run_invariant_view(&c));
+        let d = b.replace("92x", "93x");
+        assert_ne!(run_invariant_view(b), run_invariant_view(&d));
     }
 
     #[test]
     fn no_json_path_writes_nothing() {
         let meter = WorkMeter::new();
         let mut out = String::new();
-        render(&meter, None, &mut out).unwrap();
+        render(&meter, None, None, &mut out).unwrap();
         assert!(!out.contains("work JSON written"));
     }
 

@@ -140,10 +140,11 @@ fn generate_classify_pipeline() {
 /// Writes a minimal-but-valid perf snapshot for `report diff` tests.
 fn write_snapshot(path: &std::path::Path, cells: u64, wall_s: f64) {
     let text = format!(
-        "{{\"schema\": 1, \"experiment\": \"cells\", \"title\": \"t\", \
+        "{{\"schema\": 2, \"experiment\": \"cells\", \"title\": \"t\", \
           \"git_rev\": \"abc\", \"spans_enabled\": false, \
           \"env\": {{\"os\": \"linux\"}}, \"wall_s\": {wall_s}, \
-          \"work\": {{\"cells\": {cells}}}, \"kernels\": {{}}}}"
+          \"work\": {{\"cells\": {cells}}}, \"kernels\": {{}}, \
+          \"memory\": {{\"telemetry\": false, \"allocs\": 0}}}}"
     );
     std::fs::write(path, text).unwrap();
 }

@@ -116,8 +116,12 @@ pub fn cdtw_distance_metered_with_buf_kernel<C: CostFn, M: Meter>(
     }
     check_band(x.len(), y.len(), band)?;
     let _span = tsdtw_obs::span("cdtw");
-    let window = SearchWindow::sakoe_chiba(x.len(), y.len(), band);
-    windowed_distance_metered_kernel(x, y, &window, cost, buf, meter, kernel)
+    // The buffer memoizes the window, so a warmed same-shape loop (1-NN,
+    // all-pairs) runs this entry point without touching the heap.
+    let window = buf.take_sakoe_chiba(x.len(), y.len(), band);
+    let r = windowed_distance_metered_kernel(x, y, &window, cost, buf, meter, kernel);
+    buf.cache_window(band, window);
+    r
 }
 
 /// `cDTW_w` distance and optimal constrained warping path.

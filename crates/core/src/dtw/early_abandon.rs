@@ -31,6 +31,7 @@ use tsdtw_obs::{Meter, NoMeter};
 use super::banded::check_band;
 use super::kernel::{default_kernel, Kernel};
 use super::sweep;
+use super::windowed::DtwBuffer;
 
 /// Outcome of an early-abandoning DTW evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +108,28 @@ pub fn cdtw_distance_ea_metered_kernel<C: CostFn, M: Meter>(
     meter: &mut M,
     kernel: Kernel,
 ) -> Result<EaOutcome> {
+    let mut buf = DtwBuffer::new();
+    cdtw_distance_ea_metered_buf_kernel(x, y, band, threshold, cb, cost, &mut buf, meter, kernel)
+}
+
+/// [`cdtw_distance_ea_metered_kernel`] reusing caller-provided scratch:
+/// the DP rows *and* the memoized band window both live in `buf`, so a
+/// warmed scan loop over a fixed `(n, m, band)` shape (the UCR
+/// subsequence search) evaluates candidates without touching the heap —
+/// the contract `tests/alloc_discipline.rs` gates. Counters are
+/// identical to the unbuffered form.
+#[allow(clippy::too_many_arguments)]
+pub fn cdtw_distance_ea_metered_buf_kernel<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    threshold: f64,
+    cb: Option<&[f64]>,
+    cost: C,
+    buf: &mut DtwBuffer,
+    meter: &mut M,
+    kernel: Kernel,
+) -> Result<EaOutcome> {
     check_nonempty("x", x)?;
     check_nonempty("y", y)?;
     check_finite("x", x)?;
@@ -125,13 +148,31 @@ pub fn cdtw_distance_ea_metered_kernel<C: CostFn, M: Meter>(
         }
     }
     let _span = tsdtw_obs::span("dtw_ea");
-    let n = x.len();
-    let window = SearchWindow::sakoe_chiba(n, y.len(), band);
+    let window = buf.take_sakoe_chiba(x.len(), y.len(), band);
+    let r = ea_core(x, y, band, threshold, cb, cost, &window, buf, meter, kernel);
+    buf.cache_window(band, window);
+    r
+}
 
+/// The abandon-or-complete DP sweep over a prepared window. `buf` holds
+/// only the two scratch rows here (the window was taken out of it).
+#[allow(clippy::too_many_arguments)]
+fn ea_core<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    band: usize,
+    threshold: f64,
+    cb: Option<&[f64]>,
+    cost: C,
+    window: &SearchWindow,
+    buf: &mut DtwBuffer,
+    meter: &mut M,
+    kernel: Kernel,
+) -> Result<EaOutcome> {
+    let n = x.len();
     let band_area = window.cell_count() as u64;
     let width = window.max_row_width();
-    let mut prev = vec![f64::INFINITY; width];
-    let mut cur = vec![f64::INFINITY; width];
+    buf.reset_rows(width);
     meter.window_cells(band_area);
     meter.dp_buffer_bytes(2 * width as u64 * std::mem::size_of::<f64>() as u64);
 
@@ -141,7 +182,7 @@ pub fn cdtw_distance_ea_metered_kernel<C: CostFn, M: Meter>(
     let mut row_min = f64::INFINITY;
     for (k, j) in (lo0..=hi0).enumerate() {
         acc += cost.cost(x0, y[j]);
-        prev[k] = acc;
+        buf.prev[k] = acc;
         row_min = row_min.min(acc);
     }
     meter.cells((hi0 - lo0 + 1) as u64);
@@ -166,19 +207,32 @@ pub fn cdtw_distance_ea_metered_kernel<C: CostFn, M: Meter>(
     for (i, &xi) in x.iter().enumerate().skip(1) {
         let (lo, hi) = window.row_bounds(i);
         meter.cells((hi - lo + 1) as u64);
-        row_min = sweep::min_row(segmented, xi, y, lo, hi, plo, phi, &prev, &mut cur, cost);
+        row_min = sweep::min_row(
+            segmented,
+            xi,
+            y,
+            lo,
+            hi,
+            plo,
+            phi,
+            &buf.prev,
+            &mut buf.cur,
+            cost,
+        );
         if row_min + suffix_bound(cb, i) > threshold {
             meter.ea_rows((i + 1) as u64, n as u64);
             return Ok(EaOutcome::Abandoned { rows_filled: i + 1 });
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(&mut buf.prev, &mut buf.cur);
         plo = lo;
         phi = hi;
     }
 
     meter.ea_rows(n as u64, n as u64);
     let (lo_last, _) = window.row_bounds(n - 1);
-    Ok(EaOutcome::Exact(cost.finish(prev[y.len() - 1 - lo_last])))
+    Ok(EaOutcome::Exact(
+        cost.finish(buf.prev[y.len() - 1 - lo_last]),
+    ))
 }
 
 #[cfg(test)]

@@ -62,16 +62,59 @@ fn check_inputs(x: &[f64], y: &[f64], window: &SearchWindow) -> Result<()> {
 /// Allocation-free repeated calls matter in the all-pairs and 1-NN
 /// workloads (hundreds of thousands of DTW invocations); create one buffer
 /// per worker thread and pass it to [`windowed_distance_with_buf`].
+///
+/// Besides the two DP rows the buffer memoizes the last Sakoe–Chiba
+/// [`SearchWindow`] built through it, so the band entry points
+/// ([`cdtw_distance_metered_with_buf`](super::banded::cdtw_distance_metered_with_buf)
+/// and the early-abandoning variants) stop allocating entirely once
+/// warmed on a fixed `(n, m, band)` shape — the contract
+/// `tests/alloc_discipline.rs` enforces with the counting allocator.
 #[derive(Debug, Default, Clone)]
 pub struct DtwBuffer {
-    prev: Vec<f64>,
-    cur: Vec<f64>,
+    pub(crate) prev: Vec<f64>,
+    pub(crate) cur: Vec<f64>,
+    /// `(band, window)` of the last band built through this buffer.
+    cached_window: Option<(usize, SearchWindow)>,
 }
 
 impl DtwBuffer {
     /// Creates an empty buffer; rows are grown on demand.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bytes of scratch currently reserved by the two DP rows. After a
+    /// warm-up call this bounds the steady-state working set of every
+    /// subsequent same-shape call (the `alloc_discipline` suite checks
+    /// it against allocator-observed traffic).
+    pub fn capacity_bytes(&self) -> usize {
+        (self.prev.capacity() + self.cur.capacity()) * std::mem::size_of::<f64>()
+    }
+
+    /// Takes a Sakoe–Chiba window for an `n × m` matrix with the given
+    /// band radius out of the buffer, reusing the memoized one when the
+    /// shape matches (no allocation) and building it fresh otherwise.
+    /// Return it with [`cache_window`](Self::cache_window) after use.
+    pub fn take_sakoe_chiba(&mut self, n: usize, m: usize, band: usize) -> SearchWindow {
+        match self.cached_window.take() {
+            Some((b, w)) if b == band && w.n_rows() == n && w.n_cols() == m => w,
+            _ => SearchWindow::sakoe_chiba(n, m, band),
+        }
+    }
+
+    /// Memoizes `window` (built with band radius `band`) for the next
+    /// [`take_sakoe_chiba`](Self::take_sakoe_chiba) of the same shape.
+    pub fn cache_window(&mut self, band: usize, window: SearchWindow) {
+        self.cached_window = Some((band, window));
+    }
+
+    /// Clears both DP rows and sizes them to exactly `width` slots of
+    /// `+∞` — allocation-free once capacity has grown past `width`.
+    pub(crate) fn reset_rows(&mut self, width: usize) {
+        self.prev.clear();
+        self.prev.resize(width, f64::INFINITY);
+        self.cur.clear();
+        self.cur.resize(width, f64::INFINITY);
     }
 }
 
@@ -142,10 +185,7 @@ pub fn windowed_distance_metered_kernel<C: CostFn, M: Meter>(
     let n = x.len();
 
     let width = window.max_row_width();
-    buf.prev.clear();
-    buf.prev.resize(width, f64::INFINITY);
-    buf.cur.clear();
-    buf.cur.resize(width, f64::INFINITY);
+    buf.reset_rows(width);
     meter.dp_buffer_bytes(2 * width as u64 * std::mem::size_of::<f64>() as u64);
 
     // Row 0: plain prefix sums along the admissible interval (lo must be 0).

@@ -113,13 +113,21 @@ pub fn lb_keogh_with_contrib(c: &[f64], env: &Envelope, contrib: &mut Vec<f64>) 
 /// [`cdtw_distance_ea`](crate::dtw::early_abandon::cdtw_distance_ea)
 /// consumes.
 pub fn suffix_sums(contrib: &[f64]) -> Vec<f64> {
-    let mut cb = vec![0.0; contrib.len()];
+    let mut cb = Vec::new();
+    suffix_sums_into(contrib, &mut cb);
+    cb
+}
+
+/// [`suffix_sums`] into a caller-owned buffer — the allocation-free form
+/// scan loops use, reusing `cb`'s capacity across candidates.
+pub fn suffix_sums_into(contrib: &[f64], cb: &mut Vec<f64>) {
+    cb.clear();
+    cb.resize(contrib.len(), 0.0);
     let mut acc = 0.0;
     for i in (0..contrib.len()).rev() {
         acc += contrib[i];
         cb[i] = acc;
     }
-    cb
 }
 
 /// Index order for reordered early abandoning: indices sorted by descending

@@ -32,10 +32,25 @@
 //! deterministically — the first error in item order wins, and shards of
 //! later items are discarded so the caller's meter ends in the same
 //! state at any thread count.
+//!
+//! Heap counters (`tsdtw-obs --features alloc-telemetry`) follow the
+//! same contract: every item is measured by its own
+//! [`AllocScope`] on whichever thread ran it, the deltas are credited
+//! to the caller in item-index order, and an
+//! [`AllocRegion`] erases the executor's own
+//! machinery (chunk lists, result vectors, spawn closures) from the
+//! account — so the caller's heap counters after a run are bitwise
+//! identical at any thread count for deterministic per-item workloads.
+//! (Meters that themselves allocate, like `WorkMeter`'s FastDTW level
+//! list, and panic paths that leave the region unfinished are the
+//! documented exceptions; see DESIGN.md §12.) With telemetry off the
+//! probes are unit structs and all of this compiles away.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tsdtw_core::error::{Error, Result};
-use tsdtw_obs::{absorb_raw_spans, drain_raw_spans, MeterShard};
+use tsdtw_obs::{
+    absorb_raw_spans, drain_raw_spans, AllocDelta, AllocRegion, AllocScope, MeterShard,
+};
 
 /// Default chunk size: large enough to amortize per-chunk spawn and
 /// merge costs, small enough that the frozen best-so-far of
@@ -136,20 +151,35 @@ where
         return Ok(Vec::new());
     }
     if cfg.n_threads == 1 {
-        // Inline: no spawn, no sharding — byte-identical to a plain loop.
+        // Inline: no spawn, no sharding — byte-identical to a plain
+        // loop. Items are still bracketed by per-item alloc probes and
+        // credited through a region, so the heap account matches the
+        // parallel path exactly (items only, machinery erased).
+        let mut region = AllocRegion::begin();
         let mut out = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
-            out.push(f(i, item, meter)?);
+            let probe = AllocScope::begin();
+            let r = f(i, item, meter);
+            region.credit(&probe.end());
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    region.finish();
+                    return Err(e);
+                }
+            }
         }
+        region.finish();
         return Ok(out);
     }
 
+    let mut region = AllocRegion::begin();
     let n_chunks = items.len().div_ceil(cfg.chunk);
     let workers = cfg.n_threads.min(n_chunks);
     let next = AtomicUsize::new(0);
     let handoff = tsdtw_obs::recorder_handoff();
 
-    type EvalSlot<R, M> = Vec<(Result<R>, M)>;
+    type EvalSlot<R, M> = Vec<(Result<R>, M, AllocDelta)>;
     type ChunkOut<R, M> = (usize, EvalSlot<R, M>);
     type WorkerYield<R, M> = (
         Vec<ChunkOut<R, M>>,
@@ -176,8 +206,10 @@ where
                         let mut chunk_out = Vec::with_capacity(end - start);
                         for (i, item) in items.iter().enumerate().take(end).skip(start) {
                             let mut shard = M::fresh();
+                            let probe = AllocScope::begin();
                             let r = f(i, item, &mut shard);
-                            chunk_out.push((r, shard));
+                            let heap = probe.end();
+                            chunk_out.push((r, shard, heap));
                         }
                         mine.push((c, chunk_out));
                     }
@@ -213,13 +245,31 @@ where
     }
 
     let mut out = Vec::with_capacity(items.len());
-    for chunk in chunks {
-        for (r, shard) in chunk.expect("every chunk was claimed by a worker") {
+    let mut first_err: Option<Error> = None;
+    'merge: for chunk in chunks {
+        for (r, shard, heap) in chunk.expect("every chunk was claimed by a worker") {
             meter.absorb(shard);
-            out.push(r?);
+            region.credit(&heap);
+            match r {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    // Deltas up to and including the failing item are
+                    // credited — the same prefix the inline path keeps.
+                    // Breaking (rather than returning) lets the
+                    // remaining chunks drop *inside* the region, so
+                    // their worker-allocated storage is erased with the
+                    // rest of the machinery.
+                    first_err = Some(e);
+                    break 'merge;
+                }
+            }
         }
     }
-    Ok(out)
+    region.finish();
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 /// Chunk-synchronous best-so-far fold: evaluates `items` in chunks of
@@ -266,13 +316,31 @@ where
     if cfg.n_threads == 1 {
         // Inline, but with the same chunk-frozen bound semantics as the
         // parallel path so counters do not depend on the thread count.
-        let mut ctx = make_ctx()?;
+        // Context construction sits outside the item probes in both
+        // paths, so it is machinery the region erases.
+        let mut region = AllocRegion::begin();
+        let mut ctx = match make_ctx() {
+            Ok(c) => c,
+            Err(e) => {
+                region.finish();
+                return Err(e);
+            }
+        };
         let mut frozen = bound;
         for (i, item) in items.iter().enumerate() {
             if i % cfg.chunk == 0 {
                 frozen = bound;
             }
-            let e = eval(&mut ctx, i, item, frozen, meter)?;
+            let probe = AllocScope::begin();
+            let r = eval(&mut ctx, i, item, frozen, meter);
+            region.credit(&probe.end());
+            let e = match r {
+                Ok(e) => e,
+                Err(err) => {
+                    region.finish();
+                    return Err(err);
+                }
+            };
             if let Some(v) = score(&e) {
                 if v < bound {
                     bound = v;
@@ -281,18 +349,21 @@ where
             }
             outcomes.push(e);
         }
+        region.finish();
         return Ok((best, outcomes));
     }
 
+    let mut region = AllocRegion::begin();
+    let mut fold_err: Option<Error> = None;
     let mut start = 0usize;
-    while start < items.len() {
+    'rounds: while start < items.len() {
         let end = (start + cfg.chunk).min(items.len());
         let slice = &items[start..end];
         let frozen = bound;
         let workers = cfg.n_threads.min(slice.len());
         let handoff = tsdtw_obs::recorder_handoff();
 
-        type WorkerOut<E, M> = Result<Vec<(usize, Result<E>, M)>>;
+        type WorkerOut<E, M> = Result<Vec<(usize, Result<E>, M, AllocDelta)>>;
         type FoldYield<E, M> = (
             WorkerOut<E, M>,
             tsdtw_obs::RawSpans,
@@ -313,8 +384,10 @@ where
                             let mut k = w;
                             while k < slice.len() {
                                 let mut shard = M::fresh();
+                                let probe = AllocScope::begin();
                                 let r = eval(&mut ctx, start + k, &slice[k], frozen, &mut shard);
-                                out.push((k, r, shard));
+                                let heap = probe.end();
+                                out.push((k, r, shard, heap));
                                 k += workers;
                             }
                             Ok(out)
@@ -326,7 +399,8 @@ where
             handles.into_iter().map(|h| h.join()).collect()
         });
 
-        let mut slots: Vec<Option<(Result<E>, M)>> = (0..slice.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<(Result<E>, M, AllocDelta)>> =
+            (0..slice.len()).map(|_| None).collect();
         let mut first_panic = None;
         let mut ctx_error = None;
         for j in joined {
@@ -334,8 +408,8 @@ where
                 Ok((worker_out, raw, shard_trace)) => {
                     match worker_out {
                         Ok(entries) => {
-                            for (k, r, shard) in entries {
-                                slots[k] = Some((r, shard));
+                            for (k, r, shard, heap) in entries {
+                                slots[k] = Some((r, shard, heap));
                             }
                         }
                         Err(e) => {
@@ -360,13 +434,23 @@ where
             return Err(e);
         }
         if let Some(e) = ctx_error {
-            return Err(e);
+            // Breaking lets the evaluated slots drop inside the region,
+            // erased as machinery (nothing from this round is credited).
+            fold_err = Some(e);
+            break 'rounds;
         }
 
         for (k, slot) in slots.into_iter().enumerate() {
-            let (r, shard) = slot.expect("every slice item was evaluated");
+            let (r, shard, heap) = slot.expect("every slice item was evaluated");
             meter.absorb(shard);
-            let e = r?;
+            region.credit(&heap);
+            let e = match r {
+                Ok(e) => e,
+                Err(err) => {
+                    fold_err = Some(err);
+                    break 'rounds;
+                }
+            };
             if let Some(v) = score(&e) {
                 if v < bound {
                     bound = v;
@@ -376,6 +460,10 @@ where
             outcomes.push(e);
         }
         start = end;
+    }
+    region.finish();
+    if let Some(e) = fold_err {
+        return Err(e);
     }
     Ok((best, outcomes))
 }
@@ -635,6 +723,120 @@ mod tests {
             |v| Some(*v),
         );
         assert!(r.unwrap_err().to_string().contains("no context today"));
+    }
+
+    /// Heap-counter invariance: with the counting allocator armed, the
+    /// caller's credited heap account after a run must be bitwise
+    /// identical at any thread count (the `AllocRegion` contract).
+    #[cfg(feature = "alloc-telemetry")]
+    mod alloc_invariance {
+        use super::*;
+        use tsdtw_obs::AllocScope;
+
+        /// Deterministic per-item workload: allocate a size that depends
+        /// only on the item index, touch it, free it.
+        fn item_work(i: usize) -> f64 {
+            let n = 64 + (i * 113) % 1500;
+            let v: Vec<u8> = vec![(i % 251) as u8; n];
+            v.iter().map(|&b| b as f64).sum()
+        }
+
+        fn measured_par_map(threads: usize) -> (Vec<f64>, tsdtw_obs::AllocDelta, WorkMeter) {
+            let data = items(57);
+            let cfg = ParConfig::with_chunk(threads, 8).unwrap();
+            let mut m = WorkMeter::new();
+            let observer = AllocScope::begin();
+            let out = par_map(&cfg, &data, &mut m, |i, v, mm| {
+                mm.cells(1);
+                Ok(v + item_work(i))
+            })
+            .unwrap();
+            (out, observer.end(), m)
+        }
+
+        #[test]
+        fn par_map_heap_account_is_thread_count_invariant() {
+            let (out1, d1, m1) = measured_par_map(1);
+            assert!(d1.allocs >= 57, "every item allocated at least once");
+            for threads in [2usize, 4] {
+                let (out, d, m) = measured_par_map(threads);
+                assert_eq!(out, out1, "{threads} threads");
+                assert_eq!(m, m1, "{threads} threads");
+                assert_eq!(d, d1, "heap delta must not depend on {threads} threads");
+            }
+        }
+
+        #[test]
+        fn par_fold_heap_account_is_thread_count_invariant() {
+            let data = items(41);
+            let run = |threads: usize| {
+                let cfg = ParConfig::with_chunk(threads, 8).unwrap();
+                let observer = AllocScope::begin();
+                let r = par_fold_argmin(
+                    &cfg,
+                    &data,
+                    &mut NoMeter,
+                    f64::INFINITY,
+                    || Ok(()),
+                    |_, i, v, _, _| Ok(*v + item_work(i)),
+                    |v| Some(*v),
+                )
+                .unwrap();
+                (r.0, observer.end())
+            };
+            let (best1, d1) = run(1);
+            assert!(d1.allocs >= 41);
+            for threads in [2usize, 4] {
+                let (best, d) = run(threads);
+                assert_eq!(best, best1, "{threads} threads");
+                assert_eq!(d, d1, "heap delta must not depend on {threads} threads");
+            }
+        }
+
+        #[test]
+        fn executor_machinery_is_erased_for_allocation_free_items() {
+            // Items that never touch the allocator: the credited account
+            // must be exactly zero even though the executor itself
+            // allocates chunk lists, result vectors, and spawn closures.
+            let data = items(30);
+            for threads in [1usize, 4] {
+                let cfg = ParConfig::with_chunk(threads, 4).unwrap();
+                let observer = AllocScope::begin();
+                let out = par_map(&cfg, &data, &mut NoMeter, |_, v, _| Ok(v * 2.0)).unwrap();
+                let d = observer.end();
+                drop(out);
+                assert_eq!(d.allocs, 0, "{threads} threads: {d:?}");
+                assert_eq!(d.bytes_allocated, 0, "{threads} threads");
+                assert_eq!(d.peak_bytes, 0, "{threads} threads");
+            }
+        }
+
+        #[test]
+        fn item_error_keeps_the_credited_prefix_at_any_thread_count() {
+            let data = items(40);
+            let run = |threads: usize| {
+                let cfg = ParConfig::with_chunk(threads, 4).unwrap();
+                let observer = AllocScope::begin();
+                let r = par_map(&cfg, &data, &mut NoMeter, |i, v, _| {
+                    let x = item_work(i);
+                    if i == 17 {
+                        Err(Error::InvalidParameter {
+                            name: "item",
+                            reason: "boom".into(),
+                        })
+                    } else {
+                        Ok(v + x)
+                    }
+                });
+                assert!(r.is_err());
+                observer.end()
+            };
+            let d1 = run(1);
+            assert_eq!(d1.allocs, 18 + 1, "items 0..=17 plus the error string");
+            for threads in [2usize, 4] {
+                assert_eq!(run(threads), d1, "{threads} threads");
+            }
+        }
     }
 
     #[test]

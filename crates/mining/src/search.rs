@@ -12,11 +12,12 @@
 
 use crate::par::{par_fold_argmin, par_map, ParConfig};
 use tsdtw_core::cost::SquaredCost;
-use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea_metered, EaOutcome};
+use tsdtw_core::dtw::early_abandon::{cdtw_distance_ea_metered_buf_kernel, EaOutcome};
+use tsdtw_core::dtw::windowed::DtwBuffer;
 use tsdtw_core::envelope::Envelope;
 use tsdtw_core::error::{Error, Result};
 use tsdtw_core::lower_bounds::keogh::{
-    lb_keogh_reordered, lb_keogh_with_contrib, sort_indices_by_magnitude, suffix_sums,
+    lb_keogh_reordered, lb_keogh_with_contrib, sort_indices_by_magnitude, suffix_sums_into,
 };
 use tsdtw_core::lower_bounds::kim::lb_kim_hierarchy;
 use tsdtw_core::norm::znorm;
@@ -111,6 +112,9 @@ pub fn subsequence_search_metered<M: Meter>(
     let mut stats = SearchStats::default();
     let mut window = vec![0.0; m];
     let mut contrib: Vec<f64> = Vec::new();
+    let mut cb: Vec<f64> = Vec::new();
+    let mut dtw_buf = DtwBuffer::new();
+    let kernel = tsdtw_core::default_kernel();
 
     // Rolling sums for O(1) mean/std per position (just-in-time z-norm).
     let mut sum = 0.0;
@@ -156,8 +160,18 @@ pub fn subsequence_search_metered<M: Meter>(
         }
         meter.lb(LbKind::Keogh);
         let _ = lb_keogh_with_contrib(&window, &env, &mut contrib)?;
-        let cb = suffix_sums(&contrib);
-        match cdtw_distance_ea_metered(&q, &window, band, bsf, Some(&cb), SquaredCost, meter)? {
+        suffix_sums_into(&contrib, &mut cb);
+        match cdtw_distance_ea_metered_buf_kernel(
+            &q,
+            &window,
+            band,
+            bsf,
+            Some(&cb),
+            SquaredCost,
+            &mut dtw_buf,
+            meter,
+            kernel,
+        )? {
             EaOutcome::Exact(d) => {
                 stats.dtw_exact += 1;
                 meter.prune(StageTag::DtwExact);
@@ -255,14 +269,22 @@ pub fn subsequence_search_par<M: MeterShard>(
     let (means, invs) = rolling_norm_params(haystack, m);
     let positions: Vec<usize> = (0..means.len()).collect();
 
+    let kernel = tsdtw_core::default_kernel();
     let (best, outcomes) = par_fold_argmin(
         cfg,
         &positions,
         meter,
         f64::INFINITY,
-        || Ok((vec![0.0; m], Vec::<f64>::new())),
+        || {
+            Ok((
+                vec![0.0; m],
+                Vec::<f64>::new(),
+                Vec::<f64>::new(),
+                DtwBuffer::new(),
+            ))
+        },
         |ctx, _, &pos, bsf, mm| {
-            let (window, contrib) = ctx;
+            let (window, contrib, cb, dtw_buf) = ctx;
             for (k, w) in window.iter_mut().enumerate() {
                 *w = (haystack[pos + k] - means[pos]) * invs[pos];
             }
@@ -280,8 +302,18 @@ pub fn subsequence_search_par<M: MeterShard>(
             }
             mm.lb(LbKind::Keogh);
             let _ = lb_keogh_with_contrib(window, &env, contrib)?;
-            let cb = suffix_sums(contrib);
-            match cdtw_distance_ea_metered(&q, window, band, bsf, Some(&cb), SquaredCost, mm)? {
+            suffix_sums_into(contrib, cb);
+            match cdtw_distance_ea_metered_buf_kernel(
+                &q,
+                window,
+                band,
+                bsf,
+                Some(cb),
+                SquaredCost,
+                dtw_buf,
+                mm,
+                kernel,
+            )? {
                 EaOutcome::Exact(d) => {
                     mm.prune(StageTag::DtwExact);
                     Ok(Disposition::Exact(d))

@@ -1,0 +1,879 @@
+//! Heap telemetry: the instrumented global allocator and its scope API.
+//!
+//! The paper's memory argument (Wu & Keogh §3; Salvador & Chan §4) is
+//! that FastDTW's multilevel recursion carries window/path/coarsened
+//! -series baggage that cDTW's O(N) rolling rows never pay — and the
+//! UCR-suite repeated-eval wins depend on hot loops being
+//! *allocation-free*. Before this module the workspace could only
+//! assert the first half of that via the hand-maintained
+//! `dp_peak_bytes` counter; nothing observed what the allocator
+//! actually did. With the `alloc-telemetry` cargo feature enabled this
+//! module installs a counting `#[global_allocator]` wrapper around
+//! [`std::alloc::System`] that keeps **thread-local** counters — bytes
+//! allocated/freed, live bytes, peak live bytes, and
+//! alloc/realloc/dealloc counts — read through two RAII probes:
+//!
+//! * [`AllocScope`] — brackets a region and yields the [`AllocDelta`]
+//!   of everything the *current thread* allocated inside it. Entering a
+//!   scope saves the thread's peak-live watermark and resets it to the
+//!   current live level, so `peak_bytes` is the exact high-water mark
+//!   *above the scope's entry level*, not a stale global maximum.
+//!   Scopes must nest LIFO (guaranteed by ordinary lexical use).
+//! * [`AllocRegion`] — the parallel-executor helper. Worker threads
+//!   measure each item with an `AllocScope` of their own; the caller
+//!   [`credit`](AllocRegion::credit)s those deltas **in item-index
+//!   order** and [`finish`](AllocRegion::finish) then rewrites the
+//!   caller's counters to exactly `state-at-begin ∘ credited deltas` —
+//!   erasing the executor's own machinery (chunk lists, spawn closures,
+//!   the result vector's storage) from the account. Because sequential
+//!   composition of deltas ([`AllocDelta::merge`]) is exactly what a
+//!   serial run would have produced, the thread's heap counters after a
+//!   `par_map` are **bitwise identical at any thread count** for
+//!   deterministic per-item workloads (see DESIGN.md §12 for the
+//!   caveats: error paths and meters that themselves allocate).
+//!
+//! With the feature disabled every type here still exists —
+//! [`AllocDelta`] stays a real struct so report plumbing needs no
+//! `cfg` — but the probes are unit structs, every counter reads zero,
+//! and the program keeps the plain system allocator.
+//!
+//! The counters are `Cell`s in a `thread_local!`, not atomics: the hot
+//! path (every allocation in the program) pays two thread-local reads
+//! and writes, no synchronization, and the `ablation_alloc` bench group
+//! in `tsdtw-bench` pins the armed overhead on the windowed-DTW hot
+//! path below 5%. Allocator hooks use `try_with`, so allocations during
+//! thread-local teardown are simply not counted instead of aborting.
+
+use crate::json::Json;
+
+/// Whether the counting allocator is compiled in.
+pub const fn heap_telemetry_enabled() -> bool {
+    cfg!(feature = "alloc-telemetry")
+}
+
+/// What one [`AllocScope`] observed: the current thread's heap traffic
+/// between `begin` and `end`.
+///
+/// `peak_bytes` is the high-water mark of live bytes *above the
+/// scope's entry level* — 0 when the scope allocated nothing (or freed
+/// more than it allocated before ever rising). All other fields are
+/// plain event counts and byte totals. Realloc calls count once in
+/// `reallocs` and once in `realloc_grows`/`realloc_shrinks`; only the
+/// *size delta* lands in `bytes_allocated`/`bytes_freed`, so
+/// `net_bytes` tracks live memory exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// `alloc`/`alloc_zeroed` calls.
+    pub allocs: u64,
+    /// `dealloc` calls.
+    pub frees: u64,
+    /// `realloc` calls (grow + shrink).
+    pub reallocs: u64,
+    /// Reallocs to a larger size.
+    pub realloc_grows: u64,
+    /// Reallocs to a smaller size.
+    pub realloc_shrinks: u64,
+    /// Bytes obtained from the allocator (incl. realloc growth deltas).
+    pub bytes_allocated: u64,
+    /// Bytes returned to the allocator (incl. realloc shrink deltas).
+    pub bytes_freed: u64,
+    /// High-water mark of live bytes above the scope's entry level.
+    pub peak_bytes: u64,
+}
+
+impl AllocDelta {
+    /// Live-byte change across the scope; negative when the scope freed
+    /// more than it allocated.
+    pub fn net_bytes(&self) -> i64 {
+        self.bytes_allocated as i64 - self.bytes_freed as i64
+    }
+
+    /// `true` when the scope saw no allocator traffic at all — the
+    /// "zero steady-state allocation" contract of `alloc_discipline`.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Sequential composition: folds `next` into `self` as if `next`'s
+    /// region ran immediately after `self`'s on the same thread.
+    ///
+    /// Counts and byte totals add. The composed peak is
+    /// `max(self.peak, self.net + next.peak)` (clamped at 0): either
+    /// the first region's high-water stands, or the second region
+    /// pushed past it starting from the first region's settling level.
+    /// The parallel executor composes per-item deltas in item-index
+    /// order with exactly this rule, which is why merged counters are
+    /// thread-count-invariant.
+    pub fn merge(&mut self, next: &AllocDelta) {
+        let composed = self
+            .net_bytes()
+            .saturating_add(next.peak_bytes as i64)
+            .max(0) as u64;
+        self.peak_bytes = self.peak_bytes.max(composed);
+        self.allocs += next.allocs;
+        self.frees += next.frees;
+        self.reallocs += next.reallocs;
+        self.realloc_grows += next.realloc_grows;
+        self.realloc_shrinks += next.realloc_shrinks;
+        self.bytes_allocated += next.bytes_allocated;
+        self.bytes_freed += next.bytes_freed;
+    }
+
+    /// The `memory` section emitted into snapshots and `--stats-json`:
+    /// event counts first (hard-gated by `report diff`), byte totals
+    /// after (advisory — they move with allocator and libstd versions).
+    pub fn report(&self) -> Json {
+        crate::json_obj! {
+            "telemetry" => heap_telemetry_enabled(),
+            "allocs" => self.allocs,
+            "frees" => self.frees,
+            "reallocs" => self.reallocs,
+            "realloc_grows" => self.realloc_grows,
+            "realloc_shrinks" => self.realloc_shrinks,
+            "bytes_allocated" => self.bytes_allocated,
+            "bytes_freed" => self.bytes_freed,
+            "net_bytes" => self.net_bytes(),
+            "peak_bytes" => self.peak_bytes,
+        }
+    }
+
+    /// One-line human rendering for `--stats` output.
+    pub fn summary(&self) -> String {
+        format!(
+            "memory: {} allocs / {} frees / {} reallocs ({} grow, {} shrink), \
+             {} B allocated, {} B freed, peak {} B above entry",
+            self.allocs,
+            self.frees,
+            self.reallocs,
+            self.realloc_grows,
+            self.realloc_shrinks,
+            self.bytes_allocated,
+            self.bytes_freed,
+            self.peak_bytes
+        )
+    }
+}
+
+crate::impl_to_json!(AllocDelta {
+    allocs,
+    frees,
+    reallocs,
+    realloc_grows,
+    realloc_shrinks,
+    bytes_allocated,
+    bytes_freed,
+    peak_bytes
+});
+
+/// The armed implementation: the counting `#[global_allocator]` and the
+/// thread-local counter cell. The crate denies `unsafe_code`; this
+/// module is the one sanctioned carve-out, because `GlobalAlloc` is an
+/// unsafe trait — every hook forwards verbatim to [`std::alloc::System`]
+/// and only *observes* sizes, never changes what the caller gets back.
+#[cfg(feature = "alloc-telemetry")]
+#[allow(unsafe_code)]
+mod armed {
+    use super::AllocDelta;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    /// The raw thread-local counter block. `Copy` so the whole state
+    /// snapshots with one `Cell::get`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(super) struct Counters {
+        pub allocs: u64,
+        pub frees: u64,
+        pub reallocs: u64,
+        pub realloc_grows: u64,
+        pub realloc_shrinks: u64,
+        pub bytes_allocated: u64,
+        pub bytes_freed: u64,
+        pub live_bytes: u64,
+        pub peak_live_bytes: u64,
+    }
+
+    impl Counters {
+        pub(super) const ZERO: Counters = Counters {
+            allocs: 0,
+            frees: 0,
+            reallocs: 0,
+            realloc_grows: 0,
+            realloc_shrinks: 0,
+            bytes_allocated: 0,
+            bytes_freed: 0,
+            live_bytes: 0,
+            peak_live_bytes: 0,
+        };
+    }
+
+    thread_local! {
+        static TL: Cell<Counters> = const { Cell::new(Counters::ZERO) };
+    }
+
+    #[inline]
+    pub(super) fn tl_get() -> Counters {
+        TL.try_with(Cell::get).unwrap_or(Counters::ZERO)
+    }
+
+    #[inline]
+    pub(super) fn tl_set(c: Counters) {
+        let _ = TL.try_with(|t| t.set(c));
+    }
+
+    #[inline]
+    fn on_alloc(bytes: u64) {
+        let _ = TL.try_with(|t| {
+            let mut c = t.get();
+            c.allocs += 1;
+            c.bytes_allocated += bytes;
+            c.live_bytes += bytes;
+            c.peak_live_bytes = c.peak_live_bytes.max(c.live_bytes);
+            t.set(c);
+        });
+    }
+
+    #[inline]
+    fn on_free(bytes: u64) {
+        let _ = TL.try_with(|t| {
+            let mut c = t.get();
+            c.frees += 1;
+            c.bytes_freed += bytes;
+            c.live_bytes = c.live_bytes.saturating_sub(bytes);
+            t.set(c);
+        });
+    }
+
+    #[inline]
+    fn on_realloc(old: u64, new: u64) {
+        let _ = TL.try_with(|t| {
+            let mut c = t.get();
+            c.reallocs += 1;
+            if new > old {
+                c.realloc_grows += 1;
+                c.bytes_allocated += new - old;
+                c.live_bytes += new - old;
+                c.peak_live_bytes = c.peak_live_bytes.max(c.live_bytes);
+            } else if new < old {
+                c.realloc_shrinks += 1;
+                c.bytes_freed += old - new;
+                c.live_bytes = c.live_bytes.saturating_sub(old - new);
+            }
+            t.set(c);
+        });
+    }
+
+    /// [`System`] with per-thread counting. Observation only: pointers
+    /// and layouts pass through untouched, and a returned null is never
+    /// counted (the caller got nothing).
+    pub(super) struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc_zeroed(layout);
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            on_free(layout.size() as u64);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                on_realloc(layout.size() as u64, new_size as u64);
+            }
+            p
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAlloc = CountingAlloc;
+
+    /// Delta between a later counter snapshot and an earlier one.
+    pub(super) fn delta_since(start: &Counters, cur: &Counters) -> AllocDelta {
+        AllocDelta {
+            allocs: cur.allocs - start.allocs,
+            frees: cur.frees - start.frees,
+            reallocs: cur.reallocs - start.reallocs,
+            realloc_grows: cur.realloc_grows - start.realloc_grows,
+            realloc_shrinks: cur.realloc_shrinks - start.realloc_shrinks,
+            bytes_allocated: cur.bytes_allocated - start.bytes_allocated,
+            bytes_freed: cur.bytes_freed - start.bytes_freed,
+            peak_bytes: cur.peak_live_bytes.saturating_sub(start.live_bytes),
+        }
+    }
+}
+
+#[cfg(feature = "alloc-telemetry")]
+mod scope_armed {
+    use super::armed::{delta_since, tl_get, tl_set, Counters};
+    use super::AllocDelta;
+    use std::marker::PhantomData;
+
+    /// RAII heap probe; see the module docs. `!Send`: the delta is read
+    /// from the thread that opened the scope.
+    #[must_use = "an AllocScope measures the region holding it; call end()"]
+    pub struct AllocScope {
+        start: Counters,
+        ended: bool,
+        _not_send: PhantomData<*const ()>,
+    }
+
+    impl AllocScope {
+        /// Opens a scope: snapshots this thread's counters and resets
+        /// the peak-live watermark to the current live level, so the
+        /// scope's `peak_bytes` measures only its own high water.
+        pub fn begin() -> AllocScope {
+            let start = tl_get();
+            let mut c = start;
+            c.peak_live_bytes = c.live_bytes;
+            tl_set(c);
+            AllocScope {
+                start,
+                ended: false,
+                _not_send: PhantomData,
+            }
+        }
+
+        /// Closes the scope, restoring the outer watermark (the outer
+        /// scope's peak is the max of its saved watermark and anything
+        /// this scope reached), and yields the measured delta.
+        pub fn end(mut self) -> AllocDelta {
+            let cur = tl_get();
+            let delta = delta_since(&self.start, &cur);
+            let mut c = cur;
+            c.peak_live_bytes = cur.peak_live_bytes.max(self.start.peak_live_bytes);
+            tl_set(c);
+            self.ended = true;
+            delta
+        }
+
+        pub(super) fn start_counters(&self) -> Counters {
+            self.start
+        }
+
+        pub(super) fn defuse(&mut self) {
+            self.ended = true;
+        }
+    }
+
+    impl Drop for AllocScope {
+        fn drop(&mut self) {
+            if !self.ended {
+                // A scope dropped without `end` (an early return, a
+                // panic unwinding through) must still restore the outer
+                // watermark, or the enclosing scope would under-report
+                // any peak it hit before this scope opened.
+                let mut c = tl_get();
+                c.peak_live_bytes = c.peak_live_bytes.max(self.start.peak_live_bytes);
+                tl_set(c);
+            }
+        }
+    }
+
+    /// Credits a delta measured elsewhere (a worker thread's
+    /// [`AllocScope`]) to this thread's counters, exactly as if the
+    /// measured work had run here sequentially: counts and byte totals
+    /// add, the peak watermark rises to `live + delta.peak` if that is
+    /// a new high, and live settles at `live + delta.net`.
+    pub fn absorb_alloc_delta(d: &AllocDelta) {
+        let mut c = tl_get();
+        c.allocs += d.allocs;
+        c.frees += d.frees;
+        c.reallocs += d.reallocs;
+        c.realloc_grows += d.realloc_grows;
+        c.realloc_shrinks += d.realloc_shrinks;
+        c.bytes_allocated += d.bytes_allocated;
+        c.bytes_freed += d.bytes_freed;
+        c.peak_live_bytes = c.peak_live_bytes.max(c.live_bytes + d.peak_bytes);
+        c.live_bytes = (c.live_bytes as i64 + d.net_bytes()).max(0) as u64;
+        tl_set(c);
+    }
+
+    /// Live bytes currently attributed to this thread (allocated here
+    /// or credited via [`absorb_alloc_delta`], minus frees). Feeds the
+    /// flight recorder's heap counter track.
+    pub fn current_live_bytes() -> u64 {
+        tl_get().live_bytes
+    }
+
+    /// The parallel executor's accounting region; see the module docs.
+    ///
+    /// Between `begin` and `finish` the executor runs its machinery and
+    /// credits per-item deltas in item-index order. `finish` rewrites
+    /// the thread's counters to exactly `state-at-begin` composed with
+    /// the credited deltas, so the account is independent of how the
+    /// machinery scheduled the work. Dropping the region without
+    /// `finish` (an executor error path) keeps the raw counters —
+    /// over-counted by machinery but never losing credited work.
+    #[must_use = "an AllocRegion left unfinished keeps machinery allocations in the account"]
+    pub struct AllocRegion {
+        scope: AllocScope,
+        credited: AllocDelta,
+    }
+
+    impl AllocRegion {
+        /// Opens the accounting region on the calling thread.
+        pub fn begin() -> AllocRegion {
+            AllocRegion {
+                scope: AllocScope::begin(),
+                credited: AllocDelta::default(),
+            }
+        }
+
+        /// Credits one item's measured delta, in item-index order:
+        /// applies it to the thread counters ([`absorb_alloc_delta`])
+        /// and folds it into the region's serial composition.
+        pub fn credit(&mut self, d: &AllocDelta) {
+            absorb_alloc_delta(d);
+            self.credited.merge(d);
+        }
+
+        /// Closes the region: the thread's counters become exactly the
+        /// state at `begin` composed with the credited deltas — the
+        /// machinery's own traffic (and the double-count from crediting
+        /// on top of natively-counted serial work) is erased.
+        pub fn finish(mut self) {
+            let start = self.scope.start_counters();
+            let credited = self.credited;
+            self.scope.defuse();
+            let mut c = tl_get();
+            c.allocs = start.allocs + credited.allocs;
+            c.frees = start.frees + credited.frees;
+            c.reallocs = start.reallocs + credited.reallocs;
+            c.realloc_grows = start.realloc_grows + credited.realloc_grows;
+            c.realloc_shrinks = start.realloc_shrinks + credited.realloc_shrinks;
+            c.bytes_allocated = start.bytes_allocated + credited.bytes_allocated;
+            c.bytes_freed = start.bytes_freed + credited.bytes_freed;
+            c.peak_live_bytes = start
+                .peak_live_bytes
+                .max(start.live_bytes + credited.peak_bytes);
+            c.live_bytes = (start.live_bytes as i64 + credited.net_bytes()).max(0) as u64;
+            tl_set(c);
+        }
+    }
+}
+
+#[cfg(feature = "alloc-telemetry")]
+pub use scope_armed::{absorb_alloc_delta, current_live_bytes, AllocRegion, AllocScope};
+
+#[cfg(not(feature = "alloc-telemetry"))]
+mod scope_disarmed {
+    use super::AllocDelta;
+
+    /// Unit-sized probe; with `alloc-telemetry` off the scope measures
+    /// nothing and the program keeps the plain system allocator.
+    #[must_use = "an AllocScope measures the region holding it; call end()"]
+    pub struct AllocScope;
+
+    impl AllocScope {
+        /// Disabled: returns the unit probe.
+        #[inline(always)]
+        pub fn begin() -> AllocScope {
+            AllocScope
+        }
+
+        /// Disabled: always the zero delta.
+        #[inline(always)]
+        pub fn end(self) -> AllocDelta {
+            AllocDelta::default()
+        }
+    }
+
+    /// Disabled: a no-op.
+    #[inline(always)]
+    pub fn absorb_alloc_delta(_d: &AllocDelta) {}
+
+    /// Disabled: always 0.
+    #[inline(always)]
+    pub fn current_live_bytes() -> u64 {
+        0
+    }
+
+    /// Unit-sized stand-in for the executor's accounting region.
+    #[must_use = "an AllocRegion left unfinished keeps machinery allocations in the account"]
+    pub struct AllocRegion;
+
+    impl AllocRegion {
+        /// Disabled: returns the unit stand-in.
+        #[inline(always)]
+        pub fn begin() -> AllocRegion {
+            AllocRegion
+        }
+
+        /// Disabled: a no-op.
+        #[inline(always)]
+        pub fn credit(&mut self, _d: &AllocDelta) {}
+
+        /// Disabled: a no-op.
+        #[inline(always)]
+        pub fn finish(self) {}
+    }
+}
+
+#[cfg(not(feature = "alloc-telemetry"))]
+pub use scope_disarmed::{absorb_alloc_delta, current_live_bytes, AllocRegion, AllocScope};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_default_is_zero_and_net_signs_work() {
+        let d = AllocDelta::default();
+        assert!(d.is_zero());
+        assert_eq!(d.net_bytes(), 0);
+        let d = AllocDelta {
+            bytes_allocated: 10,
+            bytes_freed: 25,
+            ..Default::default()
+        };
+        assert_eq!(d.net_bytes(), -15);
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn merge_is_sequential_composition() {
+        // Region A: allocates 100, frees 40 (net +60), peaked at 100.
+        let a = AllocDelta {
+            allocs: 2,
+            frees: 1,
+            bytes_allocated: 100,
+            bytes_freed: 40,
+            peak_bytes: 100,
+            ..Default::default()
+        };
+        // Region B: allocates 10, peaked at 10 above its own entry.
+        let b = AllocDelta {
+            allocs: 1,
+            bytes_allocated: 10,
+            peak_bytes: 10,
+            ..Default::default()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        assert_eq!(ab.allocs, 3);
+        assert_eq!(ab.frees, 1);
+        assert_eq!(ab.bytes_allocated, 110);
+        assert_eq!(ab.bytes_freed, 40);
+        // B entered at +60 and rose 10 more: 70 < A's own peak of 100.
+        assert_eq!(ab.peak_bytes, 100);
+
+        // A taller second region overtakes the first peak.
+        let tall = AllocDelta {
+            allocs: 1,
+            bytes_allocated: 80,
+            peak_bytes: 80,
+            ..Default::default()
+        };
+        let mut at = a;
+        at.merge(&tall);
+        assert_eq!(at.peak_bytes, 140, "60 net + 80 peak");
+    }
+
+    #[test]
+    fn merge_peak_clamps_below_entry_level() {
+        // First region net-frees 50; the next peak is measured from the
+        // settled (negative) level and must clamp at 0, never wrap.
+        let a = AllocDelta {
+            frees: 1,
+            bytes_freed: 50,
+            ..Default::default()
+        };
+        let b = AllocDelta {
+            allocs: 1,
+            bytes_allocated: 20,
+            peak_bytes: 20,
+            ..Default::default()
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        assert_eq!(ab.peak_bytes, 0, "-50 + 20 stays below entry level");
+    }
+
+    #[test]
+    fn merge_matches_one_flat_scope() {
+        // Composing the per-phase deltas of a run must equal measuring
+        // the whole run in one scope. Simulated phases:
+        //   p1: +100 (peak 100), p2: -100, p3: +30 (peak 30)
+        let p1 = AllocDelta {
+            allocs: 1,
+            bytes_allocated: 100,
+            peak_bytes: 100,
+            ..Default::default()
+        };
+        let p2 = AllocDelta {
+            frees: 1,
+            bytes_freed: 100,
+            ..Default::default()
+        };
+        let p3 = AllocDelta {
+            allocs: 1,
+            bytes_allocated: 30,
+            peak_bytes: 30,
+            ..Default::default()
+        };
+        let mut composed = p1;
+        composed.merge(&p2);
+        composed.merge(&p3);
+        let flat = AllocDelta {
+            allocs: 2,
+            frees: 1,
+            bytes_allocated: 130,
+            bytes_freed: 100,
+            peak_bytes: 100, // the run's true high water was p1's
+            ..Default::default()
+        };
+        assert_eq!(composed, flat);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let ds = [
+            AllocDelta {
+                allocs: 3,
+                bytes_allocated: 64,
+                peak_bytes: 64,
+                ..Default::default()
+            },
+            AllocDelta {
+                frees: 2,
+                bytes_freed: 48,
+                ..Default::default()
+            },
+            AllocDelta {
+                allocs: 1,
+                reallocs: 1,
+                realloc_grows: 1,
+                bytes_allocated: 72,
+                peak_bytes: 40,
+                ..Default::default()
+            },
+        ];
+        let mut left = ds[0];
+        left.merge(&ds[1]);
+        left.merge(&ds[2]);
+        let mut bc = ds[1];
+        bc.merge(&ds[2]);
+        let mut right = ds[0];
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // Identity element.
+        let mut with_zero = ds[0];
+        with_zero.merge(&AllocDelta::default());
+        assert_eq!(with_zero, ds[0]);
+    }
+
+    #[test]
+    fn report_leads_with_counts_and_flags_telemetry() {
+        let d = AllocDelta {
+            allocs: 4,
+            frees: 2,
+            bytes_allocated: 256,
+            bytes_freed: 128,
+            peak_bytes: 200,
+            ..Default::default()
+        };
+        let j = d.report();
+        assert_eq!(j["telemetry"], heap_telemetry_enabled());
+        assert_eq!(j["allocs"], 4u64);
+        assert_eq!(j["net_bytes"], 128i64);
+        assert_eq!(j["peak_bytes"], 200u64);
+        assert!(d.summary().contains("4 allocs"), "{}", d.summary());
+    }
+
+    #[cfg(not(feature = "alloc-telemetry"))]
+    #[test]
+    fn disarmed_probes_read_zero() {
+        assert!(!heap_telemetry_enabled());
+        let s = AllocScope::begin();
+        let _v: Vec<u8> = Vec::with_capacity(4096);
+        assert!(s.end().is_zero());
+        assert_eq!(current_live_bytes(), 0);
+        let mut r = AllocRegion::begin();
+        r.credit(&AllocDelta {
+            allocs: 1,
+            ..Default::default()
+        });
+        r.finish();
+        assert_eq!(current_live_bytes(), 0);
+    }
+
+    #[cfg(feature = "alloc-telemetry")]
+    mod armed_probes {
+        use super::super::*;
+
+        #[test]
+        fn scope_sees_a_vec_allocation() {
+            let s = AllocScope::begin();
+            let v: Vec<u8> = Vec::with_capacity(4096);
+            let held = AllocScope::begin();
+            drop(v);
+            let freed = held.end();
+            let d = s.end();
+            assert_eq!(d.allocs, 1);
+            assert_eq!(d.frees, 1);
+            assert_eq!(d.bytes_allocated, 4096);
+            assert_eq!(d.bytes_freed, 4096);
+            assert_eq!(d.net_bytes(), 0);
+            assert_eq!(d.peak_bytes, 4096);
+            // The inner scope opened after the alloc: it saw only the free.
+            assert_eq!(freed.allocs, 0);
+            assert_eq!(freed.frees, 1);
+            assert_eq!(freed.peak_bytes, 0);
+        }
+
+        #[test]
+        fn nested_scope_peaks_do_not_leak_outward_or_inward() {
+            let outer = AllocScope::begin();
+            let big: Vec<u8> = Vec::with_capacity(10_000);
+            drop(big); // outer peak: 10_000, live back to entry level
+            let inner = AllocScope::begin();
+            let small: Vec<u8> = Vec::with_capacity(100);
+            drop(small);
+            let di = inner.end();
+            assert_eq!(di.peak_bytes, 100, "inner must not see the outer spike");
+            let d = outer.end();
+            assert_eq!(
+                d.peak_bytes, 10_000,
+                "outer keeps its own high water across the nested scope"
+            );
+        }
+
+        #[test]
+        fn dropped_scope_still_restores_the_outer_watermark() {
+            let outer = AllocScope::begin();
+            let spike: Vec<u8> = Vec::with_capacity(5_000);
+            drop(spike);
+            {
+                let _abandoned = AllocScope::begin(); // dropped, not ended
+                let v: Vec<u8> = Vec::with_capacity(10);
+                drop(v);
+            }
+            let d = outer.end();
+            assert_eq!(d.peak_bytes, 5_000);
+        }
+
+        #[test]
+        // The with_capacity + resize split is the point: the test needs
+        // exactly one plain `alloc` (not `alloc_zeroed`, which `vec![0; n]`
+        // would route through) so the counter arithmetic below is exact.
+        #[allow(clippy::slow_vector_initialization)]
+        fn realloc_grow_and_shrink_account_deltas() {
+            let s = AllocScope::begin();
+            let mut v: Vec<u8> = Vec::with_capacity(64);
+            v.resize(64, 0);
+            v.reserve_exact(64); // grow 64 -> >=128
+            let grown = v.capacity() as u64;
+            v.truncate(16);
+            v.shrink_to_fit(); // shrink to 16
+            let d = s.end();
+            drop(v);
+            assert_eq!(d.allocs, 1);
+            assert_eq!(d.reallocs, d.realloc_grows + d.realloc_shrinks);
+            assert!(d.realloc_grows >= 1, "{d:?}");
+            assert!(d.realloc_shrinks >= 1, "{d:?}");
+            // Deltas, not full sizes: allocated = 64 + (grown - 64),
+            // freed = grown - 16; net = live 16 bytes.
+            assert_eq!(d.bytes_allocated, grown);
+            assert_eq!(d.bytes_freed, grown - 16);
+            assert_eq!(d.net_bytes(), 16);
+            assert_eq!(d.peak_bytes, grown);
+        }
+
+        #[test]
+        fn absorb_counts_as_if_run_here() {
+            let outer = AllocScope::begin();
+            let base_live = current_live_bytes();
+            let d = AllocDelta {
+                allocs: 2,
+                frees: 1,
+                bytes_allocated: 300,
+                bytes_freed: 100,
+                peak_bytes: 250,
+                ..Default::default()
+            };
+            absorb_alloc_delta(&d);
+            assert_eq!(current_live_bytes(), base_live + 200);
+            let seen = outer.end();
+            assert_eq!(seen.allocs, 2);
+            assert_eq!(seen.frees, 1);
+            assert_eq!(seen.peak_bytes, 250);
+            // Put the books back for other tests on this thread.
+            absorb_alloc_delta(&AllocDelta {
+                frees: 1,
+                bytes_freed: 200,
+                ..Default::default()
+            });
+        }
+
+        #[test]
+        fn region_erases_machinery_and_keeps_credits() {
+            let observer = AllocScope::begin();
+            let mut region = AllocRegion::begin();
+            // "Machinery": allocations the executor makes that must not
+            // land in the account.
+            let machinery: Vec<u8> = Vec::with_capacity(7777);
+            drop(machinery);
+            // Two "items", measured the way workers measure them.
+            for _ in 0..2 {
+                let item = AllocScope::begin();
+                let v: Vec<u8> = Vec::with_capacity(50);
+                drop(v);
+                let d = item.end();
+                region.credit(&d);
+            }
+            region.finish();
+            let seen = observer.end();
+            assert_eq!(seen.allocs, 2, "{seen:?}");
+            assert_eq!(seen.frees, 2);
+            assert_eq!(seen.bytes_allocated, 100);
+            assert_eq!(seen.bytes_freed, 100);
+            assert_eq!(seen.peak_bytes, 50, "items compose serially: max, not sum");
+        }
+
+        #[test]
+        fn region_credits_compose_in_index_order_like_serial() {
+            // Credit order is the executor's index order; the composed
+            // peak must equal the serial back-to-back execution.
+            let d1 = AllocDelta {
+                allocs: 1,
+                bytes_allocated: 400,
+                peak_bytes: 400,
+                ..Default::default()
+            }; // leaves 400 live
+            let d2 = AllocDelta {
+                allocs: 1,
+                frees: 1,
+                bytes_allocated: 100,
+                bytes_freed: 500,
+                peak_bytes: 500,
+                ..Default::default()
+            }; // rises to 400+500 = 900 equivalent? no: peak relative 500
+            let observer = AllocScope::begin();
+            let mut region = AllocRegion::begin();
+            region.credit(&d1);
+            region.credit(&d2);
+            region.finish();
+            let seen = observer.end();
+            let mut serial = d1;
+            serial.merge(&d2);
+            assert_eq!(seen, serial);
+            assert_eq!(seen.peak_bytes, 900);
+            // Books back: the two credits net to 0 live bytes already.
+            assert_eq!(seen.net_bytes(), 0);
+        }
+    }
+}

@@ -31,16 +31,28 @@
 //! * [`LatencyHist`] — the log-linear (HDR-style) histogram behind
 //!   every latency quantile in the workspace, with the nearest-rank
 //!   percentile convention pinned by [`nearest_rank`].
+//! * [`alloc`](mod@alloc) — heap telemetry (`--features
+//!   alloc-telemetry`): a counting `#[global_allocator]` wrapper with
+//!   thread-local byte/count/peak counters, the [`AllocScope`] probe
+//!   that snapshots per-region [`AllocDelta`]s, and the
+//!   [`AllocRegion`] helper the parallel executor uses to keep heap
+//!   counters thread-count-invariant. Disabled, the probes are unit
+//!   structs and the program keeps the plain system allocator.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod alloc;
 mod hist;
 mod json;
 mod meter;
 mod recorder;
 mod span;
 
+pub use alloc::{
+    absorb_alloc_delta, current_live_bytes, heap_telemetry_enabled, AllocDelta, AllocRegion,
+    AllocScope,
+};
 pub use hist::{nearest_rank, LatencyHist};
 pub use json::{Json, JsonParseError, ToJson};
 pub use meter::{FastDtwLevel, LbKind, Meter, MeterShard, NoMeter, StageTag, WorkMeter};

@@ -202,6 +202,106 @@ impl<M: Meter + ?Sized> Meter for &mut M {
     }
 }
 
+/// The single-source table of [`WorkMeter`]'s scalar counters.
+///
+/// Each entry is `(field, "dotted.report.name", gate, fold)`. Every
+/// consumer of the counters is generated from this one list — the
+/// struct-field merge in [`WorkMeter::merge`], the name list
+/// [`WorkMeter::COUNTER_NAMES`], the by-name lookup
+/// [`WorkMeter::field`], the ordered dump
+/// [`WorkMeter::counter_values`], and the leaf emission inside
+/// [`WorkMeter::report`] / [`WorkMeter::summary`] — so a counter added
+/// here shows up everywhere at once and cannot drift between the
+/// human-readable and JSON views (`counter_table_matches_report`
+/// locks this).
+///
+/// * `field` — the `WorkMeter` struct field.
+/// * name — where the value lands in the `work` JSON section; a dot
+///   nests it one object deep (`"prune.kim"` → `work.prune.kim`).
+/// * `gate` — the group whose counters must be non-zero for these
+///   leaves to be emitted at all (`always` leaves are unconditional).
+/// * `fold` — `add` or `max` under merge.
+macro_rules! for_each_work_counter {
+    ($cb:ident! ( $($args:tt)* )) => {
+        $cb! { ($($args)*)
+            { cells, "cells", always, add },
+            { window_cells, "window_cells", always, add },
+            { dp_peak_bytes, "dp_peak_bytes", always, max },
+            { lb_kim, "lower_bounds.kim", lower_bounds, add },
+            { lb_keogh, "lower_bounds.keogh", lower_bounds, add },
+            { lb_improved, "lower_bounds.improved", lower_bounds, add },
+            { lb_yi, "lower_bounds.yi", lower_bounds, add },
+            { envelopes_built, "envelopes_built", envelopes, add },
+            { envelope_points, "envelope_points", envelopes, add },
+            { pruned_kim, "prune.kim", prune, add },
+            { pruned_keogh_qc, "prune.keogh_qc", prune, add },
+            { pruned_keogh_cq, "prune.keogh_cq", prune, add },
+            { dtw_abandoned, "prune.dtw_abandoned", prune, add },
+            { dtw_exact, "prune.dtw_exact", prune, add },
+            { ea_invocations, "early_abandon.invocations", early_abandon, add },
+            { ea_rows_filled, "early_abandon.rows_filled", early_abandon, add },
+            { ea_rows_total, "early_abandon.rows_total", early_abandon, add },
+        }
+    };
+}
+
+macro_rules! fold_counter {
+    (add, $dst:expr, $src:expr) => {
+        $dst += $src
+    };
+    (max, $dst:expr, $src:expr) => {
+        $dst = $dst.max($src)
+    };
+}
+
+macro_rules! emit_counter_api {
+    (() $({ $field:ident, $name:literal, $gate:ident, $fold:ident },)*) => {
+        /// Canonical dotted names of every scalar counter, in report
+        /// emission order (generated from the counter table).
+        pub const COUNTER_NAMES: &'static [&'static str] = &[$($name),*];
+
+        /// Every scalar counter as `(dotted_name, value)`, in table
+        /// order.
+        pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+            vec![$(($name, self.$field)),*]
+        }
+
+        /// Looks a scalar counter up by its dotted report name; `None`
+        /// for names not in [`COUNTER_NAMES`](Self::COUNTER_NAMES).
+        pub fn field(&self, name: &str) -> Option<u64> {
+            match name {
+                $($name => Some(self.$field),)*
+                _ => None,
+            }
+        }
+
+        /// Whether `name`'s gate group has recorded anything (an
+        /// `always` leaf is unconditionally open). Leaves of a closed
+        /// gate are omitted from [`report`](Self::report) and
+        /// [`summary`](Self::summary).
+        fn gate_open(&self, name: &str) -> bool {
+            let gate = match name {
+                $($name => stringify!($gate),)*
+                _ => return false,
+            };
+            if gate == "always" {
+                return true;
+            }
+            let mut sum = 0u64;
+            $(
+                if stringify!($gate) == gate {
+                    sum += self.$field;
+                }
+            )*
+            sum > 0
+        }
+
+        fn merge_counters(&mut self, other: &WorkMeter) {
+            $(fold_counter!($fold, self.$field, other.$field);)*
+        }
+    };
+}
+
 /// The recording sink: plain counters, no allocation on the hot path
 /// except the per-level `Vec` push (once per FastDTW resolution).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -244,7 +344,27 @@ pub struct WorkMeter {
     pub ea_rows_total: u64,
 }
 
+/// Sets `value` at a dotted path inside an object, creating the
+/// one-deep intermediate object on demand (the counter table nests at
+/// most one level).
+fn set_dotted(j: &mut Json, path: &'static str, value: u64) {
+    let Some((group, leaf)) = path.split_once('.') else {
+        j.set(path, value);
+        return;
+    };
+    if matches!(j.get(group), None | Some(Json::Null)) {
+        j.set(group, Json::object());
+    }
+    if let Json::Obj(entries) = j {
+        if let Some((_, sub)) = entries.iter_mut().find(|(k, _)| k == group) {
+            sub.set(leaf, value);
+        }
+    }
+}
+
 impl WorkMeter {
+    for_each_work_counter!(emit_counter_api!());
+
     /// A fresh meter with all counters at zero.
     pub fn new() -> Self {
         Self::default()
@@ -275,35 +395,27 @@ impl WorkMeter {
     }
 
     /// Folds another meter's counters into this one (used when worker
-    /// threads each carry their own meter).
+    /// threads each carry their own meter). Scalar folding is generated
+    /// from the counter table; `levels` (the only non-scalar field)
+    /// concatenates in call order.
     pub fn merge(&mut self, other: &WorkMeter) {
-        self.cells += other.cells;
-        self.window_cells += other.window_cells;
-        self.dp_peak_bytes = self.dp_peak_bytes.max(other.dp_peak_bytes);
+        self.merge_counters(other);
         self.levels.extend(other.levels.iter().copied());
-        self.lb_kim += other.lb_kim;
-        self.lb_keogh += other.lb_keogh;
-        self.lb_improved += other.lb_improved;
-        self.lb_yi += other.lb_yi;
-        self.envelopes_built += other.envelopes_built;
-        self.envelope_points += other.envelope_points;
-        self.pruned_kim += other.pruned_kim;
-        self.pruned_keogh_qc += other.pruned_keogh_qc;
-        self.pruned_keogh_cq += other.pruned_keogh_cq;
-        self.dtw_abandoned += other.dtw_abandoned;
-        self.dtw_exact += other.dtw_exact;
-        self.ea_invocations += other.ea_invocations;
-        self.ea_rows_filled += other.ea_rows_filled;
-        self.ea_rows_total += other.ea_rows_total;
     }
 
     /// The `work` section emitted into bench reports and `--stats-json`.
+    ///
+    /// Scalar leaves come straight from the counter table (gated groups
+    /// are omitted until they record something); the derived values —
+    /// `fill_fraction`, the FastDTW level breakdown, and the prune
+    /// `candidates` total — are appended after.
     pub fn report(&self) -> Json {
-        let mut j = crate::json_obj! {
-            "cells" => self.cells,
-            "window_cells" => self.window_cells,
-            "dp_peak_bytes" => self.dp_peak_bytes,
-        };
+        let mut j = Json::object();
+        for (name, value) in self.counter_values() {
+            if self.gate_open(name) {
+                set_dotted(&mut j, name, value);
+            }
+        }
         if let Some(f) = self.fill_fraction() {
             j.set("fill_fraction", f);
         }
@@ -314,44 +426,8 @@ impl WorkMeter {
                 self.fastdtw_total_window_cells(),
             );
         }
-        let lb_total = self.lb_kim + self.lb_keogh + self.lb_improved + self.lb_yi;
-        if lb_total > 0 {
-            j.set(
-                "lower_bounds",
-                crate::json_obj! {
-                    "kim" => self.lb_kim,
-                    "keogh" => self.lb_keogh,
-                    "improved" => self.lb_improved,
-                    "yi" => self.lb_yi,
-                },
-            );
-        }
-        if self.envelopes_built > 0 {
-            j.set("envelopes_built", self.envelopes_built);
-            j.set("envelope_points", self.envelope_points);
-        }
         if self.candidates() > 0 {
-            j.set(
-                "prune",
-                crate::json_obj! {
-                    "kim" => self.pruned_kim,
-                    "keogh_qc" => self.pruned_keogh_qc,
-                    "keogh_cq" => self.pruned_keogh_cq,
-                    "dtw_abandoned" => self.dtw_abandoned,
-                    "dtw_exact" => self.dtw_exact,
-                    "candidates" => self.candidates(),
-                },
-            );
-        }
-        if self.ea_invocations > 0 {
-            j.set(
-                "early_abandon",
-                crate::json_obj! {
-                    "invocations" => self.ea_invocations,
-                    "rows_filled" => self.ea_rows_filled,
-                    "rows_total" => self.ea_rows_total,
-                },
-            );
+            set_dotted(&mut j, "prune.candidates", self.candidates());
         }
         j
     }
@@ -385,35 +461,42 @@ impl WorkMeter {
                 ));
             }
         }
-        let lb_total = self.lb_kim + self.lb_keogh + self.lb_improved + self.lb_yi;
-        if lb_total > 0 {
-            out.push_str(&format!(
-                "  lower bounds: kim={} keogh={} improved={} yi={}\n",
-                self.lb_kim, self.lb_keogh, self.lb_improved, self.lb_yi
-            ));
-        }
         if self.envelopes_built > 0 {
             out.push_str(&format!(
                 "  envelopes built: {} ({} points)\n",
                 self.envelopes_built, self.envelope_points
             ));
         }
-        if self.candidates() > 0 {
-            out.push_str(&format!(
-                "  prune cascade ({} candidates): kim={} keogh_qc={} keogh_cq={} abandoned={} exact={}\n",
-                self.candidates(),
-                self.pruned_kim,
-                self.pruned_keogh_qc,
-                self.pruned_keogh_cq,
-                self.dtw_abandoned,
-                self.dtw_exact
-            ));
-        }
-        if self.ea_invocations > 0 {
-            out.push_str(&format!(
-                "  early abandon: {} runs, {}/{} rows filled\n",
-                self.ea_invocations, self.ea_rows_filled, self.ea_rows_total
-            ));
+        // The grouped lines are generated from the counter table, so
+        // they always show exactly the leaves the JSON report emits.
+        for (group, title) in [
+            ("lower_bounds", "lower bounds"),
+            ("prune", "prune cascade"),
+            ("early_abandon", "early abandon"),
+        ] {
+            let leaves: Vec<String> = self
+                .counter_values()
+                .into_iter()
+                .filter(|(name, _)| {
+                    name.split_once('.').is_some_and(|(g, _)| g == group) && self.gate_open(name)
+                })
+                .map(|(name, value)| {
+                    let leaf = name.split_once('.').expect("filtered to dotted").1;
+                    format!("{leaf}={value}")
+                })
+                .collect();
+            if leaves.is_empty() {
+                continue;
+            }
+            if group == "prune" {
+                out.push_str(&format!(
+                    "  {title} ({} candidates): {}\n",
+                    self.candidates(),
+                    leaves.join(" ")
+                ));
+            } else {
+                out.push_str(&format!("  {title}: {}\n", leaves.join(" ")));
+            }
         }
         out
     }
@@ -693,6 +776,55 @@ mod tests {
         let mut n = NoMeter;
         n.absorb(NoMeter::fresh());
         assert_eq!(n, NoMeter);
+    }
+
+    /// Locks the counter table to the JSON report: with every gate
+    /// open, each table entry must appear in `report()` at its dotted
+    /// path with the value `field()` returns — no drift between the
+    /// table, the lookup, and the emission.
+    #[test]
+    fn counter_table_matches_report() {
+        let m = arbitrary_meter(42); // records in every gate group
+        let j = m.report();
+        assert_eq!(WorkMeter::COUNTER_NAMES.len(), 17);
+        for &name in WorkMeter::COUNTER_NAMES {
+            let from_field = m.field(name).expect("table names always resolve");
+            let from_json = match name.split_once('.') {
+                None => &j[name],
+                Some((group, leaf)) => &j[group][leaf],
+            };
+            assert_eq!(
+                from_json.as_u64(),
+                Some(from_field),
+                "report leaf {name} must match the table"
+            );
+        }
+        // counter_values() is the same table in the same order.
+        let values = m.counter_values();
+        assert_eq!(values.len(), WorkMeter::COUNTER_NAMES.len());
+        for ((name, value), &expect) in values.iter().zip(WorkMeter::COUNTER_NAMES) {
+            assert_eq!(*name, expect);
+            assert_eq!(m.field(name), Some(*value));
+        }
+        // Unknown names miss cleanly.
+        assert_eq!(m.field("no_such_counter"), None);
+    }
+
+    /// Gated leaves vanish together: an empty meter reports only the
+    /// always-on leaves, exactly as the table's gates dictate.
+    #[test]
+    fn gates_hide_whole_groups() {
+        let m = WorkMeter::new();
+        let j = m.report();
+        for &name in WorkMeter::COUNTER_NAMES {
+            let gated = !matches!(name, "cells" | "window_cells" | "dp_peak_bytes");
+            let top = name.split_once('.').map_or(name, |(g, _)| g);
+            assert_eq!(
+                j[top].is_null(),
+                gated,
+                "leaf {name} gating disagrees with the table"
+            );
+        }
     }
 
     #[test]

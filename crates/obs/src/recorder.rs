@@ -68,6 +68,14 @@ pub struct TraceEvent {
     /// thread itself; absorbed worker shards (see [`recorder_absorb`])
     /// get successive tracks 1, 2, … and export as distinct `tid`s.
     pub track: u32,
+    /// Live heap bytes attributed to the recording thread when the
+    /// event was recorded; 0 unless built with `alloc-telemetry`.
+    /// Exported as a Chrome-trace counter track.
+    pub heap_live: u64,
+    /// For end events: heap bytes allocated during the span (from the
+    /// guard's [`AllocScope`](crate::AllocScope)); 0 on begin events
+    /// and without `alloc-telemetry`.
+    pub alloc_bytes: u64,
 }
 
 /// A fixed-capacity ring buffer of [`TraceEvent`]s.
@@ -126,12 +134,20 @@ impl Recorder {
             depth,
             span_id: id,
             track: 0,
+            heap_live: crate::alloc::current_live_bytes(),
+            alloc_bytes: 0,
         });
         id
     }
 
     /// Records the end event matching [`begin`](Recorder::begin).
     pub fn end(&mut self, label: &'static str, span_id: u64) {
+        self.end_with_alloc(label, span_id, 0);
+    }
+
+    /// [`end`](Recorder::end), carrying the heap bytes the span
+    /// allocated (what the span guards report under `alloc-telemetry`).
+    pub fn end_with_alloc(&mut self, label: &'static str, span_id: u64, alloc_bytes: u64) {
         self.depth = self.depth.saturating_sub(1);
         let depth = self.depth;
         self.push(TraceEvent {
@@ -141,6 +157,8 @@ impl Recorder {
             depth,
             span_id,
             track: 0,
+            heap_live: crate::alloc::current_live_bytes(),
+            alloc_bytes,
         });
     }
 
@@ -218,10 +236,18 @@ impl Trace {
     /// properly nested. Drop accounting lands in `otherData`.
     pub fn chrome_json(&self) -> Json {
         let balanced = self.balanced_ids();
+        let heap_track = crate::heap_telemetry_enabled();
         let mut events = Json::array();
         for ev in &self.events {
             if !balanced.contains(&ev.span_id) {
                 continue;
+            }
+            let mut args = crate::json_obj! {
+                "depth" => ev.depth,
+                "span_id" => ev.span_id,
+            };
+            if heap_track && ev.phase == TracePhase::End {
+                args.set("alloc_bytes", ev.alloc_bytes);
             }
             events.push(crate::json_obj! {
                 "name" => ev.label,
@@ -235,11 +261,22 @@ impl Trace {
                 // Track 0 (the recording thread) keeps the historical
                 // tid 1; absorbed worker shards render as tid 2, 3, …
                 "tid" => ev.track + 1,
-                "args" => crate::json_obj! {
-                    "depth" => ev.depth,
-                    "span_id" => ev.span_id,
-                },
+                "args" => args,
             });
+            if heap_track {
+                // A Chrome-trace counter track ("ph": "C") sampling the
+                // recording thread's live heap at every span boundary —
+                // Perfetto renders it as a staircase under the spans.
+                events.push(crate::json_obj! {
+                    "name" => "heap_live_bytes",
+                    "cat" => "tsdtw",
+                    "ph" => "C",
+                    "ts" => ev.ts_us,
+                    "pid" => 1,
+                    "tid" => ev.track + 1,
+                    "args" => crate::json_obj! { "bytes" => ev.heap_live },
+                });
+            }
         }
         crate::json_obj! {
             "traceEvents" => events,
@@ -279,6 +316,7 @@ impl Trace {
                                 label: ev.label,
                                 count: 0,
                                 total_s: 0.0,
+                                alloc_bytes: 0,
                                 hist: LatencyHist::new(),
                             });
                             rows.last_mut().expect("just pushed")
@@ -286,6 +324,7 @@ impl Trace {
                     };
                     row.count += 1;
                     row.total_s += dur_s;
+                    row.alloc_bytes += ev.alloc_bytes;
                     row.hist.record_s(dur_s);
                 }
             }
@@ -296,14 +335,19 @@ impl Trace {
     /// The compact per-span summary table for terminal output.
     pub fn summary_table(&self) -> String {
         let rows = self.summary();
+        let heap = crate::heap_telemetry_enabled();
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<24}{:>10}{:>14}{:>12}{:>12}{:>12}\n",
+            "{:<24}{:>10}{:>14}{:>12}{:>12}{:>12}",
             "span", "count", "total", "p50", "p99", "max"
         ));
+        if heap {
+            out.push_str(&format!("{:>14}", "alloc_b"));
+        }
+        out.push('\n');
         for r in &rows {
             out.push_str(&format!(
-                "{:<24}{:>10}{:>14.6}{:>12.9}{:>12.9}{:>12.9}\n",
+                "{:<24}{:>10}{:>14.6}{:>12.9}{:>12.9}{:>12.9}",
                 r.label,
                 r.count,
                 r.total_s,
@@ -311,6 +355,10 @@ impl Trace {
                 r.hist.percentile_s(0.99),
                 r.hist.max_s(),
             ));
+            if heap {
+                out.push_str(&format!("{:>14}", r.alloc_bytes));
+            }
+            out.push('\n');
         }
         if self.dropped > 0 {
             out.push_str(&format!(
@@ -331,6 +379,9 @@ pub struct TraceSummaryRow {
     pub count: u64,
     /// Total seconds across those spans.
     pub total_s: f64,
+    /// Heap bytes allocated inside those spans; 0 without
+    /// `alloc-telemetry`.
+    pub alloc_bytes: u64,
     /// Duration distribution.
     pub hist: LatencyHist,
 }
@@ -405,11 +456,11 @@ pub(crate) fn recorder_begin(label: &'static str) -> Option<u64> {
 
 /// Span-guard hook: end event matching `recorder_begin`.
 #[cfg_attr(not(feature = "spans"), allow(dead_code))]
-pub(crate) fn recorder_end(label: &'static str, span_id: Option<u64>) {
+pub(crate) fn recorder_end(label: &'static str, span_id: Option<u64>, alloc_bytes: u64) {
     if let Some(id) = span_id {
         ACTIVE.with(|a| {
             if let Some(r) = a.borrow_mut().as_mut() {
-                r.end(label, id);
+                r.end_with_alloc(label, id, alloc_bytes);
             }
         });
     }
@@ -418,6 +469,19 @@ pub(crate) fn recorder_end(label: &'static str, span_id: Option<u64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The B/E span records of an exported `traceEvents` array, with
+    /// the heap counter samples (`ph: "C"`, present under
+    /// `alloc-telemetry`) filtered out.
+    fn span_records(chrome: &Json) -> Vec<Json> {
+        chrome["traceEvents"]
+            .as_array()
+            .expect("traceEvents array")
+            .iter()
+            .filter(|e| e["ph"].as_str() != Some("C"))
+            .cloned()
+            .collect()
+    }
 
     fn ev(
         label: &'static str,
@@ -433,6 +497,8 @@ mod tests {
             depth,
             span_id,
             track: 0,
+            heap_live: 0,
+            alloc_bytes: 0,
         }
     }
 
@@ -513,8 +579,7 @@ mod tests {
         assert_eq!(t.dropped, 2);
         assert_eq!(t.events[0].span_id, 1, "oldest events go first");
         // The evicted pair is gone from the export; what's left balances.
-        let chrome = t.chrome_json();
-        let events = chrome["traceEvents"].as_array().unwrap();
+        let events = span_records(&t.chrome_json());
         assert_eq!(events.len(), 4);
     }
 
@@ -533,7 +598,7 @@ mod tests {
             capacity: 4,
         };
         let chrome = t.chrome_json();
-        let events = chrome["traceEvents"].as_array().unwrap();
+        let events = span_records(&chrome);
         assert_eq!(events.len(), 2);
         assert_eq!(events[0]["ph"], "B");
         assert_eq!(events[1]["ph"], "E");
@@ -551,11 +616,11 @@ mod tests {
         r.end("fastdtw_level", c);
         r.end("fastdtw", a);
         let chrome = r.finish().chrome_json();
-        let events = chrome["traceEvents"].as_array().unwrap();
+        let events = span_records(&chrome);
         // Replay the B/E stream against a stack: it must never underflow
         // and must end empty.
         let mut stack: Vec<String> = Vec::new();
-        for e in events {
+        for e in &events {
             match e["ph"].as_str().unwrap() {
                 "B" => stack.push(e["name"].as_str().unwrap().to_string()),
                 "E" => {
@@ -588,7 +653,7 @@ mod tests {
         recorder_start(16);
         assert!(recorder_active());
         if let Some(id) = recorder_begin("tl_span") {
-            recorder_end("tl_span", Some(id));
+            recorder_end("tl_span", Some(id), 0);
         }
         let t = recorder_stop().expect("was active");
         assert!(!recorder_active());

@@ -37,6 +37,10 @@ pub struct SpanStat {
     pub p99_s: f64,
     /// Longest single guard, exact.
     pub max_s: f64,
+    /// Heap bytes allocated inside those guards on the recording
+    /// thread; 0 unless built with `alloc-telemetry`
+    /// (see [`heap_telemetry_enabled`](crate::heap_telemetry_enabled)).
+    pub alloc_bytes: u64,
 }
 
 crate::impl_to_json!(SpanStat {
@@ -45,7 +49,8 @@ crate::impl_to_json!(SpanStat {
     total_s,
     p50_s,
     p99_s,
-    max_s
+    max_s,
+    alloc_bytes
 });
 
 /// Whether span timing is compiled in.
@@ -64,6 +69,7 @@ mod enabled {
         label: &'static str,
         count: u64,
         total_s: f64,
+        alloc_bytes: u64,
         hist: LatencyHist,
     }
 
@@ -77,6 +83,9 @@ mod enabled {
         label: &'static str,
         start: Instant,
         recorder_id: Option<u64>,
+        // Unit-sized unless `alloc-telemetry` is on; spans nest LIFO,
+        // which is exactly the discipline AllocScope requires.
+        alloc: Option<crate::alloc::AllocScope>,
     }
 
     /// Opens a timing span labelled `label`.
@@ -86,13 +95,23 @@ mod enabled {
             label,
             start: Instant::now(),
             recorder_id,
+            alloc: Some(crate::alloc::AllocScope::begin()),
         }
     }
 
     impl Drop for SpanGuard {
         fn drop(&mut self) {
             let dt = self.start.elapsed().as_secs_f64();
-            crate::recorder::recorder_end(self.label, self.recorder_id.take());
+            let heap = self
+                .alloc
+                .take()
+                .map(crate::alloc::AllocScope::end)
+                .unwrap_or_default();
+            crate::recorder::recorder_end(
+                self.label,
+                self.recorder_id.take(),
+                heap.bytes_allocated,
+            );
             TABLE.with(|t| {
                 let mut t = t.borrow_mut();
                 let entry = match t.iter_mut().find(|e| e.label == self.label) {
@@ -102,6 +121,7 @@ mod enabled {
                             label: self.label,
                             count: 0,
                             total_s: 0.0,
+                            alloc_bytes: 0,
                             hist: LatencyHist::new(),
                         });
                         t.last_mut().expect("just pushed")
@@ -109,6 +129,7 @@ mod enabled {
                 };
                 entry.count += 1;
                 entry.total_s += dt;
+                entry.alloc_bytes += heap.bytes_allocated;
                 entry.hist.record_s(dt);
             });
         }
@@ -126,6 +147,7 @@ mod enabled {
                     p50_s: e.hist.percentile_s(0.50),
                     p99_s: e.hist.percentile_s(0.99),
                     max_s: e.hist.max_s(),
+                    alloc_bytes: e.alloc_bytes,
                 })
                 .collect()
         })
@@ -155,6 +177,7 @@ mod enabled {
                     Some(dst) => {
                         dst.count += e.count;
                         dst.total_s += e.total_s;
+                        dst.alloc_bytes += e.alloc_bytes;
                         dst.hist.merge(&e.hist);
                     }
                     None => t.push(e),

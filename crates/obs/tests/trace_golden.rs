@@ -5,13 +5,25 @@
 //! empty but still valid trace file.
 
 use tsdtw_obs::{
-    recorder_start, recorder_stop, span, spans_enabled, take_spans, Json, Recorder, Trace,
-    TraceEvent, TracePhase,
+    heap_telemetry_enabled, recorder_start, recorder_stop, span, spans_enabled, take_spans, Json,
+    Recorder, Trace, TraceEvent, TracePhase,
 };
 
+/// The `ph: "B"` / `"E"` span records of a `traceEvents` stream, with
+/// the `ph: "C"` heap counter samples (emitted under `alloc-telemetry`)
+/// filtered out.
+fn span_events(events: &[Json]) -> Vec<Json> {
+    events
+        .iter()
+        .filter(|e| e["ph"].as_str() != Some("C"))
+        .cloned()
+        .collect()
+}
+
 /// Replays a Chrome `traceEvents` stream against a stack, asserting
-/// strict begin/end balance and label-matched nesting. Returns the
-/// maximum nesting depth observed.
+/// strict begin/end balance and label-matched nesting. Counter records
+/// (`ph: "C"`) only need monotone timestamps. Returns the maximum
+/// nesting depth observed.
 fn assert_balanced(events: &[Json]) -> usize {
     let mut stack: Vec<String> = Vec::new();
     let mut max_depth = 0;
@@ -28,6 +40,13 @@ fn assert_balanced(events: &[Json]) -> usize {
             "E" => {
                 let open = stack.pop().expect("E without matching B");
                 assert_eq!(open, e["name"].as_str().unwrap(), "mismatched nesting");
+            }
+            "C" => {
+                assert_eq!(e["name"], "heap_live_bytes");
+                assert!(
+                    heap_telemetry_enabled(),
+                    "counter records only appear under alloc-telemetry"
+                );
             }
             other => panic!("unexpected phase {other:?}"),
         }
@@ -55,13 +74,21 @@ fn chrome_trace_from_real_spans_parses_and_nests() {
     let events = parsed["traceEvents"].as_array().expect("traceEvents array");
 
     if spans_enabled() {
-        assert_eq!(events.len(), 8, "4 spans = 8 events");
+        let spans_only = span_events(events);
+        assert_eq!(spans_only.len(), 8, "4 spans = 8 events");
         let depth = assert_balanced(events);
         assert_eq!(depth, 2, "inner spans nest under the outer span");
         assert_eq!(
-            events[0]["name"], "golden_outer",
+            spans_only[0]["name"], "golden_outer",
             "outermost span begins first"
         );
+        if heap_telemetry_enabled() {
+            assert_eq!(
+                events.len(),
+                16,
+                "each span record carries a heap counter sample"
+            );
+        }
     } else {
         assert!(events.is_empty(), "no probes compiled in");
     }
@@ -90,7 +117,11 @@ fn ring_buffer_drops_oldest_first_and_export_stays_balanced() {
 
     let parsed = Json::parse(&trace.chrome_json().to_string_compact()).unwrap();
     let events = parsed["traceEvents"].as_array().unwrap();
-    assert_eq!(events.len(), 8, "all retained pairs are balanced");
+    assert_eq!(
+        span_events(events).len(),
+        8,
+        "all retained pairs are balanced"
+    );
     assert_balanced(events);
     assert_eq!(parsed["otherData"]["dropped_events"], 12u64);
 }
@@ -109,6 +140,8 @@ fn export_filters_orphans_created_by_wraparound() {
                 depth: 1,
                 span_id: 5,
                 track: 0,
+                heap_live: 0,
+                alloc_bytes: 0,
             },
             TraceEvent {
                 label: "child",
@@ -117,6 +150,8 @@ fn export_filters_orphans_created_by_wraparound() {
                 depth: 1,
                 span_id: 5,
                 track: 0,
+                heap_live: 0,
+                alloc_bytes: 0,
             },
             TraceEvent {
                 label: "parent",
@@ -125,6 +160,8 @@ fn export_filters_orphans_created_by_wraparound() {
                 depth: 0,
                 span_id: 4,
                 track: 0,
+                heap_live: 0,
+                alloc_bytes: 0,
             },
         ],
         dropped: 1,
@@ -132,9 +169,10 @@ fn export_filters_orphans_created_by_wraparound() {
     };
     let parsed = Json::parse(&t.chrome_json().to_string_compact()).unwrap();
     let events = parsed["traceEvents"].as_array().unwrap();
-    assert_eq!(events.len(), 2);
+    let spans_only = span_events(events);
+    assert_eq!(spans_only.len(), 2);
     assert_balanced(events);
-    assert_eq!(events[0]["name"], "child");
+    assert_eq!(spans_only[0]["name"], "child");
 
     // The summary sees the same balanced view.
     let rows = t.summary();

@@ -1,0 +1,364 @@
+//! Allocation discipline, proven by the counting allocator (DESIGN.md §12).
+//!
+//! These tests exercise the steady-state loops the repeated-measurement
+//! workloads live in — buffered `cDTW`, the 1-NN scan body, the UCR-style
+//! subsequence candidate loop — and assert with allocator-observed byte
+//! counts that, once warmed, they never touch the heap again. Introducing
+//! a per-call allocation anywhere on those paths (a fresh window, a
+//! temporary `Vec`, a format call) fails this suite immediately.
+//!
+//! Measurement only happens with `--features alloc-telemetry`; without it
+//! every probe reads zero and the tests degrade to functional smoke tests
+//! of the same loops. The strict zero assertions additionally require the
+//! `obs` spans layer to be quiet: each armed span appends a latency sample
+//! to thread-local storage whose amortized `Vec` growth is real allocator
+//! traffic, but not traffic of the algorithm under test. The CI memory
+//! gate therefore runs this suite with `alloc-telemetry` and *without*
+//! `obs` — the configuration in which the zero claims are provable.
+
+use tsdtw::core::cost::SquaredCost;
+use tsdtw::core::dtw::banded::{cdtw_distance_metered_with_buf, BandedDtw};
+use tsdtw::core::dtw::early_abandon::{cdtw_distance_ea_metered_buf_kernel, EaOutcome};
+use tsdtw::core::dtw::windowed::DtwBuffer;
+use tsdtw::core::fastdtw::fastdtw_metered;
+use tsdtw::core::lower_bounds::keogh::{lb_keogh_with_contrib, suffix_sums_into};
+use tsdtw::core::norm::znorm;
+use tsdtw::core::Envelope;
+use tsdtw::datasets::ecg::beats;
+use tsdtw::datasets::random_walk::random_walks;
+use tsdtw::mining::{DistanceSpec, LabeledView};
+use tsdtw_obs::{heap_telemetry_enabled, spans_enabled, AllocScope, WorkMeter};
+
+/// Whether the zero-allocation assertions are provable in this build:
+/// allocator armed, spans quiet (see module docs).
+fn strict() -> bool {
+    heap_telemetry_enabled() && !spans_enabled()
+}
+
+/// The analytic DP high-water mark the meters derive never exceeds the
+/// bytes the allocator actually handed out at peak: the accounting is a
+/// floor on reality, not an estimate that can drift above it.
+#[test]
+fn dp_peak_bytes_is_bounded_by_allocator_peak() {
+    let pool = beats(2, 512, 0xD15C).expect("generator");
+    let band = 52;
+
+    let mut meter = WorkMeter::new();
+    let probe = AllocScope::begin();
+    let mut eval = BandedDtw::new(512, 512, band).expect("valid shape");
+    eval.distance_metered(&pool[0], &pool[1], SquaredCost, &mut meter)
+        .expect("valid inputs");
+    let cold = probe.end();
+    assert!(meter.dp_peak_bytes > 0);
+    if heap_telemetry_enabled() {
+        assert!(
+            meter.dp_peak_bytes <= cold.peak_bytes,
+            "metered DP peak {} exceeds allocator-observed peak {}",
+            meter.dp_peak_bytes,
+            cold.peak_bytes
+        );
+    }
+
+    let mut meter = WorkMeter::new();
+    let probe = AllocScope::begin();
+    fastdtw_metered(&pool[0], &pool[1], 1, SquaredCost, &mut meter).expect("valid inputs");
+    let fast = probe.end();
+    assert!(meter.dp_peak_bytes > 0);
+    if heap_telemetry_enabled() {
+        assert!(
+            meter.dp_peak_bytes <= fast.peak_bytes,
+            "FastDTW metered DP peak {} exceeds allocator-observed peak {}",
+            meter.dp_peak_bytes,
+            fast.peak_bytes
+        );
+    }
+}
+
+/// A warmed `BandedDtw` evaluator (owned window + scratch rows) makes
+/// zero allocations per call, across many calls and differing inputs of
+/// the same shape.
+#[test]
+fn warmed_banded_evaluator_never_allocates() {
+    let n = 256;
+    let pool = beats(6, n, 0xD15C + 1).expect("generator");
+    let mut eval = BandedDtw::new(n, n, 26).expect("valid shape");
+
+    // Warm-up: first call sizes the rows.
+    let d0 = eval
+        .distance(&pool[0], &pool[1], SquaredCost)
+        .expect("valid inputs");
+
+    let probe = AllocScope::begin();
+    let mut acc = 0u64;
+    for x in &pool {
+        for y in &pool {
+            let d = eval.distance(x, y, SquaredCost).expect("valid inputs");
+            acc += u64::from(d.is_finite());
+        }
+    }
+    let d1 = eval
+        .distance(&pool[0], &pool[1], SquaredCost)
+        .expect("valid inputs");
+    let warm = probe.end();
+
+    assert_eq!(acc, (pool.len() * pool.len()) as u64);
+    assert_eq!(d0.to_bits(), d1.to_bits(), "warm call changed the result");
+    if strict() {
+        assert!(
+            warm.is_zero(),
+            "warmed BandedDtw loop touched the heap: {warm:?}"
+        );
+    }
+}
+
+/// The buffered free-function path (`cdtw_distance_metered_with_buf` with
+/// a hoisted [`DtwBuffer`]) is allocation-free once the buffer has seen
+/// the shape: the memoized window plus capacity-retaining rows cover
+/// every subsequent call.
+#[test]
+fn warmed_buffered_cdtw_never_allocates() {
+    let n = 200;
+    let band = 20;
+    let pool = random_walks(5, n, 0xD15C + 2).expect("generator");
+    let mut buf = DtwBuffer::new();
+    let mut meter = WorkMeter::new();
+
+    // Warm-up builds the window and grows the rows through `buf`.
+    cdtw_distance_metered_with_buf(&pool[0], &pool[1], band, SquaredCost, &mut buf, &mut meter)
+        .expect("valid inputs");
+    let warmed_capacity = buf.capacity_bytes();
+    assert!(warmed_capacity > 0, "warm-up must leave scratch behind");
+
+    let probe = AllocScope::begin();
+    for x in &pool {
+        for y in &pool {
+            cdtw_distance_metered_with_buf(x, y, band, SquaredCost, &mut buf, &mut meter)
+                .expect("valid inputs");
+        }
+    }
+    let warm = probe.end();
+
+    assert_eq!(
+        buf.capacity_bytes(),
+        warmed_capacity,
+        "steady-state calls must not grow the scratch rows"
+    );
+    if strict() {
+        assert!(
+            warm.is_zero(),
+            "warmed buffered cDTW loop touched the heap: {warm:?}"
+        );
+    }
+}
+
+/// The 1-NN scan body — `DistanceSpec::eval_metered_buf` over a training
+/// set with one hoisted buffer, exactly the loop `nn_brute_force` runs —
+/// allocates nothing after its first comparison.
+#[test]
+fn warmed_knn_scan_body_never_allocates() {
+    let n = 128;
+    let series = beats(9, n, 0xD15C + 3).expect("generator");
+    let labels: Vec<usize> = (0..series.len()).map(|i| i % 2).collect();
+    let train = LabeledView::new(&series[1..], &labels[1..]).expect("valid view");
+    let query = &series[0];
+    let spec = DistanceSpec::CdtwBand(13);
+
+    let mut meter = WorkMeter::new();
+    let mut buf = DtwBuffer::new();
+    // Warm-up: one comparison sizes the scratch for the whole scan.
+    spec.eval_metered_buf(query, &train.series[0], &mut meter, &mut buf)
+        .expect("valid inputs");
+
+    let probe = AllocScope::begin();
+    let mut best = f64::INFINITY;
+    let mut best_idx = usize::MAX;
+    for (i, s) in train.series.iter().enumerate() {
+        let d = spec
+            .eval_metered_buf(query, s, &mut meter, &mut buf)
+            .expect("valid inputs");
+        if d < best {
+            best = d;
+            best_idx = i;
+        }
+    }
+    let warm = probe.end();
+
+    assert!(best.is_finite());
+    assert!(best_idx != usize::MAX);
+    if strict() {
+        assert!(
+            warm.is_zero(),
+            "warmed 1-NN scan body touched the heap: {warm:?}"
+        );
+    }
+}
+
+/// The subsequence-search candidate loop — just-in-time z-normalization,
+/// LB_Keogh contributions, suffix-summed cumulative bound, and
+/// early-abandoning DTW, all through hoisted buffers — runs candidate
+/// after candidate without a single allocation once the first candidate
+/// has sized everything.
+#[test]
+fn warmed_subsequence_candidate_loop_never_allocates() {
+    let m = 128;
+    let band = 13;
+    let haystack = random_walks(1, 1024, 0xD15C + 4)
+        .expect("generator")
+        .remove(0);
+    let query: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
+
+    let q = znorm(&query).expect("non-constant query");
+    let env = Envelope::new(&q, band).expect("valid envelope");
+    let kernel = tsdtw::core::default_kernel();
+
+    let mut window = vec![0.0; m];
+    let mut contrib: Vec<f64> = Vec::new();
+    let mut cb: Vec<f64> = Vec::new();
+    let mut dtw_buf = DtwBuffer::new();
+    let mut meter = WorkMeter::new();
+
+    let mut bsf = f64::INFINITY;
+    let mut exact = 0usize;
+    let mut abandoned = 0usize;
+
+    let run_candidate = |pos: usize,
+                         bsf: &mut f64,
+                         window: &mut Vec<f64>,
+                         contrib: &mut Vec<f64>,
+                         cb: &mut Vec<f64>,
+                         dtw_buf: &mut DtwBuffer,
+                         meter: &mut WorkMeter|
+     -> EaOutcome {
+        let slice = &haystack[pos..pos + m];
+        let mean = slice.iter().sum::<f64>() / m as f64;
+        let var = (slice.iter().map(|v| v * v).sum::<f64>() / m as f64 - mean * mean).max(0.0);
+        let inv = if var.sqrt() > f64::EPSILON {
+            1.0 / var.sqrt()
+        } else {
+            0.0
+        };
+        for (w, &v) in window.iter_mut().zip(slice) {
+            *w = (v - mean) * inv;
+        }
+        let _ = lb_keogh_with_contrib(window, &env, contrib).expect("valid inputs");
+        suffix_sums_into(contrib, cb);
+        let out = cdtw_distance_ea_metered_buf_kernel(
+            &q,
+            window,
+            band,
+            *bsf,
+            Some(cb),
+            SquaredCost,
+            dtw_buf,
+            meter,
+            kernel,
+        )
+        .expect("valid inputs");
+        if let EaOutcome::Exact(d) = out {
+            if d < *bsf {
+                *bsf = d;
+            }
+        }
+        out
+    };
+
+    // Warm-up candidate sizes window cache, rows, contrib and cb.
+    run_candidate(
+        0,
+        &mut bsf,
+        &mut window,
+        &mut contrib,
+        &mut cb,
+        &mut dtw_buf,
+        &mut meter,
+    );
+
+    let probe = AllocScope::begin();
+    for pos in 1..=(haystack.len() - m) {
+        match run_candidate(
+            pos,
+            &mut bsf,
+            &mut window,
+            &mut contrib,
+            &mut cb,
+            &mut dtw_buf,
+            &mut meter,
+        ) {
+            EaOutcome::Exact(_) => exact += 1,
+            EaOutcome::Abandoned { .. } => abandoned += 1,
+        }
+    }
+    let warm = probe.end();
+
+    assert!(
+        bsf.is_finite(),
+        "search must complete at least one candidate"
+    );
+    assert!(exact >= 1);
+    // Early abandoning must actually fire on a random-walk haystack.
+    assert!(
+        abandoned >= 1,
+        "no candidate abandoned — threshold plumbing broken?"
+    );
+    if strict() {
+        assert!(
+            warm.is_zero(),
+            "warmed subsequence candidate loop touched the heap: {warm:?}"
+        );
+    }
+}
+
+/// The paper's memory claim, end to end: FastDTW's per-call transient
+/// peak grows with its level count, while banded `cDTW`'s footprint stays
+/// a band-window plus two rows — O(N) with a small constant — so the
+/// ratio widens as series grow.
+#[test]
+fn fastdtw_peak_grows_with_levels_while_cdtw_stays_linear() {
+    if !heap_telemetry_enabled() {
+        return; // nothing measurable without the counting allocator
+    }
+    let sizes = [512usize, 1024, 2048, 4096];
+    let mut cdtw_peaks = Vec::new();
+    let mut fast_peaks = Vec::new();
+    let mut levels = Vec::new();
+    for (k, &n) in sizes.iter().enumerate() {
+        let pool = random_walks(2, n, 0xD15C + 5 + k as u64).expect("generator");
+        let band = n / 10;
+
+        let probe = AllocScope::begin();
+        let mut eval = BandedDtw::new(n, n, band).expect("valid shape");
+        eval.distance(&pool[0], &pool[1], SquaredCost)
+            .expect("valid inputs");
+        cdtw_peaks.push(probe.end().peak_bytes);
+
+        let mut meter = WorkMeter::new();
+        let probe = AllocScope::begin();
+        let (_, _, stats) =
+            fastdtw_metered(&pool[0], &pool[1], 1, SquaredCost, &mut meter).expect("valid inputs");
+        fast_peaks.push(probe.end().peak_bytes);
+        levels.push(stats.levels);
+    }
+
+    for i in 0..sizes.len() {
+        assert!(
+            fast_peaks[i] > cdtw_peaks[i],
+            "N={}: FastDTW peak {} not above cDTW peak {}",
+            sizes[i],
+            fast_peaks[i],
+            cdtw_peaks[i]
+        );
+    }
+    for i in 1..sizes.len() {
+        // Doubling N adds a resolution level and grows the pyramid.
+        assert!(levels[i] > levels[i - 1]);
+        assert!(fast_peaks[i] > fast_peaks[i - 1]);
+        // cDTW's footprint is O(N): doubling N at a fixed band percentage
+        // can at most roughly double it (slack for allocator rounding).
+        assert!(
+            cdtw_peaks[i] <= cdtw_peaks[i - 1] * 3,
+            "cDTW peak jumped superlinearly: {} -> {}",
+            cdtw_peaks[i - 1],
+            cdtw_peaks[i]
+        );
+    }
+}
