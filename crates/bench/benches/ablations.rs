@@ -13,7 +13,10 @@
 //!   overhead;
 //! * the counting allocator armed vs per-call [`AllocScope`] probes vs
 //!   cold construction (the heap-telemetry layer's < 5 % budget on the
-//!   windowed-DTW hot path).
+//!   windowed-DTW hot path);
+//! * the metrics registry: per-request `record_meter` + latency
+//!   observation vs the bare metered kernel, with and without the
+//!   background sampler (the same < 5 % observability budget).
 //!
 //! [`AllocScope`]: tsdtw_obs::AllocScope
 
@@ -352,6 +355,67 @@ fn alloc_telemetry_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn metrics_overhead(c: &mut Criterion) {
+    // The metrics registry's budget mirrors the other observability
+    // layers: < 5 % on a real workload. The registry is touched once
+    // per *request* (one `record_meter` + one latency observation), not
+    // per cell, so the price must vanish next to any non-trivial DP.
+    // Three states:
+    //
+    // * `baseline` — the metered banded kernel, registry untouched;
+    // * `registry_per_call` — the full `--metrics` discipline per call:
+    //   fold the meter into a registry and record the request latency;
+    // * `registry_and_sampler` — the same with a background
+    //   [`MetricsSampler`] snapshotting the process-wide registry at a
+    //   10 ms cadence, the flight-recorder counter-track configuration.
+    use std::time::Instant;
+    use tsdtw_core::dtw::banded::cdtw_distance_metered;
+    use tsdtw_core::obs::WorkMeter;
+    use tsdtw_obs::{metrics, MetricsRegistry, MetricsSampler};
+    let x = random_walk(1024, 81).unwrap();
+    let y = random_walk(1024, 82).unwrap();
+    let band = 50;
+    let mut g = c.benchmark_group("ablation_metrics");
+    g.sample_size(30);
+    g.bench_function("baseline", |b| {
+        let mut meter = WorkMeter::new();
+        b.iter(|| black_box(cdtw_distance_metered(&x, &y, band, SquaredCost, &mut meter).unwrap()))
+    });
+    g.bench_function("registry_per_call", |b| {
+        let mut reg = MetricsRegistry::new();
+        b.iter(|| {
+            let mut meter = WorkMeter::new();
+            let t0 = Instant::now();
+            let d = cdtw_distance_metered(&x, &y, band, SquaredCost, &mut meter).unwrap();
+            reg.record_meter(&meter);
+            reg.observe_s(
+                "tsdtw_request_seconds",
+                "Request latency.",
+                t0.elapsed().as_secs_f64(),
+            );
+            black_box(d)
+        })
+    });
+    g.bench_function("registry_and_sampler", |b| {
+        let sampler = MetricsSampler::start(std::time::Duration::from_millis(10));
+        b.iter(|| {
+            let mut meter = WorkMeter::new();
+            let t0 = Instant::now();
+            let d = cdtw_distance_metered(&x, &y, band, SquaredCost, &mut meter).unwrap();
+            metrics::record_meter(&meter);
+            metrics::observe_s(
+                "tsdtw_request_seconds",
+                "Request latency.",
+                t0.elapsed().as_secs_f64(),
+            );
+            black_box(d)
+        });
+        let _ = sampler.stop();
+        metrics::reset();
+    });
+    g.finish();
+}
+
 fn fastdtw_reference_vs_tuned(c: &mut Criterion) {
     // The decisive ablation for this reproduction: the canonical
     // implementation structure (cell-list window + hash-map DP) versus the
@@ -388,6 +452,7 @@ criterion_group!(
     kernel_tiers,
     meter_overhead,
     recorder_overhead,
+    metrics_overhead,
     alloc_telemetry_overhead,
     constraint_shapes
 );

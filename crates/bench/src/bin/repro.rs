@@ -26,12 +26,15 @@
 //!
 //! Every run additionally emits one perf-trajectory snapshot per
 //! experiment (`BENCH_<id>.json`, see `tsdtw_bench::snapshot`) which
-//! `tsdtw report diff` compares against a committed baseline.
+//! `tsdtw report diff` compares against a committed baseline, and
+//! appends the same record to the append-only ledger
+//! `<out>/history/<id>.jsonl` (see `tsdtw_bench::history`) that
+//! `tsdtw report trend` analyzes for longitudinal drift.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tsdtw_bench::experiments::{self, Runner};
-use tsdtw_bench::{snapshot, Scale};
+use tsdtw_bench::{history, snapshot, Scale};
 use tsdtw_mining::ParConfig;
 use tsdtw_obs::{recorder_start, recorder_stop, take_spans, DEFAULT_TRACE_CAPACITY};
 
@@ -186,6 +189,9 @@ fn main() -> ExitCode {
         );
         if let Err(e) = snapshot::write(&out, id, &snap) {
             eprintln!("warning: could not write BENCH_{id}.json: {e}");
+        }
+        if let Err(e) = history::append(&out, id, &snap) {
+            eprintln!("warning: could not append {id} history: {e}");
         }
         if want_trace {
             if let Some(trace) = recorder_stop() {

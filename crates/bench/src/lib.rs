@@ -15,8 +15,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod history;
 pub mod report;
 pub mod snapshot;
 pub mod timing;
+pub mod trend;
 
 pub use report::{Report, Scale};

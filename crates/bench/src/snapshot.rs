@@ -6,7 +6,8 @@
 //!
 //! ```json
 //! {
-//!   "schema": 2,
+//!   "schema": 3,
+//!   "hash": "9f86d081884c7d65",
 //!   "experiment": "cells",
 //!   "title": "…",
 //!   "git_rev": "abc1234",
@@ -49,8 +50,10 @@ use tsdtw_obs::{json_obj, Json, SpanStat};
 
 /// Version tag every snapshot carries; [`diff`] refuses to compare
 /// across versions. Version 2 added the `memory` section and the
-/// per-kernel `alloc_bytes` column.
-pub const SCHEMA_VERSION: i64 = 2;
+/// per-kernel `alloc_bytes` column; version 3 added the `hash` field
+/// (content fingerprint, see [`content_hash`]) that the perf-trajectory
+/// history ledger keys records by.
+pub const SCHEMA_VERSION: i64 = 3;
 
 /// Relative timing slowdown (percent) beyond which the diff emits an
 /// advisory warning. Deliberately loose: shared CI runners jitter.
@@ -75,6 +78,24 @@ pub fn env_fingerprint(n_threads: usize) -> Json {
             .or_else(|_| std::env::var("COMPUTERNAME"))
             .unwrap_or_else(|_| "unknown".into()),
     }
+}
+
+/// Content fingerprint of a snapshot: FNV-1a (64-bit) over the compact
+/// serialization of every field *except* `hash` itself, rendered as 16
+/// hex digits. The history ledger uses it to identify records — two
+/// runs that measured exactly the same thing carry the same hash, and a
+/// hand-edited record no longer matches its own fingerprint.
+pub fn content_hash(snapshot: &Json) -> String {
+    let mut canonical = snapshot.clone();
+    if let Json::Obj(fields) = &mut canonical {
+        fields.retain(|(k, _)| k != "hash");
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.to_string_compact().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
 }
 
 /// The current git revision (short form), `"unknown"` outside a
@@ -122,8 +143,9 @@ pub fn capture(
             },
         );
     }
-    json_obj! {
+    let mut doc = json_obj! {
         "schema" => SCHEMA_VERSION,
+        "hash" => "",
         "experiment" => experiment,
         "title" => title,
         "git_rev" => git_rev(),
@@ -140,7 +162,10 @@ pub fn capture(
             stub
         }),
         "kernels" => kernels,
-    }
+    };
+    let hash = content_hash(&doc);
+    doc.set("hash", hash);
+    doc
 }
 
 /// Writes a snapshot to `<dir>/BENCH_<experiment>.json` atomically
@@ -195,8 +220,10 @@ impl Diff {
 }
 
 /// Collects every integer-counter leaf under `value` as
-/// `(dotted.path, count)`, descending arrays by index.
-fn counter_leaves(value: &Json, prefix: &str, out: &mut Vec<(String, i64)>) {
+/// `(dotted.path, count)`, descending arrays by index. The trend
+/// detector walks history records with the same traversal, so the two
+/// gates always agree on what a "counter" is.
+pub(crate) fn counter_leaves(value: &Json, prefix: &str, out: &mut Vec<(String, i64)>) {
     match value {
         Json::Int(i) => out.push((prefix.to_string(), *i)),
         Json::Obj(entries) => {
@@ -220,7 +247,7 @@ fn counter_leaves(value: &Json, prefix: &str, out: &mut Vec<(String, i64)>) {
     }
 }
 
-fn pct_change(base: f64, cur: f64) -> f64 {
+pub(crate) fn pct_change(base: f64, cur: f64) -> f64 {
     if base == 0.0 {
         if cur == 0.0 {
             0.0
@@ -302,10 +329,29 @@ pub fn diff(baseline: &Json, current: &Json, fail_pct: f64) -> Diff {
     let schema_b = baseline["schema"].as_i64();
     let schema_c = current["schema"].as_i64();
     if schema_b != Some(SCHEMA_VERSION) || schema_c != Some(SCHEMA_VERSION) {
-        d.regressions.push(format!(
-            "schema mismatch: baseline {schema_b:?}, current {schema_c:?}, tool speaks {SCHEMA_VERSION}"
+        let describe = |v: Option<i64>| match v {
+            None => "no schema tag (not a snapshot, or pre-v1)".to_string(),
+            Some(v) if v < SCHEMA_VERSION => format!("schema v{v} (older than this tool)"),
+            Some(v) if v > SCHEMA_VERSION => format!("schema v{v} (newer than this tool)"),
+            Some(v) => format!("schema v{v}"),
+        };
+        d.lines.push(format!(
+            "cannot compare: this tool speaks snapshot schema v{SCHEMA_VERSION}"
         ));
-        d.lines.push(d.regressions[0].clone());
+        d.lines.push(format!("  baseline: {}", describe(schema_b)));
+        d.lines.push(format!("  current:  {}", describe(schema_c)));
+        if schema_b.is_some_and(|v| v < SCHEMA_VERSION) {
+            d.lines.push(
+                "  hint: regenerate the baseline with `repro` from this checkout \
+                 (see EXPERIMENTS.md, baseline regeneration)"
+                    .to_string(),
+            );
+        }
+        d.regressions.push(format!(
+            "schema mismatch: baseline has {}, current has {}, tool speaks v{SCHEMA_VERSION}",
+            describe(schema_b),
+            describe(schema_c)
+        ));
         return d;
     }
     let exp_b = baseline["experiment"].as_str().unwrap_or("?");
@@ -503,6 +549,58 @@ mod tests {
         let d = diff(&bad, &snap(1, 1.0), 0.0);
         assert_eq!(d.regressions.len(), 1);
         assert!(d.regressions[0].contains("schema"));
+        // Both sides' versions are named, so the failure is actionable.
+        assert!(d.regressions[0].contains("v999"), "{}", d.regressions[0]);
+        assert!(
+            d.regressions[0].contains(&format!("v{SCHEMA_VERSION}")),
+            "{}",
+            d.regressions[0]
+        );
+        assert!(
+            d.render().contains("newer than this tool"),
+            "{}",
+            d.render()
+        );
+    }
+
+    #[test]
+    fn pre_v2_and_untagged_snapshots_fail_with_versions_named() {
+        // An old baseline (v2, before the hash field): the message says
+        // which side is stale and points at regeneration.
+        let mut old = snap(1, 1.0);
+        old.set("schema", 2);
+        let d = diff(&old, &snap(1, 1.0), 0.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(d.regressions[0].contains("v2"), "{}", d.regressions[0]);
+        assert!(
+            d.render().contains("older than this tool"),
+            "{}",
+            d.render()
+        );
+        assert!(d.render().contains("regenerate"), "{}", d.render());
+        // Not a snapshot at all: no parse error, a clear message.
+        let not_snap = json_obj! { "unrelated" => true };
+        let d = diff(&not_snap, &snap(1, 1.0), 0.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert!(
+            d.regressions[0].contains("no schema tag"),
+            "{}",
+            d.regressions[0]
+        );
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_ignores_itself() {
+        let a = snap(1000, 1.0);
+        let h1 = content_hash(&a);
+        assert_eq!(h1.len(), 16);
+        assert_eq!(h1, content_hash(&a), "pure function of content");
+        // Stamping the hash into the document doesn't change the hash.
+        let mut stamped = a.clone();
+        stamped.set("hash", h1.clone());
+        assert_eq!(content_hash(&stamped), h1);
+        // Any content change changes it.
+        assert_ne!(content_hash(&snap(1001, 1.0)), h1);
     }
 
     #[test]
@@ -597,6 +695,9 @@ mod tests {
         let work = json_obj! { "cells" => 7 };
         let s = capture("cells", "title", 1.5, Some(&work), None, &spans, 4);
         assert_eq!(s["schema"], SCHEMA_VERSION);
+        // v3: the stamped hash matches a recomputation over the content.
+        let stamped = s["hash"].as_str().expect("hash field").to_string();
+        assert_eq!(stamped, content_hash(&s));
         assert_eq!(s["experiment"], "cells");
         assert_eq!(s["work"]["cells"], 7);
         assert_eq!(s["kernels"]["cdtw"]["count"], 3u64);

@@ -17,6 +17,7 @@ use tsdtw_obs::{NoMeter, WorkMeter};
 pub const HELP: &str = "\
 tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure M]
                [--threads N] [--stats] [--stats-json FILE] [--trace FILE]
+               [--metrics FILE]
   M: cdtw (default) | dtw | euclidean | fastdtw-ref (with --radius R)
   --w auto learns the window by LOOCV on the training set (grid 0..--max-w, default 20)
   --threads N    worker threads for the evaluation (default 1); results and
@@ -25,6 +26,8 @@ tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure 
   --stats-json   also dump the counters as JSON to FILE (implies --stats)
   --trace        record a flight-recorder trace of the evaluation to FILE
                  (Chrome Trace Format; needs a build with --features obs)
+  --metrics      write the run's work counters and request latency to FILE
+                 in the Prometheus text exposition format
   files: UCR archive format (label, then values; tab- or comma-separated)";
 
 /// Runs the command, returning the printable result.
@@ -41,6 +44,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "threads",
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
+            stats::METRICS_FLAG,
         ],
         &[stats::STATS_SWITCH],
     )?;
@@ -84,19 +88,28 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
 
     let json_path = args.optional(stats::STATS_JSON_FLAG);
     let trace_path = args.optional(stats::TRACE_FLAG);
+    let metrics_path = args.optional(stats::METRICS_FLAG);
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
+    let want_meter = want_stats || metrics_path.is_some();
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
+    let t0 = std::time::Instant::now();
     let (err, heap) = if want_stats {
         let probe = tsdtw_obs::AllocScope::begin();
         let err = evaluate_split_par(&train_view, &test_view, spec, &par, &mut meter)?;
         (err, Some(probe.end()))
+    } else if want_meter {
+        (
+            evaluate_split_par(&train_view, &test_view, spec, &par, &mut meter)?,
+            None,
+        )
     } else {
         (
             evaluate_split_par(&train_view, &test_view, spec, &par, &mut NoMeter)?,
             None,
         )
     };
+    let wall_s = t0.elapsed().as_secs_f64();
     out.push_str(&format!(
         "{} train / {} test exemplars, length {}, {} classes\n",
         train.len(),
@@ -113,6 +126,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     if want_stats {
         stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }
+    stats::metrics_finish(metrics_path, &meter, wall_s, &mut out)?;
     Ok(out)
 }
 
@@ -212,6 +226,32 @@ mod tests {
         assert!(out.contains("DP cells evaluated"), "{out}");
         let dumped = std::fs::read_to_string(&json).unwrap();
         assert!(dumped.contains("\"window_cells\""), "{dumped}");
+    }
+
+    #[test]
+    fn metrics_flag_meters_without_stats_output() {
+        let (train, test) = setup();
+        let prom = std::env::temp_dir()
+            .join("tsdtw-classify-test")
+            .join("metrics.prom");
+        let out = run(&raw(&[
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            test.to_str().unwrap(),
+            "--w",
+            "5",
+            "--metrics",
+            prom.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        assert!(!out.contains("-- work --"), "{out}");
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE tsdtw_work_cells counter"), "{text}");
+        // The split evaluation did real DP work, so the counter is live.
+        assert!(!text.contains("tsdtw_work_cells 0\n"), "{text}");
+        assert!(text.contains("tsdtw_request_seconds_count 1"), "{text}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use tsdtw_obs::WorkMeter;
 pub const HELP: &str = "\
 tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
            [--kernel K] [--threads N] [--stats] [--stats-json FILE]
-           [--trace FILE]
+           [--trace FILE] [--metrics FILE]
   M: dtw | cdtw (default, needs --w) | fastdtw | fastdtw-ref (need --radius)
      | euclidean
   --kernel K     DP row-sweep tier: auto (default), generic, or segmented.
@@ -23,6 +23,8 @@ tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
   --stats-json   also dump the counters as JSON to FILE (implies --stats)
   --trace        record a flight-recorder trace of the evaluation to FILE
                  (Chrome Trace Format; needs a build with --features obs)
+  --metrics      write the run's work counters and request latency to FILE
+                 in the Prometheus text exposition format
   series files: one value per line, '#' comments allowed";
 
 /// Runs the command, returning the printable result.
@@ -39,6 +41,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "threads",
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
+            stats::METRICS_FLAG,
         ],
         &["znorm", stats::STATS_SWITCH],
     )?;
@@ -76,16 +79,22 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     };
     let json_path = args.optional(stats::STATS_JSON_FLAG);
     let trace_path = args.optional(stats::TRACE_FLAG);
+    let metrics_path = args.optional(stats::METRICS_FLAG);
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
+    let want_meter = want_stats || metrics_path.is_some();
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
+    let t0 = std::time::Instant::now();
     let (d, heap) = if want_stats {
         let probe = tsdtw_obs::AllocScope::begin();
         let d = spec.eval_metered(&a, &b, &mut meter)?;
         (d, Some(probe.end()))
+    } else if want_meter {
+        (spec.eval_metered(&a, &b, &mut meter)?, None)
     } else {
         (spec.eval(&a, &b)?, None)
     };
+    let wall_s = t0.elapsed().as_secs_f64();
     let mut out = format!("{measure} distance: {d}\n");
     stats::trace_finish(trace_path, &mut out)?;
     if measure == "cdtw" {
@@ -96,6 +105,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     if want_stats {
         stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }
+    stats::metrics_finish(metrics_path, &meter, wall_s, &mut out)?;
     Ok(out)
 }
 
@@ -189,6 +199,33 @@ mod tests {
         assert!(out.contains("fastdtw:"), "{out}");
         let dumped = std::fs::read_to_string(&json).unwrap();
         assert!(dumped.contains("\"fastdtw_levels\""), "{dumped}");
+    }
+
+    #[test]
+    fn metrics_flag_writes_a_prometheus_exposition() {
+        let (a, b) = setup("tsdtw-dist-metrics-test");
+        let prom = std::env::temp_dir()
+            .join("tsdtw-dist-metrics-test")
+            .join("metrics.prom");
+        let out = run(&raw(&[
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "dtw",
+            "--metrics",
+            prom.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        // --metrics alone meters the evaluation without printing --stats.
+        assert!(!out.contains("-- work --"), "{out}");
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE tsdtw_work_cells counter"), "{text}");
+        // Full DTW on two length-5 series touches all 25 cells.
+        assert!(text.contains("tsdtw_work_cells 25"), "{text}");
+        assert!(text.contains("tsdtw_request_seconds_count 1"), "{text}");
     }
 
     #[test]

@@ -1,29 +1,53 @@
 //! `tsdtw report` — perf-trajectory tooling over `BENCH_*.json`
-//! snapshots (see `tsdtw_bench::snapshot` for the schema).
+//! snapshots (see `tsdtw_bench::snapshot` for the schema) and the
+//! append-only history ledger (`tsdtw_bench::history`).
 //!
-//! `report diff` is the CI regression gate: deterministic work counters
-//! (DP cells, window cells, prunes) and `memory` allocation counts are
-//! compared hard — any growth beyond `--fail-on-regress` percent is an
-//! error and the process exits non-zero, as is a top-level section
-//! present in the baseline but missing from the current snapshot —
-//! while wall-clock, per-kernel timings, and memory *byte* totals only
-//! ever produce advisory warnings, so the gate stays green on noisy
-//! shared runners and across allocator-size-class changes.
+//! `report diff` is the pairwise CI regression gate: deterministic work
+//! counters (DP cells, window cells, prunes) and `memory` allocation
+//! counts are compared hard — any growth beyond `--fail-on-regress`
+//! percent is an error and the process exits non-zero, as is a
+//! top-level section present in the baseline but missing from the
+//! current snapshot — while wall-clock, per-kernel timings, and memory
+//! *byte* totals only ever produce advisory warnings, so the gate stays
+//! green on noisy shared runners and across allocator-size-class
+//! changes.
+//!
+//! `report trend` is the longitudinal gate: it reads every experiment's
+//! ledger under `<results>/history/`, applies the noise-aware detector
+//! (`tsdtw_bench::trend` — counters at zero tolerance, timings through
+//! a median/MAD window of comparable-environment records), writes the
+//! `TREND.md` dashboard, and under `--fail-on-drift` exits non-zero on
+//! any confirmed drift.
+//!
+//! `report show` pretty-prints one snapshot for humans — the aligned
+//! counterpart to reading the raw JSON.
 
 use std::path::Path;
 
 use crate::args::ArgError;
-use tsdtw_bench::snapshot;
+use tsdtw_bench::{history, snapshot, trend};
 use tsdtw_obs::Json;
 
 pub const HELP: &str = "\
 tsdtw report diff BASELINE CURRENT [--fail-on-regress PCT]
-  BASELINE, CURRENT   BENCH_<experiment>.json snapshot files (see `repro`)
-  --fail-on-regress   tolerance in percent for work-counter and
-                      memory-count growth (default 0 = any growth
-                      fails); timing changes and memory byte totals are
-                      always advisory and never fail the diff. A
-                      baseline section missing from CURRENT fails too.";
+tsdtw report trend [--history DIR] [--window N] [--mad-k K] [--floor PCT]
+                   [--out FILE] [--fail-on-drift]
+tsdtw report show SNAPSHOT
+  diff   compare two BENCH_<experiment>.json snapshots (see `repro`)
+    --fail-on-regress   tolerance in percent for work-counter and
+                        memory-count growth (default 0 = any growth
+                        fails); timing changes and memory byte totals
+                        are always advisory and never fail the diff. A
+                        baseline section missing from CURRENT fails too.
+  trend  analyze every ledger under DIR/history/ and write a TREND.md
+         dashboard (sparkline trajectories, regression callouts)
+    --history DIR       results root holding history/ (default results)
+    --window N          prior records the timing window consults (default 5)
+    --mad-k K           robust sigmas before a timing is drift (default 4)
+    --floor PCT         relative floor a timing must also exceed (default 25)
+    --out FILE          dashboard path (default DIR/TREND.md)
+    --fail-on-drift     exit non-zero when any gate confirms drift
+  show   pretty-print one snapshot (work counters, timings, memory)";
 
 fn load(path: &str) -> Result<Json, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(Path::new(path))
@@ -31,23 +55,29 @@ fn load(path: &str) -> Result<Json, Box<dyn std::error::Error>> {
     Json::parse(&text).map_err(|e| ArgError(format!("{path} is not valid JSON: {e}")).into())
 }
 
-/// Runs the command. `report diff` parses its operands by hand because,
-/// unlike every other subcommand, it takes positional file arguments.
+/// Runs the command. `report` parses its operands by hand because,
+/// unlike every other subcommand, its actions take positional file
+/// arguments.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let Some(action) = raw.first() else {
         return Err(Box::new(ArgError(
             "report needs an action; see `tsdtw help report`".into(),
         )));
     };
-    if action != "diff" {
-        return Err(Box::new(ArgError(format!(
-            "unknown report action {action:?}; see `tsdtw help report`"
-        ))));
+    match action.as_str() {
+        "diff" => run_diff(&raw[1..]),
+        "trend" => run_trend(&raw[1..]),
+        "show" => run_show(&raw[1..]),
+        other => Err(Box::new(ArgError(format!(
+            "unknown report action {other:?}; see `tsdtw help report`"
+        )))),
     }
+}
 
+fn run_diff(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let mut files: Vec<&str> = Vec::new();
     let mut fail_pct = 0.0f64;
-    let mut it = raw[1..].iter();
+    let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--fail-on-regress" => {
@@ -98,6 +128,243 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     }
 }
 
+fn run_trend(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let mut results_dir = String::from("results");
+    let mut out_path: Option<String> = None;
+    let mut fail_on_drift = false;
+    let mut cfg = trend::TrendConfig::default();
+    let mut it = raw.iter();
+    let value = |name: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{name} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--history" => results_dir = value("--history", &mut it)?,
+            "--out" => out_path = Some(value("--out", &mut it)?),
+            "--fail-on-drift" => fail_on_drift = true,
+            "--window" => {
+                let v = value("--window", &mut it)?;
+                cfg.window =
+                    v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        ArgError(format!("--window: {v:?} is not a positive count"))
+                    })?;
+            }
+            "--mad-k" => {
+                let v = value("--mad-k", &mut it)?;
+                cfg.mad_k = v
+                    .parse()
+                    .ok()
+                    .filter(|k: &f64| k.is_finite() && *k > 0.0)
+                    .ok_or_else(|| ArgError(format!("--mad-k: {v:?} is not a positive number")))?;
+            }
+            "--floor" => {
+                let v = value("--floor", &mut it)?;
+                cfg.floor_pct = v
+                    .parse()
+                    .ok()
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .ok_or_else(|| {
+                        ArgError(format!("--floor: {v:?} is not a non-negative percent"))
+                    })?;
+            }
+            other => {
+                return Err(Box::new(ArgError(format!(
+                    "unknown trend argument {other:?}; see `tsdtw help report`"
+                ))));
+            }
+        }
+    }
+
+    let root = Path::new(&results_dir);
+    let experiments = history::experiments(root)?;
+    if experiments.is_empty() {
+        return Err(Box::new(ArgError(format!(
+            "no history ledgers under {}/history/ — run `repro` at least once \
+             (every run appends its snapshots there)",
+            root.display()
+        ))));
+    }
+    let mut trends = Vec::new();
+    for exp in &experiments {
+        let records = history::load(root, exp)?;
+        trends.push(trend::analyze(exp, &records, &cfg));
+    }
+    let dashboard = trend::render_dashboard(&trends, &cfg);
+    let out_file = out_path.unwrap_or_else(|| root.join("TREND.md").to_string_lossy().into_owned());
+    crate::stats::write_atomic(Path::new(&out_file), &dashboard)?;
+
+    let dirty: Vec<&trend::ExperimentTrend> = trends.iter().filter(|t| !t.is_clean()).collect();
+    let mut out = String::new();
+    for t in &trends {
+        let verdict = if t.is_clean() { "clean" } else { "DRIFT" };
+        out.push_str(&format!(
+            "{:<12} {:>3} record(s)  {}\n",
+            t.experiment, t.records, verdict
+        ));
+    }
+    out.push_str(&format!("trend dashboard written to {out_file}\n"));
+    if dirty.is_empty() {
+        out.push_str(&format!(
+            "PASS: no confirmed drift across {} experiment(s)\n",
+            trends.len()
+        ));
+        return Ok(out);
+    }
+    out.push_str(&format!(
+        "{} experiment(s) with confirmed drift:\n",
+        dirty.len()
+    ));
+    for t in &dirty {
+        for r in &t.counter_regressions {
+            out.push_str(&format!("  [{}] counter: {r}\n", t.experiment));
+        }
+        for d in &t.timing_drifts {
+            out.push_str(&format!("  [{}] timing: {d}\n", t.experiment));
+        }
+    }
+    if fail_on_drift {
+        Err(Box::new(ArgError(out)))
+    } else {
+        out.push_str("(advisory: pass --fail-on-drift to make this exit non-zero)\n");
+        Ok(out)
+    }
+}
+
+/// Flattens a JSON subtree to `(dotted.path, rendered value)` rows for
+/// the aligned tables `show` prints.
+fn flatten_rows(value: &Json, prefix: &str, out: &mut Vec<(String, String)>) {
+    match value {
+        Json::Obj(entries) => {
+            for (k, v) in entries {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten_rows(v, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten_rows(v, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        Json::Null => out.push((prefix.to_string(), "-".into())),
+        leaf => out.push((prefix.to_string(), leaf.to_string_compact())),
+    }
+}
+
+/// Renders rows as an aligned two-column table with a right-aligned
+/// value column.
+fn aligned(rows: &[(String, String)]) -> String {
+    let key_w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let val_w = rows.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (k, v) in rows {
+        out.push_str(&format!("  {k:<key_w$}  {v:>val_w$}\n"));
+    }
+    out
+}
+
+fn run_show(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let [path] = raw else {
+        return Err(Box::new(ArgError(format!(
+            "show takes exactly one snapshot file, got {}",
+            raw.len()
+        ))));
+    };
+    let snap = load(path)?;
+    let Some(schema) = snap["schema"].as_i64() else {
+        return Err(Box::new(ArgError(format!(
+            "{path} carries no schema tag — not a BENCH_* snapshot \
+             (this tool speaks schema v{})",
+            snapshot::SCHEMA_VERSION
+        ))));
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "experiment   {} — {}\n",
+        snap["experiment"].as_str().unwrap_or("?"),
+        snap["title"].as_str().unwrap_or("?"),
+    ));
+    out.push_str(&format!(
+        "schema       v{schema}   hash {}   rev {}\n",
+        snap["hash"].as_str().unwrap_or("-"),
+        snap["git_rev"].as_str().unwrap_or("?"),
+    ));
+    let env = &snap["env"];
+    out.push_str(&format!(
+        "env          {}/{} host {} — {} worker(s) of {} cpu(s), kernel {}, spans {}\n",
+        env["os"].as_str().unwrap_or("?"),
+        env["arch"].as_str().unwrap_or("?"),
+        env["host"].as_str().unwrap_or("?"),
+        env["n_threads"].as_i64().unwrap_or(-1),
+        env["threads"].as_i64().unwrap_or(-1),
+        env["kernel"].as_str().unwrap_or("?"),
+        if snap["spans_enabled"].as_bool() == Some(true) {
+            "on"
+        } else {
+            "off"
+        },
+    ));
+    if let Some(w) = snap["wall_s"].as_f64() {
+        out.push_str(&format!("wall         {w:.6} s\n"));
+    }
+
+    let mut work = Vec::new();
+    flatten_rows(&snap["work"], "", &mut work);
+    if !work.is_empty() {
+        out.push_str("\n-- work counters (deterministic) --\n");
+        out.push_str(&aligned(&work));
+    }
+
+    if let Some(mem) = snap["memory"].as_object() {
+        let armed = snap["memory"]["telemetry"].as_bool() == Some(true);
+        out.push_str(&format!(
+            "\n-- memory ({}) --\n",
+            if armed {
+                "telemetry armed"
+            } else {
+                "telemetry disarmed; counters read zero"
+            }
+        ));
+        let rows: Vec<(String, String)> = mem
+            .iter()
+            .filter(|(k, _)| k != "telemetry")
+            .map(|(k, v)| (k.clone(), v.to_string_compact()))
+            .collect();
+        out.push_str(&aligned(&rows));
+    }
+
+    if let Some(kernels) = snap["kernels"].as_object() {
+        if kernels.is_empty() {
+            out.push_str("\n-- kernels: no span data (build with --features obs) --\n");
+        } else {
+            out.push_str("\n-- kernels (timings vary with hardware) --\n");
+            out.push_str(&format!(
+                "  {:<20} {:>8}  {:>11}  {:>10}  {:>10}  {:>10}  {:>12}\n",
+                "span", "count", "total", "p50", "p99", "max", "alloc_bytes"
+            ));
+            for (label, s) in kernels {
+                out.push_str(&format!(
+                    "  {:<20} {:>8}  {:>10.6}s  {:>9.6}s  {:>9.6}s  {:>9.6}s  {:>12}\n",
+                    label,
+                    s["count"].as_i64().unwrap_or(0),
+                    s["total_s"].as_f64().unwrap_or(0.0),
+                    s["p50_s"].as_f64().unwrap_or(0.0),
+                    s["p99_s"].as_f64().unwrap_or(0.0),
+                    s["max_s"].as_f64().unwrap_or(0.0),
+                    s["alloc_bytes"].as_i64().unwrap_or(0),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +402,20 @@ mod tests {
     fn tmpdir(name: &str) -> std::path::PathBuf {
         let d = std::env::temp_dir().join(name);
         std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// A results root holding a ledger for `cells` built from the given
+    /// (cells, wall_s) pairs, oldest first.
+    fn ledger_dir(name: &str, runs: &[(i64, f64)]) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&d);
+        for (cells, wall) in runs {
+            let mut s = snap_json(*cells);
+            s.set("wall_s", *wall);
+            s.set("hash", format!("{cells:08x}{:08x}", wall.to_bits() as u32));
+            history::append(&d, "cells", &s).unwrap();
+        }
         d
     }
 
@@ -186,6 +467,129 @@ mod tests {
     }
 
     #[test]
+    fn trend_over_clean_history_passes_and_writes_dashboard() {
+        let d = ledger_dir(
+            "tsdtw-report-trend-clean",
+            &[(100, 1.0), (100, 1.0), (100, 1.0)],
+        );
+        let out = run(&raw(&["trend", "--history", d.to_str().unwrap()])).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("cells"), "{out}");
+        let md = std::fs::read_to_string(d.join("TREND.md")).unwrap();
+        assert!(md.contains("# Performance trend dashboard"), "{md}");
+        assert!(md.contains("**PASS**"), "{md}");
+        assert!(md.contains("## cells"), "{md}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn trend_counter_regression_fails_only_under_the_flag() {
+        let d = ledger_dir(
+            "tsdtw-report-trend-regress",
+            &[(100, 1.0), (100, 1.0), (120, 1.0)],
+        );
+        let dir = d.to_str().unwrap().to_string();
+        // Advisory by default...
+        let out = run(&raw(&["trend", "--history", &dir])).unwrap();
+        assert!(out.contains("confirmed drift"), "{out}");
+        assert!(out.contains("advisory"), "{out}");
+        // ...an error under --fail-on-drift, naming the counter.
+        let err = run(&raw(&["trend", "--history", &dir, "--fail-on-drift"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("work.cells"), "{err}");
+        assert!(err.contains("+20.00%"), "{err}");
+        // The dashboard carries the callout either way.
+        let md = std::fs::read_to_string(d.join("TREND.md")).unwrap();
+        assert!(md.contains("DRIFT DETECTED"), "{md}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn trend_flags_tune_window_and_output_path() {
+        let d = ledger_dir(
+            "tsdtw-report-trend-flags",
+            &[(100, 1.0), (100, 1.0), (100, 1.0)],
+        );
+        let out_md = d.join("custom").join("DASH.md");
+        let out = run(&raw(&[
+            "trend",
+            "--history",
+            d.to_str().unwrap(),
+            "--window",
+            "3",
+            "--mad-k",
+            "6",
+            "--floor",
+            "50",
+            "--out",
+            out_md.to_str().unwrap(),
+        ]));
+        // --out into a missing directory fails cleanly; with the parent
+        // present it writes there.
+        assert!(out.is_err());
+        std::fs::create_dir_all(out_md.parent().unwrap()).unwrap();
+        let out = run(&raw(&[
+            "trend",
+            "--history",
+            d.to_str().unwrap(),
+            "--window",
+            "3",
+            "--mad-k",
+            "6",
+            "--floor",
+            "50",
+            "--out",
+            out_md.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        let md = std::fs::read_to_string(&out_md).unwrap();
+        assert!(md.contains("window 3"), "{md}");
+        assert!(md.contains("MAD k 6"), "{md}");
+        assert!(md.contains("floor 50%"), "{md}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn trend_without_history_names_the_missing_directory() {
+        let d = tmpdir("tsdtw-report-trend-empty");
+        let err = run(&raw(&["trend", "--history", d.to_str().unwrap()]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("no history ledgers"), "{err}");
+        assert!(err.contains("repro"), "{err}");
+    }
+
+    #[test]
+    fn show_renders_aligned_sections() {
+        let d = tmpdir("tsdtw-report-show");
+        let mut s = snap_json(12345);
+        s.set(
+            "kernels",
+            json_obj! {
+                "cdtw" => json_obj! {
+                    "count" => 10, "total_s" => 0.5, "p50_s" => 0.01,
+                    "p99_s" => 0.02, "max_s" => 0.03, "alloc_bytes" => 64,
+                },
+            },
+        );
+        let path = write_snap(&d, "BENCH_cells.json", &s);
+        let out = run(&raw(&["show", &path])).unwrap();
+        assert!(out.contains("experiment   cells"), "{out}");
+        assert!(out.contains("-- work counters"), "{out}");
+        assert!(out.contains("cells") && out.contains("12345"), "{out}");
+        assert!(out.contains("-- memory"), "{out}");
+        assert!(out.contains("disarmed"), "{out}");
+        assert!(out.contains("-- kernels"), "{out}");
+        assert!(out.contains("cdtw"), "{out}");
+        // Non-snapshot JSON gets a clear message, not a panic.
+        let not_snap = write_snap(&d, "nope.json", &json_obj! { "x" => 1 });
+        let err = run(&raw(&["show", &not_snap])).unwrap_err().to_string();
+        assert!(err.contains("no schema tag"), "{err}");
+    }
+
+    #[test]
     fn bad_usage_is_rejected() {
         let d = tmpdir("tsdtw-report-usage");
         let a = snap_file(&d, "a.json", 1);
@@ -204,5 +608,17 @@ mod tests {
             run(&raw(&["diff", &a, "/nonexistent/b.json"])).is_err(),
             "missing file"
         );
+        assert!(
+            run(&raw(&["trend", "--window", "0"])).is_err(),
+            "zero window"
+        );
+        assert!(
+            run(&raw(&["trend", "--mad-k", "nope"])).is_err(),
+            "bad mad-k"
+        );
+        assert!(run(&raw(&["trend", "--floor"])).is_err(), "missing value");
+        assert!(run(&raw(&["trend", "stray"])).is_err(), "stray operand");
+        assert!(run(&raw(&["show"])).is_err(), "show needs a file");
+        assert!(run(&raw(&["show", &a, &a])).is_err(), "show takes one file");
     }
 }

@@ -13,7 +13,7 @@ use tsdtw_obs::WorkMeter;
 
 pub const HELP: &str = "\
 tsdtw search --haystack FILE --query FILE [--w PCT] [--top K] [--threads N]
-             [--stats] [--stats-json FILE] [--trace FILE]
+             [--stats] [--stats-json FILE] [--trace FILE] [--metrics FILE]
   z-normalizes the query and every candidate window (UCR practice) and
   reports the best match(es) under cDTW_w with pruning statistics
   --threads N    worker threads for the candidate scan (default 1); matches,
@@ -22,7 +22,9 @@ tsdtw search --haystack FILE --query FILE [--w PCT] [--top K] [--threads N]
   --stats        print DP-cell / lower-bound / prune counters for the search
   --stats-json   also dump the counters as JSON to FILE (implies --stats)
   --trace        record a flight-recorder trace of the search to FILE
-                 (Chrome Trace Format; needs a build with --features obs)";
+                 (Chrome Trace Format; needs a build with --features obs)
+  --metrics      write the run's work counters and request latency to FILE
+                 in the Prometheus text exposition format";
 
 /// Runs the command, returning the printable result.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
@@ -36,6 +38,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "threads",
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
+            stats::METRICS_FLAG,
         ],
         &[stats::STATS_SWITCH],
     )?;
@@ -47,9 +50,11 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let k: usize = args.get_or("top", 1)?;
     let json_path = args.optional(stats::STATS_JSON_FLAG);
     let trace_path = args.optional(stats::TRACE_FLAG);
+    let metrics_path = args.optional(stats::METRICS_FLAG);
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
+    let t0 = std::time::Instant::now();
     // Probes the whole scan (including its result formatting, which is
     // cheap next to the candidate loop); reads zero unless the build
     // armed alloc-telemetry.
@@ -86,11 +91,13 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             ));
         }
     }
+    let wall_s = t0.elapsed().as_secs_f64();
     let heap = heap_probe.map(tsdtw_obs::AllocScope::end);
     stats::trace_finish(trace_path, &mut out)?;
     if want_stats {
         stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }
+    stats::metrics_finish(metrics_path, &meter, wall_s, &mut out)?;
     Ok(out)
 }
 
@@ -182,7 +189,8 @@ mod tests {
         write_series(&hp, &hay).unwrap();
         write_series(&qp, &query).unwrap();
         let base = |threads: &str| {
-            run(&raw(&[
+            let prom = dir.join(format!("metrics-{threads}.prom"));
+            let out = run(&raw(&[
                 "--haystack",
                 hp.to_str().unwrap(),
                 "--query",
@@ -190,18 +198,40 @@ mod tests {
                 "--threads",
                 threads,
                 "--stats",
+                "--metrics",
+                prom.to_str().unwrap(),
             ]))
-            .unwrap()
+            .unwrap();
+            let metrics = std::fs::read_to_string(&prom).unwrap();
+            (out, metrics)
         };
+        let (out_1, metrics_1) = base("1");
+        let (out_4, metrics_4) = base("4");
         // Span wall-clock latencies are the one legitimately varying part
         // of the rendering; compare everything else (including span labels
         // and counts) through the invariant projection.
+        let strip_path = |s: &str| {
+            crate::stats::run_invariant_view(s)
+                .lines()
+                .filter(|l| !l.starts_with("metrics written"))
+                .map(|l| format!("{l}\n"))
+                .collect::<String>()
+        };
         assert_eq!(
-            crate::stats::run_invariant_view(&base("1")),
-            crate::stats::run_invariant_view(&base("4")),
+            strip_path(&out_1),
+            strip_path(&out_4),
             "search output (match, pruning stats, work counters) must not \
              depend on --threads"
         );
+        // The Prometheus exposition inherits the meter's determinism: the
+        // counter lines are bitwise identical at every thread count (only
+        // the wall-clock latency summary is allowed to differ).
+        assert_eq!(
+            crate::stats::metrics_invariant_view(&metrics_1),
+            crate::stats::metrics_invariant_view(&metrics_4),
+            "metrics exposition must be bitwise independent of --threads"
+        );
+        assert!(metrics_1.contains("tsdtw_work_prune_kim"), "{metrics_1}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! tsdtw window    brute-force optimal-warping-window search (the Fig. 2a procedure)
 //! tsdtw cluster   hierarchical / k-medoids clustering under cDTW
 //! tsdtw generate  write this workspace's synthetic datasets to disk
-//! tsdtw report    perf-snapshot diffing (the CI regression gate)
+//! tsdtw report    perf-trajectory tooling (diff gate, trend gate, show)
 //! tsdtw help [command]
 //! ```
 
@@ -31,7 +31,8 @@ commands:
   discord   most anomalous subsequence in a series
   bakeoff   Euclidean vs cDTW vs FastDTW 1-NN accuracy over an archive directory
   generate  synthetic dataset generation
-  report    perf-trajectory tooling (report diff = the regression gate)
+  report    perf-trajectory tooling: diff (pairwise regression gate),
+            trend (noise-aware drift gate over results/history/), show
   help      this message, or per-command help";
 
 fn command_help(name: &str) -> Option<&'static str> {

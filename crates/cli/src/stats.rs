@@ -15,6 +15,8 @@ pub const STATS_SWITCH: &str = "stats";
 pub const STATS_JSON_FLAG: &str = "stats-json";
 /// Value flag naming the Chrome-trace output file.
 pub const TRACE_FLAG: &str = "trace";
+/// Value flag naming the Prometheus exposition dump file.
+pub const METRICS_FLAG: &str = "metrics";
 
 /// Writes `text` to `path` atomically: temp file in the same directory,
 /// then rename — the same discipline as `Report::write_json`, so a
@@ -118,6 +120,59 @@ pub fn render(
     Ok(())
 }
 
+/// Folds the command's [`WorkMeter`] and end-to-end latency into the
+/// process-wide metrics registry and writes its Prometheus text
+/// exposition to the file named by `--metrics FILE`. A no-op when the
+/// flag was absent.
+///
+/// One CLI invocation is one scrape lifetime, so the registry is reset
+/// under the same lock that records and renders: the dump reflects
+/// exactly this command's work even when tests run several commands in
+/// one process, and nothing can interleave between reset and render.
+/// The counter section of the exposition inherits the meter's
+/// determinism — bitwise independent of `--threads` — while the
+/// `tsdtw_request_seconds` summary is wall-clock and varies run to run.
+pub fn metrics_finish(
+    metrics_path: Option<&str>,
+    meter: &WorkMeter,
+    wall_s: f64,
+    out: &mut String,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = metrics_path else {
+        return Ok(());
+    };
+    let text = tsdtw_obs::metrics::with_registry(|r| {
+        r.reset();
+        r.record_meter(meter);
+        r.observe_s(
+            "tsdtw_request_seconds",
+            "End-to-end command latency in seconds.",
+            wall_s,
+        );
+        r.render()
+    });
+    write_atomic(Path::new(path), &text)?;
+    out.push_str(&format!(
+        "metrics written to {path} (Prometheus text exposition)\n"
+    ));
+    Ok(())
+}
+
+/// Projects a metrics exposition onto its thread-invariant lines: the
+/// `tsdtw_request_seconds` quantile and `_sum` samples are wall-clock
+/// (they vary between otherwise identical runs), so the differential
+/// CLI tests (serial vs `--threads N`) drop them and compare everything
+/// else — every `tsdtw_work_*` counter line — bitwise.
+#[cfg(test)]
+pub fn metrics_invariant_view(text: &str) -> String {
+    text.lines()
+        .filter(|l| {
+            !l.starts_with("tsdtw_request_seconds") || l.starts_with("tsdtw_request_seconds_count")
+        })
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
 /// Projects a `--stats` rendering onto its thread-invariant fields:
 /// everything verbatim except span rows (only label and count survive)
 /// and the `memory:` heap line (elided entirely). Wall-clock span
@@ -214,6 +269,38 @@ mod tests {
         assert_ne!(run_invariant_view(b), run_invariant_view(&c));
         let d = b.replace("92x", "93x");
         assert_ne!(run_invariant_view(b), run_invariant_view(&d));
+    }
+
+    #[test]
+    fn metrics_finish_writes_an_exposition_file() {
+        let dir = std::env::temp_dir().join("tsdtw-stats-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.prom");
+        let mut meter = WorkMeter::new();
+        meter.cells = 42;
+        let mut out = String::new();
+        metrics_finish(path.to_str(), &meter, 0.25, &mut out).unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("# TYPE tsdtw_work_cells counter"), "{text}");
+        assert!(text.contains("tsdtw_work_cells 42"), "{text}");
+        assert!(text.contains("tsdtw_request_seconds_count 1"), "{text}");
+        assert!(text.contains("tsdtw_request_seconds_sum 0.25"), "{text}");
+        // The invariant view keeps every counter line but drops the
+        // wall-clock summary samples.
+        let view = metrics_invariant_view(&text);
+        assert!(view.contains("tsdtw_work_cells 42"), "{view}");
+        assert!(view.contains("tsdtw_request_seconds_count 1"), "{view}");
+        assert!(!view.contains("tsdtw_request_seconds_sum"), "{view}");
+        assert!(!view.contains("quantile"), "{view}");
+    }
+
+    #[test]
+    fn metrics_finish_without_flag_is_a_no_op() {
+        let meter = WorkMeter::new();
+        let mut out = String::new();
+        metrics_finish(None, &meter, 1.0, &mut out).unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -139,8 +139,9 @@ fn generate_classify_pipeline() {
 
 /// Writes a minimal-but-valid perf snapshot for `report diff` tests.
 fn write_snapshot(path: &std::path::Path, cells: u64, wall_s: f64) {
+    let schema = tsdtw_bench::snapshot::SCHEMA_VERSION;
     let text = format!(
-        "{{\"schema\": 2, \"experiment\": \"cells\", \"title\": \"t\", \
+        "{{\"schema\": {schema}, \"experiment\": \"cells\", \"title\": \"t\", \
           \"git_rev\": \"abc\", \"spans_enabled\": false, \
           \"env\": {{\"os\": \"linux\"}}, \"wall_s\": {wall_s}, \
           \"work\": {{\"cells\": {cells}}}, \"kernels\": {{}}, \
@@ -237,6 +238,81 @@ fn report_diff_warns_on_timing_but_does_not_fail() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("advisory"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_trend_gates_the_history_ledger_end_to_end() {
+    let dir = workdir("report-trend");
+    // Three clean runs, then a fourth with a 20% counter regression.
+    for cells in [1000u64, 1000, 1000] {
+        let snap = dir.join("snap.json");
+        write_snapshot(&snap, cells, 1.0);
+        let rec = std::fs::read_to_string(&snap).unwrap();
+        let ledger = dir.join("history");
+        std::fs::create_dir_all(&ledger).unwrap();
+        let mut all = std::fs::read_to_string(ledger.join("cells.jsonl")).unwrap_or_default();
+        all.push_str(&rec);
+        all.push('\n');
+        std::fs::write(ledger.join("cells.jsonl"), all).unwrap();
+    }
+    let trend = |extra: &[&str]| {
+        let mut args = vec!["report", "trend", "--history", dir.to_str().unwrap()];
+        args.extend_from_slice(extra);
+        bin().args(&args).output().unwrap()
+    };
+    // Replayed identical runs: exit 0, dashboard written.
+    let out = trend(&["--fail-on-drift"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("PASS"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let md = std::fs::read_to_string(dir.join("TREND.md")).unwrap();
+    assert!(md.contains("**PASS**"), "{md}");
+
+    // Inject the regression and gate again: non-zero exit, named counter.
+    let snap = dir.join("snap.json");
+    write_snapshot(&snap, 1200, 1.0);
+    let mut all = std::fs::read_to_string(dir.join("history/cells.jsonl")).unwrap();
+    all.push_str(&std::fs::read_to_string(&snap).unwrap());
+    all.push('\n');
+    std::fs::write(dir.join("history/cells.jsonl"), all).unwrap();
+    let out = trend(&["--fail-on-drift"]);
+    assert!(!out.status.success(), "confirmed drift must exit non-zero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("work.cells"), "{err}");
+    // Without the flag the same drift is advisory: exit 0.
+    let out = trend(&[]);
+    assert!(out.status.success());
+    let md = std::fs::read_to_string(dir.join("TREND.md")).unwrap();
+    assert!(md.contains("DRIFT DETECTED"), "{md}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_show_pretty_prints_a_snapshot() {
+    let dir = workdir("report-show");
+    let snap = dir.join("BENCH_cells.json");
+    write_snapshot(&snap, 4242, 1.5);
+    let out = bin()
+        .args(["report", "show", snap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("experiment   cells"), "{text}");
+    assert!(text.contains("4242"), "{text}");
+    assert!(text.contains("-- work counters"), "{text}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

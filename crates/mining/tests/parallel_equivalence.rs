@@ -1,0 +1,125 @@
+//! Differential tests extending the executor's determinism contract to
+//! the metrics layer: a [`MetricsRegistry`] fed the meters of the same
+//! workload run at different `--threads` values renders **bitwise
+//! identical** Prometheus exposition text. The chain under test is
+//!
+//! work loop → merged `WorkMeter` (PR 3: thread-count-invariant) →
+//! `record_meter` (fold table from the meter macro) → sorted render,
+//!
+//! so any break anywhere in the chain shows up as a byte diff here.
+
+use tsdtw_mining::knn::{evaluate_split_par, DistanceSpec};
+use tsdtw_mining::search::subsequence_search_par;
+use tsdtw_mining::ParConfig;
+use tsdtw_obs::{MetricsRegistry, WorkMeter};
+
+/// Runs a subsequence search at `threads` workers and returns the
+/// exposition a fresh registry renders from its meter.
+fn search_exposition(threads: usize) -> String {
+    let query: Vec<f64> = (0..32).map(|i| (i as f64 * 0.35).sin() * 2.0).collect();
+    let mut hay: Vec<f64> = (0..600).map(|i| ((i * i) as f64).sin() * 3.0).collect();
+    for (j, &q) in query.iter().enumerate() {
+        hay[321 + j] = q;
+    }
+    let par = ParConfig::new(threads).unwrap();
+    let mut meter = WorkMeter::new();
+    let r = subsequence_search_par(&hay, &query, 3, &par, &mut meter).unwrap();
+    assert_eq!(r.position, 321, "search result itself is thread-invariant");
+    let mut reg = MetricsRegistry::new();
+    reg.record_meter(&meter);
+    reg.render()
+}
+
+/// Same discipline over the 1-NN split evaluation (a max-fold
+/// `dp_peak_bytes` gauge plus the add-fold counters).
+fn classify_exposition(threads: usize) -> String {
+    let data = tsdtw_datasets::cbf::dataset(48, 8, 7).unwrap();
+    let (train, test) = data.split_stratified(4).unwrap();
+    let train_view =
+        tsdtw_mining::dataset_views::LabeledView::new(&train.series, &train.labels).unwrap();
+    let test_view =
+        tsdtw_mining::dataset_views::LabeledView::new(&test.series, &test.labels).unwrap();
+    let par = ParConfig::new(threads).unwrap();
+    let mut meter = WorkMeter::new();
+    evaluate_split_par(
+        &train_view,
+        &test_view,
+        DistanceSpec::CdtwBand(3),
+        &par,
+        &mut meter,
+    )
+    .unwrap();
+    let mut reg = MetricsRegistry::new();
+    reg.record_meter(&meter);
+    reg.render()
+}
+
+#[test]
+fn search_metrics_exposition_is_bitwise_thread_invariant() {
+    let serial = search_exposition(1);
+    assert!(
+        serial.contains("tsdtw_work_cells"),
+        "exposition carries the meter table: {serial}"
+    );
+    assert!(serial.contains("tsdtw_work_prune_kim"), "{serial}");
+    for threads in [2, 4, 7] {
+        assert_eq!(
+            serial,
+            search_exposition(threads),
+            "exposition must not depend on threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn classify_metrics_exposition_is_bitwise_thread_invariant() {
+    let serial = classify_exposition(1);
+    assert!(
+        serial.contains("# TYPE tsdtw_work_dp_peak_bytes gauge"),
+        "max-fold high-water mark renders as a gauge: {serial}"
+    );
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            classify_exposition(threads),
+            "exposition must not depend on threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn shard_registries_fold_order_independently() {
+    // Worker shards each build a private registry; the owner absorbs
+    // them in index order by convention, but the exposition must be a
+    // pure function of the shard *set* — any absorption order, and any
+    // sharding of the same totals, renders the same bytes.
+    let meter_with = |cells: u64, peak: u64| {
+        let mut m = WorkMeter::new();
+        m.cells = cells;
+        m.window_cells = cells;
+        m.dp_peak_bytes = peak;
+        m
+    };
+    let shards = [
+        meter_with(10, 100),
+        meter_with(0, 400),
+        meter_with(7, 250),
+        meter_with(1, 399),
+    ];
+    let render_order = |idx: &[usize]| {
+        let mut owner = MetricsRegistry::new();
+        for &i in idx {
+            let mut shard_reg = MetricsRegistry::new();
+            shard_reg.record_meter(&shards[i]);
+            owner.absorb(&shard_reg);
+        }
+        owner.render()
+    };
+    let canonical = render_order(&[0, 1, 2, 3]);
+    assert_eq!(canonical, render_order(&[3, 2, 1, 0]));
+    assert_eq!(canonical, render_order(&[2, 0, 3, 1]));
+    // And the same totals recorded through one meter render identically.
+    let mut one = MetricsRegistry::new();
+    one.record_meter(&meter_with(18, 400));
+    assert_eq!(canonical, one.render());
+}

@@ -157,7 +157,9 @@ impl LatencyHist {
         let rank = nearest_rank(self.count as usize, q) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
+            // Saturating for the same reason `merge` is: bucket counts
+            // may individually sit at u64::MAX after saturated merges.
+            seen = seen.saturating_add(c);
             if seen >= rank {
                 return (bucket_upper(i).min(self.max_ns).max(self.min_ns)) as f64 * 1e-9;
             }
@@ -166,6 +168,13 @@ impl LatencyHist {
     }
 
     /// Folds another histogram into this one.
+    ///
+    /// Counts and totals saturate instead of overflowing: a registry
+    /// histogram that lives for the whole process may be merged into
+    /// long after its shards individually carry huge counts, and the
+    /// trend detector reads quantiles off the result — a wrapped count
+    /// would silently reorder every rank, while a pinned `u64::MAX`
+    /// keeps quantiles monotone (see `merge_saturates_at_extremes`).
     pub fn merge(&mut self, other: &LatencyHist) {
         if other.count == 0 {
             return;
@@ -174,7 +183,7 @@ impl LatencyHist {
             self.counts.resize(other.counts.len(), 0);
         }
         for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
-            *dst += src;
+            *dst = dst.saturating_add(*src);
         }
         if self.count == 0 {
             self.min_ns = other.min_ns;
@@ -183,8 +192,8 @@ impl LatencyHist {
             self.min_ns = self.min_ns.min(other.min_ns);
             self.max_ns = self.max_ns.max(other.max_ns);
         }
-        self.count += other.count;
-        self.total_ns += other.total_ns;
+        self.count = self.count.saturating_add(other.count);
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
     }
 
     /// Non-empty buckets as `(upper_bound_ns, count)`, lowest first —
@@ -356,6 +365,120 @@ mod tests {
             assert_eq!(rev.max_ns, whole.max_ns);
             assert_eq!(rev.total_ns, whole.total_ns);
             assert_eq!(rev.nonzero_buckets(), whole.nonzero_buckets());
+        }
+    }
+
+    #[test]
+    fn merge_of_two_empties_is_empty() {
+        let mut a = LatencyHist::new();
+        let b = LatencyHist::new();
+        a.merge(&b);
+        assert_eq!(a, LatencyHist::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.percentile_s(0.5), 0.0);
+        assert_eq!(a.mean_s(), 0.0);
+        assert!(a.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_empty_with_single_sample_adopts_it_exactly() {
+        // empty ⊕ {x}: every quantile is x (nearest-rank n = 1), and
+        // the exact extrema come from the single sample, not from the
+        // empty side's zero-initialized min/max.
+        let mut single = LatencyHist::new();
+        single.record_ns(123_456);
+        let mut a = LatencyHist::new();
+        a.merge(&single);
+        assert_eq!(a, single);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.percentile_s(q), 123_456e-9, "q={q}");
+        }
+        assert_eq!(a.min_ns, 123_456);
+        assert_eq!(a.max_ns, 123_456);
+        // The mirror image {x} ⊕ empty is already covered by
+        // merge_combines_counts_and_extrema; check symmetry anyway.
+        let mut b = single.clone();
+        b.merge(&LatencyHist::new());
+        assert_eq!(b, single);
+    }
+
+    #[test]
+    fn merge_saturates_at_extremes() {
+        // Repeated self-merge doubles the count each time; 64+ rounds
+        // would overflow u64 if merge used wrapping adds. Saturation
+        // pins count, buckets, and total at their maxima and keeps the
+        // histogram usable (quantiles still resolve, no panic).
+        let mut h = LatencyHist::new();
+        h.record_ns(1_000);
+        h.record_ns(2_000_000);
+        for _ in 0..70 {
+            let snapshot = h.clone();
+            h.merge(&snapshot);
+        }
+        assert_eq!(h.count(), u64::MAX);
+        assert!(h.counts.contains(&u64::MAX));
+        // The u128 total genuinely exceeds u64 range (2^70 doublings of
+        // 2 001 000 ns) without wrapping — saturating_add never fired.
+        assert!(h.total_ns > u64::MAX as u128);
+        assert_eq!(h.min_ns, 1_000);
+        assert_eq!(h.max_ns, 2_000_000);
+        // Quantiles remain well-defined and ordered on the saturated
+        // state. (Rank information *within* a saturated bucket is gone
+        // — every rank lands in the first u64::MAX bucket — so p100 is
+        // no longer the max; what saturation guarantees is no panic, no
+        // wrap-induced inversion, and exact extrema via min_s/max_s.)
+        let p50 = h.percentile_s(0.50);
+        let p99 = h.percentile_s(0.99);
+        assert!(p50 > 0.0 && p50 <= p99);
+        assert!(h.percentile_s(1.0) <= h.max_s());
+        assert_eq!(h.max_s(), 2_000_000e-9);
+        // Merging more into a saturated histogram stays saturated.
+        let mut extra = LatencyHist::new();
+        extra.record_ns(500);
+        h.merge(&extra);
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.min_ns, 500);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_after_merge() {
+        // p50 <= p90 <= p99 <= max must hold on any merged histogram —
+        // the trend detector compares these fields across history
+        // records and a rank inversion would fabricate drift. Exercise
+        // skewed shard shapes: disjoint ranges, overlapping ranges,
+        // one-hot shards, and a shard that saturates a bucket.
+        let shard = |samples: &[u64]| {
+            let mut h = LatencyHist::new();
+            for &s in samples {
+                h.record_ns(s);
+            }
+            h
+        };
+        let shards = [
+            shard(&(1..100u64).map(|i| i * 17).collect::<Vec<_>>()),
+            shard(&(1..50u64).map(|i| i * 1_000_003).collect::<Vec<_>>()),
+            shard(&[42]),
+            shard(&[u64::MAX >> 20]),
+            shard(
+                &(0..200u64)
+                    .map(|i| (i * 7919 + 13) % 65_536)
+                    .collect::<Vec<_>>(),
+            ),
+        ];
+        let mut merged = LatencyHist::new();
+        for s in &shards {
+            merged.merge(s);
+            if merged.count() == 0 {
+                continue;
+            }
+            let p50 = merged.percentile_s(0.50);
+            let p90 = merged.percentile_s(0.90);
+            let p99 = merged.percentile_s(0.99);
+            let max = merged.max_s();
+            assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+            assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+            assert!(p99 <= max, "p99 {p99} > max {max}");
+            assert!(merged.min_s() <= p50, "min above p50");
         }
     }
 

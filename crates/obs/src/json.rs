@@ -260,8 +260,19 @@ fn write_seq(
     out.push(close);
 }
 
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
+/// Appends `s` to `out` with every JSON-significant character escaped:
+/// quotes, backslashes, and all control characters below U+0020 (named
+/// escapes where RFC 8259 has them, `\u00XX` otherwise). No surrounding
+/// quotes — callers add their own delimiter.
+///
+/// This is the single escaping routine behind every string the
+/// workspace emits: [`Json`] serialization (and therefore the
+/// Chrome-trace export and the `BENCH_*.json` snapshot writer funnel
+/// through it), plus the Prometheus exposition writer in
+/// [`metrics`](crate::metrics), whose label-value escaping rules are a
+/// subset of JSON's. Everything written here round-trips through
+/// [`Json::parse`] (`json_escape_round_trips` locks this).
+pub fn json_escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -275,6 +286,19 @@ fn write_escaped(out: &mut String, s: &str) {
             c => out.push(c),
         }
     }
+}
+
+/// [`json_escape_into`] returning a fresh `String` (still without the
+/// surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    json_escape_into(&mut out, s);
+    out
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    json_escape_into(out, s);
     out.push('"');
 }
 
@@ -873,6 +897,41 @@ mod tests {
         let e = Json::parse("[1, x]").unwrap_err();
         assert_eq!(e.offset, 4);
         assert!(e.to_string().contains("byte 4"), "{e}");
+    }
+
+    #[test]
+    fn json_escape_round_trips() {
+        // Every string the emitters might see — quotes, backslashes,
+        // named and unnamed control characters, multi-byte UTF-8 —
+        // must survive escape -> parse unchanged. Span labels and env
+        // fields (hostnames are attacker-ish input) funnel through
+        // this exact routine.
+        let nasty = [
+            "plain",
+            "with \"quotes\" inside",
+            "back\\slash \\\\ doubled",
+            "newline\nand\ttab\rand\u{0}nul",
+            "\u{1b}[31mansi\u{1b}[0m",
+            "unit\u{1f}sep and héllo 😀",
+            "", // empty
+        ];
+        for s in nasty {
+            let escaped = json_escape(s);
+            assert!(
+                !escaped
+                    .chars()
+                    .any(|c| (c as u32) < 0x20 || c == '"' && !escaped.contains("\\\"")),
+                "raw control char or bare quote leaked: {escaped:?}"
+            );
+            let doc = format!("\"{escaped}\"");
+            assert_eq!(Json::parse(&doc).unwrap(), Json::Str(s.into()), "{s:?}");
+            // And the same bytes come out of the Json serializer.
+            assert_eq!(Json::Str(s.into()).to_string_compact(), doc);
+        }
+        // A whole object with nasty keys and values round-trips too.
+        let j = json_obj! { "key\n\"k\"" => "val\\\u{7}" };
+        assert_eq!(Json::parse(&j.to_string_compact()).unwrap(), j);
+        assert_eq!(Json::parse(&j.to_string_pretty()).unwrap(), j);
     }
 
     #[test]

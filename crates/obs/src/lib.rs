@@ -46,6 +46,7 @@ pub mod alloc;
 mod hist;
 mod json;
 mod meter;
+pub mod metrics;
 mod recorder;
 mod span;
 
@@ -54,12 +55,13 @@ pub use alloc::{
     AllocScope,
 };
 pub use hist::{nearest_rank, LatencyHist};
-pub use json::{Json, JsonParseError, ToJson};
+pub use json::{json_escape, json_escape_into, Json, JsonParseError, ToJson};
 pub use meter::{FastDtwLevel, LbKind, Meter, MeterShard, NoMeter, StageTag, WorkMeter};
+pub use metrics::{MetricsRegistry, MetricsSampler};
 pub use recorder::{
-    recorder_absorb, recorder_active, recorder_handoff, recorder_start, recorder_start_shard,
-    recorder_stop, Recorder, RecorderHandoff, Trace, TraceEvent, TracePhase, TraceSummaryRow,
-    DEFAULT_TRACE_CAPACITY,
+    recorder_absorb, recorder_active, recorder_counter_samples, recorder_handoff, recorder_start,
+    recorder_start_shard, recorder_stop, CounterSample, Recorder, RecorderHandoff, Trace,
+    TraceEvent, TracePhase, TraceSummaryRow, DEFAULT_TRACE_CAPACITY,
 };
 pub use span::{
     absorb_raw_spans, drain_raw_spans, span, spans_enabled, take_spans, RawSpans, SpanGuard,

@@ -260,6 +260,13 @@ macro_rules! emit_counter_api {
         /// emission order (generated from the counter table).
         pub const COUNTER_NAMES: &'static [&'static str] = &[$($name),*];
 
+        /// Fold discipline for each counter, aligned index-for-index
+        /// with [`COUNTER_NAMES`](Self::COUNTER_NAMES): `"add"` for
+        /// accumulating counters, `"max"` for high-water marks. The
+        /// metrics registry consumes this to pick Prometheus kinds
+        /// (add → counter, max → gauge).
+        pub const COUNTER_FOLDS: &'static [&'static str] = &[$(stringify!($fold)),*];
+
         /// Every scalar counter as `(dotted_name, value)`, in table
         /// order.
         pub fn counter_values(&self) -> Vec<(&'static str, u64)> {

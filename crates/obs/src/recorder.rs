@@ -78,11 +78,25 @@ pub struct TraceEvent {
     pub alloc_bytes: u64,
 }
 
+/// One sample on a named counter track (a `ph: "C"` Chrome-trace
+/// record): the metrics sampler snapshots registry values onto the
+/// recorder timeline through these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// The counter-track name (a metrics-registry metric name).
+    pub name: String,
+    /// Microseconds since the recorder epoch.
+    pub ts_us: f64,
+    /// The sampled value.
+    pub value: f64,
+}
+
 /// A fixed-capacity ring buffer of [`TraceEvent`]s.
 #[derive(Debug)]
 pub struct Recorder {
     capacity: usize,
     events: VecDeque<TraceEvent>,
+    counters: Vec<CounterSample>,
     dropped: u64,
     depth: u32,
     next_id: u64,
@@ -105,12 +119,26 @@ impl Recorder {
         Recorder {
             capacity,
             events: VecDeque::with_capacity(capacity.min(4096)),
+            counters: Vec::new(),
             dropped: 0,
             depth: 0,
             next_id: 0,
             next_track: 1,
             epoch,
         }
+    }
+
+    /// Appends one counter-track sample. Samples share the span ring's
+    /// capacity bound (a sampler at any cadence stays at constant
+    /// memory); overflow drops the *newest* sample and counts it — the
+    /// early samples anchor the trajectory, the tail is the live edge
+    /// the sampler is still producing.
+    pub fn counter_sample(&mut self, sample: CounterSample) {
+        if self.counters.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.counters.push(sample);
     }
 
     fn push(&mut self, ev: TraceEvent) {
@@ -183,6 +211,9 @@ impl Recorder {
         if let Some(m) = max_id {
             self.next_id = offset + m + 1;
         }
+        for sample in shard.counters {
+            self.counter_sample(sample);
+        }
         self.dropped += shard.dropped;
     }
 
@@ -190,6 +221,7 @@ impl Recorder {
     pub fn finish(self) -> Trace {
         Trace {
             events: self.events.into_iter().collect(),
+            counters: self.counters,
             dropped: self.dropped,
             capacity: self.capacity,
         }
@@ -201,7 +233,10 @@ impl Recorder {
 pub struct Trace {
     /// Retained events, oldest first.
     pub events: Vec<TraceEvent>,
-    /// Events evicted by ring wrap-around.
+    /// Counter-track samples (metrics sampler output), oldest first.
+    pub counters: Vec<CounterSample>,
+    /// Events evicted by ring wrap-around, plus counter samples
+    /// rejected at the capacity bound.
     pub dropped: u64,
     /// The ring capacity the trace was recorded with.
     pub capacity: usize,
@@ -277,6 +312,20 @@ impl Trace {
                     "args" => crate::json_obj! { "bytes" => ev.heap_live },
                 });
             }
+        }
+        // Metrics-sampler counter tracks: one "ph": "C" series per
+        // metric name, on the recording thread's track. Perfetto
+        // renders each name as its own counter lane under the spans.
+        for s in &self.counters {
+            events.push(crate::json_obj! {
+                "name" => s.name.as_str(),
+                "cat" => "tsdtw",
+                "ph" => "C",
+                "ts" => s.ts_us,
+                "pid" => 1,
+                "tid" => 1,
+                "args" => crate::json_obj! { "value" => s.value },
+            });
         }
         crate::json_obj! {
             "traceEvents" => events,
@@ -419,6 +468,16 @@ pub struct RecorderHandoff {
     epoch: Instant,
 }
 
+impl RecorderHandoff {
+    /// Microseconds elapsed since the parent recorder's epoch — the
+    /// timestamp base every event on that recorder's timeline uses.
+    /// The metrics sampler calls this from its own thread so counter
+    /// samples land at the right place among the spans.
+    pub fn elapsed_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+}
+
 /// Captures this thread's recorder configuration for handing to worker
 /// threads; `None` when no recorder is active (workers then record
 /// nothing, at zero cost).
@@ -436,6 +495,24 @@ pub fn recorder_handoff() -> Option<RecorderHandoff> {
 /// returned trace to [`recorder_absorb`] on the parent thread.
 pub fn recorder_start_shard(handoff: RecorderHandoff) {
     ACTIVE.with(|a| *a.borrow_mut() = Some(Recorder::with_epoch(handoff.capacity, handoff.epoch)));
+}
+
+/// Appends counter-track samples to this thread's active recorder;
+/// returns how many were delivered (0 when no recorder is active —
+/// the samples are simply discarded, matching the span probes'
+/// no-recorder behavior).
+pub fn recorder_counter_samples(samples: Vec<CounterSample>) -> usize {
+    ACTIVE.with(|a| {
+        let mut borrow = a.borrow_mut();
+        let Some(r) = borrow.as_mut() else {
+            return 0;
+        };
+        let n = samples.len();
+        for s in samples {
+            r.counter_sample(s);
+        }
+        n
+    })
 }
 
 /// Merges a worker shard's trace into this thread's active recorder
@@ -594,6 +671,7 @@ mod tests {
                 ev("ok", TracePhase::End, 3.0, 0, 8),
                 ev("still_open", TracePhase::Begin, 4.0, 0, 9),
             ],
+            counters: vec![],
             dropped: 1,
             capacity: 4,
         };

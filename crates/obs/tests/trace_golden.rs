@@ -164,6 +164,7 @@ fn export_filters_orphans_created_by_wraparound() {
                 alloc_bytes: 0,
             },
         ],
+        counters: vec![],
         dropped: 1,
         capacity: 3,
     };
