@@ -4,6 +4,8 @@
 //! * early-abandoning DTW vs running the full band DP, at tight and loose
 //!   thresholds;
 //! * cascaded 1-NN vs brute-force 1-NN (the §3.4 claim in miniature);
+//! * the EXPLAIN prune funnel armed (`WorkMeter`) vs `NoMeter` on the
+//!   same cascaded 1-NN scan (the funnel's < 5 % overhead budget);
 //! * FastDTW's multilevel recursion vs a single windowed DP over its own
 //!   final window (isolating the recursion overhead);
 //! * the flight recorder armed vs spans-only vs no probes at all (the
@@ -87,6 +89,30 @@ fn knn_cascade_vs_brute(c: &mut Criterion) {
     });
     g.bench_function("cascade", |b| {
         b.iter(|| black_box(nn_cascade(&view, &query, band, 0).unwrap()))
+    });
+    g.finish();
+}
+
+fn funnel_overhead(c: &mut Criterion) {
+    // The EXPLAIN funnel's budget: arming a `WorkMeter` — whose funnel
+    // ledger adds a disposition increment, a cost-units add and (for
+    // survivors) a tightness sample per candidate per stage — must stay
+    // within the observability layer's < 5 % envelope on the cascaded
+    // 1-NN scan it instruments.
+    use tsdtw_mining::knn::nn_cascade_metered;
+    use tsdtw_obs::{NoMeter, WorkMeter};
+    let data = labeled_short_gestures(96, 6, 10, 9).unwrap();
+    let view = LabeledView::new(&data.series, &data.labels).unwrap();
+    let band = 8;
+    let query = data.series[0].clone();
+    let mut g = c.benchmark_group("ablation_funnel");
+    g.sample_size(30);
+    g.bench_function("no_meter", |b| {
+        b.iter(|| black_box(nn_cascade_metered(&view, &query, band, 0, &mut NoMeter).unwrap()))
+    });
+    g.bench_function("funnel_armed", |b| {
+        let mut meter = WorkMeter::new();
+        b.iter(|| black_box(nn_cascade_metered(&view, &query, band, 0, &mut meter).unwrap()))
     });
     g.finish();
 }
@@ -447,6 +473,7 @@ criterion_group!(
     envelopes,
     early_abandon,
     knn_cascade_vs_brute,
+    funnel_overhead,
     fastdtw_recursion_overhead,
     fastdtw_reference_vs_tuned,
     kernel_tiers,

@@ -11,6 +11,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig6;
 pub mod footnote2;
+pub mod funnel;
 pub mod impls;
 pub mod kernels;
 pub mod lbs;
@@ -44,6 +45,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("cells", cells::run),
         ("kernels", kernels::run),
         ("memory", memory::run),
+        ("funnel", funnel::run),
     ]
 }
 
@@ -56,11 +58,12 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
         assert!(ids.contains(&"table2"));
         assert!(ids.contains(&"impls"));
         assert!(ids.contains(&"cells"));
         assert!(ids.contains(&"kernels"));
         assert!(ids.contains(&"memory"));
+        assert!(ids.contains(&"funnel"));
     }
 }

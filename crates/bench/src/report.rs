@@ -69,6 +69,20 @@ impl Report {
         self.json.set("work", meter.report());
     }
 
+    /// Attaches the run's prune-funnel ledger as the `funnel` section of
+    /// the JSON record (same wrapping rule as
+    /// [`attach_work`](Self::attach_work)). The snapshot pipeline lifts
+    /// this section into schema-v4 `BENCH_*.json` files, where its
+    /// integer disposition leaves are hard-gated by `report diff` /
+    /// `report trend`.
+    pub fn attach_funnel(&mut self, meter: &WorkMeter) {
+        if !matches!(self.json, Json::Obj(_)) {
+            let record = std::mem::replace(&mut self.json, Json::object());
+            self.json.set("record", record);
+        }
+        self.json.set("funnel", meter.funnel.report());
+    }
+
     /// Renders the report for the terminal.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -154,6 +168,18 @@ mod tests {
         r.attach_work(&meter);
         assert_eq!(r.json["n"], 5);
         assert_eq!(r.json["work"]["cells"], 10);
+    }
+
+    #[test]
+    fn attach_funnel_adds_section() {
+        use tsdtw_obs::{FunnelStage, Meter};
+        let mut meter = WorkMeter::new();
+        meter.stage_entered(FunnelStage::Kim);
+        let mut r = Report::new("f", "t", &Json::object().with("n", 5));
+        r.attach_funnel(&meter);
+        assert_eq!(r.json["n"], 5);
+        assert_eq!(r.json["funnel"]["candidates"], 1);
+        assert_eq!(r.json["funnel"]["stages"]["lb_kim"]["entered"], 1);
     }
 
     #[test]

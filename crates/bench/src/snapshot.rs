@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 3,
+//!   "schema": 4,
 //!   "hash": "9f86d081884c7d65",
 //!   "experiment": "cells",
 //!   "title": "…",
@@ -16,6 +16,10 @@
 //!            "threads": 16, "n_threads": 4, "host": "…" },
 //!   "wall_s": 1.23,
 //!   "work": { "cells": …, "window_cells": …, … },
+//!   "funnel": { "candidates": …, "total_cost_units": …,
+//!               "stages": { "lb_kim": { "entered": …, "pruned": …,
+//!                                       "survived": …, "cost_units": …,
+//!                                       "tightness": { "count": …, … } }, … } },
 //!   "memory": { "telemetry": true, "allocs": …, "frees": …,
 //!               "bytes_allocated": …, "peak_bytes": …, … },
 //!   "kernels": { "cdtw": { "count": …, "total_s": …, "p50_s": …,
@@ -52,8 +56,11 @@ use tsdtw_obs::{json_obj, Json, SpanStat};
 /// across versions. Version 2 added the `memory` section and the
 /// per-kernel `alloc_bytes` column; version 3 added the `hash` field
 /// (content fingerprint, see [`content_hash`]) that the perf-trajectory
-/// history ledger keys records by.
-pub const SCHEMA_VERSION: i64 = 3;
+/// history ledger keys records by; version 4 added the `funnel`
+/// section (per-stage prune dispositions and cost units — integer
+/// leaves gate hard, tightness-quantile floats are advisory;
+/// `Json::Null` for experiments that run no cascade).
+pub const SCHEMA_VERSION: i64 = 4;
 
 /// Relative timing slowdown (percent) beyond which the diff emits an
 /// advisory warning. Deliberately loose: shared CI runners jitter.
@@ -116,15 +123,18 @@ pub fn git_rev() -> String {
 }
 
 /// Builds one snapshot document from an experiment's outcome: its
-/// report `work` section (if any), the heap delta measured around the
-/// run (`None` emits the disarmed all-zero stub, so the `memory`
-/// section exists in every snapshot), and the span table drained after
-/// the run (empty without `--features obs`).
+/// report `work` section (if any), its `funnel` section (`None` emits
+/// `null` — only cascaded experiments carry a funnel), the heap delta
+/// measured around the run (`None` emits the disarmed all-zero stub,
+/// so the `memory` section exists in every snapshot), and the span
+/// table drained after the run (empty without `--features obs`).
+#[allow(clippy::too_many_arguments)]
 pub fn capture(
     experiment: &str,
     title: &str,
     wall_s: f64,
     work: Option<&Json>,
+    funnel: Option<&Json>,
     memory: Option<&Json>,
     spans: &[SpanStat],
     n_threads: usize,
@@ -153,6 +163,7 @@ pub fn capture(
         "env" => env_fingerprint(n_threads),
         "wall_s" => wall_s,
         "work" => work.cloned().unwrap_or(Json::Null),
+        "funnel" => funnel.cloned().unwrap_or(Json::Null),
         "memory" => memory.cloned().unwrap_or_else(|| {
             // No probe data reached capture: mark the stub disarmed even
             // if the allocator happens to be armed in this process, so a
@@ -388,6 +399,12 @@ pub fn diff(baseline: &Json, current: &Json, fail_pct: f64) -> Diff {
     // --- deterministic work counters: the hard gate -------------------
     gate_counters("work", baseline, current, fail_pct, &|_| false, &mut d);
 
+    // --- funnel dispositions: every integer leaf (entered / pruned /
+    // survived / cost_units / tightness counts) gates hard; the
+    // tightness quantiles are floats, advisory by omission from the
+    // counter walk ----------------------------------------------------
+    gate_counters("funnel", baseline, current, fail_pct, &|_| false, &mut d);
+
     // --- memory: counts gate hard, byte totals are advisory -----------
     if baseline["memory"]["telemetry"].as_bool() == Some(true)
         && current["memory"]["telemetry"].as_bool() == Some(false)
@@ -469,6 +486,24 @@ mod tests {
                 "prune" => json_obj! { "kim" => 3 },
                 "fastdtw_levels" => Json::array()
                     .with_pushed(json_obj! { "window_cells" => cells / 2 }),
+            },
+            "funnel" => json_obj! {
+                "candidates" => 100,
+                "total_cost_units" => cells,
+                "stages" => json_obj! {
+                    "lb_kim" => json_obj! {
+                        "entered" => 100, "pruned" => 60,
+                        "survived" => 40, "cost_units" => 100,
+                        "tightness" => json_obj! {
+                            "count" => 10, "mean" => 0.7, "p50" => 0.7,
+                            "p90" => 0.8, "p99" => 0.9, "max" => 0.95,
+                        },
+                    },
+                    "dtw" => json_obj! {
+                        "entered" => 40, "pruned" => 0,
+                        "survived" => 40, "cost_units" => cells,
+                    },
+                },
             },
             "kernels" => json_obj! {
                 "cdtw" => json_obj! {
@@ -614,6 +649,38 @@ mod tests {
     }
 
     #[test]
+    fn funnel_disposition_drift_is_a_hard_regression() {
+        // More DTW entrants than the baseline means the lower-bound
+        // cascade got leakier — that's a pruning regression even when
+        // total cell counts stay flat, and it must fail the diff.
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        let leaky_dtw = base["funnel"]["stages"]["dtw"].clone().with("entered", 50);
+        let stages = base["funnel"]["stages"].clone().with("dtw", leaky_dtw);
+        cur.set("funnel", base["funnel"].clone().with("stages", stages));
+        let d = diff(&base, &cur, 0.0);
+        assert!(
+            d.regressions
+                .iter()
+                .any(|r| r.contains("funnel.stages.dtw.entered")),
+            "{:?}",
+            d.regressions
+        );
+        // Tightness quantiles are floats: drift there is not gated.
+        let mut cur = snap(1000, 1.0);
+        let loose = base["funnel"]["stages"]["lb_kim"]["tightness"]
+            .clone()
+            .with("p99", 0.1);
+        let kim = base["funnel"]["stages"]["lb_kim"]
+            .clone()
+            .with("tightness", loose);
+        let stages = base["funnel"]["stages"].clone().with("lb_kim", kim);
+        cur.set("funnel", base["funnel"].clone().with("stages", stages));
+        let d = diff(&base, &cur, 0.0);
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+    }
+
+    #[test]
     fn memory_count_growth_is_a_hard_regression() {
         let base = snap(1000, 1.0);
         let mut cur = snap(1000, 1.0);
@@ -693,13 +760,38 @@ mod tests {
             alloc_bytes: 64,
         }];
         let work = json_obj! { "cells" => 7 };
-        let s = capture("cells", "title", 1.5, Some(&work), None, &spans, 4);
+        let funnel = json_obj! {
+            "candidates" => 9,
+            "total_cost_units" => 90,
+            "stages" => json_obj! {
+                "lb_kim" => json_obj! {
+                    "entered" => 9, "pruned" => 4, "survived" => 5,
+                    "cost_units" => 9,
+                },
+            },
+        };
+        let s = capture(
+            "cells",
+            "title",
+            1.5,
+            Some(&work),
+            Some(&funnel),
+            None,
+            &spans,
+            4,
+        );
         assert_eq!(s["schema"], SCHEMA_VERSION);
         // v3: the stamped hash matches a recomputation over the content.
         let stamped = s["hash"].as_str().expect("hash field").to_string();
         assert_eq!(stamped, content_hash(&s));
         assert_eq!(s["experiment"], "cells");
         assert_eq!(s["work"]["cells"], 7);
+        // v4: the funnel section rides along verbatim…
+        assert_eq!(s["funnel"]["candidates"], 9);
+        assert_eq!(s["funnel"]["stages"]["lb_kim"]["pruned"], 4);
+        // …and a cascade-free experiment carries an explicit null.
+        let bare = capture("cells", "title", 1.5, Some(&work), None, None, &spans, 4);
+        assert!(bare["funnel"].is_null());
         assert_eq!(s["kernels"]["cdtw"]["count"], 3u64);
         assert_eq!(s["kernels"]["cdtw"]["alloc_bytes"], 64u64);
         // No memory report passed: the stub section marks telemetry off.

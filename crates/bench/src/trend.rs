@@ -84,7 +84,7 @@ pub fn mad(xs: &[f64], center: f64) -> f64 {
 pub struct ExperimentTrend {
     /// Experiment id (ledger file stem).
     pub experiment: String,
-    /// Schema-v3 records analyzed.
+    /// Current-schema records analyzed.
     pub records: usize,
     /// Hard failures: deterministic counters grew vs the previous
     /// record.
@@ -157,12 +157,15 @@ fn timing_series(rec: &Json) -> Vec<(String, f64)> {
     out
 }
 
-/// Work-counter leaves of a record, plus memory *count* leaves when
-/// telemetry was armed (byte-valued leaves stay out of the hard gate,
-/// matching `report diff`).
+/// Work-counter leaves of a record, plus funnel disposition leaves
+/// (entered / pruned / survived / cost_units are integers and exactly
+/// as deterministic as the work counters), plus memory *count* leaves
+/// when telemetry was armed (byte-valued leaves stay out of the hard
+/// gate, matching `report diff`).
 fn hard_counters(rec: &Json) -> Vec<(String, i64)> {
     let mut out = Vec::new();
     snapshot::counter_leaves(&rec["work"], "work", &mut out);
+    snapshot::counter_leaves(&rec["funnel"], "funnel", &mut out);
     if rec["memory"]["telemetry"].as_bool() == Some(true) {
         let mut mem = Vec::new();
         snapshot::counter_leaves(&rec["memory"], "memory", &mut mem);
@@ -178,8 +181,8 @@ pub fn analyze(experiment: &str, records: &[Json], cfg: &TrendConfig) -> Experim
         ..Default::default()
     };
 
-    // Only schema-v3 records participate; anything else is noted, not
-    // a parse error (the ledger may predate a schema bump).
+    // Only current-schema records participate; anything else is noted,
+    // not a parse error (the ledger may predate a schema bump).
     let v3: Vec<&Json> = records
         .iter()
         .filter(|r| r["schema"].as_i64() == Some(SCHEMA_VERSION))
@@ -379,11 +382,17 @@ mod tests {
     use super::*;
     use tsdtw_obs::json_obj;
 
-    /// A minimal schema-v3 ledger record.
+    /// A minimal current-schema ledger record.
     fn rec(cells: i64, wall: f64, host: &str) -> Json {
+        rec_with_dtw_entrants(cells, wall, host, 40)
+    }
+
+    /// Like [`rec`] but with a controllable funnel: `dtw_entered`
+    /// candidates leak past the lower bounds into the DTW stage.
+    fn rec_with_dtw_entrants(cells: i64, wall: f64, host: &str, dtw_entered: i64) -> Json {
         json_obj! {
             "schema" => SCHEMA_VERSION,
-            "hash" => format!("{cells:016x}"),
+            "hash" => format!("{cells:016x}{dtw_entered:x}"),
             "experiment" => "cells",
             "git_rev" => "deadbee",
             "spans_enabled" => false,
@@ -394,6 +403,20 @@ mod tests {
             },
             "wall_s" => wall,
             "work" => json_obj! { "cells" => cells, "window_cells" => cells * 2 },
+            "funnel" => json_obj! {
+                "candidates" => 100,
+                "total_cost_units" => 5100,
+                "stages" => json_obj! {
+                    "lb_kim" => json_obj! {
+                        "entered" => 100, "pruned" => 100 - dtw_entered,
+                        "survived" => dtw_entered, "cost_units" => 100,
+                    },
+                    "dtw" => json_obj! {
+                        "entered" => dtw_entered, "pruned" => 0,
+                        "survived" => dtw_entered, "cost_units" => 5000,
+                    },
+                },
+            },
             "memory" => json_obj! { "telemetry" => false, "allocs" => 0 },
             "kernels" => json_obj! {
                 "cdtw" => json_obj! { "count" => 10, "total_s" => wall / 2.0 },
@@ -452,6 +475,31 @@ mod tests {
         let creep = vec![rec(1000, 1.0, "ci"), rec(1001, 1.0, "ci")];
         let t = analyze("cells", &creep, &TrendConfig::default());
         assert_eq!(t.counter_regressions.len(), 2);
+    }
+
+    #[test]
+    fn funnel_leak_hard_fails_even_with_flat_work_counters() {
+        // Same DP work, but more candidates slipping past the lower
+        // bounds into the DTW stage: the pruning quality regressed and
+        // the funnel leaves catch it at zero tolerance.
+        let records = vec![
+            rec_with_dtw_entrants(1000, 1.0, "ci", 40),
+            rec_with_dtw_entrants(1000, 1.0, "ci", 55),
+        ];
+        let t = analyze("cells", &records, &TrendConfig::default());
+        assert!(!t.is_clean());
+        assert!(
+            t.counter_regressions
+                .iter()
+                .any(|r| r.contains("funnel.stages.dtw.entered")),
+            "{:?}",
+            t.counter_regressions
+        );
+        assert!(
+            t.counter_regressions.iter().all(|r| !r.contains("work.")),
+            "work counters were flat: {:?}",
+            t.counter_regressions
+        );
     }
 
     #[test]

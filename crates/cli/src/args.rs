@@ -1,7 +1,10 @@
 //! Minimal dependency-free argument parsing for the `tsdtw` binary.
 //!
-//! Grammar: `tsdtw <command> [--flag value]... [--switch]...`. Flags are
-//! declared per command; unknown flags are errors with a helpful message.
+//! Grammar: `tsdtw <command> [--flag value]... [--flag=value]...
+//! [--switch]...`. Flags are declared per command; unknown flags are
+//! errors with a helpful message. A name declared as *both* a switch
+//! and a value flag is optional-valued: bare `--name` is the switch
+//! (it never consumes the next token), `--name=value` carries a value.
 
 use std::collections::HashMap;
 
@@ -40,6 +43,17 @@ impl Args {
                     "unexpected positional argument {tok:?}; all options are --flag value"
                 )));
             };
+            if let Some((name, value)) = name.split_once('=') {
+                if value_flags.contains(&name) {
+                    out.flags.insert(name.to_string(), value.to_string());
+                    continue;
+                }
+                return Err(ArgError(if bool_switches.contains(&name) {
+                    format!("--{name} is a switch and takes no value")
+                } else {
+                    format!("unknown option --{name}")
+                }));
+            }
             if bool_switches.contains(&name) {
                 out.switches.push(name.to_string());
             } else if value_flags.contains(&name) {
@@ -106,6 +120,33 @@ mod tests {
         assert!(a.has("verbose"));
         assert!(!a.has("quiet"));
         assert_eq!(a.get_or::<f64>("w", 0.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn equals_form_and_optional_valued_flags() {
+        // --flag=value is equivalent to --flag value.
+        let a = Args::parse(&raw(&["--w=5"]), &["w"], &[]).unwrap();
+        assert_eq!(a.required("w").unwrap(), "5");
+        // Declared as both: bare form is the switch and never eats the
+        // next token; = form carries the value.
+        let both = Args::parse(
+            &raw(&["--explain", "--w", "5"]),
+            &["explain", "w"],
+            &["explain"],
+        )
+        .unwrap();
+        assert!(both.has("explain"));
+        assert!(both.optional("explain").is_none());
+        assert_eq!(both.required("w").unwrap(), "5");
+        let valued =
+            Args::parse(&raw(&["--explain=out.json"]), &["explain"], &["explain"]).unwrap();
+        assert_eq!(valued.optional("explain"), Some("out.json"));
+        // = on a pure switch or unknown name is an error.
+        assert!(Args::parse(&raw(&["--verbose=1"]), &[], &["verbose"]).is_err());
+        assert!(Args::parse(&raw(&["--nope=1"]), &["w"], &[]).is_err());
+        // An empty value is preserved, not treated as missing.
+        let empty = Args::parse(&raw(&["--w="]), &["w"], &[]).unwrap();
+        assert_eq!(empty.required("w").unwrap(), "");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use tsdtw_obs::{NoMeter, WorkMeter};
 pub const HELP: &str = "\
 tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure M]
                [--threads N] [--stats] [--stats-json FILE] [--trace FILE]
-               [--metrics FILE]
+               [--metrics FILE] [--explain[=FILE]]
   M: cdtw (default) | dtw | euclidean | fastdtw-ref (with --radius R)
   --w auto learns the window by LOOCV on the training set (grid 0..--max-w, default 20)
   --threads N    worker threads for the evaluation (default 1); results and
@@ -28,6 +28,10 @@ tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure 
                  (Chrome Trace Format; needs a build with --features obs)
   --metrics      write the run's work counters and request latency to FILE
                  in the Prometheus text exposition format
+  --explain      print the EXPLAIN prune-funnel table for the evaluation's
+                 lower-bound cascade (the split evaluation is brute-force,
+                 so this reports an explanatory note until it cascades).
+                 --explain=FILE also dumps the funnel JSON
   files: UCR archive format (label, then values; tab- or comma-separated)";
 
 /// Runs the command, returning the printable result.
@@ -45,8 +49,9 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
             stats::METRICS_FLAG,
+            stats::EXPLAIN_FLAG,
         ],
-        &[stats::STATS_SWITCH],
+        &[stats::STATS_SWITCH, stats::EXPLAIN_FLAG],
     )?;
     let par = ParConfig::new(args.get_or("threads", 1)?)?;
     let train = load_ucr_file(Path::new(args.required("train")?))?;
@@ -89,8 +94,10 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let json_path = args.optional(stats::STATS_JSON_FLAG);
     let trace_path = args.optional(stats::TRACE_FLAG);
     let metrics_path = args.optional(stats::METRICS_FLAG);
+    let explain_path = args.optional(stats::EXPLAIN_FLAG);
+    let want_explain = args.has(stats::EXPLAIN_FLAG) || explain_path.is_some();
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
-    let want_meter = want_stats || metrics_path.is_some();
+    let want_meter = want_stats || metrics_path.is_some() || want_explain;
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
     let t0 = std::time::Instant::now();
@@ -126,6 +133,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     if want_stats {
         stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }
+    stats::explain_finish(want_explain, explain_path, &meter, &mut out)?;
     stats::metrics_finish(metrics_path, &meter, wall_s, &mut out)?;
     Ok(out)
 }
@@ -282,6 +290,24 @@ mod tests {
             "classify output (learned window, accuracy, work counters) must \
              not depend on --threads"
         );
+    }
+
+    #[test]
+    fn explain_on_brute_force_evaluation_degrades_to_a_note() {
+        let (train, test) = setup();
+        let out = run(&raw(&[
+            "--train",
+            train.to_str().unwrap(),
+            "--test",
+            test.to_str().unwrap(),
+            "--w",
+            "5",
+            "--explain",
+        ]))
+        .unwrap();
+        assert!(out.contains("accuracy:"), "{out}");
+        assert!(out.contains("-- explain --"), "{out}");
+        assert!(out.contains("no cascaded stages ran"), "{out}");
     }
 
     #[test]

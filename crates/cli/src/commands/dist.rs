@@ -12,7 +12,7 @@ use tsdtw_obs::WorkMeter;
 pub const HELP: &str = "\
 tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
            [--kernel K] [--threads N] [--stats] [--stats-json FILE]
-           [--trace FILE] [--metrics FILE]
+           [--trace FILE] [--metrics FILE] [--explain[=FILE]]
   M: dtw | cdtw (default, needs --w) | fastdtw | fastdtw-ref (need --radius)
      | euclidean
   --kernel K     DP row-sweep tier: auto (default), generic, or segmented.
@@ -25,6 +25,9 @@ tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
                  (Chrome Trace Format; needs a build with --features obs)
   --metrics      write the run's work counters and request latency to FILE
                  in the Prometheus text exposition format
+  --explain      print the EXPLAIN prune-funnel table (a single-pair
+                 distance runs no lower-bound cascade, so this reports an
+                 explanatory note). --explain=FILE also dumps the funnel JSON
   series files: one value per line, '#' comments allowed";
 
 /// Runs the command, returning the printable result.
@@ -42,8 +45,9 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
             stats::METRICS_FLAG,
+            stats::EXPLAIN_FLAG,
         ],
-        &["znorm", stats::STATS_SWITCH],
+        &["znorm", stats::STATS_SWITCH, stats::EXPLAIN_FLAG],
     )?;
     // A single pair runs serially; the flag exists so scripts can pass the
     // same --threads to every command, and bad values still fail fast.
@@ -80,8 +84,10 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let json_path = args.optional(stats::STATS_JSON_FLAG);
     let trace_path = args.optional(stats::TRACE_FLAG);
     let metrics_path = args.optional(stats::METRICS_FLAG);
+    let explain_path = args.optional(stats::EXPLAIN_FLAG);
+    let want_explain = args.has(stats::EXPLAIN_FLAG) || explain_path.is_some();
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
-    let want_meter = want_stats || metrics_path.is_some();
+    let want_meter = want_stats || metrics_path.is_some() || want_explain;
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
     let t0 = std::time::Instant::now();
@@ -105,6 +111,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     if want_stats {
         stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }
+    stats::explain_finish(want_explain, explain_path, &meter, &mut out)?;
     stats::metrics_finish(metrics_path, &meter, wall_s, &mut out)?;
     Ok(out)
 }
@@ -290,6 +297,25 @@ mod tests {
         let r = run(&bad);
         assert!(r.is_err(), "unknown kernel must be rejected");
         tsdtw_core::set_default_kernel(tsdtw_core::Kernel::Auto);
+    }
+
+    #[test]
+    fn explain_on_a_cascade_free_path_degrades_to_a_note() {
+        let (a, b) = setup("tsdtw-dist-explain-test");
+        let out = run(&raw(&[
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "cdtw",
+            "--w",
+            "40",
+            "--explain",
+        ]))
+        .unwrap();
+        assert!(out.contains("-- explain --"), "{out}");
+        assert!(out.contains("no cascaded stages ran"), "{out}");
     }
 
     #[test]

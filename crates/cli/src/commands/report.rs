@@ -321,6 +321,49 @@ fn run_show(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         out.push_str(&aligned(&work));
     }
 
+    match snap.get("funnel") {
+        Some(funnel) if !funnel.is_null() => {
+            out.push_str("\n-- funnel (per-stage prune dispositions, deterministic) --\n");
+            out.push_str(&format!(
+                "  {} candidate(s), {} cost unit(s)\n",
+                funnel["candidates"].as_i64().unwrap_or(0),
+                funnel["total_cost_units"].as_i64().unwrap_or(0),
+            ));
+            if let Some(stages) = funnel["stages"].as_object() {
+                out.push_str(&format!(
+                    "  {:<14} {:>10} {:>10} {:>10} {:>14} {:>12}\n",
+                    "stage", "entered", "pruned", "survived", "cost_units", "lb/dtw p50"
+                ));
+                for (name, s) in stages {
+                    let p50 = s["tightness"]["p50"]
+                        .as_f64()
+                        .map(|v| format!("{v:.3}"))
+                        .unwrap_or_else(|| "-".into());
+                    out.push_str(&format!(
+                        "  {:<14} {:>10} {:>10} {:>10} {:>14} {:>12}\n",
+                        name,
+                        s["entered"].as_i64().unwrap_or(0),
+                        s["pruned"].as_i64().unwrap_or(0),
+                        s["survived"].as_i64().unwrap_or(0),
+                        s["cost_units"].as_i64().unwrap_or(0),
+                        p50,
+                    ));
+                }
+            }
+        }
+        // Pre-v4 snapshots carry no funnel key; v4 snapshots of
+        // non-cascaded experiments carry an explicit null. Both degrade
+        // to the same note rather than an empty table.
+        _ => out.push_str(&format!(
+            "\nno funnel section ({})\n",
+            if schema < 4 {
+                "pre-v4 snapshot; regenerate with `repro`"
+            } else {
+                "experiment ran no lower-bound cascade"
+            }
+        )),
+    }
+
     if let Some(mem) = snap["memory"].as_object() {
         let armed = snap["memory"]["telemetry"].as_bool() == Some(true);
         out.push_str(&format!(
@@ -574,11 +617,37 @@ mod tests {
                 },
             },
         );
+        s.set(
+            "funnel",
+            json_obj! {
+                "candidates" => 100,
+                "total_cost_units" => 7500,
+                "stages" => json_obj! {
+                    "lb_kim" => json_obj! {
+                        "entered" => 100, "pruned" => 60, "survived" => 40,
+                        "cost_units" => 100,
+                        "tightness" => json_obj! {
+                            "count" => 10, "mean" => 0.7, "p50" => 0.71,
+                            "p90" => 0.8, "p99" => 0.9, "max" => 0.95,
+                        },
+                    },
+                    "dtw" => json_obj! {
+                        "entered" => 40, "pruned" => 0, "survived" => 40,
+                        "cost_units" => 7400,
+                    },
+                },
+            },
+        );
         let path = write_snap(&d, "BENCH_cells.json", &s);
         let out = run(&raw(&["show", &path])).unwrap();
         assert!(out.contains("experiment   cells"), "{out}");
         assert!(out.contains("-- work counters"), "{out}");
         assert!(out.contains("cells") && out.contains("12345"), "{out}");
+        assert!(out.contains("-- funnel"), "{out}");
+        assert!(out.contains("100 candidate(s), 7500 cost unit(s)"), "{out}");
+        assert!(out.contains("lb_kim"), "{out}");
+        assert!(out.contains("0.710"), "{out}");
+        assert!(!out.contains("no funnel section"), "{out}");
         assert!(out.contains("-- memory"), "{out}");
         assert!(out.contains("disarmed"), "{out}");
         assert!(out.contains("-- kernels"), "{out}");
@@ -587,6 +656,26 @@ mod tests {
         let not_snap = write_snap(&d, "nope.json", &json_obj! { "x" => 1 });
         let err = run(&raw(&["show", &not_snap])).unwrap_err().to_string();
         assert!(err.contains("no schema tag"), "{err}");
+    }
+
+    #[test]
+    fn show_degrades_cleanly_when_the_snapshot_has_no_funnel() {
+        let d = tmpdir("tsdtw-report-show-nofunnel");
+        // Pre-v4 snapshots have no funnel key at all.
+        let mut old = snap_json(100);
+        old.set("schema", 3i64);
+        let path = write_snap(&d, "BENCH_old.json", &old);
+        let out = run(&raw(&["show", &path])).unwrap();
+        assert!(out.contains("no funnel section"), "{out}");
+        assert!(out.contains("pre-v4"), "{out}");
+        // Current-schema snapshots of non-cascaded experiments carry an
+        // explicit null.
+        let mut bare = snap_json(100);
+        bare.set("funnel", Json::Null);
+        let path = write_snap(&d, "BENCH_bare.json", &bare);
+        let out = run(&raw(&["show", &path])).unwrap();
+        assert!(out.contains("no funnel section"), "{out}");
+        assert!(out.contains("no lower-bound cascade"), "{out}");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use tsdtw_obs::WorkMeter;
 pub const HELP: &str = "\
 tsdtw search --haystack FILE --query FILE [--w PCT] [--top K] [--threads N]
              [--stats] [--stats-json FILE] [--trace FILE] [--metrics FILE]
+             [--explain[=FILE]]
   z-normalizes the query and every candidate window (UCR practice) and
   reports the best match(es) under cDTW_w with pruning statistics
   --threads N    worker threads for the candidate scan (default 1); matches,
@@ -24,7 +25,11 @@ tsdtw search --haystack FILE --query FILE [--w PCT] [--top K] [--threads N]
   --trace        record a flight-recorder trace of the search to FILE
                  (Chrome Trace Format; needs a build with --features obs)
   --metrics      write the run's work counters and request latency to FILE
-                 in the Prometheus text exposition format";
+                 in the Prometheus text exposition format
+  --explain      print the EXPLAIN prune-funnel table: per cascade stage,
+                 candidates entered/pruned, cost units, cost share, and the
+                 prune-rate-per-cost ranking; bitwise identical at every
+                 --threads. --explain=FILE also dumps the funnel JSON";
 
 /// Runs the command, returning the printable result.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
@@ -39,8 +44,9 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             stats::STATS_JSON_FLAG,
             stats::TRACE_FLAG,
             stats::METRICS_FLAG,
+            stats::EXPLAIN_FLAG,
         ],
-        &[stats::STATS_SWITCH],
+        &[stats::STATS_SWITCH, stats::EXPLAIN_FLAG],
     )?;
     let par = ParConfig::new(args.get_or("threads", 1)?)?;
     let haystack = read_series(Path::new(args.required("haystack")?))?;
@@ -51,6 +57,8 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let json_path = args.optional(stats::STATS_JSON_FLAG);
     let trace_path = args.optional(stats::TRACE_FLAG);
     let metrics_path = args.optional(stats::METRICS_FLAG);
+    let explain_path = args.optional(stats::EXPLAIN_FLAG);
+    let want_explain = args.has(stats::EXPLAIN_FLAG) || explain_path.is_some();
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
@@ -97,6 +105,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     if want_stats {
         stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }
+    stats::explain_finish(want_explain, explain_path, &meter, &mut out)?;
     stats::metrics_finish(metrics_path, &meter, wall_s, &mut out)?;
     Ok(out)
 }
@@ -232,6 +241,55 @@ mod tests {
             "metrics exposition must be bitwise independent of --threads"
         );
         assert!(metrics_1.contains("tsdtw_work_prune_kim"), "{metrics_1}");
+    }
+
+    #[test]
+    fn explain_funnel_is_bitwise_invariant_across_thread_counts() {
+        let dir = std::env::temp_dir().join("tsdtw-search-explain-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let query: Vec<f64> = (0..28).map(|i| (i as f64 * 0.3).sin()).collect();
+        let hay: Vec<f64> = (0..600).map(|i| ((i * 3) as f64 * 0.11).sin()).collect();
+        let hp = dir.join("hay.txt");
+        let qp = dir.join("query.txt");
+        write_series(&hp, &hay).unwrap();
+        write_series(&qp, &query).unwrap();
+        let explain = |threads: &str| {
+            let json = dir.join(format!("funnel-{threads}.json"));
+            let out = run(&raw(&[
+                "--haystack",
+                hp.to_str().unwrap(),
+                "--query",
+                qp.to_str().unwrap(),
+                "--threads",
+                threads,
+                &format!("--explain={}", json.to_str().unwrap()),
+            ]))
+            .unwrap();
+            // The table portion of the output, with the per-thread JSON
+            // path line dropped.
+            let table: String = out
+                .lines()
+                .skip_while(|l| *l != "-- explain --")
+                .filter(|l| !l.starts_with("funnel JSON written"))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            (table, std::fs::read_to_string(&json).unwrap())
+        };
+        let (table_1, json_1) = explain("1");
+        assert!(table_1.contains("prune funnel:"), "{table_1}");
+        assert!(table_1.contains("lb_kim"), "{table_1}");
+        assert!(table_1.contains("prune-rate-per-cost ranking"), "{table_1}");
+        for threads in ["2", "4", "7"] {
+            let (table_n, json_n) = explain(threads);
+            assert_eq!(
+                table_1, table_n,
+                "--explain table must be bitwise identical at --threads {threads}"
+            );
+            assert_eq!(
+                json_1, json_n,
+                "funnel JSON must be bitwise identical at --threads {threads}"
+            );
+        }
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub const STATS_JSON_FLAG: &str = "stats-json";
 pub const TRACE_FLAG: &str = "trace";
 /// Value flag naming the Prometheus exposition dump file.
 pub const METRICS_FLAG: &str = "metrics";
+/// Optional-valued flag requesting the prune-funnel EXPLAIN table
+/// (declare in *both* the switch and value-flag lists: bare `--explain`
+/// prints the table, `--explain=FILE` additionally dumps the funnel
+/// JSON to FILE).
+pub const EXPLAIN_FLAG: &str = "explain";
 
 /// Writes `text` to `path` atomically: temp file in the same directory,
 /// then rename — the same discipline as `Report::write_json`, so a
@@ -120,6 +125,41 @@ pub fn render(
     Ok(())
 }
 
+/// Renders the `--explain` prune-funnel table from the meter's funnel
+/// ledger: per stage (`lb_kim`, `lb_keogh_qc`, `lb_keogh_cq`, `dtw`)
+/// the candidates entered / pruned / survived, the deterministic cost
+/// proxy, each stage's share of the total cost, and the
+/// prune-rate-per-cost ranking that says which bound earns its keep.
+/// The dispositions are exact integers, bitwise identical at any
+/// `--threads`. When `json_path` is given (`--explain=FILE`) the
+/// funnel JSON is additionally written there, atomically. Commands
+/// whose distance path runs no cascade (brute-force classify, plain
+/// FastDTW dist) get an explanatory note instead of an empty table.
+pub fn explain_finish(
+    want: bool,
+    json_path: Option<&str>,
+    meter: &WorkMeter,
+    out: &mut String,
+) -> Result<(), Box<dyn std::error::Error>> {
+    if !want && json_path.is_none() {
+        return Ok(());
+    }
+    out.push_str("-- explain --\n");
+    if meter.funnel.is_empty() {
+        out.push_str("no cascaded stages ran (this distance path uses no lower-bound cascade); nothing to attribute\n");
+    } else {
+        out.push_str(&meter.funnel.table());
+    }
+    if let Some(path) = json_path {
+        write_atomic(
+            Path::new(path),
+            &format!("{}\n", meter.funnel.report().to_string_pretty()),
+        )?;
+        out.push_str(&format!("funnel JSON written to {path}\n"));
+    }
+    Ok(())
+}
+
 /// Folds the command's [`WorkMeter`] and end-to-end latency into the
 /// process-wide metrics registry and writes its Prometheus text
 /// exposition to the file named by `--metrics FILE`. A no-op when the
@@ -144,6 +184,10 @@ pub fn metrics_finish(
     let text = tsdtw_obs::metrics::with_registry(|r| {
         r.reset();
         r.record_meter(meter);
+        // Cascaded commands additionally export the per-stage funnel
+        // families (`tsdtw_cascade_stage_*`); a no-op when the command
+        // ran no cascade, so non-cascaded expositions are unchanged.
+        r.record_funnel(&meter.funnel);
         r.observe_s(
             "tsdtw_request_seconds",
             "End-to-end command latency in seconds.",
@@ -293,6 +337,42 @@ mod tests {
         assert!(view.contains("tsdtw_request_seconds_count 1"), "{view}");
         assert!(!view.contains("tsdtw_request_seconds_sum"), "{view}");
         assert!(!view.contains("quantile"), "{view}");
+    }
+
+    #[test]
+    fn explain_finish_renders_table_and_writes_json() {
+        use tsdtw_obs::{FunnelStage, Meter};
+        let dir = std::env::temp_dir().join("tsdtw-stats-explain-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("funnel.json");
+        let mut meter = WorkMeter::new();
+        for _ in 0..10 {
+            meter.stage_entered(FunnelStage::Kim);
+            meter.stage_cost(FunnelStage::Kim, 1);
+        }
+        for _ in 0..7 {
+            meter.funnel.record_pruned(FunnelStage::Kim);
+        }
+        let mut out = String::new();
+        explain_finish(true, path.to_str(), &meter, &mut out).unwrap();
+        assert!(out.contains("-- explain --"), "{out}");
+        assert!(out.contains("lb_kim"), "{out}");
+        assert!(out.contains("funnel JSON written"), "{out}");
+        let dumped = std::fs::read_to_string(&path).unwrap();
+        let parsed = tsdtw_obs::Json::parse(&dumped).unwrap();
+        assert_eq!(parsed["candidates"], 10);
+        assert_eq!(parsed["stages"]["lb_kim"]["pruned"], 7);
+        // An empty funnel degrades to a note, not an empty table.
+        let mut out = String::new();
+        explain_finish(true, None, &WorkMeter::new(), &mut out).unwrap();
+        assert!(out.contains("no cascaded stages ran"), "{out}");
+    }
+
+    #[test]
+    fn explain_finish_without_flag_is_a_no_op() {
+        let mut out = String::new();
+        explain_finish(false, None, &WorkMeter::new(), &mut out).unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -17,14 +17,19 @@
 //! Section 3.4: the approximate algorithm cannot be accelerated this way,
 //! the exact one can.
 
+use std::sync::Arc;
+
 use crate::cost::SquaredCost;
-use crate::dtw::early_abandon::{cdtw_distance_ea_metered, EaOutcome};
+use crate::dtw::early_abandon::{cdtw_distance_ea_metered_buf_kernel, EaOutcome};
+use crate::dtw::kernel::default_kernel;
+use crate::dtw::windowed::DtwBuffer;
 use crate::envelope::Envelope;
 use crate::error::{Error, Result};
-use tsdtw_obs::{LbKind, Meter, NoMeter, StageTag};
+use tsdtw_obs::{tightness_ppb, FunnelStage, LbKind, Meter, NoMeter, StageTag};
 
 use super::keogh::{
-    lb_keogh_ea, lb_keogh_reordered, lb_keogh_with_contrib, sort_indices_by_magnitude, suffix_sums,
+    lb_keogh_ea, lb_keogh_reordered, lb_keogh_with_contrib, sort_indices_by_magnitude,
+    suffix_sums_into,
 };
 use super::kim::lb_kim_hierarchy;
 
@@ -135,14 +140,43 @@ impl CascadeStats {
 /// assert!(best < 0.1);
 /// assert_eq!(cascade.stats().total(), 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Cascade {
+    /// The query-side preparation (query copy, envelope, magnitude sort
+    /// order), shared read-only across clones so that cloning a
+    /// prepared cascade for a worker thread costs one `Arc` bump and
+    /// zero heap allocations (`alloc_discipline` asserts this).
+    prep: Arc<CascadePrep>,
+    stats: CascadeStats,
+    contrib: Vec<f64>,
+    cb: Vec<f64>,
+    buf: DtwBuffer,
+}
+
+/// The immutable query-side state every [`Cascade`] clone shares.
+#[derive(Debug)]
+struct CascadePrep {
     query: Vec<f64>,
     band: usize,
     env: Envelope,
     order: Vec<usize>,
-    stats: CascadeStats,
-    contrib: Vec<f64>,
+}
+
+impl Clone for Cascade {
+    /// Clones share the prepared query state and start with fresh,
+    /// empty scratch (and zeroed statistics inherit-by-copy): the
+    /// clone itself never touches the heap, which is what lets
+    /// `nn_cascade_par` hand one prepared cascade to every worker
+    /// without re-running the O(n log n) preparation per worker.
+    fn clone(&self) -> Self {
+        Cascade {
+            prep: Arc::clone(&self.prep),
+            stats: self.stats,
+            contrib: Vec::new(),
+            cb: Vec::new(),
+            buf: DtwBuffer::new(),
+        }
+    }
 }
 
 impl Cascade {
@@ -156,18 +190,22 @@ impl Cascade {
         let env = Envelope::new(query, band)?;
         let order = sort_indices_by_magnitude(query);
         Ok(Cascade {
-            query: query.to_vec(),
-            band,
-            env,
-            order,
+            prep: Arc::new(CascadePrep {
+                query: query.to_vec(),
+                band,
+                env,
+                order,
+            }),
             stats: CascadeStats::default(),
             contrib: Vec::new(),
+            cb: Vec::new(),
+            buf: DtwBuffer::new(),
         })
     }
 
     /// The band radius in cells.
     pub fn band(&self) -> usize {
-        self.band
+        self.prep.band
     }
 
     /// Accumulated pruning statistics.
@@ -190,19 +228,28 @@ impl Cascade {
     /// invocation (including the stage-4 contribution recompute), the
     /// on-demand candidate envelope, the disposal stage, and — through the
     /// metered DTW kernel — the cells the surviving DP actually filled.
+    ///
+    /// Each stage additionally reports to the meter's prune funnel: a
+    /// `stage_entered` on entry, a deterministic `stage_cost` (the
+    /// proxy table in `tsdtw-obs::funnel`), and — when the candidate
+    /// survives to an exact DTW — one `LB / true-DTW` tightness sample
+    /// per bound that ran.
     pub fn evaluate_metered<M: Meter>(
         &mut self,
         candidate: &[f64],
         bsf: f64,
         meter: &mut M,
     ) -> Result<CascadeOutcome> {
-        if candidate.len() != self.query.len() {
+        let n = self.prep.query.len();
+        if candidate.len() != n {
             return Err(Error::LengthMismatch {
-                x_len: self.query.len(),
+                x_len: n,
                 y_len: candidate.len(),
             });
         }
         let _span = tsdtw_obs::span("cascade");
+        // The stage-4 cost proxy charges rows filled × band width.
+        let band_width = (2 * self.prep.band + 1).min(n) as u64;
 
         let dispose = |stats: &mut CascadeStats, meter: &mut M, stage, value| {
             match stage {
@@ -220,7 +267,9 @@ impl Cascade {
         let kim = {
             let _stage = tsdtw_obs::span("lb_kim");
             meter.lb(LbKind::Kim);
-            lb_kim_hierarchy(&self.query, candidate, bsf)?
+            meter.stage_entered(FunnelStage::Kim);
+            meter.stage_cost(FunnelStage::Kim, 1);
+            lb_kim_hierarchy(&self.prep.query, candidate, bsf)?
         };
         if kim >= bsf {
             return dispose(&mut self.stats, meter, PruneStage::Kim, kim);
@@ -230,7 +279,9 @@ impl Cascade {
         let keogh_qc = {
             let _stage = tsdtw_obs::span("lb_keogh_qc");
             meter.lb(LbKind::Keogh);
-            lb_keogh_reordered(candidate, &self.env, &self.order, bsf)?
+            meter.stage_entered(FunnelStage::KeoghQC);
+            meter.stage_cost(FunnelStage::KeoghQC, n as u64);
+            lb_keogh_reordered(candidate, &self.prep.env, &self.prep.order, bsf)?
         };
         if keogh_qc >= bsf {
             return dispose(&mut self.stats, meter, PruneStage::KeoghQC, keogh_qc);
@@ -239,10 +290,12 @@ impl Cascade {
         // Stage 3: LB_Keogh(c -> q) with the candidate's own envelope.
         let keogh_cq = {
             let _stage = tsdtw_obs::span("lb_keogh_cq");
-            let cand_env = Envelope::new(candidate, self.band)?;
+            meter.stage_entered(FunnelStage::KeoghCQ);
+            meter.stage_cost(FunnelStage::KeoghCQ, 3 * n as u64);
+            let cand_env = Envelope::new(candidate, self.prep.band)?;
             meter.envelope_built(candidate.len() as u64);
             meter.lb(LbKind::Keogh);
-            lb_keogh_ea(&self.query, &cand_env, bsf)?
+            lb_keogh_ea(&self.prep.query, &cand_env, bsf)?
         };
         if keogh_cq >= bsf {
             return dispose(&mut self.stats, meter, PruneStage::KeoghCQ, keogh_cq);
@@ -252,19 +305,37 @@ impl Cascade {
         // from the query-envelope pass (recomputed with per-index detail).
         let _stage = tsdtw_obs::span("cascade_dtw");
         meter.lb(LbKind::Keogh);
-        let _ = lb_keogh_with_contrib(candidate, &self.env, &mut self.contrib)?;
-        let cb = suffix_sums(&self.contrib);
-        match cdtw_distance_ea_metered(
-            &self.query,
+        meter.stage_entered(FunnelStage::Dtw);
+        let _ = lb_keogh_with_contrib(candidate, &self.prep.env, &mut self.contrib)?;
+        suffix_sums_into(&self.contrib, &mut self.cb);
+        match cdtw_distance_ea_metered_buf_kernel(
+            &self.prep.query,
             candidate,
-            self.band,
+            self.prep.band,
             bsf,
-            Some(&cb),
+            Some(&self.cb),
             SquaredCost,
+            &mut self.buf,
             meter,
+            default_kernel(),
         )? {
-            EaOutcome::Exact(d) => dispose(&mut self.stats, meter, PruneStage::DtwExact, d),
-            EaOutcome::Abandoned { .. } => {
+            EaOutcome::Exact(d) => {
+                meter.stage_cost(FunnelStage::Dtw, n as u64 * band_width);
+                if meter.enabled() {
+                    for (stage, lb) in [
+                        (FunnelStage::Kim, kim),
+                        (FunnelStage::KeoghQC, keogh_qc),
+                        (FunnelStage::KeoghCQ, keogh_cq),
+                    ] {
+                        if let Some(ppb) = tightness_ppb(lb, d) {
+                            meter.stage_tightness(stage, ppb);
+                        }
+                    }
+                }
+                dispose(&mut self.stats, meter, PruneStage::DtwExact, d)
+            }
+            EaOutcome::Abandoned { rows_filled } => {
+                meter.stage_cost(FunnelStage::Dtw, rows_filled as u64 * band_width);
                 dispose(&mut self.stats, meter, PruneStage::DtwAbandoned, bsf)
             }
         }
@@ -428,6 +499,115 @@ mod tests {
         }
         assert_eq!(bsf, plain_bsf);
         assert_eq!(plain.stats(), stats);
+    }
+
+    #[test]
+    fn funnel_ledger_obeys_stage_conservation() {
+        use tsdtw_obs::{FunnelStage, WorkMeter};
+        let n = 96;
+        let band = 5;
+        let query = znorm(&rand_series(321, n)).unwrap();
+        let mut cascade = Cascade::new(&query, band).unwrap();
+        let mut meter = WorkMeter::new();
+        let mut bsf = f64::INFINITY;
+        for s in 0..40 {
+            let c = znorm(&rand_series(s + 9000, n)).unwrap();
+            let out = cascade.evaluate_metered(&c, bsf, &mut meter).unwrap();
+            if let Some(d) = out.exact_distance() {
+                bsf = bsf.min(d);
+            }
+        }
+        let f = &meter.funnel;
+        let stats = cascade.stats();
+        // Every candidate enters stage 1; each stage's survivors are
+        // exactly the next stage's entrants; the funnel's pruned
+        // columns are the cascade's own disposition counters.
+        assert_eq!(f.stage(FunnelStage::Kim).entered, stats.total());
+        assert_eq!(f.stage(FunnelStage::Kim).pruned, stats.pruned_kim);
+        assert_eq!(
+            f.stage(FunnelStage::Kim).survived(),
+            f.stage(FunnelStage::KeoghQC).entered
+        );
+        assert_eq!(f.stage(FunnelStage::KeoghQC).pruned, stats.pruned_keogh_qc);
+        assert_eq!(
+            f.stage(FunnelStage::KeoghQC).survived(),
+            f.stage(FunnelStage::KeoghCQ).entered
+        );
+        assert_eq!(f.stage(FunnelStage::KeoghCQ).pruned, stats.pruned_keogh_cq);
+        assert_eq!(
+            f.stage(FunnelStage::KeoghCQ).survived(),
+            f.stage(FunnelStage::Dtw).entered
+        );
+        assert_eq!(f.stage(FunnelStage::Dtw).pruned, stats.dtw_abandoned);
+        assert_eq!(f.stage(FunnelStage::Dtw).survived(), stats.dtw_exact);
+        // Cost proxies: Kim charges 1 per entrant, KeoghQC n per
+        // entrant, KeoghCQ 3n per entrant; the DTW stage is bounded by
+        // full-DP rows × band width.
+        assert_eq!(
+            f.stage(FunnelStage::Kim).cost_units,
+            f.stage(FunnelStage::Kim).entered
+        );
+        assert_eq!(
+            f.stage(FunnelStage::KeoghQC).cost_units,
+            f.stage(FunnelStage::KeoghQC).entered * n as u64
+        );
+        assert_eq!(
+            f.stage(FunnelStage::KeoghCQ).cost_units,
+            f.stage(FunnelStage::KeoghCQ).entered * 3 * n as u64
+        );
+        let width = (2 * band + 1).min(n) as u64;
+        assert!(
+            f.stage(FunnelStage::Dtw).cost_units
+                <= f.stage(FunnelStage::Dtw).entered * n as u64 * width
+        );
+        // Tightness samples exist only where exact DTWs completed, one
+        // per bound that ran, and read back as ratios in [0, 1].
+        assert_eq!(f.stage(FunnelStage::Kim).tightness.count(), stats.dtw_exact);
+        if stats.dtw_exact > 0 {
+            let p50 = f.stage(FunnelStage::Kim).tightness.percentile_s(50.0);
+            assert!((0.0..=1.01).contains(&p50), "tightness p50 {p50}");
+        }
+    }
+
+    #[test]
+    fn clone_shares_prep_and_evaluates_identically() {
+        use tsdtw_obs::WorkMeter;
+        let n = 64;
+        let band = 4;
+        let query = znorm(&rand_series(55, n)).unwrap();
+        let prepared = Cascade::new(&query, band).unwrap();
+        let mut a = prepared.clone();
+        let mut b = prepared.clone();
+        // Warm `a` before cloning `c` from it: scratch state must not
+        // leak through a clone (clones start with fresh scratch).
+        let warm: Vec<f64> = znorm(&rand_series(77, n)).unwrap();
+        a.evaluate(&warm, f64::INFINITY).unwrap();
+        let mut c = a.clone();
+        assert_eq!(c.stats(), a.stats(), "stats copy across clone");
+        c.reset_stats();
+
+        let mut ma = WorkMeter::new();
+        let mut mb = WorkMeter::new();
+        let mut mc = WorkMeter::new();
+        let mut bsf_a = f64::INFINITY;
+        let mut bsf_b = f64::INFINITY;
+        let mut bsf_c = f64::INFINITY;
+        for s in 0..20 {
+            let cand = znorm(&rand_series(s + 4000, n)).unwrap();
+            let oa = a.evaluate_metered(&cand, bsf_a, &mut ma).unwrap();
+            let ob = b.evaluate_metered(&cand, bsf_b, &mut mb).unwrap();
+            let oc = c.evaluate_metered(&cand, bsf_c, &mut mc).unwrap();
+            assert_eq!(oa, ob);
+            assert_eq!(oa, oc);
+            if let Some(d) = oa.exact_distance() {
+                bsf_a = bsf_a.min(d);
+                bsf_b = bsf_b.min(d);
+                bsf_c = bsf_c.min(d);
+            }
+        }
+        assert_eq!(mb, mc, "fresh clone and warmed clone meter identically");
+        assert_eq!(b.stats(), c.stats());
+        assert_eq!(b.band(), band);
     }
 
     #[test]

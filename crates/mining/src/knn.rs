@@ -270,12 +270,17 @@ pub fn nn_cascade_par<M: MeterShard>(
     if idxs.is_empty() {
         return Err(Error::EmptyInput { which: "train" });
     }
+    // The O(n log n) query preparation (envelope + magnitude sort order)
+    // runs once, here; each worker context is a clone sharing it behind
+    // an `Arc`, so per-round worker setup never touches the heap
+    // (`alloc_discipline` pins this).
+    let prepared = Cascade::new(query, band)?;
     let (best, _) = par_fold_argmin(
         cfg,
         &idxs,
         meter,
         f64::INFINITY,
-        || Cascade::new(query, band),
+        || Ok(prepared.clone()),
         |cascade, _, &i, bsf, m| cascade.evaluate_metered(&train.series[i], bsf, m),
         |out| out.exact_distance(),
     )?;

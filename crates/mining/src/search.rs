@@ -21,7 +21,7 @@ use tsdtw_core::lower_bounds::keogh::{
 };
 use tsdtw_core::lower_bounds::kim::lb_kim_hierarchy;
 use tsdtw_core::norm::znorm;
-use tsdtw_obs::{LbKind, Meter, MeterShard, NoMeter, StageTag};
+use tsdtw_obs::{tightness_ppb, FunnelStage, LbKind, Meter, MeterShard, NoMeter, StageTag};
 
 /// Outcome of a subsequence search.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +115,8 @@ pub fn subsequence_search_metered<M: Meter>(
     let mut cb: Vec<f64> = Vec::new();
     let mut dtw_buf = DtwBuffer::new();
     let kernel = tsdtw_core::default_kernel();
+    // Funnel cost proxy for the DTW stage: rows filled × band width.
+    let band_width = (2 * band + 1).min(m) as u64;
 
     // Rolling sums for O(1) mean/std per position (just-in-time z-norm).
     let mut sum = 0.0;
@@ -145,6 +147,8 @@ pub fn subsequence_search_metered<M: Meter>(
         }
 
         meter.lb(LbKind::Kim);
+        meter.stage_entered(FunnelStage::Kim);
+        meter.stage_cost(FunnelStage::Kim, 1);
         let kim = lb_kim_hierarchy(&q, &window, bsf)?;
         if kim >= bsf {
             stats.pruned_kim += 1;
@@ -152,6 +156,8 @@ pub fn subsequence_search_metered<M: Meter>(
             continue;
         }
         meter.lb(LbKind::Keogh);
+        meter.stage_entered(FunnelStage::KeoghQC);
+        meter.stage_cost(FunnelStage::KeoghQC, m as u64);
         let keogh = lb_keogh_reordered(&window, &env, &order, bsf)?;
         if keogh >= bsf {
             stats.pruned_keogh += 1;
@@ -159,6 +165,7 @@ pub fn subsequence_search_metered<M: Meter>(
             continue;
         }
         meter.lb(LbKind::Keogh);
+        meter.stage_entered(FunnelStage::Dtw);
         let _ = lb_keogh_with_contrib(&window, &env, &mut contrib)?;
         suffix_sums_into(&contrib, &mut cb);
         match cdtw_distance_ea_metered_buf_kernel(
@@ -174,14 +181,23 @@ pub fn subsequence_search_metered<M: Meter>(
         )? {
             EaOutcome::Exact(d) => {
                 stats.dtw_exact += 1;
+                meter.stage_cost(FunnelStage::Dtw, m as u64 * band_width);
+                if meter.enabled() {
+                    for (stage, lb) in [(FunnelStage::Kim, kim), (FunnelStage::KeoghQC, keogh)] {
+                        if let Some(ppb) = tightness_ppb(lb, d) {
+                            meter.stage_tightness(stage, ppb);
+                        }
+                    }
+                }
                 meter.prune(StageTag::DtwExact);
                 if d < bsf {
                     bsf = d;
                     best_pos = pos;
                 }
             }
-            EaOutcome::Abandoned { .. } => {
+            EaOutcome::Abandoned { rows_filled } => {
                 stats.dtw_abandoned += 1;
+                meter.stage_cost(FunnelStage::Dtw, rows_filled as u64 * band_width);
                 meter.prune(StageTag::DtwAbandoned);
             }
         }
@@ -270,6 +286,7 @@ pub fn subsequence_search_par<M: MeterShard>(
     let positions: Vec<usize> = (0..means.len()).collect();
 
     let kernel = tsdtw_core::default_kernel();
+    let band_width = (2 * band + 1).min(m) as u64;
     let (best, outcomes) = par_fold_argmin(
         cfg,
         &positions,
@@ -289,18 +306,23 @@ pub fn subsequence_search_par<M: MeterShard>(
                 *w = (haystack[pos + k] - means[pos]) * invs[pos];
             }
             mm.lb(LbKind::Kim);
+            mm.stage_entered(FunnelStage::Kim);
+            mm.stage_cost(FunnelStage::Kim, 1);
             let kim = lb_kim_hierarchy(&q, window, bsf)?;
             if kim >= bsf {
                 mm.prune(StageTag::Kim);
                 return Ok(Disposition::Kim);
             }
             mm.lb(LbKind::Keogh);
+            mm.stage_entered(FunnelStage::KeoghQC);
+            mm.stage_cost(FunnelStage::KeoghQC, m as u64);
             let keogh = lb_keogh_reordered(window, &env, &order, bsf)?;
             if keogh >= bsf {
                 mm.prune(StageTag::KeoghQC);
                 return Ok(Disposition::Keogh);
             }
             mm.lb(LbKind::Keogh);
+            mm.stage_entered(FunnelStage::Dtw);
             let _ = lb_keogh_with_contrib(window, &env, contrib)?;
             suffix_sums_into(contrib, cb);
             match cdtw_distance_ea_metered_buf_kernel(
@@ -315,10 +337,20 @@ pub fn subsequence_search_par<M: MeterShard>(
                 kernel,
             )? {
                 EaOutcome::Exact(d) => {
+                    mm.stage_cost(FunnelStage::Dtw, m as u64 * band_width);
+                    if mm.enabled() {
+                        for (stage, lb) in [(FunnelStage::Kim, kim), (FunnelStage::KeoghQC, keogh)]
+                        {
+                            if let Some(ppb) = tightness_ppb(lb, d) {
+                                mm.stage_tightness(stage, ppb);
+                            }
+                        }
+                    }
                     mm.prune(StageTag::DtwExact);
                     Ok(Disposition::Exact(d))
                 }
-                EaOutcome::Abandoned { .. } => {
+                EaOutcome::Abandoned { rows_filled } => {
+                    mm.stage_cost(FunnelStage::Dtw, rows_filled as u64 * band_width);
                     mm.prune(StageTag::DtwAbandoned);
                     Ok(Disposition::Abandoned)
                 }

@@ -27,6 +27,7 @@ fn search_exposition(threads: usize) -> String {
     assert_eq!(r.position, 321, "search result itself is thread-invariant");
     let mut reg = MetricsRegistry::new();
     reg.record_meter(&meter);
+    reg.record_funnel(&meter.funnel);
     reg.render()
 }
 
@@ -62,6 +63,10 @@ fn search_metrics_exposition_is_bitwise_thread_invariant() {
         "exposition carries the meter table: {serial}"
     );
     assert!(serial.contains("tsdtw_work_prune_kim"), "{serial}");
+    assert!(
+        serial.contains("tsdtw_cascade_stage_lb_kim_entered"),
+        "exposition carries the per-stage funnel families: {serial}"
+    );
     for threads in [2, 4, 7] {
         assert_eq!(
             serial,

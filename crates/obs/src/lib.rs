@@ -28,6 +28,12 @@
 //!   nesting intact, exportable as a Chrome Trace Format file
 //!   ([`Trace::chrome_json`], openable in Perfetto) or a compact
 //!   per-span summary table.
+//! * [`Funnel`] — the per-stage prune-funnel ledger behind the CLI's
+//!   `--explain` flag and the `funnel` bench experiment: candidates
+//!   entered / pruned / survived per cascade stage, deterministic
+//!   cost proxies, and `LB/true-DTW` bound-tightness histograms, all
+//!   merging with the same thread-count-invariant shard algebra as
+//!   [`WorkMeter`] (whose `funnel` field carries it).
 //! * [`LatencyHist`] — the log-linear (HDR-style) histogram behind
 //!   every latency quantile in the workspace, with the nearest-rank
 //!   percentile convention pinned by [`nearest_rank`].
@@ -43,6 +49,7 @@
 #![deny(unsafe_code)]
 
 pub mod alloc;
+pub mod funnel;
 mod hist;
 mod json;
 mod meter;
@@ -54,6 +61,7 @@ pub use alloc::{
     absorb_alloc_delta, current_live_bytes, heap_telemetry_enabled, AllocDelta, AllocRegion,
     AllocScope,
 };
+pub use funnel::{tightness_ppb, Funnel, FunnelStage, StageLedger, TIGHTNESS_ONE_PPB};
 pub use hist::{nearest_rank, LatencyHist};
 pub use json::{json_escape, json_escape_into, Json, JsonParseError, ToJson};
 pub use meter::{FastDtwLevel, LbKind, Meter, MeterShard, NoMeter, StageTag, WorkMeter};

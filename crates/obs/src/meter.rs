@@ -17,6 +17,7 @@
 //! breakdown whose sum the `cells` experiment compares against the
 //! cDTW band area.
 
+use crate::funnel::{Funnel, FunnelStage};
 use crate::json::Json;
 
 /// Which lower bound was invoked, for [`Meter::lb`].
@@ -147,6 +148,28 @@ pub trait Meter {
     fn ea_rows(&mut self, filled: u64, total: u64) {
         let _ = (filled, total);
     }
+
+    /// A candidate reached funnel `stage` of a pruning cascade.
+    /// Together with [`prune`](Self::prune) (which records the funnel
+    /// disposition) this drives the per-stage EXPLAIN ledger.
+    #[inline]
+    fn stage_entered(&mut self, stage: FunnelStage) {
+        let _ = stage;
+    }
+
+    /// `units` of deterministic funnel cost (see the cost-proxy table
+    /// in [`funnel`](crate::funnel)) were spent in `stage`.
+    #[inline]
+    fn stage_cost(&mut self, stage: FunnelStage, units: u64) {
+        let _ = (stage, units);
+    }
+
+    /// A bound-tightness sample for `stage`: `LB / true-DTW` in
+    /// parts-per-billion (see [`tightness_ppb`](crate::tightness_ppb)).
+    #[inline]
+    fn stage_tightness(&mut self, stage: FunnelStage, ratio_ppb: u64) {
+        let _ = (stage, ratio_ppb);
+    }
 }
 
 /// The do-nothing sink; the default for every un-metered entry point.
@@ -199,6 +222,21 @@ impl<M: Meter + ?Sized> Meter for &mut M {
     #[inline]
     fn ea_rows(&mut self, filled: u64, total: u64) {
         (**self).ea_rows(filled, total);
+    }
+
+    #[inline]
+    fn stage_entered(&mut self, stage: FunnelStage) {
+        (**self).stage_entered(stage);
+    }
+
+    #[inline]
+    fn stage_cost(&mut self, stage: FunnelStage, units: u64) {
+        (**self).stage_cost(stage, units);
+    }
+
+    #[inline]
+    fn stage_tightness(&mut self, stage: FunnelStage, ratio_ppb: u64) {
+        (**self).stage_tightness(stage, ratio_ppb);
     }
 }
 
@@ -349,6 +387,11 @@ pub struct WorkMeter {
     pub ea_rows_filled: u64,
     /// Rows that would have been filled without abandoning.
     pub ea_rows_total: u64,
+    /// Per-stage prune-funnel ledger (EXPLAIN analytics). Not a table
+    /// counter: it has its own `funnel` report section rather than
+    /// leaves inside `work`, so existing `work` baselines stay
+    /// byte-identical.
+    pub funnel: Funnel,
 }
 
 /// Sets `value` at a dotted path inside an object, creating the
@@ -408,6 +451,7 @@ impl WorkMeter {
     pub fn merge(&mut self, other: &WorkMeter) {
         self.merge_counters(other);
         self.levels.extend(other.levels.iter().copied());
+        self.funnel.merge(&other.funnel);
     }
 
     /// The `work` section emitted into bench reports and `--stats-json`.
@@ -594,11 +638,27 @@ impl Meter for WorkMeter {
 
     #[inline]
     fn prune(&mut self, stage: StageTag) {
+        // Dispositions also drive the funnel ledger: each prune tag
+        // maps onto its funnel stage's `pruned` column, except
+        // `DtwExact`, which is the candidate *surviving* the whole
+        // funnel (survivors are derived as entered − pruned).
         match stage {
-            StageTag::Kim => self.pruned_kim += 1,
-            StageTag::KeoghQC => self.pruned_keogh_qc += 1,
-            StageTag::KeoghCQ => self.pruned_keogh_cq += 1,
-            StageTag::DtwAbandoned => self.dtw_abandoned += 1,
+            StageTag::Kim => {
+                self.pruned_kim += 1;
+                self.funnel.record_pruned(FunnelStage::Kim);
+            }
+            StageTag::KeoghQC => {
+                self.pruned_keogh_qc += 1;
+                self.funnel.record_pruned(FunnelStage::KeoghQC);
+            }
+            StageTag::KeoghCQ => {
+                self.pruned_keogh_cq += 1;
+                self.funnel.record_pruned(FunnelStage::KeoghCQ);
+            }
+            StageTag::DtwAbandoned => {
+                self.dtw_abandoned += 1;
+                self.funnel.record_pruned(FunnelStage::Dtw);
+            }
             StageTag::DtwExact => self.dtw_exact += 1,
         }
     }
@@ -608,6 +668,21 @@ impl Meter for WorkMeter {
         self.ea_invocations += 1;
         self.ea_rows_filled += filled;
         self.ea_rows_total += total;
+    }
+
+    #[inline]
+    fn stage_entered(&mut self, stage: FunnelStage) {
+        self.funnel.record_entered(stage);
+    }
+
+    #[inline]
+    fn stage_cost(&mut self, stage: FunnelStage, units: u64) {
+        self.funnel.record_cost(stage, units);
+    }
+
+    #[inline]
+    fn stage_tightness(&mut self, stage: FunnelStage, ratio_ppb: u64) {
+        self.funnel.record_tightness(stage, ratio_ppb);
     }
 }
 
@@ -832,6 +907,38 @@ mod tests {
                 "leaf {name} gating disagrees with the table"
             );
         }
+    }
+
+    #[test]
+    fn prune_dispositions_ride_into_the_funnel() {
+        let mut m = WorkMeter::new();
+        m.stage_entered(FunnelStage::Kim);
+        m.stage_entered(FunnelStage::Kim);
+        m.stage_cost(FunnelStage::Kim, 2);
+        m.prune(StageTag::Kim);
+        m.stage_entered(FunnelStage::Dtw);
+        m.prune(StageTag::DtwExact); // survivor: no funnel prune
+        m.stage_tightness(FunnelStage::Kim, 900_000_000);
+        assert_eq!(m.funnel.stage(FunnelStage::Kim).entered, 2);
+        assert_eq!(m.funnel.stage(FunnelStage::Kim).pruned, 1);
+        assert_eq!(m.funnel.stage(FunnelStage::Kim).cost_units, 2);
+        assert_eq!(m.funnel.stage(FunnelStage::Kim).tightness.count(), 1);
+        assert_eq!(m.funnel.stage(FunnelStage::Dtw).entered, 1);
+        assert_eq!(m.funnel.stage(FunnelStage::Dtw).pruned, 0);
+        assert_eq!(m.funnel.stage(FunnelStage::Dtw).survived(), 1);
+        // The scalar disposition counters are unchanged by the ledger.
+        assert_eq!(m.pruned_kim, 1);
+        assert_eq!(m.dtw_exact, 1);
+        // ... and the funnel stays out of the `work` report section.
+        assert!(m.report()["funnel"].is_null());
+
+        // Meter merge folds the funnel with the same shard algebra.
+        let mut other = WorkMeter::new();
+        other.stage_entered(FunnelStage::Kim);
+        other.prune(StageTag::DtwAbandoned);
+        m.merge(&other);
+        assert_eq!(m.funnel.stage(FunnelStage::Kim).entered, 3);
+        assert_eq!(m.funnel.stage(FunnelStage::Dtw).pruned, 1);
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   with underscores (`prune.kim` → `tsdtw_work_prune_kim`). Add-fold
 //!   counters become Prometheus counters; max-fold high-water marks
 //!   (`dp_peak_bytes`) become gauges.
+//! * `tsdtw_cascade_stage_<stage>_<quantity>` — the prune-funnel
+//!   ledger (`entered` / `pruned` / `cost_units` counters and a
+//!   dimensionless `tightness` summary per cascade stage), via
+//!   [`record_funnel`](MetricsRegistry::record_funnel).
 //! * `tsdtw_<subsystem>_<quantity>_<unit>` for everything else, e.g.
 //!   `tsdtw_request_seconds` (a summary), `tsdtw_corpus_bytes` (a
 //!   gauge). Base units, never prefixed units: seconds and bytes.
@@ -45,6 +49,7 @@
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use crate::funnel::{Funnel, FunnelStage};
 use crate::hist::LatencyHist;
 use crate::json::json_escape;
 use crate::meter::WorkMeter;
@@ -189,6 +194,57 @@ impl MetricsRegistry {
         }
     }
 
+    /// Merges a whole histogram into the summary `name` (registering
+    /// it on first touch) — the bulk form of
+    /// [`observe_s`](Self::observe_s), used when a finished run hands
+    /// over an already-accumulated distribution such as a funnel
+    /// stage's bound-tightness histogram.
+    pub fn summary_merge(&mut self, name: &str, help: &str, hist: &LatencyHist) {
+        match self.slot(name, help, || Value::Summary(LatencyHist::new())) {
+            Value::Summary(h) => h.merge(hist),
+            other => panic!("metric {name} is a {}, not a summary", other.kind()),
+        }
+    }
+
+    /// Folds a finished [`Funnel`] into the registry under the
+    /// `tsdtw_cascade_stage_<stage>_*` names: per-stage `entered`,
+    /// `pruned`, and `cost_units` counters plus a `tightness` summary
+    /// (the `LB / true-DTW` ratio distribution — dimensionless, stored
+    /// at parts-per-billion resolution so the rendered quantiles are
+    /// the raw ratios). An empty funnel registers nothing, so
+    /// non-cascaded commands leave the exposition untouched.
+    pub fn record_funnel(&mut self, funnel: &Funnel) {
+        if funnel.is_empty() {
+            return;
+        }
+        for stage in FunnelStage::ALL {
+            let s = funnel.stage(stage);
+            let base = format!("tsdtw_cascade_stage_{}", stage.name());
+            self.counter_add(
+                &format!("{base}_entered"),
+                &format!("Candidates entering cascade stage {}.", stage.name()),
+                s.entered,
+            );
+            self.counter_add(
+                &format!("{base}_pruned"),
+                &format!("Candidates pruned by cascade stage {}.", stage.name()),
+                s.pruned,
+            );
+            self.counter_add(
+                &format!("{base}_cost_units"),
+                &format!("Deterministic cost units spent in stage {}.", stage.name()),
+                s.cost_units,
+            );
+            if s.tightness.count() > 0 {
+                self.summary_merge(
+                    &format!("{base}_tightness"),
+                    &format!("LB/true-DTW tightness ratio at stage {}.", stage.name()),
+                    &s.tightness,
+                );
+            }
+        }
+    }
+
     /// Folds another registry into this one, metric-by-metric with each
     /// kind's own discipline (counters add saturating, gauges max,
     /// summaries histogram-merge). Absorb shards in item-index order to
@@ -293,6 +349,11 @@ pub fn observe_s(name: &str, help: &str, seconds: f64) {
 /// [`MetricsRegistry::record_meter`] on the process-wide registry.
 pub fn record_meter(meter: &WorkMeter) {
     with_registry(|r| r.record_meter(meter));
+}
+
+/// [`MetricsRegistry::record_funnel`] on the process-wide registry.
+pub fn record_funnel(funnel: &Funnel) {
+    with_registry(|r| r.record_funnel(funnel));
 }
 
 /// Renders the process-wide registry's Prometheus exposition.
@@ -471,6 +532,72 @@ mod tests {
             let name = format!("tsdtw_work_{}", dotted.replace('.', "_"));
             assert!(text.contains(&name), "missing {name}");
         }
+    }
+
+    #[test]
+    fn record_funnel_exports_stage_families_and_skips_empty() {
+        use crate::funnel::Funnel;
+
+        // An empty funnel leaves the registry untouched.
+        let mut r = MetricsRegistry::new();
+        r.record_funnel(&Funnel::new());
+        assert!(r.is_empty());
+
+        let mut f = Funnel::new();
+        for _ in 0..8 {
+            f.record_entered(FunnelStage::Kim);
+        }
+        for _ in 0..5 {
+            f.record_pruned(FunnelStage::Kim);
+        }
+        f.record_cost(FunnelStage::Kim, 8);
+        for _ in 0..3 {
+            f.record_entered(FunnelStage::Dtw);
+        }
+        f.record_tightness(FunnelStage::Kim, 750_000_000);
+        r.record_funnel(&f);
+        let text = r.render();
+        assert!(
+            text.contains("tsdtw_cascade_stage_lb_kim_entered 8"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tsdtw_cascade_stage_lb_kim_pruned 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tsdtw_cascade_stage_lb_kim_cost_units 8"),
+            "{text}"
+        );
+        assert!(text.contains("tsdtw_cascade_stage_dtw_entered 3"), "{text}");
+        // Dormant stages still export (zero-valued) counters, so the
+        // family set is stable once any cascade ran.
+        assert!(
+            text.contains("tsdtw_cascade_stage_lb_keogh_cq_entered 0"),
+            "{text}"
+        );
+        // The tightness summary renders the raw ratio (ppb ÷ 1e9).
+        assert!(
+            text.contains("# TYPE tsdtw_cascade_stage_lb_kim_tightness summary"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tsdtw_cascade_stage_lb_kim_tightness_count 1"),
+            "{text}"
+        );
+        let p50_line = text
+            .lines()
+            .find(|l| l.contains("lb_kim_tightness{quantile=\"0.5\"}"))
+            .expect("tightness quantile line");
+        let value: f64 = p50_line.split_whitespace().last().unwrap().parse().unwrap();
+        assert!((value - 0.75).abs() < 0.01, "p50 {value} ≈ 0.75");
+        // Recording the same funnel twice accumulates (counter semantics).
+        r.record_funnel(&f);
+        assert!(
+            r.render().contains("tsdtw_cascade_stage_lb_kim_entered 16"),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]

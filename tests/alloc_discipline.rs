@@ -22,6 +22,7 @@ use tsdtw::core::dtw::early_abandon::{cdtw_distance_ea_metered_buf_kernel, EaOut
 use tsdtw::core::dtw::windowed::DtwBuffer;
 use tsdtw::core::fastdtw::fastdtw_metered;
 use tsdtw::core::lower_bounds::keogh::{lb_keogh_with_contrib, suffix_sums_into};
+use tsdtw::core::lower_bounds::Cascade;
 use tsdtw::core::norm::znorm;
 use tsdtw::core::Envelope;
 use tsdtw::datasets::ecg::beats;
@@ -305,6 +306,47 @@ fn warmed_subsequence_candidate_loop_never_allocates() {
             warm.is_zero(),
             "warmed subsequence candidate loop touched the heap: {warm:?}"
         );
+    }
+}
+
+/// Handing a prepared [`Cascade`] to a worker is free: the query copy,
+/// envelope and magnitude sort order live behind a shared `Arc`, so each
+/// per-worker clone is one refcount bump plus empty scratch — zero heap
+/// traffic. This is the contract `nn_cascade_par` relies on to keep its
+/// worker setup allocation-free after the single up-front preparation.
+#[test]
+fn prepared_cascade_clone_never_allocates() {
+    let n = 256;
+    let band = 26;
+    let pool = beats(3, n, 0xD15C + 6).expect("generator");
+    let cascade = Cascade::new(&pool[0], band).expect("valid query");
+
+    // The clone vector is pre-sized so the probe sees only the clones.
+    let mut clones: Vec<Cascade> = Vec::with_capacity(8);
+    let probe = AllocScope::begin();
+    for _ in 0..8 {
+        clones.push(cascade.clone());
+    }
+    let cloning = probe.end();
+    if strict() {
+        assert!(
+            cloning.is_zero(),
+            "cloning a prepared cascade touched the heap: {cloning:?}"
+        );
+    }
+
+    // The clones are real workers, not hollow shells: each disposes of a
+    // candidate exactly as the original would.
+    let mut original = cascade;
+    let expected = original
+        .evaluate(&pool[1], f64::INFINITY)
+        .expect("valid candidate");
+    for mut c in clones {
+        let got = c
+            .evaluate(&pool[1], f64::INFINITY)
+            .expect("valid candidate");
+        assert_eq!(got.stage, expected.stage);
+        assert_eq!(got.value.to_bits(), expected.value.to_bits());
     }
 }
 

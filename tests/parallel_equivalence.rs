@@ -36,7 +36,7 @@ use tsdtw::mining::search::{subsequence_search_metered, subsequence_search_par};
 use tsdtw::mining::{
     evaluate_split, pairwise_matrix, pairwise_matrix_par, DistanceSpec, LabeledView, ParConfig,
 };
-use tsdtw_obs::WorkMeter;
+use tsdtw_obs::{FunnelStage, WorkMeter};
 
 /// Thread counts to test. `TSDTW_TEST_THREADS=N` pins the parallel count
 /// (CI runs the suite once with 1 and once with 4); unset, a spread of
@@ -124,6 +124,77 @@ proptest! {
             prop_assert_eq!(par.index, serial.index, "n_threads={} chunk={}", n, chunk);
             prop_assert_eq!(bits(par.distance), bits(serial.distance), "n_threads={}", n);
             prop_assert_eq!(&par_meter, &base_meter, "n_threads={} chunk={}", n, chunk);
+        }
+    }
+
+    /// The prune funnel obeys its conservation laws at every thread
+    /// count and chunk: every candidate enters stage one, dispositions
+    /// telescope (a stage's survivors are exactly the next stage's
+    /// entrants), and pruned-anywhere plus DTW-survived accounts for
+    /// every candidate exactly once.
+    #[test]
+    fn cascade_funnel_obeys_conservation_laws(
+        (series, labels) in labeled_suite(12, 40),
+        query in prop::collection::vec(-10.0f64..10.0, 40..=40),
+        band in 0usize..4,
+        chunk in 1usize..6,
+    ) {
+        let view = LabeledView::new(&series, &labels).unwrap();
+        for n in thread_counts() {
+            let cfg = ParConfig::with_chunk(n, chunk).unwrap();
+            let mut meter = WorkMeter::new();
+            nn_cascade_par(&view, &query, band, usize::MAX, &cfg, &mut meter).unwrap();
+            let f = &meter.funnel;
+            prop_assert_eq!(f.candidates(), series.len() as u64, "n_threads={}", n);
+            prop_assert_eq!(
+                f.stage(FunnelStage::Kim).entered, f.candidates(),
+                "every candidate must enter LB_Kim (n_threads={})", n
+            );
+            for w in FunnelStage::ALL.windows(2) {
+                prop_assert_eq!(
+                    f.stage(w[0]).survived(), f.stage(w[1]).entered,
+                    "{} survivors must telescope into {} entrants (n_threads={})",
+                    w[0].name(), w[1].name(), n
+                );
+            }
+            let pruned_total: u64 =
+                FunnelStage::ALL.iter().map(|&s| f.stage(s).pruned).sum();
+            prop_assert_eq!(
+                pruned_total + f.stage(FunnelStage::Dtw).survived(), f.candidates(),
+                "dispositions must partition the candidates (n_threads={})", n
+            );
+        }
+    }
+
+    /// The funnel rendered by EXPLAIN — the JSON report and the table —
+    /// is bitwise identical between serial and every parallel thread
+    /// count at a fixed chunk, including the deliberately adversarial
+    /// counts 2, 4 and 7.
+    #[test]
+    fn cascade_funnel_render_is_thread_count_invariant(
+        (series, labels) in labeled_suite(12, 40),
+        query in prop::collection::vec(-10.0f64..10.0, 40..=40),
+        band in 0usize..4,
+    ) {
+        let view = LabeledView::new(&series, &labels).unwrap();
+        let mut base_meter = WorkMeter::new();
+        let cfg1 = ParConfig::new(1).unwrap();
+        nn_cascade_par(&view, &query, band, usize::MAX, &cfg1, &mut base_meter).unwrap();
+        let base_json = base_meter.funnel.report().to_string_compact();
+        let base_table = base_meter.funnel.table();
+        for n in [2usize, 4, 7] {
+            let cfg = ParConfig::new(n).unwrap();
+            let mut par_meter = WorkMeter::new();
+            nn_cascade_par(&view, &query, band, usize::MAX, &cfg, &mut par_meter).unwrap();
+            prop_assert_eq!(&par_meter.funnel, &base_meter.funnel, "n_threads={}", n);
+            prop_assert_eq!(
+                par_meter.funnel.report().to_string_compact(), base_json.clone(),
+                "funnel JSON must be bitwise serial at n_threads={}", n
+            );
+            prop_assert_eq!(
+                par_meter.funnel.table(), base_table.clone(),
+                "funnel table must be bitwise serial at n_threads={}", n
+            );
         }
     }
 
