@@ -6,17 +6,20 @@
 //!
 //!   EXPERIMENT   one or more of: fig1 fig2 caseb fig3 fig4 fig6 table2
 //!                footnote2 appendixb impls lbs radius cells kernels
-//!                memory funnel, or 'all' (default)
+//!                memory funnel rle, or 'all' (default)
 //!   --full       paper-scale populations (minutes); default is --quick
 //!   --threads N  worker threads for parallel experiments (default 1).
 //!                Work counters in BENCH_<id>.json are deterministic and
 //!                independent of N, so snapshots from any thread count
 //!                diff cleanly against a serial baseline.
-//!   --kernel K   DP row-sweep tier for every experiment: auto (default),
-//!                generic, or segmented. Tiers are bitwise equal, so
-//!                work counters never depend on K — CI exploits this by
-//!                diffing a --kernel segmented run against the serial
-//!                baseline at zero tolerance.
+//!   --kernel K   DP kernel tier for every experiment: auto (default),
+//!                generic, segmented, or rle (the list is generated
+//!                from `Kernel::ALL`). Row-sweep tiers are bitwise
+//!                equal, so work counters never depend on K — CI
+//!                exploits this by diffing a --kernel segmented run
+//!                against the serial baseline at zero tolerance. The
+//!                rle tier only engages at full-window entry points on
+//!                top of the auto sweep resolution.
 //!   --out DIR    where to write <id>.json records (default: results/)
 //!   --list       list experiments and exit
 //!   --trace      arm the flight recorder per experiment and write
@@ -75,7 +78,7 @@ fn main() -> ExitCode {
             "--kernel" => match args.next().as_deref().and_then(tsdtw_core::Kernel::parse) {
                 Some(k) => tsdtw_core::set_default_kernel(k),
                 None => {
-                    eprintln!("--kernel needs one of: auto, generic, segmented");
+                    eprintln!("--kernel needs one of: {}", tsdtw_core::Kernel::name_list());
                     return ExitCode::FAILURE;
                 }
             },
@@ -184,6 +187,7 @@ fn main() -> ExitCode {
             wall_s,
             report.json.get("work"),
             report.json.get("funnel"),
+            report.json.get("rle"),
             Some(&memory),
             &spans,
             par.n_threads,

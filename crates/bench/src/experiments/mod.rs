@@ -17,6 +17,7 @@ pub mod kernels;
 pub mod lbs;
 pub mod memory;
 pub mod radius;
+pub mod rle;
 pub mod table2;
 
 use crate::report::{Report, Scale};
@@ -46,6 +47,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("kernels", kernels::run),
         ("memory", memory::run),
         ("funnel", funnel::run),
+        ("rle", rle::run),
     ]
 }
 
@@ -58,8 +60,9 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(ids.len(), dedup.len());
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
         assert!(ids.contains(&"table2"));
+        assert!(ids.contains(&"rle"));
         assert!(ids.contains(&"impls"));
         assert!(ids.contains(&"cells"));
         assert!(ids.contains(&"kernels"));

@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 4,
+//!   "schema": 5,
 //!   "hash": "9f86d081884c7d65",
 //!   "experiment": "cells",
 //!   "title": "…",
@@ -20,6 +20,9 @@
 //!               "stages": { "lb_kim": { "entered": …, "pruned": …,
 //!                                       "survived": …, "cost_units": …,
 //!                                       "tightness": { "count": …, … } }, … } },
+//!   "rle": { "runs": …, "blocks": …, "boundary_cells": …,
+//!            "sweep": [ { "ratio_pct": …, "rle_boundary_cells": …,
+//!                         "banded_cells": …, … }, … ] },
 //!   "memory": { "telemetry": true, "allocs": …, "frees": …,
 //!               "bytes_allocated": …, "peak_bytes": …, … },
 //!   "kernels": { "cdtw": { "count": …, "total_s": …, "p50_s": …,
@@ -59,8 +62,12 @@ use tsdtw_obs::{json_obj, Json, SpanStat};
 /// history ledger keys records by; version 4 added the `funnel`
 /// section (per-stage prune dispositions and cost units — integer
 /// leaves gate hard, tightness-quantile floats are advisory;
-/// `Json::Null` for experiments that run no cascade).
-pub const SCHEMA_VERSION: i64 = 4;
+/// `Json::Null` for experiments that run no cascade); version 5 added
+/// the `rle` section (run-length kernel work: runs, blocks, boundary
+/// cells and the compression-ratio sweep — integer leaves gate hard,
+/// ratio floats are advisory; `Json::Null` for experiments that never
+/// run the RLE kernel).
+pub const SCHEMA_VERSION: i64 = 5;
 
 /// Relative timing slowdown (percent) beyond which the diff emits an
 /// advisory warning. Deliberately loose: shared CI runners jitter.
@@ -124,10 +131,12 @@ pub fn git_rev() -> String {
 
 /// Builds one snapshot document from an experiment's outcome: its
 /// report `work` section (if any), its `funnel` section (`None` emits
-/// `null` — only cascaded experiments carry a funnel), the heap delta
-/// measured around the run (`None` emits the disarmed all-zero stub,
-/// so the `memory` section exists in every snapshot), and the span
-/// table drained after the run (empty without `--features obs`).
+/// `null` — only cascaded experiments carry a funnel), its `rle`
+/// section (`None` emits `null` — only experiments that exercise the
+/// run-length kernel carry one), the heap delta measured around the
+/// run (`None` emits the disarmed all-zero stub, so the `memory`
+/// section exists in every snapshot), and the span table drained after
+/// the run (empty without `--features obs`).
 #[allow(clippy::too_many_arguments)]
 pub fn capture(
     experiment: &str,
@@ -135,6 +144,7 @@ pub fn capture(
     wall_s: f64,
     work: Option<&Json>,
     funnel: Option<&Json>,
+    rle: Option<&Json>,
     memory: Option<&Json>,
     spans: &[SpanStat],
     n_threads: usize,
@@ -164,6 +174,7 @@ pub fn capture(
         "wall_s" => wall_s,
         "work" => work.cloned().unwrap_or(Json::Null),
         "funnel" => funnel.cloned().unwrap_or(Json::Null),
+        "rle" => rle.cloned().unwrap_or(Json::Null),
         "memory" => memory.cloned().unwrap_or_else(|| {
             // No probe data reached capture: mark the stub disarmed even
             // if the allocator happens to be armed in this process, so a
@@ -405,6 +416,11 @@ pub fn diff(baseline: &Json, current: &Json, fail_pct: f64) -> Diff {
     // counter walk ----------------------------------------------------
     gate_counters("funnel", baseline, current, fail_pct, &|_| false, &mut d);
 
+    // --- rle kernel work: runs / blocks / boundary cells are pure
+    // functions of the inputs, so every integer leaf gates hard; the
+    // compression-ratio floats fall out of the counter walk ------------
+    gate_counters("rle", baseline, current, fail_pct, &|_| false, &mut d);
+
     // --- memory: counts gate hard, byte totals are advisory -----------
     if baseline["memory"]["telemetry"].as_bool() == Some(true)
         && current["memory"]["telemetry"].as_bool() == Some(false)
@@ -504,6 +520,12 @@ mod tests {
                         "survived" => 40, "cost_units" => cells,
                     },
                 },
+            },
+            "rle" => json_obj! {
+                "runs" => 24,
+                "blocks" => 144,
+                "boundary_cells" => cells / 10,
+                "compression_ratio" => 0.05,
             },
             "kernels" => json_obj! {
                 "cdtw" => json_obj! {
@@ -681,6 +703,28 @@ mod tests {
     }
 
     #[test]
+    fn rle_counter_drift_is_a_hard_regression() {
+        // More boundary cells than the baseline means the block kernel
+        // did more work for the same inputs — v5 gates it like any
+        // other work counter. The ratio float stays advisory.
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        cur.set("rle", base["rle"].clone().with("boundary_cells", 999));
+        let d = diff(&base, &cur, 0.0);
+        assert!(
+            d.regressions
+                .iter()
+                .any(|r| r.contains("rle.boundary_cells")),
+            "{:?}",
+            d.regressions
+        );
+        let mut cur = snap(1000, 1.0);
+        cur.set("rle", base["rle"].clone().with("compression_ratio", 0.9));
+        let d = diff(&base, &cur, 0.0);
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+    }
+
+    #[test]
     fn memory_count_growth_is_a_hard_regression() {
         let base = snap(1000, 1.0);
         let mut cur = snap(1000, 1.0);
@@ -770,12 +814,14 @@ mod tests {
                 },
             },
         };
+        let rle = json_obj! { "runs" => 12, "blocks" => 36, "boundary_cells" => 140 };
         let s = capture(
             "cells",
             "title",
             1.5,
             Some(&work),
             Some(&funnel),
+            Some(&rle),
             None,
             &spans,
             4,
@@ -789,9 +835,22 @@ mod tests {
         // v4: the funnel section rides along verbatim…
         assert_eq!(s["funnel"]["candidates"], 9);
         assert_eq!(s["funnel"]["stages"]["lb_kim"]["pruned"], 4);
-        // …and a cascade-free experiment carries an explicit null.
-        let bare = capture("cells", "title", 1.5, Some(&work), None, None, &spans, 4);
+        // v5: the rle section rides along verbatim…
+        assert_eq!(s["rle"]["boundary_cells"], 140);
+        // …and a cascade-free, RLE-free experiment carries explicit nulls.
+        let bare = capture(
+            "cells",
+            "title",
+            1.5,
+            Some(&work),
+            None,
+            None,
+            None,
+            &spans,
+            4,
+        );
         assert!(bare["funnel"].is_null());
+        assert!(bare["rle"].is_null());
         assert_eq!(s["kernels"]["cdtw"]["count"], 3u64);
         assert_eq!(s["kernels"]["cdtw"]["alloc_bytes"], 64u64);
         // No memory report passed: the stub section marks telemetry off.

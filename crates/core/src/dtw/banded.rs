@@ -99,6 +99,14 @@ pub fn cdtw_distance_metered_with_buf<C: CostFn, M: Meter>(
 }
 
 /// [`cdtw_distance_metered_with_buf`] with an explicit kernel tier.
+///
+/// When the band covers the whole matrix (`band >= max(n, m)` — the
+/// full-window form 1-NN mining's `FullDtw` spec uses), `Kernel::Rle`
+/// forces the run-length block kernel ([`crate::rle`]) and
+/// `Kernel::Auto` picks it on run-compressible pairs
+/// ([`crate::rle::auto_picks_rle`]); work then lands in the `rle.*`
+/// counters instead of `cells`/`window_cells`. Narrower bands always
+/// use the row sweep — the block decomposition has no banded form.
 pub fn cdtw_distance_metered_with_buf_kernel<C: CostFn, M: Meter>(
     x: &[f64],
     y: &[f64],
@@ -115,6 +123,11 @@ pub fn cdtw_distance_metered_with_buf_kernel<C: CostFn, M: Meter>(
         return Err(Error::EmptyInput { which: "y" });
     }
     check_band(x.len(), y.len(), band)?;
+    if band >= x.len().max(y.len())
+        && (kernel == Kernel::Rle || (kernel == Kernel::Auto && crate::rle::auto_picks_rle(x, y)))
+    {
+        return crate::rle::dtw_distance_rle(x, y, cost, meter);
+    }
     let _span = tsdtw_obs::span("cdtw");
     // The buffer memoizes the window, so a warmed same-shape loop (1-NN,
     // all-pairs) runs this entry point without touching the heap.

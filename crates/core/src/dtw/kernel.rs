@@ -43,40 +43,86 @@ use crate::cost::CostFn;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Kernel {
     /// Resolve per cost function: segmented when
-    /// [`CostFn::SEGMENTED_FAST`] is `true`, generic otherwise.
+    /// [`CostFn::SEGMENTED_FAST`] is `true`, generic otherwise. At the
+    /// full-window distance entry points, highly run-compressible
+    /// inputs (runs/points ≤ [`crate::rle::AUTO_THRESHOLD`]) route to
+    /// the RLE block kernel instead.
     #[default]
     Auto,
     /// Force the guarded per-cell loop for every row.
     Generic,
     /// Force the three-segment branch-free-interior sweep for every row.
     Segmented,
+    /// Force the run-length-encoded block kernel
+    /// ([`crate::rle`]) at the full-window distance entry points.
+    /// Contexts the block decomposition does not cover (banded windows,
+    /// path recovery, early abandoning) degrade to the `Auto` sweep
+    /// resolution.
+    Rle,
 }
 
 impl Kernel {
-    /// Parses a CLI-style kernel name.
+    /// Every tier, paired with its canonical name and one-line summary.
+    ///
+    /// This table is the single source for [`parse`](Self::parse),
+    /// [`name`](Self::name) (locked by `parse_and_name_round_trip`) and
+    /// the CLI `--kernel` help/error text (via
+    /// [`name_list`](Self::name_list)), so docs cannot drift from the
+    /// parser.
+    pub const ALL: &'static [(Kernel, &'static str, &'static str)] = &[
+        (
+            Kernel::Auto,
+            "auto",
+            "resolve per cost (segmented fast path) and per input (RLE on compressible data)",
+        ),
+        (Kernel::Generic, "generic", "guarded per-cell row sweep"),
+        (
+            Kernel::Segmented,
+            "segmented",
+            "branch-free-interior row sweep",
+        ),
+        (
+            Kernel::Rle,
+            "rle",
+            "run-length-encoded block kernel for piecewise-constant series",
+        ),
+    ];
+
+    /// Parses a CLI-style kernel name (generated from [`ALL`](Self::ALL)).
     pub fn parse(s: &str) -> Option<Kernel> {
-        match s {
-            "auto" => Some(Kernel::Auto),
-            "generic" => Some(Kernel::Generic),
-            "segmented" => Some(Kernel::Segmented),
-            _ => None,
-        }
+        Kernel::ALL
+            .iter()
+            .find(|(_, name, _)| *name == s)
+            .map(|(k, _, _)| *k)
     }
 
-    /// The canonical lower-case name (`auto` / `generic` / `segmented`).
+    /// The canonical lower-case name (`auto` / `generic` / `segmented` /
+    /// `rle`).
     pub fn name(self) -> &'static str {
-        match self {
-            Kernel::Auto => "auto",
-            Kernel::Generic => "generic",
-            Kernel::Segmented => "segmented",
-        }
+        Kernel::ALL
+            .iter()
+            .find(|(k, _, _)| *k == self)
+            .map(|(_, name, _)| *name)
+            .expect("every Kernel variant appears in Kernel::ALL")
+    }
+
+    /// The comma-separated canonical names (`"auto, generic, segmented,
+    /// rle"`) for CLI help and error messages.
+    pub fn name_list() -> String {
+        let names: Vec<&str> = Kernel::ALL.iter().map(|(_, name, _)| *name).collect();
+        names.join(", ")
     }
 
     /// Whether this tier resolves to the segmented sweep for cost `C`.
+    ///
+    /// `Rle` answers like `Auto`: row-sweep contexts the block
+    /// decomposition does not cover fall back to the per-cost
+    /// resolution, so forcing `--kernel rle` never changes sweep
+    /// results bitwise.
     #[inline(always)]
     pub fn segmented<C: CostFn>(self) -> bool {
         match self {
-            Kernel::Auto => C::SEGMENTED_FAST,
+            Kernel::Auto | Kernel::Rle => C::SEGMENTED_FAST,
             Kernel::Generic => false,
             Kernel::Segmented => true,
         }
@@ -84,7 +130,7 @@ impl Kernel {
 }
 
 // Encoded Kernel for the process-wide default: 0 = Auto, 1 = Generic,
-// 2 = Segmented.
+// 2 = Segmented, 3 = Rle.
 static DEFAULT_KERNEL: AtomicU8 = AtomicU8::new(0);
 
 /// Sets the process-wide default tier used by the plain (non-`_kernel`)
@@ -96,6 +142,7 @@ pub fn set_default_kernel(kernel: Kernel) {
         Kernel::Auto => 0,
         Kernel::Generic => 1,
         Kernel::Segmented => 2,
+        Kernel::Rle => 3,
     };
     DEFAULT_KERNEL.store(code, Ordering::Relaxed);
 }
@@ -107,6 +154,7 @@ pub fn default_kernel() -> Kernel {
     match DEFAULT_KERNEL.load(Ordering::Relaxed) {
         1 => Kernel::Generic,
         2 => Kernel::Segmented,
+        3 => Kernel::Rle,
         _ => Kernel::Auto,
     }
 }
@@ -137,21 +185,32 @@ mod tests {
     fn explicit_tiers_override_the_cost() {
         assert!(!Kernel::Generic.segmented::<SquaredCost>());
         assert!(Kernel::Segmented.segmented::<OptOutCost>());
+        // Rle degrades to the Auto resolution in row-sweep contexts.
+        assert!(Kernel::Rle.segmented::<SquaredCost>());
+        assert!(!Kernel::Rle.segmented::<OptOutCost>());
     }
 
     #[test]
     fn parse_and_name_round_trip() {
-        for k in [Kernel::Auto, Kernel::Generic, Kernel::Segmented] {
+        // Over the single-source table, so a tier added to the enum but
+        // not to ALL (or vice versa) fails here.
+        for &(k, name, summary) in Kernel::ALL {
             assert_eq!(Kernel::parse(k.name()), Some(k));
+            assert_eq!(k.name(), name);
+            assert!(!summary.is_empty());
         }
+        assert_eq!(Kernel::ALL.len(), 4);
         assert_eq!(Kernel::parse("simd"), None);
         assert_eq!(Kernel::parse(""), None);
+        assert_eq!(Kernel::name_list(), "auto, generic, segmented, rle");
     }
 
     #[test]
     fn default_is_auto() {
         // Other tests in the workspace never mutate the global (they use
-        // the explicit `_kernel` variants), so this is race-free.
+        // the explicit `_kernel` variants), so this is race-free. The
+        // set/get atomic round-trip over every tier is covered by the
+        // CLI `--kernel` test, which owns the global for its process.
         assert_eq!(default_kernel(), Kernel::Auto);
     }
 }

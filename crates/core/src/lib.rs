@@ -18,7 +18,11 @@
 //!   ([`lower_bounds`]), and early-abandoning DTW
 //!   ([`dtw::early_abandon`]);
 //! * classic variants as extensions: derivative DTW ([`derivative`]) and
-//!   weighted DTW ([`wdtw`]).
+//!   weighted DTW ([`wdtw`]);
+//! * a **run-length-encoded exact backend** ([`rle`]): lossless (and
+//!   epsilon-quantized) run encoding plus a block-decomposition DTW
+//!   kernel whose work scales with run boundaries rather than points —
+//!   [`Kernel::Auto`] dispatches to it on highly compressible inputs.
 //!
 //! ## Observability
 //!
@@ -78,6 +82,7 @@ pub mod norm;
 pub mod open_end;
 pub mod paa;
 pub mod path;
+pub mod rle;
 pub mod subsequence;
 pub mod wdtw;
 pub mod window;
@@ -97,4 +102,5 @@ pub use fastdtw::{
     fastdtw_ref_with_path, fastdtw_with_path, fastdtw_with_stats, FastDtw, FastDtwStats,
 };
 pub use path::WarpingPath;
+pub use rle::{RleSeries, Run};
 pub use window::SearchWindow;

@@ -1,0 +1,187 @@
+//! Smart-meter-style appliance state traces: piecewise-constant series
+//! with a *controllable* compression ratio, the substrate of the `rle`
+//! repro experiment.
+//!
+//! Utility smart meters and appliance submeters report quantized power
+//! states that hold for minutes at a time — long runs of identical
+//! readings punctuated by switching events. That shape is exactly what
+//! the run-length-encoded DTW backend ([`tsdtw_core::rle`]) exploits:
+//! its work scales with run boundaries, not samples. These generators
+//! make the ratio `runs / points` a first-class parameter so the `rle`
+//! experiment can sweep it and locate the crossover against banded
+//! `cDTW`.
+//!
+//! Two guarantees matter for the differential gates:
+//!
+//! * **Exact run counts** — a trace requested with `k` runs has exactly
+//!   `k` bitwise-distinct runs (adjacent runs always differ), so the
+//!   achieved compression ratio is `k / n`, not an approximation.
+//! * **Dyadic levels** — every sample is a multiple of `0.25`, so DTW
+//!   accumulation is exact in `f64` and the RLE kernel's distances are
+//!   bitwise equal to the dense kernels' (the guarantee class
+//!   `tests/rle_equivalence.rs` locks).
+
+use crate::rng::SeededRng;
+use tsdtw_core::error::{Error, Result};
+
+/// Spacing of the quantized power levels. A negative power of two, so
+/// every level (and every squared/absolute difference of levels) is
+/// exactly representable and DTW sums of them are exact in `f64`.
+pub const LEVEL_STEP: f64 = 0.25;
+
+/// One piecewise-constant state trace with exactly `runs` runs.
+///
+/// The `n` samples are partitioned into `runs` maximal segments of
+/// identical value; each segment's level is drawn from `levels`
+/// distinct dyadic values (`0, 0.25, …`), never repeating the previous
+/// segment's level. Requires `1 <= runs <= n` and `levels >= 2`.
+pub fn state_trace_with_runs(n: usize, runs: usize, levels: usize, seed: u64) -> Result<Vec<f64>> {
+    if n == 0 {
+        return Err(Error::EmptyInput { which: "n" });
+    }
+    if runs == 0 || runs > n {
+        return Err(Error::InvalidParameter {
+            name: "runs",
+            reason: format!("need 1 <= runs <= n = {n}, got {runs}"),
+        });
+    }
+    if levels < 2 {
+        return Err(Error::InvalidParameter {
+            name: "levels",
+            reason: format!("need at least 2 distinct levels, got {levels}"),
+        });
+    }
+    let mut rng = SeededRng::new(seed);
+
+    // Random composition of n into `runs` positive parts: start every
+    // run at length 1 and scatter the remaining samples uniformly.
+    let mut lens = vec![1usize; runs];
+    for _ in 0..n - runs {
+        let i = rng.index(0, runs);
+        lens[i] += 1;
+    }
+
+    // Levels: uniform over the palette, excluding the previous run's
+    // level so adjacent runs are always bitwise distinct.
+    let mut out = Vec::with_capacity(n);
+    let mut prev = usize::MAX;
+    for &len in &lens {
+        let level = if prev == usize::MAX {
+            rng.index(0, levels)
+        } else {
+            let mut l = rng.index(0, levels - 1);
+            if l >= prev {
+                l += 1;
+            }
+            l
+        };
+        prev = level;
+        let value = level as f64 * LEVEL_STEP;
+        out.extend(std::iter::repeat_n(value, len));
+    }
+    Ok(out)
+}
+
+/// [`state_trace_with_runs`] parameterized by a target compression
+/// ratio `runs / n` in `(0, 1]`; the run count is `⌈ratio · n⌉` clamped
+/// to `[1, n]`, so the achieved ratio never *exceeds* a dispatch
+/// threshold the caller is aiming at from below.
+pub fn state_trace(n: usize, ratio: f64, levels: usize, seed: u64) -> Result<Vec<f64>> {
+    if !(ratio > 0.0 && ratio <= 1.0) {
+        return Err(Error::InvalidParameter {
+            name: "ratio",
+            reason: format!("compression ratio must be in (0, 1], got {ratio}"),
+        });
+    }
+    let runs = ((ratio * n as f64).ceil() as usize).clamp(1, n.max(1));
+    state_trace_with_runs(n, runs, levels, seed)
+}
+
+/// A collection of independent traces sharing one shape — the
+/// population the `rle` experiment's all-pairs sweep runs over.
+pub fn state_traces(
+    count: usize,
+    n: usize,
+    ratio: f64,
+    levels: usize,
+    seed: u64,
+) -> Result<Vec<Vec<f64>>> {
+    if count == 0 {
+        return Err(Error::EmptyInput { which: "count" });
+    }
+    let mut rng = SeededRng::new(seed);
+    (0..count)
+        .map(|_| state_trace(n, ratio, levels, rng.child_seed()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsdtw_core::rle::{auto_picks_rle, count_runs};
+
+    #[test]
+    fn run_count_is_exact_and_deterministic() {
+        for (n, runs) in [(1usize, 1usize), (10, 1), (100, 7), (500, 50), (64, 64)] {
+            let a = state_trace_with_runs(n, runs, 8, 42).unwrap();
+            let b = state_trace_with_runs(n, runs, 8, 42).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a.len(), n);
+            assert_eq!(count_runs(&a), runs, "n={n} runs={runs}");
+        }
+    }
+
+    #[test]
+    fn levels_are_dyadic_multiples_of_the_step() {
+        let t = state_trace_with_runs(200, 20, 6, 7).unwrap();
+        for &v in &t {
+            let scaled = v / LEVEL_STEP;
+            assert_eq!(scaled, scaled.trunc(), "non-dyadic sample {v}");
+            assert!((0.0..=5.0).contains(&scaled));
+        }
+    }
+
+    #[test]
+    fn ratio_form_hits_the_requested_compression() {
+        let t = state_trace(400, 0.05, 8, 3).unwrap();
+        assert_eq!(count_runs(&t), 20); // ceil(0.05 * 400)
+        let u = state_trace(400, 0.05, 8, 4).unwrap();
+        // A 5% pair sits well under the 10% auto-dispatch threshold.
+        assert!(auto_picks_rle(&t, &u));
+        // Tiny n still yields a valid (single-run) trace.
+        assert_eq!(count_runs(&state_trace(3, 0.01, 4, 5).unwrap()), 1);
+    }
+
+    #[test]
+    fn collections_are_deterministic_and_distinct() {
+        let a = state_traces(4, 256, 0.1, 8, 11).unwrap();
+        let b = state_traces(4, 256, 0.1, 8, 11).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(state_trace_with_runs(0, 1, 4, 1).is_err());
+        assert!(state_trace_with_runs(10, 0, 4, 1).is_err());
+        assert!(state_trace_with_runs(10, 11, 4, 1).is_err());
+        assert!(state_trace_with_runs(10, 2, 1, 1).is_err());
+        assert!(state_trace(100, 0.0, 4, 1).is_err());
+        assert!(state_trace(100, 1.5, 4, 1).is_err());
+        assert!(state_trace(100, f64::NAN, 4, 1).is_err());
+        assert!(state_traces(0, 100, 0.1, 4, 1).is_err());
+    }
+
+    #[test]
+    fn rle_distance_matches_dense_bitwise_on_traces() {
+        use tsdtw_core::cost::SquaredCost;
+        use tsdtw_core::dtw::full::dtw_distance_kernel;
+        use tsdtw_core::rle::dtw_distance_rle;
+        use tsdtw_core::Kernel;
+        let x = state_trace(300, 0.04, 8, 21).unwrap();
+        let y = state_trace(300, 0.04, 8, 22).unwrap();
+        let dense = dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Segmented).unwrap();
+        let rle = dtw_distance_rle(&x, &y, SquaredCost, &mut tsdtw_core::obs::NoMeter).unwrap();
+        assert_eq!(dense.to_bits(), rle.to_bits());
+    }
+}

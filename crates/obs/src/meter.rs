@@ -149,6 +149,21 @@ pub trait Meter {
         let _ = (filled, total);
     }
 
+    /// A series entered the RLE-DTW kernel encoded as `runs` runs.
+    #[inline]
+    fn rle_encoded(&mut self, runs: u64) {
+        let _ = runs;
+    }
+
+    /// One run-pair block of the RLE-DTW block decomposition was
+    /// solved, computing `boundary_cells` boundary DP values (the RLE
+    /// analogue of [`cells`](Self::cells): the work actually done,
+    /// compared against the dense band area in the `rle` experiment).
+    #[inline]
+    fn rle_block(&mut self, boundary_cells: u64) {
+        let _ = boundary_cells;
+    }
+
     /// A candidate reached funnel `stage` of a pruning cascade.
     /// Together with [`prune`](Self::prune) (which records the funnel
     /// disposition) this drives the per-stage EXPLAIN ledger.
@@ -225,6 +240,16 @@ impl<M: Meter + ?Sized> Meter for &mut M {
     }
 
     #[inline]
+    fn rle_encoded(&mut self, runs: u64) {
+        (**self).rle_encoded(runs);
+    }
+
+    #[inline]
+    fn rle_block(&mut self, boundary_cells: u64) {
+        (**self).rle_block(boundary_cells);
+    }
+
+    #[inline]
     fn stage_entered(&mut self, stage: FunnelStage) {
         (**self).stage_entered(stage);
     }
@@ -279,6 +304,9 @@ macro_rules! for_each_work_counter {
             { ea_invocations, "early_abandon.invocations", early_abandon, add },
             { ea_rows_filled, "early_abandon.rows_filled", early_abandon, add },
             { ea_rows_total, "early_abandon.rows_total", early_abandon, add },
+            { rle_runs, "rle.runs", rle, add },
+            { rle_blocks, "rle.blocks", rle, add },
+            { rle_boundary_cells, "rle.boundary_cells", rle, add },
         }
     };
 }
@@ -387,6 +415,13 @@ pub struct WorkMeter {
     pub ea_rows_filled: u64,
     /// Rows that would have been filled without abandoning.
     pub ea_rows_total: u64,
+    /// Runs entering the RLE-DTW kernel (both series).
+    pub rle_runs: u64,
+    /// Run-pair blocks solved by the RLE-DTW block decomposition.
+    pub rle_blocks: u64,
+    /// Boundary DP values computed across those blocks — the RLE
+    /// analogue of `cells`.
+    pub rle_boundary_cells: u64,
     /// Per-stage prune-funnel ledger (EXPLAIN analytics). Not a table
     /// counter: it has its own `funnel` report section rather than
     /// leaves inside `work`, so existing `work` baselines stay
@@ -524,6 +559,7 @@ impl WorkMeter {
             ("lower_bounds", "lower bounds"),
             ("prune", "prune cascade"),
             ("early_abandon", "early abandon"),
+            ("rle", "rle kernel"),
         ] {
             let leaves: Vec<String> = self
                 .counter_values()
@@ -671,6 +707,17 @@ impl Meter for WorkMeter {
     }
 
     #[inline]
+    fn rle_encoded(&mut self, runs: u64) {
+        self.rle_runs += runs;
+    }
+
+    #[inline]
+    fn rle_block(&mut self, boundary_cells: u64) {
+        self.rle_blocks += 1;
+        self.rle_boundary_cells += boundary_cells;
+    }
+
+    #[inline]
     fn stage_entered(&mut self, stage: FunnelStage) {
         self.funnel.record_entered(stage);
     }
@@ -796,6 +843,8 @@ mod tests {
         m.prune(StageTag::KeoghQC);
         m.prune(StageTag::DtwExact);
         m.ea_rows(next() % 10, 10);
+        m.rle_encoded(next() + 1);
+        m.rle_block(next() + 1);
         m.fastdtw_level(FastDtwLevel {
             len_x: (next() + 1) as usize,
             len_y: (next() + 1) as usize,
@@ -868,7 +917,7 @@ mod tests {
     fn counter_table_matches_report() {
         let m = arbitrary_meter(42); // records in every gate group
         let j = m.report();
-        assert_eq!(WorkMeter::COUNTER_NAMES.len(), 17);
+        assert_eq!(WorkMeter::COUNTER_NAMES.len(), 20);
         for &name in WorkMeter::COUNTER_NAMES {
             let from_field = m.field(name).expect("table names always resolve");
             let from_json = match name.split_once('.') {
@@ -907,6 +956,28 @@ mod tests {
                 "leaf {name} gating disagrees with the table"
             );
         }
+    }
+
+    #[test]
+    fn rle_hooks_accumulate_into_their_gated_group() {
+        let mut m = WorkMeter::new();
+        // Empty meter: the whole `rle` group is gated out of the report.
+        assert!(m.report()["rle"].is_null());
+        m.rle_encoded(3);
+        m.rle_encoded(4);
+        m.rle_block(11);
+        m.rle_block(9);
+        assert_eq!(m.rle_runs, 7);
+        assert_eq!(m.rle_blocks, 2);
+        assert_eq!(m.rle_boundary_cells, 20);
+        let j = m.report();
+        assert_eq!(j["rle"]["runs"], 7u64);
+        assert_eq!(j["rle"]["blocks"], 2u64);
+        assert_eq!(j["rle"]["boundary_cells"], 20u64);
+        assert!(m.summary().contains("rle kernel"));
+        // The dense-cell counters are untouched: the experiment compares
+        // `rle.boundary_cells` against the band's `cells` directly.
+        assert_eq!(m.cells, 0);
     }
 
     #[test]

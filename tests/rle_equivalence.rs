@@ -1,0 +1,385 @@
+//! Differential test layer for the run-length-encoded exact DTW backend
+//! (DESIGN.md §15).
+//!
+//! The RLE block kernel is an *exact* backend, not an approximation:
+//! on losslessly-encoded inputs it must be **bitwise** equal to the
+//! dense kernels — not approximately equal. These tests run randomized
+//! suites through the public facade and compare:
+//!
+//! * representation: `encode → decode` restores the input bit for bit
+//!   (`+0.0` and `-0.0` stay distinct runs), and the quantized variant
+//!   obeys its per-point error bound;
+//! * distances: `to_bits()` equality against the full dense kernel and
+//!   the banded kernel at a full-matrix band, for both monomorphized
+//!   costs (`SquaredCost`, `AbsoluteCost`), on piecewise-constant dyadic
+//!   inputs (the guarantee class — every arithmetic step is exact);
+//! * dispatch: `Kernel::Auto` routes full-window pairs through the RLE
+//!   kernel exactly when the combined runs/points ratio is at or below
+//!   [`AUTO_THRESHOLD`] (inclusive), observable through the meter
+//!   (`rle_blocks` vs `cells`), and `Kernel::Rle` forces the route;
+//! * counters: full [`WorkMeter`] equality and identical
+//!   `MetricsRegistry` expositions across every thread count — the new
+//!   `rle_*` counters merge like every other counter under `par_map`.
+//!
+//! The thread counts exercised default to `{1, 2, 4, 7}`; CI pins a
+//! single count per job with `TSDTW_TEST_THREADS=N` so the suite runs
+//! once serial and once genuinely parallel.
+
+use proptest::prelude::*;
+use tsdtw::core::cost::{AbsoluteCost, CostFn, SquaredCost};
+use tsdtw::core::dtw::banded::cdtw_distance_metered_with_buf_kernel;
+use tsdtw::core::dtw::full::dtw_distance_kernel;
+use tsdtw::core::dtw::windowed::DtwBuffer;
+use tsdtw::core::error::Error;
+use tsdtw::core::rle::{
+    auto_picks_rle, auto_ratio, count_runs, dtw_distance_rle, rle_dtw_distance, AUTO_THRESHOLD,
+};
+use tsdtw::core::{Kernel, RleSeries};
+use tsdtw::datasets::smart_meter::{state_trace, state_trace_with_runs, state_traces, LEVEL_STEP};
+use tsdtw::mining::{pairwise_matrix_par, ParConfig};
+use tsdtw_obs::{MetricsRegistry, WorkMeter};
+
+/// Thread counts to test. `TSDTW_TEST_THREADS=N` pins the parallel count
+/// (CI runs the suite once with 1 and once with 4); unset, a spread of
+/// small counts including a prime that never divides the work evenly.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("TSDTW_TEST_THREADS") {
+        Ok(v) => {
+            let n: usize = v
+                .parse()
+                .expect("TSDTW_TEST_THREADS must be a positive integer");
+            assert!(n >= 1, "TSDTW_TEST_THREADS must be at least 1");
+            vec![n]
+        }
+        Err(_) => vec![1, 2, 4, 7],
+    }
+}
+
+fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Piecewise-constant dyadic series: `k` segments whose values are
+/// multiples of [`LEVEL_STEP`] — the lossless guarantee class, where
+/// every cost and every DP sum is exact in f64.
+fn dyadic_steps(max_segments: usize, max_seg_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    (1usize..max_segments).prop_flat_map(move |k| {
+        (
+            prop::collection::vec(0u32..8, k..=k),
+            prop::collection::vec(1usize..max_seg_len, k..=k),
+        )
+            .prop_map(|(levels, lens)| {
+                let mut out = Vec::new();
+                for (lvl, len) in levels.iter().zip(&lens) {
+                    out.resize(out.len() + len, *lvl as f64 * LEVEL_STEP);
+                }
+                out
+            })
+    })
+}
+
+/// Runs one pair through the RLE kernel and both dense references with a
+/// given cost; asserts bitwise equality everywhere.
+fn assert_rle_matches_dense<C: CostFn + Copy>(x: &[f64], y: &[f64], cost: C) {
+    let mut m_rle = WorkMeter::new();
+    let d_rle = dtw_distance_rle(x, y, cost, &mut m_rle).unwrap();
+    let d_full = dtw_distance_kernel(x, y, cost, Kernel::Segmented).unwrap();
+    let band = x.len().max(y.len());
+    let mut buf = DtwBuffer::new();
+    let d_band = cdtw_distance_metered_with_buf_kernel(
+        x,
+        y,
+        band,
+        cost,
+        &mut buf,
+        &mut tsdtw_obs::NoMeter,
+        Kernel::Segmented,
+    )
+    .unwrap();
+    prop_assert_eq!(bits(d_rle), bits(d_full), "rle vs full dense");
+    prop_assert_eq!(bits(d_rle), bits(d_band), "rle vs banded at full band");
+    // The work landed in the rle group, not the dense sweep counters.
+    prop_assert!(m_rle.rle_blocks > 0);
+    prop_assert_eq!(m_rle.cells, 0);
+    prop_assert_eq!(
+        m_rle.rle_runs,
+        (count_runs(x) + count_runs(y)) as u64,
+        "encoder must report one run count per side"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lossless encode → decode restores the input bitwise on arbitrary
+    /// (not just piecewise-constant) finite input.
+    #[test]
+    fn encode_decode_round_trips_bitwise(
+        xs in prop::collection::vec(-10.0f64..10.0, 1..200),
+    ) {
+        let enc = RleSeries::encode(&xs).unwrap();
+        let dec = enc.decode();
+        prop_assert_eq!(dec.len(), xs.len());
+        for (a, b) in xs.iter().zip(&dec) {
+            prop_assert_eq!(bits(*a), bits(*b));
+        }
+        prop_assert_eq!(enc.n_runs(), count_runs(&xs));
+        prop_assert_eq!(enc.len(), xs.len());
+        let total: usize = enc.runs().iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, xs.len(), "run lengths must partition the series");
+    }
+
+    /// The quantized variant reconstructs within `epsilon` per point and
+    /// never uses more runs than the lossless encoding.
+    #[test]
+    fn quantized_encode_bounds_the_error(
+        xs in prop::collection::vec(-10.0f64..10.0, 1..200),
+        eps_hundredths in 0u32..300,
+    ) {
+        let eps = eps_hundredths as f64 / 100.0;
+        let enc = RleSeries::encode_quantized(&xs, eps).unwrap();
+        let dec = enc.decode();
+        prop_assert_eq!(dec.len(), xs.len());
+        for (a, b) in xs.iter().zip(&dec) {
+            prop_assert!((a - b).abs() <= eps, "|{} - {}| > {}", a, b, eps);
+        }
+        prop_assert!(enc.n_runs() <= count_runs(&xs));
+        // At epsilon = 0 the comparison is numeric: identical values
+        // still merge, so the bound is tight there too.
+        if eps == 0.0 {
+            for (a, b) in xs.iter().zip(&dec) {
+                prop_assert_eq!(*a, *b);
+            }
+        }
+    }
+
+    /// The headline property: on piecewise-constant dyadic inputs the
+    /// RLE kernel equals the full dense kernel and the banded kernel at
+    /// a full-matrix band — bitwise, under both monomorphized costs.
+    #[test]
+    fn rle_distance_is_bitwise_dense_on_dyadic_steps(
+        x in dyadic_steps(12, 24),
+        y in dyadic_steps(12, 24),
+    ) {
+        assert_rle_matches_dense(&x, &y, SquaredCost);
+        assert_rle_matches_dense(&x, &y, AbsoluteCost);
+        // The pre-encoded entry point agrees with the dense-caller one.
+        let xr = RleSeries::encode(&x).unwrap();
+        let yr = RleSeries::encode(&y).unwrap();
+        let d_pre = rle_dtw_distance(&xr, &yr, SquaredCost).unwrap();
+        let d_dense = dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Segmented).unwrap();
+        prop_assert_eq!(bits(d_pre), bits(d_dense));
+    }
+
+    /// `par_map` thread-count invariance of the new counters: a pairwise
+    /// matrix whose distance is the RLE kernel produces bitwise-equal
+    /// matrices, equal [`WorkMeter`]s (including `rle_runs`,
+    /// `rle_blocks`, `rle_boundary_cells`), and identical metrics
+    /// expositions at every thread count.
+    #[test]
+    fn rle_counters_are_thread_count_invariant_under_par_map(
+        n_series in 3usize..7,
+        seed in 0u64..1000,
+    ) {
+        let series = state_traces(n_series, 120, 0.05, 6, 0xA11C_E000 + seed).unwrap();
+        let dist = |a: &[f64], b: &[f64], m: &mut WorkMeter| dtw_distance_rle(a, b, SquaredCost, m);
+        let cfg1 = ParConfig::new(1).unwrap();
+        let mut serial_meter = WorkMeter::new();
+        let serial = pairwise_matrix_par(&series, &cfg1, &mut serial_meter, dist).unwrap();
+        prop_assert!(serial_meter.rle_blocks > 0);
+        let mut serial_reg = MetricsRegistry::new();
+        serial_reg.record_meter(&serial_meter);
+        let serial_text = serial_reg.render();
+        prop_assert!(serial_text.contains("rle"), "exposition must name the rle counters");
+        for n in thread_counts() {
+            let cfg = ParConfig::new(n).unwrap();
+            let mut par_meter = WorkMeter::new();
+            let par = pairwise_matrix_par(&series, &cfg, &mut par_meter, dist).unwrap();
+            prop_assert_eq!(&par, &serial, "n_threads={}", n);
+            prop_assert_eq!(&par_meter, &serial_meter, "n_threads={}", n);
+            let mut reg = MetricsRegistry::new();
+            reg.record_meter(&par_meter);
+            prop_assert_eq!(
+                reg.render(), serial_text.clone(),
+                "metrics exposition must be thread-count invariant (n_threads={})", n
+            );
+        }
+    }
+}
+
+/// The PR 4-style N×W case grid, shrunk to integration-test budgets:
+/// sizes crossed with compression ratios, both costs, every cell
+/// asserted bitwise against both dense references.
+#[test]
+fn case_grid_is_bitwise_dense() {
+    for &n in &[128usize, 512] {
+        for &pct in &[2u64, 5, 10] {
+            let ratio = pct as f64 / 100.0;
+            let seed = 0xC0DE_0000 + n as u64 * 100 + pct;
+            let x = state_trace(n, ratio, 8, seed).unwrap();
+            let y = state_trace(n, ratio, 8, seed + 1).unwrap();
+            for cost_id in 0..2 {
+                let (d_rle, d_full) = if cost_id == 0 {
+                    (
+                        dtw_distance_rle(&x, &y, SquaredCost, &mut tsdtw_obs::NoMeter).unwrap(),
+                        dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Segmented).unwrap(),
+                    )
+                } else {
+                    (
+                        dtw_distance_rle(&x, &y, AbsoluteCost, &mut tsdtw_obs::NoMeter).unwrap(),
+                        dtw_distance_kernel(&x, &y, AbsoluteCost, Kernel::Segmented).unwrap(),
+                    )
+                };
+                assert_eq!(
+                    bits(d_rle),
+                    bits(d_full),
+                    "n={n} pct={pct} cost={}",
+                    if cost_id == 0 { "squared" } else { "absolute" }
+                );
+            }
+        }
+    }
+}
+
+/// Auto dispatch boundary: a pair exactly at the threshold routes to
+/// the RLE kernel (inclusive ≤), one run more routes to the sweep, and
+/// `Kernel::Rle` forces the route regardless of compressibility — all
+/// observable through which meter group the work lands in.
+#[test]
+fn auto_dispatch_boundary_is_inclusive_and_deterministic() {
+    let n = 100;
+    // Exactly 10 runs per side: ratio = 20 / 200 = AUTO_THRESHOLD.
+    let at = (
+        state_trace_with_runs(n, 10, 8, 0xB0DA_0001).unwrap(),
+        state_trace_with_runs(n, 10, 8, 0xB0DA_0002).unwrap(),
+    );
+    assert_eq!(count_runs(&at.0), 10);
+    assert_eq!(count_runs(&at.1), 10);
+    assert_eq!(auto_ratio(&at.0, &at.1), AUTO_THRESHOLD);
+    assert!(auto_picks_rle(&at.0, &at.1));
+    // One more run on one side: ratio = 21 / 200, just above.
+    let above = (
+        state_trace_with_runs(n, 11, 8, 0xB0DA_0003).unwrap(),
+        state_trace_with_runs(n, 10, 8, 0xB0DA_0004).unwrap(),
+    );
+    assert!(auto_ratio(&above.0, &above.1) > AUTO_THRESHOLD);
+    assert!(!auto_picks_rle(&above.0, &above.1));
+
+    let run = |x: &[f64], y: &[f64], kernel: Kernel| {
+        let mut meter = WorkMeter::new();
+        let mut buf = DtwBuffer::new();
+        let band = x.len().max(y.len());
+        let d = cdtw_distance_metered_with_buf_kernel(
+            x,
+            y,
+            band,
+            SquaredCost,
+            &mut buf,
+            &mut meter,
+            kernel,
+        )
+        .unwrap();
+        (d, meter)
+    };
+
+    // At the threshold, Auto takes the RLE route: block counters move,
+    // the dense sweep counters stay at zero.
+    let (d_auto, m_auto) = run(&at.0, &at.1, Kernel::Auto);
+    assert!(m_auto.rle_blocks > 0, "at-threshold pair must route to RLE");
+    assert_eq!(m_auto.cells, 0);
+    // Just above, Auto sweeps: cells move, block counters stay at zero.
+    let (_, m_above) = run(&above.0, &above.1, Kernel::Auto);
+    assert_eq!(m_above.rle_blocks, 0, "above-threshold pair must sweep");
+    assert!(m_above.cells > 0);
+    // Forcing the tier overrides the probe in both directions, and the
+    // distance never depends on the route.
+    let (d_forced, m_forced) = run(&above.0, &above.1, Kernel::Rle);
+    assert!(m_forced.rle_blocks > 0, "Kernel::Rle must force the route");
+    assert_eq!(m_forced.cells, 0);
+    let (d_swept, _) = run(&above.0, &above.1, Kernel::Segmented);
+    assert_eq!(bits(d_forced), bits(d_swept));
+    let (d_dense_at, _) = run(&at.0, &at.1, Kernel::Segmented);
+    assert_eq!(bits(d_auto), bits(d_dense_at));
+    // Narrower-than-full bands never dispatch to RLE, whatever the tier:
+    // the block kernel computes the unconstrained distance only.
+    let mut meter = WorkMeter::new();
+    let mut buf = DtwBuffer::new();
+    cdtw_distance_metered_with_buf_kernel(
+        &at.0,
+        &at.1,
+        5,
+        SquaredCost,
+        &mut buf,
+        &mut meter,
+        Kernel::Rle,
+    )
+    .unwrap();
+    assert_eq!(meter.rle_blocks, 0, "narrow band must stay on the sweep");
+    assert!(meter.cells > 0);
+}
+
+/// Satellite edge cases at the integration level.
+#[test]
+fn edge_cases() {
+    // Empty input: the dense-caller entry point reports the same error
+    // shape as the dense kernels, naming the offending side.
+    match dtw_distance_rle(&[], &[1.0], SquaredCost, &mut tsdtw_obs::NoMeter) {
+        Err(Error::EmptyInput { which: "x" }) => {}
+        other => panic!("expected EmptyInput for x, got {other:?}"),
+    }
+    match dtw_distance_rle(&[1.0], &[], SquaredCost, &mut tsdtw_obs::NoMeter) {
+        Err(Error::EmptyInput { which: "y" }) => {}
+        other => panic!("expected EmptyInput for y, got {other:?}"),
+    }
+    assert!(RleSeries::encode(&[]).is_err());
+
+    // NaN / infinity rejection, with the index preserved.
+    match RleSeries::encode(&[1.0, f64::NAN, 2.0]) {
+        Err(Error::NonFiniteInput { index: 1, .. }) => {}
+        other => panic!("expected NonFiniteInput at 1, got {other:?}"),
+    }
+    match dtw_distance_rle(
+        &[1.0, 2.0],
+        &[1.0, f64::INFINITY],
+        SquaredCost,
+        &mut tsdtw_obs::NoMeter,
+    ) {
+        Err(Error::NonFiniteInput {
+            which: "y",
+            index: 1,
+        }) => {}
+        other => panic!("expected NonFiniteInput in y at 1, got {other:?}"),
+    }
+
+    // A single run (constant series): one block pair, dense-equal.
+    let x = vec![0.75; 40];
+    let y = vec![0.25; 25];
+    let enc = RleSeries::encode(&x).unwrap();
+    assert_eq!(enc.n_runs(), 1);
+    assert_eq!(enc.compression_ratio(), 1.0 / 40.0);
+    let d_rle = dtw_distance_rle(&x, &y, SquaredCost, &mut tsdtw_obs::NoMeter).unwrap();
+    let d_dense = dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Segmented).unwrap();
+    assert_eq!(bits(d_rle), bits(d_dense));
+
+    // All-distinct input: k == N, every block is 1×1, still bitwise.
+    let x: Vec<f64> = (0..30).map(|i| i as f64 * 0.25).collect();
+    let y: Vec<f64> = (0..30).map(|i| 7.25 - i as f64 * 0.25).collect();
+    assert_eq!(RleSeries::encode(&x).unwrap().n_runs(), x.len());
+    let mut meter = WorkMeter::new();
+    let d_rle = dtw_distance_rle(&x, &y, SquaredCost, &mut meter).unwrap();
+    let d_dense = dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Segmented).unwrap();
+    assert_eq!(bits(d_rle), bits(d_dense));
+    assert_eq!(meter.rle_blocks, (x.len() * y.len()) as u64);
+
+    // Signed zeros: lossless encoding keeps them distinct runs (decode
+    // is bitwise), epsilon-quantization merges them (they compare ==).
+    let zeros = [0.0f64, -0.0, 0.0, -0.0];
+    let lossless = RleSeries::encode(&zeros).unwrap();
+    assert_eq!(lossless.n_runs(), 4);
+    for (a, b) in zeros.iter().zip(&lossless.decode()) {
+        assert_eq!(bits(*a), bits(*b));
+    }
+    let merged = RleSeries::encode_quantized(&zeros, 0.0).unwrap();
+    assert_eq!(merged.n_runs(), 1);
+    assert_eq!(merged.len(), 4);
+}
