@@ -10,9 +10,11 @@
 //!   final window (isolating the recursion overhead);
 //! * the flight recorder armed vs spans-only vs no probes at all (the
 //!   observability layer's < 5 % overhead budget on the banded kernel);
-//! * the tiered row sweep: segmented vs generic on a 10 % band, plus an
-//!   auto-vs-generic pair on an opted-out cost pinning zero dispatch
-//!   overhead;
+//! * the tiered row sweep: segmented vs generic on a 10 % band, the
+//!   wavefront tier on the same shape, plus an auto-vs-generic pair on
+//!   an opted-out cost pinning zero dispatch overhead, and a
+//!   batched-scan pair (mining dispatch route vs direct batch-kernel
+//!   calls) pinning the batched route's dispatch overhead under 5 %;
 //! * the counting allocator armed vs per-call [`AllocScope`] probes vs
 //!   cold construction (the heap-telemetry layer's < 5 % budget on the
 //!   windowed-DTW hot path);
@@ -299,6 +301,20 @@ fn kernel_tiers(c: &mut Criterion) {
             )
         })
     });
+    g.bench_function("wavefront", |b| {
+        b.iter(|| {
+            black_box(
+                tsdtw_core::dtw::banded::cdtw_distance_kernel(
+                    &x,
+                    &y,
+                    band,
+                    SquaredCost,
+                    Kernel::Wavefront,
+                )
+                .unwrap(),
+            )
+        })
+    });
     // Dispatch-overhead pair: PlainSq has SEGMENTED_FAST = false, so
     // Auto resolves to Generic; any timing gap to the explicit Generic
     // call would be dispatch cost. Budget: zero.
@@ -324,6 +340,51 @@ fn kernel_tiers(c: &mut Criterion) {
             )
         })
     });
+    // Batched-dispatch overhead pair: the mining 1-NN scan takes the
+    // struct-of-lanes route under `Auto` (length check + band
+    // resolution + group chunking per scan), so its gap to hand-rolled
+    // batch-kernel calls over the same candidates is the price of that
+    // dispatch. Budget: < 5 %.
+    {
+        use tsdtw_core::dtw::batch::{cdtw_batch_distances_metered, BatchBuffer, LANES};
+        use tsdtw_obs::NoMeter;
+        let scan_n = 512;
+        let query = random_walk(scan_n, 63).unwrap();
+        let pool: Vec<Vec<f64>> = (0..64)
+            .map(|s| random_walk(scan_n, 100 + s as u64).unwrap())
+            .collect();
+        let labels = vec![0usize; pool.len()];
+        let view = LabeledView::new(&pool, &labels).unwrap();
+        let refs: Vec<&[f64]> = pool.iter().map(|y| y.as_slice()).collect();
+        let scan_band = scan_n / 10;
+        g.bench_function("batched_scan_direct", |b| {
+            let mut bbuf = BatchBuffer::new();
+            let mut out = vec![0.0f64; refs.len()];
+            b.iter(|| {
+                for (group, slot) in refs.chunks(LANES).zip(out.chunks_mut(LANES)) {
+                    cdtw_batch_distances_metered(
+                        &query,
+                        group,
+                        scan_band,
+                        SquaredCost,
+                        slot,
+                        &mut bbuf,
+                        &mut NoMeter,
+                    )
+                    .unwrap();
+                }
+                black_box(&out);
+            })
+        });
+        g.bench_function("batched_scan_dispatched", |b| {
+            b.iter(|| {
+                black_box(
+                    nn_brute_force(&view, &query, DistanceSpec::CdtwBand(scan_band), usize::MAX)
+                        .unwrap(),
+                )
+            })
+        });
+    }
     g.finish();
 }
 

@@ -188,6 +188,7 @@ fn main() -> ExitCode {
             report.json.get("work"),
             report.json.get("funnel"),
             report.json.get("rle"),
+            report.json.get("tiers"),
             Some(&memory),
             &spans,
             par.n_threads,

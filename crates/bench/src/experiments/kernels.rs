@@ -1,31 +1,53 @@
-//! `kernels` — micro-benchmark of the tiered row sweep (DESIGN.md §11):
-//! Generic (guarded every cell) vs. Segmented (branch-free interior)
-//! on the same windowed DP, across the paper's two data regimes.
+//! `kernels` — micro-benchmark of the DP kernel tiers (DESIGN.md §11,
+//! §16): Generic (guarded every cell), Segmented (branch-free interior)
+//! and Wavefront (anti-diagonal lane order) on the same windowed DP,
+//! plus the struct-of-lanes Batched kernel on a k-NN-shaped scan —
+//! across the paper's two data regimes.
 //!
-//! Four fixed `N × W` cases, all with a 10 % Sakoe–Chiba band:
+//! Four fixed single-pair `N × W` cases, all with a 10 % Sakoe–Chiba
+//! band:
 //!
 //! * **A1/A2** — UCR-scale ECG exemplars (N = 128, 512);
 //! * **B1/B2** — long random walks (N = 2048, 4096).
 //!
+//! One batched case:
+//!
+//! * **KNN** — one ECG query against 64 same-length candidates at
+//!   N = 512 (the 1-NN scan shape), Batched groups of
+//!   [`LANES`] versus the scalar Segmented scan.
+//!
 //! Per case and tier the experiment reports min/mean wall time and the
-//! derived cells-per-second throughput, plus the segmented-over-generic
-//! speedup. Timing is advisory (shared runners jitter); the *hard*
-//! content is the equality contract: both tiers must return bitwise
-//! identical distances and byte-identical [`WorkMeter`] counters, and
+//! derived cells-per-second throughput, plus each tier's speedup over
+//! Generic. Timing is advisory (shared runners jitter); the *hard*
+//! content is the equality contract: every tier must return bitwise
+//! identical distances and byte-identical [`WorkMeter`] counters
+//! (modulo the `batch.*` pair only the Batched kernel records), and
 //! exactly one metered repetition per `(case, tier)` feeds the attached
 //! `work` section in a fixed order, so the snapshot gate stays
-//! deterministic while the timing loops run unmetered.
+//! deterministic while the timing loops run unmetered. Every kernel in
+//! this experiment is pinned explicitly — the `--kernel` flag changes
+//! nothing here, which is what lets CI diff a `--kernel wavefront` run
+//! against the serial-Generic baseline at zero tolerance.
+//!
+//! The report also attaches a `tiers` section (per-tier `mismatch`
+//! counts, aggregate cells/sec, speedup vs Generic) that the snapshot
+//! pipeline lifts into schema-v6 `BENCH_kernels.json`, where `mismatch`
+//! gates hard and the floats stay advisory.
 
 use std::hint::black_box;
 
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::banded::{cdtw_distance_kernel, cdtw_distance_metered_with_buf_kernel};
+use tsdtw_core::dtw::batch::{
+    cdtw_batch_distances, cdtw_batch_distances_metered, BatchBuffer, LANES,
+};
 use tsdtw_core::dtw::windowed::DtwBuffer;
 use tsdtw_core::obs::WorkMeter;
 use tsdtw_core::Kernel;
 use tsdtw_datasets::ecg::beats;
 use tsdtw_datasets::random_walk::random_walks;
 use tsdtw_mining::ParConfig;
+use tsdtw_obs::{json_obj, Json};
 
 use crate::report::{Report, Scale};
 use crate::timing::{time_reps, Timing};
@@ -37,12 +59,20 @@ struct Row {
     cells: u64,
     generic: Timing,
     segmented: Timing,
+    wavefront: Timing,
     generic_cells_per_s: f64,
     segmented_cells_per_s: f64,
+    wavefront_cells_per_s: f64,
     /// `generic.min_s / segmented.min_s` — > 1 means the branch-free
     /// interior pays for itself on this shape.
-    speedup: f64,
-    /// Bitwise distance equality *and* full meter equality for this case.
+    segmented_speedup: f64,
+    /// `generic.min_s / wavefront.min_s` — > 1 means the anti-diagonal
+    /// lane order pays for itself on this shape.
+    wavefront_speedup: f64,
+    /// Bitwise distance equality *and* full meter equality vs Generic.
+    segmented_identical: bool,
+    wavefront_identical: bool,
+    /// Both of the above — every tier matched Generic on this case.
     tiers_identical: bool,
 }
 
@@ -53,9 +83,51 @@ tsdtw_obs::impl_to_json!(Row {
     cells,
     generic,
     segmented,
+    wavefront,
     generic_cells_per_s,
     segmented_cells_per_s,
-    speedup,
+    wavefront_cells_per_s,
+    segmented_speedup,
+    wavefront_speedup,
+    segmented_identical,
+    wavefront_identical,
+    tiers_identical
+});
+
+struct BatchRow {
+    case: String,
+    n: usize,
+    band: usize,
+    candidates: usize,
+    /// Total DP cells of one full scan (all candidates), per the meter.
+    cells: u64,
+    scalar_generic: Timing,
+    scalar_segmented: Timing,
+    batched: Timing,
+    scalar_segmented_cells_per_s: f64,
+    batched_cells_per_s: f64,
+    /// `scalar_segmented.min_s / batched.min_s` — the number the
+    /// acceptance gate reads (>= 2x on this shape).
+    speedup_vs_segmented: f64,
+    speedup_vs_generic: f64,
+    /// Per-candidate bitwise distance equality and meter equality
+    /// (modulo the `batch.*` counters) vs the scalar Segmented scan.
+    tiers_identical: bool,
+}
+
+tsdtw_obs::impl_to_json!(BatchRow {
+    case,
+    n,
+    band,
+    candidates,
+    cells,
+    scalar_generic,
+    scalar_segmented,
+    batched,
+    scalar_segmented_cells_per_s,
+    batched_cells_per_s,
+    speedup_vs_segmented,
+    speedup_vs_generic,
     tiers_identical
 });
 
@@ -63,6 +135,7 @@ struct Record {
     band_percent: f64,
     reps: usize,
     rows: Vec<Row>,
+    batch: BatchRow,
     /// Every case passed the bitwise distance + meter equality check.
     all_tiers_identical: bool,
 }
@@ -71,12 +144,14 @@ tsdtw_obs::impl_to_json!(Record {
     band_percent,
     reps,
     rows,
+    batch,
     all_tiers_identical
 });
 
-/// Measures one `(N, band)` case: one metered repetition per tier (the
-/// deterministic part, merged into `total` generic-first), then `reps`
-/// unmetered timing repetitions per tier.
+/// Measures one single-pair `(N, band)` case: one metered repetition per
+/// tier (the deterministic part, merged into `total` in Generic,
+/// Segmented, Wavefront order), then `reps` unmetered timing repetitions
+/// per tier.
 fn bench_case(
     case: &str,
     x: &[f64],
@@ -86,32 +161,28 @@ fn bench_case(
     total: &mut WorkMeter,
 ) -> Row {
     let mut buf = DtwBuffer::new();
-
-    let mut m_gen = WorkMeter::new();
-    let d_gen = cdtw_distance_metered_with_buf_kernel(
-        x,
-        y,
-        band,
-        SquaredCost,
-        &mut buf,
-        &mut m_gen,
-        Kernel::Generic,
-    )
-    .expect("valid inputs");
-    let mut m_seg = WorkMeter::new();
-    let d_seg = cdtw_distance_metered_with_buf_kernel(
-        x,
-        y,
-        band,
-        SquaredCost,
-        &mut buf,
-        &mut m_seg,
-        Kernel::Segmented,
-    )
-    .expect("valid inputs");
-    let tiers_identical = d_gen.to_bits() == d_seg.to_bits() && m_gen == m_seg;
+    let mut meter_tier = |kernel: Kernel| {
+        let mut m = WorkMeter::new();
+        let d = cdtw_distance_metered_with_buf_kernel(
+            x,
+            y,
+            band,
+            SquaredCost,
+            &mut buf,
+            &mut m,
+            kernel,
+        )
+        .expect("valid inputs");
+        (d, m)
+    };
+    let (d_gen, m_gen) = meter_tier(Kernel::Generic);
+    let (d_seg, m_seg) = meter_tier(Kernel::Segmented);
+    let (d_wav, m_wav) = meter_tier(Kernel::Wavefront);
+    let segmented_identical = d_gen.to_bits() == d_seg.to_bits() && m_gen == m_seg;
+    let wavefront_identical = d_gen.to_bits() == d_wav.to_bits() && m_gen == m_wav;
     total.merge(&m_gen);
     total.merge(&m_seg);
+    total.merge(&m_wav);
 
     let time_tier = |kernel: Kernel| {
         time_reps(reps, || {
@@ -123,6 +194,7 @@ fn bench_case(
     };
     let generic = time_tier(Kernel::Generic);
     let segmented = time_tier(Kernel::Segmented);
+    let wavefront = time_tier(Kernel::Wavefront);
 
     let cells = m_gen.cells;
     Row {
@@ -132,10 +204,159 @@ fn bench_case(
         cells,
         generic_cells_per_s: cells as f64 / generic.min_s,
         segmented_cells_per_s: cells as f64 / segmented.min_s,
-        speedup: generic.min_s / segmented.min_s,
-        tiers_identical,
+        wavefront_cells_per_s: cells as f64 / wavefront.min_s,
+        segmented_speedup: generic.min_s / segmented.min_s,
+        wavefront_speedup: generic.min_s / wavefront.min_s,
+        segmented_identical,
+        wavefront_identical,
+        tiers_identical: segmented_identical && wavefront_identical,
         generic,
         segmented,
+        wavefront,
+    }
+}
+
+/// Measures the k-NN-shaped scan: one query against `cands` (all the
+/// same length) at `band`, scalar Segmented loop vs struct-of-lanes
+/// Batched groups. One metered scan per route feeds `total` (scalar
+/// first), so the attached counters stay a pure function of the case —
+/// independent of `--kernel` and thread count.
+fn bench_batch_case(
+    case: &str,
+    query: &[f64],
+    cands: &[Vec<f64>],
+    band: usize,
+    reps: usize,
+    total: &mut WorkMeter,
+) -> BatchRow {
+    let refs: Vec<&[f64]> = cands.iter().map(|c| c.as_slice()).collect();
+
+    let mut buf = DtwBuffer::new();
+    let mut m_scalar = WorkMeter::new();
+    let scalar_d: Vec<f64> = refs
+        .iter()
+        .map(|c| {
+            cdtw_distance_metered_with_buf_kernel(
+                query,
+                c,
+                band,
+                SquaredCost,
+                &mut buf,
+                &mut m_scalar,
+                Kernel::Segmented,
+            )
+            .expect("valid inputs")
+        })
+        .collect();
+
+    let mut bbuf = BatchBuffer::new();
+    let mut m_batch = WorkMeter::new();
+    let mut batched_d = vec![0.0f64; refs.len()];
+    for (group, out) in refs.chunks(LANES).zip(batched_d.chunks_mut(LANES)) {
+        cdtw_batch_distances_metered(
+            query,
+            group,
+            band,
+            SquaredCost,
+            out,
+            &mut bbuf,
+            &mut m_batch,
+        )
+        .expect("valid inputs");
+    }
+    // The batch route's only legitimate counter divergence is the
+    // `batch.*` pair; everything else must match the scalar scan.
+    let mut m_batch_sans = m_batch.clone();
+    m_batch_sans.batch_groups = 0;
+    m_batch_sans.batch_lanes = 0;
+    let tiers_identical = scalar_d
+        .iter()
+        .zip(&batched_d)
+        .all(|(s, b)| s.to_bits() == b.to_bits())
+        && m_batch_sans == m_scalar;
+    total.merge(&m_scalar);
+    total.merge(&m_batch);
+
+    let time_scalar = |kernel: Kernel| {
+        time_reps(reps, || {
+            for c in &refs {
+                black_box(
+                    cdtw_distance_kernel(black_box(query), black_box(c), band, SquaredCost, kernel)
+                        .expect("valid inputs"),
+                );
+            }
+        })
+    };
+    let scalar_generic = time_scalar(Kernel::Generic);
+    let scalar_segmented = time_scalar(Kernel::Segmented);
+    let batched = time_reps(reps, || {
+        let mut out = [0.0f64; LANES];
+        for group in refs.chunks(LANES) {
+            cdtw_batch_distances(
+                black_box(query),
+                black_box(group),
+                band,
+                SquaredCost,
+                &mut out[..group.len()],
+            )
+            .expect("valid inputs");
+            black_box(&out);
+        }
+    });
+
+    let cells = m_scalar.cells;
+    BatchRow {
+        case: case.into(),
+        n: query.len(),
+        band,
+        candidates: cands.len(),
+        cells,
+        scalar_segmented_cells_per_s: cells as f64 / scalar_segmented.min_s,
+        batched_cells_per_s: cells as f64 / batched.min_s,
+        speedup_vs_segmented: scalar_segmented.min_s / batched.min_s,
+        speedup_vs_generic: scalar_generic.min_s / batched.min_s,
+        tiers_identical,
+        scalar_generic,
+        scalar_segmented,
+        batched,
+    }
+}
+
+/// The schema-v6 `tiers` section: per-tier `mismatch` counts (hard
+/// gate — cases whose distances or meters diverged from the reference),
+/// aggregate cells/sec over the single-pair cases (total cells over
+/// total min time) and speedups vs Generic; the Batched tier reads the
+/// KNN scan case. Floats are advisory in the snapshot diff.
+fn tiers_section(record: &Record) -> Json {
+    let rows = &record.rows;
+    let cells: f64 = rows.iter().map(|r| r.cells as f64).sum();
+    let gen_s: f64 = rows.iter().map(|r| r.generic.min_s).sum();
+    let seg_s: f64 = rows.iter().map(|r| r.segmented.min_s).sum();
+    let wav_s: f64 = rows.iter().map(|r| r.wavefront.min_s).sum();
+    let mismatches = |pick: &dyn Fn(&Row) -> bool| rows.iter().filter(|r| !pick(r)).count() as i64;
+    let b = &record.batch;
+    json_obj! {
+        "generic" => json_obj! {
+            "mismatch" => 0,
+            "cells_per_s" => cells / gen_s,
+            "speedup_vs_generic" => 1.0,
+        },
+        "segmented" => json_obj! {
+            "mismatch" => mismatches(&|r| r.segmented_identical),
+            "cells_per_s" => cells / seg_s,
+            "speedup_vs_generic" => gen_s / seg_s,
+        },
+        "wavefront" => json_obj! {
+            "mismatch" => mismatches(&|r| r.wavefront_identical),
+            "cells_per_s" => cells / wav_s,
+            "speedup_vs_generic" => gen_s / wav_s,
+        },
+        "batched" => json_obj! {
+            "mismatch" => i64::from(!b.tiers_identical),
+            "cells_per_s" => b.batched_cells_per_s,
+            "speedup_vs_generic" => b.speedup_vs_generic,
+            "speedup_vs_segmented" => b.speedup_vs_segmented,
+        },
     }
 }
 
@@ -161,40 +382,66 @@ pub fn run(scale: &Scale, _par: &ParConfig) -> Report {
         rows.push(bench_case(case, &pool[0], &pool[1], band, reps, &mut total));
     }
 
+    // The k-NN scan shape: one held-out query against 64 candidates.
+    let knn_n = 512usize;
+    let knn_band = (knn_n as f64 * band_percent / 100.0).ceil() as usize;
+    let pool = beats(65, knn_n, 0x4B33).expect("generator");
+    let batch = bench_batch_case("KNN", &pool[0], &pool[1..], knn_band, reps, &mut total);
+
     let record = Record {
         band_percent,
         reps,
-        all_tiers_identical: rows.iter().all(|r| r.tiers_identical),
+        all_tiers_identical: rows.iter().all(|r| r.tiers_identical) && batch.tiers_identical,
         rows,
+        batch,
     };
 
     let mut rep = Report::new(
         "kernels",
-        "Tiered row sweep: segmented (branch-free interior) vs generic, 10% band",
+        "DP kernel tiers: segmented / wavefront vs generic, batched vs scalar scan, 10% band",
         &record,
     );
     rep.line(format!(
-        "{:<6}{:>8}{:>8}{:>12}{:>14}{:>14}{:>10}{:>8}",
-        "case", "N", "band", "cells", "gen Mc/s", "seg Mc/s", "speedup", "equal"
+        "{:<6}{:>6}{:>6}{:>11}{:>11}{:>11}{:>11}{:>7}{:>7}{:>7}",
+        "case", "N", "band", "cells", "gen Mc/s", "seg Mc/s", "wav Mc/s", "seg x", "wav x", "equal"
     ));
     for row in &record.rows {
         rep.line(format!(
-            "{:<6}{:>8}{:>8}{:>12}{:>14.1}{:>14.1}{:>9.2}x{:>8}",
+            "{:<6}{:>6}{:>6}{:>11}{:>11.1}{:>11.1}{:>11.1}{:>7.2}{:>7.2}{:>7}",
             row.case,
             row.n,
             row.band,
             row.cells,
             row.generic_cells_per_s / 1e6,
             row.segmented_cells_per_s / 1e6,
-            row.speedup,
+            row.wavefront_cells_per_s / 1e6,
+            row.segmented_speedup,
+            row.wavefront_speedup,
             row.tiers_identical
         ));
     }
+    let b = &record.batch;
+    rep.line(format!(
+        "{:<6}{:>6}{:>6}{:>11} scan of {} candidates: seg {:.1} Mc/s -> batched {:.1} Mc/s \
+         ({:.2}x vs seg, {:.2}x vs gen), equal {}",
+        b.case,
+        b.n,
+        b.band,
+        b.cells,
+        b.candidates,
+        b.scalar_segmented_cells_per_s / 1e6,
+        b.batched_cells_per_s / 1e6,
+        b.speedup_vs_segmented,
+        b.speedup_vs_generic,
+        b.tiers_identical
+    ));
     rep.line(format!(
         "tiers bitwise identical (distances and meters) in every case: {}",
         record.all_tiers_identical
     ));
+    let tiers = tiers_section(&record);
     rep.attach_work(&total);
+    rep.attach_tiers(tiers);
     rep
 }
 
@@ -211,13 +458,46 @@ mod tests {
         for row in rows {
             assert_eq!(row["tiers_identical"], true, "case {}", row["case"]);
             assert!(row["cells"].as_u64().unwrap() > 0);
-            assert!(row["speedup"].as_f64().unwrap() > 0.0);
+            assert!(row["segmented_speedup"].as_f64().unwrap() > 0.0);
+            assert!(row["wavefront_speedup"].as_f64().unwrap() > 0.0);
             assert!(row["generic"]["reps"].as_u64().unwrap() >= 1);
         }
-        // Both tiers were metered once per case, so the attached work
-        // section counts each case's cells exactly twice.
+        // Three single-pair tiers were metered once per case, plus the
+        // batch case's scalar + batched scans, so the attached work
+        // section counts each pairwise case's cells three times and the
+        // scan's twice.
         let work_cells = rep.json["work"]["cells"].as_u64().unwrap();
         let row_cells: u64 = rows.iter().map(|r| r["cells"].as_u64().unwrap()).sum();
-        assert_eq!(work_cells, 2 * row_cells);
+        let scan_cells = rep.json["batch"]["cells"].as_u64().unwrap();
+        assert_eq!(work_cells, 3 * row_cells + 2 * scan_cells);
+    }
+
+    #[test]
+    fn batch_case_scans_all_candidates_in_groups() {
+        let rep = run(&Scale::Quick, &ParConfig::serial());
+        let b = &rep.json["batch"];
+        assert_eq!(b["tiers_identical"], true);
+        assert_eq!(b["candidates"], 64);
+        assert!(b["cells"].as_u64().unwrap() > 0);
+        assert!(b["speedup_vs_segmented"].as_f64().unwrap() > 0.0);
+        // 64 candidates in groups of LANES, one lane per candidate.
+        let groups = rep.json["work"]["batch"]["groups"].as_u64().unwrap();
+        assert_eq!(groups, 64u64.div_ceil(LANES as u64));
+        assert_eq!(rep.json["work"]["batch"]["lanes"], 64u64);
+    }
+
+    #[test]
+    fn tiers_section_is_attached_with_zero_mismatches() {
+        let rep = run(&Scale::Quick, &ParConfig::serial());
+        let tiers = &rep.json["tiers"];
+        for tier in ["generic", "segmented", "wavefront", "batched"] {
+            assert_eq!(tiers[tier]["mismatch"], 0, "{tier}");
+            assert!(tiers[tier]["cells_per_s"].as_f64().unwrap() > 0.0, "{tier}");
+            assert!(
+                tiers[tier]["speedup_vs_generic"].as_f64().unwrap() > 0.0,
+                "{tier}"
+            );
+        }
+        assert!(tiers["batched"]["speedup_vs_segmented"].as_f64().unwrap() > 0.0);
     }
 }

@@ -97,6 +97,20 @@ impl Report {
         self.json.set("rle", section);
     }
 
+    /// Attaches a kernel-tier summary as the `tiers` section of the JSON
+    /// record (same wrapping rule as [`attach_work`](Self::attach_work)).
+    /// The snapshot pipeline lifts this section into schema-v6
+    /// `BENCH_*.json` files, where the per-tier `mismatch` counters are
+    /// hard-gated by `report diff` / `report trend` while the
+    /// cells-per-second and speedup floats stay advisory.
+    pub fn attach_tiers(&mut self, section: Json) {
+        if !matches!(self.json, Json::Obj(_)) {
+            let record = std::mem::replace(&mut self.json, Json::object());
+            self.json.set("record", record);
+        }
+        self.json.set("tiers", section);
+    }
+
     /// Renders the report for the terminal.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 5,
+//!   "schema": 6,
 //!   "hash": "9f86d081884c7d65",
 //!   "experiment": "cells",
 //!   "title": "…",
@@ -23,6 +23,8 @@
 //!   "rle": { "runs": …, "blocks": …, "boundary_cells": …,
 //!            "sweep": [ { "ratio_pct": …, "rle_boundary_cells": …,
 //!                         "banded_cells": …, … }, … ] },
+//!   "tiers": { "wavefront": { "mismatch": 0, "cells_per_s": …,
+//!                             "speedup_vs_generic": … }, … },
 //!   "memory": { "telemetry": true, "allocs": …, "frees": …,
 //!               "bytes_allocated": …, "peak_bytes": …, … },
 //!   "kernels": { "cdtw": { "count": …, "total_s": …, "p50_s": …,
@@ -66,8 +68,14 @@ use tsdtw_obs::{json_obj, Json, SpanStat};
 /// the `rle` section (run-length kernel work: runs, blocks, boundary
 /// cells and the compression-ratio sweep — integer leaves gate hard,
 /// ratio floats are advisory; `Json::Null` for experiments that never
-/// run the RLE kernel).
-pub const SCHEMA_VERSION: i64 = 5;
+/// run the RLE kernel); version 6 added the `tiers` section (per-tier
+/// throughput and tier-equivalence results from the `kernels`
+/// experiment — the per-tier `mismatch` counters gate hard at any
+/// tolerance because they count cases whose distance diverged bitwise
+/// from the serial Generic reference and must stay 0, while cells/sec
+/// and speedup floats are advisory; `Json::Null` for experiments that
+/// don't race kernel tiers).
+pub const SCHEMA_VERSION: i64 = 6;
 
 /// Relative timing slowdown (percent) beyond which the diff emits an
 /// advisory warning. Deliberately loose: shared CI runners jitter.
@@ -133,10 +141,11 @@ pub fn git_rev() -> String {
 /// report `work` section (if any), its `funnel` section (`None` emits
 /// `null` — only cascaded experiments carry a funnel), its `rle`
 /// section (`None` emits `null` — only experiments that exercise the
-/// run-length kernel carry one), the heap delta measured around the
-/// run (`None` emits the disarmed all-zero stub, so the `memory`
-/// section exists in every snapshot), and the span table drained after
-/// the run (empty without `--features obs`).
+/// run-length kernel carry one), its `tiers` section (`None` emits
+/// `null` — only the kernel-tier race carries one), the heap delta
+/// measured around the run (`None` emits the disarmed all-zero stub,
+/// so the `memory` section exists in every snapshot), and the span
+/// table drained after the run (empty without `--features obs`).
 #[allow(clippy::too_many_arguments)]
 pub fn capture(
     experiment: &str,
@@ -145,6 +154,7 @@ pub fn capture(
     work: Option<&Json>,
     funnel: Option<&Json>,
     rle: Option<&Json>,
+    tiers: Option<&Json>,
     memory: Option<&Json>,
     spans: &[SpanStat],
     n_threads: usize,
@@ -175,6 +185,7 @@ pub fn capture(
         "work" => work.cloned().unwrap_or(Json::Null),
         "funnel" => funnel.cloned().unwrap_or(Json::Null),
         "rle" => rle.cloned().unwrap_or(Json::Null),
+        "tiers" => tiers.cloned().unwrap_or(Json::Null),
         "memory" => memory.cloned().unwrap_or_else(|| {
             // No probe data reached capture: mark the stub disarmed even
             // if the allocator happens to be armed in this process, so a
@@ -421,6 +432,13 @@ pub fn diff(baseline: &Json, current: &Json, fail_pct: f64) -> Diff {
     // compression-ratio floats fall out of the counter walk ------------
     gate_counters("rle", baseline, current, fail_pct, &|_| false, &mut d);
 
+    // --- kernel tiers: the per-tier `mismatch` counters (cases whose
+    // distance diverged bitwise from the serial Generic reference) are 0
+    // in any healthy baseline, so any growth is an infinite-percent hard
+    // failure; cells/sec and speedup floats are advisory by omission
+    // from the counter walk --------------------------------------------
+    gate_counters("tiers", baseline, current, fail_pct, &|_| false, &mut d);
+
     // --- memory: counts gate hard, byte totals are advisory -----------
     if baseline["memory"]["telemetry"].as_bool() == Some(true)
         && current["memory"]["telemetry"].as_bool() == Some(false)
@@ -526,6 +544,18 @@ mod tests {
                 "blocks" => 144,
                 "boundary_cells" => cells / 10,
                 "compression_ratio" => 0.05,
+            },
+            "tiers" => json_obj! {
+                "wavefront" => json_obj! {
+                    "mismatch" => 0,
+                    "cells_per_s" => 1.0e9,
+                    "speedup_vs_generic" => 1.4,
+                },
+                "batched" => json_obj! {
+                    "mismatch" => 0,
+                    "cells_per_s" => 2.5e9,
+                    "speedup_vs_generic" => 3.1,
+                },
             },
             "kernels" => json_obj! {
                 "cdtw" => json_obj! {
@@ -725,6 +755,33 @@ mod tests {
     }
 
     #[test]
+    fn tier_mismatch_is_a_hard_regression_throughput_is_advisory() {
+        // A tier whose distances stop matching the serial Generic
+        // reference fails at any tolerance (0 -> 1 is an infinite-percent
+        // growth); throughput floats never gate.
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        let broken = base["tiers"]["batched"].clone().with("mismatch", 2);
+        cur.set("tiers", base["tiers"].clone().with("batched", broken));
+        let d = diff(&base, &cur, 1e9);
+        assert!(
+            d.regressions
+                .iter()
+                .any(|r| r.contains("tiers.batched.mismatch")),
+            "{:?}",
+            d.regressions
+        );
+        let mut cur = snap(1000, 1.0);
+        let slower = base["tiers"]["batched"]
+            .clone()
+            .with("cells_per_s", 1.0)
+            .with("speedup_vs_generic", 0.01);
+        cur.set("tiers", base["tiers"].clone().with("batched", slower));
+        let d = diff(&base, &cur, 0.0);
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+    }
+
+    #[test]
     fn memory_count_growth_is_a_hard_regression() {
         let base = snap(1000, 1.0);
         let mut cur = snap(1000, 1.0);
@@ -815,6 +872,9 @@ mod tests {
             },
         };
         let rle = json_obj! { "runs" => 12, "blocks" => 36, "boundary_cells" => 140 };
+        let tiers = json_obj! {
+            "wavefront" => json_obj! { "mismatch" => 0, "cells_per_s" => 5.0e8 },
+        };
         let s = capture(
             "cells",
             "title",
@@ -822,6 +882,7 @@ mod tests {
             Some(&work),
             Some(&funnel),
             Some(&rle),
+            Some(&tiers),
             None,
             &spans,
             4,
@@ -837,7 +898,10 @@ mod tests {
         assert_eq!(s["funnel"]["stages"]["lb_kim"]["pruned"], 4);
         // v5: the rle section rides along verbatim…
         assert_eq!(s["rle"]["boundary_cells"], 140);
-        // …and a cascade-free, RLE-free experiment carries explicit nulls.
+        // v6: so does the tiers section…
+        assert_eq!(s["tiers"]["wavefront"]["mismatch"], 0);
+        // …and a cascade-free, RLE-free, tier-free experiment carries
+        // explicit nulls.
         let bare = capture(
             "cells",
             "title",
@@ -846,11 +910,13 @@ mod tests {
             None,
             None,
             None,
+            None,
             &spans,
             4,
         );
         assert!(bare["funnel"].is_null());
         assert!(bare["rle"].is_null());
+        assert!(bare["tiers"].is_null());
         assert_eq!(s["kernels"]["cdtw"]["count"], 3u64);
         assert_eq!(s["kernels"]["cdtw"]["alloc_bytes"], 64u64);
         // No memory report passed: the stub section marks telemetry off.

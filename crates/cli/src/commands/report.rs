@@ -385,6 +385,48 @@ fn run_show(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         )),
     }
 
+    match snap.get("tiers") {
+        Some(tiers) if !tiers.is_null() => {
+            out.push_str(
+                "\n-- kernel tiers (mismatch is deterministic; throughput varies with hardware) --\n",
+            );
+            out.push_str(&format!(
+                "  {:<12} {:>10} {:>14} {:>14}\n",
+                "tier", "mismatch", "cells/s", "vs generic"
+            ));
+            if let Some(entries) = tiers.as_object() {
+                for (name, t) in entries {
+                    let speedup = t["speedup_vs_generic"]
+                        .as_f64()
+                        .map(|v| format!("{v:.2}x"))
+                        .unwrap_or_else(|| "-".into());
+                    let cps = t["cells_per_s"]
+                        .as_f64()
+                        .map(|v| format!("{:.1} Mc/s", v / 1e6))
+                        .unwrap_or_else(|| "-".into());
+                    out.push_str(&format!(
+                        "  {:<12} {:>10} {:>14} {:>14}\n",
+                        name,
+                        t["mismatch"].as_i64().unwrap_or(-1),
+                        cps,
+                        speedup,
+                    ));
+                }
+            }
+        }
+        // Pre-v6 snapshots carry no tiers key; v6 snapshots of
+        // experiments that race no kernel tiers carry an explicit null.
+        // Both degrade to a note — the same convention as funnel/rle.
+        _ => out.push_str(&format!(
+            "\nno tiers section ({})\n",
+            if schema < 6 {
+                "pre-v6 snapshot; regenerate with `repro`"
+            } else {
+                "experiment raced no kernel tiers"
+            }
+        )),
+    }
+
     if let Some(mem) = snap["memory"].as_object() {
         let armed = snap["memory"]["telemetry"].as_bool() == Some(true);
         out.push_str(&format!(
@@ -665,6 +707,19 @@ mod tests {
                 "runs" => 24, "blocks" => 144, "boundary_cells" => 4800,
             },
         );
+        s.set(
+            "tiers",
+            json_obj! {
+                "generic" => json_obj! {
+                    "mismatch" => 0, "cells_per_s" => 8.0e8,
+                    "speedup_vs_generic" => 1.0,
+                },
+                "batched" => json_obj! {
+                    "mismatch" => 0, "cells_per_s" => 2.4e9,
+                    "speedup_vs_generic" => 3.0,
+                },
+            },
+        );
         let path = write_snap(&d, "BENCH_cells.json", &s);
         let out = run(&raw(&["show", &path])).unwrap();
         assert!(out.contains("experiment   cells"), "{out}");
@@ -682,6 +737,11 @@ mod tests {
         assert!(out.contains("disarmed"), "{out}");
         assert!(out.contains("-- kernels"), "{out}");
         assert!(out.contains("cdtw"), "{out}");
+        assert!(out.contains("-- kernel tiers"), "{out}");
+        assert!(out.contains("batched"), "{out}");
+        assert!(out.contains("2400.0 Mc/s"), "{out}");
+        assert!(out.contains("3.00x"), "{out}");
+        assert!(!out.contains("no tiers section"), "{out}");
         // Non-snapshot JSON gets a clear message, not a panic.
         let not_snap = write_snap(&d, "nope.json", &json_obj! { "x" => 1 });
         let err = run(&raw(&["show", &not_snap])).unwrap_err().to_string();
@@ -726,6 +786,26 @@ mod tests {
         let out = run(&raw(&["show", &path])).unwrap();
         assert!(out.contains("no rle section"), "{out}");
         assert!(out.contains("never ran the RLE kernel"), "{out}");
+    }
+
+    #[test]
+    fn show_degrades_cleanly_when_the_snapshot_has_no_tiers_section() {
+        let d = tmpdir("tsdtw-report-show-notiers");
+        // Pre-v6 snapshots have no tiers key at all: note, don't omit.
+        let mut old = snap_json(100);
+        old.set("schema", 5i64);
+        let path = write_snap(&d, "BENCH_old.json", &old);
+        let out = run(&raw(&["show", &path])).unwrap();
+        assert!(out.contains("no tiers section"), "{out}");
+        assert!(out.contains("pre-v6"), "{out}");
+        // Current-schema snapshots of non-racing experiments carry an
+        // explicit null and get the other wording.
+        let mut bare = snap_json(100);
+        bare.set("tiers", Json::Null);
+        let path = write_snap(&d, "BENCH_bare.json", &bare);
+        let out = run(&raw(&["show", &path])).unwrap();
+        assert!(out.contains("no tiers section"), "{out}");
+        assert!(out.contains("raced no kernel tiers"), "{out}");
     }
 
     #[test]

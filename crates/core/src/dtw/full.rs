@@ -39,7 +39,10 @@ pub fn dtw_distance_kernel<C: CostFn>(
     cost: C,
     kernel: Kernel,
 ) -> Result<f64> {
-    if kernel == Kernel::Rle || (kernel == Kernel::Auto && crate::rle::auto_picks_rle(x, y)) {
+    if kernel == Kernel::Rle
+        || (kernel == Kernel::Auto
+            && crate::rle::auto_picks_rle_metered(x, y, &mut tsdtw_obs::NoMeter))
+    {
         return crate::rle::dtw_distance_rle(x, y, cost, &mut tsdtw_obs::NoMeter);
     }
     check_nonempty("x", x)?;

@@ -59,6 +59,22 @@ pub enum Kernel {
     /// path recovery, early abandoning) degrade to the `Auto` sweep
     /// resolution.
     Rle,
+    /// Force anti-diagonal (wavefront) evaluation of the banded DP at
+    /// the windowed distance entry points
+    /// (the `dtw::wavefront` module): cells on one anti-diagonal have no
+    /// mutual data dependency, so the inner loop runs in fixed-width
+    /// lanes the compiler autovectorizes. Bitwise-equal to the row
+    /// sweep cell for cell. Contexts the wavefront does not cover
+    /// (path recovery, early abandoning, min-row) degrade to the
+    /// `Auto` sweep resolution.
+    Wavefront,
+    /// Prefer the query-batched struct-of-lanes kernel
+    /// ([`crate::dtw::batch`]) at the mining scan entry points (k-NN /
+    /// LOOCV / pairwise), where up to [`crate::dtw::batch::LANES`]
+    /// same-length candidates run per call. `Auto` takes the same
+    /// route; single-pair contexts degrade to the `Auto` sweep
+    /// resolution.
+    Batched,
 }
 
 impl Kernel {
@@ -73,7 +89,7 @@ impl Kernel {
         (
             Kernel::Auto,
             "auto",
-            "resolve per cost (segmented fast path) and per input (RLE on compressible data)",
+            "resolve per cost (segmented fast path), per input (RLE on compressible data) and per call shape (batched mining scans)",
         ),
         (Kernel::Generic, "generic", "guarded per-cell row sweep"),
         (
@@ -86,6 +102,16 @@ impl Kernel {
             "rle",
             "run-length-encoded block kernel for piecewise-constant series",
         ),
+        (
+            Kernel::Wavefront,
+            "wavefront",
+            "anti-diagonal lane-vectorized banded sweep",
+        ),
+        (
+            Kernel::Batched,
+            "batched",
+            "query-batched struct-of-lanes kernel at the mining scan entry points",
+        ),
     ];
 
     /// Parses a CLI-style kernel name (generated from [`ALL`](Self::ALL)).
@@ -97,7 +123,7 @@ impl Kernel {
     }
 
     /// The canonical lower-case name (`auto` / `generic` / `segmented` /
-    /// `rle`).
+    /// `rle` / `wavefront` / `batched`).
     pub fn name(self) -> &'static str {
         Kernel::ALL
             .iter()
@@ -107,7 +133,7 @@ impl Kernel {
     }
 
     /// The comma-separated canonical names (`"auto, generic, segmented,
-    /// rle"`) for CLI help and error messages.
+    /// rle, wavefront, batched"`) for CLI help and error messages.
     pub fn name_list() -> String {
         let names: Vec<&str> = Kernel::ALL.iter().map(|(_, name, _)| *name).collect();
         names.join(", ")
@@ -115,14 +141,14 @@ impl Kernel {
 
     /// Whether this tier resolves to the segmented sweep for cost `C`.
     ///
-    /// `Rle` answers like `Auto`: row-sweep contexts the block
-    /// decomposition does not cover fall back to the per-cost
-    /// resolution, so forcing `--kernel rle` never changes sweep
+    /// `Rle`, `Wavefront` and `Batched` answer like `Auto`: row-sweep
+    /// contexts their specialized kernels do not cover fall back to the
+    /// per-cost resolution, so forcing any of them never changes sweep
     /// results bitwise.
     #[inline(always)]
     pub fn segmented<C: CostFn>(self) -> bool {
         match self {
-            Kernel::Auto | Kernel::Rle => C::SEGMENTED_FAST,
+            Kernel::Auto | Kernel::Rle | Kernel::Wavefront | Kernel::Batched => C::SEGMENTED_FAST,
             Kernel::Generic => false,
             Kernel::Segmented => true,
         }
@@ -130,7 +156,7 @@ impl Kernel {
 }
 
 // Encoded Kernel for the process-wide default: 0 = Auto, 1 = Generic,
-// 2 = Segmented, 3 = Rle.
+// 2 = Segmented, 3 = Rle, 4 = Wavefront, 5 = Batched.
 static DEFAULT_KERNEL: AtomicU8 = AtomicU8::new(0);
 
 /// Sets the process-wide default tier used by the plain (non-`_kernel`)
@@ -143,6 +169,8 @@ pub fn set_default_kernel(kernel: Kernel) {
         Kernel::Generic => 1,
         Kernel::Segmented => 2,
         Kernel::Rle => 3,
+        Kernel::Wavefront => 4,
+        Kernel::Batched => 5,
     };
     DEFAULT_KERNEL.store(code, Ordering::Relaxed);
 }
@@ -155,6 +183,8 @@ pub fn default_kernel() -> Kernel {
         1 => Kernel::Generic,
         2 => Kernel::Segmented,
         3 => Kernel::Rle,
+        4 => Kernel::Wavefront,
+        5 => Kernel::Batched,
         _ => Kernel::Auto,
     }
 }
@@ -185,9 +215,14 @@ mod tests {
     fn explicit_tiers_override_the_cost() {
         assert!(!Kernel::Generic.segmented::<SquaredCost>());
         assert!(Kernel::Segmented.segmented::<OptOutCost>());
-        // Rle degrades to the Auto resolution in row-sweep contexts.
+        // Rle / Wavefront / Batched degrade to the Auto resolution in
+        // row-sweep contexts.
         assert!(Kernel::Rle.segmented::<SquaredCost>());
         assert!(!Kernel::Rle.segmented::<OptOutCost>());
+        assert!(Kernel::Wavefront.segmented::<SquaredCost>());
+        assert!(!Kernel::Wavefront.segmented::<OptOutCost>());
+        assert!(Kernel::Batched.segmented::<SquaredCost>());
+        assert!(!Kernel::Batched.segmented::<OptOutCost>());
     }
 
     #[test]
@@ -199,10 +234,13 @@ mod tests {
             assert_eq!(k.name(), name);
             assert!(!summary.is_empty());
         }
-        assert_eq!(Kernel::ALL.len(), 4);
+        assert_eq!(Kernel::ALL.len(), 6);
         assert_eq!(Kernel::parse("simd"), None);
         assert_eq!(Kernel::parse(""), None);
-        assert_eq!(Kernel::name_list(), "auto, generic, segmented, rle");
+        assert_eq!(
+            Kernel::name_list(),
+            "auto, generic, segmented, rle, wavefront, batched"
+        );
     }
 
     #[test]

@@ -17,16 +17,22 @@
 //!
 //! All of these fill their rows through the tiered sweep in the private
 //! `sweep` module; [`kernel`] selects the tier (`Auto | Generic |
-//! Segmented`) with a bitwise-equality guarantee between tiers.
+//! Segmented | Rle | Wavefront | Batched`) with a bitwise-equality
+//! guarantee between tiers. The private `wavefront` module evaluates the
+//! windowed DP in anti-diagonal lane order, and [`batch`] runs up to
+//! [`batch::LANES`] same-length candidates against one query in
+//! struct-of-lanes layout — the shape of the mining scans.
 //!
 //! [`SearchWindow`]: crate::window::SearchWindow
 
 pub mod banded;
+pub mod batch;
 pub mod early_abandon;
 pub mod full;
 pub mod kernel;
 pub mod pruned;
 pub(crate) mod sweep;
+pub(crate) mod wavefront;
 pub mod windowed;
 
 pub use banded::{cdtw_distance, cdtw_with_path, percent_to_band};

@@ -1,0 +1,305 @@
+//! Anti-diagonal ("wavefront") evaluation of the windowed DP.
+//!
+//! The row sweep (DESIGN.md §11) walks cells in row-major order, which
+//! chains every interior cell on its *left* neighbor — a loop-carried
+//! dependency that caps the scalar sweep at one fused min-add per cycle.
+//! Walking the same recurrence in anti-diagonal order removes the chain:
+//! every cell on diagonal `d = i + j` depends only on diagonals `d-1`
+//! (its `up` and `left` predecessors) and `d-2` (its `diag`
+//! predecessor), so all cells of one diagonal are mutually independent
+//! and the inner loop runs in fixed-width `[f64; W]` lanes the compiler
+//! autovectorizes — no unstable features, no target-specific intrinsics.
+//!
+//! **Bitwise equality.** Each cell computes exactly the row sweep's
+//! expression, `cost(xᵢ, yⱼ) + diag.min(up).min(left)`, from the same
+//! three predecessor *values* (out-of-window predecessors read `+∞`
+//! here exactly where the sweep's guards substitute `+∞`). IEEE-754
+//! addition and `f64::min` are deterministic functions of their operand
+//! values, and the row-0 prefix sum `acc + cost` reappears here as
+//! `cost + left` (addition is commutative bitwise on this domain — no
+//! NaNs survive validation and costs are non-negative, so the `-0.0`
+//! corner cannot arise). Distances are therefore bitwise equal to the
+//! Generic/Segmented tiers on every window shape — the contract
+//! `tests/kernel_equivalence.rs` locks.
+//!
+//! **Geometry.** With validated windows (`lo`/`hi` monotone
+//! non-decreasing, `lo[i] ≤ hi[i-1] + 1`), both `f(i) = i + lo[i]` and
+//! `g(i) = i + hi[i]` are strictly increasing, so the admissible rows of
+//! diagonal `d` form one contiguous interval `[b_d, a_d]` with
+//! `b_d = min{i : g(i) ≥ d}` and `a_d = max{i : f(i) ≤ d}`. Both ends
+//! are monotone in `d` and advance by at most one per diagonal, so two
+//! cursors track them in O(1) amortized. A diagonal can be empty
+//! (`b_d = a_d + 1`; e.g. the odd diagonals of a width-1 band), but
+//! never two in a row — the connectivity constraint bounds the gap
+//! between consecutive row intervals at one diagonal.
+//!
+//! **Storage.** Three rolling buffers of length `n + 2`, indexed by
+//! `row + 1`, hold diagonals `d`, `d-1` and `d-2`. After filling
+//! `[b_d, a_d]` the kernel writes `+∞` sentinels at indices `b_d` and
+//! `a_d + 2`; because the cursors move at most one step per diagonal,
+//! every predecessor read of the next two diagonals lands either on a
+//! written cell or on one of those sentinels — and a sentinel read is
+//! always a genuinely out-of-window predecessor, so `+∞` is the correct
+//! value. `y` is consulted once per diagonal as `y[d - i]`, a backwards
+//! stride; the kernel reverses it once into scratch so the lane loop
+//! reads all five streams (x, reversed-y, up, left, diag) forward.
+
+use crate::cost::CostFn;
+use crate::error::Result;
+use crate::window::SearchWindow;
+use tsdtw_obs::Meter;
+
+use super::windowed::DtwBuffer;
+
+/// Lane width of the diagonal inner loop. Eight f64 lanes fill one
+/// 512-bit vector (or two 256-bit ops) — wide enough to saturate the
+/// autovectorizer, small enough that short diagonals stay cheap.
+pub(crate) const LANE_WIDTH: usize = 8;
+
+/// Windowed DTW distance in wavefront order. Inputs are already
+/// validated by the caller ([`windowed_distance_metered_kernel`]
+/// dispatches here after `check_inputs`).
+///
+/// Meter counters are recorded from the window bounds alone — the same
+/// per-row `window_cells`/`cells` and the same two-logical-rows
+/// `dp_buffer_bytes` figure as the row sweep — so `WorkMeter` state is
+/// byte-identical across tiers.
+///
+/// [`windowed_distance_metered_kernel`]: super::windowed::windowed_distance_metered_kernel
+pub(crate) fn wavefront_distance<C: CostFn, M: Meter>(
+    x: &[f64],
+    y: &[f64],
+    window: &SearchWindow,
+    cost: C,
+    buf: &mut DtwBuffer,
+    meter: &mut M,
+) -> Result<f64> {
+    let n = x.len();
+    let m = y.len();
+
+    // Tier-invariant metering: identical values to the row sweep's
+    // per-row calls, folded in the same (order-insensitive) hooks.
+    let width = window.max_row_width();
+    meter.dp_buffer_bytes(2 * width as u64 * std::mem::size_of::<f64>() as u64);
+    for i in 0..n {
+        let (lo, hi) = window.row_bounds(i);
+        meter.window_cells((hi - lo + 1) as u64);
+        meter.cells((hi - lo + 1) as u64);
+    }
+
+    buf.wf_prev2.clear();
+    buf.wf_prev2.resize(n + 2, f64::INFINITY);
+    buf.wf_prev.clear();
+    buf.wf_prev.resize(n + 2, f64::INFINITY);
+    buf.wf_cur.clear();
+    buf.wf_cur.resize(n + 2, f64::INFINITY);
+    buf.yrev.clear();
+    buf.yrev.extend(y.iter().rev());
+
+    // Diagonal 0 is the corner cell alone: the sweep computes it as
+    // `acc = 0.0 + cost`, bitwise the bare cost on this domain.
+    buf.wf_cur[0] = f64::INFINITY;
+    buf.wf_cur[1] = cost.cost(x[0], y[0]);
+    buf.wf_cur[2] = f64::INFINITY;
+    rotate(buf);
+
+    // Cursors over the admissible row interval [imin, imax] = [b_d, a_d].
+    let mut imin = 0usize;
+    let mut imax = 0usize;
+    for d in 1..=(n + m - 2) {
+        // Advance b_d: smallest row whose interval still reaches d.
+        while imin + window.row_bounds(imin).1 < d {
+            imin += 1;
+            debug_assert!(imin < n, "g(n-1) = n+m-2 bounds every diagonal");
+        }
+        // Advance a_d: largest row whose interval has started by d.
+        while imax + 1 < n && (imax + 1) + window.row_bounds(imax + 1).0 <= d {
+            imax += 1;
+        }
+
+        if imin <= imax {
+            let cnt = imax - imin + 1;
+            // y[d - i] for i in [imin, imax] is yrev[i + m - 1 - d],
+            // a forward slice (imin ≥ d - m + 1 by admissibility).
+            let yoff = imin + m - 1 - d;
+            let xs = &x[imin..imin + cnt];
+            let yr = &buf.yrev[yoff..yoff + cnt];
+            // Predecessors of (i, d-i): up = (i-1, j) and left = (i, j-1)
+            // live on diagonal d-1 at indices i and i+1; diag = (i-1, j-1)
+            // on d-2 at index i.
+            let up_s = &buf.wf_prev[imin..imin + cnt];
+            let left_s = &buf.wf_prev[imin + 1..imin + 1 + cnt];
+            let diag_s = &buf.wf_prev2[imin..imin + cnt];
+            let out = &mut buf.wf_cur[imin + 1..imin + 1 + cnt];
+
+            // Fixed-width lanes with the fused three-way min; every lane
+            // is independent, so this loop vectorizes as written.
+            let mut k = 0;
+            while k + LANE_WIDTH <= cnt {
+                let mut lane = [0.0f64; LANE_WIDTH];
+                for (t, slot) in lane.iter_mut().enumerate() {
+                    let pred = diag_s[k + t].min(up_s[k + t]).min(left_s[k + t]);
+                    *slot = cost.cost(xs[k + t], yr[k + t]) + pred;
+                }
+                out[k..k + LANE_WIDTH].copy_from_slice(&lane);
+                k += LANE_WIDTH;
+            }
+            while k < cnt {
+                let pred = diag_s[k].min(up_s[k]).min(left_s[k]);
+                out[k] = cost.cost(xs[k], yr[k]) + pred;
+                k += 1;
+            }
+        }
+
+        // Sentinels bracketing the written interval (for an empty
+        // diagonal, imin = imax + 1 and the two writes are adjacent).
+        // Reads on diagonals d+1 and d+2 stay within [b_d, a_d + 2] of
+        // this buffer by cursor monotonicity, so nothing stale escapes.
+        buf.wf_cur[imin] = f64::INFINITY;
+        buf.wf_cur[imax + 2] = f64::INFINITY;
+        rotate(buf);
+    }
+
+    // After the final rotation the last diagonal sits in wf_prev; the
+    // bottom-right cell (n-1, m-1) is at index n.
+    Ok(cost.finish(buf.wf_prev[n]))
+}
+
+/// `(prev2, prev, cur) ← (prev, cur, prev2)` — the retired `prev2`
+/// buffer is recycled as the next diagonal's output.
+#[inline]
+fn rotate(buf: &mut DtwBuffer) {
+    std::mem::swap(&mut buf.wf_prev2, &mut buf.wf_prev);
+    std::mem::swap(&mut buf.wf_prev, &mut buf.wf_cur);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cost::{AbsoluteCost, Rooted, SquaredCost};
+    use crate::dtw::windowed::{windowed_distance_metered_kernel, DtwBuffer};
+    use crate::window::SearchWindow;
+    use crate::Kernel;
+    use tsdtw_obs::WorkMeter;
+
+    fn series(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as f64 + seed as f64 * 0.7) * 0.37).sin() * 3.0)
+            .collect()
+    }
+
+    fn assert_wavefront_matches(x: &[f64], y: &[f64], w: &SearchWindow) {
+        let mut buf = DtwBuffer::new();
+        let mut m_seg = WorkMeter::new();
+        let d_seg = windowed_distance_metered_kernel(x, y, w, SquaredCost, &mut buf, &mut m_seg, {
+            Kernel::Segmented
+        })
+        .unwrap();
+        let mut m_wf = WorkMeter::new();
+        let d_wf = windowed_distance_metered_kernel(
+            x,
+            y,
+            w,
+            SquaredCost,
+            &mut buf,
+            &mut m_wf,
+            Kernel::Wavefront,
+        )
+        .unwrap();
+        assert_eq!(
+            d_wf.to_bits(),
+            d_seg.to_bits(),
+            "{}x{} window",
+            w.n_rows(),
+            w.n_cols()
+        );
+        assert_eq!(m_wf, m_seg, "meters must be tier-invariant");
+    }
+
+    #[test]
+    fn matches_row_sweep_on_bands_including_empty_diagonals() {
+        // band 0 on equal lengths makes every odd diagonal empty — the
+        // sentinel scheme's hardest shape.
+        for n in [1usize, 2, 3, 7, 16, 33] {
+            let x = series(n, 1);
+            let y = series(n, 2);
+            for band in [0usize, 1, 2, 5, n] {
+                let w = SearchWindow::sakoe_chiba(n, n, band);
+                assert_wavefront_matches(&x, &y, &w);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_row_sweep_on_rectangular_and_degenerate_shapes() {
+        for (n, m) in [(1usize, 9usize), (9, 1), (5, 13), (13, 5), (24, 25)] {
+            let x = series(n, 3);
+            let y = series(m, 4);
+            for band in [0usize, 2, 7, n.max(m)] {
+                let w = SearchWindow::sakoe_chiba(n, m, band);
+                assert_wavefront_matches(&x, &y, &w);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_remainders_cover_full_partial_and_single() {
+        // Diagonal lengths n mod W ∈ {0, 1, W-1} exercise the chunked
+        // loop, the scalar tail, and the all-tail case.
+        for n in [8usize, 9, 15, 16, 17, 23] {
+            let x = series(n, 5);
+            let y = series(n, 6);
+            let w = SearchWindow::full(n, n);
+            assert_wavefront_matches(&x, &y, &w);
+        }
+    }
+
+    #[test]
+    fn other_costs_match_too() {
+        let x = series(19, 7);
+        let y = series(19, 8);
+        let w = SearchWindow::sakoe_chiba(19, 19, 4);
+        let mut buf = DtwBuffer::new();
+        let d_seg = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            AbsoluteCost,
+            &mut buf,
+            &mut WorkMeter::new(),
+            Kernel::Generic,
+        )
+        .unwrap();
+        let d_wf = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            AbsoluteCost,
+            &mut buf,
+            &mut WorkMeter::new(),
+            Kernel::Wavefront,
+        )
+        .unwrap();
+        assert_eq!(d_wf.to_bits(), d_seg.to_bits());
+        let r_seg = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            Rooted(SquaredCost),
+            &mut buf,
+            &mut WorkMeter::new(),
+            Kernel::Segmented,
+        )
+        .unwrap();
+        let r_wf = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            Rooted(SquaredCost),
+            &mut buf,
+            &mut WorkMeter::new(),
+            Kernel::Wavefront,
+        )
+        .unwrap();
+        assert_eq!(r_wf.to_bits(), r_seg.to_bits());
+    }
+}

@@ -73,6 +73,15 @@ fn check_inputs(x: &[f64], y: &[f64], window: &SearchWindow) -> Result<()> {
 pub struct DtwBuffer {
     pub(crate) prev: Vec<f64>,
     pub(crate) cur: Vec<f64>,
+    /// Wavefront-tier rolling diagonals (`d-2`, `d-1`, `d`), length
+    /// `n + 2`; empty unless [`Kernel::Wavefront`] has run through this
+    /// buffer. See [`super::wavefront`].
+    pub(crate) wf_prev2: Vec<f64>,
+    pub(crate) wf_prev: Vec<f64>,
+    pub(crate) wf_cur: Vec<f64>,
+    /// Reversed copy of `y` so the wavefront lane loop reads all its
+    /// streams with a forward stride.
+    pub(crate) yrev: Vec<f64>,
     /// `(band, window)` of the last band built through this buffer.
     cached_window: Option<(usize, SearchWindow)>,
 }
@@ -83,12 +92,19 @@ impl DtwBuffer {
         Self::default()
     }
 
-    /// Bytes of scratch currently reserved by the two DP rows. After a
+    /// Bytes of scratch currently reserved by the DP rows (plus the
+    /// wavefront tier's diagonal buffers, if that tier has run). After a
     /// warm-up call this bounds the steady-state working set of every
     /// subsequent same-shape call (the `alloc_discipline` suite checks
     /// it against allocator-observed traffic).
     pub fn capacity_bytes(&self) -> usize {
-        (self.prev.capacity() + self.cur.capacity()) * std::mem::size_of::<f64>()
+        (self.prev.capacity()
+            + self.cur.capacity()
+            + self.wf_prev2.capacity()
+            + self.wf_prev.capacity()
+            + self.wf_cur.capacity()
+            + self.yrev.capacity())
+            * std::mem::size_of::<f64>()
     }
 
     /// Takes a Sakoe–Chiba window for an `n × m` matrix with the given
@@ -182,6 +198,12 @@ pub fn windowed_distance_metered_kernel<C: CostFn, M: Meter>(
 ) -> Result<f64> {
     check_inputs(x, y, window)?;
     let _span = tsdtw_obs::span("dtw_windowed");
+    if kernel == Kernel::Wavefront {
+        // Anti-diagonal evaluation; bitwise-equal and meter-identical to
+        // the row sweep below (module docs carry the proof). Only the
+        // explicit tier routes here — `Auto` stays on the row sweep.
+        return super::wavefront::wavefront_distance(x, y, window, cost, buf, meter);
+    }
     let n = x.len();
 
     let width = window.max_row_width();

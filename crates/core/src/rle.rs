@@ -224,6 +224,15 @@ pub fn auto_ratio(x: &[f64], y: &[f64]) -> f64 {
 /// block kernel: [`auto_ratio`] at most [`AUTO_THRESHOLD`] (inclusive,
 /// so exactly-at-threshold inputs pick RLE deterministically).
 pub fn auto_picks_rle(x: &[f64], y: &[f64]) -> bool {
+    auto_picks_rle_metered(x, y, &mut tsdtw_obs::NoMeter)
+}
+
+/// [`auto_picks_rle`] with the probe itself recorded
+/// ([`Meter::rle_probe`]): the dispatch points call this so the O(N)
+/// compressibility pass is visible in the work counters — a banded call
+/// whose band never covers the full window must record zero probes.
+pub fn auto_picks_rle_metered<M: Meter>(x: &[f64], y: &[f64], meter: &mut M) -> bool {
+    meter.rle_probe();
     auto_ratio(x, y) <= AUTO_THRESHOLD
 }
 

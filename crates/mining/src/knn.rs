@@ -11,8 +11,10 @@
 
 use tsdtw_core::cost::SquaredCost;
 use tsdtw_core::dtw::banded::{cdtw_distance_metered_with_buf, percent_to_band};
+use tsdtw_core::dtw::batch::{cdtw_batch_distances_metered, BatchBuffer, LANES};
 use tsdtw_core::dtw::full::dtw_distance;
 use tsdtw_core::dtw::windowed::DtwBuffer;
+use tsdtw_core::dtw::{default_kernel, Kernel};
 use tsdtw_core::error::{Error, Result};
 use tsdtw_core::fastdtw::{fastdtw_metered, fastdtw_ref_metered};
 use tsdtw_core::lower_bounds::Cascade;
@@ -24,6 +26,130 @@ use crate::par::{par_fold_argmin, par_map, ParConfig};
 /// Training-set indices that survive the leave-one-out `skip`, in order.
 fn candidate_indices(train: &LabeledView<'_>, skip: usize) -> Vec<usize> {
     (0..train.series.len()).filter(|&i| i != skip).collect()
+}
+
+/// The band radius of the batched struct-of-lanes route for this scan,
+/// or `None` when the scan must stay scalar.
+///
+/// The route engages only when `kernel` (the scans pass the process
+/// default) is `Auto` or `Batched` (explicit `--kernel
+/// generic/segmented/rle/wavefront` pins the scalar scan), the spec
+/// reduces to one banded DP (full DTW counts, via a matrix-covering
+/// band, when the lengths are equal — for unequal lengths the scalar
+/// full kernel transposes the matrix, which the batch kernel does not
+/// reproduce), and every candidate has one length so the group shares a
+/// window. Distances are bitwise equal to the scalar scan either way,
+/// so the route is observable only in wall-clock time and the `batch.*`
+/// counters (plus, for full DTW, the per-pair `rle.probes` the scalar
+/// banded route records and the batch kernel skips).
+pub(crate) fn batched_band(
+    kernel: Kernel,
+    spec: DistanceSpec,
+    query: &[f64],
+    series: &[Vec<f64>],
+    idxs: &[usize],
+) -> Option<usize> {
+    if !matches!(kernel, Kernel::Auto | Kernel::Batched) {
+        return None;
+    }
+    let m = series.get(*idxs.first()?)?.len();
+    if idxs.iter().any(|&i| series[i].len() != m) {
+        return None;
+    }
+    let n = query.len();
+    match spec {
+        // An out-of-range percentage falls back to the scalar scan, which
+        // reproduces the conversion error the caller expects.
+        DistanceSpec::CdtwPercent(w) => percent_to_band(n.max(m), w).ok(),
+        DistanceSpec::CdtwBand(band) => Some(band),
+        DistanceSpec::FullDtw if n == m => Some(n),
+        _ => None,
+    }
+}
+
+/// Distances of `query` to `series[i]` for every `i` in `idxs`, in
+/// `idxs` order — the shared serial scan body of 1-NN / k-NN. Takes the
+/// batched struct-of-lanes route when [`batched_band`] admits it (one
+/// reused [`BatchBuffer`], consecutive groups of [`LANES`] candidates in
+/// index order), the scalar buffered loop otherwise; both produce
+/// bitwise-identical distances.
+pub(crate) fn scan_distances_metered<M: Meter>(
+    series: &[Vec<f64>],
+    query: &[f64],
+    spec: DistanceSpec,
+    idxs: &[usize],
+    meter: &mut M,
+) -> Result<Vec<f64>> {
+    let mut out = Vec::with_capacity(idxs.len());
+    if let Some(band) = batched_band(default_kernel(), spec, query, series, idxs) {
+        let mut bbuf = BatchBuffer::new();
+        let mut group_out = [0.0f64; LANES];
+        let mut ys: [&[f64]; LANES] = [query; LANES];
+        for group in idxs.chunks(LANES) {
+            for (l, &i) in group.iter().enumerate() {
+                ys[l] = &series[i];
+            }
+            cdtw_batch_distances_metered(
+                query,
+                &ys[..group.len()],
+                band,
+                SquaredCost,
+                &mut group_out[..group.len()],
+                &mut bbuf,
+                meter,
+            )?;
+            out.extend_from_slice(&group_out[..group.len()]);
+        }
+    } else {
+        let mut buf = DtwBuffer::new();
+        for &i in idxs {
+            out.push(spec.eval_metered_buf(query, &series[i], meter, &mut buf)?);
+        }
+    }
+    Ok(out)
+}
+
+/// [`scan_distances_metered`] on the deterministic parallel executor:
+/// the *group* is the unit of parallelism on the batched route (same
+/// consecutive index-order groups as the serial scan, one fresh
+/// [`BatchBuffer`] per group), the candidate on the scalar route.
+/// Shards merge in group/candidate order either way, so results and
+/// counters are bitwise identical to the serial scan at any
+/// `n_threads`.
+pub(crate) fn scan_distances_par<M: MeterShard>(
+    series: &[Vec<f64>],
+    query: &[f64],
+    spec: DistanceSpec,
+    idxs: &[usize],
+    cfg: &ParConfig,
+    meter: &mut M,
+) -> Result<Vec<f64>> {
+    if let Some(band) = batched_band(default_kernel(), spec, query, series, idxs) {
+        let groups: Vec<&[usize]> = idxs.chunks(LANES).collect();
+        let nested = par_map(cfg, &groups, meter, |_, group, m| {
+            let mut bbuf = BatchBuffer::new();
+            let mut ys: [&[f64]; LANES] = [query; LANES];
+            for (l, &i) in group.iter().enumerate() {
+                ys[l] = &series[i];
+            }
+            let mut out = [0.0f64; LANES];
+            cdtw_batch_distances_metered(
+                query,
+                &ys[..group.len()],
+                band,
+                SquaredCost,
+                &mut out[..group.len()],
+                &mut bbuf,
+                m,
+            )?;
+            Ok(out[..group.len()].to_vec())
+        })?;
+        Ok(nested.into_iter().flatten().collect())
+    } else {
+        par_map(cfg, idxs, meter, |_, &i, m| {
+            spec.eval_metered(query, &series[i], m)
+        })
+    }
 }
 
 /// Which distance a classifier should use.
@@ -132,6 +258,11 @@ pub fn nn_brute_force(
 
 /// [`nn_brute_force`] with a [`Meter`] accumulating the DP work of every
 /// comparison the query performs.
+///
+/// The scan body is `scan_distances_metered`, so under the default
+/// `Auto` kernel a banded spec over equal-length candidates runs on the
+/// struct-of-lanes batch kernel — bitwise-identical distances, batched
+/// throughput.
 pub fn nn_brute_force_metered<M: Meter>(
     train: &LabeledView<'_>,
     query: &[f64],
@@ -140,34 +271,37 @@ pub fn nn_brute_force_metered<M: Meter>(
     meter: &mut M,
 ) -> Result<NnResult> {
     let _span = tsdtw_obs::span("knn");
-    let mut best = NnResult {
-        index: usize::MAX,
-        distance: f64::INFINITY,
-        label: 0,
-    };
-    let mut buf = DtwBuffer::new();
-    for (i, s) in train.series.iter().enumerate() {
-        if i == skip {
-            continue;
-        }
-        let d = spec.eval_metered_buf(query, s, meter, &mut buf)?;
-        if d < best.distance {
-            best = NnResult {
-                index: i,
-                distance: d,
-                label: train.labels[i],
-            };
-        }
-    }
-    if best.index == usize::MAX {
+    let idxs = candidate_indices(train, skip);
+    if idxs.is_empty() {
         return Err(Error::EmptyInput { which: "train" });
     }
-    Ok(best)
+    let distances = scan_distances_metered(train.series, query, spec, &idxs, meter)?;
+    let (index, distance) = argmin_first(&idxs, &distances);
+    Ok(NnResult {
+        index,
+        distance,
+        label: train.labels[index],
+    })
+}
+
+/// Index-order argmin with strict `<` (first winner kept on ties) —
+/// shared by the serial and parallel 1-NN paths so both resolve ties
+/// identically. `idxs` must be nonempty.
+fn argmin_first(idxs: &[usize], distances: &[f64]) -> (usize, f64) {
+    let mut best: Option<(usize, f64)> = None;
+    for (&i, &d) in idxs.iter().zip(distances) {
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    best.expect("nonempty candidate set")
 }
 
 /// [`nn_brute_force`] on the deterministic parallel executor: every
 /// candidate is evaluated (no pruning, so the work is bound-independent)
-/// and the minimum is taken in index order with strict `<`. Results and
+/// and the minimum is taken in index order with strict `<`. The scan
+/// body is `scan_distances_par`, which takes the same batched route
+/// (and the same lane grouping) as the serial scan, so results and
 /// merged counters are bitwise identical to the serial path at any
 /// `n_threads`.
 pub fn nn_brute_force_par<M: MeterShard>(
@@ -183,16 +317,8 @@ pub fn nn_brute_force_par<M: MeterShard>(
     if idxs.is_empty() {
         return Err(Error::EmptyInput { which: "train" });
     }
-    let distances = par_map(cfg, &idxs, meter, |_, &i, m| {
-        spec.eval_metered(query, &train.series[i], m)
-    })?;
-    let mut best: Option<(usize, f64)> = None;
-    for (&i, &d) in idxs.iter().zip(&distances) {
-        if best.is_none_or(|(_, bd)| d < bd) {
-            best = Some((i, d));
-        }
-    }
-    let (index, distance) = best.expect("nonempty candidate set");
+    let distances = scan_distances_par(train.series, query, spec, &idxs, cfg, meter)?;
+    let (index, distance) = argmin_first(&idxs, &distances);
     Ok(NnResult {
         index,
         distance,
@@ -321,22 +447,20 @@ pub fn knn_brute_force_metered<M: Meter>(
             reason: "k must be at least 1".into(),
         });
     }
-    let mut all: Vec<NnResult> = Vec::with_capacity(train.series.len());
-    let mut buf = DtwBuffer::new();
-    for (i, s) in train.series.iter().enumerate() {
-        if i == skip {
-            continue;
-        }
-        let d = spec.eval_metered_buf(query, s, meter, &mut buf)?;
-        all.push(NnResult {
+    let idxs = candidate_indices(train, skip);
+    if idxs.is_empty() {
+        return Err(Error::EmptyInput { which: "train" });
+    }
+    let distances = scan_distances_metered(train.series, query, spec, &idxs, meter)?;
+    let mut all: Vec<NnResult> = idxs
+        .iter()
+        .zip(&distances)
+        .map(|(&i, &d)| NnResult {
             index: i,
             distance: d,
             label: train.labels[i],
-        });
-    }
-    if all.is_empty() {
-        return Err(Error::EmptyInput { which: "train" });
-    }
+        })
+        .collect();
     all.sort_by(|a, b| {
         a.distance
             .partial_cmp(&b.distance)
@@ -370,9 +494,7 @@ pub fn knn_brute_force_par<M: MeterShard>(
     if idxs.is_empty() {
         return Err(Error::EmptyInput { which: "train" });
     }
-    let distances = par_map(cfg, &idxs, meter, |_, &i, m| {
-        spec.eval_metered(query, &train.series[i], m)
-    })?;
+    let distances = scan_distances_par(train.series, query, spec, &idxs, cfg, meter)?;
     let mut all: Vec<NnResult> = idxs
         .iter()
         .zip(&distances)
@@ -887,6 +1009,172 @@ mod tests {
             assert_eq!(knn, serial_knn, "{threads} threads");
             let label = classify_knn_par(&view, &series[5], spec, 3, &cfg, &mut NoMeter).unwrap();
             assert_eq!(label, serial_label, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn batched_route_gates_on_kernel_spec_and_lengths() {
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let idxs = candidate_indices(&view, 0);
+        let q = &series[0];
+        // Engages for banded specs under Auto/Batched.
+        for kernel in [Kernel::Auto, Kernel::Batched] {
+            assert_eq!(
+                batched_band(kernel, DistanceSpec::CdtwBand(4), q, &series, &idxs),
+                Some(4)
+            );
+            let pct = batched_band(kernel, DistanceSpec::CdtwPercent(5.0), q, &series, &idxs);
+            assert_eq!(pct, Some(percent_to_band(q.len(), 5.0).unwrap()));
+            // Equal lengths: full DTW via a matrix-covering band.
+            assert_eq!(
+                batched_band(kernel, DistanceSpec::FullDtw, q, &series, &idxs),
+                Some(q.len())
+            );
+        }
+        // Explicit scalar kernels pin the scalar scan.
+        for kernel in [
+            Kernel::Generic,
+            Kernel::Segmented,
+            Kernel::Rle,
+            Kernel::Wavefront,
+        ] {
+            assert_eq!(
+                batched_band(kernel, DistanceSpec::CdtwBand(4), q, &series, &idxs),
+                None,
+                "{kernel:?}"
+            );
+        }
+        // Non-banded specs stay scalar.
+        for spec in [
+            DistanceSpec::Euclidean,
+            DistanceSpec::FastDtw(3),
+            DistanceSpec::FastDtwRef(3),
+        ] {
+            assert_eq!(batched_band(Kernel::Auto, spec, q, &series, &idxs), None);
+        }
+        // Out-of-range percent falls back (the scalar scan reports the error).
+        assert_eq!(
+            batched_band(
+                Kernel::Auto,
+                DistanceSpec::CdtwPercent(250.0),
+                q,
+                &series,
+                &idxs
+            ),
+            None
+        );
+        // Mixed candidate lengths stay scalar.
+        let mut ragged = series.clone();
+        ragged[3].push(0.5);
+        assert_eq!(
+            batched_band(Kernel::Auto, DistanceSpec::CdtwBand(4), q, &ragged, &idxs),
+            None
+        );
+        // Full DTW with a query length differing from the candidates stays
+        // scalar (the scalar kernel transposes; the batch kernel doesn't).
+        let short_q = &series[0][..32];
+        assert_eq!(
+            batched_band(Kernel::Auto, DistanceSpec::FullDtw, short_q, &series, &idxs),
+            None
+        );
+        assert_eq!(
+            batched_band(
+                Kernel::Auto,
+                DistanceSpec::CdtwBand(4),
+                short_q,
+                &series,
+                &idxs
+            ),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn batched_scan_is_bitwise_equal_to_the_scalar_scan() {
+        use tsdtw_obs::WorkMeter;
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let idxs = candidate_indices(&view, 2);
+        let q = &series[2];
+        for spec in [
+            DistanceSpec::CdtwBand(4),
+            DistanceSpec::CdtwPercent(10.0),
+            DistanceSpec::FullDtw,
+        ] {
+            // Scalar reference: the per-pair buffered loop, exactly what the
+            // scan runs when the batched route is gated off.
+            let mut scalar_meter = WorkMeter::new();
+            let mut buf = DtwBuffer::new();
+            let scalar: Vec<f64> = idxs
+                .iter()
+                .map(|&i| {
+                    spec.eval_metered_buf(q, &series[i], &mut scalar_meter, &mut buf)
+                        .unwrap()
+                })
+                .collect();
+            let mut batched_meter = WorkMeter::new();
+            let batched =
+                scan_distances_metered(&series, q, spec, &idxs, &mut batched_meter).unwrap();
+            assert_eq!(batched.len(), scalar.len(), "{spec:?}");
+            for (b, s) in batched.iter().zip(&scalar) {
+                assert_eq!(b.to_bits(), s.to_bits(), "{spec:?}");
+            }
+            // The route really engaged (19 candidates -> 3 groups of <= 8),
+            // and the only counter divergence from the scalar loop is the
+            // batch.* pair.
+            assert_eq!(batched_meter.batch_groups, 3, "{spec:?}");
+            assert_eq!(batched_meter.batch_lanes, idxs.len() as u64, "{spec:?}");
+            if spec == DistanceSpec::FullDtw {
+                // The scalar metered full-DTW path probes RLE once per pair
+                // at its full-window gate; the batch kernel skips the probe.
+                assert_eq!(scalar_meter.rle_probes, idxs.len() as u64);
+                assert_eq!(batched_meter.rle_probes, 0);
+            }
+            let normalize = |m: &WorkMeter| {
+                let mut m = m.clone();
+                m.batch_groups = 0;
+                m.batch_lanes = 0;
+                m.rle_probes = 0;
+                m
+            };
+            assert_eq!(
+                normalize(&batched_meter),
+                normalize(&scalar_meter),
+                "{spec:?}"
+            );
+            assert_eq!(batched_meter.cells, scalar_meter.cells, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn batched_par_scan_counters_are_thread_count_invariant() {
+        use tsdtw_obs::WorkMeter;
+        let (series, labels) = two_class();
+        let view = LabeledView {
+            series: &series,
+            labels: &labels,
+        };
+        let idxs = candidate_indices(&view, 1);
+        let q = &series[1];
+        let spec = DistanceSpec::CdtwBand(5);
+        let mut serial_meter = WorkMeter::new();
+        let serial = scan_distances_metered(&series, q, spec, &idxs, &mut serial_meter).unwrap();
+        assert!(serial_meter.batch_groups > 0, "batched route must engage");
+        for threads in [1usize, 2, 4, 7] {
+            let cfg = ParConfig::with_chunk(threads, 2).unwrap();
+            let mut meter = WorkMeter::new();
+            let par = scan_distances_par(&series, q, spec, &idxs, &cfg, &mut meter).unwrap();
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!(p.to_bits(), s.to_bits(), "{threads} threads");
+            }
+            assert_eq!(meter, serial_meter, "{threads} threads");
         }
     }
 

@@ -38,7 +38,10 @@ pub use knn::{
     knn_brute_force_par, loocv_error, loocv_error_cdtw_fast, loocv_error_cdtw_fast_par,
     loocv_error_par, DistanceSpec, NnResult,
 };
-pub use pairwise::{pair_count, pairwise_matrix, pairwise_matrix_par, DistanceMatrix};
+pub use pairwise::{
+    pair_count, pairwise_matrix, pairwise_matrix_par, pairwise_matrix_spec,
+    pairwise_matrix_spec_par, DistanceMatrix,
+};
 pub use par::{par_fold_argmin, par_map, ParConfig, DEFAULT_CHUNK};
 pub use search::{
     distance_profile, distance_profile_par, subsequence_search, subsequence_search_par,

@@ -155,6 +155,21 @@ pub trait Meter {
         let _ = runs;
     }
 
+    /// `Kernel::Auto` ran its run-compressibility probe (one O(N) pass
+    /// over both series) to decide whether to dispatch to the RLE
+    /// backend. Recorded whether or not RLE is picked, so probe cost on
+    /// paths that can never take the RLE route is observable.
+    #[inline]
+    fn rle_probe(&mut self) {}
+
+    /// A query-batched DP group was dispatched with `lanes` active
+    /// lanes (1 ≤ lanes ≤ `batch::LANES`; padding lanes are not
+    /// counted).
+    #[inline]
+    fn batch_group(&mut self, lanes: u64) {
+        let _ = lanes;
+    }
+
     /// One run-pair block of the RLE-DTW block decomposition was
     /// solved, computing `boundary_cells` boundary DP values (the RLE
     /// analogue of [`cells`](Self::cells): the work actually done,
@@ -250,6 +265,16 @@ impl<M: Meter + ?Sized> Meter for &mut M {
     }
 
     #[inline]
+    fn rle_probe(&mut self) {
+        (**self).rle_probe();
+    }
+
+    #[inline]
+    fn batch_group(&mut self, lanes: u64) {
+        (**self).batch_group(lanes);
+    }
+
+    #[inline]
     fn stage_entered(&mut self, stage: FunnelStage) {
         (**self).stage_entered(stage);
     }
@@ -307,6 +332,9 @@ macro_rules! for_each_work_counter {
             { rle_runs, "rle.runs", rle, add },
             { rle_blocks, "rle.blocks", rle, add },
             { rle_boundary_cells, "rle.boundary_cells", rle, add },
+            { rle_probes, "rle.probes", rle, add },
+            { batch_groups, "batch.groups", batch, add },
+            { batch_lanes, "batch.lanes", batch, add },
         }
     };
 }
@@ -422,6 +450,14 @@ pub struct WorkMeter {
     /// Boundary DP values computed across those blocks — the RLE
     /// analogue of `cells`.
     pub rle_boundary_cells: u64,
+    /// `Kernel::Auto` compressibility probes run (the O(N) run-count
+    /// pass at full-window dispatch points).
+    pub rle_probes: u64,
+    /// Query-batched DP groups dispatched.
+    pub batch_groups: u64,
+    /// Active lanes summed across those groups (padding lanes
+    /// excluded) — `batch_lanes / batch_groups` is the mean occupancy.
+    pub batch_lanes: u64,
     /// Per-stage prune-funnel ledger (EXPLAIN analytics). Not a table
     /// counter: it has its own `funnel` report section rather than
     /// leaves inside `work`, so existing `work` baselines stay
@@ -560,6 +596,7 @@ impl WorkMeter {
             ("prune", "prune cascade"),
             ("early_abandon", "early abandon"),
             ("rle", "rle kernel"),
+            ("batch", "batched kernel"),
         ] {
             let leaves: Vec<String> = self
                 .counter_values()
@@ -718,6 +755,17 @@ impl Meter for WorkMeter {
     }
 
     #[inline]
+    fn rle_probe(&mut self) {
+        self.rle_probes += 1;
+    }
+
+    #[inline]
+    fn batch_group(&mut self, lanes: u64) {
+        self.batch_groups += 1;
+        self.batch_lanes += lanes;
+    }
+
+    #[inline]
     fn stage_entered(&mut self, stage: FunnelStage) {
         self.funnel.record_entered(stage);
     }
@@ -845,6 +893,8 @@ mod tests {
         m.ea_rows(next() % 10, 10);
         m.rle_encoded(next() + 1);
         m.rle_block(next() + 1);
+        m.rle_probe();
+        m.batch_group(next() % 8 + 1);
         m.fastdtw_level(FastDtwLevel {
             len_x: (next() + 1) as usize,
             len_y: (next() + 1) as usize,
@@ -917,7 +967,7 @@ mod tests {
     fn counter_table_matches_report() {
         let m = arbitrary_meter(42); // records in every gate group
         let j = m.report();
-        assert_eq!(WorkMeter::COUNTER_NAMES.len(), 20);
+        assert_eq!(WorkMeter::COUNTER_NAMES.len(), 23);
         for &name in WorkMeter::COUNTER_NAMES {
             let from_field = m.field(name).expect("table names always resolve");
             let from_json = match name.split_once('.') {
@@ -978,6 +1028,37 @@ mod tests {
         // The dense-cell counters are untouched: the experiment compares
         // `rle.boundary_cells` against the band's `cells` directly.
         assert_eq!(m.cells, 0);
+    }
+
+    #[test]
+    fn batch_hooks_accumulate_into_their_gated_group() {
+        let mut m = WorkMeter::new();
+        // Empty meter: the whole `batch` group is gated out of the report.
+        assert!(m.report()["batch"].is_null());
+        m.batch_group(8);
+        m.batch_group(3);
+        assert_eq!(m.batch_groups, 2);
+        assert_eq!(m.batch_lanes, 11);
+        let j = m.report();
+        assert_eq!(j["batch"]["groups"], 2u64);
+        assert_eq!(j["batch"]["lanes"], 11u64);
+        assert!(m.summary().contains("batched kernel"));
+        // The batched tier meters its DP work through the ordinary
+        // cells/window hooks; the group counters only describe grouping.
+        assert_eq!(m.cells, 0);
+    }
+
+    #[test]
+    fn rle_probe_counts_into_the_rle_group() {
+        let mut m = WorkMeter::new();
+        assert!(m.report()["rle"].is_null());
+        m.rle_probe();
+        m.rle_probe();
+        assert_eq!(m.rle_probes, 2);
+        let j = m.report();
+        assert_eq!(j["rle"]["probes"], 2u64);
+        // A probe that declines RLE leaves the kernel counters at zero.
+        assert_eq!(j["rle"]["runs"], 0u64);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Keeps the human-facing docs in lockstep with the single-source
+//! registries they mirror.
+//!
+//! The README's kernel-tier table claims to be generated from
+//! `Kernel::ALL` (DESIGN.md §11/§16: one registry drives the parser,
+//! the CLI help text, and the docs). This suite makes that claim
+//! enforceable: every `(name, summary)` pair in the registry must
+//! appear as a markdown table row, and the README must not list a tier
+//! the registry does not know.
+
+use tsdtw::core::Kernel;
+
+fn readme() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/README.md");
+    std::fs::read_to_string(path).expect("README.md at the workspace root")
+}
+
+#[test]
+fn readme_kernel_tier_table_matches_kernel_all() {
+    let readme = readme();
+    for (_, name, summary) in Kernel::ALL {
+        let row = format!("| `{name}` | {summary} |");
+        assert!(
+            readme.contains(&row),
+            "README kernel-tier table is missing or stale for `{name}`:\n\
+             expected the row {row:?}\n\
+             (regenerate it from Kernel::ALL in crates/core/src/dtw/kernel.rs)"
+        );
+    }
+}
+
+#[test]
+fn readme_lists_no_unknown_tier() {
+    // Every table row between the header and the first blank line must
+    // parse back into the registry.
+    let readme = readme();
+    let table_start = readme
+        .find("| tier | summary |")
+        .expect("README carries the kernel-tier table header");
+    for line in readme[table_start..]
+        .lines()
+        .skip(2) // header + separator
+        .take_while(|l| l.starts_with('|'))
+    {
+        let name = line
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .map(|c| c.trim().trim_matches('`'))
+            .unwrap_or_default();
+        assert!(
+            Kernel::parse(name).is_some(),
+            "README kernel-tier table lists {name:?}, which Kernel::parse rejects"
+        );
+    }
+}

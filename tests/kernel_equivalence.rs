@@ -18,11 +18,29 @@
 //! `Kernel::Segmented` on a cost that `Auto` would route generically is
 //! exercised too. The early-abandoning kernel with an infinite
 //! threshold must equal the plain kernel bitwise in both tiers.
+//!
+//! The throughput tiers extend the same contract:
+//!
+//! * the **wavefront** tier (anti-diagonal evaluation, explicit-only
+//!   routing) runs through every window family above and must match the
+//!   row sweep bitwise, with an identical `WorkMeter`;
+//! * the **batched** tier (one query against up to [`LANES`] same-length
+//!   candidates in struct-of-lanes layout) must match the scalar banded
+//!   kernel per lane — distances bitwise, early-abandon outcomes and
+//!   abandonment rows identical, and the summed scan `WorkMeter` equal
+//!   except for the two `batch.*` counters that exist only on the
+//!   batched path. The lane-remainder grid pins scan sizes whose final
+//!   group holds `LANES`, `1`, and `LANES − 1` live lanes, and the
+//!   mining k-NN scan (which takes the batched route under
+//!   `Kernel::Auto`) must produce one meter regardless of worker count.
 
 use proptest::prelude::*;
 use tsdtw::core::cost::{AbsoluteCost, CostFn, Rooted, SquaredCost};
 use tsdtw::core::dtw::banded::{
     cdtw_distance_kernel, cdtw_distance_metered_with_buf_kernel, cdtw_with_path_kernel,
+};
+use tsdtw::core::dtw::batch::{
+    cdtw_batch_distances_metered, cdtw_batch_ea_metered, BatchBuffer, LANES,
 };
 use tsdtw::core::dtw::early_abandon::{cdtw_distance_ea_metered_kernel, EaOutcome};
 use tsdtw::core::dtw::full::dtw_distance_kernel;
@@ -94,17 +112,65 @@ fn assert_window_tiers_match<C: CostFn + Copy>(x: &[f64], y: &[f64], w: &SearchW
     let d_auto =
         windowed_distance_metered_kernel(x, y, w, cost, &mut buf, &mut m_auto, Kernel::Auto)
             .unwrap();
+    let mut m_wav = WorkMeter::new();
+    let d_wav =
+        windowed_distance_metered_kernel(x, y, w, cost, &mut buf, &mut m_wav, Kernel::Wavefront)
+            .unwrap();
     prop_assert_eq!(bits(d_gen), bits(d_seg), "generic vs segmented");
     prop_assert_eq!(bits(d_gen), bits(d_auto), "generic vs auto");
+    prop_assert_eq!(bits(d_gen), bits(d_wav), "generic vs wavefront");
     prop_assert_eq!(bits(d_gen), bits(naive_windowed(x, y, w, cost)), "vs naive");
     prop_assert_eq!(&m_gen, &m_seg, "meters must be tier-invariant");
     prop_assert_eq!(&m_gen, &m_auto);
+    prop_assert_eq!(&m_gen, &m_wav, "wavefront meters must match the sweep");
 
     let (pd_gen, p_gen) = windowed_with_path_kernel(x, y, w, cost, Kernel::Generic).unwrap();
     let (pd_seg, p_seg) = windowed_with_path_kernel(x, y, w, cost, Kernel::Segmented).unwrap();
     prop_assert_eq!(bits(pd_gen), bits(pd_seg), "path-kernel distance");
     prop_assert_eq!(bits(pd_gen), bits(d_gen), "path kernel vs distance kernel");
     prop_assert_eq!(p_gen, p_seg, "paths must be identical across tiers");
+}
+
+/// Runs `ys` against `x` through the batched kernel in scan order
+/// (groups of [`LANES`]) and through the scalar generic kernel; asserts
+/// per-lane bitwise distance equality, exact `batch.*` group accounting,
+/// and scan-meter equality modulo those two counters — the only ones
+/// that exist solely on the batched path.
+fn assert_batch_matches_scalar(x: &[f64], ys: &[Vec<f64>], band: usize) {
+    let refs: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+    let mut buf = DtwBuffer::new();
+    let mut m_scalar = WorkMeter::new();
+    let scalar: Vec<f64> = refs
+        .iter()
+        .map(|y| {
+            cdtw_distance_metered_with_buf_kernel(
+                x,
+                y,
+                band,
+                SquaredCost,
+                &mut buf,
+                &mut m_scalar,
+                Kernel::Generic,
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut bbuf = BatchBuffer::new();
+    let mut m_batch = WorkMeter::new();
+    let mut batched = vec![0.0f64; refs.len()];
+    for (group, out) in refs.chunks(LANES).zip(batched.chunks_mut(LANES)) {
+        cdtw_batch_distances_metered(x, group, band, SquaredCost, out, &mut bbuf, &mut m_batch)
+            .unwrap();
+    }
+    for (l, (a, b)) in scalar.iter().zip(&batched).enumerate() {
+        assert_eq!(bits(*a), bits(*b), "lane {l}");
+    }
+    assert_eq!(m_batch.batch_groups, refs.len().div_ceil(LANES) as u64);
+    assert_eq!(m_batch.batch_lanes, refs.len() as u64);
+    let mut sans = m_batch.clone();
+    sans.batch_groups = 0;
+    sans.batch_lanes = 0;
+    assert_eq!(sans, m_scalar, "scan meters must agree modulo batch.*");
 }
 
 proptest! {
@@ -137,7 +203,9 @@ proptest! {
         assert_window_tiers_match(&x, &y, &w, SquaredCost);
         let d_gen = dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Generic).unwrap();
         let d_seg = dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Segmented).unwrap();
+        let d_wav = dtw_distance_kernel(&x, &y, SquaredCost, Kernel::Wavefront).unwrap();
         prop_assert_eq!(bits(d_gen), bits(d_seg));
+        prop_assert_eq!(bits(d_gen), bits(d_wav));
         prop_assert_eq!(bits(d_gen), bits(naive_windowed(&x, &y, &w, SquaredCost)));
     }
 
@@ -188,7 +256,9 @@ proptest! {
     ) {
         let d_gen = cdtw_distance_kernel(&x, &y, band, SquaredCost, Kernel::Generic).unwrap();
         let d_seg = cdtw_distance_kernel(&x, &y, band, SquaredCost, Kernel::Segmented).unwrap();
+        let d_wav = cdtw_distance_kernel(&x, &y, band, SquaredCost, Kernel::Wavefront).unwrap();
         prop_assert_eq!(bits(d_gen), bits(d_seg));
+        prop_assert_eq!(bits(d_gen), bits(d_wav));
         let (pd_gen, p_gen) =
             cdtw_with_path_kernel(&x, &y, band, SquaredCost, Kernel::Generic).unwrap();
         let (pd_seg, p_seg) =
@@ -255,6 +325,63 @@ proptest! {
         }
         prop_assert_eq!(&m_gen, &m_seg);
     }
+
+    /// Every lane of the batched kernel equals the scalar banded kernel
+    /// on that pair — bitwise — over random query lengths, band widths,
+    /// and batch occupancies from one lane to the full [`LANES`].
+    #[test]
+    fn batched_lanes_are_bitwise_equal_to_the_scalar_kernel(
+        x in prop::collection::vec(-10.0f64..10.0, 4..32),
+        ys in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 19), 1..9),
+        band in 0usize..12,
+    ) {
+        assert_batch_matches_scalar(&x, &ys, band);
+    }
+
+    /// The batched early-abandoning kernel: per-lane outcome kind,
+    /// exact-distance bits, and abandonment rows must equal the scalar
+    /// EA kernel with the same per-lane thresholds, and the scan meters
+    /// must agree modulo the `batch.*` counters.
+    #[test]
+    fn batched_ea_outcomes_and_abandonment_rows_match_the_scalar_kernel(
+        x in prop::collection::vec(-10.0f64..10.0, 4..28),
+        ys in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 17), 1..9),
+        band in 0usize..8,
+        threshold in 0.0f64..300.0,
+    ) {
+        let refs: Vec<&[f64]> = ys.iter().map(|y| y.as_slice()).collect();
+        // Spread the thresholds so lanes abandon at different rows (or
+        // not at all) within one batched call.
+        let thresholds: Vec<f64> =
+            (0..refs.len()).map(|l| threshold * (0.25 + 0.37 * l as f64)).collect();
+        let mut bbuf = BatchBuffer::new();
+        let mut m_batch = WorkMeter::new();
+        let outcomes = cdtw_batch_ea_metered(
+            &x, &refs, band, &thresholds, None, SquaredCost, &mut bbuf, &mut m_batch,
+        )
+        .unwrap();
+        let mut m_scalar = WorkMeter::new();
+        for (l, y) in refs.iter().enumerate() {
+            let scalar = cdtw_distance_ea_metered_kernel(
+                &x, y, band, thresholds[l], None, SquaredCost, &mut m_scalar, Kernel::Generic,
+            )
+            .unwrap();
+            match (outcomes[l], scalar) {
+                (EaOutcome::Exact(a), EaOutcome::Exact(b)) => {
+                    assert_eq!(bits(a), bits(b), "lane {l}");
+                }
+                (
+                    EaOutcome::Abandoned { rows_filled: a },
+                    EaOutcome::Abandoned { rows_filled: b },
+                ) => assert_eq!(a, b, "abandonment row of lane {l}"),
+                (a, b) => panic!("lane {l} outcome kinds disagree: {a:?} vs {b:?}"),
+            }
+        }
+        let mut sans = m_batch.clone();
+        sans.batch_groups = 0;
+        sans.batch_lanes = 0;
+        prop_assert_eq!(&sans, &m_scalar, "EA meters modulo batch.*");
+    }
 }
 
 /// Projected windows straight from a low-resolution path (the shape
@@ -291,6 +418,17 @@ fn projected_and_dilated_window_shapes_match() {
         )
         .unwrap();
         assert_eq!(bits(d_gen), bits(d_seg), "radius {radius}");
+        let d_wav = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            SquaredCost,
+            &mut DtwBuffer::new(),
+            &mut NoMeter,
+            Kernel::Wavefront,
+        )
+        .unwrap();
+        assert_eq!(bits(d_gen), bits(d_wav), "radius {radius} wavefront");
         assert_eq!(bits(d_gen), bits(naive_windowed(&x, &y, &w, SquaredCost)));
         let dilated = w.dilate(radius + 1);
         let d_gen = windowed_distance_metered_kernel(
@@ -314,6 +452,21 @@ fn projected_and_dilated_window_shapes_match() {
         )
         .unwrap();
         assert_eq!(bits(d_gen), bits(d_seg), "dilated radius {radius}");
+        let d_wav = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &dilated,
+            SquaredCost,
+            &mut DtwBuffer::new(),
+            &mut NoMeter,
+            Kernel::Wavefront,
+        )
+        .unwrap();
+        assert_eq!(
+            bits(d_gen),
+            bits(d_wav),
+            "dilated radius {radius} wavefront"
+        );
         assert_eq!(
             bits(d_gen),
             bits(naive_windowed(&x, &y, &dilated, SquaredCost))
@@ -356,6 +509,19 @@ fn wide_band_exercises_the_unrolled_interior() {
         .unwrap();
         assert_eq!(bits(d_gen), bits(d_seg), "band {band}");
         assert_eq!(m_gen, m_seg, "band {band}");
+        let mut m_wav = WorkMeter::new();
+        let d_wav = windowed_distance_metered_kernel(
+            &x,
+            &y,
+            &w,
+            SquaredCost,
+            &mut buf,
+            &mut m_wav,
+            Kernel::Wavefront,
+        )
+        .unwrap();
+        assert_eq!(bits(d_gen), bits(d_wav), "band {band} wavefront");
+        assert_eq!(m_gen, m_wav, "band {band} wavefront");
     }
 }
 
@@ -392,5 +558,76 @@ fn buffered_cdtw_is_tier_invariant_across_reuse() {
         .unwrap();
         assert_eq!(bits(d_gen), bits(d_seg), "band {band}");
         assert_eq!(m_gen, m_seg, "band {band}");
+        let mut m_wav = WorkMeter::new();
+        let d_wav = cdtw_distance_metered_with_buf_kernel(
+            &x,
+            &y,
+            band,
+            SquaredCost,
+            &mut buf,
+            &mut m_wav,
+            Kernel::Wavefront,
+        )
+        .unwrap();
+        assert_eq!(bits(d_gen), bits(d_wav), "band {band} wavefront");
+        assert_eq!(m_gen, m_wav, "band {band} wavefront");
+    }
+}
+
+/// Scan sizes whose final batch group holds exactly [`LANES`], `1`, and
+/// `LANES − 1` live lanes — the remainder occupancies the group loop and
+/// the padding-lane replication must keep invisible.
+#[test]
+fn lane_remainder_grid_is_bitwise_equal_across_group_occupancies() {
+    let x: Vec<f64> = (0..33).map(|i| (i as f64 * 0.19).sin() * 3.0).collect();
+    for count in [2 * LANES, LANES + 1, 2 * LANES - 1] {
+        let ys: Vec<Vec<f64>> = (0..count)
+            .map(|s| {
+                (0..27)
+                    .map(|i| ((2 * i + s) as f64 * 0.11).cos() * 3.0)
+                    .collect()
+            })
+            .collect();
+        assert_batch_matches_scalar(&x, &ys, 6);
+    }
+}
+
+/// The mining k-NN scan routes same-length candidate sets through the
+/// batched kernel under the default `Kernel::Auto`; the neighbor list
+/// and the whole `WorkMeter` — including the `batch.*` group accounting
+/// — must be identical at every worker count.
+#[test]
+fn mining_batched_scan_meters_are_thread_count_invariant() {
+    use tsdtw::mining::knn::knn_brute_force_metered;
+    use tsdtw::mining::{knn_brute_force_par, DistanceSpec, LabeledView, ParConfig};
+    let series: Vec<Vec<f64>> = (0..21)
+        .map(|s| {
+            (0..40)
+                .map(|i| ((i + 3 * s) as f64 * 0.17).sin() * 4.0)
+                .collect()
+        })
+        .collect();
+    let labels: Vec<usize> = (0..21).map(|s| s % 3).collect();
+    let view = LabeledView::new(&series, &labels).unwrap();
+    let query: Vec<f64> = (0..40).map(|i| (i as f64 * 0.23).cos() * 4.0).collect();
+    let spec = DistanceSpec::CdtwBand(5);
+    let mut serial = WorkMeter::new();
+    let base = knn_brute_force_metered(&view, &query, spec, 3, usize::MAX, &mut serial).unwrap();
+    assert_eq!(
+        serial.batch_groups,
+        21u64.div_ceil(LANES as u64),
+        "the scan must take the batched route"
+    );
+    assert_eq!(serial.batch_lanes, 21);
+    for threads in [1usize, 2, 4, 7] {
+        let cfg = ParConfig::new(threads).unwrap();
+        let mut par = WorkMeter::new();
+        let got = knn_brute_force_par(&view, &query, spec, 3, usize::MAX, &cfg, &mut par).unwrap();
+        assert_eq!(par, serial, "threads {threads}");
+        assert_eq!(got.len(), base.len());
+        for (a, b) in base.iter().zip(&got) {
+            assert_eq!(a.index, b.index, "threads {threads}");
+            assert_eq!(bits(a.distance), bits(b.distance), "threads {threads}");
+        }
     }
 }
