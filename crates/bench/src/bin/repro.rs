@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--full] [--threads N] [--kernel K] [--out DIR]
-//!       [--list] [--trace]
+//!       [--list] [--trace] [--profile[=FILE]]
 //!
 //!   EXPERIMENT   one or more of: fig1 fig2 caseb fig3 fig4 fig6 table2
 //!                footnote2 appendixb impls lbs radius cells kernels
@@ -25,6 +25,15 @@
 //!   --trace      arm the flight recorder per experiment and write
 //!                TRACE_<id>.json (Chrome Trace Format; open in
 //!                Perfetto). Needs --features obs to carry events.
+//!   --profile    arm the sampling profiler per experiment: write the
+//!                collapsed-stack export to <out>/PROFILE_<id>.txt
+//!                (flamegraph.pl / inferno compatible; render in-tree
+//!                with `tsdtw report flame`), print the per-span
+//!                self-vs-total table, and fill the snapshot's
+//!                advisory `profile` section. `--profile=FILE` writes
+//!                the export to FILE instead (meant for single-
+//!                experiment runs; with several experiments the last
+//!                one wins). Needs --features obs to catch frames.
 //! ```
 //!
 //! Every run additionally emits one perf-trajectory snapshot per
@@ -56,11 +65,31 @@ fn write_trace(dir: &Path, id: &str, trace: &tsdtw_obs::Trace) -> std::io::Resul
     }
 }
 
+/// Writes a collapsed-stack export atomically (temp file + rename,
+/// matching the snapshot and trace writers).
+fn write_collapsed(path: &Path, report: &tsdtw_obs::ProfileReport) -> std::io::Result<()> {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("txt.tmp");
+    std::fs::write(&tmp, report.collapsed())?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut wanted: Vec<String> = Vec::new();
     let mut scale = Scale::Quick;
     let mut out = PathBuf::from("results");
     let mut want_trace = false;
+    // None: profiler off. Some(None): on, default per-experiment file.
+    // Some(Some(path)): on, collapsed export to that path.
+    let mut profile: Option<Option<PathBuf>> = None;
     let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,6 +97,7 @@ fn main() -> ExitCode {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
             "--trace" => want_trace = true,
+            "--profile" => profile = Some(None),
             "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = n,
                 _ => {
@@ -98,7 +128,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [EXPERIMENT ...] [--full] [--threads N] [--kernel K] \
-                     [--out DIR] [--list] [--trace]\n\
+                     [--out DIR] [--list] [--trace] [--profile[=FILE]]\n\
                      experiments: {}",
                     experiments::all()
                         .iter()
@@ -107,6 +137,14 @@ fn main() -> ExitCode {
                         .join(" ")
                 );
                 return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--profile=") => {
+                let file = &other["--profile=".len()..];
+                if file.is_empty() {
+                    eprintln!("--profile= needs a file path (or bare --profile)");
+                    return ExitCode::FAILURE;
+                }
+                profile = Some(Some(PathBuf::from(file)));
             }
             other if other.starts_with('-') => {
                 eprintln!("unknown flag {other}; try --help");
@@ -158,6 +196,12 @@ fn main() -> ExitCode {
              the trace files will be valid but empty"
         );
     }
+    if profile.is_some() && !tsdtw_obs::spans_enabled() {
+        eprintln!(
+            "note: --profile without --features obs publishes no live stacks; \
+             the sampler will tick but catch no frames"
+        );
+    }
     for (id, runner) in selected {
         // Drain spans left over from a previous experiment so each
         // snapshot's kernel table reflects this run only.
@@ -170,9 +214,16 @@ fn main() -> ExitCode {
         // --features alloc-telemetry the delta lands in the snapshot's
         // `memory` section (the stub section marks telemetry off
         // otherwise, so diffs can tell "no data" from "zero traffic").
+        // The sampler brackets the heap probe (not vice versa) so its
+        // own bookkeeping allocations stay out of the deterministic
+        // `memory` counts when both probes are armed.
+        let sampler = profile
+            .as_ref()
+            .map(|_| tsdtw_obs::Profiler::start(tsdtw_obs::DEFAULT_SAMPLE_HZ));
         let heap_probe = tsdtw_obs::AllocScope::begin();
         let report = runner(&scale, &par);
         let heap = heap_probe.end();
+        let profile_report = sampler.map(tsdtw_obs::Profiler::stop);
         let wall_s = t0.elapsed().as_secs_f64();
         print!("{}", report.render());
         println!("   ({id} in {wall_s:.1}s)\n");
@@ -181,6 +232,18 @@ fn main() -> ExitCode {
         }
         let spans = take_spans();
         let memory = heap.report();
+        let profile_json = profile_report.as_ref().map(|r| r.to_json());
+        if let Some(r) = &profile_report {
+            print!("{}", r.table());
+            let path = match &profile {
+                Some(Some(file)) => file.clone(),
+                _ => out.join(format!("PROFILE_{id}.txt")),
+            };
+            match write_collapsed(&path, r) {
+                Ok(()) => println!("   profiler -> {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
         let snap = snapshot::capture(
             id,
             &report.title,
@@ -190,6 +253,7 @@ fn main() -> ExitCode {
             report.json.get("rle"),
             report.json.get("tiers"),
             Some(&memory),
+            profile_json.as_ref(),
             &spans,
             par.n_threads,
         );

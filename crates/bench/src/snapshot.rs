@@ -6,7 +6,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": 6,
+//!   "schema": 7,
 //!   "hash": "9f86d081884c7d65",
 //!   "experiment": "cells",
 //!   "title": "…",
@@ -27,6 +27,9 @@
 //!                             "speedup_vs_generic": … }, … },
 //!   "memory": { "telemetry": true, "allocs": …, "frees": …,
 //!               "bytes_allocated": …, "peak_bytes": …, … },
+//!   "profile": { "sampler_hz": 997.0, "duration_s": …, "ticks": …,
+//!                "samples": …, "spans": { "cdtw": { "self_samples": …,
+//!                "total_samples": …, "self_share": … }, … } },
 //!   "kernels": { "cdtw": { "count": …, "total_s": …, "p50_s": …,
 //!                          "p99_s": …, "max_s": …, "alloc_bytes": … }, … }
 //! }
@@ -74,8 +77,14 @@ use tsdtw_obs::{json_obj, Json, SpanStat};
 /// tolerance because they count cases whose distance diverged bitwise
 /// from the serial Generic reference and must stay 0, while cells/sec
 /// and speedup floats are advisory; `Json::Null` for experiments that
-/// don't race kernel tiers).
-pub const SCHEMA_VERSION: i64 = 6;
+/// don't race kernel tiers); version 7 added the `profile` section
+/// (sampling-profiler output: sampler rate, tick/sample counts, and
+/// per-span self-vs-total sample shares — **advisory like timings**,
+/// because sample counts depend on scheduler phase and machine load;
+/// every leaf passes the diff's advisory predicate, the section is
+/// excluded from the trend detector's hard-counter walk, and
+/// `Json::Null` marks runs made without `--profile`).
+pub const SCHEMA_VERSION: i64 = 7;
 
 /// Relative timing slowdown (percent) beyond which the diff emits an
 /// advisory warning. Deliberately loose: shared CI runners jitter.
@@ -144,8 +153,10 @@ pub fn git_rev() -> String {
 /// run-length kernel carry one), its `tiers` section (`None` emits
 /// `null` — only the kernel-tier race carries one), the heap delta
 /// measured around the run (`None` emits the disarmed all-zero stub,
-/// so the `memory` section exists in every snapshot), and the span
-/// table drained after the run (empty without `--features obs`).
+/// so the `memory` section exists in every snapshot), the sampling
+/// profiler's report (`None` emits `null` — only `--profile` runs
+/// carry one), and the span table drained after the run (empty without
+/// `--features obs`).
 #[allow(clippy::too_many_arguments)]
 pub fn capture(
     experiment: &str,
@@ -156,6 +167,7 @@ pub fn capture(
     rle: Option<&Json>,
     tiers: Option<&Json>,
     memory: Option<&Json>,
+    profile: Option<&Json>,
     spans: &[SpanStat],
     n_threads: usize,
 ) -> Json {
@@ -194,6 +206,7 @@ pub fn capture(
             stub.set("telemetry", false);
             stub
         }),
+        "profile" => profile.cloned().unwrap_or(Json::Null),
         "kernels" => kernels,
     };
     let hash = content_hash(&doc);
@@ -458,6 +471,11 @@ pub fn diff(baseline: &Json, current: &Json, fail_pct: f64) -> Diff {
         &mut d,
     );
 
+    // --- profile: every leaf is advisory — sample counts depend on
+    // scheduler phase and machine load, so the section is diffed for
+    // visibility (and mined by [`attribute`]) but never hard-fails ----
+    gate_counters("profile", baseline, current, fail_pct, &|_| true, &mut d);
+
     // --- timing: advisory only ----------------------------------------
     let advise = |name: &str, base: Option<f64>, cur: Option<f64>, d: &mut Diff| {
         let (Some(base), Some(cur)) = (base, cur) else {
@@ -499,6 +517,126 @@ pub fn diff(baseline: &Json, current: &Json, fail_pct: f64) -> Diff {
         }
     }
     d
+}
+
+/// One span's share of the blame for a drift between two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// The span label (a `kernels` / `profile.spans` key).
+    pub label: String,
+    /// Worst positive signal for this span, in percent (relative growth
+    /// for kernel count / wall time / alloc bytes; percentage-point
+    /// change for the profile self-time share). Infinite when a counter
+    /// went from zero to non-zero.
+    pub score: f64,
+    /// Human-readable evidence, one line per contributing signal.
+    pub reasons: Vec<String>,
+}
+
+/// Ranks spans by how much they drifted between `baseline` and
+/// `current` — the root-cause half of a firing gate. Four per-span
+/// signals are mined, all advisory inputs (the deterministic gates stay
+/// the authority on *whether* something regressed; this answers
+/// *where*):
+///
+/// * `kernels.<span>.count` — call-count growth (relative %),
+/// * `kernels.<span>.total_s` — wall-time growth (relative %),
+/// * `kernels.<span>.alloc_bytes` — allocation growth (relative %),
+/// * `profile.spans.<span>.self_share` — self-time share change
+///   (percentage points × 1, so "+12.0" means twelve points hotter).
+///
+/// A span's score is its worst positive signal; spans with no positive
+/// signal are dropped. Sorted worst-first, ties broken by label so the
+/// ranking is deterministic. Callers typically print the top three.
+pub fn attribute(baseline: &Json, current: &Json) -> Vec<Attribution> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut collect = |section: &Json| {
+        if let Some(obj) = section.as_object() {
+            for (k, _) in obj {
+                if !labels.iter().any(|l| l == k) {
+                    labels.push(k.clone());
+                }
+            }
+        }
+    };
+    collect(&baseline["kernels"]);
+    collect(&current["kernels"]);
+    collect(&baseline["profile"]["spans"]);
+    collect(&current["profile"]["spans"]);
+
+    let mut out: Vec<Attribution> = Vec::new();
+    for label in labels {
+        let mut score = f64::NEG_INFINITY;
+        let mut reasons = Vec::new();
+        let kernel_signals = [
+            ("count", "calls"),
+            ("total_s", "wall time"),
+            ("alloc_bytes", "alloc bytes"),
+        ];
+        for (field, what) in kernel_signals {
+            let base = baseline["kernels"][label.as_str()][field].as_f64();
+            let cur = current["kernels"][label.as_str()][field].as_f64();
+            let (Some(base), Some(cur)) = (base, cur) else {
+                continue;
+            };
+            if cur <= base {
+                continue;
+            }
+            let pct = pct_change(base, cur);
+            if pct > score {
+                score = pct;
+            }
+            reasons.push(format!("{what} {base} -> {cur} ({pct:+.1}%)"));
+        }
+        let base_share = baseline["profile"]["spans"][label.as_str()]["self_share"].as_f64();
+        let cur_share = current["profile"]["spans"][label.as_str()]["self_share"].as_f64();
+        // A span absent from one side's profile simply wasn't sampled
+        // there; treat the missing share as zero so a newly hot span
+        // still surfaces.
+        let base_share = base_share.unwrap_or(0.0);
+        let cur_share = cur_share.unwrap_or(0.0);
+        let dpp = (cur_share - base_share) * 100.0;
+        if dpp > 0.0 {
+            if dpp > score {
+                score = dpp;
+            }
+            reasons.push(format!(
+                "self-time share {:.1}% -> {:.1}% ({dpp:+.1}pp)",
+                base_share * 100.0,
+                cur_share * 100.0
+            ));
+        }
+        if score > 0.0 {
+            out.push(Attribution {
+                label,
+                score,
+                reasons,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    out
+}
+
+/// Renders the top-`n` suspects for the terminal; empty string when
+/// nothing drifted upward (callers print their own all-clear).
+pub fn render_attribution(suspects: &[Attribution], n: usize) -> String {
+    let mut out = String::new();
+    for (i, a) in suspects.iter().take(n).enumerate() {
+        let score = if a.score.is_infinite() {
+            "new".to_string()
+        } else {
+            format!("{:+.1}%", a.score)
+        };
+        out.push_str(&format!("  {}. {} ({score}): ", i + 1, a.label));
+        out.push_str(&a.reasons.join("; "));
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -557,10 +695,31 @@ mod tests {
                     "speedup_vs_generic" => 3.1,
                 },
             },
+            "profile" => json_obj! {
+                "sampler_hz" => 997.0,
+                "duration_s" => wall,
+                "ticks" => 1000,
+                "samples" => 800,
+                "spans" => json_obj! {
+                    "cdtw" => json_obj! {
+                        "self_samples" => 600, "total_samples" => 700,
+                        "self_share" => 0.75,
+                    },
+                    "lb_keogh" => json_obj! {
+                        "self_samples" => 200, "total_samples" => 200,
+                        "self_share" => 0.25,
+                    },
+                },
+            },
             "kernels" => json_obj! {
                 "cdtw" => json_obj! {
                     "count" => 10, "total_s" => wall / 2.0,
                     "p50_s" => 0.001, "p99_s" => 0.002, "max_s" => 0.003,
+                    "alloc_bytes" => 0u64,
+                },
+                "lb_keogh" => json_obj! {
+                    "count" => 40, "total_s" => wall / 8.0,
+                    "p50_s" => 0.0005, "p99_s" => 0.001, "max_s" => 0.002,
                     "alloc_bytes" => 0u64,
                 },
             },
@@ -850,6 +1009,102 @@ mod tests {
     }
 
     #[test]
+    fn profile_drift_is_advisory_only() {
+        // Twice the samples, a hotter cdtw share — none of it may fail
+        // a zero-tolerance diff: sampling counts are load-dependent.
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        let hot = base["profile"]["spans"]["cdtw"]
+            .clone()
+            .with("self_samples", 1800)
+            .with("total_samples", 1900)
+            .with("self_share", 0.9);
+        let spans = base["profile"]["spans"].clone().with("cdtw", hot);
+        cur.set(
+            "profile",
+            base["profile"]
+                .clone()
+                .with("ticks", 2000)
+                .with("samples", 2000)
+                .with("spans", spans),
+        );
+        let d = diff(&base, &cur, 0.0);
+        assert!(d.regressions.is_empty(), "{:?}", d.regressions);
+        assert!(
+            d.render().contains("profile.") && d.render().contains("[advisory]"),
+            "{}",
+            d.render()
+        );
+    }
+
+    #[test]
+    fn attribution_ranks_an_injected_slowdown_first() {
+        // The differential test from the issue: inject a synthetic
+        // slowdown into exactly one kernel span (lb_keogh triples its
+        // wall time and takes over the self-time share) and the
+        // attribution must name it first — ahead of cdtw, whose share
+        // shrinks correspondingly.
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        let slowed = base["kernels"]["lb_keogh"].clone().with("total_s", 0.375);
+        cur.set("kernels", base["kernels"].clone().with("lb_keogh", slowed));
+        let hot = base["profile"]["spans"]["lb_keogh"]
+            .clone()
+            .with("self_samples", 1400)
+            .with("self_share", 0.7);
+        let cooled = base["profile"]["spans"]["cdtw"]
+            .clone()
+            .with("self_share", 0.3);
+        cur.set(
+            "profile",
+            base["profile"]
+                .clone()
+                .with("spans", json_obj! { "cdtw" => cooled, "lb_keogh" => hot }),
+        );
+        let suspects = attribute(&base, &cur);
+        assert!(!suspects.is_empty());
+        assert_eq!(suspects[0].label, "lb_keogh", "{suspects:?}");
+        // Both signals are cited as evidence.
+        let evidence = suspects[0].reasons.join("; ");
+        assert!(evidence.contains("wall time"), "{evidence}");
+        assert!(evidence.contains("self-time share"), "{evidence}");
+        // cdtw got *cheaper*: it must not appear as a suspect.
+        assert!(!suspects.iter().any(|a| a.label == "cdtw"), "{suspects:?}");
+        let rendered = render_attribution(&suspects, 3);
+        assert!(rendered.contains("1. lb_keogh"), "{rendered}");
+    }
+
+    #[test]
+    fn attribution_surfaces_a_span_new_in_current() {
+        // A span with no baseline kernel entry (count 0 -> n is an
+        // infinite-percent growth) still ranks, rendered as "new".
+        let base = snap(1000, 1.0);
+        let mut cur = snap(1000, 1.0);
+        let fresh = json_obj! {
+            "count" => 5, "total_s" => 0.9, "p50_s" => 0.1,
+            "p99_s" => 0.2, "max_s" => 0.3, "alloc_bytes" => 0u64,
+        };
+        cur.set("kernels", base["kernels"].clone().with("dtw_rle", fresh));
+        let suspects = attribute(&base, &cur);
+        // Absent from the baseline's kernels object entirely: no
+        // base/cur pair to compare, but the profile-share path still
+        // sees share 0 -> 0, so it only ranks if some signal moved.
+        // Give it a profile share to make the expectation concrete.
+        let mut cur2 = cur.clone();
+        let spans = base["profile"]["spans"].clone().with(
+            "dtw_rle",
+            json_obj! { "self_samples" => 100, "total_samples" => 100, "self_share" => 0.1 },
+        );
+        cur2.set("profile", base["profile"].clone().with("spans", spans));
+        let suspects2 = attribute(&base, &cur2);
+        assert!(
+            suspects2.iter().any(|a| a.label == "dtw_rle"),
+            "{suspects2:?}"
+        );
+        drop(suspects);
+    }
+
+    #[test]
     fn capture_produces_the_documented_schema() {
         let spans = vec![tsdtw_obs::SpanStat {
             label: "cdtw",
@@ -875,6 +1130,16 @@ mod tests {
         let tiers = json_obj! {
             "wavefront" => json_obj! { "mismatch" => 0, "cells_per_s" => 5.0e8 },
         };
+        let profile = json_obj! {
+            "sampler_hz" => 997.0, "duration_s" => 1.4, "ticks" => 1400,
+            "samples" => 900,
+            "spans" => json_obj! {
+                "cdtw" => json_obj! {
+                    "self_samples" => 900, "total_samples" => 900,
+                    "self_share" => 1.0,
+                },
+            },
+        };
         let s = capture(
             "cells",
             "title",
@@ -884,6 +1149,7 @@ mod tests {
             Some(&rle),
             Some(&tiers),
             None,
+            Some(&profile),
             &spans,
             4,
         );
@@ -900,13 +1166,17 @@ mod tests {
         assert_eq!(s["rle"]["boundary_cells"], 140);
         // v6: so does the tiers section…
         assert_eq!(s["tiers"]["wavefront"]["mismatch"], 0);
-        // …and a cascade-free, RLE-free, tier-free experiment carries
-        // explicit nulls.
+        // v7: and the profile section.
+        assert_eq!(s["profile"]["samples"], 900);
+        assert_eq!(s["profile"]["spans"]["cdtw"]["self_samples"], 900);
+        // …and a cascade-free, RLE-free, tier-free, unprofiled
+        // experiment carries explicit nulls.
         let bare = capture(
             "cells",
             "title",
             1.5,
             Some(&work),
+            None,
             None,
             None,
             None,
@@ -917,6 +1187,7 @@ mod tests {
         assert!(bare["funnel"].is_null());
         assert!(bare["rle"].is_null());
         assert!(bare["tiers"].is_null());
+        assert!(bare["profile"].is_null());
         assert_eq!(s["kernels"]["cdtw"]["count"], 3u64);
         assert_eq!(s["kernels"]["cdtw"]["alloc_bytes"], 64u64);
         // No memory report passed: the stub section marks telemetry off.

@@ -162,7 +162,10 @@ fn timing_series(rec: &Json) -> Vec<(String, f64)> {
 /// as deterministic as the work counters), plus rle kernel leaves
 /// (runs / blocks / boundary cells are pure functions of the inputs),
 /// plus memory *count* leaves when telemetry was armed (byte-valued
-/// leaves stay out of the hard gate, matching `report diff`).
+/// leaves stay out of the hard gate, matching `report diff`). The v7
+/// `profile` section is deliberately absent: sampling counts depend on
+/// scheduler phase and machine load, so they are advisory everywhere
+/// (see `snapshot`'s module docs) and would make this gate flaky.
 fn hard_counters(rec: &Json) -> Vec<(String, i64)> {
     let mut out = Vec::new();
     snapshot::counter_leaves(&rec["work"], "work", &mut out);

@@ -1,0 +1,66 @@
+//! Exposition invariance: arming the sampling profiler must not change
+//! one byte of any deterministic snapshot section.
+//!
+//! The profiler is pure *exposition* — it watches span stacks from a
+//! separate thread and never touches a `WorkMeter`, a funnel ledger, or
+//! an experiment's data path. This test pins that contract the same way
+//! `tests/parallel_equivalence.rs` pins thread-count invariance: run the
+//! `cells` experiment with the sampler armed and disarmed across several
+//! worker counts and require the `work`/`funnel`/`rle`/`tiers` sections
+//! to render byte-identically. If a future change routes profiler state
+//! into a metered path (or makes sampling perturb a counter), the
+//! perf-gate baselines would silently fork between profiled and
+//! unprofiled CI runs — this test turns that fork into a local failure.
+//!
+//! Builds without `--features obs` keep the test meaningful: spans
+//! compile to unit structs, the sampler sees empty stacks, and the
+//! sections must *still* be identical.
+
+use tsdtw_bench::experiments::cells;
+use tsdtw_bench::report::Scale;
+use tsdtw_mining::ParConfig;
+
+/// Runs `cells` once and renders its deterministic sections to a single
+/// canonical string (absent sections render as `absent` so a section
+/// appearing only when armed also fails the comparison).
+fn deterministic_sections(threads: usize, armed: bool) -> String {
+    let par = ParConfig::new(threads).expect("positive thread count");
+    let profiler = armed.then(|| tsdtw_obs::Profiler::start(tsdtw_obs::DEFAULT_SAMPLE_HZ));
+    let rep = cells::run(&Scale::Quick, &par);
+    if let Some(p) = profiler {
+        drop(p.stop());
+    }
+    // Drain recorder state so runs don't leak spans into each other.
+    let _ = tsdtw_obs::take_spans();
+    let mut out = String::new();
+    for key in ["work", "funnel", "rle", "tiers"] {
+        out.push_str(key);
+        out.push('=');
+        match rep.json.get(key) {
+            Some(section) => out.push_str(&section.to_string_pretty()),
+            None => out.push_str("absent"),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn deterministic_sections_are_byte_identical_armed_vs_disarmed() {
+    let reference = deterministic_sections(1, false);
+    for threads in [1usize, 2, 4, 7] {
+        let disarmed = deterministic_sections(threads, false);
+        assert_eq!(
+            disarmed, reference,
+            "disarmed run at {threads} thread(s) diverged from the serial \
+             reference — thread-count invariance broke before profiling \
+             even entered the picture"
+        );
+        let armed = deterministic_sections(threads, true);
+        assert_eq!(
+            armed, reference,
+            "armed sampler changed a deterministic section at {threads} \
+             thread(s) — profiling must stay pure exposition"
+        );
+    }
+}

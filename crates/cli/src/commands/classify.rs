@@ -17,7 +17,7 @@ use tsdtw_obs::{NoMeter, WorkMeter};
 pub const HELP: &str = "\
 tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure M]
                [--threads N] [--stats] [--stats-json FILE] [--trace FILE]
-               [--metrics FILE] [--explain[=FILE]]
+               [--metrics FILE] [--explain[=FILE]] [--profile[=FILE]]
   M: cdtw (default) | dtw | euclidean | fastdtw-ref (with --radius R)
   --w auto learns the window by LOOCV on the training set (grid 0..--max-w, default 20)
   --threads N    worker threads for the evaluation (default 1); results and
@@ -32,6 +32,10 @@ tsdtw classify --train FILE --test FILE [--w PCT|auto] [--max-w PCT] [--measure 
                  lower-bound cascade (the split evaluation is brute-force,
                  so this reports an explanatory note until it cascades).
                  --explain=FILE also dumps the funnel JSON
+  --profile      arm the sampling profiler and print the per-span
+                 self-vs-total table (needs --features obs to catch frames).
+                 --profile=FILE also writes the collapsed stacks to FILE
+                 (flamegraph.pl compatible; render with `tsdtw report flame`)
   files: UCR archive format (label, then values; tab- or comma-separated)";
 
 /// Runs the command, returning the printable result.
@@ -50,8 +54,13 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             stats::TRACE_FLAG,
             stats::METRICS_FLAG,
             stats::EXPLAIN_FLAG,
+            stats::PROFILE_FLAG,
         ],
-        &[stats::STATS_SWITCH, stats::EXPLAIN_FLAG],
+        &[
+            stats::STATS_SWITCH,
+            stats::EXPLAIN_FLAG,
+            stats::PROFILE_FLAG,
+        ],
     )?;
     let par = ParConfig::new(args.get_or("threads", 1)?)?;
     let train = load_ucr_file(Path::new(args.required("train")?))?;
@@ -96,10 +105,13 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let metrics_path = args.optional(stats::METRICS_FLAG);
     let explain_path = args.optional(stats::EXPLAIN_FLAG);
     let want_explain = args.has(stats::EXPLAIN_FLAG) || explain_path.is_some();
+    let profile_path = args.optional(stats::PROFILE_FLAG);
+    let want_profile = args.has(stats::PROFILE_FLAG) || profile_path.is_some();
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let want_meter = want_stats || metrics_path.is_some() || want_explain;
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
+    let profiler = stats::profile_start(want_profile);
     let t0 = std::time::Instant::now();
     let (err, heap) = if want_stats {
         let probe = tsdtw_obs::AllocScope::begin();
@@ -130,6 +142,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         err
     ));
     stats::trace_finish(trace_path, &mut out)?;
+    stats::profile_finish(profiler, profile_path, &mut out)?;
     if want_stats {
         stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }

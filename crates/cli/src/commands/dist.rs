@@ -22,6 +22,7 @@ pub fn help() -> String {
 tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
            [--kernel K] [--threads N] [--stats] [--stats-json FILE]
            [--trace FILE] [--metrics FILE] [--explain[=FILE]]
+           [--profile[=FILE]]
   M: dtw | cdtw (default, needs --w) | fastdtw | fastdtw-ref (need --radius)
      | euclidean
   --kernel K     DP kernel tier, one of: {names} (default auto)
@@ -39,6 +40,10 @@ tsdtw dist --a FILE --b FILE [--measure M] [--w PCT] [--radius R] [--znorm]
   --explain      print the EXPLAIN prune-funnel table (a single-pair
                  distance runs no lower-bound cascade, so this reports an
                  explanatory note). --explain=FILE also dumps the funnel JSON
+  --profile      arm the sampling profiler and print the per-span
+                 self-vs-total table (needs --features obs to catch frames).
+                 --profile=FILE also writes the collapsed stacks to FILE
+                 (flamegraph.pl compatible; render with `tsdtw report flame`)
   series files: one value per line, '#' comments allowed",
         names = tsdtw_core::Kernel::name_list(),
     )
@@ -60,8 +65,14 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             stats::TRACE_FLAG,
             stats::METRICS_FLAG,
             stats::EXPLAIN_FLAG,
+            stats::PROFILE_FLAG,
         ],
-        &["znorm", stats::STATS_SWITCH, stats::EXPLAIN_FLAG],
+        &[
+            "znorm",
+            stats::STATS_SWITCH,
+            stats::EXPLAIN_FLAG,
+            stats::PROFILE_FLAG,
+        ],
     )?;
     // A single pair runs serially; the flag exists so scripts can pass the
     // same --threads to every command, and bad values still fail fast.
@@ -101,10 +112,13 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let metrics_path = args.optional(stats::METRICS_FLAG);
     let explain_path = args.optional(stats::EXPLAIN_FLAG);
     let want_explain = args.has(stats::EXPLAIN_FLAG) || explain_path.is_some();
+    let profile_path = args.optional(stats::PROFILE_FLAG);
+    let want_profile = args.has(stats::PROFILE_FLAG) || profile_path.is_some();
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let want_meter = want_stats || metrics_path.is_some() || want_explain;
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
+    let profiler = stats::profile_start(want_profile);
     let t0 = std::time::Instant::now();
     let (d, heap) = if want_stats {
         let probe = tsdtw_obs::AllocScope::begin();
@@ -118,6 +132,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let wall_s = t0.elapsed().as_secs_f64();
     let mut out = format!("{measure} distance: {d}\n");
     stats::trace_finish(trace_path, &mut out)?;
+    stats::profile_finish(profiler, profile_path, &mut out)?;
     if measure == "cdtw" {
         let w: f64 = args.get_or("w", 10.0)?;
         let band = percent_to_band(a.len().max(b.len()), w)?;
@@ -371,6 +386,51 @@ mod tests {
         .unwrap();
         assert!(out.contains("-- explain --"), "{out}");
         assert!(out.contains("no cascaded stages ran"), "{out}");
+    }
+
+    #[test]
+    fn profile_flag_prints_table_and_writes_collapsed_stacks() {
+        let (a, b) = setup("tsdtw-dist-profile-test");
+        let collapsed = std::env::temp_dir()
+            .join("tsdtw-dist-profile-test")
+            .join("profile.txt");
+        let out = run(&raw(&[
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "cdtw",
+            "--w",
+            "40",
+            &format!("--profile={}", collapsed.to_str().unwrap()),
+        ]))
+        .unwrap();
+        assert!(out.contains("-- profile --"), "{out}");
+        assert!(out.contains("collapsed stacks written"), "{out}");
+        // The export parses in the same format `report flame` consumes
+        // (tiny inputs may legitimately finish between samples, so the
+        // file may be empty — but it must be well-formed).
+        let text = std::fs::read_to_string(&collapsed).unwrap();
+        tsdtw_obs::profile::parse_collapsed(&text).unwrap();
+        if !tsdtw_obs::spans_enabled() {
+            assert!(out.contains("without --features obs"), "{out}");
+        }
+        // Bare --profile: table only, no file note.
+        let out = run(&raw(&[
+            "--a",
+            a.to_str().unwrap(),
+            "--b",
+            b.to_str().unwrap(),
+            "--measure",
+            "cdtw",
+            "--w",
+            "40",
+            "--profile",
+        ]))
+        .unwrap();
+        assert!(out.contains("-- profile --"), "{out}");
+        assert!(!out.contains("collapsed stacks written"), "{out}");
     }
 
     #[test]

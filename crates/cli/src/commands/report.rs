@@ -21,6 +21,12 @@
 //!
 //! `report show` pretty-prints one snapshot for humans — the aligned
 //! counterpart to reading the raw JSON.
+//!
+//! `report flame` renders a collapsed-stack export (written by
+//! `--profile=FILE` or `repro --profile`) as an ASCII flame view, and
+//! `--attribute` on `diff`/`trend` ranks spans by their per-span deltas
+//! (calls, wall time, alloc bytes, self-time share) so a firing gate
+//! names its top suspect spans instead of a bare counter.
 
 use std::path::Path;
 
@@ -29,16 +35,21 @@ use tsdtw_bench::{history, snapshot, trend};
 use tsdtw_obs::Json;
 
 pub const HELP: &str = "\
-tsdtw report diff BASELINE CURRENT [--fail-on-regress PCT]
+tsdtw report diff BASELINE CURRENT [--fail-on-regress PCT] [--attribute]
 tsdtw report trend [--history DIR] [--window N] [--mad-k K] [--floor PCT]
-                   [--out FILE] [--fail-on-drift]
+                   [--out FILE] [--fail-on-drift] [--attribute]
 tsdtw report show SNAPSHOT
+tsdtw report flame COLLAPSED [--width N]
   diff   compare two BENCH_<experiment>.json snapshots (see `repro`)
     --fail-on-regress   tolerance in percent for work-counter and
                         memory-count growth (default 0 = any growth
-                        fails); timing changes and memory byte totals
-                        are always advisory and never fail the diff. A
-                        baseline section missing from CURRENT fails too.
+                        fails); timing changes, memory byte totals and
+                        the profile section are always advisory and
+                        never fail the diff. A baseline section missing
+                        from CURRENT fails too.
+    --attribute         rank spans by per-span delta (calls, wall time,
+                        alloc bytes, profile self-time share) and print
+                        the top-3 suspect spans for the drift
   trend  analyze every ledger under DIR/history/ and write a TREND.md
          dashboard (sparkline trajectories, regression callouts)
     --history DIR       results root holding history/ (default results)
@@ -47,7 +58,13 @@ tsdtw report show SNAPSHOT
     --floor PCT         relative floor a timing must also exceed (default 25)
     --out FILE          dashboard path (default DIR/TREND.md)
     --fail-on-drift     exit non-zero when any gate confirms drift
-  show   pretty-print one snapshot (work counters, timings, memory)";
+    --attribute         for each drifting experiment, print the top-3
+                        suspect spans (latest record vs the one before)
+  show   pretty-print one snapshot (work counters, timings, memory,
+         profile sample shares)
+  flame  render a collapsed-stack export (from --profile=FILE or
+         `repro --profile`) as an ASCII flame view
+    --width N           bar column width in characters (default 40)";
 
 fn load(path: &str) -> Result<Json, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(Path::new(path))
@@ -68,18 +85,37 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         "diff" => run_diff(&raw[1..]),
         "trend" => run_trend(&raw[1..]),
         "show" => run_show(&raw[1..]),
+        "flame" => run_flame(&raw[1..]),
         other => Err(Box::new(ArgError(format!(
             "unknown report action {other:?}; see `tsdtw help report`"
         )))),
     }
 }
 
+/// Renders the top-`n` suspect spans between two snapshots, or a note
+/// when neither side carries enough span evidence to rank anything.
+fn attribution_block(baseline: &Json, current: &Json, n: usize) -> String {
+    let suspects = snapshot::attribute(baseline, current);
+    if suspects.is_empty() {
+        "top suspect spans: none (no span grew; build with --features obs \
+         and pass --profile to repro for richer evidence)\n"
+            .to_string()
+    } else {
+        format!(
+            "top suspect spans:\n{}",
+            snapshot::render_attribution(&suspects, n)
+        )
+    }
+}
+
 fn run_diff(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let mut files: Vec<&str> = Vec::new();
     let mut fail_pct = 0.0f64;
+    let mut attribute = false;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--attribute" => attribute = true,
             "--fail-on-regress" => {
                 let v = it
                     .next()
@@ -109,7 +145,13 @@ fn run_diff(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let baseline = load(baseline_path)?;
     let current = load(current_path)?;
     let d = snapshot::diff(&baseline, &current, fail_pct);
-    let rendered = d.render();
+    let mut rendered = d.render();
+    // Attribution rides on BOTH outcomes: a green diff still benefits
+    // from knowing which span moved, and a firing gate must name its
+    // suspects in the same CI log that reports the failure.
+    if attribute {
+        rendered.push_str(&attribution_block(&baseline, &current, 3));
+    }
     if d.regressions.is_empty() {
         Ok(rendered)
     } else {
@@ -132,6 +174,7 @@ fn run_trend(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let mut results_dir = String::from("results");
     let mut out_path: Option<String> = None;
     let mut fail_on_drift = false;
+    let mut attribute = false;
     let mut cfg = trend::TrendConfig::default();
     let mut it = raw.iter();
     let value = |name: &str, it: &mut std::slice::Iter<'_, String>| {
@@ -144,6 +187,7 @@ fn run_trend(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             "--history" => results_dir = value("--history", &mut it)?,
             "--out" => out_path = Some(value("--out", &mut it)?),
             "--fail-on-drift" => fail_on_drift = true,
+            "--attribute" => attribute = true,
             "--window" => {
                 let v = value("--window", &mut it)?;
                 cfg.window =
@@ -187,9 +231,11 @@ fn run_trend(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         ))));
     }
     let mut trends = Vec::new();
+    let mut ledgers = Vec::new();
     for exp in &experiments {
         let records = history::load(root, exp)?;
         trends.push(trend::analyze(exp, &records, &cfg));
+        ledgers.push(records);
     }
     let dashboard = trend::render_dashboard(&trends, &cfg);
     let out_file = out_path.unwrap_or_else(|| root.join("TREND.md").to_string_lossy().into_owned());
@@ -222,6 +268,37 @@ fn run_trend(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         }
         for d in &t.timing_drifts {
             out.push_str(&format!("  [{}] timing: {d}\n", t.experiment));
+        }
+        if attribute {
+            // Mine the two newest comparable-schema records for the
+            // span that moved — latest vs the one before, the same pair
+            // the counter gate just compared.
+            let ledger = experiments
+                .iter()
+                .position(|e| e == &t.experiment)
+                .map(|i| &ledgers[i]);
+            let pair = ledger.and_then(|records| {
+                let current_schema: Vec<&Json> = records
+                    .iter()
+                    .filter(|r| r["schema"].as_i64() == Some(snapshot::SCHEMA_VERSION))
+                    .collect();
+                match current_schema[..] {
+                    [.., prev, latest] => Some((prev, latest)),
+                    _ => None,
+                }
+            });
+            match pair {
+                Some((prev, latest)) => {
+                    out.push_str(&format!("  [{}] ", t.experiment));
+                    out.push_str(&attribution_block(prev, latest, 3));
+                }
+                None => out.push_str(&format!(
+                    "  [{}] top suspect spans: unavailable (needs two \
+                     schema-v{} records in the ledger)\n",
+                    t.experiment,
+                    snapshot::SCHEMA_VERSION
+                )),
+            }
         }
     }
     if fail_on_drift {
@@ -445,6 +522,49 @@ fn run_show(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         out.push_str(&aligned(&rows));
     }
 
+    match snap.get("profile") {
+        Some(profile) if !profile.is_null() => {
+            out.push_str("\n-- profile (sampled shares are advisory; never gated) --\n");
+            out.push_str(&format!(
+                "  sampler: {} Hz nominal, {} tick(s), {} sample(s) in span, {:.3}s armed\n",
+                profile["sampler_hz"].as_f64().unwrap_or(0.0),
+                profile["ticks"].as_i64().unwrap_or(0),
+                profile["samples"].as_i64().unwrap_or(0),
+                profile["duration_s"].as_f64().unwrap_or(0.0),
+            ));
+            if let Some(spans) = profile["spans"].as_object() {
+                if spans.is_empty() {
+                    out.push_str("  no samples caught an open span\n");
+                } else {
+                    out.push_str(&format!(
+                        "  {:<20} {:>8} {:>8} {:>8}\n",
+                        "span", "self", "total", "self%"
+                    ));
+                    for (label, s) in spans {
+                        out.push_str(&format!(
+                            "  {:<20} {:>8} {:>8} {:>7.1}%\n",
+                            label,
+                            s["self_samples"].as_i64().unwrap_or(0),
+                            s["total_samples"].as_i64().unwrap_or(0),
+                            s["self_share"].as_f64().unwrap_or(0.0) * 100.0,
+                        ));
+                    }
+                }
+            }
+        }
+        // Pre-v7 snapshots carry no profile key; v7 snapshots of runs
+        // made without --profile carry an explicit null. Both degrade
+        // to a note — the same convention as funnel/rle/tiers.
+        _ => out.push_str(&format!(
+            "\nno profile section ({})\n",
+            if schema < 7 {
+                "pre-v7 snapshot; regenerate with `repro`"
+            } else {
+                "run was not profiled; pass --profile to repro"
+            }
+        )),
+    }
+
     if let Some(kernels) = snap["kernels"].as_object() {
         if kernels.is_empty() {
             out.push_str("\n-- kernels: no span data (build with --features obs) --\n");
@@ -469,6 +589,47 @@ fn run_show(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
         }
     }
     Ok(out)
+}
+
+fn run_flame(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
+    let mut file: Option<&str> = None;
+    let mut width = 40usize;
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--width" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| ArgError("--width needs a value".into()))?;
+                width =
+                    v.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        ArgError(format!("--width: {v:?} is not a positive count"))
+                    })?;
+            }
+            other if other.starts_with("--") => {
+                return Err(Box::new(ArgError(format!("unknown flag {other:?}"))));
+            }
+            other => {
+                if file.replace(other).is_some() {
+                    return Err(Box::new(ArgError(
+                        "flame takes exactly one collapsed-stack file".into(),
+                    )));
+                }
+            }
+        }
+    }
+    let Some(path) = file else {
+        return Err(Box::new(ArgError(
+            "flame needs a collapsed-stack file (write one with --profile=FILE \
+             or `repro --profile`)"
+                .into(),
+        )));
+    };
+    let text = std::fs::read_to_string(Path::new(path))
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let folded =
+        tsdtw_obs::profile::parse_collapsed(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    Ok(tsdtw_obs::profile::flame_ascii(&folded, width))
 }
 
 #[cfg(test)]
@@ -809,6 +970,178 @@ mod tests {
     }
 
     #[test]
+    fn show_degrades_cleanly_when_the_snapshot_has_no_profile_section() {
+        let d = tmpdir("tsdtw-report-show-noprofile");
+        // Pre-v7 snapshots have no profile key at all: note, don't omit.
+        let mut old = snap_json(100);
+        old.set("schema", 6i64);
+        let path = write_snap(&d, "BENCH_old.json", &old);
+        let out = run(&raw(&["show", &path])).unwrap();
+        assert!(out.contains("no profile section"), "{out}");
+        assert!(out.contains("pre-v7"), "{out}");
+        // Current-schema snapshots of unprofiled runs carry an explicit
+        // null and get the other wording.
+        let mut bare = snap_json(100);
+        bare.set("profile", Json::Null);
+        let path = write_snap(&d, "BENCH_bare.json", &bare);
+        let out = run(&raw(&["show", &path])).unwrap();
+        assert!(out.contains("no profile section"), "{out}");
+        assert!(out.contains("was not profiled"), "{out}");
+    }
+
+    #[test]
+    fn show_renders_the_profile_section() {
+        let d = tmpdir("tsdtw-report-show-profile");
+        let mut s = snap_json(100);
+        s.set(
+            "profile",
+            json_obj! {
+                "sampler_hz" => 997.0,
+                "duration_s" => 1.5,
+                "ticks" => 1400,
+                "samples" => 1200,
+                "spans" => json_obj! {
+                    "cdtw" => json_obj! {
+                        "self_samples" => 900, "total_samples" => 1100,
+                        "self_share" => 0.75,
+                    },
+                    "lb_keogh" => json_obj! {
+                        "self_samples" => 300, "total_samples" => 300,
+                        "self_share" => 0.25,
+                    },
+                },
+            },
+        );
+        let path = write_snap(&d, "BENCH_prof.json", &s);
+        let out = run(&raw(&["show", &path])).unwrap();
+        assert!(out.contains("-- profile"), "{out}");
+        assert!(out.contains("advisory"), "{out}");
+        assert!(out.contains("997 Hz nominal"), "{out}");
+        assert!(out.contains("1200 sample(s) in span"), "{out}");
+        assert!(out.contains("cdtw") && out.contains("75.0%"), "{out}");
+        assert!(!out.contains("no profile section"), "{out}");
+    }
+
+    #[test]
+    fn diff_attribute_names_the_grown_span_on_both_outcomes() {
+        let d = tmpdir("tsdtw-report-attribute");
+        let span = |total: f64| {
+            json_obj! {
+                "count" => 40, "total_s" => total, "p50_s" => 0.001,
+                "p99_s" => 0.002, "max_s" => 0.003, "alloc_bytes" => 0,
+            }
+        };
+        let mut base = snap_json(100);
+        base.set(
+            "kernels",
+            json_obj! { "cdtw" => span(0.5), "lb_keogh" => span(0.1) },
+        );
+        let mut hot = snap_json(100);
+        hot.set(
+            "kernels",
+            json_obj! { "cdtw" => span(0.5), "lb_keogh" => span(0.4) },
+        );
+        let a = write_snap(&d, "base.json", &base);
+        let b = write_snap(&d, "hot.json", &hot);
+        // Counters are identical, so the gate passes — attribution still
+        // reports which span's wall time moved.
+        let out = run(&raw(&["diff", &a, &b, "--attribute"])).unwrap();
+        assert!(out.contains("top suspect spans:"), "{out}");
+        assert!(out.contains("1. lb_keogh"), "{out}");
+        assert!(out.contains("wall time"), "{out}");
+        // Without the flag no attribution appears.
+        let quiet = run(&raw(&["diff", &a, &b])).unwrap();
+        assert!(!quiet.contains("suspect"), "{quiet}");
+        // A firing gate (counter regression) names its suspects inside
+        // the error message CI prints.
+        hot.set("work", json_obj! { "cells" => 150i64 });
+        let b = write_snap(&d, "hot.json", &hot);
+        let err = run(&raw(&["diff", &a, &b, "--attribute"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("FAIL"), "{err}");
+        assert!(err.contains("1. lb_keogh"), "{err}");
+    }
+
+    #[test]
+    fn diff_attribute_degrades_to_a_note_without_span_evidence() {
+        let d = tmpdir("tsdtw-report-attribute-bare");
+        let a = snap_file(&d, "a.json", 100);
+        let b = snap_file(&d, "b.json", 100);
+        let out = run(&raw(&["diff", &a, &b, "--attribute"])).unwrap();
+        assert!(out.contains("top suspect spans: none"), "{out}");
+    }
+
+    #[test]
+    fn trend_attribute_names_suspects_for_the_drifting_experiment() {
+        let name = "tsdtw-report-trend-attribute";
+        let d = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&d);
+        let span = |total: f64| {
+            json_obj! {
+                "count" => 40, "total_s" => total, "p50_s" => 0.001,
+                "p99_s" => 0.002, "max_s" => 0.003, "alloc_bytes" => 0,
+            }
+        };
+        for (i, (cells, total)) in [(100i64, 0.1), (100, 0.1), (120, 0.4)].iter().enumerate() {
+            let mut s = snap_json(*cells);
+            s.set("kernels", json_obj! { "lb_keogh" => span(*total) });
+            s.set("hash", format!("{i:016x}"));
+            history::append(&d, "cells", &s).unwrap();
+        }
+        let err = run(&raw(&[
+            "trend",
+            "--history",
+            d.to_str().unwrap(),
+            "--fail-on-drift",
+            "--attribute",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("work.cells"), "{err}");
+        assert!(err.contains("top suspect spans:"), "{err}");
+        assert!(err.contains("1. lb_keogh"), "{err}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn flame_renders_a_collapsed_stack_file() {
+        let d = tmpdir("tsdtw-report-flame");
+        let path = d.join("collapsed.txt");
+        std::fs::write(
+            &path,
+            "knn_query;cdtw 30\nknn_query;lb_keogh 10\nknn_query 10\n",
+        )
+        .unwrap();
+        let out = run(&raw(&["flame", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("knn_query"), "{out}");
+        assert!(out.contains("cdtw"), "{out}");
+        assert!(out.contains('#'), "{out}");
+        // cdtw is the hottest child: its bar outweighs lb_keogh's.
+        let bar = |label: &str| {
+            out.lines()
+                .find(|l| l.contains(label))
+                .unwrap()
+                .matches('#')
+                .count()
+        };
+        assert!(bar("cdtw") > bar("lb_keogh"), "{out}");
+        // --width narrows the bar column (the renderer floors it at 10).
+        let narrow = run(&raw(&["flame", path.to_str().unwrap(), "--width", "10"])).unwrap();
+        assert!(
+            narrow.lines().all(|l| l.matches('#').count() <= 10),
+            "{narrow}"
+        );
+        // Malformed input is a clean error naming the file.
+        let bad = d.join("bad.txt");
+        std::fs::write(&bad, "no-count-here\n").unwrap();
+        let err = run(&raw(&["flame", bad.to_str().unwrap()]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("bad.txt"), "{err}");
+    }
+
+    #[test]
     fn bad_usage_is_rejected() {
         let d = tmpdir("tsdtw-report-usage");
         let a = snap_file(&d, "a.json", 1);
@@ -839,5 +1172,18 @@ mod tests {
         assert!(run(&raw(&["trend", "stray"])).is_err(), "stray operand");
         assert!(run(&raw(&["show"])).is_err(), "show needs a file");
         assert!(run(&raw(&["show", &a, &a])).is_err(), "show takes one file");
+        assert!(run(&raw(&["flame"])).is_err(), "flame needs a file");
+        assert!(
+            run(&raw(&["flame", &a, &a])).is_err(),
+            "flame takes one file"
+        );
+        assert!(
+            run(&raw(&["flame", &a, "--width", "0"])).is_err(),
+            "zero width"
+        );
+        assert!(
+            run(&raw(&["diff", &a, &a, "--frobnicate"])).is_err(),
+            "unknown diff flag"
+        );
     }
 }

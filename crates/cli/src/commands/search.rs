@@ -14,7 +14,7 @@ use tsdtw_obs::WorkMeter;
 pub const HELP: &str = "\
 tsdtw search --haystack FILE --query FILE [--w PCT] [--top K] [--threads N]
              [--stats] [--stats-json FILE] [--trace FILE] [--metrics FILE]
-             [--explain[=FILE]]
+             [--explain[=FILE]] [--profile[=FILE]]
   z-normalizes the query and every candidate window (UCR practice) and
   reports the best match(es) under cDTW_w with pruning statistics
   --threads N    worker threads for the candidate scan (default 1); matches,
@@ -29,7 +29,11 @@ tsdtw search --haystack FILE --query FILE [--w PCT] [--top K] [--threads N]
   --explain      print the EXPLAIN prune-funnel table: per cascade stage,
                  candidates entered/pruned, cost units, cost share, and the
                  prune-rate-per-cost ranking; bitwise identical at every
-                 --threads. --explain=FILE also dumps the funnel JSON";
+                 --threads. --explain=FILE also dumps the funnel JSON
+  --profile      arm the sampling profiler and print the per-span
+                 self-vs-total table (needs --features obs to catch frames).
+                 --profile=FILE also writes the collapsed stacks to FILE
+                 (flamegraph.pl compatible; render with `tsdtw report flame`)";
 
 /// Runs the command, returning the printable result.
 pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
@@ -45,8 +49,13 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
             stats::TRACE_FLAG,
             stats::METRICS_FLAG,
             stats::EXPLAIN_FLAG,
+            stats::PROFILE_FLAG,
         ],
-        &[stats::STATS_SWITCH, stats::EXPLAIN_FLAG],
+        &[
+            stats::STATS_SWITCH,
+            stats::EXPLAIN_FLAG,
+            stats::PROFILE_FLAG,
+        ],
     )?;
     let par = ParConfig::new(args.get_or("threads", 1)?)?;
     let haystack = read_series(Path::new(args.required("haystack")?))?;
@@ -59,9 +68,12 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let metrics_path = args.optional(stats::METRICS_FLAG);
     let explain_path = args.optional(stats::EXPLAIN_FLAG);
     let want_explain = args.has(stats::EXPLAIN_FLAG) || explain_path.is_some();
+    let profile_path = args.optional(stats::PROFILE_FLAG);
+    let want_profile = args.has(stats::PROFILE_FLAG) || profile_path.is_some();
     let want_stats = args.has(stats::STATS_SWITCH) || json_path.is_some();
     let mut meter = WorkMeter::new();
     stats::trace_start(trace_path);
+    let profiler = stats::profile_start(want_profile);
     let t0 = std::time::Instant::now();
     // Probes the whole scan (including its result formatting, which is
     // cheap next to the candidate loop); reads zero unless the build
@@ -102,6 +114,7 @@ pub fn run(raw: &[String]) -> Result<String, Box<dyn std::error::Error>> {
     let wall_s = t0.elapsed().as_secs_f64();
     let heap = heap_probe.map(tsdtw_obs::AllocScope::end);
     stats::trace_finish(trace_path, &mut out)?;
+    stats::profile_finish(profiler, profile_path, &mut out)?;
     if want_stats {
         stats::render(&meter, heap.as_ref(), json_path, &mut out)?;
     }

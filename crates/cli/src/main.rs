@@ -7,7 +7,7 @@
 //! tsdtw window    brute-force optimal-warping-window search (the Fig. 2a procedure)
 //! tsdtw cluster   hierarchical / k-medoids clustering under cDTW
 //! tsdtw generate  write this workspace's synthetic datasets to disk
-//! tsdtw report    perf-trajectory tooling (diff gate, trend gate, show)
+//! tsdtw report    perf-trajectory tooling (diff gate, trend gate, show, flame)
 //! tsdtw help [command]
 //! ```
 
@@ -32,7 +32,8 @@ commands:
   bakeoff   Euclidean vs cDTW vs FastDTW 1-NN accuracy over an archive directory
   generate  synthetic dataset generation
   report    perf-trajectory tooling: diff (pairwise regression gate),
-            trend (noise-aware drift gate over results/history/), show
+            trend (noise-aware drift gate over results/history/), show,
+            flame (render collapsed profiler stacks)
   help      this message, or per-command help";
 
 fn command_help(name: &str) -> Option<String> {

@@ -22,6 +22,12 @@ pub const METRICS_FLAG: &str = "metrics";
 /// prints the table, `--explain=FILE` additionally dumps the funnel
 /// JSON to FILE).
 pub const EXPLAIN_FLAG: &str = "explain";
+/// Optional-valued flag arming the sampling profiler (declare in *both*
+/// the switch and value-flag lists: bare `--profile` prints the
+/// self-vs-total table, `--profile=FILE` additionally writes the
+/// collapsed-stack export — flamegraph.pl / inferno compatible, also
+/// renderable with `tsdtw report flame` — to FILE).
+pub const PROFILE_FLAG: &str = "profile";
 
 /// Writes `text` to `path` atomically: temp file in the same directory,
 /// then rename — the same discipline as `Report::write_json`, so a
@@ -73,6 +79,39 @@ pub fn trace_finish(
     out.push_str(&trace.summary_table());
     if !tsdtw_obs::spans_enabled() {
         out.push_str("note: built without --features obs; the trace has no span events\n");
+    }
+    Ok(())
+}
+
+/// Arms the sampling profiler when the command was given `--profile`
+/// (bare or valued). Call before the command's real work; pair with
+/// [`profile_finish`].
+pub fn profile_start(want: bool) -> Option<tsdtw_obs::Profiler> {
+    want.then(|| tsdtw_obs::Profiler::start(tsdtw_obs::DEFAULT_SAMPLE_HZ))
+}
+
+/// Stops the profiler, appends the per-span self-vs-total table to
+/// `out`, and writes the collapsed-stack export when `--profile=FILE`
+/// named one. A no-op when the flag was absent.
+pub fn profile_finish(
+    profiler: Option<tsdtw_obs::Profiler>,
+    collapsed_path: Option<&str>,
+    out: &mut String,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(profiler) = profiler else {
+        return Ok(());
+    };
+    let report = profiler.stop();
+    out.push_str("-- profile --\n");
+    out.push_str(&report.table());
+    if !tsdtw_obs::spans_enabled() {
+        out.push_str("note: built without --features obs; no live stacks were published\n");
+    }
+    if let Some(path) = collapsed_path {
+        write_atomic(Path::new(path), &report.collapsed())?;
+        out.push_str(&format!(
+            "collapsed stacks written to {path} (render with `tsdtw report flame {path}`)\n"
+        ));
     }
     Ok(())
 }
@@ -427,6 +466,42 @@ mod tests {
     fn trace_finish_without_flag_is_a_no_op() {
         let mut out = String::new();
         trace_finish(None, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn profile_flow_writes_collapsed_stacks() {
+        let dir = std::env::temp_dir().join("tsdtw-stats-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.txt");
+        let path_str = path.to_str().unwrap().to_string();
+        let profiler = profile_start(true);
+        assert!(profiler.is_some());
+        {
+            let _s = tsdtw_obs::span("cli_stats_profile_test");
+            std::thread::sleep(std::time::Duration::from_millis(30));
+        }
+        let mut out = String::new();
+        profile_finish(profiler, Some(&path_str), &mut out).unwrap();
+        let _ = take_spans();
+        assert!(out.contains("-- profile --"), "{out}");
+        assert!(out.contains("collapsed stacks written"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The file round-trips through the parser `report flame` uses.
+        let folded = tsdtw_obs::profile::parse_collapsed(&text).unwrap();
+        if tsdtw_obs::spans_enabled() {
+            assert!(out.contains("self%"), "{out}");
+        } else {
+            assert!(out.contains("without --features obs"), "{out}");
+            assert!(folded.is_empty(), "{folded:?}");
+        }
+    }
+
+    #[test]
+    fn profile_finish_without_flag_is_a_no_op() {
+        assert!(profile_start(false).is_none());
+        let mut out = String::new();
+        profile_finish(None, None, &mut out).unwrap();
         assert!(out.is_empty());
     }
 }

@@ -74,6 +74,11 @@ pub(crate) fn wavefront_distance<C: CostFn, M: Meter>(
     buf: &mut DtwBuffer,
     meter: &mut M,
 ) -> Result<f64> {
+    // Nested under the dispatcher's `dtw_windowed` span so sampled
+    // profiles can split wavefront self-time from the row sweep's —
+    // without this frame the two tiers are indistinguishable in a
+    // flame view.
+    let _span = tsdtw_obs::span("dtw_wavefront");
     let n = x.len();
     let m = y.len();
 

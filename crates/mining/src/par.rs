@@ -612,6 +612,40 @@ mod tests {
     }
 
     #[test]
+    fn worker_panic_leaves_no_stale_profile_frames() {
+        // Companion to the panic-containment test above, for the
+        // sampling profiler: a worker that dies mid-span must not leave
+        // its frame in any live-stack slot (the span guard pops during
+        // unwind and the dying thread's slot deregisters on teardown) —
+        // otherwise the sampler would keep attributing wall-clock to a
+        // dead span forever.
+        let data = items(20);
+        let cfg = ParConfig::with_chunk(4, 2).unwrap();
+        let profiler = tsdtw_obs::Profiler::start(tsdtw_obs::DEFAULT_SAMPLE_HZ);
+        let err = par_map(&cfg, &data, &mut NoMeter, |i, v, _| {
+            let _g = tsdtw_obs::span("par_panic_item");
+            if i == 9 {
+                panic!("poisoned worker mid-span");
+            }
+            Ok(*v)
+        })
+        .unwrap_err();
+        drop(profiler.stop());
+        let _ = tsdtw_obs::take_spans();
+        assert!(matches!(err, Error::WorkerPanicked { .. }), "{err:?}");
+        // The workers are joined before par_map returns, so by now no
+        // live stack anywhere may still carry the item span. (Other
+        // concurrently-running tests own their slots; only our label is
+        // asserted on.)
+        for stack in tsdtw_obs::profile::live_snapshot() {
+            assert!(
+                !stack.contains(&"par_panic_item"),
+                "stale frame after worker panic: {stack:?}"
+            );
+        }
+    }
+
+    #[test]
     fn fold_matches_continuous_serial_with_chunk_one() {
         // Reference: the classic continuous best-so-far loop.
         let data = items(63);

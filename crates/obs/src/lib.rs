@@ -28,6 +28,13 @@
 //!   nesting intact, exportable as a Chrome Trace Format file
 //!   ([`Trace::chrome_json`], openable in Perfetto) or a compact
 //!   per-span summary table.
+//! * [`Profiler`] / [`ProfileReport`](mod@profile) — the wall-clock
+//!   sampling profiler (`profile` module): every metered thread
+//!   publishes its live span stack into a per-thread slot; a sampler
+//!   thread folds the stacks at a configurable rate (default 997 Hz)
+//!   into `flamegraph.pl`-compatible collapsed stacks, per-span
+//!   self-vs-total attribution, and the advisory snapshot `profile`
+//!   section that drift attribution ranks suspects from.
 //! * [`Funnel`] — the per-stage prune-funnel ledger behind the CLI's
 //!   `--explain` flag and the `funnel` bench experiment: candidates
 //!   entered / pruned / survived per cascade stage, deterministic
@@ -54,6 +61,7 @@ mod hist;
 mod json;
 mod meter;
 pub mod metrics;
+pub mod profile;
 mod recorder;
 mod span;
 
@@ -66,6 +74,7 @@ pub use hist::{nearest_rank, LatencyHist};
 pub use json::{json_escape, json_escape_into, Json, JsonParseError, ToJson};
 pub use meter::{FastDtwLevel, LbKind, Meter, MeterShard, NoMeter, StageTag, WorkMeter};
 pub use metrics::{MetricsRegistry, MetricsSampler};
+pub use profile::{ProfileReport, Profiler, SpanProfile, DEFAULT_SAMPLE_HZ};
 pub use recorder::{
     recorder_absorb, recorder_active, recorder_counter_samples, recorder_handoff, recorder_start,
     recorder_start_shard, recorder_stop, CounterSample, Recorder, RecorderHandoff, Trace,

@@ -83,6 +83,10 @@ mod enabled {
         label: &'static str,
         start: Instant,
         recorder_id: Option<u64>,
+        // Whether this guard pushed a frame onto the profiler's live
+        // stack; only then does it pop one, so arming or disarming the
+        // sampler mid-span never unbalances the stack.
+        profiled: bool,
         // Unit-sized unless `alloc-telemetry` is on; spans nest LIFO,
         // which is exactly the discipline AllocScope requires.
         alloc: Option<crate::alloc::AllocScope>,
@@ -91,10 +95,12 @@ mod enabled {
     /// Opens a timing span labelled `label`.
     pub fn span(label: &'static str) -> SpanGuard {
         let recorder_id = crate::recorder::recorder_begin(label);
+        let profiled = crate::profile::live_push(label);
         SpanGuard {
             label,
             start: Instant::now(),
             recorder_id,
+            profiled,
             alloc: Some(crate::alloc::AllocScope::begin()),
         }
     }
@@ -102,6 +108,9 @@ mod enabled {
     impl Drop for SpanGuard {
         fn drop(&mut self) {
             let dt = self.start.elapsed().as_secs_f64();
+            if self.profiled {
+                crate::profile::live_pop();
+            }
             let heap = self
                 .alloc
                 .take()
